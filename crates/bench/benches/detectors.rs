@@ -1,0 +1,69 @@
+//! Detector throughput benches: the four techniques on identical traces
+//! (Table 1 columns 13–16). HB and CP are expected orders of magnitude
+//! faster than the SMT-based detectors, with RV faster than Said (§5,
+//! "Scalability").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvbaselines::{CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector};
+use rvsim::workloads::{self, Workload};
+
+fn benchmark_set() -> Vec<Workload> {
+    vec![
+        workloads::figures::figure1(),
+        Workload::run("account", &workloads::contest::account(3, 4), 11),
+        Workload::run("crypt", &workloads::grande::crypt(3, 8), 21),
+    ]
+}
+
+fn bench_all_detectors(c: &mut Criterion) {
+    let set = benchmark_set();
+    for w in &set {
+        let mut g = c.benchmark_group(format!("detect/{}", w.name));
+        g.bench_function(BenchmarkId::from_parameter("RV"), |b| {
+            let d = MaximalDetector::default();
+            b.iter(|| d.detect_races(&w.trace).n_races())
+        });
+        g.bench_function(BenchmarkId::from_parameter("Said"), |b| {
+            let d = SaidDetector::default();
+            b.iter(|| d.detect_races(&w.trace).n_races())
+        });
+        g.bench_function(BenchmarkId::from_parameter("CP"), |b| {
+            let d = CpDetector::default();
+            b.iter(|| d.detect_races(&w.trace).n_races())
+        });
+        g.bench_function(BenchmarkId::from_parameter("HB"), |b| {
+            let d = HbDetector::default();
+            b.iter(|| d.detect_races(&w.trace).n_races())
+        });
+        g.finish();
+    }
+}
+
+/// One system-class row at reduced scale: the derby-like constraint-heavy
+/// profile the paper singles out as the most time-consuming case.
+fn bench_system_row(c: &mut Criterion) {
+    let profile = workloads::systems::profiles()
+        .into_iter()
+        .find(|p| p.name == "derby")
+        .expect("derby profile")
+        .scaled(0.25);
+    let w = workloads::systems::generate(&profile);
+    let mut g = c.benchmark_group("detect/derby-0.25x");
+    g.sample_size(10);
+    g.bench_function("RV", |b| {
+        let d = MaximalDetector::default();
+        b.iter(|| d.detect_races(&w.trace).n_races())
+    });
+    g.bench_function("CP", |b| {
+        let d = CpDetector::default();
+        b.iter(|| d.detect_races(&w.trace).n_races())
+    });
+    g.bench_function("HB", |b| {
+        let d = HbDetector::default();
+        b.iter(|| d.detect_races(&w.trace).n_races())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_all_detectors, bench_system_row);
+criterion_main!(benches);

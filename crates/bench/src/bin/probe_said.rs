@@ -1,0 +1,20 @@
+use rvcore::{DetectorConfig, RaceDetector};
+use rvsim::workloads;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let window: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let p = workloads::systems::profiles().into_iter().find(|p| p.name == "eclipse").unwrap();
+    let w = workloads::systems::generate(&p);
+    let cfg = DetectorConfig {
+        solver_timeout: Duration::from_secs(budget),
+        window_size: window,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let rep = RaceDetector::with_config(cfg).detect(&w.trace);
+    println!("budget={budget}s window={window}: {rep}");
+    println!("elapsed {:.1?}", t0.elapsed());
+}

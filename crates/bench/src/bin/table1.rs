@@ -1,0 +1,94 @@
+//! Regenerates the paper's Table 1: for every benchmark, the trace metrics
+//! (#Thrd, #Event, #RW, #Sync, #Br), the quick-check column (QC), the race
+//! counts of the four techniques (RV, Said, CP, HB), and their detection
+//! times.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin table1 -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --rows small|systems|all   which benchmark classes to run (default all)
+//!   --scale F                  iteration multiplier for system rows (default 1.0)
+//!   --budget SECS              per-COP solver budget (default 5; paper used 60)
+//!   --window N                 window size in events (default 10000, as in §5)
+//! ```
+//!
+//! Absolute numbers differ from the paper's (our traces come from the
+//! mini-language simulator, not instrumented Java); the *shape* is the
+//! reproduction target: RV ⊇ Said/CP/HB per row, CP ⊇ HB, RV's margin on
+//! control-flow-sensitive rows, and HB/CP ≪ RV < Said in runtime.
+
+use std::time::Duration;
+
+use rvbench::{run_row, table_header, HarnessConfig};
+use rvsim::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows = "all".to_string();
+    let mut scale = 1.0f64;
+    let mut cfg = HarnessConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                rows = args[i + 1].clone();
+                i += 2;
+            }
+            "--scale" => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--budget" => {
+                let secs: u64 = args[i + 1].parse().expect("--budget takes seconds");
+                cfg.solver_timeout = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--window" => {
+                cfg.window_size = args[i + 1].parse().expect("--window takes a size");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut suite = Vec::new();
+    if rows == "small" || rows == "all" {
+        suite.extend(workloads::small_suite());
+    }
+    if rows == "systems" || rows == "all" {
+        for p in workloads::systems::profiles() {
+            suite.push(workloads::systems::generate(&p.scaled(scale)));
+        }
+    }
+
+    println!("Table 1 (window={}, per-COP budget={:?}, scale={scale})", cfg.window_size, cfg.solver_timeout);
+    println!("{}", table_header());
+    let mut totals = [0usize; 4];
+    let mut violations = 0usize;
+    for w in &suite {
+        let row = run_row(w, &cfg);
+        if row.inclusion_violations > 0 {
+            println!("{}   <- {} inclusion violations", row.format(), row.inclusion_violations);
+        } else {
+            println!("{}", row.format());
+        }
+        for (total, n) in totals.iter_mut().zip(row.races) {
+            *total += n;
+        }
+        violations += row.inclusion_violations;
+    }
+    println!(
+        "{:<14} {:>56} | {:>4} {:>4} {:>4} {:>4} |",
+        "TOTAL", "", totals[0], totals[1], totals[2], totals[3]
+    );
+    if violations == 0 {
+        println!("soundness-inclusion check: OK (RV ⊇ Said, RV ⊇ CP ⊇ HB on every row)");
+    } else {
+        println!("soundness-inclusion check: {violations} VIOLATIONS");
+        std::process::exit(1);
+    }
+}

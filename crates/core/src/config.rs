@@ -1,0 +1,107 @@
+//! Detector configuration.
+
+use std::time::Duration;
+
+/// Which read-write consistency discipline the encoder enforces
+/// (paper §3.2 vs. the Said et al. baseline of §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// The paper's technique: branch events determine which reads must stay
+    /// concretely feasible — only reads with control flow *to the race
+    /// events* are constrained, recursively through justifying writes.
+    #[default]
+    ControlFlow,
+    /// Said et al. [30]: every read in the window must return the same value
+    /// as in the original trace (whole-trace read-write consistency); branch
+    /// events are ignored. Sound but non-maximal.
+    WholeTrace,
+}
+
+/// Configuration of the maximal race detector.
+///
+/// The defaults mirror the paper's implementation notes (§4–5): 10K-event
+/// windows, 60-second per-COP solver budget, hybrid quick check on, race
+/// deduplication by signature on.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Window size in events (paper §4: "typically 10K").
+    pub window_size: usize,
+    /// Per-COP solver wall-clock budget (paper §4: one minute).
+    pub solver_timeout: Duration,
+    /// Per-COP solver conflict budget (a deterministic backstop the paper
+    /// does not need because it bounds wall-clock time only).
+    pub max_conflicts: Option<u64>,
+    /// Run the hybrid lockset + weak-HB quick check before building
+    /// constraints (paper §4).
+    pub quick_check: bool,
+    /// Once a COP is reported as a race, prune all other COPs with the same
+    /// signature (paper §4).
+    pub dedup_signatures: bool,
+    /// Apply the MHB-based pruning of read-match write sets (paper §3.2,
+    /// last paragraph). Turning this off is only useful for ablation.
+    pub prune_write_sets: bool,
+    /// Consistency discipline.
+    pub mode: ConsistencyMode,
+    /// Validate every witness schedule against the trace-consistency checker
+    /// before reporting a race (operationalizes Thm. 1/3; cheap).
+    pub validate_witnesses: bool,
+    /// Seed SAT decision phases from the original trace order (the observed
+    /// trace is a near-model of `Φ_mhb ∧ Φ_lock`); off only for ablation.
+    pub phase_hints: bool,
+    /// Batch all of a window's COPs into one incremental solver with
+    /// per-COP selector assumptions, sharing the base encoding and learnt
+    /// clauses (instead of re-encoding and re-solving per COP). Same
+    /// verdicts, much less work; off only for ablation.
+    pub batch_windows: bool,
+    /// Upper bound on concrete COPs examined per signature before giving up
+    /// on that signature for the window (bounds the quadratic pair
+    /// enumeration on hot variables).
+    pub max_cops_per_signature: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            window_size: 10_000,
+            solver_timeout: Duration::from_secs(60),
+            max_conflicts: None,
+            quick_check: true,
+            dedup_signatures: true,
+            prune_write_sets: true,
+            mode: ConsistencyMode::ControlFlow,
+            validate_witnesses: true,
+            phase_hints: true,
+            batch_windows: true,
+            max_cops_per_signature: 10,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The configuration used for the Said et al. baseline: identical
+    /// machinery, whole-trace consistency.
+    pub fn said_baseline() -> Self {
+        DetectorConfig { mode: ConsistencyMode::WholeTrace, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.window_size, 10_000);
+        assert_eq!(c.solver_timeout, Duration::from_secs(60));
+        assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
+        assert_eq!(c.mode, ConsistencyMode::ControlFlow);
+    }
+
+    #[test]
+    fn said_baseline_differs_only_in_mode() {
+        let c = DetectorConfig::said_baseline();
+        assert_eq!(c.mode, ConsistencyMode::WholeTrace);
+        assert_eq!(c.window_size, DetectorConfig::default().window_size);
+    }
+}

@@ -1,0 +1,397 @@
+//! The windowed detection driver (paper §4–5).
+//!
+//! For each fixed-size window: enumerate COPs, quick-check them, encode the
+//! survivors, solve with a per-COP budget, extract and validate a witness on
+//! SAT, and deduplicate by signature across the whole run.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rvsmt::{Budget, SmtResult, Solver};
+use rvtrace::{RaceSignature, Trace, View, ViewExt};
+
+use crate::config::DetectorConfig;
+use crate::cop::enumerate_cops;
+use crate::encoder::{encode, encode_window, EncoderOptions};
+use crate::report::{DetectionReport, RaceReport};
+use crate::witness::{extract_witness, extract_witness_with};
+
+/// The maximal sound predictive race detector.
+///
+/// # Examples
+///
+/// Detect the paper's Figure 1 race:
+///
+/// ```
+/// use rvcore::RaceDetector;
+/// use rvtrace::{ThreadId, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// let t2 = b.fork(ThreadId::MAIN);
+/// b.write(ThreadId::MAIN, x, 1);
+/// b.read(t2, x, 1);
+/// let trace = b.finish();
+///
+/// let report = RaceDetector::new().detect(&trace);
+/// assert_eq!(report.n_races(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    config: DetectorConfig,
+}
+
+impl RaceDetector {
+    /// A detector with the paper's default configuration.
+    pub fn new() -> Self {
+        RaceDetector { config: DetectorConfig::default() }
+    }
+
+    /// A detector with an explicit configuration.
+    pub fn with_config(config: DetectorConfig) -> Self {
+        RaceDetector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs detection over the whole trace, window by window.
+    pub fn detect(&self, trace: &Trace) -> DetectionReport {
+        let start = Instant::now();
+        let mut report = DetectionReport::default();
+        let mut racy_signatures: HashSet<RaceSignature> = HashSet::new();
+        for view in trace.windows(self.config.window_size) {
+            self.detect_in_view(&view, &mut report, &mut racy_signatures);
+        }
+        report.stats.total_time = start.elapsed();
+        report
+    }
+
+    /// Runs detection over a single pre-built view (used by benchmarks and
+    /// by the baselines that share this driver).
+    pub fn detect_in_window(&self, view: &View<'_>) -> DetectionReport {
+        let start = Instant::now();
+        let mut report = DetectionReport::default();
+        let mut racy = HashSet::new();
+        self.detect_in_view(view, &mut report, &mut racy);
+        report.stats.total_time = start.elapsed();
+        report
+    }
+
+    fn detect_in_view(
+        &self,
+        view: &View<'_>,
+        report: &mut DetectionReport,
+        racy_signatures: &mut HashSet<RaceSignature>,
+    ) {
+        let cfg = &self.config;
+        report.stats.windows += 1;
+        let enumeration =
+            enumerate_cops(view, cfg.quick_check, cfg.max_cops_per_signature);
+        report.stats.qc_signatures += enumeration.qc_signatures;
+        report.stats.pairs_considered += enumeration.pairs_considered;
+        let budget = Budget {
+            max_conflicts: cfg.max_conflicts,
+            timeout: Some(cfg.solver_timeout),
+        };
+        let opts = EncoderOptions { mode: cfg.mode, prune_write_sets: cfg.prune_write_sets };
+        if cfg.batch_windows {
+            self.solve_batched(view, enumeration.cops, opts, &budget, report, racy_signatures);
+            return;
+        }
+        for cop in enumeration.cops {
+            let signature = RaceSignature::of_cop(view.trace(), cop);
+            if cfg.dedup_signatures && racy_signatures.contains(&signature) {
+                continue;
+            }
+            let solve_start = Instant::now();
+            let encoded = encode(view, cop, opts);
+            let mut solver = Solver::new(&encoded.fb);
+            if cfg.phase_hints {
+                solver.hint_atom_phases(|a| encoded.phase_hint(a));
+            }
+            let verdict = solver.solve(&budget);
+            report.stats.solver_time += solve_start.elapsed();
+            report.stats.cops_solved += 1;
+            match verdict {
+                SmtResult::Unsat => report.stats.unsat += 1,
+                SmtResult::Unknown => report.stats.unknown += 1,
+                SmtResult::Sat => {
+                    report.stats.sat += 1;
+                    if cfg.validate_witnesses {
+                        match extract_witness(view, cop, &encoded, &solver, cfg.mode) {
+                            Ok(witness) => {
+                                racy_signatures.insert(signature);
+                                report.races.push(RaceReport {
+                                    cop,
+                                    signature,
+                                    window: view.range(),
+                                    schedule: witness.schedule,
+                                });
+                            }
+                            Err(_) => report.stats.witness_failures += 1,
+                        }
+                    } else {
+                        racy_signatures.insert(signature);
+                        report.races.push(RaceReport {
+                            cop,
+                            signature,
+                            window: view.range(),
+                            schedule: rvtrace::Schedule(vec![cop.first, cop.second]),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RaceDetector {
+    /// Batch mode: one shared encoding + incremental solver per window,
+    /// per-COP selector assumptions.
+    fn solve_batched(
+        &self,
+        view: &View<'_>,
+        cops: Vec<rvtrace::Cop>,
+        opts: EncoderOptions,
+        budget: &Budget,
+        report: &mut DetectionReport,
+        racy_signatures: &mut HashSet<RaceSignature>,
+    ) {
+        if cops.is_empty() {
+            return;
+        }
+        let cfg = &self.config;
+        let solve_start = Instant::now();
+        let encoded = encode_window(view, &cops, opts);
+        let mut solver = Solver::new(&encoded.fb);
+        if cfg.phase_hints {
+            solver.hint_atom_phases(|a| encoded.phase_hint(a));
+        }
+        report.stats.solver_time += solve_start.elapsed();
+        for (i, &cop) in encoded.cops.iter().enumerate() {
+            let signature = RaceSignature::of_cop(view.trace(), cop);
+            if cfg.dedup_signatures && racy_signatures.contains(&signature) {
+                continue;
+            }
+            let solve_start = Instant::now();
+            let verdict = solver.solve_assuming(budget, &[encoded.selectors[i]]);
+            report.stats.solver_time += solve_start.elapsed();
+            report.stats.cops_solved += 1;
+            match verdict {
+                SmtResult::Unsat => report.stats.unsat += 1,
+                SmtResult::Unknown => report.stats.unknown += 1,
+                SmtResult::Sat => {
+                    report.stats.sat += 1;
+                    if cfg.validate_witnesses {
+                        match extract_witness_with(
+                            view,
+                            cop,
+                            |e| encoded.ovar(e),
+                            &encoded.required_branches[i],
+                            &solver,
+                            cfg.mode,
+                        ) {
+                            Ok(witness) => {
+                                racy_signatures.insert(signature);
+                                report.races.push(RaceReport {
+                                    cop,
+                                    signature,
+                                    window: view.range(),
+                                    schedule: witness.schedule,
+                                });
+                            }
+                            Err(_) => report.stats.witness_failures += 1,
+                        }
+                    } else {
+                        racy_signatures.insert(signature);
+                        report.races.push(RaceReport {
+                            cop,
+                            signature,
+                            window: view.range(),
+                            schedule: rvtrace::Schedule(vec![cop.first, cop.second]),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConsistencyMode;
+    use rvtrace::{ThreadId, TraceBuilder};
+
+    /// Paper Figure 1/4: exactly one race, (3,10) on x.
+    fn figure1_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.read(t2, y, 1);
+        b.release(t2, l);
+        b.read(t2, x, 1);
+        b.branch(t2);
+        b.write(t2, z, 1);
+        b.join(t1, t2);
+        b.read(t1, z, 1);
+        b.branch(t1);
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_exactly_one_race() {
+        let report = RaceDetector::new().detect(&figure1_trace());
+        assert_eq!(report.n_races(), 1, "{report}");
+        assert_eq!(report.stats.witness_failures, 0);
+        let race = &report.races[0];
+        // The race is on x: both events access x.
+        let tr = figure1_trace();
+        let var = tr.event(race.cop.first).kind.var();
+        assert_eq!(var, tr.event(race.cop.second).kind.var());
+    }
+
+    #[test]
+    fn figure1_said_finds_none() {
+        let cfg = DetectorConfig { mode: ConsistencyMode::WholeTrace, ..Default::default() };
+        let report = RaceDetector::with_config(cfg).detect(&figure1_trace());
+        assert_eq!(report.n_races(), 0, "{report}");
+        assert!(report.stats.unsat > 0);
+    }
+
+    #[test]
+    fn race_free_program_clean() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        b.write(t1, x, 1);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.write(t2, x, 2);
+        b.release(t2, l);
+        b.join(t1, t2);
+        let report = RaceDetector::new().detect(&b.finish());
+        assert_eq!(report.n_races(), 0);
+    }
+
+    #[test]
+    fn dedup_by_signature() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let lw = b.loc("w");
+        let lr = b.loc("r");
+        for i in 0..4 {
+            b.write_at(t1, x, i, lw);
+        }
+        for _ in 0..4 {
+            b.read_at(t2, x, 3, lr);
+        }
+        let trace = b.finish();
+        let report = RaceDetector::new().detect(&trace);
+        assert_eq!(report.n_races(), 1, "one signature ⇒ one report");
+        let cfg = DetectorConfig { dedup_signatures: false, ..Default::default() };
+        let report = RaceDetector::with_config(cfg).detect(&trace);
+        assert!(report.n_races() > 1);
+    }
+
+    #[test]
+    fn windowing_misses_cross_window_races_but_stays_sound() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let w = b.write(t1, x, 1);
+        for i in 0..10 {
+            b.write(t1, x, i + 2); // filler to push the read far away
+        }
+        let r = b.read(t2, x, 11);
+        let _ = (w, r);
+        let trace = b.finish();
+        // Tiny windows: the write and read land in different windows.
+        let cfg = DetectorConfig { window_size: 3, ..Default::default() };
+        let small = RaceDetector::with_config(cfg).detect(&trace);
+        // Full window: the race is found.
+        let big = RaceDetector::new().detect(&trace);
+        assert!(big.n_races() >= 1);
+        assert!(small.n_races() <= big.n_races());
+    }
+
+    #[test]
+    fn batch_and_per_cop_agree() {
+        // Batch (incremental, selector-guarded equality) and per-COP
+        // (glued-variable) solving must report identical signatures.
+        for seed in [3u64, 17, 99] {
+            let trace = {
+                let p = crate::config::DetectorConfig::default();
+                let _ = p;
+                // A small racy/locked mix.
+                let mut b = TraceBuilder::new();
+                let x = b.var("x");
+                let y = b.var("y");
+                let l = b.new_lock("l");
+                let t1 = ThreadId::MAIN;
+                let t2 = b.fork(t1);
+                let t3 = b.fork(t1);
+                b.acquire(t1, l);
+                b.write(t1, x, seed as i64);
+                b.write(t1, y, 1);
+                b.release(t1, l);
+                b.acquire(t2, l);
+                b.read(t2, y, 1);
+                b.release(t2, l);
+                b.read(t2, x, seed as i64);
+                b.write(t3, y, 2);
+                b.join(t1, t2);
+                b.join(t1, t3);
+                b.finish()
+            };
+            for mode in [ConsistencyMode::ControlFlow, ConsistencyMode::WholeTrace] {
+                let batched = RaceDetector::with_config(DetectorConfig {
+                    batch_windows: true,
+                    mode,
+                    ..Default::default()
+                })
+                .detect(&trace);
+                let per_cop = RaceDetector::with_config(DetectorConfig {
+                    batch_windows: false,
+                    mode,
+                    ..Default::default()
+                })
+                .detect(&trace);
+                assert_eq!(
+                    batched.signatures(),
+                    per_cop.signatures(),
+                    "seed {seed} mode {mode:?}"
+                );
+                assert_eq!(batched.stats.witness_failures, 0);
+                assert_eq!(per_cop.stats.witness_failures, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let report = RaceDetector::new().detect(&figure1_trace());
+        assert_eq!(report.stats.windows, 1);
+        assert!(report.stats.cops_solved >= 1);
+        assert!(report.stats.qc_signatures >= 1);
+        assert!(report.stats.sat >= 1);
+    }
+}

@@ -1,0 +1,835 @@
+//! The constraint encoder (paper §3.2): `Φ = Φ_mhb ∧ Φ_lock ∧ Φ_race`.
+//!
+//! One integer order variable `O_e` per window event; the race constraint
+//! `O_b − O_a = 1` is realized by *substituting* `O_a := O_b` (paper §4), so
+//! every atom is a pure difference-logic ordering and the formula solves in
+//! IDL.
+//!
+//! The control-flow part is the paper's contribution: the data-abstract
+//! feasibility `π_cf(e)` of a race event reduces to the *concrete*
+//! feasibility `cf(b')` of the last branch events `B_e` that
+//! must-happen-before `e`; `cf` of a branch or write is the conjunction of
+//! `cf` over the thread's earlier reads; and `cf` of a read is a disjunction
+//! over same-value writes it could read from, interference-free, whose own
+//! `cf` holds recursively. Definitions may be mutually recursive across
+//! threads, so each event gets a boolean definition variable asserted as an
+//! implication `cf_e ⇒ rhs(e)`; circular support is impossible because it
+//! would close an ordering cycle the IDL theory rejects (see DESIGN.md).
+
+use std::collections::HashMap;
+
+use rvsmt::{FormulaBuilder, IntVar, TermId};
+use rvtrace::{Cop, EventId, EventKind, View};
+
+use crate::config::ConsistencyMode;
+
+/// Encoder knobs (a subset of
+/// [`DetectorConfig`](crate::DetectorConfig), so the encoder can be driven
+/// independently).
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderOptions {
+    /// Consistency discipline (control-flow vs. whole-trace).
+    pub mode: ConsistencyMode,
+    /// Apply MHB-based pruning of write sets (paper §3.2, last paragraph).
+    pub prune_write_sets: bool,
+}
+
+impl Default for EncoderOptions {
+    fn default() -> Self {
+        EncoderOptions { mode: ConsistencyMode::ControlFlow, prune_write_sets: true }
+    }
+}
+
+/// The compiled constraint system for one COP in one window.
+#[derive(Debug)]
+pub struct Encoded {
+    /// The formula (asserted roots are `Φ`).
+    pub fb: FormulaBuilder,
+    /// Order variable per view offset (the COP's two events share one).
+    pub ovars: Vec<IntVar>,
+    /// Start of the view range (to map `EventId` → offset).
+    pub view_start: usize,
+    /// The branch events whose concrete feasibility the formula asserts
+    /// (`B_a ∪ B_b`); used by witness validation.
+    pub required_branches: Vec<EventId>,
+    /// Count of MHB conjuncts (for Figure-5-style dumps and stats).
+    pub n_mhb: usize,
+    /// Count of lock-mutual-exclusion disjunctions.
+    pub n_lock: usize,
+    /// Count of read-match constraints generated.
+    pub n_read_matches: usize,
+    /// Count of `cf` definition variables.
+    pub n_cf_vars: usize,
+    /// Original trace position of each order variable's (first) event,
+    /// indexed by `IntVar` — the phase-hint near-model.
+    pub var_pos: Vec<i64>,
+}
+
+impl Encoded {
+    /// The order variable of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is outside the encoded view.
+    pub fn ovar(&self, e: EventId) -> IntVar {
+        self.ovars[e.index() - self.view_start]
+    }
+
+    /// The truth value of a difference atom under the original trace order
+    /// (with the racing pair glued at the first event's position). The
+    /// observed trace satisfies `Φ_mhb ∧ Φ_lock` and read consistency, so
+    /// seeding SAT phases with this near-model speeds up both SAT and UNSAT
+    /// instances considerably.
+    pub fn phase_hint(&self, atom: &rvsmt::Atom) -> bool {
+        let p = |v: rvsmt::IntVar| self.var_pos.get(v.index()).copied().unwrap_or(0);
+        p(atom.x) - p(atom.y) <= atom.k
+    }
+
+    /// A compact description of the constraint system, in the spirit of the
+    /// paper's Figure 5.
+    pub fn describe(&self) -> String {
+        format!(
+            "Φ_mhb: {} orderings; Φ_lock: {} region pairs; Φ_race: {} cf vars, {} read matches; {} branches asserted feasible",
+            self.n_mhb, self.n_lock, self.n_cf_vars, self.n_read_matches,
+            self.required_branches.len()
+        )
+    }
+}
+
+struct Encoder<'v, 't> {
+    view: &'v View<'t>,
+    fb: FormulaBuilder,
+    ovars: Vec<IntVar>,
+    var_pos: Vec<i64>,
+    view_start: usize,
+    /// In single-COP mode the pair shares one order variable (`O_a := O_b`
+    /// substitution); in batch mode every event has its own variable and
+    /// adjacency is an equality guarded by a per-COP selector.
+    glued: Option<Cop>,
+    opts: EncoderOptions,
+    cf_cache: HashMap<EventId, TermId>,
+    n_mhb: usize,
+    n_lock: usize,
+    n_read_matches: usize,
+}
+
+impl<'v, 't> Encoder<'v, 't> {
+    fn new(view: &'v View<'t>, glued: Option<Cop>, opts: EncoderOptions) -> Self {
+        let mut fb = FormulaBuilder::new();
+        let view_start = view.range().start;
+        let mut ovars = Vec::with_capacity(view.len());
+        let mut var_pos: Vec<i64> = Vec::new();
+        for id in view.ids() {
+            if glued.map(|c| c.second) == Some(id) {
+                // O_a := O_b substitution (paper §4): the pair shares a var.
+                let first = ovars[glued.expect("checked").first.index() - view_start];
+                ovars.push(first);
+            } else {
+                let v = fb.int_var();
+                debug_assert_eq!(v.index(), var_pos.len());
+                var_pos.push(id.index() as i64);
+                ovars.push(v);
+            }
+        }
+        Encoder {
+            view,
+            fb,
+            ovars,
+            var_pos,
+            view_start,
+            glued,
+            opts,
+            cf_cache: HashMap::new(),
+            n_mhb: 0,
+            n_lock: 0,
+            n_read_matches: 0,
+        }
+    }
+
+    #[inline]
+    fn o(&self, e: EventId) -> IntVar {
+        self.ovars[e.index() - self.view_start]
+    }
+
+    /// The ordering atom `p < q`, aware of the `O_a := O_b` substitution:
+    /// the glued pair is oriented "first immediately before second", so a
+    /// direct constraint between them folds to ⊤ or ⊥ rather than to the
+    /// contradictory `O − O ≤ −1`.
+    fn lt_term(&mut self, p: EventId, q: EventId) -> TermId {
+        if p == q {
+            return self.fb.ff();
+        }
+        let (op, oq) = (self.o(p), self.o(q));
+        if op == oq {
+            let glued = self.glued.expect("shared vars only exist for a glued pair");
+            return if p == glued.first && q == glued.second {
+                self.fb.tt()
+            } else {
+                self.fb.ff()
+            };
+        }
+        self.fb.lt(op, oq)
+    }
+
+    fn assert_lt(&mut self, a: EventId, b: EventId) {
+        let t = self.lt_term(a, b);
+        self.fb.assert_term(t);
+        self.n_mhb += 1;
+    }
+
+    /// `Φ_mhb`: program order, fork→begin, end→join, and the wait/notify
+    /// matching constraints of paper §4.
+    fn encode_mhb(&mut self) {
+        let view = self.view;
+        let trace = view.trace();
+        // Program order: adjacent pairs suffice (IDL `<` is transitive).
+        for &t in trace.threads() {
+            let evs = view.thread_events(t);
+            for w in evs.windows(2) {
+                self.assert_lt(w[0], w[1]);
+            }
+        }
+        // fork→begin and end→join edges within the view.
+        let mut fork_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
+        let mut end_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
+        for id in view.ids() {
+            match view.event(id).kind {
+                EventKind::Fork { child } => {
+                    fork_of.insert(child, id);
+                }
+                EventKind::End => {
+                    end_of.insert(view.event(id).thread, id);
+                }
+                _ => {}
+            }
+        }
+        for id in view.ids() {
+            match view.event(id).kind {
+                EventKind::Begin => {
+                    if let Some(&f) = fork_of.get(&view.event(id).thread) {
+                        self.assert_lt(f, id);
+                    }
+                }
+                EventKind::Join { child } => {
+                    if let Some(&e) = end_of.get(&child) {
+                        self.assert_lt(e, id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // wait/notify: the notify is ordered inside its wait's
+        // release–acquire span and outside every other same-lock wait span.
+        let in_view = |e: EventId| view.contains(e);
+        let links: Vec<_> = trace
+            .wait_links()
+            .iter()
+            .filter(|wl| {
+                in_view(wl.release)
+                    && in_view(wl.acquire)
+                    && wl.notify.map(in_view).unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        for wl in &links {
+            let n = wl.notify.expect("filtered");
+            self.assert_lt(wl.release, n);
+            self.assert_lt(n, wl.acquire);
+            let lock = view.event(n).kind.lock();
+            for other in &links {
+                if other.release == wl.release {
+                    continue;
+                }
+                let other_lock = view.event(other.acquire).kind.lock();
+                if lock != other_lock {
+                    continue;
+                }
+                // n ∉ (other.release, other.acquire)
+                let before = self.lt_term(n, other.release);
+                let after = self.lt_term(other.acquire, n);
+                let t = self.fb.or2(before, after);
+                self.fb.assert_term(t);
+            }
+        }
+    }
+
+    /// `Φ_lock`: for every pair of same-lock critical sections by different
+    /// threads, one releases before the other acquires.
+    fn encode_lock(&mut self) {
+        for lock_idx in 0..self.view.trace().n_locks() as u32 {
+            let spans = self.view.critical_sections(rvtrace::LockId(lock_idx));
+            for i in 0..spans.len() {
+                for j in i + 1..spans.len() {
+                    let (s1, s2) = (&spans[i], &spans[j]);
+                    if s1.thread == s2.thread {
+                        continue; // ordered by program order already
+                    }
+                    // s1 before s2 requires s1.release and s2.acquire in view.
+                    let d1 = match (s1.release, s2.acquire) {
+                        (Some(r1), Some(a2)) => Some(self.lt_term(r1, a2)),
+                        _ => None,
+                    };
+                    let d2 = match (s2.release, s1.acquire) {
+                        (Some(r2), Some(a1)) => Some(self.lt_term(r2, a1)),
+                        _ => None,
+                    };
+                    let t = match (d1, d2) {
+                        (Some(x), Some(y)) => self.fb.or2(x, y),
+                        (Some(x), None) => x,
+                        (None, Some(y)) => y,
+                        (None, None) => self.fb.ff(), // inconsistent input
+                    };
+                    self.fb.assert_term(t);
+                    self.n_lock += 1;
+                }
+            }
+        }
+    }
+
+    /// The read-match constraint for `r` (paper §3.2, the `cf(r)`
+    /// disjunction). With `recursive`, matched writes must be concretely
+    /// feasible themselves (`cf(w)`); the Said baseline sets
+    /// `recursive = false` because it fixes all written values.
+    fn read_match(&mut self, r: EventId, recursive: bool) -> TermId {
+        self.n_read_matches += 1;
+        let view = self.view;
+        let ev = view.event(r);
+        let (var, value) = match ev.kind {
+            EventKind::Read { var, value } => (var, value),
+            _ => unreachable!("read_match on non-read"),
+        };
+        let prune = self.opts.prune_write_sets;
+        // W^r: all writes on the variable, minus those forced after r.
+        let wr: Vec<EventId> = view
+            .writes_of(var)
+            .iter()
+            .copied()
+            .filter(|&w| w != r && !(prune && view.mhb(r, w)))
+            .collect();
+        // W^r_v: candidate matched writes (same value).
+        let mut wrv: Vec<EventId> = wr
+            .iter()
+            .copied()
+            .filter(|&w| view.event(w).kind.value() == Some(value))
+            .collect();
+        if prune {
+            // Drop w1 when some other candidate w2 satisfies w1 ⪯ w2 ⪯ r.
+            let shadowed: Vec<bool> = wrv
+                .iter()
+                .map(|&w1| {
+                    wrv.iter().any(|&w2| w2 != w1 && view.mhb(w1, w2) && view.mhb(w2, r))
+                })
+                .collect();
+            let mut keep = shadowed.iter().map(|s| !s);
+            wrv.retain(|_| keep.next().expect("aligned"));
+        }
+        let mut disjuncts: Vec<TermId> = Vec::with_capacity(wrv.len() + 1);
+        for &w in &wrv {
+            let mut conj: Vec<TermId> = Vec::new();
+            if recursive {
+                conj.push(self.cf(w));
+            }
+            if !view.mhb(w, r) {
+                let t = self.lt_term(w, r);
+                conj.push(t);
+            }
+            for &w2 in &wr {
+                if w2 == w || (prune && view.mhb(w2, w)) {
+                    continue;
+                }
+                // Use ⪯ to degenerate the disjunction where possible
+                // (paper §3.2's size reduction): if w2 ⪯ r the second
+                // disjunct is impossible; if w ⪯ w2 the first is.
+                let t = if prune && view.mhb(w2, r) {
+                    self.lt_term(w2, w)
+                } else if prune && view.mhb(w, w2) {
+                    self.lt_term(r, w2)
+                } else {
+                    let before = self.lt_term(w2, w);
+                    let after = self.lt_term(r, w2);
+                    self.fb.or2(before, after)
+                };
+                conj.push(t);
+            }
+            let d = self.fb.and_n(conj);
+            disjuncts.push(d);
+        }
+        // The virtual initial write: allowed when the read's value equals the
+        // variable's value at window start (licenses e.g. the paper's
+        // 8' = read(t2, y, 0) reordering of Figure 4).
+        if value == view.initial_value(var) {
+            let mut conj: Vec<TermId> = Vec::new();
+            for &w2 in &wr {
+                let t = self.lt_term(r, w2);
+                conj.push(t);
+            }
+            let d = self.fb.and_n(conj);
+            disjuncts.push(d);
+        }
+        self.fb.or_n(disjuncts)
+    }
+
+    /// The concrete-feasibility definition variable `cf(e)` for a branch,
+    /// write, or read (memoized; cycles allowed through the definition
+    /// variable).
+    fn cf(&mut self, e: EventId) -> TermId {
+        if let Some(&t) = self.cf_cache.get(&e) {
+            return t;
+        }
+        let var = self.fb.bool_var();
+        self.cf_cache.insert(e, var);
+        let rhs = match self.view.event(e).kind {
+            EventKind::Branch | EventKind::Write { .. } => {
+                let reads: Vec<EventId> = self.view.thread_reads_before(e).to_vec();
+                let parts: Vec<TermId> = reads.iter().map(|&r| self.cf(r)).collect();
+                self.fb.and_n(parts)
+            }
+            EventKind::Read { .. } => self.read_match(e, true),
+            _ => self.fb.tt(),
+        };
+        let imp = self.fb.implies(var, rhs);
+        self.fb.assert_term(imp);
+        var
+    }
+
+    /// `Φ_race` for the COP: the control-flow feasibility of both events
+    /// (the adjacency itself is the variable substitution).
+    fn encode_race(&mut self, cop: Cop) -> Vec<EventId> {
+        match self.opts.mode {
+            ConsistencyMode::ControlFlow => {
+                let mut required = Vec::new();
+                for e in [cop.first, cop.second] {
+                    for b in self.view.last_branches_before(e) {
+                        let t = self.cf(b);
+                        self.fb.assert_term(t);
+                        required.push(b);
+                    }
+                }
+                required.sort_unstable();
+                required.dedup();
+                required
+            }
+            ConsistencyMode::WholeTrace => {
+                // Said et al.: every read keeps its original value.
+                let reads: Vec<EventId> = self
+                    .view
+                    .ids()
+                    .filter(|&id| self.view.event(id).kind.is_read())
+                    .collect();
+                for r in reads {
+                    let t = self.read_match(r, false);
+                    self.fb.assert_term(t);
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Encodes the maximal race-detection problem for `cop` over `view`.
+///
+/// The returned formula is satisfiable iff `cop` is a race in the maximal
+/// sense of paper Definition 4 (restricted to the window), per Theorem 3.
+///
+/// # Examples
+///
+/// ```
+/// use rvcore::{encode, EncoderOptions};
+/// use rvsmt::{Budget, SmtResult, Solver};
+/// use rvtrace::{Cop, ThreadId, TraceBuilder, ViewExt};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// let t2 = b.fork(ThreadId::MAIN);
+/// let w = b.write(ThreadId::MAIN, x, 1);
+/// let r = b.read(t2, x, 1);
+/// let trace = b.finish();
+/// let view = trace.full_view();
+/// let enc = encode(&view, Cop::new(w, r), EncoderOptions::default());
+/// let mut solver = Solver::new(&enc.fb);
+/// assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat);
+/// ```
+pub fn encode(view: &View<'_>, cop: Cop, opts: EncoderOptions) -> Encoded {
+    debug_assert!(view.contains(cop.first) && view.contains(cop.second));
+    let mut enc = Encoder::new(view, Some(cop), opts);
+    enc.encode_mhb();
+    enc.encode_lock();
+    let required_branches = enc.encode_race(cop);
+    let n_cf_vars = enc.cf_cache.len();
+    Encoded {
+        fb: enc.fb,
+        ovars: enc.ovars,
+        view_start: enc.view_start,
+        required_branches,
+        n_mhb: enc.n_mhb,
+        n_lock: enc.n_lock,
+        n_read_matches: enc.n_read_matches,
+        n_cf_vars,
+        var_pos: enc.var_pos,
+    }
+}
+
+/// The shared constraint system for *all* COPs of one window (batch mode):
+/// `Φ_mhb ∧ Φ_lock` plus shared `cf`/read-consistency definitions, with one
+/// boolean *selector* per COP guarding its adjacency equality (and, under
+/// control flow, its `π_cf` obligations). Queries run under assumptions on
+/// one incremental solver, sharing learnt clauses across COPs.
+#[derive(Debug)]
+pub struct EncodedWindow {
+    /// The formula.
+    pub fb: FormulaBuilder,
+    /// Order variable per view offset (every event has its own).
+    pub ovars: Vec<IntVar>,
+    /// Start of the view range.
+    pub view_start: usize,
+    /// The encoded COPs, aligned with `selectors`.
+    pub cops: Vec<Cop>,
+    /// One selector (free boolean) per COP, for `solve_assuming`.
+    pub selectors: Vec<TermId>,
+    /// Per COP, the branches whose feasibility its selector asserts.
+    pub required_branches: Vec<Vec<EventId>>,
+    /// Original trace position per order variable (phase hints).
+    pub var_pos: Vec<i64>,
+}
+
+impl EncodedWindow {
+    /// The order variable of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is outside the encoded view.
+    pub fn ovar(&self, e: EventId) -> IntVar {
+        self.ovars[e.index() - self.view_start]
+    }
+
+    /// Phase hint from the original trace order (see [`Encoded::phase_hint`]).
+    pub fn phase_hint(&self, atom: &rvsmt::Atom) -> bool {
+        let p = |v: rvsmt::IntVar| self.var_pos.get(v.index()).copied().unwrap_or(0);
+        p(atom.x) - p(atom.y) <= atom.k
+    }
+}
+
+/// Encodes one window's base constraints plus selector-guarded race
+/// constraints for every COP (the incremental batch interface).
+pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> EncodedWindow {
+    let mut enc = Encoder::new(view, None, opts);
+    enc.encode_mhb();
+    enc.encode_lock();
+    if opts.mode == ConsistencyMode::WholeTrace {
+        // Whole-trace read consistency is COP-independent: assert it once.
+        let reads: Vec<EventId> =
+            view.ids().filter(|&id| view.event(id).kind.is_read()).collect();
+        for r in reads {
+            let t = enc.read_match(r, false);
+            enc.fb.assert_term(t);
+        }
+    }
+    let mut selectors = Vec::with_capacity(cops.len());
+    let mut required_branches = Vec::with_capacity(cops.len());
+    for &cop in cops {
+        debug_assert!(view.contains(cop.first) && view.contains(cop.second));
+        let sel = enc.fb.bool_var();
+        let (oa, ob) = (enc.o(cop.first), enc.o(cop.second));
+        // Adjacency as an equality: O_b − O_a ≤ 1 ∧ O_a − O_b ≤ −1.
+        let up = enc.fb.diff_le(ob, oa, 1);
+        let lo = enc.fb.diff_le(oa, ob, -1);
+        let mut obligations = vec![up, lo];
+        let mut branches = Vec::new();
+        if opts.mode == ConsistencyMode::ControlFlow {
+            for e in [cop.first, cop.second] {
+                for b in view.last_branches_before(e) {
+                    obligations.push(enc.cf(b));
+                    branches.push(b);
+                }
+            }
+            branches.sort_unstable();
+            branches.dedup();
+        }
+        let body = enc.fb.and_n(obligations);
+        let imp = enc.fb.implies(sel, body);
+        enc.fb.assert_term(imp);
+        selectors.push(sel);
+        required_branches.push(branches);
+    }
+    EncodedWindow {
+        fb: enc.fb,
+        ovars: enc.ovars,
+        view_start: enc.view_start,
+        cops: cops.to_vec(),
+        selectors,
+        required_branches,
+        var_pos: enc.var_pos,
+    }
+}
+
+/// Encodes one window's base constraints plus selector-guarded
+/// *serialization* constraints `O_{a₁} < O_b < O_{a₂}` for every triple
+/// (the atomicity-violation interface; see
+/// [`atomicity`](crate::atomicity)). Under control flow each selector also
+/// asserts the `π_cf` obligations of all three events.
+pub fn encode_between(
+    view: &View<'_>,
+    triples: &[(EventId, EventId, EventId)],
+    opts: EncoderOptions,
+) -> EncodedWindow {
+    let mut enc = Encoder::new(view, None, opts);
+    enc.encode_mhb();
+    enc.encode_lock();
+    if opts.mode == ConsistencyMode::WholeTrace {
+        let reads: Vec<EventId> =
+            view.ids().filter(|&id| view.event(id).kind.is_read()).collect();
+        for r in reads {
+            let t = enc.read_match(r, false);
+            enc.fb.assert_term(t);
+        }
+    }
+    let mut selectors = Vec::with_capacity(triples.len());
+    let mut required_branches = Vec::with_capacity(triples.len());
+    for &(a1, b, a2) in triples {
+        let sel = enc.fb.bool_var();
+        let lt1 = enc.lt_term(a1, b);
+        let lt2 = enc.lt_term(b, a2);
+        let mut obligations = vec![lt1, lt2];
+        let mut branches = Vec::new();
+        if opts.mode == ConsistencyMode::ControlFlow {
+            for e in [a1, b, a2] {
+                for br in view.last_branches_before(e) {
+                    obligations.push(enc.cf(br));
+                    branches.push(br);
+                }
+            }
+            branches.sort_unstable();
+            branches.dedup();
+        }
+        let body = enc.fb.and_n(obligations);
+        let imp = enc.fb.implies(sel, body);
+        enc.fb.assert_term(imp);
+        selectors.push(sel);
+        required_branches.push(branches);
+    }
+    EncodedWindow {
+        fb: enc.fb,
+        ovars: enc.ovars,
+        view_start: enc.view_start,
+        cops: Vec::new(),
+        selectors,
+        required_branches,
+        var_pos: enc.var_pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsmt::{Budget, SmtResult, Solver};
+    use rvtrace::{ThreadId, TraceBuilder, ViewExt};
+
+    fn solve(enc: &Encoded) -> SmtResult {
+        let mut s = Solver::new(&enc.fb);
+        s.solve(&Budget::UNLIMITED)
+    }
+
+    /// The paper's Figure 1/4 trace. Returns (trace, e3, e10, e12, e15, e4, e8).
+    fn figure1() -> (rvtrace::Trace, [rvtrace::EventId; 6]) {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // 1. fork
+        b.acquire(t1, l); // 2. lock
+        let e3 = b.write(t1, x, 1); // 3. x = 1
+        let e4 = b.write(t1, y, 1); // 4. y = 1
+        b.release(t1, l); // 5. unlock
+        b.acquire(t2, l); // 6. begin, 7. lock
+        let e8 = b.read(t2, y, 1); // 8. r1 = y
+        b.release(t2, l); // 9. unlock
+        let e10 = b.read(t2, x, 1); // 10. r2 = x
+        b.branch(t2); // 11. if (r1 == r2)
+        let e12 = b.write(t2, z, 1); // 12. z = 1
+        b.join(t1, t2); // 13. end, 14. join
+        let e15 = b.read(t1, z, 1); // 15. r3 = z
+        b.branch(t1); // 16. if (r3 == 0)
+        (b.finish(), [e3, e10, e12, e15, e4, e8])
+    }
+
+    #[test]
+    fn figure1_race_3_10_detected() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(ids[0], ids[1]), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Sat, "(3,10) is a race under control flow");
+    }
+
+    #[test]
+    fn figure1_race_3_10_missed_by_whole_trace() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let opts =
+            EncoderOptions { mode: ConsistencyMode::WholeTrace, prune_write_sets: true };
+        let enc = encode(&v, Cop::new(ids[0], ids[1]), opts);
+        assert_eq!(solve(&enc), SmtResult::Unsat, "Said et al. misses (3,10)");
+    }
+
+    #[test]
+    fn figure1_cop_12_15_not_a_race() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(ids[2], ids[3]), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Unsat, "(12,15) is MHB-ordered via join");
+    }
+
+    #[test]
+    fn figure1_cop_4_8_not_a_race() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(ids[4], ids[5]), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Unsat, "(4,8) is lock-protected");
+    }
+
+    /// Figure 2 case ①: y volatile, read then an independent read of x.
+    #[test]
+    fn figure2_case_read_is_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.volatile_var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let e1 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.read(t2, y, 1); // r1 = y — no branch follows
+        let e4 = b.read(t2, x, 1);
+        let tr = b.finish();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(e1, e4), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Sat, "(1,4) races in case ①");
+        // …and Said misses it (line 3 must read 1, forcing 2 < 3 and 1 < 4
+        // non-adjacent).
+        let opts =
+            EncoderOptions { mode: ConsistencyMode::WholeTrace, prune_write_sets: true };
+        let enc = encode(&v, Cop::new(e1, e4), opts);
+        assert_eq!(solve(&enc), SmtResult::Unsat, "Said misses (1,4) in case ①");
+    }
+
+    /// Figure 2 case ②: the read feeds a while-loop condition — a branch
+    /// event between lines 3 and 4 kills the race.
+    #[test]
+    fn figure2_case_loop_is_not_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.volatile_var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let e1 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.read(t2, y, 1); // while (y == 0);
+        b.branch(t2); // the loop condition
+        let e4 = b.read(t2, x, 1);
+        let tr = b.finish();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(e1, e4), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Unsat, "(1,4) is not a race in case ②");
+        assert_eq!(enc.required_branches.len(), 1);
+    }
+
+    /// §4's array example: `a[x] = 2` under a lock, `x = 1` under the lock,
+    /// then `a[0] = 1` unprotected. The implicit branch before the array
+    /// store forces `x`'s read to stay 0, which forces the lock order, so
+    /// (2,7) is not a race.
+    #[test]
+    fn array_index_example_not_a_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let a0 = b.var("a[0]");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l); // 1. lock
+        b.read(t1, x, 0); // read of the index x (part of line 2)
+        b.branch(t1); // implicit branch: array indexing a[x]
+        let e2 = b.write(t1, a0, 2); // 2. a[x] = 2 with x == 0
+        b.release(t1, l); // 3. unlock
+        b.acquire(t2, l); // 4. lock (+begin)
+        b.write(t2, x, 1); // 5. x = 1
+        b.release(t2, l); // 6. unlock
+        let e7 = b.write(t2, a0, 1); // 7. a[0] = 1
+        let tr = b.finish();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(e2, e7), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Unsat, "(2,7) is not a race (§4)");
+        // Without the implicit branch the encoder would wrongly report it:
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let a0 = b.var("a[0]");
+        let l = b.new_lock("l");
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        b.read(t1, x, 0);
+        let e2 = b.write(t1, a0, 2);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.write(t2, x, 1);
+        b.release(t2, l);
+        let e7 = b.write(t2, a0, 1);
+        let tr = b.finish();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(e2, e7), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Sat, "dropping the implicit branch loses soundness");
+    }
+
+    #[test]
+    fn mhb_ordered_pair_unsat() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let w = b.write(t1, x, 1);
+        let t2 = b.fork(t1);
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(w, r), EncoderOptions::default());
+        assert_eq!(solve(&enc), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn describe_mentions_groups() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(ids[0], ids[1]), EncoderOptions::default());
+        let d = enc.describe();
+        assert!(d.contains("Φ_mhb") && d.contains("Φ_lock") && d.contains("Φ_race"));
+        assert!(enc.n_mhb > 0);
+        assert!(enc.n_lock >= 1);
+    }
+
+    #[test]
+    fn wait_notify_constraints_emitted() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        let tok = b.wait_begin(t1, l);
+        b.acquire(t2, l);
+        let n = b.notify(t2, l);
+        b.release(t2, l);
+        b.wait_end(tok, Some(n));
+        let w1 = b.write(t1, x, 1);
+        b.release(t1, l);
+        let w2 = b.write(t2, x, 2);
+        let tr = b.finish();
+        let v = tr.full_view();
+        // (w1, w2): w1 is inside t1's re-acquired region, w2 unprotected.
+        let enc = encode(&v, Cop::new(w1, w2), EncoderOptions::default());
+        let mut s = Solver::new(&enc.fb);
+        let res = s.solve(&Budget::UNLIMITED);
+        // Whatever the verdict, the notify ordering must hold in any model.
+        if res == SmtResult::Sat {
+            let o = |e| s.int_value(enc.ovar(e));
+            let wl = tr.wait_links()[0];
+            assert!(o(wl.release) < o(n) && o(n) < o(wl.acquire));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # rvcore — maximal sound predictive race detection
+//!
+//! The algorithm of *Maximal Sound Predictive Race Detection with Control
+//! Flow Abstraction* (Huang, Meredith, Roşu — PLDI 2014), §3–4:
+//!
+//! * [`enumerate_cops`] / [`quick_check`] — conflicting-operation-pair
+//!   enumeration with the hybrid lockset + weak-HB filter;
+//! * [`encode`] — the constraint system `Φ = Φ_mhb ∧ Φ_lock ∧ Φ_race`
+//!   over per-event order variables, with the control-flow feasibility
+//!   formulas `π_cf`/`cf` that make the technique *maximal* (Thm. 3);
+//! * [`extract_witness`] — builds and validates a concrete reordering
+//!   (`τ₁ a b`) from each satisfying model, so every reported race ships
+//!   with a replayable schedule (soundness, Thm. 1);
+//! * [`RaceDetector`] — the windowed driver with signature deduplication
+//!   and per-COP solver budgets.
+//!
+//! The Said et al. baseline (whole-trace read-write consistency, no branch
+//! events) is the same machinery under
+//! [`ConsistencyMode::WholeTrace`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rvcore::{DetectorConfig, RaceDetector};
+//! use rvtrace::{ThreadId, TraceBuilder};
+//!
+//! // Two unsynchronized writes to x by different threads.
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! let t2 = b.fork(ThreadId::MAIN);
+//! b.write(ThreadId::MAIN, x, 1);
+//! b.write(t2, x, 2);
+//! let trace = b.finish();
+//!
+//! let report = RaceDetector::new().detect(&trace);
+//! assert_eq!(report.n_races(), 1);
+//! // The witness is a validated consistent reordering:
+//! println!("{}", report.races[0].display(&trace));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atomicity;
+mod config;
+mod cop;
+mod detector;
+mod encoder;
+pub mod oracle;
+mod report;
+mod witness;
+
+pub use atomicity::{infer_rmw_pairs, AtomicityDetector, AtomicityReport, AtomicityViolation, AtomicPair};
+pub use config::{ConsistencyMode, DetectorConfig};
+pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
+pub use detector::RaceDetector;
+pub use oracle::oracle_races;
+pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
+pub use report::{DetectionReport, DetectionStats, RaceReport, RaceReportDisplay};
+pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

@@ -1,0 +1,326 @@
+//! A brute-force reference implementation of the maximal causal model
+//! (paper §2, Definitions 1–4), for differential testing.
+//!
+//! [`oracle_races`] enumerates — by exhaustive search with memoization —
+//! every consistent (possibly symbolic) trace in `feasible(τ)` and reports
+//! every conflicting pair that can be made adjacent. It implements the
+//! feasibility axioms *directly*:
+//!
+//! * **prefix closedness** — the search appends one event at a time;
+//! * **local determinism** — the next event of a thread is its next event
+//!   in the observed projection, data-abstractly;
+//! * **branch** — appendable only while the thread's reads so far returned
+//!   exactly their observed values;
+//! * **read** — takes whatever value the last write to the variable
+//!   produced (or the initial value);
+//! * **write** — writes its observed value while the thread's read history
+//!   matches, and a fresh *symbolic* value afterwards (Def. 2);
+//! * the serial specifications: lock mutual exclusion and the
+//!   must-happen-before rules.
+//!
+//! Exponential: only for small windows (≲ 20 events). The differential
+//! tests check that the SMT-based detector agrees with this oracle exactly
+//! — both soundness and maximality (Theorem 3).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use rvtrace::{Cop, EventId, EventKind, ThreadId, Value, VarId, View};
+
+/// A runtime value in the feasibility closure: concrete or symbolic
+/// (symbolic values are distinct from every concrete value and from each
+/// other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Val {
+    Concrete(Value),
+    /// Tagged by the id of the write that produced it.
+    Sym(EventId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct State {
+    /// Next position within each thread's projection.
+    pos: Vec<u32>,
+    /// Whether each thread's reads so far returned their observed values.
+    reads_match: Vec<bool>,
+    /// Current variable values (dense by var index).
+    store: Vec<Val>,
+    /// Lock holders (dense by lock index; thread index + 1, 0 = free).
+    holder: Vec<u32>,
+    /// Threads whose `end` has been appended.
+    ended: Vec<bool>,
+    /// Threads whose `fork` has been appended (or that need none).
+    forked: Vec<bool>,
+}
+
+/// Computes the exact set of racy COPs of a (small) window under the
+/// maximal causal model.
+///
+/// # Panics
+///
+/// Panics if the view contains wait/notify events (the oracle does not
+/// model them) or more than `max_events` events.
+pub fn oracle_races(view: &View<'_>, max_events: usize) -> BTreeSet<Cop> {
+    assert!(
+        view.len() <= max_events,
+        "oracle is exponential; refusing {} events (cap {max_events})",
+        view.len()
+    );
+    let trace = view.trace();
+    let n_threads = trace.n_threads();
+    for id in view.ids() {
+        assert!(
+            !matches!(view.event(id).kind, EventKind::Notify { .. }),
+            "oracle does not model wait/notify"
+        );
+        assert!(trace.wait_link_of_acquire(id).is_none(), "oracle does not model wait/notify");
+    }
+
+    // Which threads still need a fork event before their begin.
+    let mut fork_needed: HashMap<ThreadId, EventId> = HashMap::new();
+    for id in view.ids() {
+        if let EventKind::Fork { child } = view.event(id).kind {
+            fork_needed.insert(child, id);
+        }
+    }
+    let mut end_of: HashMap<ThreadId, usize> = HashMap::new();
+    for (ti, &t) in trace.threads().iter().enumerate() {
+        for &e in view.thread_events(t) {
+            if matches!(view.event(e).kind, EventKind::End) {
+                end_of.insert(t, ti);
+            }
+        }
+    }
+
+    let initial_store: Vec<Val> = (0..trace.n_vars() as u32)
+        .map(|v| Val::Concrete(view.initial_value(VarId(v))))
+        .collect();
+    let start = State {
+        pos: vec![0; n_threads],
+        reads_match: vec![true; n_threads],
+        store: initial_store,
+        holder: vec![0; trace.n_locks()],
+        ended: vec![false; n_threads],
+        forked: trace
+            .threads()
+            .iter()
+            .map(|t| !fork_needed.contains_key(t))
+            .collect(),
+    };
+    // Locks held at window start: treat as held by their holder.
+    let mut start = start;
+    for &(t, l) in view.held_at_start() {
+        if let Some(ti) = trace.thread_index(t) {
+            start.holder[l.index()] = ti as u32 + 1;
+        }
+    }
+
+    let mut races: BTreeSet<Cop> = BTreeSet::new();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        // Record races: two threads whose *next* events conflict.
+        let nexts: Vec<Option<EventId>> = (0..n_threads)
+            .map(|ti| {
+                view.thread_events(trace.threads()[ti])
+                    .get(state.pos[ti] as usize)
+                    .copied()
+            })
+            .collect();
+        for (i, &na) in nexts.iter().enumerate() {
+            for &nb in &nexts[i + 1..] {
+                if let (Some(a), Some(b)) = (na, nb) {
+                    let (ka, kb) = (view.event(a).kind, view.event(b).kind);
+                    if let (Some(va), Some(vb)) = (ka.var(), kb.var()) {
+                        if va == vb
+                            && (ka.is_write() || kb.is_write())
+                            && !trace.is_volatile(va)
+                        {
+                            races.insert(Cop::new(a, b));
+                        }
+                    }
+                }
+            }
+        }
+        // Expand: try appending each thread's next event.
+        for (ti, &ne) in nexts.iter().enumerate() {
+            let Some(e) = ne else { continue };
+            if let Some(next) = append(view, &state, ti, e, &fork_needed, &end_of) {
+                stack.push(next);
+            }
+        }
+    }
+    races
+}
+
+fn append(
+    view: &View<'_>,
+    state: &State,
+    ti: usize,
+    e: EventId,
+    fork_needed: &HashMap<ThreadId, EventId>,
+    end_of: &HashMap<ThreadId, usize>,
+) -> Option<State> {
+    let trace = view.trace();
+    let ev = view.event(e);
+    let mut next = state.clone();
+    next.pos[ti] += 1;
+    match ev.kind {
+        EventKind::Branch => {
+            // Local branch determinism: the read history must be observed.
+            if !state.reads_match[ti] {
+                return None;
+            }
+        }
+        EventKind::Read { var, value } => {
+            let current = state.store[var.index()];
+            if current != Val::Concrete(value) {
+                next.reads_match[ti] = false;
+            }
+        }
+        EventKind::Write { var, value } => {
+            next.store[var.index()] = if state.reads_match[ti] {
+                Val::Concrete(value)
+            } else {
+                Val::Sym(e) // a fresh symbolic value (Def. 2)
+            };
+        }
+        EventKind::Acquire { lock } => {
+            if state.holder[lock.index()] != 0 {
+                return None;
+            }
+            next.holder[lock.index()] = ti as u32 + 1;
+        }
+        EventKind::Release { lock } => {
+            if state.holder[lock.index()] != ti as u32 + 1 {
+                return None;
+            }
+            next.holder[lock.index()] = 0;
+        }
+        EventKind::Begin => {
+            if !state.forked[ti] {
+                return None;
+            }
+        }
+        EventKind::End => {
+            next.ended[ti] = true;
+        }
+        EventKind::Fork { child } => {
+            if let Some(ci) = trace.thread_index(child) {
+                if fork_needed.get(&child) == Some(&e) {
+                    next.forked[ci] = true;
+                }
+            }
+        }
+        EventKind::Join { child } => {
+            match end_of.get(&child) {
+                Some(&ci) => {
+                    if !state.ended[ci] {
+                        return None;
+                    }
+                }
+                None => {
+                    if !view.thread_events(child).is_empty() {
+                        // The child has events in the window but no end:
+                        // the join can never be appended.
+                        return None;
+                    }
+                }
+            }
+        }
+        EventKind::Notify { .. } => unreachable!("checked above"),
+    }
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::{TraceBuilder, ViewExt};
+
+    #[test]
+    fn figure1_oracle_finds_only_3_10() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        let e3 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.read(t2, y, 1);
+        b.release(t2, l);
+        let e10 = b.read(t2, x, 1);
+        b.branch(t2);
+        b.write(t2, z, 1);
+        b.join(t1, t2);
+        b.read(t1, z, 1);
+        b.branch(t1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert_eq!(races.len(), 1);
+        assert!(races.contains(&Cop::new(e3, e10)));
+    }
+
+    #[test]
+    fn figure2_oracle_separates_cases() {
+        // case ①
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.volatile_var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let e1 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.read(t2, y, 1);
+        let e4 = b.read(t2, x, 1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(races.contains(&Cop::new(e1, e4)));
+        // case ② — a branch between the reads
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.volatile_var("y");
+        let t2 = b.fork(t1);
+        let e1 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.read(t2, y, 1);
+        b.branch(t2);
+        let e4 = b.read(t2, x, 1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(!races.contains(&Cop::new(e1, e4)));
+    }
+
+    #[test]
+    fn oracle_respects_join() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let w = b.write(t2, x, 1);
+        b.join(t1, t2);
+        let r = b.read(t1, x, 1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(!races.contains(&Cop::new(w, r)), "join orders the accesses");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn oracle_refuses_large_windows() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        for _ in 0..30 {
+            b.write(ThreadId::MAIN, x, 1);
+        }
+        let tr = b.finish();
+        let _ = oracle_races(&tr.full_view(), 20);
+    }
+}

@@ -1,0 +1,142 @@
+//! Race reports and detection summaries.
+
+use std::fmt;
+use std::time::Duration;
+
+use rvtrace::{Cop, RaceSignature, Schedule, Trace};
+
+/// One detected race, with its certifying witness.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// The concrete conflicting pair that was proven to race.
+    pub cop: Cop,
+    /// The static signature (location pair).
+    pub signature: RaceSignature,
+    /// The trace range of the window in which the race was found.
+    pub window: std::ops::Range<usize>,
+    /// A validated witness schedule ending with the two accesses adjacent.
+    pub schedule: Schedule,
+}
+
+impl RaceReport {
+    /// Renders the report with human-readable location names.
+    pub fn display<'a>(&'a self, trace: &'a Trace) -> RaceReportDisplay<'a> {
+        RaceReportDisplay { report: self, trace }
+    }
+}
+
+/// Human-readable rendering of a [`RaceReport`].
+#[derive(Debug)]
+pub struct RaceReportDisplay<'a> {
+    report: &'a RaceReport,
+    trace: &'a Trace,
+}
+
+impl fmt::Display for RaceReportDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.report;
+        write!(
+            f,
+            "race {} between {} and {} (witness: {})",
+            r.signature.display(self.trace),
+            self.trace.event(r.cop.first),
+            self.trace.event(r.cop.second),
+            r.schedule,
+        )
+    }
+}
+
+/// Outcome counters of a detection run.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionStats {
+    /// Windows analyzed.
+    pub windows: usize,
+    /// Concrete COPs examined (pre quick check).
+    pub pairs_considered: usize,
+    /// Distinct signatures passing the quick check (Table 1's "QC").
+    pub qc_signatures: usize,
+    /// COPs sent to the solver.
+    pub cops_solved: usize,
+    /// Solver verdicts.
+    pub sat: usize,
+    /// Solver verdicts.
+    pub unsat: usize,
+    /// Budget exhaustions (treated as no-race).
+    pub unknown: usize,
+    /// Witness validations that failed (soundness gate trips; expected 0).
+    pub witness_failures: usize,
+    /// Total time spent in the solver.
+    pub solver_time: Duration,
+    /// Total wall-clock detection time.
+    pub total_time: Duration,
+}
+
+/// The result of running a detector over a trace.
+#[derive(Debug, Default)]
+pub struct DetectionReport {
+    /// Validated races, one per signature (when deduplication is on).
+    pub races: Vec<RaceReport>,
+    /// Counters.
+    pub stats: DetectionStats,
+}
+
+impl DetectionReport {
+    /// Number of distinct race signatures reported.
+    pub fn n_races(&self) -> usize {
+        self.races.len()
+    }
+
+    /// The distinct signatures reported.
+    pub fn signatures(&self) -> Vec<RaceSignature> {
+        let mut sigs: Vec<RaceSignature> = self.races.iter().map(|r| r.signature).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs
+    }
+}
+
+impl fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} race(s); {} window(s), QC={}, solved={} (sat={}, unsat={}, unknown={}), solver {:?}, total {:?}",
+            self.n_races(),
+            self.stats.windows,
+            self.stats.qc_signatures,
+            self.stats.cops_solved,
+            self.stats.sat,
+            self.stats.unsat,
+            self.stats.unknown,
+            self.stats.solver_time,
+            self.stats.total_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::{EventId, Loc};
+
+    #[test]
+    fn signatures_deduplicate() {
+        let sig = RaceSignature::new(Loc(1), Loc(2));
+        let mk = |a: u32, b: u32| RaceReport {
+            cop: Cop::new(EventId(a), EventId(b)),
+            signature: sig,
+            window: 0..10,
+            schedule: Schedule(vec![]),
+        };
+        let rep = DetectionReport { races: vec![mk(0, 1), mk(2, 3)], stats: Default::default() };
+        assert_eq!(rep.n_races(), 2);
+        assert_eq!(rep.signatures().len(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let rep = DetectionReport::default();
+        let s = format!("{rep}");
+        assert!(s.contains("0 race(s)"));
+        assert!(s.contains("QC=0"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Witness extraction and validation (operationalizing Theorems 1 and 3).
+//!
+//! From a satisfying model of the encoded formula we build a concrete
+//! schedule `τ₁ a b`: the smallest event set closed under
+//!
+//! 1. per-thread prefixes (local determinism),
+//! 2. fork→begin / end→join edges,
+//! 3. lock-region completion (if an acquire is included and another same-lock
+//!    region is model-ordered before it, that region's release is included),
+//! 4. concrete-feasibility support: every asserted branch's prior reads, the
+//!    reads preceding justifying writes, and the justifying writes
+//!    themselves (the model-last same-variable write before each required
+//!    read),
+//!
+//! ordered by model order values. The schedule is then *validated*: it must
+//! pass the structural checks of [`rvtrace::check_schedule`] and every
+//! required read must observe its original value under replay. Like the
+//! paper's Theorem 3 construction, branches pulled in only through rule 3
+//! are carried data-abstractly.
+
+use std::collections::{HashMap, HashSet};
+
+use rvsmt::Solver;
+use rvtrace::{
+    check_schedule, schedule_read_values, Cop, EventId, EventKind, Schedule, View,
+};
+
+use crate::config::ConsistencyMode;
+use crate::encoder::Encoded;
+
+/// A validated race witness.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The schedule: a consistent reordering ending with the two racing
+    /// events adjacent.
+    pub schedule: Schedule,
+    /// Reads whose original values the witness preserves (the concretely
+    /// feasible reads of the encoding).
+    pub required_reads: Vec<EventId>,
+}
+
+/// Why a witness failed to validate (should not happen for a correct
+/// encoder+solver; surfaced for debugging and property tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessError {
+    /// Structural schedule violation.
+    Structural(rvtrace::ScheduleError),
+    /// A required read replays to a different value.
+    ReadValueChanged(EventId),
+    /// The racing events are not the last two entries of the schedule.
+    NotAdjacent,
+}
+
+impl std::fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WitnessError::Structural(e) => write!(f, "structural: {e}"),
+            WitnessError::ReadValueChanged(e) => write!(f, "{e}: required read value changed"),
+            WitnessError::NotAdjacent => write!(f, "racing events not adjacent"),
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// Builds and validates a witness schedule from a satisfying model.
+///
+/// # Errors
+///
+/// Returns a [`WitnessError`] when the model does not induce a valid
+/// witness; the detector treats this as "no race" (soundness gate).
+pub fn extract_witness(
+    view: &View<'_>,
+    cop: Cop,
+    encoded: &Encoded,
+    solver: &Solver,
+    mode: ConsistencyMode,
+) -> Result<Witness, WitnessError> {
+    extract_witness_with(
+        view,
+        cop,
+        |e| encoded.ovar(e),
+        &encoded.required_branches,
+        solver,
+        mode,
+    )
+}
+
+/// Like [`extract_witness`] but with an explicit order-variable accessor
+/// and required-branch set — the entry point for batch
+/// ([`EncodedWindow`](crate::encoder::EncodedWindow)) solving, where the
+/// racing pair holds *adjacent* order values instead of sharing a glued
+/// variable.
+pub fn extract_witness_with(
+    view: &View<'_>,
+    cop: Cop,
+    ovar: impl Fn(EventId) -> rvsmt::IntVar,
+    required_branches: &[EventId],
+    solver: &Solver,
+    mode: ConsistencyMode,
+) -> Result<Witness, WitnessError> {
+    let val = |e: EventId| solver.int_value(ovar(e));
+    let anchors = [cop.first, cop.second];
+    // Total order key: model value, ties broken by trace order, with the
+    // racing pair pinned adjacent. Glued encoding: both share a value, so
+    // a gets the second-highest tie rank and b the highest. Equality
+    // encoding: val(b) = val(a)+1, so a must sort *after* its tie group and
+    // b *before* its own.
+    let glued = val(cop.first) == val(cop.second);
+    let key = move |e: EventId| -> (i64, u64) {
+        let tie = if e == cop.first {
+            if glued {
+                u64::MAX - 1
+            } else {
+                u64::MAX
+            }
+        } else if e == cop.second {
+            if glued {
+                u64::MAX
+            } else {
+                0
+            }
+        } else {
+            1 + e.index() as u64
+        };
+        (val(e), tie)
+    };
+    let witness = build_witness_core(view, &anchors, required_branches, mode, &key)?;
+    // Adjacency check specific to races.
+    let schedule = &witness.schedule;
+    let n = schedule.0.len();
+    let pos_a = schedule.0.iter().position(|&e| e == cop.first);
+    match (mode, pos_a) {
+        (ConsistencyMode::ControlFlow, _)
+            if n < 2 || schedule.0[n - 2] != cop.first || schedule.0[n - 1] != cop.second =>
+        {
+            return Err(WitnessError::NotAdjacent)
+        }
+        (ConsistencyMode::WholeTrace, Some(p)) if schedule.0.get(p + 1) != Some(&cop.second) => {
+            return Err(WitnessError::NotAdjacent)
+        }
+        (ConsistencyMode::WholeTrace, None) => return Err(WitnessError::NotAdjacent),
+        _ => {}
+    }
+    Ok(witness)
+}
+
+/// The mode-generic witness builder: required-feasibility fixpoint, closure
+/// rules 1–3, ordering by `key`, structural validation and required-read
+/// replay. Callers add their own shape checks (race adjacency, atomicity
+/// between-ness).
+pub(crate) fn build_witness_core(
+    view: &View<'_>,
+    anchors: &[EventId],
+    required_branches: &[EventId],
+    mode: ConsistencyMode,
+    key: &dyn Fn(EventId) -> (i64, u64),
+) -> Result<Witness, WitnessError> {
+
+    // ---- Required concrete events (rule 4). ----
+    let mut required_reads: HashSet<EventId> = HashSet::new();
+    let mut required_writes: HashSet<EventId> = HashSet::new();
+    let mut work: Vec<EventId> = Vec::new(); // branches/writes to expand
+    match mode {
+        ConsistencyMode::ControlFlow => {
+            work.extend(required_branches.iter().copied());
+        }
+        ConsistencyMode::WholeTrace => {
+            // Every read is required to keep its value.
+            for id in view.ids() {
+                if view.event(id).kind.is_read() {
+                    required_reads.insert(id);
+                }
+            }
+        }
+    }
+    let mut expanded: HashSet<EventId> = HashSet::new();
+    let mut read_queue: Vec<EventId> = required_reads.iter().copied().collect();
+    loop {
+        // Expand branches/writes → their thread's earlier reads.
+        while let Some(e) = work.pop() {
+            if !expanded.insert(e) {
+                continue;
+            }
+            for &r in view.thread_reads_before(e) {
+                if required_reads.insert(r) {
+                    read_queue.push(r);
+                }
+            }
+        }
+        // Expand reads → their justifying write under the model order.
+        let Some(r) = read_queue.pop() else { break };
+        let var = view.event(r).kind.var().expect("read has var");
+        let kr = key(r);
+        let justifier = view
+            .writes_of(var)
+            .iter()
+            .copied()
+            .filter(|&w| key(w) < kr)
+            .max_by_key(|&w| key(w));
+        if let Some(w) = justifier {
+            if required_writes.insert(w) && mode == ConsistencyMode::ControlFlow {
+                work.push(w);
+            }
+        }
+    }
+
+    // ---- Closure rules 1–3. ----
+    let mut in_c: HashSet<EventId> = HashSet::new();
+    let mut queue: Vec<EventId> = anchors.to_vec();
+    queue.extend(required_branches.iter().copied());
+    queue.extend(required_reads.iter().copied());
+    queue.extend(required_writes.iter().copied());
+    // fork/end lookup within the view.
+    let mut fork_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
+    let mut end_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
+    for id in view.ids() {
+        match view.event(id).kind {
+            EventKind::Fork { child } => {
+                fork_of.insert(child, id);
+            }
+            EventKind::End => {
+                end_of.insert(view.event(id).thread, id);
+            }
+            _ => {}
+        }
+    }
+    while let Some(e) = queue.pop() {
+        if !in_c.insert(e) {
+            continue;
+        }
+        // Rule 1: thread prefix.
+        let thread_evs = view.thread_events(view.event(e).thread);
+        let pos = view.vpos(e);
+        for &p in &thread_evs[..pos] {
+            if !in_c.contains(&p) {
+                queue.push(p);
+            }
+        }
+        // Rule 2: fork/join edges.
+        match view.event(e).kind {
+            EventKind::Begin => {
+                if let Some(&f) = fork_of.get(&view.event(e).thread) {
+                    queue.push(f);
+                }
+            }
+            EventKind::Join { child } => {
+                if let Some(&en) = end_of.get(&child) {
+                    queue.push(en);
+                }
+            }
+            EventKind::Acquire { lock } => {
+                // Rule 3: complete model-earlier same-lock regions.
+                let ke = key(e);
+                for span in view.critical_sections(lock) {
+                    if span.acquire == Some(e) {
+                        continue;
+                    }
+                    if let Some(r2) = span.release {
+                        if key(r2) < ke {
+                            queue.push(r2);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Order and validate. ----
+    let mut events: Vec<EventId> = match mode {
+        // Control-flow witnesses are the paper's `τ₁ a b` prefix shape.
+        ConsistencyMode::ControlFlow => in_c.into_iter().collect(),
+        // Whole-trace witnesses are complete reorderings of the window.
+        ConsistencyMode::WholeTrace => view.ids().collect(),
+    };
+    events.sort_by_key(|&e| key(e));
+    let schedule = Schedule(events);
+    check_schedule(view, &schedule).map_err(WitnessError::Structural)?;
+    let replayed = schedule_read_values(view, &schedule);
+    let mut required_reads: Vec<EventId> = required_reads.into_iter().collect();
+    required_reads.sort_unstable();
+    for &r in &required_reads {
+        let original = view.event(r).kind.value().expect("read value");
+        match replayed.get(&r) {
+            Some(&v) if v == original => {}
+            _ => return Err(WitnessError::ReadValueChanged(r)),
+        }
+    }
+    Ok(Witness { schedule, required_reads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode, EncoderOptions};
+    use rvsmt::{Budget, SmtResult, Solver};
+    use rvtrace::{ThreadId, TraceBuilder, ViewExt};
+
+    fn witness_for(
+        trace: &rvtrace::Trace,
+        cop: Cop,
+        mode: ConsistencyMode,
+    ) -> Result<Witness, WitnessError> {
+        let view = trace.full_view();
+        let opts = EncoderOptions { mode, prune_write_sets: true };
+        let enc = encode(&view, cop, opts);
+        let mut solver = Solver::new(&enc.fb);
+        assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat, "expected SAT");
+        extract_witness(&view, cop, &enc, &solver, mode)
+    }
+
+    #[test]
+    fn simple_unprotected_race_witness() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let w = b.write(t1, x, 1);
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        let wit = witness_for(&tr, Cop::new(w, r), ConsistencyMode::ControlFlow).unwrap();
+        let n = wit.schedule.0.len();
+        assert_eq!(wit.schedule.0[n - 2], w);
+        assert_eq!(wit.schedule.0[n - 1], r);
+    }
+
+    #[test]
+    fn figure1_witness_reorders_lock_regions() {
+        // The paper's Figure 1: the witness for (3,10) must schedule t2's
+        // critical section before t1's.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        let e3 = b.write(t1, x, 1);
+        b.write(t1, y, 1);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.read(t2, y, 1);
+        b.release(t2, l);
+        let e10 = b.read(t2, x, 1);
+        b.branch(t2);
+        b.write(t2, z, 1);
+        b.join(t1, t2);
+        b.read(t1, z, 1);
+        b.branch(t1);
+        let tr = b.finish();
+        let wit = witness_for(&tr, Cop::new(e3, e10), ConsistencyMode::ControlFlow).unwrap();
+        // The schedule is a valid consistent reordering ending in e3, e10 —
+        // check_schedule already ran inside; spot-check the shape.
+        let pos = |e: EventId| wit.schedule.0.iter().position(|&x| x == e).unwrap();
+        assert!(pos(e3) + 1 == pos(e10));
+        // t2's release (e8 in trace ids) must appear before t1's acquire for
+        // mutual exclusion, given e3 is inside t1's region.
+        let t2_release = tr
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, ev)| ev.thread != t1 && matches!(ev.kind, EventKind::Release { .. }))
+            .map(|(i, _)| EventId(i as u32))
+            .next()
+            .unwrap();
+        let t1_acquire = tr
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, ev)| ev.thread == t1 && matches!(ev.kind, EventKind::Acquire { .. }))
+            .map(|(i, _)| EventId(i as u32))
+            .next()
+            .unwrap();
+        assert!(pos(t2_release) < pos(t1_acquire), "t2's region scheduled first");
+    }
+
+    #[test]
+    fn witness_includes_justifying_writes() {
+        // t2's racing access is guarded by a branch on y; the witness must
+        // include t1's write of y so the branch's read replays to 1.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let wy = b.write(t1, y, 1);
+        let wx = b.write(t1, x, 1);
+        b.read(t2, y, 1);
+        b.branch(t2);
+        let rx = b.read(t2, x, 1);
+        let tr = b.finish();
+        let wit = witness_for(&tr, Cop::new(wx, rx), ConsistencyMode::ControlFlow).unwrap();
+        assert!(wit.schedule.0.contains(&wy), "justifying write included");
+        assert!(!wit.required_reads.is_empty());
+    }
+
+    #[test]
+    fn whole_trace_witness_keeps_all_read_values() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.write(t1, y, 1);
+        let wx = b.write(t1, x, 1);
+        b.read(t2, y, 1);
+        let rx = b.read(t2, x, 1);
+        let tr = b.finish();
+        let wit = witness_for(&tr, Cop::new(wx, rx), ConsistencyMode::WholeTrace).unwrap();
+        // All reads required in Said mode.
+        assert_eq!(wit.required_reads.len(), 2);
+    }
+}

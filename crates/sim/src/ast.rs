@@ -1,0 +1,218 @@
+//! The mini concurrent language.
+//!
+//! A small imperative language in the spirit of the paper's Theorem 2 proof
+//! language, extended with loops, conditionals and arrays so that realistic
+//! workloads can be written in it:
+//!
+//! * shared (global) scalars and arrays, read/written only through
+//!   `Load`/`Store` statements (each emits a trace event);
+//! * thread-local variables combined by event-free expressions;
+//! * locks, fork/join, wait/notify;
+//! * `If`/`While` whose conditions are local expressions — evaluating one
+//!   emits a `branch` event (the paper's control-flow abstraction);
+//! * array accesses with a non-constant index emit an *implicit* `branch`
+//!   event before the access (paper §4).
+
+use std::fmt;
+
+/// Index of a thread-local variable within its procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Local(pub u32);
+
+/// Index of a global (shared) declaration in [`Program::globals`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Index of a lock in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockRef(pub u32);
+
+/// Index of a procedure in [`Program::procs`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+/// An event-free expression over thread-local variables and constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Value of a local.
+    Local(Local),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Euclidean remainder (modulo 0 evaluates to 0 rather than trapping).
+    Mod(Box<Expr>, Box<Expr>),
+    /// Equality (1/0).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality (1/0).
+    Ne(Box<Expr>, Box<Expr>),
+    /// Less-than (1/0).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Logical and over 0/non-0.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or over 0/non-0.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not over 0/non-0.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+    /// Convenience: `a + b`.
+    #[allow(clippy::should_implement_trait)] // static constructor, not ops::Add
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// Convenience: `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Lt(Box::new(a), Box::new(b))
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<Local> for Expr {
+    fn from(l: Local) -> Expr {
+        Expr::Local(l)
+    }
+}
+
+/// A shared-memory address: a scalar global or one array element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A scalar global.
+    Var(GlobalId),
+    /// `array[index]`; a non-constant index emits an implicit branch event
+    /// before the access (paper §4).
+    Elem(GlobalId, Expr),
+}
+
+/// The operation of a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `local := addr` — emits a read event.
+    Load(Local, Addr),
+    /// `addr := expr` — emits a write event.
+    Store(Addr, Expr),
+    /// `local := expr` — thread-local, emits no event.
+    Compute(Local, Expr),
+    /// Acquire a lock (blocking).
+    Lock(LockRef),
+    /// Release a lock.
+    Unlock(LockRef),
+    /// Fork the given procedure as a new thread. Each procedure may be
+    /// forked at most once per execution.
+    Fork(ProcId),
+    /// Block until the forked procedure's thread terminates.
+    Join(ProcId),
+    /// `if (cond) { then } else { else_ }` — emits a branch event when the
+    /// condition is evaluated.
+    If {
+        /// Condition over locals (non-zero = true).
+        cond: Expr,
+        /// Taken when the condition is non-zero.
+        then_: Vec<Stmt>,
+        /// Taken when the condition is zero.
+        else_: Vec<Stmt>,
+    },
+    /// `while (cond) { body }` — emits a branch event at every test.
+    While {
+        /// Condition over locals (non-zero = continue).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Release the lock and block until notified (Java `wait()`).
+    Wait(LockRef),
+    /// Wake one waiter (Java `notify()`).
+    Notify(LockRef),
+    /// Wake all waiters (Java `notifyAll()`).
+    NotifyAll(LockRef),
+}
+
+/// One statement: an operation plus its static location (assigned by
+/// [`Program::new`](crate::Program::new); used for race signatures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The operation.
+    pub kind: StmtKind,
+    /// The static location id (0 until the program is finalized).
+    pub loc: u32,
+}
+
+impl Stmt {
+    /// Wraps a kind with an unassigned location.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { kind, loc: 0 }
+    }
+}
+
+impl From<StmtKind> for Stmt {
+    fn from(kind: StmtKind) -> Stmt {
+        Stmt::new(kind)
+    }
+}
+
+impl fmt::Display for StmtKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmtKind::Load(l, a) => write!(f, "r{} := {a:?}", l.0),
+            StmtKind::Store(a, e) => write!(f, "{a:?} := {e:?}"),
+            StmtKind::Compute(l, e) => write!(f, "r{} := {e:?}", l.0),
+            StmtKind::Lock(l) => write!(f, "lock l{}", l.0),
+            StmtKind::Unlock(l) => write!(f, "unlock l{}", l.0),
+            StmtKind::Fork(p) => write!(f, "fork p{}", p.0),
+            StmtKind::Join(p) => write!(f, "join p{}", p.0),
+            StmtKind::If { .. } => write!(f, "if (...)"),
+            StmtKind::While { .. } => write!(f, "while (...)"),
+            StmtKind::Wait(l) => write!(f, "wait l{}", l.0),
+            StmtKind::Notify(l) => write!(f, "notify l{}", l.0),
+            StmtKind::NotifyAll(l) => write!(f, "notifyAll l{}", l.0),
+        }
+    }
+}
+
+/// Declaration of a shared global.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Debug name.
+    pub name: String,
+    /// Array length (`None` for scalars).
+    pub array_len: Option<u32>,
+    /// Whether the global is volatile (paper §4: conflicting volatile
+    /// accesses are not data races).
+    pub volatile: bool,
+    /// Initial value of the scalar / every element.
+    pub initial: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_sugar() {
+        let e = Expr::eq(Expr::from(Local(0)), 1.into());
+        assert_eq!(e, Expr::Eq(Box::new(Expr::Local(Local(0))), Box::new(Expr::Const(1))));
+        let a = Expr::add(1.into(), 2.into());
+        assert!(matches!(a, Expr::Add(_, _)));
+    }
+
+    #[test]
+    fn stmt_wrapping() {
+        let s: Stmt = StmtKind::Lock(LockRef(0)).into();
+        assert_eq!(s.loc, 0);
+        assert_eq!(format!("{}", s.kind), "lock l0");
+    }
+}

@@ -1,0 +1,773 @@
+//! The sequentially consistent interpreter.
+//!
+//! Executes a [`Program`] under a seeded (or fixed) scheduler, one statement
+//! per step, emitting an instrumented [`Trace`]: reads/writes of shared
+//! globals, lock operations, fork/join, wait/notify, and `branch` events at
+//! every conditional test and at every array access with a non-constant
+//! index (paper §4).
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rvtrace::{EventId, Loc, LockId, ThreadId, Trace, TraceBuilder, VarId, WaitToken};
+
+use crate::ast::{Addr, Expr, Local, LockRef, ProcId, Stmt, StmtKind};
+use crate::program::Program;
+
+/// Thread-interleaving policy.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Uniformly random among ready threads, seeded (reproducible).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// An explicit sequence of thread indices (in order of creation;
+    /// 0 = main). Each entry schedules one step of that thread.
+    Fixed(Vec<u32>),
+}
+
+/// Execution limits and policy.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// The scheduler.
+    pub scheduler: Scheduler,
+    /// Stop after this many steps (the trace stays a consistent prefix).
+    pub max_steps: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { scheduler: Scheduler::Random { seed: 42 }, max_steps: 1_000_000 }
+    }
+}
+
+impl ExecConfig {
+    /// Random scheduling with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        ExecConfig { scheduler: Scheduler::Random { seed }, ..Default::default() }
+    }
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// All threads ran to completion.
+    Completed,
+    /// The step limit was reached (trace truncated but consistent).
+    StepLimit,
+    /// No thread was ready (deadlock or lost notification).
+    Deadlock,
+    /// A fixed schedule ran out of entries before completion.
+    ScheduleExhausted,
+}
+
+/// The result of executing a program.
+#[derive(Debug)]
+pub struct Execution {
+    /// The instrumented trace.
+    pub trace: Trace,
+    /// Steps taken.
+    pub steps: usize,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+/// Execution errors (only fixed schedules can fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The fixed schedule named a thread that is not ready at that step.
+    FixedScheduleBlocked {
+        /// The step index.
+        step: usize,
+        /// The offending thread index.
+        thread: u32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::FixedScheduleBlocked { step, thread } => {
+                write!(f, "step {step}: scheduled thread {thread} is not ready")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug)]
+struct Frame<'p> {
+    block: &'p [Stmt],
+    pc: usize,
+    /// True when this frame is a while-loop body: completion re-tests the
+    /// loop condition (the parent's pc was not advanced).
+    _loop_body: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Lock(LockRef),
+    Join(ProcId),
+    WaitNotify(LockRef),
+    Reacquire(LockRef),
+    Done,
+}
+
+struct TState<'p> {
+    tid: ThreadId,
+    frames: Vec<Frame<'p>>,
+    locals: HashMap<u32, i64>,
+    status: Status,
+    wait_token: Option<WaitToken>,
+    wake_notify: Option<EventId>,
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    builder: TraceBuilder,
+    threads: Vec<TState<'p>>,
+    /// Lock holder (thread index) and reentrancy depth.
+    holders: Vec<Option<(usize, u32)>>,
+    /// Concrete values of all trace variables.
+    store: Vec<i64>,
+    proc_thread: Vec<Option<usize>>,
+}
+
+/// Executes the program under the given configuration.
+///
+/// # Errors
+///
+/// Only [`Scheduler::Fixed`] runs can fail, when the schedule names a thread
+/// that is blocked or finished.
+///
+/// # Examples
+///
+/// ```
+/// use rvsim::{execute, ExecConfig, Program, GlobalId, ProcId, stmts::*};
+///
+/// let p = Program::new(
+///     vec![scalar("x", 0)],
+///     0,
+///     vec![fork(ProcId(0)), store(GlobalId(0), 1.into()), join(ProcId(0))],
+///     vec![vec![store(GlobalId(0), 2.into())]],
+/// );
+/// let exec = execute(&p, &ExecConfig::seeded(7)).unwrap();
+/// assert_eq!(exec.outcome, rvsim::Outcome::Completed);
+/// assert!(exec.trace.stats().reads_writes == 2);
+/// ```
+pub fn execute(program: &Program, config: &ExecConfig) -> Result<Execution, ExecError> {
+    let mut builder = TraceBuilder::new();
+    // Register locations first so Loc ids equal Stmt::loc.
+    for name in &program.loc_names {
+        builder.loc(name);
+    }
+    // Register variables so ids match the program layout.
+    let mut store = Vec::new();
+    for decl in &program.globals {
+        match decl.array_len {
+            None => {
+                let v = if decl.volatile {
+                    builder.volatile_var(&decl.name)
+                } else {
+                    builder.var(&decl.name)
+                };
+                builder.initial(v, decl.initial);
+                store.push(decl.initial);
+            }
+            Some(len) => {
+                for i in 0..len {
+                    let name = format!("{}[{i}]", decl.name);
+                    let v = if decl.volatile {
+                        builder.volatile_var(&name)
+                    } else {
+                        builder.var(&name)
+                    };
+                    builder.initial(v, decl.initial);
+                    store.push(decl.initial);
+                }
+            }
+        }
+    }
+    for _ in 0..program.n_locks {
+        builder.new_lock("l");
+    }
+
+    let mut interp = Interp {
+        program,
+        builder,
+        threads: vec![TState {
+            tid: ThreadId::MAIN,
+            frames: vec![Frame { block: &program.main, pc: 0, _loop_body: false }],
+            locals: HashMap::new(),
+            status: Status::Ready,
+            wait_token: None,
+            wake_notify: None,
+        }],
+        holders: vec![None; program.n_locks as usize],
+        store,
+        proc_thread: vec![None; program.procs.len()],
+    };
+
+    let mut rng = match &config.scheduler {
+        Scheduler::Random { seed } => Some(ChaCha8Rng::seed_from_u64(*seed)),
+        Scheduler::Fixed(_) => None,
+    };
+    let mut fixed_pos = 0usize;
+    let mut steps = 0usize;
+    let outcome = loop {
+        if steps >= config.max_steps {
+            break Outcome::StepLimit;
+        }
+        let ready: Vec<usize> =
+            (0..interp.threads.len()).filter(|&i| interp.is_ready(i)).collect();
+        if ready.is_empty() {
+            if interp.threads.iter().all(|t| t.status == Status::Done) {
+                break Outcome::Completed;
+            }
+            break Outcome::Deadlock;
+        }
+        let chosen = match &config.scheduler {
+            Scheduler::Random { .. } => {
+                let r = rng.as_mut().expect("random scheduler has rng");
+                ready[r.gen_range(0..ready.len())]
+            }
+            Scheduler::Fixed(seq) => {
+                if fixed_pos >= seq.len() {
+                    break Outcome::ScheduleExhausted;
+                }
+                let want = seq[fixed_pos] as usize;
+                fixed_pos += 1;
+                if !ready.contains(&want) {
+                    return Err(ExecError::FixedScheduleBlocked {
+                        step: steps,
+                        thread: seq[fixed_pos - 1],
+                    });
+                }
+                want
+            }
+        };
+        interp.step(chosen);
+        steps += 1;
+    };
+    Ok(Execution { trace: interp.builder.finish(), steps, outcome })
+}
+
+impl<'p> Interp<'p> {
+    fn is_ready(&self, i: usize) -> bool {
+        let t = &self.threads[i];
+        match t.status {
+            Status::Ready => true,
+            Status::Done | Status::WaitNotify(_) => false,
+            Status::Lock(l) => match self.holders[l.0 as usize] {
+                None => true,
+                Some((h, _)) => h == i,
+            },
+            Status::Reacquire(l) => self.holders[l.0 as usize].is_none(),
+            Status::Join(p) => self
+                .proc_thread[p.0 as usize]
+                .map(|ti| self.threads[ti].status == Status::Done)
+                .unwrap_or(false),
+        }
+    }
+
+    fn eval(locals: &HashMap<u32, i64>, e: &Expr) -> i64 {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Local(Local(l)) => locals.get(l).copied().unwrap_or(0),
+            Expr::Add(a, b) => Self::eval(locals, a).wrapping_add(Self::eval(locals, b)),
+            Expr::Sub(a, b) => Self::eval(locals, a).wrapping_sub(Self::eval(locals, b)),
+            Expr::Mul(a, b) => Self::eval(locals, a).wrapping_mul(Self::eval(locals, b)),
+            Expr::Mod(a, b) => {
+                let d = Self::eval(locals, b);
+                if d == 0 {
+                    0
+                } else {
+                    Self::eval(locals, a).rem_euclid(d)
+                }
+            }
+            Expr::Eq(a, b) => i64::from(Self::eval(locals, a) == Self::eval(locals, b)),
+            Expr::Ne(a, b) => i64::from(Self::eval(locals, a) != Self::eval(locals, b)),
+            Expr::Lt(a, b) => i64::from(Self::eval(locals, a) < Self::eval(locals, b)),
+            Expr::And(a, b) => i64::from(Self::eval(locals, a) != 0 && Self::eval(locals, b) != 0),
+            Expr::Or(a, b) => i64::from(Self::eval(locals, a) != 0 || Self::eval(locals, b) != 0),
+            Expr::Not(a) => i64::from(Self::eval(locals, a) == 0),
+        }
+    }
+
+    /// Resolves an address to a trace variable, reporting whether the
+    /// access needs an implicit branch event (non-constant array index).
+    fn resolve(&self, i: usize, addr: &Addr) -> (VarId, bool) {
+        match addr {
+            Addr::Var(g) => (VarId(self.program.base_var(*g)), false),
+            Addr::Elem(g, idx_expr) => {
+                let idx = Self::eval(&self.threads[i].locals, idx_expr);
+                let len = self.program.globals[g.0 as usize]
+                    .array_len
+                    .expect("Elem addresses an array") as i64;
+                let idx = idx.rem_euclid(len.max(1)) as u32;
+                let implicit = !matches!(idx_expr, Expr::Const(_));
+                (VarId(self.program.base_var(*g) + idx), implicit)
+            }
+        }
+    }
+
+    fn step(&mut self, i: usize) {
+        // Complete a pending blocking operation first.
+        match self.threads[i].status {
+            Status::Lock(l) => {
+                let depth = self.holders[l.0 as usize].map(|(_, d)| d).unwrap_or(0);
+                self.holders[l.0 as usize] = Some((i, depth + 1));
+                let tid = self.threads[i].tid;
+                self.builder.acquire(tid, LockId(l.0));
+                self.threads[i].status = Status::Ready;
+                return;
+            }
+            Status::Reacquire(l) => {
+                self.holders[l.0 as usize] = Some((i, 1));
+                let token = self.threads[i].wait_token.take().expect("waiting thread has token");
+                let notify = self.threads[i].wake_notify.take();
+                self.builder.wait_end(token, notify);
+                self.threads[i].status = Status::Ready;
+                return;
+            }
+            Status::Join(p) => {
+                let child = self.proc_thread[p.0 as usize].expect("joined proc was forked");
+                let (parent_tid, child_tid) = (self.threads[i].tid, self.threads[child].tid);
+                self.builder.join(parent_tid, child_tid);
+                self.threads[i].status = Status::Ready;
+                return;
+            }
+            Status::Ready => {}
+            Status::WaitNotify(_) | Status::Done => unreachable!("not schedulable"),
+        }
+
+        // Pop completed frames.
+        while let Some(f) = self.threads[i].frames.last() {
+            if f.pc < f.block.len() {
+                break;
+            }
+            self.threads[i].frames.pop();
+        }
+        let Some(frame) = self.threads[i].frames.last() else {
+            let tid = self.threads[i].tid;
+            self.builder.end(tid);
+            self.threads[i].status = Status::Done;
+            return;
+        };
+        let stmt: &'p Stmt = &frame.block[frame.pc];
+        let loc = Loc(stmt.loc);
+        let tid = self.threads[i].tid;
+
+        match &stmt.kind {
+            StmtKind::Compute(Local(l), e) => {
+                let v = Self::eval(&self.threads[i].locals, e);
+                self.threads[i].locals.insert(*l, v);
+                self.advance(i);
+            }
+            StmtKind::Load(Local(l), addr) => {
+                let (var, implicit) = self.resolve(i, addr);
+                if implicit {
+                    self.builder.branch_at(tid, loc);
+                }
+                let v = self.store[var.index()];
+                self.builder.read_at(tid, var, v, loc);
+                self.threads[i].locals.insert(*l, v);
+                self.advance(i);
+            }
+            StmtKind::Store(addr, e) => {
+                let (var, implicit) = self.resolve(i, addr);
+                if implicit {
+                    self.builder.branch_at(tid, loc);
+                }
+                let v = Self::eval(&self.threads[i].locals, e);
+                self.builder.write_at(tid, var, v, loc);
+                self.store[var.index()] = v;
+                self.advance(i);
+            }
+            StmtKind::Lock(l) => {
+                match self.holders[l.0 as usize] {
+                    None => {
+                        self.holders[l.0 as usize] = Some((i, 1));
+                        self.builder.acquire(tid, LockId(l.0));
+                    }
+                    Some((h, d)) if h == i => {
+                        self.holders[l.0 as usize] = Some((i, d + 1));
+                        self.builder.acquire(tid, LockId(l.0)); // filtered (reentrant)
+                    }
+                    Some(_) => {
+                        // Block; the acquire event is emitted when granted.
+                        self.threads[i].status = Status::Lock(*l);
+                        self.advance(i);
+                        return;
+                    }
+                }
+                self.advance(i);
+            }
+            StmtKind::Unlock(l) => {
+                let (h, d) = self.holders[l.0 as usize].expect("unlock of held lock");
+                assert_eq!(h, i, "unlock by non-holder");
+                self.builder.release(tid, LockId(l.0));
+                self.holders[l.0 as usize] = if d > 1 { Some((i, d - 1)) } else { None };
+                self.advance(i);
+            }
+            StmtKind::Fork(p) => {
+                let child_tid = self.builder.fork(tid);
+                assert!(
+                    self.proc_thread[p.0 as usize].is_none(),
+                    "procedure p{} forked twice",
+                    p.0
+                );
+                self.proc_thread[p.0 as usize] = Some(self.threads.len());
+                self.threads.push(TState {
+                    tid: child_tid,
+                    frames: vec![Frame {
+                        block: &self.program.procs[p.0 as usize],
+                        pc: 0,
+                        _loop_body: false,
+                    }],
+                    locals: HashMap::new(),
+                    status: Status::Ready,
+                    wait_token: None,
+                    wake_notify: None,
+                });
+                self.advance(i);
+            }
+            StmtKind::Join(p) => {
+                let child = self.proc_thread[p.0 as usize].expect("join of unforked proc");
+                self.advance(i);
+                if self.threads[child].status == Status::Done {
+                    let child_tid = self.threads[child].tid;
+                    self.builder.join(tid, child_tid);
+                } else {
+                    self.threads[i].status = Status::Join(*p);
+                }
+            }
+            StmtKind::If { cond, then_, else_ } => {
+                let c = Self::eval(&self.threads[i].locals, cond) != 0;
+                self.builder.branch_at(tid, loc);
+                self.advance(i);
+                let block: &'p [Stmt] = if c { then_ } else { else_ };
+                self.threads[i].frames.push(Frame { block, pc: 0, _loop_body: false });
+            }
+            StmtKind::While { cond, body } => {
+                let c = Self::eval(&self.threads[i].locals, cond) != 0;
+                self.builder.branch_at(tid, loc);
+                if c {
+                    // Do not advance: re-test after the body completes.
+                    let block: &'p [Stmt] = body;
+                    self.threads[i].frames.push(Frame { block, pc: 0, _loop_body: true });
+                } else {
+                    self.advance(i);
+                }
+            }
+            StmtKind::Wait(l) => {
+                let (h, d) = self.holders[l.0 as usize].expect("wait requires the lock");
+                assert_eq!(h, i, "wait by non-holder");
+                assert_eq!(d, 1, "wait requires outermost lock level");
+                let token = self.builder.wait_begin(tid, LockId(l.0));
+                self.holders[l.0 as usize] = None;
+                self.threads[i].wait_token = Some(token);
+                self.threads[i].status = Status::WaitNotify(*l);
+                self.advance(i);
+            }
+            StmtKind::Notify(l) => {
+                let (h, _) = self.holders[l.0 as usize].expect("notify requires the lock");
+                assert_eq!(h, i, "notify by non-holder");
+                let n = self.builder.notify(tid, LockId(l.0));
+                self.wake_one(*l, n);
+                self.advance(i);
+            }
+            StmtKind::NotifyAll(l) => {
+                let (h, _) = self.holders[l.0 as usize].expect("notifyAll requires the lock");
+                assert_eq!(h, i, "notifyAll by non-holder");
+                // One notify event per waiter (paper §4).
+                let waiters: Vec<usize> = (0..self.threads.len())
+                    .filter(|&j| self.threads[j].status == Status::WaitNotify(*l))
+                    .collect();
+                if waiters.is_empty() {
+                    self.builder.notify(tid, LockId(l.0));
+                }
+                for _ in &waiters {
+                    let n = self.builder.notify(tid, LockId(l.0));
+                    self.wake_one(*l, n);
+                }
+                self.advance(i);
+            }
+        }
+    }
+
+    fn wake_one(&mut self, l: LockRef, n: EventId) {
+        if let Some(j) = (0..self.threads.len())
+            .find(|&j| self.threads[j].status == Status::WaitNotify(l))
+        {
+            self.threads[j].status = Status::Reacquire(l);
+            self.threads[j].wake_notify = Some(n);
+        }
+    }
+
+    fn advance(&mut self, i: usize) {
+        let f = self.threads[i].frames.last_mut().expect("active frame");
+        f.pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GlobalId;
+    use crate::program::stmts::*;
+    use rvtrace::check_consistency;
+
+    fn x() -> GlobalId {
+        GlobalId(0)
+    }
+
+    #[test]
+    fn straight_line_program() {
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![store(x(), 1.into()), load(Local(0), x())],
+            vec![],
+        );
+        let e = execute(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(e.outcome, Outcome::Completed);
+        assert!(check_consistency(&e.trace).is_empty());
+        assert_eq!(e.trace.stats().reads_writes, 2);
+    }
+
+    #[test]
+    fn fork_join_and_locks_consistent() {
+        let l = LockRef(0);
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            1,
+            vec![
+                fork(ProcId(0)),
+                lock(l),
+                store(x(), 1.into()),
+                unlock(l),
+                join(ProcId(0)),
+                load(Local(0), x()),
+            ],
+            vec![vec![lock(l), store(x(), 2.into()), unlock(l)]],
+        );
+        for seed in 0..20 {
+            let e = execute(&p, &ExecConfig::seeded(seed)).unwrap();
+            assert_eq!(e.outcome, Outcome::Completed, "seed {seed}");
+            assert!(check_consistency(&e.trace).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn if_emits_branch_and_takes_right_arm() {
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![
+                compute(Local(0), 1.into()),
+                if_(
+                    Expr::Local(Local(0)),
+                    vec![store(x(), 10.into())],
+                    vec![store(x(), 20.into())],
+                ),
+                load(Local(1), x()),
+            ],
+            vec![],
+        );
+        let e = execute(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(e.trace.stats().branches, 1);
+        // The read observes 10 (then-arm).
+        let last_read = e
+            .trace
+            .events()
+            .iter()
+            .rev()
+            .find(|ev| ev.kind.is_read())
+            .unwrap();
+        assert_eq!(last_read.kind.value().unwrap().0, 10);
+    }
+
+    #[test]
+    fn while_loops_and_terminates() {
+        // for (i = 0; i < 5; i++) x := i
+        let i = Local(0);
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![
+                compute(i, 0.into()),
+                while_(
+                    Expr::lt(i.into(), 5.into()),
+                    vec![
+                        store(x(), Expr::Local(i)),
+                        compute(i, Expr::add(i.into(), 1.into())),
+                    ],
+                ),
+            ],
+            vec![],
+        );
+        let e = execute(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(e.outcome, Outcome::Completed);
+        assert_eq!(e.trace.stats().branches, 6); // 5 true tests + 1 false
+        assert_eq!(e.trace.stats().reads_writes, 5);
+    }
+
+    #[test]
+    fn array_access_emits_implicit_branch() {
+        let a = GlobalId(0);
+        let p = Program::new(
+            vec![array("a", 4, 0)],
+            0,
+            vec![
+                compute(Local(0), 2.into()),
+                store_elem(a, Expr::Local(Local(0)), 7.into()), // non-const index
+                store_elem(a, 1.into(), 9.into()),              // const index
+            ],
+            vec![],
+        );
+        let e = execute(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(e.trace.stats().branches, 1, "only the non-constant index branches");
+        // a[2] and a[1] are distinct trace variables.
+        let vars: Vec<_> = e
+            .trace
+            .events()
+            .iter()
+            .filter_map(|ev| ev.kind.var())
+            .collect();
+        assert_eq!(vars.len(), 2);
+        assert_ne!(vars[0], vars[1]);
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let l = LockRef(0);
+        let r0 = Local(0);
+        // Main does the classic guarded wait (while x == 0 wait), so a
+        // notify that fires before the wait is not lost.
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            1,
+            vec![
+                fork(ProcId(0)),
+                lock(l),
+                load(r0, x()),
+                while_(
+                    Expr::eq(r0.into(), 0.into()),
+                    vec![wait(l), load(r0, x())],
+                ),
+                unlock(l),
+                join(ProcId(0)),
+            ],
+            vec![vec![lock(l), store(x(), 1.into()), notify(l), unlock(l)]],
+        );
+        let mut saw_link = false;
+        for seed in 0..20 {
+            let e = execute(&p, &ExecConfig::seeded(seed)).unwrap();
+            assert_eq!(e.outcome, Outcome::Completed, "seed {seed}");
+            assert!(check_consistency(&e.trace).is_empty());
+            if let Some(wl) = e.trace.wait_links().first() {
+                assert!(wl.notify.is_some());
+                saw_link = true;
+            }
+        }
+        assert!(saw_link, "at least one schedule should actually wait");
+    }
+
+    #[test]
+    fn lock_contention_blocks_and_resumes() {
+        let l = LockRef(0);
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            1,
+            vec![
+                fork(ProcId(0)),
+                lock(l),
+                store(x(), 1.into()),
+                store(x(), 2.into()),
+                unlock(l),
+                join(ProcId(0)),
+            ],
+            vec![vec![lock(l), store(x(), 3.into()), unlock(l)]],
+        );
+        for seed in 0..30 {
+            let e = execute(&p, &ExecConfig::seeded(seed)).unwrap();
+            assert_eq!(e.outcome, Outcome::Completed);
+            assert!(check_consistency(&e.trace).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_controls_interleaving() {
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![fork(ProcId(0)), store(x(), 1.into())],
+            vec![vec![store(x(), 2.into())]],
+        );
+        // main forks, child writes, main writes, both end.
+        let cfg = ExecConfig {
+            scheduler: Scheduler::Fixed(vec![0, 1, 0, 1, 0]),
+            max_steps: 100,
+        };
+        let e = execute(&p, &cfg).unwrap();
+        assert_eq!(e.outcome, Outcome::Completed);
+        let writes: Vec<_> = e
+            .trace
+            .events()
+            .iter()
+            .filter(|ev| ev.kind.is_write())
+            .map(|ev| ev.kind.value().unwrap().0)
+            .collect();
+        assert_eq!(writes, vec![2, 1], "child write scheduled first");
+    }
+
+    #[test]
+    fn fixed_schedule_blocked_errors() {
+        let p = Program::new(vec![scalar("x", 0)], 0, vec![store(x(), 1.into())], vec![]);
+        let cfg = ExecConfig { scheduler: Scheduler::Fixed(vec![1]), max_steps: 10 };
+        assert!(matches!(
+            execute(&p, &cfg),
+            Err(ExecError::FixedScheduleBlocked { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_truncates_infinite_loop() {
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![while_(Expr::Const(1), vec![store(x(), 1.into())])],
+            vec![],
+        );
+        let cfg = ExecConfig { max_steps: 50, ..Default::default() };
+        let e = execute(&p, &cfg).unwrap();
+        assert_eq!(e.outcome, Outcome::StepLimit);
+        assert!(check_consistency(&e.trace).is_empty());
+        assert!(!e.trace.is_empty());
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (l1, l2) = (LockRef(0), LockRef(1));
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            2,
+            vec![fork(ProcId(0)), lock(l1), lock(l2), unlock(l2), unlock(l1)],
+            vec![vec![lock(l2), lock(l1), unlock(l1), unlock(l2)]],
+        );
+        // Force the classic interleaving: main takes l1, child takes l2.
+        let cfg = ExecConfig {
+            scheduler: Scheduler::Fixed(vec![0, 0, 1, 1, 0, 1]),
+            max_steps: 100,
+        };
+        match execute(&p, &cfg) {
+            Ok(e) => assert_eq!(e.outcome, Outcome::Deadlock),
+            Err(err) => panic!("unexpected: {err}"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # rvsim — concurrent-program substrate and workload generators
+//!
+//! The paper evaluates on instrumented Java executions; this crate provides
+//! the equivalent trace source: a mini concurrent language (in the spirit
+//! of the paper's Theorem 2 proof language, §2.4), a sequentially
+//! consistent interpreter with seeded/fixed schedulers that emits
+//! instrumented [`rvtrace::Trace`]s — including `branch` events at
+//! conditionals and at non-constant array indexes (paper §4) — and
+//! generators for every benchmark class of Table 1 (see [`workloads`]).
+//!
+//! # Examples
+//!
+//! Run the paper's Figure 1 program and detect its race:
+//!
+//! ```
+//! use rvsim::workloads::figures;
+//!
+//! let w = figures::figure1();
+//! assert_eq!(w.trace.stats().threads, 2);
+//! // The trace matches the paper's Figure 4 (17 events incl. begin/end).
+//! assert!(w.trace.len() >= 16);
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod interp;
+mod program;
+pub mod workloads;
+
+pub use ast::{Addr, Expr, GlobalDecl, GlobalId, Local, LockRef, ProcId, Stmt, StmtKind};
+pub use interp::{execute, ExecConfig, ExecError, Execution, Outcome, Scheduler};
+pub use program::{stmts, Program};

@@ -1,0 +1,226 @@
+//! Programs: declarations + procedure bodies, with static location
+//! numbering.
+
+use crate::ast::{Addr, Expr, GlobalDecl, GlobalId, Local, LockRef, ProcId, Stmt, StmtKind};
+
+/// A complete program: shared declarations, locks, the main body and the
+/// forkable procedures.
+///
+/// # Examples
+///
+/// ```
+/// use rvsim::{Program, GlobalDecl, stmts::*};
+///
+/// let globals = vec![GlobalDecl { name: "x".into(), array_len: None, volatile: false, initial: 0 }];
+/// let x = rvsim::GlobalId(0);
+/// let p = Program::new(
+///     globals,
+///     1,
+///     vec![store(x, 1.into()), fork(rvsim::ProcId(0)), join(rvsim::ProcId(0))],
+///     vec![vec![store(x, 2.into())]],
+/// );
+/// assert_eq!(p.procs.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Shared global declarations (scalars and arrays).
+    pub globals: Vec<GlobalDecl>,
+    /// Number of locks.
+    pub n_locks: u32,
+    /// The main thread's body.
+    pub main: Vec<Stmt>,
+    /// Forkable procedures (each forked at most once per run).
+    pub procs: Vec<Vec<Stmt>>,
+    /// Static location names, indexed by `Stmt::loc`.
+    pub loc_names: Vec<String>,
+}
+
+impl Program {
+    /// Builds a program and assigns static locations to every statement
+    /// (depth-first over main, then each procedure).
+    pub fn new(
+        globals: Vec<GlobalDecl>,
+        n_locks: u32,
+        mut main: Vec<Stmt>,
+        mut procs: Vec<Vec<Stmt>>,
+    ) -> Self {
+        let mut loc_names = Vec::new();
+        number_block("main", &mut main, &mut loc_names);
+        for (i, p) in procs.iter_mut().enumerate() {
+            number_block(&format!("p{i}"), p, &mut loc_names);
+        }
+        Program { globals, n_locks, main, procs, loc_names }
+    }
+
+    /// Total number of statements (== number of static locations).
+    pub fn n_stmts(&self) -> usize {
+        self.loc_names.len()
+    }
+
+    /// Resolves the trace variable id for a global (base id for arrays).
+    pub fn base_var(&self, g: GlobalId) -> u32 {
+        self.globals[..g.0 as usize]
+            .iter()
+            .map(|d| d.array_len.unwrap_or(1))
+            .sum()
+    }
+
+    /// Total number of trace variables (arrays expanded).
+    pub fn n_vars(&self) -> u32 {
+        self.globals.iter().map(|d| d.array_len.unwrap_or(1)).sum()
+    }
+}
+
+fn number_block(prefix: &str, block: &mut [Stmt], names: &mut Vec<String>) {
+    for (i, stmt) in block.iter_mut().enumerate() {
+        stmt.loc = names.len() as u32;
+        names.push(format!("{prefix}:{i} {}", stmt.kind));
+        match &mut stmt.kind {
+            StmtKind::If { then_, else_, .. } => {
+                let p = format!("{prefix}:{i}t");
+                number_block(&p, then_, names);
+                let p = format!("{prefix}:{i}e");
+                number_block(&p, else_, names);
+            }
+            StmtKind::While { body, .. } => {
+                let p = format!("{prefix}:{i}w");
+                number_block(&p, body, names);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Free-function constructors for statements, for concise workload code.
+pub mod stmts {
+    use super::*;
+
+    /// `local := global` (scalar load).
+    pub fn load(l: Local, g: GlobalId) -> Stmt {
+        StmtKind::Load(l, Addr::Var(g)).into()
+    }
+    /// `local := array[index]`.
+    pub fn load_elem(l: Local, g: GlobalId, index: Expr) -> Stmt {
+        StmtKind::Load(l, Addr::Elem(g, index)).into()
+    }
+    /// `global := expr` (scalar store).
+    pub fn store(g: GlobalId, e: Expr) -> Stmt {
+        StmtKind::Store(Addr::Var(g), e).into()
+    }
+    /// `array[index] := expr`.
+    pub fn store_elem(g: GlobalId, index: Expr, e: Expr) -> Stmt {
+        StmtKind::Store(Addr::Elem(g, index), e).into()
+    }
+    /// `local := expr` (no event).
+    pub fn compute(l: Local, e: Expr) -> Stmt {
+        StmtKind::Compute(l, e).into()
+    }
+    /// Acquire a lock.
+    pub fn lock(l: LockRef) -> Stmt {
+        StmtKind::Lock(l).into()
+    }
+    /// Release a lock.
+    pub fn unlock(l: LockRef) -> Stmt {
+        StmtKind::Unlock(l).into()
+    }
+    /// Fork a procedure.
+    pub fn fork(p: ProcId) -> Stmt {
+        StmtKind::Fork(p).into()
+    }
+    /// Join a forked procedure.
+    pub fn join(p: ProcId) -> Stmt {
+        StmtKind::Join(p).into()
+    }
+    /// Conditional.
+    pub fn if_(cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt>) -> Stmt {
+        StmtKind::If { cond, then_, else_ }.into()
+    }
+    /// Loop.
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        StmtKind::While { cond, body }.into()
+    }
+    /// `wait()` on a lock's condition.
+    pub fn wait(l: LockRef) -> Stmt {
+        StmtKind::Wait(l).into()
+    }
+    /// `notify()` on a lock's condition.
+    pub fn notify(l: LockRef) -> Stmt {
+        StmtKind::Notify(l).into()
+    }
+    /// `notifyAll()` on a lock's condition.
+    pub fn notify_all(l: LockRef) -> Stmt {
+        StmtKind::NotifyAll(l).into()
+    }
+    /// Declares a scalar global.
+    pub fn scalar(name: &str, initial: i64) -> GlobalDecl {
+        GlobalDecl { name: name.into(), array_len: None, volatile: false, initial }
+    }
+    /// Declares a volatile scalar global.
+    pub fn volatile_scalar(name: &str, initial: i64) -> GlobalDecl {
+        GlobalDecl { name: name.into(), array_len: None, volatile: true, initial }
+    }
+    /// Declares an array global.
+    pub fn array(name: &str, len: u32, initial: i64) -> GlobalDecl {
+        GlobalDecl { name: name.into(), array_len: Some(len), volatile: false, initial }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stmts::*;
+    use super::*;
+
+    #[test]
+    fn numbering_covers_nested_blocks() {
+        let g = GlobalId(0);
+        let p = Program::new(
+            vec![scalar("x", 0)],
+            0,
+            vec![
+                compute(Local(0), 1.into()),
+                if_(
+                    Expr::Local(Local(0)),
+                    vec![store(g, 1.into())],
+                    vec![store(g, 2.into()), store(g, 3.into())],
+                ),
+                while_(Expr::Const(0), vec![store(g, 4.into())]),
+            ],
+            vec![vec![load(Local(0), g)]],
+        );
+        assert_eq!(p.n_stmts(), 8);
+        // Locations are unique and dense.
+        let mut locs: Vec<u32> = Vec::new();
+        fn collect(b: &[Stmt], out: &mut Vec<u32>) {
+            for s in b {
+                out.push(s.loc);
+                match &s.kind {
+                    StmtKind::If { then_, else_, .. } => {
+                        collect(then_, out);
+                        collect(else_, out);
+                    }
+                    StmtKind::While { body, .. } => collect(body, out),
+                    _ => {}
+                }
+            }
+        }
+        collect(&p.main, &mut locs);
+        collect(&p.procs[0], &mut locs);
+        locs.sort_unstable();
+        assert_eq!(locs, (0..8).collect::<Vec<_>>());
+        assert!(p.loc_names[0].starts_with("main:0"));
+    }
+
+    #[test]
+    fn array_layout() {
+        let p = Program::new(
+            vec![scalar("x", 0), array("a", 4, 0), scalar("y", 0)],
+            0,
+            vec![],
+            vec![],
+        );
+        assert_eq!(p.base_var(GlobalId(0)), 0);
+        assert_eq!(p.base_var(GlobalId(1)), 1);
+        assert_eq!(p.base_var(GlobalId(2)), 5);
+        assert_eq!(p.n_vars(), 6);
+    }
+}

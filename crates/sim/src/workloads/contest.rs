@@ -1,0 +1,355 @@
+//! Small racy benchmarks in the style of the IBM Contest suite rows of
+//! Table 1 (`account`, `airline`, …): classic concurrency-bug patterns
+//! with a handful of threads and known planted races.
+
+use crate::ast::{Expr, GlobalId, Local, LockRef, ProcId, Stmt};
+use crate::program::{stmts::*, Program};
+
+use super::Workload;
+
+fn worker_ids(n: usize) -> Vec<ProcId> {
+    (0..n as u32).map(ProcId).collect()
+}
+
+fn fork_all(n: usize) -> Vec<Stmt> {
+    worker_ids(n).into_iter().map(fork).collect()
+}
+
+fn join_all(n: usize) -> Vec<Stmt> {
+    worker_ids(n).into_iter().map(join).collect()
+}
+
+/// `account`: deposits under a lock, but an unprotected audit read of the
+/// balance races with the deposit writes.
+pub fn account(n_threads: usize, deposits: usize) -> Program {
+    let balance = GlobalId(0);
+    let l = LockRef(0);
+    let r = Local(0);
+    let i = Local(1);
+    let deposit_loop = vec![
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), (deposits as i64).into()),
+            vec![
+                lock(l),
+                load(r, balance),
+                store(balance, Expr::add(r.into(), 10.into())),
+                unlock(l),
+                compute(i, Expr::add(i.into(), 1.into())),
+            ],
+        ),
+    ];
+    let mut main = fork_all(n_threads);
+    main.push(load(Local(2), balance)); // unprotected audit — racy
+    main.extend(join_all(n_threads));
+    main.push(load(Local(3), balance)); // post-join read — race-free
+    Program::new(
+        vec![scalar("balance", 0)],
+        1,
+        main,
+        (0..n_threads).map(|_| deposit_loop.clone()).collect(),
+    )
+}
+
+/// `airline`: the classic check-then-act bug — agents read the seat count
+/// without the lock before decrementing it under the lock.
+pub fn airline(n_agents: usize, seats: i64) -> Program {
+    let seat_count = GlobalId(0);
+    let l = LockRef(0);
+    let r = Local(0);
+    let agent = vec![
+        load(r, seat_count), // unprotected check — races with the writes
+        if_(
+            Expr::lt(0.into(), r.into()),
+            vec![
+                lock(l),
+                load(r, seat_count),
+                store(seat_count, Expr::Sub(Box::new(r.into()), Box::new(1.into()))),
+                unlock(l),
+            ],
+            vec![],
+        ),
+    ];
+    let mut main = fork_all(n_agents);
+    main.extend(join_all(n_agents));
+    main.push(load(Local(1), seat_count));
+    Program::new(
+        vec![scalar("seats", seats)],
+        1,
+        main,
+        (0..n_agents).map(|_| agent.clone()).collect(),
+    )
+}
+
+/// `allocation`: lock-protected bitmap allocation plus an unprotected
+/// statistics counter (the planted race).
+pub fn allocation(n_threads: usize, blocks: u32) -> Program {
+    let bitmap = GlobalId(0);
+    let stats = GlobalId(1);
+    let l = LockRef(0);
+    let (r, i, s) = (Local(0), Local(1), Local(2));
+    let body = vec![
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), (blocks as i64).into()),
+            vec![
+                lock(l),
+                load_elem(r, bitmap, i.into()),
+                if_(
+                    Expr::eq(r.into(), 0.into()),
+                    vec![store_elem(bitmap, i.into(), 1.into())],
+                    vec![],
+                ),
+                unlock(l),
+                load(s, stats),
+                store(stats, Expr::add(s.into(), 1.into())), // racy counter
+                compute(i, Expr::add(i.into(), 1.into())),
+            ],
+        ),
+    ];
+    let mut main = fork_all(n_threads);
+    main.extend(join_all(n_threads));
+    Program::new(
+        vec![array("bitmap", blocks, 0), scalar("stats", 0)],
+        1,
+        main,
+        (0..n_threads).map(|_| body.clone()).collect(),
+    )
+}
+
+/// `bubblesort`: two workers bubble-sort overlapping segments of a shared
+/// array; the overlap element is accessed without synchronization.
+pub fn bubblesort(len: u32) -> Program {
+    let a = GlobalId(0);
+    let l = LockRef(0);
+    let (ri, rj, i) = (Local(0), Local(1), Local(2));
+    // Worker sorting [lo, hi): adjacent-swap passes under the lock, but the
+    // boundary read at `hi` is unprotected.
+    let worker = |lo: i64, hi: i64| {
+        vec![
+            compute(i, lo.into()),
+            while_(
+                Expr::lt(i.into(), (hi - 1).into()),
+                vec![
+                    lock(l),
+                    load_elem(ri, a, i.into()),
+                    load_elem(rj, a, Expr::add(i.into(), 1.into())),
+                    if_(
+                        Expr::lt(rj.into(), ri.into()),
+                        vec![
+                            store_elem(a, i.into(), rj.into()),
+                            store_elem(a, Expr::add(i.into(), 1.into()), ri.into()),
+                        ],
+                        vec![],
+                    ),
+                    unlock(l),
+                    compute(i, Expr::add(i.into(), 1.into())),
+                ],
+            ),
+            // Unprotected peek at the boundary element — the planted race.
+            load_elem(ri, a, (hi - 1).into()),
+        ]
+    };
+    let half = (len / 2) as i64;
+    let mut main: Vec<Stmt> = Vec::new();
+    // Initialize the array descending so swaps actually happen.
+    for k in 0..len as i64 {
+        main.push(store_elem(a, k.into(), (len as i64 - k).into()));
+    }
+    main.extend(fork_all(2));
+    main.extend(join_all(2));
+    Program::new(
+        vec![array("a", len, 0)],
+        1,
+        main,
+        vec![worker(0, half + 1), worker(half, len as i64)],
+    )
+}
+
+/// `bufwriter`: writers append under a lock; the reader polls the size
+/// field and indexes the buffer without the lock (an implicit-branch race,
+/// §4).
+pub fn bufwriter(writers: usize, appends: usize) -> Program {
+    let buf = GlobalId(0);
+    let size = GlobalId(1);
+    let l = LockRef(0);
+    let (r, i) = (Local(0), Local(1));
+    let cap = 16u32;
+    let writer = vec![
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), (appends as i64).into()),
+            vec![
+                lock(l),
+                load(r, size),
+                store_elem(buf, r.into(), 7.into()),
+                store(size, Expr::add(r.into(), 1.into())),
+                unlock(l),
+                compute(i, Expr::add(i.into(), 1.into())),
+            ],
+        ),
+    ];
+    let mut main = fork_all(writers);
+    // The reader polls without the lock: racy size read, racy buf[size-1].
+    main.push(load(r, size));
+    main.push(if_(
+        Expr::lt(0.into(), r.into()),
+        vec![load_elem(Local(2), buf, Expr::Sub(Box::new(r.into()), Box::new(1.into())))],
+        vec![],
+    ));
+    main.extend(join_all(writers));
+    Program::new(
+        vec![array("buf", cap, 0), scalar("size", 0)],
+        1,
+        main,
+        (0..writers).map(|_| writer.clone()).collect(),
+    )
+}
+
+/// `critical`: one thread updates the counter under the lock, the other
+/// forgets the lock entirely.
+pub fn critical() -> Program {
+    let c = GlobalId(0);
+    let l = LockRef(0);
+    let r = Local(0);
+    let good = vec![
+        lock(l),
+        load(r, c),
+        store(c, Expr::add(r.into(), 1.into())),
+        unlock(l),
+    ];
+    let bad = vec![load(r, c), store(c, Expr::add(r.into(), 1.into()))];
+    let mut main = fork_all(2);
+    main.extend(join_all(2));
+    main.push(load(Local(1), c));
+    Program::new(vec![scalar("counter", 0)], 1, main, vec![good, bad])
+}
+
+/// `mergesort`: workers fill disjoint halves (race-free) but both bump an
+/// unsynchronized `done` counter.
+pub fn mergesort(len: u32) -> Program {
+    let a = GlobalId(0);
+    let done = GlobalId(1);
+    let (r, i) = (Local(0), Local(1));
+    let worker = |lo: i64, hi: i64| {
+        vec![
+            compute(i, lo.into()),
+            while_(
+                Expr::lt(i.into(), hi.into()),
+                vec![
+                    store_elem(a, i.into(), Expr::Mul(Box::new(i.into()), Box::new(2.into()))),
+                    compute(i, Expr::add(i.into(), 1.into())),
+                ],
+            ),
+            load(r, done),
+            store(done, Expr::add(r.into(), 1.into())), // racy done-count
+        ]
+    };
+    let half = (len / 2) as i64;
+    let mut main = fork_all(2);
+    main.extend(join_all(2));
+    // Sequential merge after the joins: race-free.
+    main.push(load_elem(r, a, 0.into()));
+    main.push(load_elem(r, a, half.into()));
+    Program::new(
+        vec![array("a", len, 0), scalar("done", 0)],
+        1,
+        main,
+        vec![worker(0, half), worker(half, len as i64)],
+    )
+}
+
+/// `pingpong`: a volatile-flag handshake protects the counter (no race
+/// there), but a statistics variable crosses the handshake without any
+/// control dependence — the Figure 2 case-① pattern that only the maximal
+/// technique detects.
+pub fn pingpong(rounds: i64) -> Program {
+    let turn = GlobalId(0); // volatile
+    let counter = GlobalId(1);
+    let stats = GlobalId(2);
+    let (r, i) = (Local(0), Local(1));
+    let player = |me: i64, other: i64| {
+        vec![
+            compute(i, 0.into()),
+            while_(
+                Expr::lt(i.into(), rounds.into()),
+                vec![
+                    load(r, turn),
+                    while_(Expr::Ne(Box::new(r.into()), Box::new(me.into())), vec![load(r, turn)]),
+                    load(r, counter),
+                    store(counter, Expr::add(r.into(), 1.into())),
+                    store(turn, other.into()),
+                    compute(i, Expr::add(i.into(), 1.into())),
+                ],
+            ),
+        ]
+    };
+    let mut p0 = player(0, 1);
+    // Player 0 additionally writes `stats` at the end; its last turn-read
+    // guards nothing afterwards in player 1's prefix read of `stats`.
+    p0.push(store(stats, 1.into()));
+    let mut p1 = vec![load(Local(2), stats)]; // read before any turn-read: racy
+    p1.extend(player(1, 0));
+    let mut main = fork_all(2);
+    main.extend(join_all(2));
+    Program::new(
+        vec![volatile_scalar("turn", 0), scalar("counter", 0), scalar("stats", 0)],
+        0,
+        main,
+        vec![p0, p1],
+    )
+}
+
+/// All contest-class workloads at their Table 1 default sizes.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload::run("account", &account(3, 4), 11),
+        Workload::run("airline", &airline(3, 6), 12),
+        Workload::run("allocation", &allocation(2, 4), 13),
+        Workload::run("bubblesort", &bubblesort(8), 14),
+        Workload::run("bufwriter", &bufwriter(2, 5), 15),
+        Workload::run("critical", &critical(), 16),
+        Workload::run("mergesort", &mergesort(8), 17),
+        Workload::run("pingpong", &pingpong(2), 18),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::check_consistency;
+
+    #[test]
+    fn all_contest_workloads_consistent() {
+        for w in all() {
+            assert!(
+                check_consistency(&w.trace).is_empty(),
+                "inconsistent trace from {}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn contest_profiles_have_sync_and_branches() {
+        for w in all() {
+            let s = w.trace.stats();
+            assert!(s.threads >= 2, "{}", w.name);
+            assert!(s.syncs > 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn account_deposits_add_up_when_complete() {
+        let w = Workload::run("account", &account(2, 3), 5);
+        // Final read (last read of balance in the main thread) sees 2*3*10.
+        let last = w
+            .trace
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.kind.is_read())
+            .unwrap();
+        assert_eq!(last.kind.value().unwrap().0, 60);
+    }
+}

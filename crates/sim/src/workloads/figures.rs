@@ -1,0 +1,211 @@
+//! The paper's worked examples as programs + canonical traces.
+
+use crate::ast::{Expr, GlobalId, Local, LockRef, ProcId};
+use crate::program::{stmts::*, Program};
+
+use super::Workload;
+
+/// The Figure 1 program:
+///
+/// ```text
+/// initially x = y = 0, resource z = 0
+/// t1: fork t2; lock l; x=1; y=1; unlock l; … join t2; r3=z; if (r3==0) Error
+/// t2: lock l; r1=y; unlock l; r2=x; if (r1==r2) z=1
+/// ```
+pub fn figure1_program() -> Program {
+    let (x, y, z) = (GlobalId(0), GlobalId(1), GlobalId(2));
+    let l = LockRef(0);
+    let (r1, r2, r3) = (Local(1), Local(2), Local(3));
+    Program::new(
+        vec![scalar("x", 0), scalar("y", 0), scalar("z", 0)],
+        1,
+        vec![
+            fork(ProcId(0)),             // 1. fork t2
+            lock(l),                     // 2. lock l
+            store(x, 1.into()),          // 3. x = 1
+            store(y, 1.into()),          // 4. y = 1
+            unlock(l),                   // 5. unlock l
+            join(ProcId(0)),             // 14. join t2
+            load(r3, z),                 // 15. r3 = z (use)
+            if_(
+                Expr::eq(r3.into(), 0.into()), // 16. if (r3 == 0)
+                vec![compute(Local(9), 1.into())], // 17. Error (marker)
+                vec![],
+            ),
+        ],
+        vec![vec![
+            lock(l),                     // 7. lock l
+            load(r1, y),                 // 8. r1 = y
+            unlock(l),                   // 9. unlock l
+            load(r2, x),                 // 10. r2 = x
+            if_(
+                Expr::eq(r1.into(), Expr::Local(r2)), // 11. if (r1 == r2)
+                vec![store(z, 1.into())], // 12. z = 1 (auth)
+                vec![],
+            ),
+        ]],
+    )
+}
+
+/// Figure 1 executed in the paper's observed order (trace of Figure 4):
+/// t1 through its unlock, then t2 to completion, then t1's join and use.
+pub fn figure1() -> Workload {
+    // t1: fork, lock, x, y, unlock                          = 5 steps
+    // t2: lock, r1=y, unlock, r2=x, if, z=1, end            = 7 steps
+    // t1: join, r3=z, if, end                               = 4 steps
+    let mut sched = vec![0; 5];
+    sched.extend(vec![1; 7]);
+    sched.extend(vec![0; 4]);
+    Workload::run_fixed("example (Fig.1)", &figure1_program(), sched)
+}
+
+/// Figure 2's two variants. `y` is volatile.
+///
+/// Case ① (`loop = false`): `t2: r1 = y; r2 = x` — (1,4) **is** a race.
+/// Case ② (`loop = true`): `t2: while (y == 0); r2 = x` — it is not.
+pub fn figure2_program(loop_variant: bool) -> Program {
+    let (x, y) = (GlobalId(0), GlobalId(1));
+    let (r1, r2) = (Local(1), Local(2));
+    let t2_body = if loop_variant {
+        vec![
+            load(r1, y),
+            while_(Expr::eq(r1.into(), 0.into()), vec![load(r1, y)]),
+            load(r2, x),
+        ]
+    } else {
+        vec![load(r1, y), load(r2, x)]
+    };
+    Program::new(
+        vec![scalar("x", 0), volatile_scalar("y", 0)],
+        0,
+        vec![
+            fork(ProcId(0)),
+            store(x, 1.into()), // 1. x = 1
+            store(y, 1.into()), // 2. y = 1
+            join(ProcId(0)),
+        ],
+        vec![t2_body],
+    )
+}
+
+/// Figure 2 case ① (plain read), executed in the observed order 1-2-3-4.
+pub fn figure2_read() -> Workload {
+    // t1: fork, x=1, y=1                       = 3 steps
+    // t2: r1=y, r2=x, end                      = 3 steps
+    // t1: join, end                            = 2 steps
+    let mut sched = vec![0; 3];
+    sched.extend(vec![1; 3]);
+    sched.extend(vec![0; 2]);
+    Workload::run_fixed("figure2-read", &figure2_program(false), sched)
+}
+
+/// Figure 2 case ② (spin loop), executed in the observed order.
+pub fn figure2_loop() -> Workload {
+    // t1: fork, x=1, y=1                       = 3 steps
+    // t2: r1=y, while-test(false), r2=x, end   = 4 steps
+    // t1: join, end                            = 2 steps
+    let mut sched = vec![0; 3];
+    sched.extend(vec![1; 4]);
+    sched.extend(vec![0; 2]);
+    Workload::run_fixed("figure2-loop", &figure2_program(true), sched)
+}
+
+/// The §4 implicit-branch example:
+///
+/// ```text
+/// t1: lock l; a[x] = 2; unlock l
+/// t2: lock l; x = 1; unlock l; a[0] = 1
+/// ```
+///
+/// `(a[x]=2, a[0]=1)` is **not** a race: rescheduling t2's region first
+/// changes the index `x`, which the implicit branch at `a[x]` captures.
+pub fn array_index_program() -> Program {
+    let (x, a) = (GlobalId(0), GlobalId(1));
+    let l = LockRef(0);
+    let rx = Local(0);
+    Program::new(
+        vec![scalar("x", 0), array("a", 2, 0)],
+        1,
+        vec![
+            fork(ProcId(0)),
+            lock(l),                                  // 1. lock
+            load(rx, x),                              // (index read of line 2)
+            store_elem(a, rx.into(), 2.into()),       // 2. a[x] = 2
+            unlock(l),                                // 3. unlock
+            join(ProcId(0)),
+        ],
+        vec![vec![
+            lock(l),                                  // 4. lock
+            store(x, 1.into()),                       // 5. x = 1
+            unlock(l),                                // 6. unlock
+            store_elem(a, Expr::Const(0), 1.into()),  // 7. a[0] = 1
+        ]],
+    )
+}
+
+/// The §4 example executed in source order (t1's region first).
+pub fn array_index() -> Workload {
+    // t1: fork, lock, load x, store a[x], unlock = 5 steps
+    // t2: lock, x=1, unlock, a[0]=1, end        = 5 steps
+    // t1: join, end                              = 2 steps
+    let mut sched = vec![0; 5];
+    sched.extend(vec![1; 5]);
+    sched.extend(vec![0; 2]);
+    Workload::run_fixed("array-index (§4)", &array_index_program(), sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::{check_consistency, EventKind};
+
+    #[test]
+    fn figure1_trace_matches_figure4_shape() {
+        let w = figure1();
+        assert!(check_consistency(&w.trace).is_empty());
+        let kinds: Vec<_> = w.trace.events().iter().map(|e| e.kind).collect();
+        // fork, acquire, write x, write y, release, begin, acquire, read y,
+        // release, read x, branch, write z, end, join, read z, branch, …
+        assert!(matches!(kinds[0], EventKind::Fork { .. }));
+        assert!(matches!(kinds[1], EventKind::Acquire { .. }));
+        assert!(matches!(kinds[2], EventKind::Write { .. }));
+        assert!(matches!(kinds[3], EventKind::Write { .. }));
+        assert!(matches!(kinds[4], EventKind::Release { .. }));
+        assert!(matches!(kinds[5], EventKind::Begin));
+        assert!(matches!(kinds[6], EventKind::Acquire { .. }));
+        assert!(matches!(kinds[7], EventKind::Read { .. }));
+        assert!(matches!(kinds[8], EventKind::Release { .. }));
+        assert!(matches!(kinds[9], EventKind::Read { .. }));
+        assert!(matches!(kinds[10], EventKind::Branch));
+        assert!(matches!(kinds[11], EventKind::Write { .. }));
+        // t2 read y observes 1 and z gets authorized.
+        assert_eq!(w.trace.events()[7].kind.value().unwrap().0, 1);
+        assert_eq!(w.trace.events()[11].kind.value().unwrap().0, 1);
+    }
+
+    #[test]
+    fn figure2_variants_differ_only_in_branches() {
+        let r = figure2_read();
+        let l = figure2_loop();
+        assert!(check_consistency(&r.trace).is_empty());
+        assert!(check_consistency(&l.trace).is_empty());
+        assert_eq!(r.trace.stats().branches, 0);
+        assert_eq!(l.trace.stats().branches, 1);
+        assert_eq!(r.trace.stats().reads_writes, l.trace.stats().reads_writes);
+    }
+
+    #[test]
+    fn array_index_trace_has_implicit_branch() {
+        let w = array_index();
+        assert!(check_consistency(&w.trace).is_empty());
+        assert_eq!(w.trace.stats().branches, 1, "one implicit branch at a[x]");
+        // Both stores hit a[0].
+        let writes = w
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_write() && w.trace.var_name(e.kind.var().unwrap()) == Some("a[0]"))
+            .count();
+        assert_eq!(writes, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fork/join numeric kernels in the style of the Java Grande rows of
+//! Table 1 (`crypt`, `lufact`, `series`): larger loops, mostly disjoint
+//! array work, few races.
+
+use crate::ast::{Expr, GlobalId, Local, ProcId, Stmt};
+use crate::program::{stmts::*, Program};
+
+use super::Workload;
+
+fn fork_join_main(n: usize, mut extra: Vec<Stmt>) -> Vec<Stmt> {
+    let mut main: Vec<Stmt> = (0..n as u32).map(ProcId).map(fork).collect();
+    main.extend((0..n as u32).map(ProcId).map(join));
+    main.append(&mut extra);
+    main
+}
+
+/// `crypt`: workers transform disjoint slices of a shared array; a shared
+/// progress counter is bumped without synchronization (the planted race).
+pub fn crypt(n_workers: usize, slice: u32) -> Program {
+    let data = GlobalId(0);
+    let progress = GlobalId(1);
+    let (r, i) = (Local(0), Local(1));
+    let len = n_workers as u32 * slice;
+    let worker = |w: usize| {
+        let lo = (w as u32 * slice) as i64;
+        let hi = lo + slice as i64;
+        vec![
+            compute(i, lo.into()),
+            while_(
+                Expr::lt(i.into(), hi.into()),
+                vec![
+                    load_elem(r, data, i.into()),
+                    store_elem(
+                        data,
+                        i.into(),
+                        Expr::add(Expr::Mul(Box::new(r.into()), Box::new(3.into())), 1.into()),
+                    ),
+                    compute(i, Expr::add(i.into(), 1.into())),
+                ],
+            ),
+            load(r, progress),
+            store(progress, Expr::add(r.into(), 1.into())), // racy progress
+        ]
+    };
+    Program::new(
+        vec![array("data", len, 1), scalar("progress", 0)],
+        0,
+        fork_join_main(n_workers, vec![load(Local(2), progress)]),
+        (0..n_workers).map(worker).collect(),
+    )
+}
+
+/// `lufact`: workers eliminate disjoint row blocks but all read the pivot
+/// value; the pivot is written by worker 0 *without* the lock the readers
+/// use (the planted race), while a properly locked counter stays clean.
+pub fn lufact(n_workers: usize, rows: u32) -> Program {
+    let matrix = GlobalId(0);
+    let pivot = GlobalId(1);
+    let done = GlobalId(2);
+    let l = crate::ast::LockRef(0);
+    let (r, p, i) = (Local(0), Local(1), Local(2));
+    let worker = |w: usize| {
+        let lo = (w as u32 * rows) as i64;
+        let hi = lo + rows as i64;
+        let mut body = Vec::new();
+        if w == 0 {
+            body.push(store(pivot, 5.into())); // unprotected pivot write
+        }
+        body.extend([
+            load(p, pivot), // unprotected pivot read — races with worker 0
+            compute(i, lo.into()),
+            while_(
+                Expr::lt(i.into(), hi.into()),
+                vec![
+                    load_elem(r, matrix, i.into()),
+                    store_elem(
+                        matrix,
+                        i.into(),
+                        Expr::Sub(Box::new(r.into()), Box::new(p.into())),
+                    ),
+                    compute(i, Expr::add(i.into(), 1.into())),
+                ],
+            ),
+            lock(l),
+            load(r, done),
+            store(done, Expr::add(r.into(), 1.into())),
+            unlock(l),
+        ]);
+        body
+    };
+    Program::new(
+        vec![
+            array("matrix", n_workers as u32 * rows, 9),
+            scalar("pivot", 1),
+            scalar("done", 0),
+        ],
+        1,
+        fork_join_main(n_workers, vec![load(Local(3), done)]),
+        (0..n_workers).map(worker).collect(),
+    )
+}
+
+/// `series`: fully disciplined fork/join reduction — every shared update is
+/// lock-protected, so the trace is race-free (a negative control, like the
+/// race-free Grande rows of Table 1).
+pub fn series(n_workers: usize, terms: u32) -> Program {
+    let sum = GlobalId(0);
+    let l = crate::ast::LockRef(0);
+    let (r, acc, i) = (Local(0), Local(1), Local(2));
+    let worker = vec![
+        compute(acc, 0.into()),
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), (terms as i64).into()),
+            vec![
+                compute(acc, Expr::add(acc.into(), Expr::add(i.into(), 1.into()))),
+                compute(i, Expr::add(i.into(), 1.into())),
+            ],
+        ),
+        lock(l),
+        load(r, sum),
+        store(sum, Expr::add(r.into(), Expr::Local(acc))),
+        unlock(l),
+    ];
+    Program::new(
+        vec![scalar("sum", 0)],
+        1,
+        fork_join_main(n_workers, vec![load(Local(3), sum)]),
+        (0..n_workers).map(|_| worker.clone()).collect(),
+    )
+}
+
+/// All grande-class workloads at their Table 1 default sizes.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload::run("crypt", &crypt(3, 8), 21),
+        Workload::run("lufact", &lufact(3, 6), 22),
+        Workload::run("series", &series(3, 8), 23),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::check_consistency;
+
+    #[test]
+    fn grande_traces_consistent_and_sized() {
+        for w in all() {
+            assert!(check_consistency(&w.trace).is_empty(), "{}", w.name);
+            assert!(w.trace.stats().events > 50, "{}: too small", w.name);
+        }
+    }
+
+    #[test]
+    fn series_sum_is_correct() {
+        // 3 workers × Σ(1..=8) = 3 × 36 = 108 when execution completes.
+        let w = Workload::run("series", &series(3, 8), 4);
+        let last = w.trace.events().iter().rev().find(|e| e.kind.is_read()).unwrap();
+        assert_eq!(last.kind.value().unwrap().0, 108);
+    }
+}

@@ -1,0 +1,574 @@
+//! Parameterized server-style workload generators standing in for the
+//! real-system rows of Table 1 (`ftpserver`, `jigsaw`, `derby`, `sunflow`,
+//! `xalan`, `lusearch`, `eclipse`).
+//!
+//! We cannot run the instrumented Java systems, so each row is substituted
+//! by a generated program whose trace profile matches the class of the
+//! original: many threads, a mix of disciplined lock-protected state,
+//! computed array indexing (implicit branches), guarded reads (real control
+//! dependence), unprotected "racy" state (planted races), volatile
+//! handshakes without control dependence (the Figure 2 ① pattern only the
+//! maximal technique catches), and optionally a wait/notify handshake. The
+//! `scale` knob multiplies per-worker iterations, scaling traces from
+//! thousands to millions of events.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::ast::{Expr, GlobalId, Local, LockRef, ProcId, Stmt};
+use crate::program::{stmts::*, Program};
+
+use super::Workload;
+
+/// Shape parameters for a generated system workload.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// Row name.
+    pub name: &'static str,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Per-worker loop iterations.
+    pub iterations: usize,
+    /// Lock-protected shared scalars (consistent lock discipline).
+    pub protected: u32,
+    /// Unprotected shared scalars (planted races).
+    pub racy: u32,
+    /// Volatile flags used for handshakes without control dependence.
+    pub volatiles: u32,
+    /// Figure 1 pattern pairs (lock regions conflicting on `fy` with a racy
+    /// `fx` that only the maximal technique can prove; §1).
+    pub fig1_pairs: u32,
+    /// Shared arrays (accessed with computed indexes → implicit branches).
+    pub arrays: u32,
+    /// Elements per array.
+    pub array_len: u32,
+    /// Number of locks (protected scalar `s` uses lock `s % locks`).
+    pub locks: u32,
+    /// Include a guarded wait/notify handshake between main and a worker.
+    pub wait_notify: bool,
+    /// Generator seed (also used for scheduling).
+    pub seed: u64,
+}
+
+impl SystemProfile {
+    /// Scales per-worker iterations by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.iterations = ((self.iterations as f64 * factor).round() as usize).max(1);
+        self
+    }
+}
+
+/// The seven real-system analog profiles, at a default size of a few
+/// thousand events each (pass larger `scale` values to the binary harness
+/// for paper-sized runs).
+pub fn profiles() -> Vec<SystemProfile> {
+    vec![
+        SystemProfile {
+            name: "ftpserver",
+            threads: 10,
+            iterations: 12,
+            protected: 8,
+            racy: 5,
+            volatiles: 2,
+            fig1_pairs: 2,
+            arrays: 2,
+            array_len: 8,
+            locks: 6,
+            wait_notify: false,
+            seed: 101,
+        },
+        SystemProfile {
+            name: "jigsaw",
+            threads: 10,
+            iterations: 10,
+            protected: 10,
+            racy: 3,
+            volatiles: 2,
+            fig1_pairs: 2,
+            arrays: 2,
+            array_len: 8,
+            locks: 8,
+            wait_notify: false,
+            seed: 102,
+        },
+        SystemProfile {
+            name: "derby",
+            threads: 8,
+            iterations: 24,
+            protected: 16,
+            racy: 6,
+            volatiles: 2,
+            fig1_pairs: 2,
+            arrays: 3,
+            array_len: 8,
+            locks: 12,
+            wait_notify: false,
+            seed: 103,
+        },
+        SystemProfile {
+            name: "sunflow",
+            threads: 8,
+            iterations: 16,
+            protected: 4,
+            racy: 2,
+            volatiles: 1,
+            fig1_pairs: 2,
+            arrays: 4,
+            array_len: 16,
+            locks: 2,
+            wait_notify: false,
+            seed: 104,
+        },
+        SystemProfile {
+            name: "xalan",
+            threads: 8,
+            iterations: 16,
+            protected: 8,
+            racy: 3,
+            volatiles: 2,
+            fig1_pairs: 2,
+            arrays: 2,
+            array_len: 8,
+            locks: 8,
+            wait_notify: false,
+            seed: 105,
+        },
+        SystemProfile {
+            name: "lusearch",
+            threads: 8,
+            iterations: 16,
+            protected: 4,
+            racy: 8,
+            volatiles: 2,
+            fig1_pairs: 2,
+            arrays: 2,
+            array_len: 8,
+            locks: 4,
+            wait_notify: false,
+            seed: 106,
+        },
+        SystemProfile {
+            name: "eclipse",
+            threads: 12,
+            iterations: 16,
+            protected: 12,
+            racy: 4,
+            volatiles: 3,
+            fig1_pairs: 2,
+            arrays: 2,
+            array_len: 8,
+            locks: 10,
+            wait_notify: true,
+            seed: 107,
+        },
+    ]
+}
+
+/// Global layout: protected scalars, racy scalars, volatile flags, shadow
+/// scalars (one per volatile, for the Figure 2 ① pattern), Figure 1 pattern
+/// pairs (fx/fy), then arrays.
+struct Layout {
+    protected: u32,
+    racy: u32,
+    volatiles: u32,
+    fig1_pairs: u32,
+    arrays: u32,
+}
+
+impl Layout {
+    fn protected(&self, i: u32) -> GlobalId {
+        GlobalId(i % self.protected.max(1))
+    }
+    fn racy(&self, i: u32) -> GlobalId {
+        GlobalId(self.protected + i % self.racy.max(1))
+    }
+    fn volatile(&self, i: u32) -> GlobalId {
+        GlobalId(self.protected + self.racy + i % self.volatiles.max(1))
+    }
+    fn shadow(&self, i: u32) -> GlobalId {
+        GlobalId(self.protected + self.racy + self.volatiles + i % self.volatiles.max(1))
+    }
+    fn fig1_x(&self, i: u32) -> GlobalId {
+        GlobalId(self.protected + self.racy + 2 * self.volatiles + 2 * (i % self.fig1_pairs.max(1)))
+    }
+    fn fig1_y(&self, i: u32) -> GlobalId {
+        GlobalId(
+            self.protected + self.racy + 2 * self.volatiles + 2 * (i % self.fig1_pairs.max(1)) + 1,
+        )
+    }
+    fn cp_x(&self, i: u32) -> GlobalId {
+        GlobalId(
+            self.protected
+                + self.racy
+                + 2 * self.volatiles
+                + 2 * self.fig1_pairs
+                + 2 * (i % self.fig1_pairs.max(1)),
+        )
+    }
+    fn cp_z(&self, i: u32) -> GlobalId {
+        GlobalId(
+            self.protected
+                + self.racy
+                + 2 * self.volatiles
+                + 2 * self.fig1_pairs
+                + 2 * (i % self.fig1_pairs.max(1))
+                + 1,
+        )
+    }
+    fn array(&self, i: u32) -> GlobalId {
+        GlobalId(
+            self.protected
+                + self.racy
+                + 2 * self.volatiles
+                + 4 * self.fig1_pairs
+                + i % self.arrays.max(1),
+        )
+    }
+    /// The wait/notify handshake flag (the slot after the arrays).
+    fn hs_flag(&self) -> GlobalId {
+        GlobalId(
+            self.protected + self.racy + 2 * self.volatiles + 4 * self.fig1_pairs + self.arrays,
+        )
+    }
+}
+
+
+/// The Figure 1 pattern, writer half: a critical section writing `fx` then
+/// `fy` (a constant, so Said et al. can re-match reads across writers).
+fn fig1_writer(lay: &Layout, l: LockRef, k: u32) -> Vec<Stmt> {
+    vec![
+        lock(l),
+        store(lay.fig1_x(k), 3.into()),
+        store(lay.fig1_y(k), 7.into()),
+        unlock(l),
+    ]
+}
+
+/// The Figure 1 pattern, reader half: a critical section reading `fy`, then
+/// an unprotected read of `fx` with no intervening branch — the race only
+/// the maximal technique proves (CP is blocked by the `fy` conflict, HB by
+/// the lock edge).
+fn fig1_reader(lay: &Layout, l: LockRef, k: u32) -> Vec<Stmt> {
+    vec![
+        lock(l),
+        load(Local(7), lay.fig1_y(k)),
+        unlock(l),
+        load(Local(5), lay.fig1_x(k)),
+    ]
+}
+
+/// The CP pattern, writer half: early-phase critical sections that write
+/// `cx` and nothing else.
+fn cp_writer(lay: &Layout, l: LockRef, k: u32, worker: usize, iterations: usize) -> Vec<Stmt> {
+    let half = (iterations / 2) as i64;
+    vec![if_(
+        Expr::lt(Expr::Local(Local(1)), half.into()),
+        vec![lock(l), store(lay.cp_x(k), (worker as i64).into()), unlock(l)],
+        vec![],
+    )]
+}
+
+/// The CP pattern, reader half: late-phase critical sections touching only
+/// `cz`, followed by an unprotected read of `cx`. Instances are HB-ordered
+/// through the lock edge (writers run early, readers late), but the regions
+/// do not conflict, so CP sees the race (POPL'12) — and so do Said and RV.
+fn cp_reader(lay: &Layout, l: LockRef, k: u32, iterations: usize) -> Vec<Stmt> {
+    let half = (iterations / 2) as i64;
+    vec![if_(
+        Expr::lt(Expr::Const(half - 1), Expr::Local(Local(1))),
+        vec![
+            lock(l),
+            store(lay.cp_z(k), 1.into()),
+            unlock(l),
+            load(Local(6), lay.cp_x(k)),
+        ],
+        vec![],
+    )]
+}
+
+/// Builds the program for a profile.
+pub fn program_for(p: &SystemProfile) -> Program {
+    let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+    let lay = Layout {
+        protected: p.protected,
+        racy: p.racy,
+        volatiles: p.volatiles,
+        fig1_pairs: p.fig1_pairs,
+        arrays: p.arrays,
+    };
+    let mut globals = Vec::new();
+    for i in 0..p.protected {
+        globals.push(scalar(&format!("prot{i}"), 0));
+    }
+    for i in 0..p.racy {
+        globals.push(scalar(&format!("racy{i}"), 0));
+    }
+    for i in 0..p.volatiles {
+        globals.push(volatile_scalar(&format!("vol{i}"), 0));
+    }
+    for i in 0..p.volatiles {
+        globals.push(scalar(&format!("shadow{i}"), 0));
+    }
+    for i in 0..p.fig1_pairs {
+        globals.push(scalar(&format!("fx{i}"), 0));
+        globals.push(scalar(&format!("fy{i}"), 0));
+    }
+    for i in 0..p.fig1_pairs {
+        globals.push(scalar(&format!("cx{i}"), 0));
+        globals.push(scalar(&format!("cz{i}"), 0));
+    }
+    for i in 0..p.arrays {
+        globals.push(array(&format!("arr{i}"), p.array_len, 0));
+    }
+    globals.push(scalar("hs_flag", 0));
+
+    let (r, i, w) = (Local(0), Local(1), Local(2));
+    // Dedicated locks: the Figure-1 and CP patterns must not share locks
+    // with the general traffic, or rule-(b)/(c) chains through conflicting
+    // neighbour regions would re-order them for CP anyway.
+    let fig1_lock = |k: u32| LockRef(p.locks + k % p.fig1_pairs.max(1));
+    let cp_lock = |k: u32| LockRef(p.locks + p.fig1_pairs + k % p.fig1_pairs.max(1));
+    let hs_lock = LockRef(p.locks + 2 * p.fig1_pairs); // handshake lock
+
+    let mut procs: Vec<Vec<Stmt>> = Vec::new();
+    for worker in 0..p.threads {
+        let mut ops: Vec<Stmt> = Vec::new();
+        // One guaranteed pattern op per worker so every profile exercises
+        // the Figure-1 and CP shapes regardless of the random draw.
+        {
+            let k = (worker as u32 / 4) % p.fig1_pairs.max(1);
+            match worker % 4 {
+                0 => ops.extend(fig1_writer(&lay, fig1_lock(k), k)),
+                1 => ops.extend(fig1_reader(&lay, fig1_lock(k), k)),
+                2 => ops.extend(cp_writer(&lay, cp_lock(k), k, worker, p.iterations)),
+                _ => ops.extend(cp_reader(&lay, cp_lock(k), k, p.iterations)),
+            }
+        }
+        for _ in 0..3 {
+            match rng.gen_range(0..100) {
+                // Disciplined lock-protected read-modify-write.
+                0..=29 => {
+                    let s = rng.gen_range(0..p.protected.max(1));
+                    let g = lay.protected(s);
+                    let l = LockRef(s % p.locks.max(1));
+                    ops.extend([
+                        lock(l),
+                        load(r, g),
+                        store(g, Expr::add(r.into(), 1.into())),
+                        unlock(l),
+                    ]);
+                }
+                // Array update with a computed index (implicit branch),
+                // under the array's own consistent lock (race-free).
+                30..=49 => {
+                    let ai = rng.gen_range(0..p.arrays.max(1));
+                    let a = lay.array(ai);
+                    let l = LockRef(ai % p.locks.max(1));
+                    let idx = Expr::Mod(
+                        Box::new(Expr::add(
+                            i.into(),
+                            (rng.gen_range(0..7) as i64).into(),
+                        )),
+                        Box::new((p.array_len as i64).into()),
+                    );
+                    ops.extend([
+                        lock(l),
+                        load_elem(r, a, idx.clone()),
+                        store_elem(a, idx, Expr::add(r.into(), 1.into())),
+                        unlock(l),
+                    ]);
+                }
+                // Unprotected racy access (the planted races).
+                50..=58 => {
+                    let g = lay.racy(rng.gen_range(0..p.racy.max(1)));
+                    ops.extend([load(r, g), store(g, Expr::add(r.into(), 1.into()))]);
+                }
+                // The CP pattern (see `cp_writer`/`cp_reader`).
+                59..=62 => {
+                    let k = rng.gen_range(0..p.fig1_pairs.max(1));
+                    if worker % 2 == 0 {
+                        ops.extend(cp_writer(&lay, cp_lock(k), k, worker, p.iterations));
+                    } else {
+                        ops.extend(cp_reader(&lay, cp_lock(k), k, p.iterations));
+                    }
+                }
+                // Guarded read: real control dependence through a branch;
+                // the guarded access stays under its var's consistent lock
+                // so only the control flow (not a race) is exercised.
+                63..=76 => {
+                    let v = lay.volatile(rng.gen_range(0..p.volatiles.max(1)));
+                    let gi = rng.gen_range(0..p.protected.max(1));
+                    let g = lay.protected(gi);
+                    let l = LockRef(gi % p.locks.max(1));
+                    ops.extend([
+                        load(r, v),
+                        if_(
+                            Expr::eq(r.into(), (worker as i64).into()),
+                            vec![lock(l), load(Local(3), g), unlock(l)],
+                            vec![],
+                        ),
+                    ]);
+                }
+                // The Figure 1 pattern (see `fig1_writer`/`fig1_reader`).
+                77..=88 => {
+                    let k = rng.gen_range(0..p.fig1_pairs.max(1));
+                    if worker % 2 == 0 {
+                        ops.extend(fig1_writer(&lay, fig1_lock(k), k));
+                    } else {
+                        ops.extend(fig1_reader(&lay, fig1_lock(k), k));
+                    }
+                }
+                // Figure 2 ① pattern: volatile handshake with NO control
+                // dependence — only the maximal technique sees the shadow
+                // race through the volatile HB edge.
+                _ => {
+                    let k = rng.gen_range(0..p.volatiles.max(1));
+                    if worker % 2 == 0 {
+                        ops.extend([
+                            store(lay.shadow(k), (worker as i64).into()),
+                            store(lay.volatile(k), 1.into()),
+                        ]);
+                    } else {
+                        ops.extend([load(r, lay.volatile(k)), load(Local(4), lay.shadow(k))]);
+                    }
+                }
+            }
+        }
+        let mut body = vec![compute(w, (worker as i64).into()), compute(i, 0.into())];
+        body.push(while_(
+            Expr::lt(i.into(), (p.iterations as i64).into()),
+            {
+                let mut inner = ops;
+                inner.push(compute(i, Expr::add(i.into(), 1.into())));
+                inner
+            },
+        ));
+        if p.wait_notify && worker == 0 {
+            // The signaller half of the handshake.
+            body.extend([
+                lock(hs_lock),
+                store(lay.hs_flag(), 1.into()),
+                notify(hs_lock),
+                unlock(hs_lock),
+            ]);
+        }
+        procs.push(body);
+    }
+
+    // Two dedicated CP-demonstration threads: the writer's tiny loop of
+    // cx-writing critical sections finishes long before the reader's
+    // compute-delayed, non-conflicting cz region and unprotected cx read,
+    // so every dynamic instance is HB-ordered through the lock edge while
+    // CP (and Said, and RV) see the race. The reader performs no shared
+    // reads before the pattern, keeping the maximal encoding satisfiable.
+    let cpd_lock = LockRef(p.locks + 2 * p.fig1_pairs + 1);
+    procs.push(vec![
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), 3.into()),
+            vec![
+                lock(cpd_lock),
+                store(lay.cp_x(0), 9.into()),
+                unlock(cpd_lock),
+                compute(i, Expr::add(i.into(), 1.into())),
+            ],
+        ),
+    ]);
+    let delay = (p.iterations as i64 * 40).max(200);
+    procs.push(vec![
+        compute(i, 0.into()),
+        while_(
+            Expr::lt(i.into(), delay.into()),
+            vec![compute(i, Expr::add(i.into(), 1.into()))],
+        ),
+        lock(cpd_lock),
+        store(lay.cp_z(0), 1.into()),
+        unlock(cpd_lock),
+        load(Local(6), lay.cp_x(0)),
+    ]);
+
+    let n_procs = procs.len() as u32;
+    let mut main: Vec<Stmt> = (0..n_procs).map(ProcId).map(fork).collect();
+    if p.wait_notify {
+        // Guarded wait: no lost-notification deadlock.
+        main.extend([
+            lock(hs_lock),
+            load(r, lay.hs_flag()),
+            while_(
+                Expr::eq(r.into(), 0.into()),
+                vec![wait(hs_lock), load(r, lay.hs_flag())],
+            ),
+            unlock(hs_lock),
+        ]);
+    }
+    main.extend((0..n_procs).map(ProcId).map(join));
+    for g in 0..p.protected.min(4) {
+        main.push(load(Local(5), lay.protected(g)));
+    }
+    let n_locks = p.locks + 2 * p.fig1_pairs + 2;
+    Program::new(globals, n_locks.max(1), main, procs)
+}
+
+/// Generates the workload for a profile.
+pub fn generate(p: &SystemProfile) -> Workload {
+    Workload::run(p.name, &program_for(p), p.seed.wrapping_mul(0x9e37_79b9))
+}
+
+/// All seven system-class workloads at default scale.
+pub fn all() -> Vec<Workload> {
+    profiles().iter().map(generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtrace::check_consistency;
+
+    #[test]
+    fn system_traces_consistent() {
+        for p in profiles() {
+            let w = generate(&p);
+            assert!(check_consistency(&w.trace).is_empty(), "{}", w.name);
+            let s = w.trace.stats();
+            assert!(s.threads >= p.threads, "{}", w.name);
+            assert!(s.branches > 0, "{}: no branch events", w.name);
+            assert!(s.syncs > 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_events() {
+        let p = profiles().remove(0);
+        let small = generate(&p);
+        let big = generate(&p.clone().scaled(3.0));
+        assert!(
+            big.trace.len() > small.trace.len() * 2,
+            "scale 3 should ~triple events: {} vs {}",
+            big.trace.len(),
+            small.trace.len()
+        );
+    }
+
+    #[test]
+    fn eclipse_has_wait_notify() {
+        let p = profiles().into_iter().find(|p| p.name == "eclipse").unwrap();
+        let w = generate(&p);
+        // The handshake may or may not actually wait depending on the
+        // schedule, but the flag accesses must be present.
+        assert!(w
+            .trace
+            .data()
+            .var_names
+            .values()
+            .any(|n| n == "hs_flag"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profiles().remove(2);
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.trace.events(), b.trace.events());
+    }
+}

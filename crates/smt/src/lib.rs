@@ -1,0 +1,55 @@
+//! # rvsmt — a DPLL(T) solver for Integer Difference Logic
+//!
+//! The race-detection encoding of *Maximal Sound Predictive Race Detection
+//! with Control Flow Abstraction* (PLDI 2014) produces, after the paper's
+//! `O_a := O_b` substitution (§4), formulas in **Integer Difference Logic**:
+//! boolean combinations of atoms `O_x − O_y ≤ k` over integer order
+//! variables. The paper discharges them with Z3 or Yices; this crate is a
+//! from-scratch implementation of the same decision procedure:
+//!
+//! * [`FormulaBuilder`] — hash-consed formula arena with simplifying
+//!   constructors;
+//! * polarity-aware Tseitin compilation to CNF;
+//! * [`sat::Sat`] — a CDCL SAT core (two-watched literals, 1UIP learning,
+//!   VSIDS, phase saving, Luby restarts) with a theory hook;
+//! * [`Idl`] — an incremental difference-logic theory solver using
+//!   Cotton–Maler potential repair with negative-cycle explanations;
+//! * [`Solver`] — the DPLL(T) facade with budgets (the paper uses a
+//!   60-second per-COP timeout) and model extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
+//!
+//! // Is there an order with e1 < e2 and (e2 < e3 or e3 < e1), given e3 < e2?
+//! let mut f = FormulaBuilder::new();
+//! let (e1, e2, e3) = (f.int_var(), f.int_var(), f.int_var());
+//! let c1 = f.lt(e1, e2);
+//! f.assert_term(c1);
+//! let d1 = f.lt(e2, e3);
+//! let d2 = f.lt(e3, e1);
+//! let d = f.or2(d1, d2);
+//! f.assert_term(d);
+//! let c2 = f.lt(e3, e2);
+//! f.assert_term(c2);
+//!
+//! let mut solver = Solver::new(&f);
+//! assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat);
+//! assert!(solver.int_value(e3) < solver.int_value(e1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod formula;
+mod idl;
+mod lit;
+pub mod sat;
+mod solver;
+
+pub use formula::{Atom, FormulaBuilder, IntVar, Term, TermId};
+pub use idl::{Idl, IdlStats};
+pub use lit::{BVar, LBool, Lit};
+pub use sat::{Budget, SatOutcome, SatStats};
+pub use solver::{SmtResult, SmtStats, Solver};

@@ -1,0 +1,180 @@
+//! Boolean variables, literals and three-valued assignments.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A boolean variable of the SAT core, a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BVar(pub u32);
+
+impl BVar {
+    /// Dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A literal: a boolean variable or its negation, encoded as `2·var + sign`.
+///
+/// # Examples
+///
+/// ```
+/// use rvsmt::{BVar, Lit};
+/// let v = BVar(3);
+/// let p = Lit::pos(v);
+/// assert_eq!(!p, Lit::neg(v));
+/// assert_eq!((!p).var(), v);
+/// assert!((!p).is_neg());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: BVar) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: BVar) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    #[inline]
+    pub fn new(v: BVar, negated: bool) -> Lit {
+        Lit((v.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// True when the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code (`2·var + sign`), usable as an array index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    #[inline]
+    pub fn from_code(c: usize) -> Lit {
+        Lit(c as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+/// Three-valued assignment state of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts from a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Whether the value is assigned.
+    #[inline]
+    pub fn is_defined(self) -> bool {
+        self != LBool::Undef
+    }
+
+    /// The concrete boolean, if assigned.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Negation (`Undef` stays `Undef`).
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding_roundtrips() {
+        let v = BVar(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::new(v, true), n);
+        assert_eq!(format!("{p} {n}"), "b7 ¬b7");
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert!(LBool::False.is_defined());
+        assert!(!LBool::Undef.is_defined());
+        assert_eq!(LBool::True.as_bool(), Some(true));
+        assert_eq!(LBool::Undef.as_bool(), None);
+    }
+}

@@ -1,0 +1,507 @@
+//! Trace consistency (paper §2.2) and schedule validation.
+//!
+//! A trace is *(sequentially) consistent* iff its restriction to every
+//! concurrent object satisfies the object's serial specification:
+//!
+//! * **read consistency** — each read returns the value of the most recent
+//!   write to the same location (or the initial value);
+//! * **lock mutual exclusion** — acquires/releases on each lock alternate
+//!   and pair up within a thread;
+//! * **must-happen-before** — `begin` first and after `fork`; `end` last;
+//!   `join` after the joined thread's `end`.
+//!
+//! Branch events have no serial specification and may appear anywhere.
+//!
+//! [`check_schedule`] validates a *reordering* of a window (a candidate race
+//! witness) against the requirements every τ-feasible trace must satisfy:
+//! per-thread prefix preservation (local determinism, data-abstract),
+//! fork/join edges, lock mutual exclusion, and wait/notify matching.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::TraceError;
+use crate::event::{EventId, EventKind, LockId, ThreadId, Value, VarId};
+use crate::trace::Trace;
+use crate::view::View;
+
+/// Checks full-trace consistency; returns all violations found.
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::{check_consistency, ThreadId, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// b.write(ThreadId::MAIN, x, 1);
+/// b.read(ThreadId::MAIN, x, 1);
+/// let trace = b.finish();
+/// assert!(check_consistency(&trace).is_empty());
+/// ```
+pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
+    let mut errors = Vec::new();
+    let mut values: HashMap<VarId, Value> = HashMap::new();
+    let mut lock_holder: HashMap<LockId, ThreadId> = HashMap::new();
+    #[derive(Default, Clone)]
+    struct Ts {
+        forked: u32,
+        begun: bool,
+        ended: bool,
+        seen_events: bool,
+    }
+    let mut ts: HashMap<ThreadId, Ts> = HashMap::new();
+
+    for (i, e) in trace.events().iter().enumerate() {
+        let id = EventId(i as u32);
+        let st = ts.entry(e.thread).or_default();
+        if st.ended {
+            errors.push(TraceError::EventAfterEnd { thread: e.thread, event: id });
+        }
+        match e.kind {
+            EventKind::Begin => {
+                if st.seen_events {
+                    errors.push(TraceError::EventBeforeBegin { thread: e.thread, event: id });
+                }
+                if st.forked == 0 {
+                    errors.push(TraceError::BeginWithoutFork { thread: e.thread, event: id });
+                }
+                st.begun = true;
+            }
+            EventKind::End => {
+                st.ended = true;
+            }
+            _ => {
+                if st.forked > 0 && !st.begun {
+                    errors.push(TraceError::EventBeforeBegin { thread: e.thread, event: id });
+                }
+            }
+        }
+        st.seen_events = true;
+
+        match e.kind {
+            EventKind::Read { var, value } => {
+                let expected = values.get(&var).copied().unwrap_or_else(|| trace.initial_value(var));
+                if value != expected {
+                    errors.push(TraceError::InconsistentRead { read: id, var, expected, actual: value });
+                }
+            }
+            EventKind::Write { var, value } => {
+                values.insert(var, value);
+            }
+            EventKind::Acquire { lock }
+                if !lock_holder.contains_key(&lock) =>
+            {
+                lock_holder.insert(lock, e.thread);
+            }
+            EventKind::Acquire { lock } => {
+                errors.push(TraceError::AcquireHeldLock { thread: e.thread, lock, event: id });
+            }
+            EventKind::Release { lock } => {
+                if lock_holder.get(&lock) == Some(&e.thread) {
+                    lock_holder.remove(&lock);
+                } else {
+                    errors.push(TraceError::ReleaseWithoutAcquire { thread: e.thread, lock, event: id });
+                }
+            }
+            EventKind::Fork { child } => {
+                let cst = ts.entry(child).or_default();
+                cst.forked += 1;
+                if cst.forked > 1 {
+                    errors.push(TraceError::DoubleFork { thread: child, event: id });
+                }
+            }
+            EventKind::Join { child } => {
+                let ended = ts.get(&child).map(|s| s.ended).unwrap_or(false);
+                if !ended {
+                    errors.push(TraceError::JoinBeforeEnd { thread: child, event: id });
+                }
+            }
+            EventKind::Begin | EventKind::End | EventKind::Branch | EventKind::Notify { .. } => {}
+        }
+    }
+    errors
+}
+
+/// A candidate reordering of (a prefix-selection of) a window's events, e.g.
+/// a race witness extracted from an SMT model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(
+    /// The scheduled events, in execution order.
+    pub Vec<EventId>,
+);
+
+impl Schedule {
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{}", e.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// A violation found while validating a [`Schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An event outside the view, or scheduled twice.
+    BadEvent(EventId),
+    /// A thread's scheduled events are not a prefix of its projection.
+    NotThreadPrefix {
+        /// The thread whose order was broken.
+        thread: ThreadId,
+        /// The out-of-order event.
+        event: EventId,
+    },
+    /// A `begin` scheduled before its in-view `fork`.
+    BeginBeforeFork(EventId),
+    /// A `join` scheduled before the joined thread's in-view `end`.
+    JoinBeforeEnd(EventId),
+    /// Lock mutual exclusion violated at this event.
+    MutexViolation(EventId),
+    /// A matched notify scheduled outside its wait's release/acquire span,
+    /// or a wait re-acquire scheduled without its notify.
+    WaitNotifyMismatch(EventId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::BadEvent(e) => write!(f, "{e}: not schedulable (outside view or duplicate)"),
+            ScheduleError::NotThreadPrefix { thread, event } => {
+                write!(f, "{event}: thread {thread} order is not a projection prefix")
+            }
+            ScheduleError::BeginBeforeFork(e) => write!(f, "{e}: begin before its fork"),
+            ScheduleError::JoinBeforeEnd(e) => write!(f, "{e}: join before the child's end"),
+            ScheduleError::MutexViolation(e) => write!(f, "{e}: lock mutual exclusion violated"),
+            ScheduleError::WaitNotifyMismatch(e) => write!(f, "{e}: wait/notify matching violated"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Validates a schedule against a view. On success the schedule corresponds
+/// to a consistent, data-abstract reordering of the window (paper Thm. 3's
+/// construction, before re-assigning read values).
+pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), ScheduleError> {
+    let trace = view.trace();
+    let mut next_pos: HashMap<ThreadId, usize> = HashMap::new();
+    let mut scheduled: HashMap<EventId, usize> = HashMap::new();
+    let mut lock_holder: HashMap<LockId, ThreadId> = HashMap::new();
+    for &(t, l) in view.held_at_start() {
+        lock_holder.insert(l, t);
+    }
+
+    for (step, &id) in schedule.0.iter().enumerate() {
+        if !view.contains(id) || scheduled.contains_key(&id) {
+            return Err(ScheduleError::BadEvent(id));
+        }
+        let e = view.event(id);
+        // Per-thread prefix preservation (local determinism).
+        let pos = next_pos.entry(e.thread).or_insert(0);
+        let expected = view.thread_events(e.thread).get(*pos).copied();
+        if expected != Some(id) {
+            return Err(ScheduleError::NotThreadPrefix { thread: e.thread, event: id });
+        }
+        *pos += 1;
+
+        match e.kind {
+            EventKind::Begin => {
+                // The fork must be scheduled earlier if it is in the view.
+                let fork = view.ids().find(|&f| {
+                    matches!(view.event(f).kind, EventKind::Fork { child } if child == e.thread)
+                });
+                if let Some(f) = fork {
+                    if !scheduled.contains_key(&f) {
+                        return Err(ScheduleError::BeginBeforeFork(id));
+                    }
+                }
+            }
+            EventKind::Join { child } => {
+                let end = trace
+                    .thread_events(child)
+                    .iter()
+                    .copied()
+                    .find(|&x| view.contains(x) && matches!(view.event(x).kind, EventKind::End));
+                if let Some(en) = end {
+                    if !scheduled.contains_key(&en) {
+                        return Err(ScheduleError::JoinBeforeEnd(id));
+                    }
+                }
+            }
+            EventKind::Acquire { lock } => {
+                if lock_holder.contains_key(&lock) {
+                    return Err(ScheduleError::MutexViolation(id));
+                }
+                lock_holder.insert(lock, e.thread);
+                // Wait re-acquire: its notify must be scheduled already.
+                if let Some(wl) = trace.wait_link_of_acquire(id) {
+                    match wl.notify {
+                        Some(n) if view.contains(n)
+                            && !scheduled.contains_key(&n) => {
+                                return Err(ScheduleError::WaitNotifyMismatch(id));
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            EventKind::Release { lock } => {
+                if lock_holder.get(&lock) != Some(&e.thread) {
+                    return Err(ScheduleError::MutexViolation(id));
+                }
+                lock_holder.remove(&lock);
+            }
+            EventKind::Notify { .. } => {
+                // A matched notify must fall inside its wait's release span:
+                // the wait's release scheduled, its re-acquire not yet.
+                if let Some(wl) = trace.wait_link_of_notify(id) {
+                    if view.contains(wl.release) && !scheduled.contains_key(&wl.release) {
+                        return Err(ScheduleError::WaitNotifyMismatch(id));
+                    }
+                    if scheduled.contains_key(&wl.acquire) {
+                        return Err(ScheduleError::WaitNotifyMismatch(id));
+                    }
+                }
+            }
+            _ => {}
+        }
+        scheduled.insert(id, step);
+    }
+    Ok(())
+}
+
+/// Replays the schedule's writes and reports the value each scheduled *read*
+/// would observe (last scheduled write to the variable, else the view's
+/// initial value). Used to decide which reads keep their original values in
+/// a witness (the concretely feasible reads of paper §3.2).
+pub fn schedule_read_values(view: &View<'_>, schedule: &Schedule) -> HashMap<EventId, Value> {
+    let mut values: HashMap<VarId, Value> = HashMap::new();
+    let mut out = HashMap::new();
+    for &id in &schedule.0 {
+        match view.event(id).kind {
+            EventKind::Read { var, .. } => {
+                let v = values.get(&var).copied().unwrap_or_else(|| view.initial_value(var));
+                out.insert(id, v);
+            }
+            EventKind::Write { var, value } => {
+                values.insert(var, value);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::{Event, Loc};
+    use crate::trace::TraceData;
+    use crate::view::ViewExt;
+
+    fn raw(events: Vec<Event>) -> Trace {
+        Trace::from_data(TraceData { events, ..Default::default() })
+    }
+
+    fn ev(t: u32, kind: EventKind) -> Event {
+        Event::new(ThreadId(t), kind, Loc(0))
+    }
+
+    #[test]
+    fn consistent_builder_trace_passes() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        b.write(t1, x, 1);
+        b.release(t1, l);
+        b.acquire(t2, l);
+        b.read(t2, x, 1);
+        b.release(t2, l);
+        b.join(t1, t2);
+        assert!(check_consistency(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_read_detected() {
+        let t = raw(vec![
+            ev(0, EventKind::Write { var: VarId(0), value: Value(1) }),
+            ev(0, EventKind::Read { var: VarId(0), value: Value(7) }),
+        ]);
+        let errs = check_consistency(&t);
+        assert!(matches!(errs[0], TraceError::InconsistentRead { .. }));
+    }
+
+    #[test]
+    fn read_of_initial_value_consistent() {
+        let mut data = TraceData {
+            events: vec![ev(0, EventKind::Read { var: VarId(0), value: Value(5) })],
+            ..Default::default()
+        };
+        data.initial_values.insert(VarId(0), Value(5));
+        assert!(check_consistency(&Trace::from_data(data)).is_empty());
+    }
+
+    #[test]
+    fn mutex_violations_detected() {
+        let t = raw(vec![
+            ev(0, EventKind::Acquire { lock: LockId(0) }),
+            ev(1, EventKind::Acquire { lock: LockId(0) }),
+        ]);
+        let errs = check_consistency(&t);
+        assert!(matches!(errs[0], TraceError::AcquireHeldLock { .. }));
+        let t = raw(vec![ev(0, EventKind::Release { lock: LockId(0) })]);
+        assert!(matches!(check_consistency(&t)[0], TraceError::ReleaseWithoutAcquire { .. }));
+    }
+
+    #[test]
+    fn mhb_violations_detected() {
+        // begin without fork
+        let t = raw(vec![ev(1, EventKind::Begin)]);
+        assert!(matches!(check_consistency(&t)[0], TraceError::BeginWithoutFork { .. }));
+        // join before end
+        let t = raw(vec![
+            ev(0, EventKind::Fork { child: ThreadId(1) }),
+            ev(0, EventKind::Join { child: ThreadId(1) }),
+        ]);
+        assert!(matches!(check_consistency(&t)[0], TraceError::JoinBeforeEnd { .. }));
+        // event after end
+        let t = raw(vec![
+            ev(0, EventKind::End),
+            ev(0, EventKind::Branch),
+        ]);
+        assert!(matches!(check_consistency(&t)[0], TraceError::EventAfterEnd { .. }));
+        // forked thread acting before begin
+        let t = raw(vec![
+            ev(0, EventKind::Fork { child: ThreadId(1) }),
+            ev(1, EventKind::Branch),
+        ]);
+        assert!(matches!(check_consistency(&t)[0], TraceError::EventBeforeBegin { .. }));
+    }
+
+    fn fork_lock_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        b.acquire(t1, l); // e1
+        b.write(t1, x, 1); // e2
+        b.release(t1, l); // e3
+        b.acquire(t2, l); // e4 begin, e5 acquire
+        b.read(t2, x, 1); // e6
+        b.release(t2, l); // e7
+        b.finish()
+    }
+
+    #[test]
+    fn valid_reordered_schedule_accepted() {
+        let tr = fork_lock_trace();
+        let v = tr.full_view();
+        // t2's critical section first, then t1's.
+        let sched = Schedule(vec![
+            EventId(0),
+            EventId(4),
+            EventId(5),
+            EventId(6),
+            EventId(7),
+            EventId(1),
+            EventId(2),
+            EventId(3),
+        ]);
+        assert_eq!(check_schedule(&v, &sched), Ok(()));
+        let vals = schedule_read_values(&v, &sched);
+        // Reordered: the read now sees the initial value 0, not 1.
+        assert_eq!(vals[&EventId(6)], Value(0));
+    }
+
+    #[test]
+    fn schedule_rejects_mutex_overlap() {
+        let tr = fork_lock_trace();
+        let v = tr.full_view();
+        let sched = Schedule(vec![EventId(0), EventId(1), EventId(4), EventId(5)]);
+        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::MutexViolation(EventId(5))));
+    }
+
+    #[test]
+    fn schedule_rejects_begin_before_fork() {
+        let tr = fork_lock_trace();
+        let v = tr.full_view();
+        let sched = Schedule(vec![EventId(4)]);
+        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::BeginBeforeFork(EventId(4))));
+    }
+
+    #[test]
+    fn schedule_rejects_thread_order_breaks() {
+        let tr = fork_lock_trace();
+        let v = tr.full_view();
+        // e2 (write) before e1 (acquire) in the same thread.
+        let sched = Schedule(vec![EventId(2)]);
+        assert!(matches!(
+            check_schedule(&v, &sched),
+            Err(ScheduleError::NotThreadPrefix { .. })
+        ));
+        // duplicates rejected
+        let sched = Schedule(vec![EventId(0), EventId(0)]);
+        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::BadEvent(EventId(0))));
+    }
+
+    #[test]
+    fn schedule_join_requires_end() {
+        let mut b = TraceBuilder::new();
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        b.branch(t2); // e1 begin, e2 branch
+        b.join(t1, t2); // e3 end, e4 join
+        let tr = b.finish();
+        let v = tr.full_view();
+        let sched = Schedule(vec![EventId(0), EventId(1), EventId(2), EventId(4)]);
+        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::JoinBeforeEnd(EventId(4))));
+    }
+
+    #[test]
+    fn schedule_wait_notify_matching() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        b.acquire(t1, l); // e1
+        let tok = b.wait_begin(t1, l); // e2 release
+        b.acquire(t2, l); // e3 begin(t2), e4 acquire
+        let n = b.notify(t2, l); // e5
+        b.release(t2, l); // e6
+        b.wait_end(tok, Some(n)); // e7 acquire
+        b.release(t1, l); // e8
+        let tr = b.finish();
+        let v = tr.full_view();
+        // Original order is fine.
+        let orig = Schedule(v.ids().collect());
+        assert_eq!(check_schedule(&v, &orig), Ok(()));
+        // Re-acquire before the notify is rejected.
+        let bad = Schedule(vec![
+            EventId(0),
+            EventId(1),
+            EventId(2),
+            EventId(7),
+        ]);
+        assert_eq!(check_schedule(&v, &bad), Err(ScheduleError::WaitNotifyMismatch(EventId(7))));
+    }
+}

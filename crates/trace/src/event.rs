@@ -1,0 +1,459 @@
+//! Events and their attributes (paper §2.1).
+//!
+//! An execution trace is a sequence of [`Event`]s, each performed by a thread
+//! on a concurrent object (shared memory location, lock, thread). In addition
+//! to the classical event types, the model includes the paper's novel
+//! [`EventKind::Branch`] event, which abstracts a possible control-flow
+//! change: conservatively, a branch depends on *all* previous reads by the
+//! same thread.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a thread in a trace.
+///
+/// Thread ids are small dense integers assigned by the
+/// [`TraceBuilder`](crate::TraceBuilder); the main thread is conventionally
+/// `ThreadId(0)`.
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::ThreadId;
+/// let main = ThreadId::MAIN;
+/// assert_eq!(main.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(
+    /// The raw id.
+    pub u32,
+);
+
+impl ThreadId {
+    /// The conventional id of the initial (main) thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a shared memory location (a scalar variable or one array
+/// element).
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::VarId;
+/// let x = VarId(3);
+/// assert_eq!(x.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(
+    /// The raw id.
+    pub u32,
+);
+
+impl VarId {
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifier of a (non-reentrant) lock.
+///
+/// Reentrant acquisitions are expected to be filtered out at trace-collection
+/// time (paper §4); the [`TraceBuilder`](crate::TraceBuilder) does this
+/// automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(
+    /// The raw id.
+    pub u32,
+);
+
+impl LockId {
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A data value carried by a read or write event.
+///
+/// Values are opaque to the detector except for equality: the maximal causal
+/// model is *data-abstract* (paper §2.3), so only "reads the same value as in
+/// the original trace" matters.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Value(
+    /// The raw value.
+    pub i64,
+);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+/// A static program location (e.g. a source line), used for race signatures
+/// and reporting. Two dynamic events from the same program statement share a
+/// `Loc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Loc(
+    /// The raw id.
+    pub u32,
+);
+
+impl Loc {
+    /// A location for events with no meaningful source position.
+    pub const UNKNOWN: Loc = Loc(u32::MAX);
+
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Loc::UNKNOWN {
+            write!(f, "L?")
+        } else {
+            write!(f, "L{}", self.0)
+        }
+    }
+}
+
+/// Index of an event within its trace. The trace order *is* the observed
+/// execution order, so `EventId`s are totally ordered by observation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(
+    /// The raw id.
+    pub u32,
+);
+
+impl EventId {
+    /// Returns the id as a dense index into the trace's event vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The operation an event performs (paper §2.1, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// First event of a thread. May occur only after the thread was forked
+    /// (except for the main thread).
+    Begin,
+    /// Last event of a thread.
+    End,
+    /// Read `value` from shared location `var`.
+    Read {
+        /// The location read.
+        var: VarId,
+        /// The value observed.
+        value: Value,
+    },
+    /// Write `value` to shared location `var`.
+    Write {
+        /// The location written.
+        var: VarId,
+        /// The value written.
+        value: Value,
+    },
+    /// Acquire lock `lock` (outermost acquisition only).
+    Acquire {
+        /// The lock acquired.
+        lock: LockId,
+    },
+    /// Release lock `lock` (outermost release only).
+    Release {
+        /// The lock released.
+        lock: LockId,
+    },
+    /// Fork a new thread `child`.
+    Fork {
+        /// The thread created.
+        child: ThreadId,
+    },
+    /// Block until thread `child` terminates.
+    Join {
+        /// The thread joined.
+        child: ThreadId,
+    },
+    /// Jump to a new operation: a point where control flow may change
+    /// depending on thread-local computation over previously read values.
+    Branch,
+    /// Signal one waiter on `lock`'s condition (paper §4: `notifyAll` is
+    /// modeled as one `Notify` per waiting thread).
+    Notify {
+        /// The lock whose condition is signalled.
+        lock: LockId,
+    },
+}
+
+impl EventKind {
+    /// The shared variable accessed, if this is a read or write.
+    #[inline]
+    pub fn var(&self) -> Option<VarId> {
+        match *self {
+            EventKind::Read { var, .. } | EventKind::Write { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+
+    /// The data value, if this is a read or write.
+    #[inline]
+    pub fn value(&self) -> Option<Value> {
+        match *self {
+            EventKind::Read { value, .. } | EventKind::Write { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The lock involved, if this is an acquire, release or notify.
+    #[inline]
+    pub fn lock(&self) -> Option<LockId> {
+        match *self {
+            EventKind::Acquire { lock } | EventKind::Release { lock } | EventKind::Notify { lock } => {
+                Some(lock)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for `Read`.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, EventKind::Read { .. })
+    }
+
+    /// True for `Write`.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, EventKind::Write { .. })
+    }
+
+    /// True for `Read` or `Write`.
+    #[inline]
+    pub fn is_access(&self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// True for `Branch`.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, EventKind::Branch)
+    }
+
+    /// True for synchronization events (everything except reads, writes and
+    /// branches). This matches the "#Sync" metric of the paper's Table 1.
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        !self.is_access() && !self.is_branch()
+    }
+}
+
+/// One event of an execution trace: a `(thread, operation, location)` tuple.
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::{Event, EventKind, Loc, ThreadId, Value, VarId};
+///
+/// let e = Event::new(ThreadId(1), EventKind::Write { var: VarId(0), value: Value(1) }, Loc(3));
+/// assert!(e.kind.is_write());
+/// assert_eq!(e.thread, ThreadId(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The thread performing the operation.
+    pub thread: ThreadId,
+    /// The operation performed.
+    pub kind: EventKind,
+    /// The static program location the operation comes from.
+    pub loc: Loc,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(thread: ThreadId, kind: EventKind, loc: Loc) -> Self {
+        Event { thread, kind, loc }
+    }
+
+    /// Returns a copy of this event with the data value replaced, i.e. the
+    /// paper's `e[v/data]`. Returns `None` for non-access events.
+    pub fn with_value(&self, v: Value) -> Option<Event> {
+        let kind = match self.kind {
+            EventKind::Read { var, .. } => EventKind::Read { var, value: v },
+            EventKind::Write { var, .. } => EventKind::Write { var, value: v },
+            _ => return None,
+        };
+        Some(Event { kind, ..*self })
+    }
+
+    /// Data-abstract equivalence (the paper's `≈` on single events): equal up
+    /// to the data values in read and write events.
+    pub fn data_abstract_eq(&self, other: &Event) -> bool {
+        if self.thread != other.thread || self.loc != other.loc {
+            return false;
+        }
+        match (self.kind, other.kind) {
+            (EventKind::Read { var: a, .. }, EventKind::Read { var: b, .. }) => a == b,
+            (EventKind::Write { var: a, .. }, EventKind::Write { var: b, .. }) => a == b,
+            (x, y) => x == y,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Begin => write!(f, "begin({})", self.thread),
+            EventKind::End => write!(f, "end({})", self.thread),
+            EventKind::Read { var, value } => write!(f, "read({}, {}, {})", self.thread, var, value),
+            EventKind::Write { var, value } => {
+                write!(f, "write({}, {}, {})", self.thread, var, value)
+            }
+            EventKind::Acquire { lock } => write!(f, "acquire({}, {})", self.thread, lock),
+            EventKind::Release { lock } => write!(f, "release({}, {})", self.thread, lock),
+            EventKind::Fork { child } => write!(f, "fork({}, {})", self.thread, child),
+            EventKind::Join { child } => write!(f, "join({}, {})", self.thread, child),
+            EventKind::Branch => write!(f, "branch({})", self.thread),
+            EventKind::Notify { lock } => write!(f, "notify({}, {})", self.thread, lock),
+        }
+    }
+}
+
+/// A conflicting operation pair (paper Definition 3): two accesses to the
+/// same variable by different threads, at least one a write. By convention
+/// `first` occurs before `second` in the observed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cop {
+    /// The earlier access in trace order.
+    pub first: EventId,
+    /// The later access in trace order.
+    pub second: EventId,
+}
+
+impl Cop {
+    /// Creates a COP, normalizing order so `first < second`.
+    pub fn new(a: EventId, b: EventId) -> Self {
+        if a <= b {
+            Cop { first: a, second: b }
+        } else {
+            Cop { first: b, second: a }
+        }
+    }
+}
+
+impl fmt::Display for Cop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(t: u32, x: u32, v: i64) -> Event {
+        Event::new(ThreadId(t), EventKind::Write { var: VarId(x), value: Value(v) }, Loc(0))
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let e = w(1, 2, 3);
+        assert_eq!(e.kind.var(), Some(VarId(2)));
+        assert_eq!(e.kind.value(), Some(Value(3)));
+        assert_eq!(e.kind.lock(), None);
+        assert!(e.kind.is_write() && e.kind.is_access() && !e.kind.is_read());
+        assert!(!e.kind.is_sync());
+        let a = Event::new(ThreadId(0), EventKind::Acquire { lock: LockId(7) }, Loc(1));
+        assert_eq!(a.kind.lock(), Some(LockId(7)));
+        assert!(a.kind.is_sync());
+        let b = Event::new(ThreadId(0), EventKind::Branch, Loc(1));
+        assert!(b.kind.is_branch() && !b.kind.is_sync());
+    }
+
+    #[test]
+    fn with_value_replaces_data() {
+        let e = w(1, 2, 3);
+        let e2 = e.with_value(Value(9)).unwrap();
+        assert_eq!(e2.kind.value(), Some(Value(9)));
+        assert!(e.data_abstract_eq(&e2));
+        let b = Event::new(ThreadId(0), EventKind::Branch, Loc(1));
+        assert!(b.with_value(Value(1)).is_none());
+    }
+
+    #[test]
+    fn data_abstract_eq_discriminates() {
+        let e = w(1, 2, 3);
+        assert!(e.data_abstract_eq(&w(1, 2, 5)));
+        assert!(!e.data_abstract_eq(&w(1, 4, 3))); // different var
+        assert!(!e.data_abstract_eq(&w(2, 2, 3))); // different thread
+        let r = Event::new(
+            ThreadId(1),
+            EventKind::Read { var: VarId(2), value: Value(3) },
+            Loc(0),
+        );
+        assert!(!e.data_abstract_eq(&r)); // read vs write
+    }
+
+    #[test]
+    fn cop_normalizes() {
+        let c = Cop::new(EventId(5), EventId(2));
+        assert_eq!(c.first, EventId(2));
+        assert_eq!(c.second, EventId(5));
+        assert_eq!(format!("{c}"), "(e2, e5)");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", w(1, 2, 3)), "write(t1, x2, 3)");
+        let e = Event::new(ThreadId(0), EventKind::Fork { child: ThreadId(1) }, Loc(0));
+        assert_eq!(format!("{e}"), "fork(t0, t1)");
+        assert_eq!(format!("{}", Loc::UNKNOWN), "L?");
+        assert_eq!(format!("{}", Loc(4)), "L4");
+    }
+}

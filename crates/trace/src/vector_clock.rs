@@ -1,0 +1,149 @@
+//! Vector clocks over dense thread indexes, used to answer
+//! must-happen-before (and, in the baselines, happens-before) queries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A vector clock: one logical counter per thread (dense thread index).
+///
+/// Entry `i` counts how many events of thread `i` are known to precede (or
+/// equal) the clock's owner in the relevant partial order.
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::VectorClock;
+///
+/// let mut a = VectorClock::new(3);
+/// a.tick(0);
+/// let mut b = VectorClock::new(3);
+/// b.tick(1);
+/// b.join(&a);
+/// assert_eq!(b.get(0), 1);
+/// assert_eq!(b.get(1), 1);
+/// assert!(a.le(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// A clock of `n` threads, all zero.
+    pub fn new(n: usize) -> Self {
+        VectorClock { entries: vec![0; n] }
+    }
+
+    /// Number of threads the clock tracks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when tracking zero threads.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter for thread index `i` (0 if out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.entries.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sets the counter for thread index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u32) {
+        self.entries[i] = v;
+    }
+
+    /// Increments the counter for thread index `i` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn tick(&mut self, i: usize) -> u32 {
+        self.entries[i] += 1;
+        self.entries[i]
+    }
+
+    /// Pointwise maximum with `other` (the clock join).
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.entries.len(), other.entries.len());
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Pointwise `≤` (the partial order on clocks).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.entries.len(), other.entries.len());
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+    }
+
+    /// Raw entries.
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new(3);
+        b.set(1, 2);
+        b.set(2, 4);
+        a.join(&b);
+        assert_eq!(a.entries(), &[5, 2, 4]);
+    }
+
+    #[test]
+    fn le_partial_order() {
+        let mut a = VectorClock::new(2);
+        a.set(0, 1);
+        let mut b = VectorClock::new(2);
+        b.set(1, 1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = a.clone();
+        c.join(&b);
+        assert!(a.le(&c) && b.le(&c));
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut a = VectorClock::new(2);
+        assert_eq!(a.tick(1), 1);
+        assert_eq!(a.tick(1), 2);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(7), 0); // out of range reads as 0
+        assert_eq!(format!("{a}"), "⟨0,2⟩");
+    }
+}

@@ -1,0 +1,591 @@
+//! Windowed views over a trace.
+//!
+//! Race analysis — both the paper's maximal technique and all the baselines —
+//! runs on fixed-size windows of the trace (paper §4, "Handling long
+//! traces"). A [`View`] is a contiguous range of a [`Trace`] together with
+//! the eagerly computed per-window indexes every detector needs:
+//!
+//! * variable values at window start (window-local "initial values"),
+//! * locks held at window start (for boundary-crossing critical sections),
+//! * must-happen-before vector clocks,
+//! * per-event locksets,
+//! * read/write/branch indexes and critical-section spans.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::event::{Event, EventId, EventKind, LockId, ThreadId, Value, VarId};
+use crate::trace::Trace;
+use crate::vector_clock::VectorClock;
+
+/// A maximal same-lock region `[acquire, release]` within a view.
+///
+/// `acquire` is `None` when the lock was already held at window start;
+/// `release` is `None` when the lock is still held at window end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsSpan {
+    /// The thread holding the lock.
+    pub thread: ThreadId,
+    /// The lock.
+    pub lock: LockId,
+    /// The acquire event, if inside the view.
+    pub acquire: Option<EventId>,
+    /// The release event, if inside the view.
+    pub release: Option<EventId>,
+}
+
+/// Running state carried across window boundaries.
+#[derive(Debug, Clone)]
+struct Carry {
+    values: Vec<Value>,
+    held: Vec<(ThreadId, LockId)>,
+}
+
+impl Carry {
+    fn initial(trace: &Trace) -> Self {
+        let values = (0..trace.n_vars() as u32)
+            .map(|v| trace.initial_value(VarId(v)))
+            .collect();
+        Carry { values, held: Vec::new() }
+    }
+
+    fn advance(&mut self, trace: &Trace, range: Range<usize>) {
+        for i in range {
+            let e = &trace.events()[i];
+            match e.kind {
+                EventKind::Write { var, value } => self.values[var.index()] = value,
+                EventKind::Acquire { lock } => self.held.push((e.thread, lock)),
+                EventKind::Release { lock } => {
+                    if let Some(p) = self.held.iter().position(|&(t, l)| t == e.thread && l == lock)
+                    {
+                        self.held.swap_remove(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A contiguous window of a trace with all per-window detector indexes.
+///
+/// Obtain views with [`Trace::full_view`](ViewExt::full_view) or
+/// [`Trace::windows`](ViewExt::windows).
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::{ThreadId, TraceBuilder, ViewExt};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// let w = b.write(ThreadId::MAIN, x, 1);
+/// let t2 = b.fork(ThreadId::MAIN);
+/// let r = b.read(t2, x, 1);
+/// let trace = b.finish();
+/// let view = trace.full_view();
+/// assert!(view.mhb(w, r)); // write → fork → begin → read
+/// ```
+#[derive(Debug)]
+pub struct View<'a> {
+    trace: &'a Trace,
+    start: usize,
+    end: usize,
+    initial: Vec<Value>,
+    held_at_start: Vec<(ThreadId, LockId)>,
+    thread_events: Vec<Vec<EventId>>,
+    vpos: Vec<u32>,
+    reads_by_var: Vec<Vec<EventId>>,
+    writes_by_var: Vec<Vec<EventId>>,
+    reads_by_thread: Vec<Vec<EventId>>,
+    branches_by_thread: Vec<Vec<EventId>>,
+    cs_by_lock: Vec<Vec<CsSpan>>,
+    lockset_ids: Vec<u32>,
+    lockset_pool: Vec<Vec<LockId>>,
+    clocks: Vec<VectorClock>,
+}
+
+impl<'a> View<'a> {
+    fn build(trace: &'a Trace, start: usize, end: usize, carry: &Carry) -> Self {
+        let n_threads = trace.n_threads();
+        let n_vars = trace.n_vars();
+        let n_locks = trace.n_locks();
+        let len = end - start;
+
+        let mut thread_events = vec![Vec::new(); n_threads];
+        let mut vpos = vec![0u32; len];
+        let mut reads_by_var = vec![Vec::new(); n_vars];
+        let mut writes_by_var = vec![Vec::new(); n_vars];
+        let mut reads_by_thread = vec![Vec::new(); n_threads];
+        let mut branches_by_thread = vec![Vec::new(); n_threads];
+        let mut cs_by_lock: Vec<Vec<CsSpan>> = vec![Vec::new(); n_locks];
+        let mut open_by_lock: Vec<Option<(ThreadId, Option<EventId>)>> = vec![None; n_locks];
+        for &(t, l) in &carry.held {
+            open_by_lock[l.index()] = Some((t, None));
+        }
+        let mut lockset_ids = vec![0u32; len];
+        let mut lockset_pool: Vec<Vec<LockId>> = vec![Vec::new()];
+        let mut lockset_lookup: HashMap<Vec<LockId>, u32> = HashMap::new();
+        lockset_lookup.insert(Vec::new(), 0);
+        let mut cur_lockset: Vec<Vec<LockId>> = vec![Vec::new(); n_threads];
+        for &(t, l) in &carry.held {
+            if let Some(ti) = trace.thread_index(t) {
+                cur_lockset[ti].push(l);
+                cur_lockset[ti].sort_unstable();
+            }
+        }
+        let mut clocks: Vec<VectorClock> = Vec::with_capacity(len);
+        let mut cur_clock: Vec<VectorClock> = vec![VectorClock::new(n_threads); n_threads];
+        let mut fork_clock: Vec<Option<VectorClock>> = vec![None; n_threads];
+        let mut end_clock: Vec<Option<VectorClock>> = vec![None; n_threads];
+
+        for i in start..end {
+            let id = EventId(i as u32);
+            let e = &trace.events()[i];
+            let ti = trace.thread_index(e.thread).expect("event thread indexed");
+            let o = i - start;
+
+            // Vector clock: join incoming MHB edges before counting the event.
+            match e.kind {
+                EventKind::Begin => {
+                    if let Some(fc) = &fork_clock[ti] {
+                        let fc = fc.clone();
+                        cur_clock[ti].join(&fc);
+                    }
+                }
+                EventKind::Join { child } => {
+                    if let Some(ci) = trace.thread_index(child) {
+                        if let Some(ec) = &end_clock[ci] {
+                            let ec = ec.clone();
+                            cur_clock[ti].join(&ec);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            cur_clock[ti].tick(ti);
+            clocks.push(cur_clock[ti].clone());
+            match e.kind {
+                EventKind::Fork { child } => {
+                    if let Some(ci) = trace.thread_index(child) {
+                        fork_clock[ci] = Some(cur_clock[ti].clone());
+                    }
+                }
+                EventKind::End => {
+                    end_clock[ti] = Some(cur_clock[ti].clone());
+                }
+                _ => {}
+            }
+
+            // Locksets: an acquire's lockset includes the acquired lock; a
+            // release's still includes the released one.
+            if let EventKind::Acquire { lock } = e.kind {
+                cur_lockset[ti].push(lock);
+                cur_lockset[ti].sort_unstable();
+                cur_lockset[ti].dedup();
+            }
+            let ls_id = *lockset_lookup.entry(cur_lockset[ti].clone()).or_insert_with(|| {
+                lockset_pool.push(cur_lockset[ti].clone());
+                (lockset_pool.len() - 1) as u32
+            });
+            lockset_ids[o] = ls_id;
+            if let EventKind::Release { lock } = e.kind {
+                cur_lockset[ti].retain(|&l| l != lock);
+            }
+
+            // Per-class indexes.
+            vpos[o] = thread_events[ti].len() as u32;
+            thread_events[ti].push(id);
+            match e.kind {
+                EventKind::Read { var, .. } => {
+                    reads_by_var[var.index()].push(id);
+                    reads_by_thread[ti].push(id);
+                }
+                EventKind::Write { var, .. } => writes_by_var[var.index()].push(id),
+                EventKind::Branch => branches_by_thread[ti].push(id),
+                EventKind::Acquire { lock } => {
+                    open_by_lock[lock.index()] = Some((e.thread, Some(id)));
+                }
+                EventKind::Release { lock } => {
+                    let (t, acquire) =
+                        open_by_lock[lock.index()].take().unwrap_or((e.thread, None));
+                    cs_by_lock[lock.index()].push(CsSpan {
+                        thread: t,
+                        lock,
+                        acquire,
+                        release: Some(id),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for (li, open) in open_by_lock.into_iter().enumerate() {
+            if let Some((t, acquire)) = open {
+                cs_by_lock[li].push(CsSpan { thread: t, lock: LockId(li as u32), acquire, release: None });
+            }
+        }
+
+        View {
+            trace,
+            start,
+            end,
+            initial: carry.values.clone(),
+            held_at_start: carry.held.clone(),
+            thread_events,
+            vpos,
+            reads_by_var,
+            writes_by_var,
+            reads_by_thread,
+            branches_by_thread,
+            cs_by_lock,
+            lockset_ids,
+            lockset_pool,
+            clocks,
+        }
+    }
+
+    /// The underlying trace.
+    #[inline]
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// The trace range covered by this view.
+    #[inline]
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of events in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view covers no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterator over the event ids in the view, in trace order.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> {
+        (self.start as u32..self.end as u32).map(EventId)
+    }
+
+    /// Whether an event is inside the view.
+    #[inline]
+    pub fn contains(&self, e: EventId) -> bool {
+        (self.start..self.end).contains(&e.index())
+    }
+
+    /// The event with the given id (from the underlying trace).
+    #[inline]
+    pub fn event(&self, e: EventId) -> &Event {
+        self.trace.event(e)
+    }
+
+    fn offset(&self, e: EventId) -> usize {
+        debug_assert!(self.contains(e), "{e} outside view {:?}", self.range());
+        e.index() - self.start
+    }
+
+    /// The value of `var` at window start: the window-local initial value.
+    #[inline]
+    pub fn initial_value(&self, var: VarId) -> Value {
+        self.initial.get(var.index()).copied().unwrap_or_default()
+    }
+
+    /// Locks held (and by whom) when the window starts.
+    #[inline]
+    pub fn held_at_start(&self) -> &[(ThreadId, LockId)] {
+        &self.held_at_start
+    }
+
+    /// Events of one thread inside the view, in program order.
+    pub fn thread_events(&self, t: ThreadId) -> &[EventId] {
+        match self.trace.thread_index(t) {
+            Some(i) => &self.thread_events[i],
+            None => &[],
+        }
+    }
+
+    /// Position of `e` within its thread's events *inside the view*.
+    #[inline]
+    pub fn vpos(&self, e: EventId) -> usize {
+        self.vpos[self.offset(e)] as usize
+    }
+
+    /// The MHB vector clock of `e`: entry `i` counts events of thread `i`
+    /// inside the view that must-happen-before-or-equal `e`.
+    #[inline]
+    pub fn clock(&self, e: EventId) -> &VectorClock {
+        &self.clocks[self.offset(e)]
+    }
+
+    /// Strict must-happen-before: `a ⪯ b` and `a ≠ b` (paper §2.2's
+    /// consistency requirement, i.e. program order + fork→begin + end→join,
+    /// transitively).
+    pub fn mhb(&self, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return false;
+        }
+        let ta = self.trace.thread_index(self.event(a).thread).expect("thread indexed");
+        self.clock(b).get(ta) as usize > self.vpos(a)
+    }
+
+    /// Read events on `var` inside the view, in trace order.
+    pub fn reads_of(&self, var: VarId) -> &[EventId] {
+        self.reads_by_var.get(var.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Write events on `var` inside the view, in trace order.
+    pub fn writes_of(&self, var: VarId) -> &[EventId] {
+        self.writes_by_var.get(var.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Read events of thread `t` inside the view, in program order.
+    pub fn thread_reads(&self, t: ThreadId) -> &[EventId] {
+        match self.trace.thread_index(t) {
+            Some(i) => &self.reads_by_thread[i],
+            None => &[],
+        }
+    }
+
+    /// Read events of `e`'s thread strictly before `e` (the paper's
+    /// `τ_e ↾ t,read` restricted to the view).
+    pub fn thread_reads_before(&self, e: EventId) -> &[EventId] {
+        let reads = self.thread_reads(self.event(e).thread);
+        let n = reads.partition_point(|&r| r < e);
+        &reads[..n]
+    }
+
+    /// Branch events of thread `t` inside the view, in program order.
+    pub fn thread_branches(&self, t: ThreadId) -> &[EventId] {
+        match self.trace.thread_index(t) {
+            Some(i) => &self.branches_by_thread[i],
+            None => &[],
+        }
+    }
+
+    /// The paper's `B_e`: for each thread, the *last* branch event that
+    /// must-happen-before `e` (strictly). At most one entry per thread.
+    pub fn last_branches_before(&self, e: EventId) -> Vec<EventId> {
+        let clock = self.clock(e);
+        let mut out = Vec::new();
+        for (ti, branches) in self.branches_by_thread.iter().enumerate() {
+            if branches.is_empty() {
+                continue;
+            }
+            // Events of thread ti that strictly precede e have
+            // vpos < clock[ti], except e itself (never a candidate here
+            // because e is compared by id below).
+            let limit = clock.get(ti) as usize;
+            let n = branches.partition_point(|&b| self.vpos(b) < limit);
+            if n > 0 {
+                let b = branches[n - 1];
+                if b != e {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Critical-section spans for `lock`, in trace order of their releases
+    /// (boundary-open spans last).
+    pub fn critical_sections(&self, lock: LockId) -> &[CsSpan] {
+        self.cs_by_lock.get(lock.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All critical-section spans in the view.
+    pub fn all_critical_sections(&self) -> impl Iterator<Item = &CsSpan> {
+        self.cs_by_lock.iter().flatten()
+    }
+
+    /// The set of locks held by `e`'s thread at the moment of `e`
+    /// (sorted; includes a lock being acquired/released by `e` itself).
+    pub fn lockset(&self, e: EventId) -> &[LockId] {
+        &self.lockset_pool[self.lockset_ids[self.offset(e)] as usize]
+    }
+
+    /// Threads of the underlying trace (clock dimension).
+    pub fn threads(&self) -> &[ThreadId] {
+        self.trace.threads()
+    }
+}
+
+/// Extension methods on [`Trace`] producing views.
+pub trait ViewExt {
+    /// A view covering the whole trace.
+    fn full_view(&self) -> View<'_>;
+
+    /// Fixed-size windows covering the trace (the last may be shorter).
+    /// `size` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    fn windows(&self, size: usize) -> Vec<View<'_>>;
+}
+
+impl ViewExt for Trace {
+    fn full_view(&self) -> View<'_> {
+        View::build(self, 0, self.len(), &Carry::initial(self))
+    }
+
+    fn windows(&self, size: usize) -> Vec<View<'_>> {
+        assert!(size > 0, "window size must be nonzero");
+        let mut out = Vec::new();
+        let mut carry = Carry::initial(self);
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + size).min(self.len());
+            out.push(View::build(self, start, end, &carry));
+            carry.advance(self, start..end);
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    /// fork/join + lock trace used across the tests.
+    fn sample() -> (Trace, Vec<EventId>) {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0 fork
+        b.acquire(t1, l); // e1
+        let w = b.write(t1, x, 1); // e2
+        b.release(t1, l); // e3
+        // t2: begin e4 (auto), acquire e5, read e6, release e7
+        b.acquire(t2, l); // e4=begin, e5=acquire
+        let r = b.read(t2, x, 1); // e6
+        b.release(t2, l); // e7
+        let j = b.join(t1, t2); // e8=end(t2), e9=join
+        (b.finish(), vec![w, r, j])
+    }
+
+    #[test]
+    fn mhb_fork_join_edges() {
+        let (tr, ids) = sample();
+        let v = tr.full_view();
+        let (w, r, j) = (ids[0], ids[1], ids[2]);
+        // fork(e0) precedes t2's begin and read.
+        assert!(v.mhb(EventId(0), r));
+        // The write is NOT MHB-ordered with the read (only lock-ordered).
+        assert!(!v.mhb(w, r));
+        assert!(!v.mhb(r, w));
+        // Everything in t2 precedes the join.
+        assert!(v.mhb(r, j));
+        assert!(!v.mhb(j, r));
+        // Irreflexive.
+        assert!(!v.mhb(w, w));
+        // Program order.
+        assert!(v.mhb(EventId(1), w));
+    }
+
+    #[test]
+    fn locksets_and_critical_sections() {
+        let (tr, ids) = sample();
+        let v = tr.full_view();
+        let (w, r, _) = (ids[0], ids[1], ids[2]);
+        assert_eq!(v.lockset(w), &[LockId(0)]);
+        assert_eq!(v.lockset(r), &[LockId(0)]);
+        assert_eq!(v.lockset(EventId(0)), &[] as &[LockId]); // fork outside CS
+        let cs = v.critical_sections(LockId(0));
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|s| s.acquire.is_some() && s.release.is_some()));
+    }
+
+    #[test]
+    fn read_write_indexes() {
+        let (tr, ids) = sample();
+        let v = tr.full_view();
+        assert_eq!(v.writes_of(VarId(0)), &[ids[0]]);
+        assert_eq!(v.reads_of(VarId(0)), &[ids[1]]);
+        let t2 = tr.threads()[1];
+        assert_eq!(v.thread_reads(t2), &[ids[1]]);
+        assert_eq!(v.thread_reads_before(ids[1]), &[] as &[EventId]);
+    }
+
+    #[test]
+    fn last_branches_before_tracks_mhb() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        b.read(t1, x, 0);
+        let br = b.branch(t1); // branch in t1
+        let w1 = b.write(t1, x, 1);
+        let t2 = b.fork(t1);
+        let w2 = b.write(t2, x, 2);
+        let tr = b.finish();
+        let v = tr.full_view();
+        // w1 is after the branch in the same thread.
+        assert_eq!(v.last_branches_before(w1), vec![br]);
+        // w2 in t2 sees t1's branch through the fork edge.
+        assert_eq!(v.last_branches_before(w2), vec![br]);
+        // The branch itself has no prior branch.
+        assert!(v.last_branches_before(br).is_empty());
+    }
+
+    #[test]
+    fn windows_carry_values_and_locks() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t = ThreadId::MAIN;
+        b.write(t, x, 42); // window 0
+        b.acquire(t, l); // window 0
+        b.read(t, x, 42); // window 1
+        b.release(t, l); // window 1
+        let tr = b.finish();
+        let ws = tr.windows(2);
+        assert_eq!(ws.len(), 2);
+        let w1 = &ws[1];
+        assert_eq!(w1.initial_value(x), Value(42));
+        assert_eq!(w1.held_at_start(), &[(t, l)]);
+        // The boundary-crossing critical section has no acquire.
+        let cs = w1.critical_sections(l);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].acquire.is_none());
+        assert!(cs[0].release.is_some());
+        // And the read inside window 1 still holds the lock.
+        let read_id = EventId(2);
+        assert_eq!(w1.lockset(read_id), &[l]);
+    }
+
+    #[test]
+    fn window_clocks_do_not_cross_boundary() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0, window 0
+        let w2 = b.write(t2, x, 1); // begin e1, write e2 (window 0: e0,e1; window 1: e2..)
+        let w1 = b.write(t1, x, 2); // e3
+        let tr = b.finish();
+        let ws = tr.windows(2);
+        assert_eq!(ws.len(), 2);
+        // In window 1, fork is outside: no MHB between the two writes.
+        let v = &ws[1];
+        assert!(!v.mhb(w1, w2));
+        assert!(!v.mhb(w2, w1));
+    }
+
+    #[test]
+    fn full_view_basics() {
+        let (tr, _) = sample();
+        let v = tr.full_view();
+        assert_eq!(v.len(), tr.len());
+        assert!(!v.is_empty());
+        assert!(v.contains(EventId(0)));
+        assert_eq!(v.ids().count(), tr.len());
+        assert_eq!(v.range(), 0..tr.len());
+    }
+}

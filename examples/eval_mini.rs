@@ -1,0 +1,56 @@
+//! A miniature of the paper's Table 1 over the fast benchmark classes
+//! (example + contest + grande). For the full table including the
+//! system-class rows, run the harness binary:
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin table1
+//! ```
+//!
+//! This example keeps to the small rows so it finishes in seconds:
+//!
+//! ```sh
+//! cargo run --release --example eval_mini
+//! ```
+
+use rvpredict::{CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector};
+use rvsim::workloads;
+
+fn main() {
+    let rv = MaximalDetector::default();
+    let said = SaidDetector::default();
+    let cp = CpDetector::default();
+    let hb = HbDetector::default();
+
+    println!(
+        "{:<16} {:>6} {:>7} {:>6} {:>6} {:>5}  {:>4} {:>4} {:>4} {:>4}",
+        "program", "#Thrd", "#Event", "#RW", "#Sync", "#Br", "RV", "Said", "CP", "HB"
+    );
+    let (mut t_rv, mut t_said, mut t_cp, mut t_hb) =
+        (0u128, 0u128, 0u128, 0u128);
+    for w in workloads::small_suite() {
+        let s = w.trace.stats();
+        let time = |f: &dyn Fn() -> usize, acc: &mut u128| {
+            let t0 = std::time::Instant::now();
+            let n = f();
+            *acc += t0.elapsed().as_micros();
+            n
+        };
+        let n_rv = time(&|| rv.detect_races(&w.trace).n_races(), &mut t_rv);
+        let n_said = time(&|| said.detect_races(&w.trace).n_races(), &mut t_said);
+        let n_cp = time(&|| cp.detect_races(&w.trace).n_races(), &mut t_cp);
+        let n_hb = time(&|| hb.detect_races(&w.trace).n_races(), &mut t_hb);
+        println!(
+            "{:<16} {:>6} {:>7} {:>6} {:>6} {:>5}  {:>4} {:>4} {:>4} {:>4}",
+            w.name, s.threads, s.events, s.reads_writes, s.syncs, s.branches,
+            n_rv, n_said, n_cp, n_hb
+        );
+        assert!(n_rv >= n_said && n_rv >= n_cp && n_rv >= n_hb, "{}: maximality", w.name);
+    }
+    println!(
+        "\ntotal detection time: RV {:.1}ms, Said {:.1}ms, CP {:.1}ms, HB {:.1}ms",
+        t_rv as f64 / 1000.0,
+        t_said as f64 / 1000.0,
+        t_cp as f64 / 1000.0,
+        t_hb as f64 / 1000.0
+    );
+}

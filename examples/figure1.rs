@@ -1,0 +1,63 @@
+//! The paper's Figure 1 end-to-end: run the program in the mini language,
+//! collect the Figure 4 trace, show the Figure 5 constraint groups, and
+//! compare all four detectors.
+//!
+//! ```sh
+//! cargo run --example figure1
+//! ```
+
+use rvpredict::{
+    encode, Cop, CpDetector, EncoderOptions, HbDetector, MaximalDetector, RaceDetectorTool,
+    SaidDetector, ViewExt,
+};
+use rvsim::workloads::figures;
+
+fn main() {
+    // The Figure 1 program, executed in the paper's observed order
+    // (the Figure 4 trace).
+    let w = figures::figure1();
+    println!("Figure 4 trace:");
+    for (i, e) in w.trace.events().iter().enumerate() {
+        println!("  {i:>2}  {e}");
+    }
+
+    // Figure 5: the constraint system for COP (3, 10).
+    let view = w.trace.full_view();
+    let name_of = |e: rvpredict::EventId| {
+        view.event(e)
+            .kind
+            .var()
+            .and_then(|v| w.trace.var_name(v))
+            .unwrap_or("")
+            .to_string()
+    };
+    let write_x = view
+        .ids()
+        .find(|&e| view.event(e).kind.is_write() && name_of(e) == "x")
+        .expect("write of x");
+    let read_x = view
+        .ids()
+        .find(|&e| view.event(e).kind.is_read() && name_of(e) == "x")
+        .expect("read of x");
+    let enc = encode(&view, Cop::new(write_x, read_x), EncoderOptions::default());
+    println!("\nFigure 5 constraint system for ({write_x}, {read_x}):");
+    println!("  {}", enc.describe());
+
+    // Table-1-style comparison row.
+    println!("\ndetector comparison (races by signature):");
+    let tools: Vec<Box<dyn RaceDetectorTool>> = vec![
+        Box::new(MaximalDetector::default()),
+        Box::new(SaidDetector::default()),
+        Box::new(CpDetector::default()),
+        Box::new(HbDetector::default()),
+    ];
+    for tool in &tools {
+        let r = tool.detect_races(&w.trace);
+        println!("  {:<5} {} race(s)", tool.name(), r.n_races());
+    }
+    println!(
+        "\nOnly the maximal technique proves (3,10): CP is blocked by the y-conflict\n\
+         between the lock regions, HB by the release→acquire edge, and Said by\n\
+         requiring line 8 to read y = 1."
+    );
+}

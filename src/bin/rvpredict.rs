@@ -1,0 +1,186 @@
+//! The `rvpredict` command-line tool: read a serialized trace, run the
+//! maximal race detector (or a baseline), and print the report.
+//!
+//! ```sh
+//! rvpredict [OPTIONS] TRACE.json
+//!
+//! OPTIONS:
+//!   --detector rv|said|cp|hb   technique to run (default rv)
+//!   --window N                 window size in events (default 10000)
+//!   --budget SECS              per-COP solver budget (default 60, as in the paper)
+//!   --witnesses                print full witness schedules
+//!   --demo                     ignore TRACE and run the paper's Figure 1 instead
+//! ```
+//!
+//! The trace format is the `serde` JSON serialization of
+//! [`rvpredict::Trace`]; any instrumentation front-end that can emit the §2
+//! event alphabet can produce it.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvpredict::{
+    CpDetector, DetectorConfig, HbDetector, RaceDetector, RaceDetectorTool, SaidDetector, Trace,
+};
+
+struct Options {
+    detector: String,
+    window: usize,
+    budget: Duration,
+    witnesses: bool,
+    demo: bool,
+    path: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        detector: "rv".into(),
+        window: 10_000,
+        budget: Duration::from_secs(60),
+        witnesses: false,
+        demo: false,
+        path: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--detector" => {
+                opts.detector = args.get(i + 1).ok_or("--detector needs a value")?.clone();
+                i += 2;
+            }
+            "--window" => {
+                opts.window = args
+                    .get(i + 1)
+                    .ok_or("--window needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+                i += 2;
+            }
+            "--budget" => {
+                let secs: u64 = args
+                    .get(i + 1)
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                opts.budget = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--witnesses" => {
+                opts.witnesses = true;
+                i += 1;
+            }
+            "--demo" => {
+                opts.demo = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path => {
+                opts.path = Some(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
+         [--witnesses] (--demo | TRACE.json)"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let trace: Trace = if opts.demo {
+        rvsim::workloads::figures::figure1().trace
+    } else {
+        let Some(path) = &opts.path else {
+            usage();
+            return ExitCode::from(2);
+        };
+        let data = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str(&data) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path} is not a serialized trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let stats = trace.stats();
+    println!("trace: {stats}");
+    let violations = rvpredict::check_consistency(&trace);
+    if !violations.is_empty() {
+        eprintln!("warning: trace is not sequentially consistent:");
+        for v in violations.iter().take(5) {
+            eprintln!("  {v}");
+        }
+        eprintln!("  (detection verdicts are meaningless on inconsistent traces)");
+    }
+
+    match opts.detector.as_str() {
+        "rv" => {
+            let cfg = DetectorConfig {
+                window_size: opts.window,
+                solver_timeout: opts.budget,
+                ..Default::default()
+            };
+            let report = RaceDetector::with_config(cfg).detect(&trace);
+            println!("{report}");
+            for race in &report.races {
+                println!("  {}", race.display(&trace));
+                if opts.witnesses {
+                    println!("    witness: {}", race.schedule);
+                }
+            }
+        }
+        name @ ("said" | "cp" | "hb") => {
+            let tool: Box<dyn RaceDetectorTool> = match name {
+                "said" => {
+                    let mut d = SaidDetector::default();
+                    d.config.window_size = opts.window;
+                    d.config.solver_timeout = opts.budget;
+                    Box::new(d)
+                }
+                "cp" => Box::new(CpDetector { window_size: opts.window, ..Default::default() }),
+                _ => Box::new(HbDetector { window_size: opts.window, ..Default::default() }),
+            };
+            let r = tool.detect_races(&trace);
+            println!(
+                "{}: {} race(s), {} pairs checked, {:?}",
+                tool.name(),
+                r.n_races(),
+                r.pairs_checked,
+                r.time
+            );
+            for sig in &r.signatures {
+                println!("  {}", sig.display(&trace));
+            }
+        }
+        other => {
+            eprintln!("error: unknown detector {other}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

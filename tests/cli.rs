@@ -1,0 +1,74 @@
+//! End-to-end test of the `rvpredict` CLI binary: serialize a trace to
+//! JSON, run the tool on it, and check the report — the adoption surface a
+//! downstream instrumentation front-end would use.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rvpredict")
+}
+
+#[test]
+fn cli_detects_race_in_serialized_trace() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = serde_json::to_string(&w.trace).expect("serializable");
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1.json");
+    std::fs::write(&path, json).unwrap();
+
+    let out = Command::new(bin())
+        .arg("--witnesses")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 race(s)"), "{stdout}");
+    assert!(stdout.contains("witness:"), "{stdout}");
+}
+
+#[test]
+fn cli_baselines_find_nothing_on_figure1() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = serde_json::to_string(&w.trace).unwrap();
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1b.json");
+    std::fs::write(&path, json).unwrap();
+
+    for det in ["hb", "cp", "said"] {
+        let out = Command::new(bin())
+            .args(["--detector", det])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 race(s)"), "{det}: {stdout}");
+    }
+}
+
+#[test]
+fn cli_demo_mode() {
+    let out = Command::new(bin()).arg("--demo").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 race(s)"));
+}
+
+#[test]
+fn cli_rejects_garbage() {
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "not json").unwrap();
+    let out = Command::new(bin()).arg(&path).output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_usage_on_missing_args() {
+    let out = Command::new(bin()).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

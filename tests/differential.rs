@@ -1,0 +1,114 @@
+//! Differential testing of the SMT-based detector against the brute-force
+//! maximal-causal-model oracle (an independent implementation of the §2
+//! axioms). Theorem 3 says the constraint system is satisfiable *iff* the
+//! COP is a race in the maximal sense — so on small traces the two
+//! implementations must agree exactly, in both directions (soundness AND
+//! maximality).
+
+use proptest::prelude::*;
+use rvcore::{encode, oracle_races, EncoderOptions};
+use rvpredict::{check_consistency, Budget, Cop, SmtResult, Solver, ViewExt};
+use rvsim::stmts::*;
+use rvsim::{execute, ExecConfig, Expr, GlobalId, Local, LockRef, Outcome, ProcId, Program, Stmt};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u32, i64),
+    Read(u32),
+    Guarded(u32, u32),
+    Locked(u32, u32),
+    Branchy,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let op = prop_oneof![
+        ((0u32..2), (0i64..2)).prop_map(|(v, val)| Op::Write(v, val)),
+        (0u32..2).prop_map(Op::Read),
+        ((0u32..2), (0u32..2)).prop_map(|(v, w)| Op::Guarded(v, w)),
+        ((0u32..2), (0u32..2)).prop_map(|(v, l)| Op::Locked(v, l)),
+        Just(Op::Branchy),
+    ];
+    proptest::collection::vec(proptest::collection::vec(op, 1..3), 2..3)
+}
+
+fn build(workers: &[Vec<Op>]) -> Program {
+    let r = Local(0);
+    let body = |ops: &[Op]| -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                Op::Write(v, val) => out.push(store(GlobalId(v), val.into())),
+                Op::Read(v) => out.push(load(r, GlobalId(v))),
+                Op::Guarded(v, w) => out.extend([
+                    load(r, GlobalId(v)),
+                    if_(
+                        Expr::eq(r.into(), 0.into()),
+                        vec![store(GlobalId(w), 1.into())],
+                        vec![],
+                    ),
+                ]),
+                Op::Locked(v, l) => out.extend([
+                    lock(LockRef(l)),
+                    store(GlobalId(v), 1.into()),
+                    unlock(LockRef(l)),
+                ]),
+                Op::Branchy => out.push(if_(Expr::Const(1), vec![], vec![])),
+            }
+        }
+        out
+    };
+    let procs: Vec<Vec<Stmt>> = workers.iter().map(|w| body(w)).collect();
+    let mut main: Vec<Stmt> = (0..procs.len() as u32).map(ProcId).map(fork).collect();
+    main.extend((0..procs.len() as u32).map(ProcId).map(join));
+    Program::new(vec![scalar("v0", 0), scalar("v1", 0)], 2, main, procs)
+}
+
+/// All conflicting pairs of a view (no caps, no quick check) decided by the
+/// encoder directly.
+fn detector_races(trace: &rvpredict::Trace) -> BTreeSet<Cop> {
+    let view = trace.full_view();
+    let en = rvcore::enumerate_cops(&view, false, usize::MAX);
+    let mut out = BTreeSet::new();
+    for cop in en.cops {
+        let enc = encode(&view, cop, EncoderOptions::default());
+        let mut s = Solver::new(&enc.fb);
+        s.hint_atom_phases(|a| enc.phase_hint(a));
+        if s.solve(&Budget::UNLIMITED) == SmtResult::Sat {
+            out.insert(cop);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// On every reachable small trace, the encoder's verdicts equal the
+    /// oracle's, COP for COP.
+    #[test]
+    fn encoder_matches_oracle(workers in arb_ops(), seed in 0u64..400) {
+        let program = build(&workers);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        prop_assume!(exec.outcome == Outcome::Completed);
+        prop_assume!(exec.trace.len() <= 22);
+        prop_assert!(check_consistency(&exec.trace).is_empty());
+        let got = detector_races(&exec.trace);
+        let want = oracle_races(&exec.trace.full_view(), 22);
+        prop_assert_eq!(
+            &got, &want,
+            "encoder vs oracle disagree on trace {:?}",
+            exec.trace.events()
+        );
+    }
+}
+
+/// A deterministic regression of the differential harness on Figure 1.
+#[test]
+fn figure1_differential() {
+    let w = rvsim::workloads::figures::figure1();
+    let got = detector_races(&w.trace);
+    let want = oracle_races(&w.trace.full_view(), 22);
+    assert_eq!(got, want);
+    assert_eq!(got.len(), 1);
+}

@@ -1,0 +1,105 @@
+//! The paper's headline empirical claim (Table 1): on every benchmark the
+//! maximal technique detects a *superset* of the races of every other sound
+//! technique, and HB ⊆ CP.
+//!
+//! These tests run the full small-benchmark suite (example + contest +
+//! grande classes) through all four detectors. The slow system-class rows
+//! are covered by the `table1` harness binary instead.
+
+use rvpredict::{CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector};
+use rvsim::workloads;
+
+#[test]
+fn maximal_detects_superset_on_small_suite() {
+    let rv = MaximalDetector::default();
+    let said = SaidDetector::default();
+    let cp = CpDetector::default();
+    let hb = HbDetector::default();
+    for w in workloads::small_suite() {
+        let r = rv.detect_races(&w.trace);
+        let s = said.detect_races(&w.trace);
+        let c = cp.detect_races(&w.trace);
+        let h = hb.detect_races(&w.trace);
+        assert!(
+            s.signatures.is_subset(&r.signatures),
+            "{}: Said ⊄ RV ({} vs {})",
+            w.name,
+            s.n_races(),
+            r.n_races()
+        );
+        assert!(
+            c.signatures.is_subset(&r.signatures),
+            "{}: CP ⊄ RV ({} vs {})",
+            w.name,
+            c.n_races(),
+            r.n_races()
+        );
+        assert!(
+            h.signatures.is_subset(&r.signatures),
+            "{}: HB ⊄ RV ({} vs {})",
+            w.name,
+            h.n_races(),
+            r.n_races()
+        );
+        assert!(
+            h.signatures.is_subset(&c.signatures),
+            "{}: HB ⊄ CP ({} vs {})",
+            w.name,
+            h.n_races(),
+            c.n_races()
+        );
+    }
+}
+
+#[test]
+fn maximal_strictly_beats_baselines_somewhere() {
+    let rv = MaximalDetector::default();
+    let cp = CpDetector::default();
+    let mut strict = 0usize;
+    for w in workloads::small_suite() {
+        let r = rv.detect_races(&w.trace);
+        let c = cp.detect_races(&w.trace);
+        if r.n_races() > c.n_races() {
+            strict += 1;
+        }
+    }
+    assert!(strict >= 2, "RV should strictly beat CP on several benchmarks, got {strict}");
+}
+
+#[test]
+fn detectors_agree_on_race_free_series() {
+    let w = workloads::small_suite()
+        .into_iter()
+        .find(|w| w.name == "series")
+        .unwrap();
+    for tool in [
+        Box::new(MaximalDetector::default()) as Box<dyn RaceDetectorTool>,
+        Box::new(SaidDetector::default()),
+        Box::new(CpDetector::default()),
+        Box::new(HbDetector::default()),
+    ] {
+        assert_eq!(tool.detect_races(&w.trace).n_races(), 0, "{}", tool.name());
+    }
+}
+
+/// The QC column is a superset of every sound technique's result (it is the
+/// unsound hybrid filter of paper §4).
+#[test]
+fn quick_check_superset() {
+    use rvpredict::{RaceDetector, ViewExt};
+    use rvcore::enumerate_cops;
+    for w in workloads::small_suite() {
+        let report = RaceDetector::new().detect(&w.trace);
+        let mut qc_total = 0;
+        for view in w.trace.windows(10_000) {
+            qc_total += enumerate_cops(&view, true, 10).qc_signatures;
+        }
+        assert!(
+            report.n_races() <= qc_total,
+            "{}: races {} > QC {}",
+            w.name,
+            report.n_races(),
+            qc_total
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the trace substrate: windowing agrees with the
+//! full view, serde round-trips, and the interpreter only ever produces
+//! consistent traces.
+
+use proptest::prelude::*;
+use rvpredict::{check_consistency, EventId, Trace, ViewExt};
+use rvsim::stmts::*;
+use rvsim::{execute, ExecConfig, Expr, GlobalId, Local, LockRef, ProcId, Program, Stmt};
+
+#[derive(Debug, Clone)]
+enum A {
+    W(u32, i64),
+    R(u32),
+    L(u32),
+    If(u32),
+}
+
+fn arb_trace() -> impl Strategy<Value = (Vec<Vec<A>>, u64)> {
+    let op = prop_oneof![
+        ((0u32..3), (0i64..3)).prop_map(|(v, x)| A::W(v, x)),
+        (0u32..3).prop_map(A::R),
+        (0u32..2).prop_map(A::L),
+        (0u32..3).prop_map(A::If),
+    ];
+    (
+        proptest::collection::vec(proptest::collection::vec(op, 1..6), 1..4),
+        0u64..500,
+    )
+}
+
+fn run(workers: &[Vec<A>], seed: u64) -> Option<Trace> {
+    let r = Local(0);
+    let body = |ops: &[A]| -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                A::W(v, x) => out.push(store(GlobalId(v), x.into())),
+                A::R(v) => out.push(load(r, GlobalId(v))),
+                A::L(l) => out.extend([
+                    lock(LockRef(l)),
+                    store(GlobalId(0), 1.into()),
+                    unlock(LockRef(l)),
+                ]),
+                A::If(v) => out.extend([
+                    load(r, GlobalId(v)),
+                    if_(Expr::eq(r.into(), 0.into()), vec![store(GlobalId(v), 2.into())], vec![]),
+                ]),
+            }
+        }
+        out
+    };
+    let procs: Vec<Vec<Stmt>> = workers.iter().map(|w| body(w)).collect();
+    let mut main: Vec<Stmt> = (0..procs.len() as u32).map(ProcId).map(fork).collect();
+    main.extend((0..procs.len() as u32).map(ProcId).map(join));
+    let program = Program::new(
+        vec![scalar("v0", 0), scalar("v1", 0), scalar("v2", 0)],
+        2,
+        main,
+        procs,
+    );
+    let exec = execute(&program, &ExecConfig::seeded(seed)).ok()?;
+    Some(exec.trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Interpreter output is always sequentially consistent, whatever the
+    /// schedule.
+    #[test]
+    fn interpreter_traces_consistent((workers, seed) in arb_trace()) {
+        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+        prop_assert!(check_consistency(&trace).is_empty());
+    }
+
+    /// Serde round-trips preserve events, stats and metadata.
+    #[test]
+    fn serde_roundtrip((workers, seed) in arb_trace()) {
+        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.events(), trace.events());
+        prop_assert_eq!(back.stats(), trace.stats());
+        prop_assert_eq!(back.wait_links(), trace.wait_links());
+    }
+
+    /// Windowed views agree with the full view on everything that does not
+    /// cross a boundary: per-event locksets, initial values at window
+    /// starts, and MHB restricted to in-window pairs being a subset of the
+    /// full relation.
+    #[test]
+    fn windows_agree_with_full_view((workers, seed) in arb_trace(), wsize in 2usize..7) {
+        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+        let full = trace.full_view();
+        for window in trace.windows(wsize) {
+            for id in window.ids() {
+                prop_assert_eq!(window.lockset(id), full.lockset(id), "lockset of {}", id);
+            }
+            // In-window MHB is a sub-relation of full-trace MHB.
+            let ids: Vec<EventId> = window.ids().collect();
+            for &a in &ids {
+                for &b in &ids {
+                    if window.mhb(a, b) {
+                        prop_assert!(full.mhb(a, b), "window MHB must under-approximate");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Window-local initial values equal the last write before the window
+    /// (replay semantics).
+    #[test]
+    fn window_initial_values_replay((workers, seed) in arb_trace(), wsize in 2usize..7) {
+        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+        let mut current: std::collections::HashMap<u32, i64> = Default::default();
+        let mut pos = 0usize;
+        for window in trace.windows(wsize) {
+            for v in 0..trace.n_vars() as u32 {
+                let expected = current
+                    .get(&v)
+                    .copied()
+                    .unwrap_or_else(|| trace.initial_value(rvpredict::VarId(v)).0);
+                prop_assert_eq!(window.initial_value(rvpredict::VarId(v)).0, expected);
+            }
+            for i in window.range() {
+                if let rvpredict::EventKind::Write { var, value } = trace.events()[i].kind {
+                    current.insert(var.0, value.0);
+                }
+                pos += 1;
+            }
+        }
+        prop_assert_eq!(pos, trace.len());
+    }
+}
