@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Offline CI gate: everything here must pass with no network access.
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # skip the release build (debug tests + fmt only)
+set -eu
+
+say() { printf '\n== %s ==\n' "$1"; }
+
+if [ "${1:-}" != "quick" ]; then
+    say "release build"
+    cargo build --release --workspace
+fi
+
+say "tests (workspace)"
+cargo test --workspace -q
+
+say "parallel equivalence (serial vs threaded driver)"
+cargo test -q --test parallel_equivalence
+
+say "ignored tests"
+cargo test --workspace -q -- --ignored
+
+say "benches compile"
+cargo build --benches -p rvbench
+
+say "formatting"
+cargo fmt --all --check
+
+say "ci.sh: all green"

@@ -131,17 +131,15 @@ fn clocks_with_edges(view: &View<'_>, include_lock_edges: bool) -> Vec<VectorClo
 }
 
 /// Whether `a` happens-before `b` under the given per-offset clocks.
-pub fn hb_ordered(
-    view: &View<'_>,
-    clocks: &[VectorClock],
-    a: EventId,
-    b: EventId,
-) -> bool {
+pub fn hb_ordered(view: &View<'_>, clocks: &[VectorClock], a: EventId, b: EventId) -> bool {
     if a == b {
         return false;
     }
     let start = view.range().start;
-    let ta = view.trace().thread_index(view.event(a).thread).expect("indexed");
+    let ta = view
+        .trace()
+        .thread_index(view.event(a).thread)
+        .expect("indexed");
     clocks[b.index() - start].get(ta) as usize > view.vpos(a)
 }
 
@@ -220,7 +218,10 @@ mod tests {
         let tr = b.finish();
         let v = tr.full_view();
         let clocks = hb_clocks(&v);
-        assert!(hb_ordered(&v, &clocks, w, r), "release→acquire orders the accesses");
+        assert!(
+            hb_ordered(&v, &clocks, w, r),
+            "release→acquire orders the accesses"
+        );
         assert!(!hb_ordered(&v, &clocks, r, w));
         // MHB alone does NOT order them (the paper's relaxation target).
         assert!(!v.mhb(w, r));

@@ -39,7 +39,10 @@ pub struct CpDetector {
 
 impl Default for CpDetector {
     fn default() -> Self {
-        CpDetector { window_size: 10_000, cap_per_signature: 10 }
+        CpDetector {
+            window_size: 10_000,
+            cap_per_signature: 10,
+        }
     }
 }
 
@@ -53,7 +56,11 @@ struct Span {
 }
 
 fn conflicting(a: &Span, b: &Span) -> bool {
-    let (small, big) = if a.accesses.len() <= b.accesses.len() { (a, b) } else { (b, a) };
+    let (small, big) = if a.accesses.len() <= b.accesses.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     small.accesses.iter().any(|(var, &(r1, w1))| {
         big.accesses
             .get(var)
@@ -73,7 +80,11 @@ struct BitMatrix {
 impl BitMatrix {
     fn new(n: usize) -> Self {
         let words = n.div_ceil(64);
-        BitMatrix { n, words, rows: vec![0; n * words] }
+        BitMatrix {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
     }
     fn set(&mut self, i: usize, j: usize) {
         self.rows[i * self.words + j / 64] |= 1 << (j % 64);
@@ -148,12 +159,15 @@ impl<'v, 't> CpIndex<'v, 't> {
                     }
                 }
                 spans_by_lock.entry(lock).or_default().push(spans.len());
-                spans.push(Span { acquire: acq, release: rel, accesses });
+                spans.push(Span {
+                    acquire: acq,
+                    release: rel,
+                    accesses,
+                });
             }
         }
 
-        let hb =
-            |clocks: &[VectorClock], a: EventId, b: EventId| hb_ordered(view, clocks, a, b);
+        let hb = |clocks: &[VectorClock], a: EventId, b: EventId| hb_ordered(view, clocks, a, b);
 
         // Rule (a) seeds.
         let mut edge_set: std::collections::HashSet<(usize, usize)> =
@@ -205,7 +219,11 @@ impl<'v, 't> CpIndex<'v, 't> {
             for ids in spans_by_lock.values() {
                 for (pi, &p) in ids.iter().enumerate() {
                     for &q in &ids[pi + 1..] {
-                        let (p, q) = if spans[p].acquire < spans[q].acquire { (p, q) } else { (q, p) };
+                        let (p, q) = if spans[p].acquire < spans[q].acquire {
+                            (p, q)
+                        } else {
+                            (q, p)
+                        };
                         if edge_set.contains(&(p, q)) {
                             continue;
                         }
@@ -247,7 +265,14 @@ impl<'v, 't> CpIndex<'v, 't> {
             edges = edge_set.iter().copied().collect();
         }
 
-        CpIndex { view, full_hb, hard, spans, edges, reach }
+        CpIndex {
+            view,
+            full_hb,
+            hard,
+            spans,
+            edges,
+            reach,
+        }
     }
 
     /// `a CP b` (directional).
@@ -356,11 +381,18 @@ mod tests {
         let tr = b.finish();
         let cp = CpDetector::default().detect_races(&tr);
         let hb = crate::hb::HbDetector::default().detect_races(&tr);
-        assert_eq!(cp.n_races(), 1, "CP sees through the unrelated lock regions");
+        assert_eq!(
+            cp.n_races(),
+            1,
+            "CP sees through the unrelated lock regions"
+        );
         assert_eq!(hb.n_races(), 0, "HB is blocked by the release→acquire edge");
         let v = tr.full_view();
         let index = CpIndex::build(&v);
-        assert!(index.edges.is_empty(), "no rule-(a) edge between {{x}} and {{z}} regions");
+        assert!(
+            index.edges.is_empty(),
+            "no rule-(a) edge between {{x}} and {{z}} regions"
+        );
         assert!(!index.cp_ordered(a, bb) && !index.cp_ordered(bb, a));
     }
 
@@ -390,7 +422,11 @@ mod tests {
         let tr = b.finish();
         let v = tr.full_view();
         let index = CpIndex::build(&v);
-        assert_eq!(index.edges.len(), 1, "one rule-(a) edge (the l1 regions conflict on y)");
+        assert_eq!(
+            index.edges.len(),
+            1,
+            "one rule-(a) edge (the l1 regions conflict on y)"
+        );
         // CP orders t1's write of y before t2's read of y.
         let w = rvtrace::EventId(2);
         let r = rvtrace::EventId(6);
@@ -419,6 +455,10 @@ mod tests {
         b.join(t1, t2);
         b.write(t1, x, 3);
         let report = CpDetector::default().detect_races(&b.finish());
-        assert_eq!(report.n_races(), 0, "hard synchronization is unconditional in CP");
+        assert_eq!(
+            report.n_races(),
+            0,
+            "hard synchronization is unconditional in CP"
+        );
     }
 }

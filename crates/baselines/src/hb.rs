@@ -25,7 +25,10 @@ pub struct HbDetector {
 
 impl Default for HbDetector {
     fn default() -> Self {
-        HbDetector { window_size: 10_000, cap_per_signature: 10 }
+        HbDetector {
+            window_size: 10_000,
+            cap_per_signature: 10,
+        }
     }
 }
 
@@ -120,6 +123,10 @@ mod tests {
         b.read(t2, y, 1);
         b.read(t2, x, 1);
         let report = HbDetector::default().detect_races(&b.finish());
-        assert_eq!(report.n_races(), 0, "HB conservatively orders via the volatile");
+        assert_eq!(
+            report.n_races(),
+            0,
+            "HB conservatively orders via the volatile"
+        );
     }
 }

@@ -42,7 +42,9 @@ mod cp;
 mod hb;
 mod said;
 
-pub use common::{hard_sync_clocks, hb_clocks, hb_ordered, scan_conflicting_pairs, RaceDetectorTool, ToolReport};
+pub use common::{
+    hard_sync_clocks, hb_clocks, hb_ordered, scan_conflicting_pairs, RaceDetectorTool, ToolReport,
+};
 pub use cp::CpDetector;
 pub use hb::HbDetector;
 pub use said::{MaximalDetector, SaidDetector};

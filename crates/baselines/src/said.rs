@@ -40,7 +40,10 @@ impl Default for SaidDetector {
 impl SaidDetector {
     /// Creates the baseline with a custom window size.
     pub fn with_window(window_size: usize) -> Self {
-        let config = DetectorConfig { window_size, ..DetectorConfig::said_baseline() };
+        let config = DetectorConfig {
+            window_size,
+            ..DetectorConfig::said_baseline()
+        };
         SaidDetector { config }
     }
 }
@@ -74,7 +77,12 @@ pub struct MaximalDetector {
 impl MaximalDetector {
     /// Creates the detector with a custom window size.
     pub fn with_window(window_size: usize) -> Self {
-        MaximalDetector { config: DetectorConfig { window_size, ..Default::default() } }
+        MaximalDetector {
+            config: DetectorConfig {
+                window_size,
+                ..Default::default()
+            },
+        }
     }
 }
 
@@ -117,7 +125,11 @@ mod tests {
         let tr = figure2_case_read();
         let said = SaidDetector::default().detect_races(&tr);
         let rv = MaximalDetector::default().detect_races(&tr);
-        assert_eq!(said.n_races(), 0, "Said requires read(y)=1, blocking the reorder");
+        assert_eq!(
+            said.n_races(),
+            0,
+            "Said requires read(y)=1, blocking the reorder"
+        );
         assert_eq!(rv.n_races(), 1, "the maximal technique finds (1,4)");
     }
 

@@ -5,7 +5,9 @@
 //! * signature deduplication (§4) — skips same-signature COPs once racy;
 //! * trace-order phase seeding (our solver's counterpart of a warm start).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use rvbench::micro::Runner;
 use rvcore::{DetectorConfig, RaceDetector};
 use rvsim::workloads::{self, Workload};
 
@@ -21,63 +23,86 @@ fn workload() -> Workload {
     workloads::systems::generate(&profile)
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let w = workload();
+fn bench_ablations(r: &mut Runner, w: &Workload) {
     let variants: Vec<(&str, DetectorConfig)> = vec![
         ("full", DetectorConfig::default()),
         (
             "no-quick-check",
-            DetectorConfig { quick_check: false, ..Default::default() },
+            DetectorConfig {
+                quick_check: false,
+                ..Default::default()
+            },
         ),
         (
             "no-write-prune",
-            DetectorConfig { prune_write_sets: false, ..Default::default() },
+            DetectorConfig {
+                prune_write_sets: false,
+                ..Default::default()
+            },
         ),
         (
             "no-dedup",
-            DetectorConfig { dedup_signatures: false, ..Default::default() },
+            DetectorConfig {
+                dedup_signatures: false,
+                ..Default::default()
+            },
         ),
         (
             "no-phase-hints",
-            DetectorConfig { phase_hints: false, ..Default::default() },
+            DetectorConfig {
+                phase_hints: false,
+                ..Default::default()
+            },
         ),
         (
             "no-batching",
-            DetectorConfig { batch_windows: false, ..Default::default() },
+            DetectorConfig {
+                batch_windows: false,
+                ..Default::default()
+            },
         ),
     ];
-    let mut g = c.benchmark_group("ablation/xalan-0.15x");
-    g.sample_size(10);
+    r.sample_target(Duration::from_millis(100));
     for (name, cfg) in variants {
-        g.bench_function(name, |b| {
-            let det = RaceDetector::with_config(cfg.clone());
-            b.iter(|| det.detect(&w.trace).n_races())
+        let det = RaceDetector::with_config(cfg);
+        r.bench(&format!("ablation/xalan-0.15x/{name}"), || {
+            det.detect(&w.trace).n_races()
         });
     }
-    g.finish();
 }
 
 /// The ablations must not change *what* is detected, only how fast
 /// (dedup changes multiplicity only; quick check is a pure filter for the
 /// solver, which would reject the same pairs).
-fn ablation_results_agree() {
-    let w = workload();
+fn ablation_results_agree(w: &Workload) {
     let base = RaceDetector::new().detect(&w.trace).signatures();
     for cfg in [
-        DetectorConfig { quick_check: false, ..Default::default() },
-        DetectorConfig { prune_write_sets: false, ..Default::default() },
-        DetectorConfig { phase_hints: false, ..Default::default() },
-        DetectorConfig { batch_windows: false, ..Default::default() },
+        DetectorConfig {
+            quick_check: false,
+            ..Default::default()
+        },
+        DetectorConfig {
+            prune_write_sets: false,
+            ..Default::default()
+        },
+        DetectorConfig {
+            phase_hints: false,
+            ..Default::default()
+        },
+        DetectorConfig {
+            batch_windows: false,
+            ..Default::default()
+        },
     ] {
         let got = RaceDetector::with_config(cfg).detect(&w.trace).signatures();
         assert_eq!(got, base, "ablation changed detected signatures");
     }
 }
 
-fn bench_entry(c: &mut Criterion) {
-    ablation_results_agree();
-    bench_ablations(c);
+fn main() {
+    let w = workload();
+    ablation_results_agree(&w);
+    let mut r = Runner::from_env("ablation");
+    bench_ablations(&mut r, &w);
+    r.finish();
 }
-
-criterion_group!(benches, bench_entry);
-criterion_main!(benches);

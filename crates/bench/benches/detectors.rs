@@ -3,8 +3,10 @@
 //! faster than the SMT-based detectors, with RV faster than Said (§5,
 //! "Scalability").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use rvbaselines::{CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector};
+use rvbench::micro::Runner;
 use rvsim::workloads::{self, Workload};
 
 fn benchmark_set() -> Vec<Workload> {
@@ -15,55 +17,54 @@ fn benchmark_set() -> Vec<Workload> {
     ]
 }
 
-fn bench_all_detectors(c: &mut Criterion) {
-    let set = benchmark_set();
-    for w in &set {
-        let mut g = c.benchmark_group(format!("detect/{}", w.name));
-        g.bench_function(BenchmarkId::from_parameter("RV"), |b| {
-            let d = MaximalDetector::default();
-            b.iter(|| d.detect_races(&w.trace).n_races())
+fn bench_all_detectors(r: &mut Runner) {
+    for w in &benchmark_set() {
+        let rv = MaximalDetector::default();
+        r.bench(&format!("detect/{}/RV", w.name), || {
+            rv.detect_races(&w.trace).n_races()
         });
-        g.bench_function(BenchmarkId::from_parameter("Said"), |b| {
-            let d = SaidDetector::default();
-            b.iter(|| d.detect_races(&w.trace).n_races())
+        let said = SaidDetector::default();
+        r.bench(&format!("detect/{}/Said", w.name), || {
+            said.detect_races(&w.trace).n_races()
         });
-        g.bench_function(BenchmarkId::from_parameter("CP"), |b| {
-            let d = CpDetector::default();
-            b.iter(|| d.detect_races(&w.trace).n_races())
+        let cp = CpDetector::default();
+        r.bench(&format!("detect/{}/CP", w.name), || {
+            cp.detect_races(&w.trace).n_races()
         });
-        g.bench_function(BenchmarkId::from_parameter("HB"), |b| {
-            let d = HbDetector::default();
-            b.iter(|| d.detect_races(&w.trace).n_races())
+        let hb = HbDetector::default();
+        r.bench(&format!("detect/{}/HB", w.name), || {
+            hb.detect_races(&w.trace).n_races()
         });
-        g.finish();
     }
 }
 
 /// One system-class row at reduced scale: the derby-like constraint-heavy
 /// profile the paper singles out as the most time-consuming case.
-fn bench_system_row(c: &mut Criterion) {
+fn bench_system_row(r: &mut Runner) {
     let profile = workloads::systems::profiles()
         .into_iter()
         .find(|p| p.name == "derby")
         .expect("derby profile")
         .scaled(0.25);
     let w = workloads::systems::generate(&profile);
-    let mut g = c.benchmark_group("detect/derby-0.25x");
-    g.sample_size(10);
-    g.bench_function("RV", |b| {
-        let d = MaximalDetector::default();
-        b.iter(|| d.detect_races(&w.trace).n_races())
+    r.sample_target(Duration::from_millis(100));
+    let rv = MaximalDetector::default();
+    r.bench("detect/derby-0.25x/RV", || {
+        rv.detect_races(&w.trace).n_races()
     });
-    g.bench_function("CP", |b| {
-        let d = CpDetector::default();
-        b.iter(|| d.detect_races(&w.trace).n_races())
+    let cp = CpDetector::default();
+    r.bench("detect/derby-0.25x/CP", || {
+        cp.detect_races(&w.trace).n_races()
     });
-    g.bench_function("HB", |b| {
-        let d = HbDetector::default();
-        b.iter(|| d.detect_races(&w.trace).n_races())
+    let hb = HbDetector::default();
+    r.bench("detect/derby-0.25x/HB", || {
+        hb.detect_races(&w.trace).n_races()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_all_detectors, bench_system_row);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env("detectors");
+    bench_all_detectors(&mut r);
+    bench_system_row(&mut r);
+    r.finish();
+}

@@ -1,0 +1,74 @@
+//! Scaling of the parallel window driver: the same trace, the same
+//! windows, solved with 1/2/4/8 workers. Reports per-run wall time,
+//! throughput (events/s) and speedup over the serial driver; verifies on
+//! the way that every thread count reports identical races (the merge-time
+//! dedup contract of `RaceDetector::detect`).
+
+use std::time::{Duration, Instant};
+
+use rvbench::micro::fmt_duration;
+use rvcore::{DetectorConfig, RaceDetector};
+use rvsim::workloads::{self, Workload};
+
+/// Enough windows to keep 8 workers busy, enough constraint work per
+/// window for solving (not view construction) to dominate.
+fn workload() -> (Workload, usize) {
+    let profile = workloads::systems::profiles()
+        .into_iter()
+        .find(|p| p.name == "derby")
+        .expect("derby profile")
+        .scaled(0.5);
+    let w = workloads::systems::generate(&profile);
+    let window_size = (w.trace.len() / 24).max(64);
+    (w, window_size)
+}
+
+fn measure(
+    w: &Workload,
+    window_size: usize,
+    parallelism: usize,
+    reps: usize,
+) -> (Duration, Vec<rvtrace::RaceSignature>) {
+    let cfg = DetectorConfig {
+        window_size,
+        parallelism,
+        ..Default::default()
+    };
+    let det = RaceDetector::with_config(cfg);
+    let mut best = Duration::MAX;
+    let mut sigs = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = det.detect(&w.trace);
+        best = best.min(start.elapsed());
+        sigs = report.signatures();
+    }
+    (best, sigs)
+}
+
+fn main() {
+    let (w, window_size) = workload();
+    let events = w.trace.len();
+    let n_windows = events.div_ceil(window_size);
+    println!("== parallel_scaling ==");
+    println!(
+        "workload {} ({events} events, {n_windows} windows of {window_size}), best of 3 runs",
+        w.name
+    );
+    let (serial_time, serial_sigs) = measure(&w, window_size, 1, 3);
+    println!(
+        "  jobs=1  {:>10}  {:>12.0} events/s  1.00x",
+        fmt_duration(serial_time),
+        events as f64 / serial_time.as_secs_f64()
+    );
+    for jobs in [2usize, 4, 8] {
+        let (time, sigs) = measure(&w, window_size, jobs, 3);
+        assert_eq!(sigs, serial_sigs, "jobs={jobs} changed detected signatures");
+        println!(
+            "  jobs={jobs}  {:>10}  {:>12.0} events/s  {:.2}x",
+            fmt_duration(time),
+            events as f64 / time.as_secs_f64(),
+            serial_time.as_secs_f64() / time.as_secs_f64()
+        );
+    }
+}

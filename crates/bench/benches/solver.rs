@@ -3,58 +3,60 @@
 //! underpin the paper's scalability argument (§5): "the core computation
 //! takes place in the constraint solving phase".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvbench::micro::Runner;
 use rvsmt::{Atom, BVar, Budget, FormulaBuilder, Idl, IntVar, Lit, SmtResult, Solver};
 
 /// Asserting a long chain of strict orderings (one potential repair each).
-fn bench_idl_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("idl/chain");
+fn bench_idl_chain(r: &mut Runner) {
     for n in [1_000usize, 10_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut idl = Idl::new(n);
-                for i in 0..n - 1 {
-                    // Reverse order so every assert repairs potentials.
-                    let atom = Atom {
-                        x: IntVar((n - 1 - i) as u32),
-                        y: IntVar((n - 2 - i) as u32),
-                        k: -1,
-                    };
-                    idl.assert(atom, Lit::pos(BVar(i as u32))).unwrap();
-                }
-                idl.n_edges()
-            })
+        r.bench(&format!("idl/chain/{n}"), || {
+            let mut idl = Idl::new(n);
+            for i in 0..n - 1 {
+                // Reverse order so every assert repairs potentials.
+                let atom = Atom {
+                    x: IntVar((n - 1 - i) as u32),
+                    y: IntVar((n - 2 - i) as u32),
+                    k: -1,
+                };
+                idl.assert(atom, Lit::pos(BVar(i as u32))).unwrap();
+            }
+            idl.n_edges()
         });
     }
-    g.finish();
 }
 
 /// Negative-cycle detection cost as the cycle length grows.
-fn bench_idl_conflict(c: &mut Criterion) {
-    let mut g = c.benchmark_group("idl/negative-cycle");
+fn bench_idl_conflict(r: &mut Runner) {
     for n in [100usize, 1_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut idl = Idl::new(n);
-                for i in 0..n - 1 {
-                    let atom =
-                        Atom { x: IntVar(i as u32), y: IntVar(i as u32 + 1), k: -1 };
-                    idl.assert(atom, Lit::pos(BVar(i as u32))).unwrap();
-                }
-                let closing = Atom { x: IntVar(n as u32 - 1), y: IntVar(0), k: -1 };
-                idl.assert(closing, Lit::pos(BVar(n as u32))).unwrap_err().len()
-            })
+        r.bench(&format!("idl/negative-cycle/{n}"), || {
+            let mut idl = Idl::new(n);
+            for i in 0..n - 1 {
+                let atom = Atom {
+                    x: IntVar(i as u32),
+                    y: IntVar(i as u32 + 1),
+                    k: -1,
+                };
+                idl.assert(atom, Lit::pos(BVar(i as u32))).unwrap();
+            }
+            let closing = Atom {
+                x: IntVar(n as u32 - 1),
+                y: IntVar(0),
+                k: -1,
+            };
+            idl.assert(closing, Lit::pos(BVar(n as u32)))
+                .unwrap_err()
+                .len()
         });
     }
-    g.finish();
 }
 
 /// A race-shaped DPLL(T) instance: MHB chains for `t` threads plus lock
 /// disjunctions, asking for adjacency of a cross-thread pair.
 fn race_shaped_formula(threads: usize, per_thread: usize) -> (FormulaBuilder, Vec<Vec<IntVar>>) {
     let mut f = FormulaBuilder::new();
-    let vars: Vec<Vec<IntVar>> =
-        (0..threads).map(|_| (0..per_thread).map(|_| f.int_var()).collect()).collect();
+    let vars: Vec<Vec<IntVar>> = (0..threads)
+        .map(|_| (0..per_thread).map(|_| f.int_var()).collect())
+        .collect();
     for tv in &vars {
         for w in tv.windows(2) {
             let t = f.lt(w[0], w[1]);
@@ -75,46 +77,39 @@ fn race_shaped_formula(threads: usize, per_thread: usize) -> (FormulaBuilder, Ve
     (f, vars)
 }
 
-fn bench_dpllt_race_shape(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dpllt/race-shape");
+fn bench_dpllt_race_shape(r: &mut Runner) {
     for (threads, per_thread) in [(4usize, 250usize), (8, 500)] {
-        let id = format!("{threads}x{per_thread}");
-        g.bench_function(BenchmarkId::from_parameter(id), |b| {
-            b.iter(|| {
-                let (mut f, vars) = race_shaped_formula(threads, per_thread);
-                // Adjacency of two cross-thread events via shared var
-                // is emulated by equality-free gluing: compare ordering.
-                let t = f.lt(vars[0][per_thread - 1], vars[1][0]);
-                f.assert_term(t);
-                let mut s = Solver::new(&f);
-                assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Sat);
-                s.stats().sat.conflicts
-            })
+        r.bench(&format!("dpllt/race-shape/{threads}x{per_thread}"), || {
+            let (mut f, vars) = race_shaped_formula(threads, per_thread);
+            // Adjacency of two cross-thread events via shared var is
+            // emulated by equality-free gluing: compare ordering.
+            let t = f.lt(vars[0][per_thread - 1], vars[1][0]);
+            f.assert_term(t);
+            let mut s = Solver::new(&f);
+            assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Sat);
+            s.stats().sat.conflicts
         });
     }
-    g.finish();
 }
 
 /// UNSAT refutation: an MHB cycle hidden behind lock disjunctions.
-fn bench_dpllt_unsat(c: &mut Criterion) {
-    c.bench_function("dpllt/unsat-cycle", |b| {
-        b.iter(|| {
-            let (mut f, vars) = race_shaped_formula(4, 100);
-            let t1 = f.lt(vars[0][99], vars[1][0]);
-            f.assert_term(t1);
-            let t2 = f.lt(vars[1][99], vars[0][0]);
-            f.assert_term(t2);
-            let mut s = Solver::new(&f);
-            assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Unsat);
-        })
+fn bench_dpllt_unsat(r: &mut Runner) {
+    r.bench("dpllt/unsat-cycle", || {
+        let (mut f, vars) = race_shaped_formula(4, 100);
+        let t1 = f.lt(vars[0][99], vars[1][0]);
+        f.assert_term(t1);
+        let t2 = f.lt(vars[1][99], vars[0][0]);
+        f.assert_term(t2);
+        let mut s = Solver::new(&f);
+        assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Unsat);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_idl_chain,
-    bench_idl_conflict,
-    bench_dpllt_race_shape,
-    bench_dpllt_unsat
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env("solver");
+    bench_idl_chain(&mut r);
+    bench_idl_conflict(&mut r);
+    bench_dpllt_race_shape(&mut r);
+    bench_dpllt_unsat(&mut r);
+    r.finish();
+}

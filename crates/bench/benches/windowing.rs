@@ -3,46 +3,51 @@
 //! cross-window races but generate (quadratically) heavier constraint
 //! systems; the paper settles on 10K.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvbench::micro::Runner;
 use rvcore::{DetectorConfig, RaceDetector};
 use rvsim::workloads;
 
-fn bench_window_sweep(c: &mut Criterion) {
+fn bench_window_sweep(r: &mut Runner) {
     let profile = workloads::systems::profiles()
         .into_iter()
         .find(|p| p.name == "ftpserver")
         .expect("ftpserver profile")
         .scaled(0.5);
     let w = workloads::systems::generate(&profile);
-    let mut g = c.benchmark_group("windowing/ftpserver-0.5x");
-    g.sample_size(10);
+    r.sample_target(Duration::from_millis(100));
     for window in [128usize, 256, 512, 1024, 4096] {
-        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
-            let cfg = DetectorConfig { window_size: window, ..Default::default() };
-            let det = RaceDetector::with_config(cfg);
-            b.iter(|| det.detect(&w.trace).n_races())
+        let cfg = DetectorConfig {
+            window_size: window,
+            ..Default::default()
+        };
+        let det = RaceDetector::with_config(cfg);
+        r.bench(&format!("windowing/ftpserver-0.5x/{window}"), || {
+            det.detect(&w.trace).n_races()
         });
     }
-    g.finish();
 }
 
 /// Trace-construction overhead of the windows themselves (the per-window
 /// index build: clocks, locksets, critical sections).
-fn bench_view_build(c: &mut Criterion) {
+fn bench_view_build(r: &mut Runner) {
     use rvtrace::ViewExt;
     let profile = workloads::systems::profiles()
         .into_iter()
         .find(|p| p.name == "derby")
         .expect("derby profile");
     let w = workloads::systems::generate(&profile);
-    let mut g = c.benchmark_group("windowing/view-build");
     for window in [256usize, 1024, 10_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
-            b.iter(|| w.trace.windows(window).len())
+        r.bench(&format!("windowing/view-build/{window}"), || {
+            w.trace.windows(window).len()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_window_sweep, bench_view_build);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env("windowing");
+    bench_window_sweep(&mut r);
+    bench_view_build(&mut r);
+    r.finish();
+}

@@ -6,7 +6,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let budget: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let window: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let p = workloads::systems::profiles().into_iter().find(|p| p.name == "eclipse").unwrap();
+    let p = workloads::systems::profiles()
+        .into_iter()
+        .find(|p| p.name == "eclipse")
+        .unwrap();
     let w = workloads::systems::generate(&p);
     let cfg = DetectorConfig {
         solver_timeout: Duration::from_secs(budget),

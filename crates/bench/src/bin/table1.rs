@@ -65,14 +65,21 @@ fn main() {
         }
     }
 
-    println!("Table 1 (window={}, per-COP budget={:?}, scale={scale})", cfg.window_size, cfg.solver_timeout);
+    println!(
+        "Table 1 (window={}, per-COP budget={:?}, scale={scale})",
+        cfg.window_size, cfg.solver_timeout
+    );
     println!("{}", table_header());
     let mut totals = [0usize; 4];
     let mut violations = 0usize;
     for w in &suite {
         let row = run_row(w, &cfg);
         if row.inclusion_violations > 0 {
-            println!("{}   <- {} inclusion violations", row.format(), row.inclusion_violations);
+            println!(
+                "{}   <- {} inclusion violations",
+                row.format(),
+                row.inclusion_violations
+            );
         } else {
             println!("{}", row.format());
         }

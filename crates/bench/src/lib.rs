@@ -4,10 +4,13 @@
 //!
 //! * `cargo run -p rvbench --release --bin table1` — the full table
 //!   (trace metrics, QC, races per detector, times);
-//! * `cargo bench -p rvbench` — Criterion benches for the solver, the
-//!   four detectors, the windowing sweep and the design-choice ablations.
+//! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
+//!   solver, the four detectors, the windowing sweep, the design-choice
+//!   ablations and the parallel-driver scaling curve.
 
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -90,7 +93,10 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { solver_timeout: Duration::from_secs(5), window_size: 10_000 }
+        HarnessConfig {
+            solver_timeout: Duration::from_secs(5),
+            window_size: 10_000,
+        }
     }
 }
 
@@ -118,12 +124,18 @@ pub fn run_row(w: &Workload, cfg: &HarnessConfig) -> TableRow {
     let said = said_det.detect_races(&w.trace);
     let t_said = t0.elapsed();
 
-    let cp_det = CpDetector { window_size: cfg.window_size, ..Default::default() };
+    let cp_det = CpDetector {
+        window_size: cfg.window_size,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let cp = cp_det.detect_races(&w.trace);
     let t_cp = t0.elapsed();
 
-    let hb_det = HbDetector { window_size: cfg.window_size, ..Default::default() };
+    let hb_det = HbDetector {
+        window_size: cfg.window_size,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let hb = hb_det.detect_races(&w.trace);
     let t_hb = t0.elapsed();

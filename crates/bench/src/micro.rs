@@ -1,0 +1,157 @@
+//! A minimal micro-benchmark harness (in-tree replacement for the former
+//! Criterion dev-dependency, so `cargo bench` works without registry
+//! access).
+//!
+//! Each bench target builds a [`Runner`], registers closures with
+//! [`Runner::bench`], and calls [`Runner::finish`]. The runner
+//! auto-calibrates the iteration count until a sample takes at least the
+//! target duration, prints one line per benchmark, and returns the raw
+//! measurements for targets that post-process them (e.g. the parallel
+//! scaling bench computes speedups).
+//!
+//! Command-line arguments that do not start with `-` are substring filters
+//! on benchmark names, mirroring `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (group/label).
+    pub name: String,
+    /// Iterations in the final timed sample.
+    pub iters: u64,
+    /// Wall time of the final sample.
+    pub total: Duration,
+    /// `total / iters`.
+    pub per_iter: Duration,
+}
+
+/// Collects and prints measurements for one bench target.
+#[derive(Debug)]
+pub struct Runner {
+    filters: Vec<String>,
+    target: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Runner {
+    /// A runner for the named suite, reading name filters from `argv`.
+    pub fn from_env(suite: &str) -> Runner {
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        println!("== {suite} ==");
+        Runner {
+            filters,
+            target: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the minimum wall time of the final timed sample (default
+    /// 300ms). Lower it for expensive end-to-end benches.
+    pub fn sample_target(&mut self, target: Duration) {
+        self.target = target;
+    }
+
+    /// Runs `f` repeatedly until the sample reaches the target duration and
+    /// records the per-iteration time. Skipped (silently) if name filters
+    /// are active and none matches.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p)) {
+            return;
+        }
+        black_box(f()); // untimed warmup
+        let mut iters: u64 = 1;
+        let (total, iters) = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target || iters >= 1 << 24 {
+                break (elapsed, iters);
+            }
+            let scale = (self.target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 16)).min(1 << 24);
+        };
+        let per_iter = total / u32::try_from(iters).expect("iters capped at 2^24");
+        println!(
+            "  {name:<44} {:>12}/iter  ({iters} iters)",
+            fmt_duration(per_iter)
+        );
+        self.results.push(Measurement {
+            name: name.to_string(),
+            iters,
+            total,
+            per_iter,
+        });
+    }
+
+    /// Prints the footer and hands back the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("{} benchmark(s) run", self.results.len());
+        self.results
+    }
+}
+
+/// Renders a duration with a unit fitting its magnitude.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 10_000_000_000 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if ns >= 10_000_000 {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 10_000 {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_and_records() {
+        let mut r = Runner {
+            filters: vec![],
+            target: Duration::from_millis(5),
+            results: vec![],
+        };
+        let mut count = 0u64;
+        r.bench("counting", || {
+            count += 1;
+            count
+        });
+        let results = r.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].iters >= 1);
+        assert!(results[0].total >= Duration::from_millis(5) || results[0].iters == 1 << 24);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut r = Runner {
+            filters: vec!["yes".into()],
+            target: Duration::from_millis(1),
+            results: vec![],
+        };
+        r.bench("no/match", || 1);
+        r.bench("a/yes/b", || 1);
+        assert_eq!(r.finish().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with('s'));
+    }
+}

@@ -89,7 +89,10 @@ pub fn infer_rmw_pairs(view: &View<'_>) -> Vec<AtomicPair> {
                 // remotes; keep only fully unprotected pairs (the classic
                 // lost-update shape).
                 if view.lockset(r).is_empty() && view.lockset(wr).is_empty() {
-                    out.push(AtomicPair { first: r, second: wr });
+                    out.push(AtomicPair {
+                        first: r,
+                        second: wr,
+                    });
                 }
             }
         }
@@ -128,7 +131,11 @@ impl AtomicityDetector {
         // the pair writes — here second is a write, so both qualify).
         let mut triples: Vec<(AtomicPair, EventId)> = Vec::new();
         for &pair in pairs {
-            let var = view.event(pair.first).kind.var().expect("pair accesses a var");
+            let var = view
+                .event(pair.first)
+                .kind
+                .var()
+                .expect("pair accesses a var");
             if trace.is_volatile(var) {
                 continue;
             }
@@ -153,10 +160,14 @@ impl AtomicityDetector {
         // Share one incremental encoding: base Φ plus one selector per
         // triple guarding O_{a1} < O_b < O_{a2} and, under control flow,
         // the π_cf obligations of all three events.
-        let opts =
-            EncoderOptions { mode: self.config.mode, prune_write_sets: self.config.prune_write_sets };
-        let raw: Vec<(EventId, EventId, EventId)> =
-            triples.iter().map(|&(p, b)| (p.first, b, p.second)).collect();
+        let opts = EncoderOptions {
+            mode: self.config.mode,
+            prune_write_sets: self.config.prune_write_sets,
+        };
+        let raw: Vec<(EventId, EventId, EventId)> = triples
+            .iter()
+            .map(|&(p, b)| (p.first, b, p.second))
+            .collect();
         let encoded = encode_between(view, &raw, opts);
         let selectors: Vec<TermId> = encoded.selectors.clone();
         let mut solver = Solver::new(&encoded.fb);
@@ -193,7 +204,11 @@ impl AtomicityDetector {
                     if let Ok(w) = witness {
                         // The remote access must land strictly between.
                         let pos = |x: EventId| {
-                            w.schedule.0.iter().position(|&e| e == x).expect("anchor in closure")
+                            w.schedule
+                                .0
+                                .iter()
+                                .position(|&e| e == x)
+                                .expect("anchor in closure")
                         };
                         if pos(pair.first) < pos(b) && pos(b) < pos(pair.second) {
                             seen.insert(signature);
@@ -230,7 +245,10 @@ mod tests {
         b.join(t1, t2);
         let trace = b.finish();
         let report = AtomicityDetector::default().detect(&trace);
-        assert!(!report.violations.is_empty(), "lost update must be predicted");
+        assert!(
+            !report.violations.is_empty(),
+            "lost update must be predicted"
+        );
         let v = &report.violations[0];
         // The witness serializes the remote access between the pair.
         let pos = |e: EventId| v.schedule.0.iter().position(|&x| x == e).unwrap();

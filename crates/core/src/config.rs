@@ -57,6 +57,12 @@ pub struct DetectorConfig {
     /// on that signature for the window (bounds the quadratic pair
     /// enumeration on hot variables).
     pub max_cops_per_signature: usize,
+    /// Number of worker threads solving windows concurrently. `1` runs the
+    /// fully serial driver; the default is the machine's available
+    /// parallelism. Reports are deterministic regardless of this value:
+    /// window outcomes are merged in window order and deduplicated at merge
+    /// time (see `RaceDetector::detect`).
+    pub parallelism: usize,
 }
 
 impl Default for DetectorConfig {
@@ -73,15 +79,26 @@ impl Default for DetectorConfig {
             phase_hints: true,
             batch_windows: true,
             max_cops_per_signature: 10,
+            parallelism: default_parallelism(),
         }
     }
+}
+
+/// The default worker count: one per available core.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl DetectorConfig {
     /// The configuration used for the Said et al. baseline: identical
     /// machinery, whole-trace consistency.
     pub fn said_baseline() -> Self {
-        DetectorConfig { mode: ConsistencyMode::WholeTrace, ..Default::default() }
+        DetectorConfig {
+            mode: ConsistencyMode::WholeTrace,
+            ..Default::default()
+        }
     }
 }
 
@@ -96,6 +113,7 @@ mod tests {
         assert_eq!(c.solver_timeout, Duration::from_secs(60));
         assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
+        assert!(c.parallelism >= 1, "at least one worker");
     }
 
     #[test]

@@ -133,6 +133,13 @@ pub struct CopEnumeration {
     pub pairs_considered: usize,
 }
 
+// The parallel driver enumerates COPs on worker threads; keep the
+// enumeration result thread-portable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CopEnumeration>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,7 +160,10 @@ mod tests {
         b.release(t2, l);
         let tr = b.finish();
         let v = tr.full_view();
-        assert_eq!(quick_check(&v, Cop::new(w, r)), QuickCheckVerdict::CommonLock);
+        assert_eq!(
+            quick_check(&v, Cop::new(w, r)),
+            QuickCheckVerdict::CommonLock
+        );
     }
 
     #[test]
@@ -166,7 +176,10 @@ mod tests {
         let r = b.read(t2, x, 1);
         let tr = b.finish();
         let v = tr.full_view();
-        assert_eq!(quick_check(&v, Cop::new(w, r)), QuickCheckVerdict::MhbOrdered);
+        assert_eq!(
+            quick_check(&v, Cop::new(w, r)),
+            QuickCheckVerdict::MhbOrdered
+        );
     }
 
     #[test]

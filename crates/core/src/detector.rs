@@ -3,18 +3,87 @@
 //! For each fixed-size window: enumerate COPs, quick-check them, encode the
 //! survivors, solve with a per-COP budget, extract and validate a witness on
 //! SAT, and deduplicate by signature across the whole run.
+//!
+//! # Parallel driver
+//!
+//! Windows are independent solving problems (each gets its own encoder and
+//! solver), so [`RaceDetector::detect`] farms them out to a bounded pool of
+//! scoped worker threads ([`DetectorConfig::parallelism`]). Determinism is
+//! preserved by splitting the work into a *solve* phase and a *merge*
+//! phase:
+//!
+//! * each worker produces a [`WindowOutcome`]: an ordered list of per-COP
+//!   records whose content depends only on the window itself (workers never
+//!   consult cross-window state when deciding verdicts);
+//! * the driver merges outcomes **in window order**, replaying each record
+//!   against the authoritative set of confirmed signatures — a record whose
+//!   signature was already confirmed (in an earlier window, or earlier in
+//!   the same window) is discarded wholesale, exactly as the serial driver
+//!   would have skipped it before solving.
+//!
+//! Speculative work (a worker solving a COP whose signature an earlier,
+//! still-unmerged window will confirm) costs time but never changes output.
+//! As an optimization, merged signatures are also published through a shared
+//! `RwLock<HashSet<_>>` so workers can skip work that is already known
+//! redundant. To keep output bit-identical across thread counts the skip is
+//! only taken where it cannot perturb any surviving verdict: per COP in
+//! per-COP mode (every COP gets a fresh solver), and only for a whole
+//! window in batch mode (selector solves share learnt clauses, so dropping
+//! one mid-window could change a later model and thus a reported schedule).
 
-use std::collections::HashSet;
-use std::time::Instant;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, RwLock};
+use std::time::{Duration, Instant};
 
 use rvsmt::{Budget, SmtResult, Solver};
-use rvtrace::{RaceSignature, Trace, View, ViewExt};
+use rvtrace::{Cop, RaceSignature, Schedule, Trace, View, ViewExt};
 
 use crate::config::DetectorConfig;
 use crate::cop::enumerate_cops;
 use crate::encoder::{encode, encode_window, EncoderOptions};
 use crate::report::{DetectionReport, RaceReport};
 use crate::witness::{extract_witness, extract_witness_with};
+
+/// How one COP fared inside a worker. `Skipped` records mark COPs the
+/// worker never solved because their signature was locally confirmed
+/// earlier in the window or already published by the merge loop; the merge
+/// replay discards them (their signature is always confirmed by then).
+#[derive(Debug)]
+enum CopVerdict {
+    Skipped,
+    Unsat,
+    Unknown,
+    WitnessFailed,
+    /// SAT with a certified (or trivially assembled, when validation is
+    /// off) witness schedule.
+    Race(Schedule),
+}
+
+/// One solved (or skipped) COP, in the window's solve order.
+#[derive(Debug)]
+struct CopRecord {
+    cop: Cop,
+    signature: RaceSignature,
+    verdict: CopVerdict,
+}
+
+/// Everything a worker learned about one window; merged in window order.
+#[derive(Debug)]
+struct WindowOutcome {
+    window_index: usize,
+    range: std::ops::Range<usize>,
+    pairs_considered: usize,
+    qc_signatures: usize,
+    records: Vec<CopRecord>,
+    /// Encode + solve time inside this window.
+    solver_time: Duration,
+    /// Total worker time on this window (enumerate + encode + solve).
+    window_time: Duration,
+}
+
+/// Signatures confirmed by the merge loop, readable by in-flight workers.
+type Published = RwLock<HashSet<RaceSignature>>;
 
 /// The maximal sound predictive race detector.
 ///
@@ -44,7 +113,9 @@ pub struct RaceDetector {
 impl RaceDetector {
     /// A detector with the paper's default configuration.
     pub fn new() -> Self {
-        RaceDetector { config: DetectorConfig::default() }
+        RaceDetector {
+            config: DetectorConfig::default(),
+        }
     }
 
     /// A detector with an explicit configuration.
@@ -58,14 +129,34 @@ impl RaceDetector {
     }
 
     /// Runs detection over the whole trace, window by window.
+    ///
+    /// With `config.parallelism == 1` windows are solved inline; otherwise
+    /// a scoped pool of worker threads claims windows from a shared
+    /// counter. Either way outcomes are merged in window order, so races,
+    /// signatures and verdict counters are identical for every thread
+    /// count (wall-clock timings, of course, are not).
     pub fn detect(&self, trace: &Trace) -> DetectionReport {
         let start = Instant::now();
         let mut report = DetectionReport::default();
-        let mut racy_signatures: HashSet<RaceSignature> = HashSet::new();
-        for view in trace.windows(self.config.window_size) {
-            self.detect_in_view(&view, &mut report, &mut racy_signatures);
+        let mut confirmed: HashSet<RaceSignature> = HashSet::new();
+        let workers = self.config.parallelism.max(1);
+        if workers == 1 {
+            // Inline solve-then-merge per window. The published set is
+            // always fully caught up here, so the early-skip rules fire
+            // exactly as in the historical serial driver.
+            let published: Published = RwLock::new(HashSet::new());
+            for (index, view) in trace.windows(self.config.window_size).iter().enumerate() {
+                let outcome = self.solve_window(index, view, Some(&published));
+                self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
+            }
+        } else {
+            // The window carry (lock/value state at each window boundary)
+            // forces view *construction* to stay sequential; only solving
+            // fans out.
+            let views: Vec<View<'_>> = trace.windows(self.config.window_size);
+            self.detect_parallel(&views, workers, &mut report, &mut confirmed);
         }
-        report.stats.total_time = start.elapsed();
+        report.stats.wall_time = start.elapsed();
         report
     }
 
@@ -74,36 +165,126 @@ impl RaceDetector {
     pub fn detect_in_window(&self, view: &View<'_>) -> DetectionReport {
         let start = Instant::now();
         let mut report = DetectionReport::default();
-        let mut racy = HashSet::new();
-        self.detect_in_view(view, &mut report, &mut racy);
-        report.stats.total_time = start.elapsed();
+        let mut confirmed = HashSet::new();
+        let outcome = self.solve_window(0, view, None);
+        self.merge_outcome(outcome, &mut report, &mut confirmed, None);
+        report.stats.wall_time = start.elapsed();
         report
     }
 
-    fn detect_in_view(
+    /// Fans `views` out to a bounded scoped pool; merges in window order as
+    /// outcomes stream back.
+    fn detect_parallel(
         &self,
-        view: &View<'_>,
+        views: &[View<'_>],
+        workers: usize,
         report: &mut DetectionReport,
-        racy_signatures: &mut HashSet<RaceSignature>,
+        confirmed: &mut HashSet<RaceSignature>,
     ) {
+        let published: Published = RwLock::new(HashSet::new());
+        let next_window = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<WindowOutcome>();
+        std::thread::scope(|scope| {
+            let published = &published;
+            let next_window = &next_window;
+            for _ in 0..workers.min(views.len()) {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let index = next_window.fetch_add(1, Ordering::Relaxed);
+                    let Some(view) = views.get(index) else { break };
+                    let outcome = self.solve_window(index, view, Some(published));
+                    if tx.send(outcome).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Outcomes arrive in completion order; buffer and merge them in
+            // window order so dedup decisions are reproducible.
+            let mut pending: BTreeMap<usize, WindowOutcome> = BTreeMap::new();
+            let mut cursor = 0usize;
+            for outcome in rx {
+                pending.insert(outcome.window_index, outcome);
+                while let Some(outcome) = pending.remove(&cursor) {
+                    self.merge_outcome(outcome, report, confirmed, Some(published));
+                    cursor += 1;
+                }
+            }
+            debug_assert!(pending.is_empty(), "every window outcome merged");
+        });
+    }
+
+    /// Solves one window into an outcome record. Pure with respect to
+    /// cross-window state: `published` is used only for early skips that
+    /// provably cannot change merged output (see the module docs).
+    fn solve_window(
+        &self,
+        window_index: usize,
+        view: &View<'_>,
+        published: Option<&Published>,
+    ) -> WindowOutcome {
+        let window_start = Instant::now();
         let cfg = &self.config;
-        report.stats.windows += 1;
-        let enumeration =
-            enumerate_cops(view, cfg.quick_check, cfg.max_cops_per_signature);
-        report.stats.qc_signatures += enumeration.qc_signatures;
-        report.stats.pairs_considered += enumeration.pairs_considered;
+        let enumeration = enumerate_cops(view, cfg.quick_check, cfg.max_cops_per_signature);
         let budget = Budget {
             max_conflicts: cfg.max_conflicts,
             timeout: Some(cfg.solver_timeout),
         };
-        let opts = EncoderOptions { mode: cfg.mode, prune_write_sets: cfg.prune_write_sets };
+        let opts = EncoderOptions {
+            mode: cfg.mode,
+            prune_write_sets: cfg.prune_write_sets,
+        };
+        // Snapshot of merge-confirmed signatures. Only ever used to *skip*
+        // solves whose records the merge replay is guaranteed to discard.
+        let known_racy: HashSet<RaceSignature> = match (cfg.dedup_signatures, published) {
+            (true, Some(p)) => p
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+            _ => HashSet::new(),
+        };
+        let mut out = WindowOutcome {
+            window_index,
+            range: view.range(),
+            pairs_considered: enumeration.pairs_considered,
+            qc_signatures: enumeration.qc_signatures,
+            records: Vec::with_capacity(enumeration.cops.len()),
+            solver_time: Duration::ZERO,
+            window_time: Duration::ZERO,
+        };
         if cfg.batch_windows {
-            self.solve_batched(view, enumeration.cops, opts, &budget, report, racy_signatures);
-            return;
+            self.solve_window_batched(view, enumeration.cops, opts, &budget, &known_racy, &mut out);
+        } else {
+            self.solve_window_per_cop(view, enumeration.cops, opts, &budget, &known_racy, &mut out);
         }
-        for cop in enumeration.cops {
+        out.window_time = window_start.elapsed();
+        out
+    }
+
+    /// Per-COP mode: a fresh encoding and solver per COP. Solves are
+    /// independent, so skipping a known-redundant COP cannot perturb any
+    /// other verdict — the `known_racy` skip is safe at COP granularity.
+    fn solve_window_per_cop(
+        &self,
+        view: &View<'_>,
+        cops: Vec<Cop>,
+        opts: EncoderOptions,
+        budget: &Budget,
+        known_racy: &HashSet<RaceSignature>,
+        out: &mut WindowOutcome,
+    ) {
+        let cfg = &self.config;
+        let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
+        for cop in cops {
             let signature = RaceSignature::of_cop(view.trace(), cop);
-            if cfg.dedup_signatures && racy_signatures.contains(&signature) {
+            if cfg.dedup_signatures
+                && (local_confirmed.contains(&signature) || known_racy.contains(&signature))
+            {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                });
                 continue;
             }
             let solve_start = Instant::now();
@@ -112,79 +293,88 @@ impl RaceDetector {
             if cfg.phase_hints {
                 solver.hint_atom_phases(|a| encoded.phase_hint(a));
             }
-            let verdict = solver.solve(&budget);
-            report.stats.solver_time += solve_start.elapsed();
-            report.stats.cops_solved += 1;
-            match verdict {
-                SmtResult::Unsat => report.stats.unsat += 1,
-                SmtResult::Unknown => report.stats.unknown += 1,
+            let verdict = match solver.solve(budget) {
+                SmtResult::Unsat => CopVerdict::Unsat,
+                SmtResult::Unknown => CopVerdict::Unknown,
                 SmtResult::Sat => {
-                    report.stats.sat += 1;
                     if cfg.validate_witnesses {
                         match extract_witness(view, cop, &encoded, &solver, cfg.mode) {
                             Ok(witness) => {
-                                racy_signatures.insert(signature);
-                                report.races.push(RaceReport {
-                                    cop,
-                                    signature,
-                                    window: view.range(),
-                                    schedule: witness.schedule,
-                                });
+                                local_confirmed.insert(signature);
+                                CopVerdict::Race(witness.schedule)
                             }
-                            Err(_) => report.stats.witness_failures += 1,
+                            Err(_) => CopVerdict::WitnessFailed,
                         }
                     } else {
-                        racy_signatures.insert(signature);
-                        report.races.push(RaceReport {
-                            cop,
-                            signature,
-                            window: view.range(),
-                            schedule: rvtrace::Schedule(vec![cop.first, cop.second]),
-                        });
+                        local_confirmed.insert(signature);
+                        CopVerdict::Race(Schedule(vec![cop.first, cop.second]))
                     }
                 }
-            }
+            };
+            out.solver_time += solve_start.elapsed();
+            out.records.push(CopRecord {
+                cop,
+                signature,
+                verdict,
+            });
         }
     }
-}
 
-impl RaceDetector {
     /// Batch mode: one shared encoding + incremental solver per window,
-    /// per-COP selector assumptions.
-    fn solve_batched(
+    /// per-COP selector assumptions. Selector solves share learnt clauses,
+    /// so the `known_racy` skip is only taken when it covers the *whole*
+    /// window — a partial skip could change a later COP's model and hence
+    /// its reported witness schedule.
+    fn solve_window_batched(
         &self,
         view: &View<'_>,
-        cops: Vec<rvtrace::Cop>,
+        cops: Vec<Cop>,
         opts: EncoderOptions,
         budget: &Budget,
-        report: &mut DetectionReport,
-        racy_signatures: &mut HashSet<RaceSignature>,
+        known_racy: &HashSet<RaceSignature>,
+        out: &mut WindowOutcome,
     ) {
         if cops.is_empty() {
             return;
         }
         let cfg = &self.config;
+        let signatures: Vec<RaceSignature> = cops
+            .iter()
+            .map(|&c| RaceSignature::of_cop(view.trace(), c))
+            .collect();
+        if cfg.dedup_signatures && signatures.iter().all(|s| known_racy.contains(s)) {
+            for (cop, signature) in cops.into_iter().zip(signatures) {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                });
+            }
+            return;
+        }
         let solve_start = Instant::now();
         let encoded = encode_window(view, &cops, opts);
         let mut solver = Solver::new(&encoded.fb);
         if cfg.phase_hints {
             solver.hint_atom_phases(|a| encoded.phase_hint(a));
         }
-        report.stats.solver_time += solve_start.elapsed();
+        out.solver_time += solve_start.elapsed();
+        let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
         for (i, &cop) in encoded.cops.iter().enumerate() {
             let signature = RaceSignature::of_cop(view.trace(), cop);
-            if cfg.dedup_signatures && racy_signatures.contains(&signature) {
+            if cfg.dedup_signatures && local_confirmed.contains(&signature) {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                });
                 continue;
             }
             let solve_start = Instant::now();
-            let verdict = solver.solve_assuming(budget, &[encoded.selectors[i]]);
-            report.stats.solver_time += solve_start.elapsed();
-            report.stats.cops_solved += 1;
-            match verdict {
-                SmtResult::Unsat => report.stats.unsat += 1,
-                SmtResult::Unknown => report.stats.unknown += 1,
+            let verdict = match solver.solve_assuming(budget, &[encoded.selectors[i]]) {
+                SmtResult::Unsat => CopVerdict::Unsat,
+                SmtResult::Unknown => CopVerdict::Unknown,
                 SmtResult::Sat => {
-                    report.stats.sat += 1;
                     if cfg.validate_witnesses {
                         match extract_witness_with(
                             view,
@@ -195,25 +385,90 @@ impl RaceDetector {
                             cfg.mode,
                         ) {
                             Ok(witness) => {
-                                racy_signatures.insert(signature);
-                                report.races.push(RaceReport {
-                                    cop,
-                                    signature,
-                                    window: view.range(),
-                                    schedule: witness.schedule,
-                                });
+                                local_confirmed.insert(signature);
+                                CopVerdict::Race(witness.schedule)
                             }
-                            Err(_) => report.stats.witness_failures += 1,
+                            Err(_) => CopVerdict::WitnessFailed,
                         }
                     } else {
-                        racy_signatures.insert(signature);
-                        report.races.push(RaceReport {
-                            cop,
-                            signature,
-                            window: view.range(),
-                            schedule: rvtrace::Schedule(vec![cop.first, cop.second]),
-                        });
+                        local_confirmed.insert(signature);
+                        CopVerdict::Race(Schedule(vec![cop.first, cop.second]))
                     }
+                }
+            };
+            out.solver_time += solve_start.elapsed();
+            out.records.push(CopRecord {
+                cop,
+                signature,
+                verdict,
+            });
+        }
+    }
+
+    /// Replays one window's records against the authoritative confirmed
+    /// set, in window order. This is where cross-window deduplication
+    /// happens: a record whose signature is already confirmed is dropped
+    /// wholesale (its counters included), reproducing exactly what the
+    /// serial driver would have skipped before solving. Newly confirmed
+    /// signatures are pushed to `published` for in-flight workers.
+    fn merge_outcome(
+        &self,
+        outcome: WindowOutcome,
+        report: &mut DetectionReport,
+        confirmed: &mut HashSet<RaceSignature>,
+        published: Option<&Published>,
+    ) {
+        let cfg = &self.config;
+        let stats = &mut report.stats;
+        stats.windows += 1;
+        stats.pairs_considered += outcome.pairs_considered;
+        stats.qc_signatures += outcome.qc_signatures;
+        stats.solver_time += outcome.solver_time;
+        stats.window_times.push(outcome.window_time);
+        for record in outcome.records {
+            if cfg.dedup_signatures && confirmed.contains(&record.signature) {
+                continue;
+            }
+            match record.verdict {
+                CopVerdict::Skipped => {
+                    // A worker only skips when the signature was confirmed
+                    // by an earlier merged window or earlier in this
+                    // window's records — both imply `confirmed` holds it
+                    // by the time the replay gets here.
+                    debug_assert!(
+                        !cfg.dedup_signatures,
+                        "skipped record with unconfirmed signature {:?}",
+                        record.signature
+                    );
+                }
+                CopVerdict::Unsat => {
+                    stats.cops_solved += 1;
+                    stats.unsat += 1;
+                }
+                CopVerdict::Unknown => {
+                    stats.cops_solved += 1;
+                    stats.unknown += 1;
+                }
+                CopVerdict::WitnessFailed => {
+                    stats.cops_solved += 1;
+                    stats.sat += 1;
+                    stats.witness_failures += 1;
+                }
+                CopVerdict::Race(schedule) => {
+                    stats.cops_solved += 1;
+                    stats.sat += 1;
+                    confirmed.insert(record.signature);
+                    if let Some(p) = published {
+                        p.write()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .insert(record.signature);
+                    }
+                    report.races.push(RaceReport {
+                        cop: record.cop,
+                        signature: record.signature,
+                        window: outcome.range.clone(),
+                        schedule,
+                    });
                 }
             }
         }
@@ -265,7 +520,10 @@ mod tests {
 
     #[test]
     fn figure1_said_finds_none() {
-        let cfg = DetectorConfig { mode: ConsistencyMode::WholeTrace, ..Default::default() };
+        let cfg = DetectorConfig {
+            mode: ConsistencyMode::WholeTrace,
+            ..Default::default()
+        };
         let report = RaceDetector::with_config(cfg).detect(&figure1_trace());
         assert_eq!(report.n_races(), 0, "{report}");
         assert!(report.stats.unsat > 0);
@@ -306,7 +564,10 @@ mod tests {
         let trace = b.finish();
         let report = RaceDetector::new().detect(&trace);
         assert_eq!(report.n_races(), 1, "one signature ⇒ one report");
-        let cfg = DetectorConfig { dedup_signatures: false, ..Default::default() };
+        let cfg = DetectorConfig {
+            dedup_signatures: false,
+            ..Default::default()
+        };
         let report = RaceDetector::with_config(cfg).detect(&trace);
         assert!(report.n_races() > 1);
     }
@@ -325,7 +586,10 @@ mod tests {
         let _ = (w, r);
         let trace = b.finish();
         // Tiny windows: the write and read land in different windows.
-        let cfg = DetectorConfig { window_size: 3, ..Default::default() };
+        let cfg = DetectorConfig {
+            window_size: 3,
+            ..Default::default()
+        };
         let small = RaceDetector::with_config(cfg).detect(&trace);
         // Full window: the race is found.
         let big = RaceDetector::new().detect(&trace);

@@ -36,7 +36,10 @@ pub struct EncoderOptions {
 
 impl Default for EncoderOptions {
     fn default() -> Self {
-        EncoderOptions { mode: ConsistencyMode::ControlFlow, prune_write_sets: true }
+        EncoderOptions {
+            mode: ConsistencyMode::ControlFlow,
+            prune_write_sets: true,
+        }
     }
 }
 
@@ -317,7 +320,8 @@ impl<'v, 't> Encoder<'v, 't> {
             let shadowed: Vec<bool> = wrv
                 .iter()
                 .map(|&w1| {
-                    wrv.iter().any(|&w2| w2 != w1 && view.mhb(w1, w2) && view.mhb(w2, r))
+                    wrv.iter()
+                        .any(|&w2| w2 != w1 && view.mhb(w1, w2) && view.mhb(w2, r))
                 })
                 .collect();
             let mut keep = shadowed.iter().map(|s| !s);
@@ -517,8 +521,10 @@ pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> Enc
     enc.encode_lock();
     if opts.mode == ConsistencyMode::WholeTrace {
         // Whole-trace read consistency is COP-independent: assert it once.
-        let reads: Vec<EventId> =
-            view.ids().filter(|&id| view.event(id).kind.is_read()).collect();
+        let reads: Vec<EventId> = view
+            .ids()
+            .filter(|&id| view.event(id).kind.is_read())
+            .collect();
         for r in reads {
             let t = enc.read_match(r, false);
             enc.fb.assert_term(t);
@@ -576,8 +582,10 @@ pub fn encode_between(
     enc.encode_mhb();
     enc.encode_lock();
     if opts.mode == ConsistencyMode::WholeTrace {
-        let reads: Vec<EventId> =
-            view.ids().filter(|&id| view.event(id).kind.is_read()).collect();
+        let reads: Vec<EventId> = view
+            .ids()
+            .filter(|&id| view.event(id).kind.is_read())
+            .collect();
         for r in reads {
             let t = enc.read_match(r, false);
             enc.fb.assert_term(t);
@@ -659,15 +667,21 @@ mod tests {
         let (tr, ids) = figure1();
         let v = tr.full_view();
         let enc = encode(&v, Cop::new(ids[0], ids[1]), EncoderOptions::default());
-        assert_eq!(solve(&enc), SmtResult::Sat, "(3,10) is a race under control flow");
+        assert_eq!(
+            solve(&enc),
+            SmtResult::Sat,
+            "(3,10) is a race under control flow"
+        );
     }
 
     #[test]
     fn figure1_race_3_10_missed_by_whole_trace() {
         let (tr, ids) = figure1();
         let v = tr.full_view();
-        let opts =
-            EncoderOptions { mode: ConsistencyMode::WholeTrace, prune_write_sets: true };
+        let opts = EncoderOptions {
+            mode: ConsistencyMode::WholeTrace,
+            prune_write_sets: true,
+        };
         let enc = encode(&v, Cop::new(ids[0], ids[1]), opts);
         assert_eq!(solve(&enc), SmtResult::Unsat, "Said et al. misses (3,10)");
     }
@@ -677,7 +691,11 @@ mod tests {
         let (tr, ids) = figure1();
         let v = tr.full_view();
         let enc = encode(&v, Cop::new(ids[2], ids[3]), EncoderOptions::default());
-        assert_eq!(solve(&enc), SmtResult::Unsat, "(12,15) is MHB-ordered via join");
+        assert_eq!(
+            solve(&enc),
+            SmtResult::Unsat,
+            "(12,15) is MHB-ordered via join"
+        );
     }
 
     #[test]
@@ -706,8 +724,10 @@ mod tests {
         assert_eq!(solve(&enc), SmtResult::Sat, "(1,4) races in case ①");
         // …and Said misses it (line 3 must read 1, forcing 2 < 3 and 1 < 4
         // non-adjacent).
-        let opts =
-            EncoderOptions { mode: ConsistencyMode::WholeTrace, prune_write_sets: true };
+        let opts = EncoderOptions {
+            mode: ConsistencyMode::WholeTrace,
+            prune_write_sets: true,
+        };
         let enc = encode(&v, Cop::new(e1, e4), opts);
         assert_eq!(solve(&enc), SmtResult::Unsat, "Said misses (1,4) in case ①");
     }
@@ -729,7 +749,11 @@ mod tests {
         let tr = b.finish();
         let v = tr.full_view();
         let enc = encode(&v, Cop::new(e1, e4), EncoderOptions::default());
-        assert_eq!(solve(&enc), SmtResult::Unsat, "(1,4) is not a race in case ②");
+        assert_eq!(
+            solve(&enc),
+            SmtResult::Unsat,
+            "(1,4) is not a race in case ②"
+        );
         assert_eq!(enc.required_branches.len(), 1);
     }
 
@@ -775,7 +799,11 @@ mod tests {
         let tr = b.finish();
         let v = tr.full_view();
         let enc = encode(&v, Cop::new(e2, e7), EncoderOptions::default());
-        assert_eq!(solve(&enc), SmtResult::Sat, "dropping the implicit branch loses soundness");
+        assert_eq!(
+            solve(&enc),
+            SmtResult::Sat,
+            "dropping the implicit branch loses soundness"
+        );
     }
 
     #[test]

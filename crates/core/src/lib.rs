@@ -50,11 +50,13 @@ pub mod oracle;
 mod report;
 mod witness;
 
-pub use atomicity::{infer_rmw_pairs, AtomicityDetector, AtomicityReport, AtomicityViolation, AtomicPair};
+pub use atomicity::{
+    infer_rmw_pairs, AtomicPair, AtomicityDetector, AtomicityReport, AtomicityViolation,
+};
 pub use config::{ConsistencyMode, DetectorConfig};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
 pub use detector::RaceDetector;
-pub use oracle::oracle_races;
 pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
+pub use oracle::oracle_races;
 pub use report::{DetectionReport, DetectionStats, RaceReport, RaceReportDisplay};
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

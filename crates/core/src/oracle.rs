@@ -72,7 +72,10 @@ pub fn oracle_races(view: &View<'_>, max_events: usize) -> BTreeSet<Cop> {
             !matches!(view.event(id).kind, EventKind::Notify { .. }),
             "oracle does not model wait/notify"
         );
-        assert!(trace.wait_link_of_acquire(id).is_none(), "oracle does not model wait/notify");
+        assert!(
+            trace.wait_link_of_acquire(id).is_none(),
+            "oracle does not model wait/notify"
+        );
     }
 
     // Which threads still need a fork event before their begin.
@@ -134,10 +137,7 @@ pub fn oracle_races(view: &View<'_>, max_events: usize) -> BTreeSet<Cop> {
                 if let (Some(a), Some(b)) = (na, nb) {
                     let (ka, kb) = (view.event(a).kind, view.event(b).kind);
                     if let (Some(va), Some(vb)) = (ka.var(), kb.var()) {
-                        if va == vb
-                            && (ka.is_write() || kb.is_write())
-                            && !trace.is_volatile(va)
-                        {
+                        if va == vb && (ka.is_write() || kb.is_write()) && !trace.is_volatile(va) {
                             races.insert(Cop::new(a, b));
                         }
                     }

@@ -21,7 +21,10 @@ pub struct RaceReport {
 impl RaceReport {
     /// Renders the report with human-readable location names.
     pub fn display<'a>(&'a self, trace: &'a Trace) -> RaceReportDisplay<'a> {
-        RaceReportDisplay { report: self, trace }
+        RaceReportDisplay {
+            report: self,
+            trace,
+        }
     }
 }
 
@@ -65,10 +68,40 @@ pub struct DetectionStats {
     pub unknown: usize,
     /// Witness validations that failed (soundness gate trips; expected 0).
     pub witness_failures: usize,
-    /// Total time spent in the solver.
+    /// Summed time spent encoding and solving, across all workers. With
+    /// `parallelism > 1` this exceeds [`DetectionStats::wall_time`].
     pub solver_time: Duration,
-    /// Total wall-clock detection time.
-    pub total_time: Duration,
+    /// Wall-clock detection time, start to finish.
+    pub wall_time: Duration,
+    /// Per-window worker time (enumerate + encode + solve), indexed by
+    /// window.
+    pub window_times: Vec<Duration>,
+}
+
+impl DetectionStats {
+    /// Accumulates `other` into `self`: counters and solver time sum,
+    /// per-window times concatenate, and wall time takes the maximum (two
+    /// merged runs are assumed concurrent; re-measure around the merge for
+    /// an end-to-end figure).
+    pub fn merge(&mut self, other: &DetectionStats) {
+        self.windows += other.windows;
+        self.pairs_considered += other.pairs_considered;
+        self.qc_signatures += other.qc_signatures;
+        self.cops_solved += other.cops_solved;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.witness_failures += other.witness_failures;
+        self.solver_time += other.solver_time;
+        self.wall_time = self.wall_time.max(other.wall_time);
+        self.window_times.extend_from_slice(&other.window_times);
+    }
+}
+
+impl std::ops::AddAssign<&DetectionStats> for DetectionStats {
+    fn add_assign(&mut self, other: &DetectionStats) {
+        self.merge(other);
+    }
 }
 
 /// The result of running a detector over a trace.
@@ -99,7 +132,7 @@ impl fmt::Display for DetectionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} race(s); {} window(s), QC={}, solved={} (sat={}, unsat={}, unknown={}), solver {:?}, total {:?}",
+            "{} race(s); {} window(s), QC={}, solved={} (sat={}, unsat={}, unknown={}), solver {:?}, wall {:?}",
             self.n_races(),
             self.stats.windows,
             self.stats.qc_signatures,
@@ -108,7 +141,7 @@ impl fmt::Display for DetectionReport {
             self.stats.unsat,
             self.stats.unknown,
             self.stats.solver_time,
-            self.stats.total_time,
+            self.stats.wall_time,
         )
     }
 }
@@ -127,7 +160,10 @@ mod tests {
             window: 0..10,
             schedule: Schedule(vec![]),
         };
-        let rep = DetectionReport { races: vec![mk(0, 1), mk(2, 3)], stats: Default::default() };
+        let rep = DetectionReport {
+            races: vec![mk(0, 1), mk(2, 3)],
+            stats: Default::default(),
+        };
         assert_eq!(rep.n_races(), 2);
         assert_eq!(rep.signatures().len(), 1);
     }
@@ -138,5 +174,40 @@ mod tests {
         let s = format!("{rep}");
         assert!(s.contains("0 race(s)"));
         assert!(s.contains("QC=0"));
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_maxes_wall_time() {
+        let mut a = DetectionStats {
+            windows: 1,
+            cops_solved: 3,
+            sat: 1,
+            unsat: 2,
+            solver_time: Duration::from_millis(10),
+            wall_time: Duration::from_millis(30),
+            window_times: vec![Duration::from_millis(30)],
+            ..Default::default()
+        };
+        let b = DetectionStats {
+            windows: 2,
+            cops_solved: 4,
+            sat: 0,
+            unsat: 4,
+            solver_time: Duration::from_millis(5),
+            wall_time: Duration::from_millis(50),
+            window_times: vec![Duration::from_millis(20), Duration::from_millis(30)],
+            ..Default::default()
+        };
+        a += &b;
+        assert_eq!(a.windows, 3);
+        assert_eq!(a.cops_solved, 7);
+        assert_eq!((a.sat, a.unsat), (1, 6));
+        assert_eq!(a.solver_time, Duration::from_millis(15));
+        assert_eq!(
+            a.wall_time,
+            Duration::from_millis(50),
+            "concurrent runs: max"
+        );
+        assert_eq!(a.window_times.len(), 3);
     }
 }

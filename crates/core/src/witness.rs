@@ -21,9 +21,7 @@
 use std::collections::{HashMap, HashSet};
 
 use rvsmt::Solver;
-use rvtrace::{
-    check_schedule, schedule_read_values, Cop, EventId, EventKind, Schedule, View,
-};
+use rvtrace::{check_schedule, schedule_read_values, Cop, EventId, EventKind, Schedule, View};
 
 use crate::config::ConsistencyMode;
 use crate::encoder::Encoded;
@@ -156,7 +154,6 @@ pub(crate) fn build_witness_core(
     mode: ConsistencyMode,
     key: &dyn Fn(EventId) -> (i64, u64),
 ) -> Result<Witness, WitnessError> {
-
     // ---- Required concrete events (rule 4). ----
     let mut required_reads: HashSet<EventId> = HashSet::new();
     let mut required_writes: HashSet<EventId> = HashSet::new();
@@ -287,8 +284,19 @@ pub(crate) fn build_witness_core(
             _ => return Err(WitnessError::ReadValueChanged(r)),
         }
     }
-    Ok(Witness { schedule, required_reads })
+    Ok(Witness {
+        schedule,
+        required_reads,
+    })
 }
+
+// Witnesses are extracted on worker threads and shipped to the merge loop;
+// keep them (and their errors) thread-portable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Witness>();
+    assert_send::<WitnessError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -303,10 +311,17 @@ mod tests {
         mode: ConsistencyMode,
     ) -> Result<Witness, WitnessError> {
         let view = trace.full_view();
-        let opts = EncoderOptions { mode, prune_write_sets: true };
+        let opts = EncoderOptions {
+            mode,
+            prune_write_sets: true,
+        };
         let enc = encode(&view, cop, opts);
         let mut solver = Solver::new(&enc.fb);
-        assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat, "expected SAT");
+        assert_eq!(
+            solver.solve(&Budget::UNLIMITED),
+            SmtResult::Sat,
+            "expected SAT"
+        );
         extract_witness(&view, cop, &enc, &solver, mode)
     }
 
@@ -373,7 +388,10 @@ mod tests {
             .map(|(i, _)| EventId(i as u32))
             .next()
             .unwrap();
-        assert!(pos(t2_release) < pos(t1_acquire), "t2's region scheduled first");
+        assert!(
+            pos(t2_release) < pos(t1_acquire),
+            "t2's region scheduled first"
+        );
     }
 
     #[test]

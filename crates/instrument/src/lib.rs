@@ -47,10 +47,9 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::Location;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use parking_lot::{Mutex, ReentrantMutex};
-use rvtrace::{LockId, Loc, ThreadId, Trace, TraceBuilder, VarId};
+use rvtrace::{Loc, LockId, ThreadId, Trace, TraceBuilder, VarId};
 
 /// The global recorder state (one active [`Session`] at a time).
 struct Recorder {
@@ -63,7 +62,13 @@ struct Recorder {
 
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
 /// Serializes whole sessions (so concurrent tests don't interleave).
-static SESSION_GATE: ReentrantMutex<()> = ReentrantMutex::new(());
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+/// Locks a mutex, recovering from poison: a panicking traced thread must
+/// not wedge every later session of the process.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// The trace thread id of the current OS thread (set by [`spawn`] /
@@ -72,13 +77,13 @@ thread_local! {
 }
 
 fn current_thread() -> ThreadId {
-    SELF_ID.with(|c| c.get()).expect(
-        "thread is not traced: enter via Session::begin or rvinstrument::spawn",
-    )
+    SELF_ID
+        .with(|c| c.get())
+        .expect("thread is not traced: enter via Session::begin or rvinstrument::spawn")
 }
 
 fn with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
-    let mut guard = RECORDER.lock();
+    let mut guard = lock_unpoisoned(&RECORDER);
     let rec = guard.as_mut().expect("no active rvinstrument::Session");
     f(rec)
 }
@@ -97,7 +102,9 @@ fn loc_here(rec: &mut Recorder, at: &Location<'_>) -> Loc {
 /// thread becomes the trace's main thread.
 #[derive(Debug)]
 pub struct Session {
-    _gate: parking_lot::ReentrantMutexGuard<'static, ()>,
+    /// Held for the session's active span; [`Session::finish`] drops it so
+    /// a new session can begin while this handle is still alive.
+    gate: Option<MutexGuard<'static, ()>>,
 }
 
 impl Session {
@@ -107,8 +114,8 @@ impl Session {
     ///
     /// Panics if a session is already active on another thread.
     pub fn begin() -> Session {
-        let gate = SESSION_GATE.lock();
-        let mut guard = RECORDER.lock();
+        let gate = lock_unpoisoned(&SESSION_GATE);
+        let mut guard = lock_unpoisoned(&RECORDER);
         assert!(guard.is_none(), "an rvinstrument session is already active");
         *guard = Some(Recorder {
             builder: TraceBuilder::new(),
@@ -116,14 +123,16 @@ impl Session {
             locs: HashMap::new(),
         });
         SELF_ID.with(|c| c.set(Some(ThreadId::MAIN)));
-        Session { _gate: gate }
+        Session { gate: Some(gate) }
     }
 
     /// Stops recording and returns the trace.
     pub fn finish(&mut self) -> Trace {
-        let mut guard = RECORDER.lock();
+        let mut guard = lock_unpoisoned(&RECORDER);
         let rec = guard.take().expect("session already finished");
         SELF_ID.with(|c| c.set(None));
+        drop(guard);
+        self.gate.take();
         rec.builder.finish()
     }
 }
@@ -192,23 +201,56 @@ impl TracedVar {
     }
 }
 
+/// The real lock behind a [`TracedMutex`]: a hand-rolled mutex whose guard
+/// owns an `Arc` to it, so guards can outlive the `lock()` call frame (std's
+/// `MutexGuard` borrows and cannot).
+#[derive(Debug)]
+struct RawLock {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RawLock {
+    fn new() -> RawLock {
+        RawLock {
+            held: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) {
+        let mut held = lock_unpoisoned(&self.held);
+        while *held {
+            held = self.cv.wait(held).unwrap_or_else(PoisonError::into_inner);
+        }
+        *held = true;
+    }
+
+    fn unlock(&self) {
+        *lock_unpoisoned(&self.held) = false;
+        self.cv.notify_one();
+    }
+}
+
 /// A traced mutex. Cloning shares the lock.
 #[derive(Debug, Clone)]
 pub struct TracedMutex {
     lock: LockId,
-    inner: Arc<Mutex<()>>,
+    inner: Arc<RawLock>,
 }
 
 /// RAII guard of a [`TracedMutex`]; releasing emits the `release` event
 /// *before* unlocking the real mutex, keeping the trace mutex-consistent.
 pub struct TracedMutexGuard {
     lock: LockId,
-    inner: Option<parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>>,
+    inner: Arc<RawLock>,
 }
 
 impl std::fmt::Debug for TracedMutexGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TracedMutexGuard").field("lock", &self.lock).finish()
+        f.debug_struct("TracedMutexGuard")
+            .field("lock", &self.lock)
+            .finish()
     }
 }
 
@@ -217,18 +259,24 @@ impl TracedMutex {
     pub fn new(name: &str) -> TracedMutex {
         with_recorder(|rec| {
             let lock = rec.builder.new_lock(name);
-            TracedMutex { lock, inner: Arc::new(Mutex::new(())) }
+            TracedMutex {
+                lock,
+                inner: Arc::new(RawLock::new()),
+            }
         })
     }
 
     /// Acquires the real mutex, then records the `acquire` event.
     pub fn lock(&self) -> TracedMutexGuard {
-        let guard = Mutex::lock_arc(&self.inner);
+        self.inner.lock();
         let t = current_thread();
         with_recorder(|rec| {
             rec.builder.acquire(t, self.lock);
         });
-        TracedMutexGuard { lock: self.lock, inner: Some(guard) }
+        TracedMutexGuard {
+            lock: self.lock,
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -238,15 +286,15 @@ impl Drop for TracedMutexGuard {
         with_recorder(|rec| {
             rec.builder.release(t, self.lock);
         });
-        self.inner.take(); // unlock the real mutex after the event
+        self.inner.unlock(); // unlock the real mutex after the event
     }
 }
 
 /// Records a `branch` event and passes the condition through — wrap the
 /// condition of any `if`/`while` whose outcome depends on traced reads:
 ///
-/// ```ignore
-/// if guard(x.load() == 0) { … }
+/// ```text
+/// if guard(x.load() == 0) { ... }
 /// ```
 #[track_caller]
 pub fn guard(cond: bool) -> bool {
@@ -285,9 +333,7 @@ impl<T> TracedJoinHandle<T> {
 
 /// Spawns a traced OS thread: records the `fork` event, registers the new
 /// thread, and runs the closure.
-pub fn spawn<T: Send + 'static>(
-    f: impl FnOnce() -> T + Send + 'static,
-) -> TracedJoinHandle<T> {
+pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> TracedJoinHandle<T> {
     let parent = current_thread();
     let child = with_recorder(|rec| rec.builder.fork(parent));
     let handle = std::thread::spawn(move || {
@@ -336,7 +382,10 @@ mod tests {
             h.join();
         }
         let trace = session.finish();
-        assert!(check_consistency(&trace).is_empty(), "recorder linearizes correctly");
+        assert!(
+            check_consistency(&trace).is_empty(),
+            "recorder linearizes correctly"
+        );
         // Whatever the OS schedule, the unprotected reads race with the
         // protected writes.
         let report = RaceDetector::new().detect(&trace);

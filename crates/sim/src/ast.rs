@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn expr_sugar() {
         let e = Expr::eq(Expr::from(Local(0)), 1.into());
-        assert_eq!(e, Expr::Eq(Box::new(Expr::Local(Local(0))), Box::new(Expr::Const(1))));
+        assert_eq!(
+            e,
+            Expr::Eq(Box::new(Expr::Local(Local(0))), Box::new(Expr::Const(1)))
+        );
         let a = Expr::add(1.into(), 2.into());
         assert!(matches!(a, Expr::Add(_, _)));
     }

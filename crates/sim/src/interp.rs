@@ -8,9 +8,9 @@
 
 use std::collections::HashMap;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rvtrace::{EventId, Loc, LockId, ThreadId, Trace, TraceBuilder, VarId, WaitToken};
+
+use crate::rng::SmallRng;
 
 use crate::ast::{Addr, Expr, Local, LockRef, ProcId, Stmt, StmtKind};
 use crate::program::Program;
@@ -39,14 +39,20 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { scheduler: Scheduler::Random { seed: 42 }, max_steps: 1_000_000 }
+        ExecConfig {
+            scheduler: Scheduler::Random { seed: 42 },
+            max_steps: 1_000_000,
+        }
     }
 }
 
 impl ExecConfig {
     /// Random scheduling with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        ExecConfig { scheduler: Scheduler::Random { seed }, ..Default::default() }
+        ExecConfig {
+            scheduler: Scheduler::Random { seed },
+            ..Default::default()
+        }
     }
 }
 
@@ -201,7 +207,11 @@ pub fn execute(program: &Program, config: &ExecConfig) -> Result<Execution, Exec
         builder,
         threads: vec![TState {
             tid: ThreadId::MAIN,
-            frames: vec![Frame { block: &program.main, pc: 0, _loop_body: false }],
+            frames: vec![Frame {
+                block: &program.main,
+                pc: 0,
+                _loop_body: false,
+            }],
             locals: HashMap::new(),
             status: Status::Ready,
             wait_token: None,
@@ -213,7 +223,7 @@ pub fn execute(program: &Program, config: &ExecConfig) -> Result<Execution, Exec
     };
 
     let mut rng = match &config.scheduler {
-        Scheduler::Random { seed } => Some(ChaCha8Rng::seed_from_u64(*seed)),
+        Scheduler::Random { seed } => Some(SmallRng::seed_from_u64(*seed)),
         Scheduler::Fixed(_) => None,
     };
     let mut fixed_pos = 0usize;
@@ -222,8 +232,9 @@ pub fn execute(program: &Program, config: &ExecConfig) -> Result<Execution, Exec
         if steps >= config.max_steps {
             break Outcome::StepLimit;
         }
-        let ready: Vec<usize> =
-            (0..interp.threads.len()).filter(|&i| interp.is_ready(i)).collect();
+        let ready: Vec<usize> = (0..interp.threads.len())
+            .filter(|&i| interp.is_ready(i))
+            .collect();
         if ready.is_empty() {
             if interp.threads.iter().all(|t| t.status == Status::Done) {
                 break Outcome::Completed;
@@ -253,7 +264,11 @@ pub fn execute(program: &Program, config: &ExecConfig) -> Result<Execution, Exec
         interp.step(chosen);
         steps += 1;
     };
-    Ok(Execution { trace: interp.builder.finish(), steps, outcome })
+    Ok(Execution {
+        trace: interp.builder.finish(),
+        steps,
+        outcome,
+    })
 }
 
 impl<'p> Interp<'p> {
@@ -267,8 +282,7 @@ impl<'p> Interp<'p> {
                 Some((h, _)) => h == i,
             },
             Status::Reacquire(l) => self.holders[l.0 as usize].is_none(),
-            Status::Join(p) => self
-                .proc_thread[p.0 as usize]
+            Status::Join(p) => self.proc_thread[p.0 as usize]
                 .map(|ti| self.threads[ti].status == Status::Done)
                 .unwrap_or(false),
         }
@@ -328,7 +342,10 @@ impl<'p> Interp<'p> {
             }
             Status::Reacquire(l) => {
                 self.holders[l.0 as usize] = Some((i, 1));
-                let token = self.threads[i].wait_token.take().expect("waiting thread has token");
+                let token = self.threads[i]
+                    .wait_token
+                    .take()
+                    .expect("waiting thread has token");
                 let notify = self.threads[i].wake_notify.take();
                 self.builder.wait_end(token, notify);
                 self.threads[i].status = Status::Ready;
@@ -451,7 +468,11 @@ impl<'p> Interp<'p> {
                 self.builder.branch_at(tid, loc);
                 self.advance(i);
                 let block: &'p [Stmt] = if c { then_ } else { else_ };
-                self.threads[i].frames.push(Frame { block, pc: 0, _loop_body: false });
+                self.threads[i].frames.push(Frame {
+                    block,
+                    pc: 0,
+                    _loop_body: false,
+                });
             }
             StmtKind::While { cond, body } => {
                 let c = Self::eval(&self.threads[i].locals, cond) != 0;
@@ -459,7 +480,11 @@ impl<'p> Interp<'p> {
                 if c {
                     // Do not advance: re-test after the body completes.
                     let block: &'p [Stmt] = body;
-                    self.threads[i].frames.push(Frame { block, pc: 0, _loop_body: true });
+                    self.threads[i].frames.push(Frame {
+                        block,
+                        pc: 0,
+                        _loop_body: true,
+                    });
                 } else {
                     self.advance(i);
                 }
@@ -501,8 +526,8 @@ impl<'p> Interp<'p> {
     }
 
     fn wake_one(&mut self, l: LockRef, n: EventId) {
-        if let Some(j) = (0..self.threads.len())
-            .find(|&j| self.threads[j].status == Status::WaitNotify(l))
+        if let Some(j) =
+            (0..self.threads.len()).find(|&j| self.threads[j].status == Status::WaitNotify(l))
         {
             self.threads[j].status = Status::Reacquire(l);
             self.threads[j].wake_notify = Some(n);
@@ -631,7 +656,11 @@ mod tests {
             vec![],
         );
         let e = execute(&p, &ExecConfig::default()).unwrap();
-        assert_eq!(e.trace.stats().branches, 1, "only the non-constant index branches");
+        assert_eq!(
+            e.trace.stats().branches,
+            1,
+            "only the non-constant index branches"
+        );
         // a[2] and a[1] are distinct trace variables.
         let vars: Vec<_> = e
             .trace
@@ -656,10 +685,7 @@ mod tests {
                 fork(ProcId(0)),
                 lock(l),
                 load(r0, x()),
-                while_(
-                    Expr::eq(r0.into(), 0.into()),
-                    vec![wait(l), load(r0, x())],
-                ),
+                while_(Expr::eq(r0.into(), 0.into()), vec![wait(l), load(r0, x())]),
                 unlock(l),
                 join(ProcId(0)),
             ],
@@ -729,7 +755,10 @@ mod tests {
     #[test]
     fn fixed_schedule_blocked_errors() {
         let p = Program::new(vec![scalar("x", 0)], 0, vec![store(x(), 1.into())], vec![]);
-        let cfg = ExecConfig { scheduler: Scheduler::Fixed(vec![1]), max_steps: 10 };
+        let cfg = ExecConfig {
+            scheduler: Scheduler::Fixed(vec![1]),
+            max_steps: 10,
+        };
         assert!(matches!(
             execute(&p, &cfg),
             Err(ExecError::FixedScheduleBlocked { .. })
@@ -744,7 +773,10 @@ mod tests {
             vec![while_(Expr::Const(1), vec![store(x(), 1.into())])],
             vec![],
         );
-        let cfg = ExecConfig { max_steps: 50, ..Default::default() };
+        let cfg = ExecConfig {
+            max_steps: 50,
+            ..Default::default()
+        };
         let e = execute(&p, &cfg).unwrap();
         assert_eq!(e.outcome, Outcome::StepLimit);
         assert!(check_consistency(&e.trace).is_empty());

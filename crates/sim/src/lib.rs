@@ -26,6 +26,7 @@
 mod ast;
 mod interp;
 mod program;
+pub mod rng;
 pub mod workloads;
 
 pub use ast::{Addr, Expr, GlobalDecl, GlobalId, Local, LockRef, ProcId, Stmt, StmtKind};

@@ -49,7 +49,13 @@ impl Program {
         for (i, p) in procs.iter_mut().enumerate() {
             number_block(&format!("p{i}"), p, &mut loc_names);
         }
-        Program { globals, n_locks, main, procs, loc_names }
+        Program {
+            globals,
+            n_locks,
+            main,
+            procs,
+            loc_names,
+        }
     }
 
     /// Total number of statements (== number of static locations).
@@ -153,15 +159,30 @@ pub mod stmts {
     }
     /// Declares a scalar global.
     pub fn scalar(name: &str, initial: i64) -> GlobalDecl {
-        GlobalDecl { name: name.into(), array_len: None, volatile: false, initial }
+        GlobalDecl {
+            name: name.into(),
+            array_len: None,
+            volatile: false,
+            initial,
+        }
     }
     /// Declares a volatile scalar global.
     pub fn volatile_scalar(name: &str, initial: i64) -> GlobalDecl {
-        GlobalDecl { name: name.into(), array_len: None, volatile: true, initial }
+        GlobalDecl {
+            name: name.into(),
+            array_len: None,
+            volatile: true,
+            initial,
+        }
     }
     /// Declares an array global.
     pub fn array(name: &str, len: u32, initial: i64) -> GlobalDecl {
-        GlobalDecl { name: name.into(), array_len: Some(len), volatile: false, initial }
+        GlobalDecl {
+            name: name.into(),
+            array_len: Some(len),
+            volatile: false,
+            initial,
+        }
     }
 }
 

@@ -64,7 +64,10 @@ pub fn airline(n_agents: usize, seats: i64) -> Program {
             vec![
                 lock(l),
                 load(r, seat_count),
-                store(seat_count, Expr::Sub(Box::new(r.into()), Box::new(1.into()))),
+                store(
+                    seat_count,
+                    Expr::Sub(Box::new(r.into()), Box::new(1.into())),
+                ),
                 unlock(l),
             ],
             vec![],
@@ -194,7 +197,11 @@ pub fn bufwriter(writers: usize, appends: usize) -> Program {
     main.push(load(r, size));
     main.push(if_(
         Expr::lt(0.into(), r.into()),
-        vec![load_elem(Local(2), buf, Expr::Sub(Box::new(r.into()), Box::new(1.into())))],
+        vec![load_elem(
+            Local(2),
+            buf,
+            Expr::Sub(Box::new(r.into()), Box::new(1.into())),
+        )],
         vec![],
     ));
     main.extend(join_all(writers));
@@ -237,7 +244,11 @@ pub fn mergesort(len: u32) -> Program {
             while_(
                 Expr::lt(i.into(), hi.into()),
                 vec![
-                    store_elem(a, i.into(), Expr::Mul(Box::new(i.into()), Box::new(2.into()))),
+                    store_elem(
+                        a,
+                        i.into(),
+                        Expr::Mul(Box::new(i.into()), Box::new(2.into())),
+                    ),
                     compute(i, Expr::add(i.into(), 1.into())),
                 ],
             ),
@@ -275,7 +286,10 @@ pub fn pingpong(rounds: i64) -> Program {
                 Expr::lt(i.into(), rounds.into()),
                 vec![
                     load(r, turn),
-                    while_(Expr::Ne(Box::new(r.into()), Box::new(me.into())), vec![load(r, turn)]),
+                    while_(
+                        Expr::Ne(Box::new(r.into()), Box::new(me.into())),
+                        vec![load(r, turn)],
+                    ),
                     load(r, counter),
                     store(counter, Expr::add(r.into(), 1.into())),
                     store(turn, other.into()),
@@ -293,7 +307,11 @@ pub fn pingpong(rounds: i64) -> Program {
     let mut main = fork_all(2);
     main.extend(join_all(2));
     Program::new(
-        vec![volatile_scalar("turn", 0), scalar("counter", 0), scalar("stats", 0)],
+        vec![
+            volatile_scalar("turn", 0),
+            scalar("counter", 0),
+            scalar("stats", 0),
+        ],
         0,
         main,
         vec![p0, p1],

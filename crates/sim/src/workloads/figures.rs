@@ -20,27 +20,27 @@ pub fn figure1_program() -> Program {
         vec![scalar("x", 0), scalar("y", 0), scalar("z", 0)],
         1,
         vec![
-            fork(ProcId(0)),             // 1. fork t2
-            lock(l),                     // 2. lock l
-            store(x, 1.into()),          // 3. x = 1
-            store(y, 1.into()),          // 4. y = 1
-            unlock(l),                   // 5. unlock l
-            join(ProcId(0)),             // 14. join t2
-            load(r3, z),                 // 15. r3 = z (use)
+            fork(ProcId(0)),    // 1. fork t2
+            lock(l),            // 2. lock l
+            store(x, 1.into()), // 3. x = 1
+            store(y, 1.into()), // 4. y = 1
+            unlock(l),          // 5. unlock l
+            join(ProcId(0)),    // 14. join t2
+            load(r3, z),        // 15. r3 = z (use)
             if_(
-                Expr::eq(r3.into(), 0.into()), // 16. if (r3 == 0)
+                Expr::eq(r3.into(), 0.into()),     // 16. if (r3 == 0)
                 vec![compute(Local(9), 1.into())], // 17. Error (marker)
                 vec![],
             ),
         ],
         vec![vec![
-            lock(l),                     // 7. lock l
-            load(r1, y),                 // 8. r1 = y
-            unlock(l),                   // 9. unlock l
-            load(r2, x),                 // 10. r2 = x
+            lock(l),     // 7. lock l
+            load(r1, y), // 8. r1 = y
+            unlock(l),   // 9. unlock l
+            load(r2, x), // 10. r2 = x
             if_(
                 Expr::eq(r1.into(), Expr::Local(r2)), // 11. if (r1 == r2)
-                vec![store(z, 1.into())], // 12. z = 1 (auth)
+                vec![store(z, 1.into())],             // 12. z = 1 (auth)
                 vec![],
             ),
         ]],
@@ -128,17 +128,17 @@ pub fn array_index_program() -> Program {
         1,
         vec![
             fork(ProcId(0)),
-            lock(l),                                  // 1. lock
-            load(rx, x),                              // (index read of line 2)
-            store_elem(a, rx.into(), 2.into()),       // 2. a[x] = 2
-            unlock(l),                                // 3. unlock
+            lock(l),                            // 1. lock
+            load(rx, x),                        // (index read of line 2)
+            store_elem(a, rx.into(), 2.into()), // 2. a[x] = 2
+            unlock(l),                          // 3. unlock
             join(ProcId(0)),
         ],
         vec![vec![
-            lock(l),                                  // 4. lock
-            store(x, 1.into()),                       // 5. x = 1
-            unlock(l),                                // 6. unlock
-            store_elem(a, Expr::Const(0), 1.into()),  // 7. a[0] = 1
+            lock(l),                                 // 4. lock
+            store(x, 1.into()),                      // 5. x = 1
+            unlock(l),                               // 6. unlock
+            store_elem(a, Expr::Const(0), 1.into()), // 7. a[0] = 1
         ]],
     )
 }
@@ -204,7 +204,9 @@ mod tests {
             .trace
             .events()
             .iter()
-            .filter(|e| e.kind.is_write() && w.trace.var_name(e.kind.var().unwrap()) == Some("a[0]"))
+            .filter(|e| {
+                e.kind.is_write() && w.trace.var_name(e.kind.var().unwrap()) == Some("a[0]")
+            })
             .count();
         assert_eq!(writes, 2);
     }

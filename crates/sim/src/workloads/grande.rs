@@ -156,7 +156,13 @@ mod tests {
     fn series_sum_is_correct() {
         // 3 workers × Σ(1..=8) = 3 × 36 = 108 when execution completes.
         let w = Workload::run("series", &series(3, 8), 4);
-        let last = w.trace.events().iter().rev().find(|e| e.kind.is_read()).unwrap();
+        let last = w
+            .trace
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.kind.is_read())
+            .unwrap();
         assert_eq!(last.kind.value().unwrap().0, 108);
     }
 }

@@ -43,18 +43,33 @@ impl Workload {
     /// Panics if execution deadlocks before producing any event (generator
     /// bugs surface loudly rather than as empty benchmarks).
     pub fn run(name: &str, program: &Program, seed: u64) -> Workload {
-        let cfg = ExecConfig { scheduler: Scheduler::Random { seed }, max_steps: 4_000_000 };
+        let cfg = ExecConfig {
+            scheduler: Scheduler::Random { seed },
+            max_steps: 4_000_000,
+        };
         let exec = execute(program, &cfg).expect("random schedules cannot fail");
-        assert!(!exec.trace.is_empty(), "workload {name} produced an empty trace");
-        Workload { name: name.to_string(), trace: exec.trace }
+        assert!(
+            !exec.trace.is_empty(),
+            "workload {name} produced an empty trace"
+        );
+        Workload {
+            name: name.to_string(),
+            trace: exec.trace,
+        }
     }
 
     /// Builds a workload from an explicit thread schedule.
     pub fn run_fixed(name: &str, program: &Program, schedule: Vec<u32>) -> Workload {
-        let cfg = ExecConfig { scheduler: Scheduler::Fixed(schedule), max_steps: 4_000_000 };
+        let cfg = ExecConfig {
+            scheduler: Scheduler::Fixed(schedule),
+            max_steps: 4_000_000,
+        };
         let exec = execute(program, &cfg)
             .unwrap_or_else(|e| panic!("fixed schedule for {name} failed: {e}"));
-        Workload { name: name.to_string(), trace: exec.trace }
+        Workload {
+            name: name.to_string(),
+            trace: exec.trace,
+        }
     }
 }
 

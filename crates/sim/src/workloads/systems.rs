@@ -12,11 +12,9 @@
 //! `scale` knob multiplies per-worker iterations, scaling traces from
 //! thousands to millions of events.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 use crate::ast::{Expr, GlobalId, Local, LockRef, ProcId, Stmt};
 use crate::program::{stmts::*, Program};
+use crate::rng::SmallRng;
 
 use super::Workload;
 
@@ -232,7 +230,6 @@ impl Layout {
     }
 }
 
-
 /// The Figure 1 pattern, writer half: a critical section writing `fx` then
 /// `fy` (a constant, so Said et al. can re-match reads across writers).
 fn fig1_writer(lay: &Layout, l: LockRef, k: u32) -> Vec<Stmt> {
@@ -263,7 +260,11 @@ fn cp_writer(lay: &Layout, l: LockRef, k: u32, worker: usize, iterations: usize)
     let half = (iterations / 2) as i64;
     vec![if_(
         Expr::lt(Expr::Local(Local(1)), half.into()),
-        vec![lock(l), store(lay.cp_x(k), (worker as i64).into()), unlock(l)],
+        vec![
+            lock(l),
+            store(lay.cp_x(k), (worker as i64).into()),
+            unlock(l),
+        ],
         vec![],
     )]
 }
@@ -288,7 +289,7 @@ fn cp_reader(lay: &Layout, l: LockRef, k: u32, iterations: usize) -> Vec<Stmt> {
 
 /// Builds the program for a profile.
 pub fn program_for(p: &SystemProfile) -> Program {
-    let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
     let lay = Layout {
         protected: p.protected,
         racy: p.racy,
@@ -365,10 +366,7 @@ pub fn program_for(p: &SystemProfile) -> Program {
                     let a = lay.array(ai);
                     let l = LockRef(ai % p.locks.max(1));
                     let idx = Expr::Mod(
-                        Box::new(Expr::add(
-                            i.into(),
-                            (rng.gen_range(0..7) as i64).into(),
-                        )),
+                        Box::new(Expr::add(i.into(), (rng.gen_range(0..7) as i64).into())),
                         Box::new((p.array_len as i64).into()),
                     );
                     ops.extend([
@@ -435,14 +433,11 @@ pub fn program_for(p: &SystemProfile) -> Program {
             }
         }
         let mut body = vec![compute(w, (worker as i64).into()), compute(i, 0.into())];
-        body.push(while_(
-            Expr::lt(i.into(), (p.iterations as i64).into()),
-            {
-                let mut inner = ops;
-                inner.push(compute(i, Expr::add(i.into(), 1.into())));
-                inner
-            },
-        ));
+        body.push(while_(Expr::lt(i.into(), (p.iterations as i64).into()), {
+            let mut inner = ops;
+            inner.push(compute(i, Expr::add(i.into(), 1.into())));
+            inner
+        }));
         if p.wait_notify && worker == 0 {
             // The signaller half of the handshake.
             body.extend([
@@ -551,16 +546,14 @@ mod tests {
 
     #[test]
     fn eclipse_has_wait_notify() {
-        let p = profiles().into_iter().find(|p| p.name == "eclipse").unwrap();
+        let p = profiles()
+            .into_iter()
+            .find(|p| p.name == "eclipse")
+            .unwrap();
         let w = generate(&p);
         // The handshake may or may not actually wait depending on the
         // schedule, but the flag accesses must be present.
-        assert!(w
-            .trace
-            .data()
-            .var_names
-            .values()
-            .any(|n| n == "hs_flag"));
+        assert!(w.trace.data().var_names.values().any(|n| n == "hs_flag"));
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct Atom {
 impl Atom {
     /// The semantic negation: `¬(x − y ≤ k)` is `y − x ≤ −k−1`.
     pub fn negated(&self) -> Atom {
-        Atom { x: self.y, y: self.x, k: -self.k - 1 }
+        Atom {
+            x: self.y,
+            y: self.x,
+            k: -self.k - 1,
+        }
     }
 }
 
@@ -195,7 +199,11 @@ impl FormulaBuilder {
             self.intern(Term::Atom(Atom { x, y, k }))
         } else {
             // x − y ≤ k  ⇔  ¬(y − x ≤ −k−1)
-            let canon = self.intern(Term::Atom(Atom { x: y, y: x, k: -k - 1 }));
+            let canon = self.intern(Term::Atom(Atom {
+                x: y,
+                y: x,
+                k: -k - 1,
+            }));
             self.not(canon)
         }
     }
@@ -221,7 +229,11 @@ impl FormulaBuilder {
     }
 
     fn nary(&mut self, op_and: bool, ts: Vec<TermId>) -> TermId {
-        let (absorb, neutral) = if op_and { (self.ff(), self.tt()) } else { (self.tt(), self.ff()) };
+        let (absorb, neutral) = if op_and {
+            (self.ff(), self.tt())
+        } else {
+            (self.tt(), self.ff())
+        };
         let mut flat = Vec::with_capacity(ts.len());
         let mut stack: Vec<TermId> = ts;
         stack.reverse();
@@ -252,8 +264,11 @@ impl FormulaBuilder {
             0 => neutral,
             1 => flat[0],
             _ => {
-                let node =
-                    if op_and { Term::And(flat.into()) } else { Term::Or(flat.into()) };
+                let node = if op_and {
+                    Term::And(flat.into())
+                } else {
+                    Term::Or(flat.into())
+                };
                 self.intern(node)
             }
         }
@@ -347,9 +362,20 @@ mod tests {
 
     #[test]
     fn atom_negation_involution() {
-        let a = Atom { x: IntVar(0), y: IntVar(1), k: 3 };
+        let a = Atom {
+            x: IntVar(0),
+            y: IntVar(1),
+            k: 3,
+        };
         assert_eq!(a.negated().negated(), a);
-        assert_eq!(a.negated(), Atom { x: IntVar(1), y: IntVar(0), k: -4 });
+        assert_eq!(
+            a.negated(),
+            Atom {
+                x: IntVar(1),
+                y: IntVar(0),
+                k: -4
+            }
+        );
     }
 
     #[test]

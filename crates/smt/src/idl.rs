@@ -135,7 +135,12 @@ impl Idl {
         self.stats.asserts += 1;
         let (u, v, w) = (atom.y.index(), atom.x.index(), atom.k);
         debug_assert!(u < self.n && v < self.n, "IntVar out of range");
-        let new_edge = Edge { u: u as u32, v: v as u32, w, tag };
+        let new_edge = Edge {
+            u: u as u32,
+            v: v as u32,
+            w,
+            tag,
+        };
         if self.pot[v] <= self.pot[u] + w {
             self.install(new_edge);
             return Ok(());
@@ -233,7 +238,9 @@ impl Idl {
 
     /// Checks the potential against every active constraint (test helper).
     pub fn is_consistent_model(&self) -> bool {
-        self.edges.iter().all(|e| self.pot[e.v as usize] <= self.pot[e.u as usize] + e.w)
+        self.edges
+            .iter()
+            .all(|e| self.pot[e.v as usize] <= self.pot[e.u as usize] + e.w)
     }
 }
 
@@ -247,7 +254,11 @@ mod tests {
     }
 
     fn le(x: u32, y: u32, k: i64) -> Atom {
-        Atom { x: IntVar(x), y: IntVar(y), k }
+        Atom {
+            x: IntVar(x),
+            y: IntVar(y),
+            k,
+        }
     }
 
     #[test]
@@ -320,7 +331,11 @@ mod tests {
         idl.assert(le(1, 2, -20), tag(1)).unwrap();
         idl.assert(le(2, 0, 15), tag(2)).unwrap(); // cycle weight 10−20+15 = 5 ≥ 0
         assert!(idl.is_consistent_model());
-        let (a, b, c) = (idl.value(IntVar(0)), idl.value(IntVar(1)), idl.value(IntVar(2)));
+        let (a, b, c) = (
+            idl.value(IntVar(0)),
+            idl.value(IntVar(1)),
+            idl.value(IntVar(2)),
+        );
         assert!(a - b <= 10 && b - c <= -20 && c - a <= 15);
         // Tightening the cycle below zero conflicts.
         let confl = idl.assert(le(2, 0, 5), tag(3)).unwrap_err();

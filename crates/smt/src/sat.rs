@@ -100,7 +100,10 @@ pub struct Budget {
 
 impl Budget {
     /// No limits.
-    pub const UNLIMITED: Budget = Budget { max_conflicts: None, timeout: None };
+    pub const UNLIMITED: Budget = Budget {
+        max_conflicts: None,
+        timeout: None,
+    };
 }
 
 /// The CDCL solver.
@@ -156,7 +159,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("activities are not NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("activities are not NaN")
     }
 }
 
@@ -257,7 +262,10 @@ impl Sat {
     ///
     /// Must be called before `solve` (at decision level 0).
     pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
-        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return false;
         }
@@ -297,9 +305,20 @@ impl Sat {
 
     fn attach_full(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         let cref = self.clauses.len() as ClauseRef;
-        self.watches[(!lits[0]).code()].push(Watcher { cref, blocker: lits[1] });
-        self.watches[(!lits[1]).code()].push(Watcher { cref, blocker: lits[0] });
-        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0 });
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
         if learnt {
             self.learnts.push(cref);
         }
@@ -416,7 +435,10 @@ impl Sat {
                     let c = &mut self.clauses[cref as usize];
                     c.lits.swap(1, j);
                     let new_watch = c.lits[1];
-                    self.watches[(!new_watch).code()].push(Watcher { cref, blocker: first });
+                    self.watches[(!new_watch).code()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
                     ws.swap_remove(i);
                     continue;
                 }
@@ -808,14 +830,20 @@ mod tests {
         let mut s = solver_with_vars(1);
         s.add_clause(vec![p(0)]);
         assert!(!s.add_clause(vec![n(0)]));
-        assert_eq!(s.solve(&mut NoTheory, &Budget::UNLIMITED), SatOutcome::Unsat);
+        assert_eq!(
+            s.solve(&mut NoTheory, &Budget::UNLIMITED),
+            SatOutcome::Unsat
+        );
     }
 
     #[test]
     fn empty_clause_unsat() {
         let mut s = solver_with_vars(1);
         assert!(!s.add_clause(vec![]));
-        assert_eq!(s.solve(&mut NoTheory, &Budget::UNLIMITED), SatOutcome::Unsat);
+        assert_eq!(
+            s.solve(&mut NoTheory, &Budget::UNLIMITED),
+            SatOutcome::Unsat
+        );
     }
 
     #[test]
@@ -843,7 +871,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(&mut NoTheory, &Budget::UNLIMITED), SatOutcome::Unsat);
+        assert_eq!(
+            s.solve(&mut NoTheory, &Budget::UNLIMITED),
+            SatOutcome::Unsat
+        );
         assert!(s.stats().conflicts > 0);
     }
 
@@ -879,7 +910,10 @@ mod tests {
                 }
             }
         }
-        let budget = Budget { max_conflicts: Some(1), timeout: None };
+        let budget = Budget {
+            max_conflicts: Some(1),
+            timeout: None,
+        };
         assert_eq!(s.solve(&mut NoTheory, &budget), SatOutcome::Unknown);
     }
 
@@ -931,7 +965,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(&mut NoTheory, &Budget::UNLIMITED), SatOutcome::Unsat);
+        assert_eq!(
+            s.solve(&mut NoTheory, &Budget::UNLIMITED),
+            SatOutcome::Unsat
+        );
     }
 
     /// Random 3-SAT at low clause density: all should be SAT, and the model

@@ -172,7 +172,10 @@ impl<'a> Compiler<'a> {
             Term::And(cs) => {
                 let cs: Vec<TermId> = cs.to_vec();
                 let lt = Lit::pos(self.var_for(t));
-                let key = PolKey { term: t, negated: !positive };
+                let key = PolKey {
+                    term: t,
+                    negated: !positive,
+                };
                 if self.emitted.insert(key) {
                     if positive {
                         // lt ⇒ every conjunct.
@@ -195,7 +198,10 @@ impl<'a> Compiler<'a> {
             Term::Or(cs) => {
                 let cs: Vec<TermId> = cs.to_vec();
                 let lt = Lit::pos(self.var_for(t));
-                let key = PolKey { term: t, negated: !positive };
+                let key = PolKey {
+                    term: t,
+                    negated: !positive,
+                };
                 if self.emitted.insert(key) {
                     if positive {
                         // lt ⇒ some disjunct.
@@ -570,13 +576,25 @@ mod tests {
         let i2 = f.implies(sel2, yx);
         f.assert_term(i2);
         let mut s = Solver::new(&f);
-        assert_eq!(s.solve_assuming(&Budget::UNLIMITED, &[sel1]), SmtResult::Sat);
+        assert_eq!(
+            s.solve_assuming(&Budget::UNLIMITED, &[sel1]),
+            SmtResult::Sat
+        );
         assert!(s.int_value(x) < s.int_value(y));
-        assert_eq!(s.solve_assuming(&Budget::UNLIMITED, &[sel2]), SmtResult::Sat);
+        assert_eq!(
+            s.solve_assuming(&Budget::UNLIMITED, &[sel2]),
+            SmtResult::Sat
+        );
         assert!(s.int_value(y) < s.int_value(x));
-        assert_eq!(s.solve_assuming(&Budget::UNLIMITED, &[sel1, sel2]), SmtResult::Unsat);
+        assert_eq!(
+            s.solve_assuming(&Budget::UNLIMITED, &[sel1, sel2]),
+            SmtResult::Unsat
+        );
         // Unsat under assumptions is not permanent.
-        assert_eq!(s.solve_assuming(&Budget::UNLIMITED, &[sel1]), SmtResult::Sat);
+        assert_eq!(
+            s.solve_assuming(&Budget::UNLIMITED, &[sel1]),
+            SmtResult::Sat
+        );
         assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Sat);
     }
 
@@ -599,8 +617,15 @@ mod tests {
         let t2 = f.lt(c, b);
         f.assert_term(t2);
         let mut s = Solver::new(&f);
-        assert_eq!(s.solve(&Budget::UNLIMITED), SmtResult::Sat, "without the selector");
-        assert_eq!(s.solve_assuming(&Budget::UNLIMITED, &[sel]), SmtResult::Unsat);
+        assert_eq!(
+            s.solve(&Budget::UNLIMITED),
+            SmtResult::Sat,
+            "without the selector"
+        );
+        assert_eq!(
+            s.solve_assuming(&Budget::UNLIMITED, &[sel]),
+            SmtResult::Unsat
+        );
     }
 
     /// Randomized DPLL(T) exercise: random strict-order constraints over a

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, EventId, EventKind, LockId, Loc, ThreadId, Value, VarId};
+use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
 use crate::trace::{Trace, TraceData, WaitLink};
 
 #[derive(Debug, Default, Clone)]
@@ -79,10 +79,17 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Creates a builder with the main thread already started.
     pub fn new() -> Self {
-        let mut b = TraceBuilder { next_thread: 1, ..Default::default() };
+        let mut b = TraceBuilder {
+            next_thread: 1,
+            ..Default::default()
+        };
         b.threads.insert(
             ThreadId::MAIN,
-            ThreadState { forked: true, begun: true, ..Default::default() },
+            ThreadState {
+                forked: true,
+                begun: true,
+                ..Default::default()
+            },
         );
         b
     }
@@ -160,7 +167,14 @@ impl TraceBuilder {
 
     /// Emits `read(t, var, value)` at an explicit location.
     pub fn read_at(&mut self, t: ThreadId, var: VarId, value: i64, loc: Loc) -> EventId {
-        self.push(t, EventKind::Read { var, value: Value(value) }, loc)
+        self.push(
+            t,
+            EventKind::Read {
+                var,
+                value: Value(value),
+            },
+            loc,
+        )
     }
 
     /// Emits a read returning the variable's current value under the trace so
@@ -181,7 +195,14 @@ impl TraceBuilder {
     /// Emits `write(t, var, value)` at an explicit location.
     pub fn write_at(&mut self, t: ThreadId, var: VarId, value: i64, loc: Loc) -> EventId {
         self.values.insert(var, Value(value));
-        self.push(t, EventKind::Write { var, value: Value(value) }, loc)
+        self.push(
+            t,
+            EventKind::Write {
+                var,
+                value: Value(value),
+            },
+            loc,
+        )
     }
 
     /// Emits `branch(t)` at a fresh location.
@@ -272,7 +293,9 @@ impl TraceBuilder {
     /// other than exactly 1; Java semantics require full release, our model
     /// supports only outermost waits).
     pub fn wait_begin(&mut self, t: ThreadId, lock: LockId) -> WaitToken {
-        let rel = self.release(t, lock).expect("wait() requires outermost lock level");
+        let rel = self
+            .release(t, lock)
+            .expect("wait() requires outermost lock level");
         self.pending_waits.push((t, lock, rel));
         WaitToken(self.pending_waits.len() - 1)
     }
@@ -288,8 +311,14 @@ impl TraceBuilder {
     /// [`WaitLink`] to the notify event observed to wake this wait.
     pub fn wait_end(&mut self, token: WaitToken, notify: Option<EventId>) -> EventId {
         let (t, lock, rel) = self.pending_waits[token.0];
-        let acq = self.acquire(t, lock).expect("wait re-acquire cannot be reentrant");
-        self.data.wait_links.push(WaitLink { release: rel, acquire: acq, notify });
+        let acq = self
+            .acquire(t, lock)
+            .expect("wait re-acquire cannot be reentrant");
+        self.data.wait_links.push(WaitLink {
+            release: rel,
+            acquire: acq,
+            notify,
+        });
         acq
     }
 
@@ -384,8 +413,14 @@ mod tests {
         assert_eq!(tr.wait_links().len(), 1);
         let wl = tr.wait_links()[0];
         assert_eq!(wl.notify, Some(n));
-        assert!(matches!(tr.event(wl.release).kind, EventKind::Release { .. }));
-        assert!(matches!(tr.event(wl.acquire).kind, EventKind::Acquire { .. }));
+        assert!(matches!(
+            tr.event(wl.release).kind,
+            EventKind::Release { .. }
+        ));
+        assert!(matches!(
+            tr.event(wl.acquire).kind,
+            EventKind::Acquire { .. }
+        ));
     }
 
     #[test]

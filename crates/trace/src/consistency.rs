@@ -56,15 +56,24 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
         let id = EventId(i as u32);
         let st = ts.entry(e.thread).or_default();
         if st.ended {
-            errors.push(TraceError::EventAfterEnd { thread: e.thread, event: id });
+            errors.push(TraceError::EventAfterEnd {
+                thread: e.thread,
+                event: id,
+            });
         }
         match e.kind {
             EventKind::Begin => {
                 if st.seen_events {
-                    errors.push(TraceError::EventBeforeBegin { thread: e.thread, event: id });
+                    errors.push(TraceError::EventBeforeBegin {
+                        thread: e.thread,
+                        event: id,
+                    });
                 }
                 if st.forked == 0 {
-                    errors.push(TraceError::BeginWithoutFork { thread: e.thread, event: id });
+                    errors.push(TraceError::BeginWithoutFork {
+                        thread: e.thread,
+                        event: id,
+                    });
                 }
                 st.begun = true;
             }
@@ -73,7 +82,10 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
             }
             _ => {
                 if st.forked > 0 && !st.begun {
-                    errors.push(TraceError::EventBeforeBegin { thread: e.thread, event: id });
+                    errors.push(TraceError::EventBeforeBegin {
+                        thread: e.thread,
+                        event: id,
+                    });
                 }
             }
         }
@@ -81,40 +93,60 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
 
         match e.kind {
             EventKind::Read { var, value } => {
-                let expected = values.get(&var).copied().unwrap_or_else(|| trace.initial_value(var));
+                let expected = values
+                    .get(&var)
+                    .copied()
+                    .unwrap_or_else(|| trace.initial_value(var));
                 if value != expected {
-                    errors.push(TraceError::InconsistentRead { read: id, var, expected, actual: value });
+                    errors.push(TraceError::InconsistentRead {
+                        read: id,
+                        var,
+                        expected,
+                        actual: value,
+                    });
                 }
             }
             EventKind::Write { var, value } => {
                 values.insert(var, value);
             }
-            EventKind::Acquire { lock }
-                if !lock_holder.contains_key(&lock) =>
-            {
+            EventKind::Acquire { lock } if !lock_holder.contains_key(&lock) => {
                 lock_holder.insert(lock, e.thread);
             }
             EventKind::Acquire { lock } => {
-                errors.push(TraceError::AcquireHeldLock { thread: e.thread, lock, event: id });
+                errors.push(TraceError::AcquireHeldLock {
+                    thread: e.thread,
+                    lock,
+                    event: id,
+                });
             }
             EventKind::Release { lock } => {
                 if lock_holder.get(&lock) == Some(&e.thread) {
                     lock_holder.remove(&lock);
                 } else {
-                    errors.push(TraceError::ReleaseWithoutAcquire { thread: e.thread, lock, event: id });
+                    errors.push(TraceError::ReleaseWithoutAcquire {
+                        thread: e.thread,
+                        lock,
+                        event: id,
+                    });
                 }
             }
             EventKind::Fork { child } => {
                 let cst = ts.entry(child).or_default();
                 cst.forked += 1;
                 if cst.forked > 1 {
-                    errors.push(TraceError::DoubleFork { thread: child, event: id });
+                    errors.push(TraceError::DoubleFork {
+                        thread: child,
+                        event: id,
+                    });
                 }
             }
             EventKind::Join { child } => {
                 let ended = ts.get(&child).map(|s| s.ended).unwrap_or(false);
                 if !ended {
-                    errors.push(TraceError::JoinBeforeEnd { thread: child, event: id });
+                    errors.push(TraceError::JoinBeforeEnd {
+                        thread: child,
+                        event: id,
+                    });
                 }
             }
             EventKind::Begin | EventKind::End | EventKind::Branch | EventKind::Notify { .. } => {}
@@ -181,9 +213,14 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::BadEvent(e) => write!(f, "{e}: not schedulable (outside view or duplicate)"),
+            ScheduleError::BadEvent(e) => {
+                write!(f, "{e}: not schedulable (outside view or duplicate)")
+            }
             ScheduleError::NotThreadPrefix { thread, event } => {
-                write!(f, "{event}: thread {thread} order is not a projection prefix")
+                write!(
+                    f,
+                    "{event}: thread {thread} order is not a projection prefix"
+                )
             }
             ScheduleError::BeginBeforeFork(e) => write!(f, "{e}: begin before its fork"),
             ScheduleError::JoinBeforeEnd(e) => write!(f, "{e}: join before the child's end"),
@@ -216,7 +253,10 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
         let pos = next_pos.entry(e.thread).or_insert(0);
         let expected = view.thread_events(e.thread).get(*pos).copied();
         if expected != Some(id) {
-            return Err(ScheduleError::NotThreadPrefix { thread: e.thread, event: id });
+            return Err(ScheduleError::NotThreadPrefix {
+                thread: e.thread,
+                event: id,
+            });
         }
         *pos += 1;
 
@@ -233,11 +273,10 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
                 }
             }
             EventKind::Join { child } => {
-                let end = trace
-                    .thread_events(child)
-                    .iter()
-                    .copied()
-                    .find(|&x| view.contains(x) && matches!(view.event(x).kind, EventKind::End));
+                let end =
+                    trace.thread_events(child).iter().copied().find(|&x| {
+                        view.contains(x) && matches!(view.event(x).kind, EventKind::End)
+                    });
                 if let Some(en) = end {
                     if !scheduled.contains_key(&en) {
                         return Err(ScheduleError::JoinBeforeEnd(id));
@@ -252,10 +291,9 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
                 // Wait re-acquire: its notify must be scheduled already.
                 if let Some(wl) = trace.wait_link_of_acquire(id) {
                     match wl.notify {
-                        Some(n) if view.contains(n)
-                            && !scheduled.contains_key(&n) => {
-                                return Err(ScheduleError::WaitNotifyMismatch(id));
-                            }
+                        Some(n) if view.contains(n) && !scheduled.contains_key(&n) => {
+                            return Err(ScheduleError::WaitNotifyMismatch(id));
+                        }
                         _ => {}
                     }
                 }
@@ -295,7 +333,10 @@ pub fn schedule_read_values(view: &View<'_>, schedule: &Schedule) -> HashMap<Eve
     for &id in &schedule.0 {
         match view.event(id).kind {
             EventKind::Read { var, .. } => {
-                let v = values.get(&var).copied().unwrap_or_else(|| view.initial_value(var));
+                let v = values
+                    .get(&var)
+                    .copied()
+                    .unwrap_or_else(|| view.initial_value(var));
                 out.insert(id, v);
             }
             EventKind::Write { var, value } => {
@@ -316,7 +357,10 @@ mod tests {
     use crate::view::ViewExt;
 
     fn raw(events: Vec<Event>) -> Trace {
-        Trace::from_data(TraceData { events, ..Default::default() })
+        Trace::from_data(TraceData {
+            events,
+            ..Default::default()
+        })
     }
 
     fn ev(t: u32, kind: EventKind) -> Event {
@@ -343,8 +387,20 @@ mod tests {
     #[test]
     fn inconsistent_read_detected() {
         let t = raw(vec![
-            ev(0, EventKind::Write { var: VarId(0), value: Value(1) }),
-            ev(0, EventKind::Read { var: VarId(0), value: Value(7) }),
+            ev(
+                0,
+                EventKind::Write {
+                    var: VarId(0),
+                    value: Value(1),
+                },
+            ),
+            ev(
+                0,
+                EventKind::Read {
+                    var: VarId(0),
+                    value: Value(7),
+                },
+            ),
         ]);
         let errs = check_consistency(&t);
         assert!(matches!(errs[0], TraceError::InconsistentRead { .. }));
@@ -353,7 +409,13 @@ mod tests {
     #[test]
     fn read_of_initial_value_consistent() {
         let mut data = TraceData {
-            events: vec![ev(0, EventKind::Read { var: VarId(0), value: Value(5) })],
+            events: vec![ev(
+                0,
+                EventKind::Read {
+                    var: VarId(0),
+                    value: Value(5),
+                },
+            )],
             ..Default::default()
         };
         data.initial_values.insert(VarId(0), Value(5));
@@ -369,32 +431,44 @@ mod tests {
         let errs = check_consistency(&t);
         assert!(matches!(errs[0], TraceError::AcquireHeldLock { .. }));
         let t = raw(vec![ev(0, EventKind::Release { lock: LockId(0) })]);
-        assert!(matches!(check_consistency(&t)[0], TraceError::ReleaseWithoutAcquire { .. }));
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::ReleaseWithoutAcquire { .. }
+        ));
     }
 
     #[test]
     fn mhb_violations_detected() {
         // begin without fork
         let t = raw(vec![ev(1, EventKind::Begin)]);
-        assert!(matches!(check_consistency(&t)[0], TraceError::BeginWithoutFork { .. }));
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::BeginWithoutFork { .. }
+        ));
         // join before end
         let t = raw(vec![
             ev(0, EventKind::Fork { child: ThreadId(1) }),
             ev(0, EventKind::Join { child: ThreadId(1) }),
         ]);
-        assert!(matches!(check_consistency(&t)[0], TraceError::JoinBeforeEnd { .. }));
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::JoinBeforeEnd { .. }
+        ));
         // event after end
-        let t = raw(vec![
-            ev(0, EventKind::End),
-            ev(0, EventKind::Branch),
-        ]);
-        assert!(matches!(check_consistency(&t)[0], TraceError::EventAfterEnd { .. }));
+        let t = raw(vec![ev(0, EventKind::End), ev(0, EventKind::Branch)]);
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::EventAfterEnd { .. }
+        ));
         // forked thread acting before begin
         let t = raw(vec![
             ev(0, EventKind::Fork { child: ThreadId(1) }),
             ev(1, EventKind::Branch),
         ]);
-        assert!(matches!(check_consistency(&t)[0], TraceError::EventBeforeBegin { .. }));
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::EventBeforeBegin { .. }
+        ));
     }
 
     fn fork_lock_trace() -> Trace {
@@ -438,7 +512,10 @@ mod tests {
         let tr = fork_lock_trace();
         let v = tr.full_view();
         let sched = Schedule(vec![EventId(0), EventId(1), EventId(4), EventId(5)]);
-        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::MutexViolation(EventId(5))));
+        assert_eq!(
+            check_schedule(&v, &sched),
+            Err(ScheduleError::MutexViolation(EventId(5)))
+        );
     }
 
     #[test]
@@ -446,7 +523,10 @@ mod tests {
         let tr = fork_lock_trace();
         let v = tr.full_view();
         let sched = Schedule(vec![EventId(4)]);
-        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::BeginBeforeFork(EventId(4))));
+        assert_eq!(
+            check_schedule(&v, &sched),
+            Err(ScheduleError::BeginBeforeFork(EventId(4)))
+        );
     }
 
     #[test]
@@ -461,7 +541,10 @@ mod tests {
         ));
         // duplicates rejected
         let sched = Schedule(vec![EventId(0), EventId(0)]);
-        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::BadEvent(EventId(0))));
+        assert_eq!(
+            check_schedule(&v, &sched),
+            Err(ScheduleError::BadEvent(EventId(0)))
+        );
     }
 
     #[test]
@@ -474,7 +557,10 @@ mod tests {
         let tr = b.finish();
         let v = tr.full_view();
         let sched = Schedule(vec![EventId(0), EventId(1), EventId(2), EventId(4)]);
-        assert_eq!(check_schedule(&v, &sched), Err(ScheduleError::JoinBeforeEnd(EventId(4))));
+        assert_eq!(
+            check_schedule(&v, &sched),
+            Err(ScheduleError::JoinBeforeEnd(EventId(4)))
+        );
     }
 
     #[test]
@@ -496,12 +582,10 @@ mod tests {
         let orig = Schedule(v.ids().collect());
         assert_eq!(check_schedule(&v, &orig), Ok(()));
         // Re-acquire before the notify is rejected.
-        let bad = Schedule(vec![
-            EventId(0),
-            EventId(1),
-            EventId(2),
-            EventId(7),
-        ]);
-        assert_eq!(check_schedule(&v, &bad), Err(ScheduleError::WaitNotifyMismatch(EventId(7))));
+        let bad = Schedule(vec![EventId(0), EventId(1), EventId(2), EventId(7)]);
+        assert_eq!(
+            check_schedule(&v, &bad),
+            Err(ScheduleError::WaitNotifyMismatch(EventId(7)))
+        );
     }
 }

@@ -97,14 +97,36 @@ impl fmt::Display for TraceError {
             TraceError::JoinBeforeEnd { thread, event } => {
                 write!(f, "{event}: join on thread {thread} before it ended")
             }
-            TraceError::ReleaseWithoutAcquire { thread, lock, event } => {
-                write!(f, "{event}: thread {thread} released {lock} without holding it")
+            TraceError::ReleaseWithoutAcquire {
+                thread,
+                lock,
+                event,
+            } => {
+                write!(
+                    f,
+                    "{event}: thread {thread} released {lock} without holding it"
+                )
             }
-            TraceError::AcquireHeldLock { thread, lock, event } => {
-                write!(f, "{event}: thread {thread} acquired {lock} while another thread holds it")
+            TraceError::AcquireHeldLock {
+                thread,
+                lock,
+                event,
+            } => {
+                write!(
+                    f,
+                    "{event}: thread {thread} acquired {lock} while another thread holds it"
+                )
             }
-            TraceError::InconsistentRead { read, var, expected, actual } => {
-                write!(f, "{read}: read of {var} returned {actual} but last write was {expected}")
+            TraceError::InconsistentRead {
+                read,
+                var,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{read}: read of {var} returned {actual} but last write was {expected}"
+                )
             }
             TraceError::UnknownThread { thread } => {
                 write!(f, "unknown thread {thread}")

@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a thread in a trace.
 ///
 /// Thread ids are small dense integers assigned by the
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let main = ThreadId::MAIN;
 /// assert_eq!(main.index(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(
     /// The raw id.
     pub u32,
@@ -57,7 +55,7 @@ impl fmt::Display for ThreadId {
 /// let x = VarId(3);
 /// assert_eq!(x.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(
     /// The raw id.
     pub u32,
@@ -82,7 +80,7 @@ impl fmt::Display for VarId {
 /// Reentrant acquisitions are expected to be filtered out at trace-collection
 /// time (paper §4); the [`TraceBuilder`](crate::TraceBuilder) does this
 /// automatically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(
     /// The raw id.
     pub u32,
@@ -107,9 +105,7 @@ impl fmt::Display for LockId {
 /// Values are opaque to the detector except for equality: the maximal causal
 /// model is *data-abstract* (paper §2.3), so only "reads the same value as in
 /// the original trace" matters.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value(
     /// The raw value.
     pub i64,
@@ -130,7 +126,7 @@ impl From<i64> for Value {
 /// A static program location (e.g. a source line), used for race signatures
 /// and reporting. Two dynamic events from the same program statement share a
 /// `Loc`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Loc(
     /// The raw id.
     pub u32,
@@ -159,7 +155,7 @@ impl fmt::Display for Loc {
 
 /// Index of an event within its trace. The trace order *is* the observed
 /// execution order, so `EventId`s are totally ordered by observation time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(
     /// The raw id.
     pub u32,
@@ -180,7 +176,7 @@ impl fmt::Display for EventId {
 }
 
 /// The operation an event performs (paper §2.1, Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// First event of a thread. May occur only after the thread was forked
     /// (except for the main thread).
@@ -255,9 +251,9 @@ impl EventKind {
     #[inline]
     pub fn lock(&self) -> Option<LockId> {
         match *self {
-            EventKind::Acquire { lock } | EventKind::Release { lock } | EventKind::Notify { lock } => {
-                Some(lock)
-            }
+            EventKind::Acquire { lock }
+            | EventKind::Release { lock }
+            | EventKind::Notify { lock } => Some(lock),
             _ => None,
         }
     }
@@ -305,7 +301,7 @@ impl EventKind {
 /// assert!(e.kind.is_write());
 /// assert_eq!(e.thread, ThreadId(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Event {
     /// The thread performing the operation.
     pub thread: ThreadId,
@@ -351,7 +347,9 @@ impl fmt::Display for Event {
         match self.kind {
             EventKind::Begin => write!(f, "begin({})", self.thread),
             EventKind::End => write!(f, "end({})", self.thread),
-            EventKind::Read { var, value } => write!(f, "read({}, {}, {})", self.thread, var, value),
+            EventKind::Read { var, value } => {
+                write!(f, "read({}, {}, {})", self.thread, var, value)
+            }
             EventKind::Write { var, value } => {
                 write!(f, "write({}, {}, {})", self.thread, var, value)
             }
@@ -368,7 +366,7 @@ impl fmt::Display for Event {
 /// A conflicting operation pair (paper Definition 3): two accesses to the
 /// same variable by different threads, at least one a write. By convention
 /// `first` occurs before `second` in the observed trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cop {
     /// The earlier access in trace order.
     pub first: EventId,
@@ -380,9 +378,15 @@ impl Cop {
     /// Creates a COP, normalizing order so `first < second`.
     pub fn new(a: EventId, b: EventId) -> Self {
         if a <= b {
-            Cop { first: a, second: b }
+            Cop {
+                first: a,
+                second: b,
+            }
         } else {
-            Cop { first: b, second: a }
+            Cop {
+                first: b,
+                second: a,
+            }
         }
     }
 }
@@ -398,7 +402,14 @@ mod tests {
     use super::*;
 
     fn w(t: u32, x: u32, v: i64) -> Event {
-        Event::new(ThreadId(t), EventKind::Write { var: VarId(x), value: Value(v) }, Loc(0))
+        Event::new(
+            ThreadId(t),
+            EventKind::Write {
+                var: VarId(x),
+                value: Value(v),
+            },
+            Loc(0),
+        )
     }
 
     #[test]
@@ -434,7 +445,10 @@ mod tests {
         assert!(!e.data_abstract_eq(&w(2, 2, 3))); // different thread
         let r = Event::new(
             ThreadId(1),
-            EventKind::Read { var: VarId(2), value: Value(3) },
+            EventKind::Read {
+                var: VarId(2),
+                value: Value(3),
+            },
             Loc(0),
         );
         assert!(!e.data_abstract_eq(&r)); // read vs write

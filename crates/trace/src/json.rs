@@ -1,0 +1,623 @@
+//! Self-contained JSON (de)serialization of [`Trace`]s.
+//!
+//! This replaces the former `serde`/`serde_json` dependency so the
+//! workspace builds offline. The wire format is kept compatible with the
+//! previously derived one: a trace is its [`TraceData`] — events with
+//! externally-tagged kinds, maps keyed by stringified ids — so traces
+//! serialized by earlier builds still load.
+//!
+//! ```json
+//! {"events":[{"thread":0,"kind":{"Write":{"var":0,"value":1}},"loc":2}],
+//!  "initial_values":{"0":0},"volatiles":[],"wait_links":[],
+//!  "loc_names":{"2":"Main.java:3"},"var_names":{"0":"x"}}
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use rvtrace::{from_json, to_json, ThreadId, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! b.write(ThreadId::MAIN, x, 1);
+//! let trace = b.finish();
+//! let round = from_json(&to_json(&trace)).unwrap();
+//! assert_eq!(round.events(), trace.events());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+use crate::trace::{Trace, TraceData, WaitLink};
+
+/// A JSON parse or shape error, with a byte offset for syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where a syntax error was detected (0 for
+    /// shape errors discovered after parsing).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn shape(message: impl Into<String>) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset: 0,
+    }
+}
+
+// ---------------------------------------------------------------- values
+
+/// A parsed JSON value (integers only: the trace format has no floats).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_int(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            other => Err(shape(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn as_u32(&self) -> Result<u32, JsonError> {
+        u32::try_from(self.as_int()?).map_err(|_| shape("integer out of u32 range"))
+    }
+
+    fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(shape(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            other => Err(shape(format!("expected array, found {other:?}"))),
+        }
+    }
+
+    fn as_object(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Object(v) => Ok(v),
+            other => Err(shape(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, JsonError> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| shape(format!("missing field `{name}`")))
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(self.err(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floating-point numbers are not part of the trace format"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf8");
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|e| self.err(format!("bad number: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: only the BMP appears in trace
+                            // names in practice, but handle pairs anyway.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                                self.pos += 2;
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                let low = u32::from_str_radix(
+                                    std::str::from_utf8(hex2)
+                                        .map_err(|_| self.err("non-ascii \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(ch).ok_or_else(|| self.err("bad codepoint"))?);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid utf8"))?;
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated utf8"))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf8"))?);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(out));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(out));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_kind(out: &mut String, kind: &EventKind) {
+    match *kind {
+        EventKind::Begin => out.push_str("\"Begin\""),
+        EventKind::End => out.push_str("\"End\""),
+        EventKind::Branch => out.push_str("\"Branch\""),
+        EventKind::Read { var, value } => out.push_str(&format!(
+            "{{\"Read\":{{\"var\":{},\"value\":{}}}}}",
+            var.0, value.0
+        )),
+        EventKind::Write { var, value } => out.push_str(&format!(
+            "{{\"Write\":{{\"var\":{},\"value\":{}}}}}",
+            var.0, value.0
+        )),
+        EventKind::Acquire { lock } => {
+            out.push_str(&format!("{{\"Acquire\":{{\"lock\":{}}}}}", lock.0))
+        }
+        EventKind::Release { lock } => {
+            out.push_str(&format!("{{\"Release\":{{\"lock\":{}}}}}", lock.0))
+        }
+        EventKind::Notify { lock } => {
+            out.push_str(&format!("{{\"Notify\":{{\"lock\":{}}}}}", lock.0))
+        }
+        EventKind::Fork { child } => {
+            out.push_str(&format!("{{\"Fork\":{{\"child\":{}}}}}", child.0))
+        }
+        EventKind::Join { child } => {
+            out.push_str(&format!("{{\"Join\":{{\"child\":{}}}}}", child.0))
+        }
+    }
+}
+
+fn write_name_map<K: Copy>(out: &mut String, map: &BTreeMap<K, String>, key: impl Fn(K) -> u32) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", key(*k)));
+        write_escaped(out, v);
+    }
+    out.push('}');
+}
+
+/// Serializes a trace to its JSON wire format.
+pub fn to_json(trace: &Trace) -> String {
+    let data = trace.data();
+    let mut out = String::with_capacity(data.events.len() * 48 + 256);
+    out.push_str("{\"events\":[");
+    for (i, e) in data.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"thread\":{},\"kind\":", e.thread.0));
+        write_kind(&mut out, &e.kind);
+        out.push_str(&format!(",\"loc\":{}}}", e.loc.0));
+    }
+    out.push_str("],\"initial_values\":{");
+    for (i, (var, value)) in data.initial_values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", var.0, value.0));
+    }
+    out.push_str("},\"volatiles\":[");
+    for (i, v) in data.volatiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}", v.0));
+    }
+    out.push_str("],\"wait_links\":[");
+    for (i, wl) in data.wait_links.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"release\":{},\"acquire\":{},\"notify\":",
+            wl.release.0, wl.acquire.0
+        ));
+        match wl.notify {
+            Some(n) => out.push_str(&format!("{}", n.0)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"loc_names\":");
+    write_name_map(&mut out, &data.loc_names, |l: Loc| l.0);
+    out.push_str(",\"var_names\":");
+    write_name_map(&mut out, &data.var_names, |v: VarId| v.0);
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------- reader
+
+fn read_kind(v: &Json) -> Result<EventKind, JsonError> {
+    match v {
+        Json::Str(tag) => match tag.as_str() {
+            "Begin" => Ok(EventKind::Begin),
+            "End" => Ok(EventKind::End),
+            "Branch" => Ok(EventKind::Branch),
+            other => Err(shape(format!("unknown event kind `{other}`"))),
+        },
+        Json::Object(fields) if fields.len() == 1 => {
+            let (tag, body) = &fields[0];
+            match tag.as_str() {
+                "Read" => Ok(EventKind::Read {
+                    var: VarId(body.field("var")?.as_u32()?),
+                    value: Value(body.field("value")?.as_int()?),
+                }),
+                "Write" => Ok(EventKind::Write {
+                    var: VarId(body.field("var")?.as_u32()?),
+                    value: Value(body.field("value")?.as_int()?),
+                }),
+                "Acquire" => Ok(EventKind::Acquire {
+                    lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "Release" => Ok(EventKind::Release {
+                    lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "Notify" => Ok(EventKind::Notify {
+                    lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "Fork" => Ok(EventKind::Fork {
+                    child: ThreadId(body.field("child")?.as_u32()?),
+                }),
+                "Join" => Ok(EventKind::Join {
+                    child: ThreadId(body.field("child")?.as_u32()?),
+                }),
+                other => Err(shape(format!("unknown event kind `{other}`"))),
+            }
+        }
+        other => Err(shape(format!("bad event kind: {other:?}"))),
+    }
+}
+
+fn read_key_u32(key: &str) -> Result<u32, JsonError> {
+    key.parse::<u32>()
+        .map_err(|_| shape(format!("map key `{key}` is not an id")))
+}
+
+/// Deserializes a trace from its JSON wire format.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON or on a structurally valid
+/// document that does not describe a trace.
+pub fn from_json(input: &str) -> Result<Trace, JsonError> {
+    let root = parse(input)?;
+    let mut data = TraceData::default();
+    for ev in root.field("events")?.as_array()? {
+        data.events.push(Event {
+            thread: ThreadId(ev.field("thread")?.as_u32()?),
+            kind: read_kind(ev.field("kind")?)?,
+            loc: Loc(ev.field("loc")?.as_u32()?),
+        });
+    }
+    for (k, v) in root.field("initial_values")?.as_object()? {
+        data.initial_values
+            .insert(VarId(read_key_u32(k)?), Value(v.as_int()?));
+    }
+    for v in root.field("volatiles")?.as_array()? {
+        data.volatiles.push(VarId(v.as_u32()?));
+    }
+    for wl in root.field("wait_links")?.as_array()? {
+        data.wait_links.push(WaitLink {
+            release: EventId(wl.field("release")?.as_u32()?),
+            acquire: EventId(wl.field("acquire")?.as_u32()?),
+            notify: match wl.field("notify")? {
+                Json::Null => None,
+                v => Some(EventId(v.as_u32()?)),
+            },
+        });
+    }
+    for (k, v) in root.field("loc_names")?.as_object()? {
+        data.loc_names
+            .insert(Loc(read_key_u32(k)?), v.as_str()?.to_string());
+    }
+    for (k, v) in root.field("var_names")?.as_object()? {
+        data.var_names
+            .insert(VarId(read_key_u32(k)?), v.as_str()?.to_string());
+    }
+    Ok(Trace::from_data(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.volatile_var("why \"quoted\"\n");
+        b.initial(x, 7);
+        let l = b.new_lock("l");
+        let t2 = b.fork(ThreadId::MAIN);
+        b.acquire(ThreadId::MAIN, l);
+        b.write(ThreadId::MAIN, x, 1);
+        b.release(ThreadId::MAIN, l);
+        b.acquire(t2, l);
+        let tok = b.wait_begin(t2, l);
+        let n = b.notify(ThreadId::MAIN, l);
+        b.wait_end(tok, Some(n));
+        b.read(t2, y, 0);
+        b.branch(t2);
+        b.join(ThreadId::MAIN, t2);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let s = to_json(&t);
+        let back = from_json(&s).unwrap();
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.stats(), t.stats());
+        assert_eq!(back.wait_links(), t.wait_links());
+        assert_eq!(back.data().loc_names, t.data().loc_names);
+        assert_eq!(back.data().var_names, t.data().var_names);
+        assert_eq!(back.data().initial_values, t.data().initial_values);
+        assert_eq!(back.data().volatiles, t.data().volatiles);
+    }
+
+    #[test]
+    fn accepts_whitespace_and_reordered_fields() {
+        let s = r#" {
+            "volatiles" : [ 1 ],
+            "initial_values" : { "0" : -3 },
+            "events" : [
+                { "loc" : 0, "thread" : 0, "kind" : { "Write" : { "var" : 0, "value" : 5 } } }
+            ],
+            "wait_links" : [ ],
+            "loc_names" : { },
+            "var_names" : { "0" : "xA" }
+        } "#;
+        let t = from_json(s).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.initial_value(VarId(0)), Value(-3));
+        assert!(t.is_volatile(VarId(1)));
+        assert_eq!(t.var_name(VarId(0)), Some("xA"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"events\":[").is_err());
+        assert!(from_json("{}").is_err());
+        assert!(from_json("{\"events\":[{\"thread\":0,\"kind\":\"Nope\",\"loc\":0}]}").is_err());
+        assert!(from_json("[1,2,3] trailing").is_err());
+        let err = from_json("{\"events\": 1.5}").unwrap_err();
+        assert!(err.to_string().contains("floating-point"));
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let mut b = TraceBuilder::new();
+        let v = b.var("变量⟨α⟩");
+        b.write(ThreadId::MAIN, v, 1);
+        let t = b.finish();
+        let back = from_json(&to_json(&t)).unwrap();
+        assert_eq!(back.var_name(VarId(0)), Some("变量⟨α⟩"));
+    }
+}

@@ -48,15 +48,19 @@ mod builder;
 pub mod consistency;
 mod error;
 mod event;
+pub mod json;
 mod signature;
 mod trace;
 mod vector_clock;
 mod view;
 
 pub use builder::{TraceBuilder, WaitToken};
-pub use consistency::{check_consistency, check_schedule, schedule_read_values, Schedule, ScheduleError};
+pub use consistency::{
+    check_consistency, check_schedule, schedule_read_values, Schedule, ScheduleError,
+};
 pub use error::TraceError;
-pub use event::{Cop, Event, EventId, EventKind, LockId, Loc, ThreadId, Value, VarId};
+pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+pub use json::{from_json, to_json, JsonError};
 pub use signature::{RaceSignature, SignatureDisplay};
 pub use trace::{Trace, TraceData, TraceStats, WaitLink};
 pub use vector_clock::VectorClock;

@@ -6,14 +6,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{Cop, Loc};
 use crate::trace::Trace;
 
 /// An unordered pair of program locations identifying a potential race
 /// statically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RaceSignature {
     /// The smaller location of the pair.
     pub a: Loc,
@@ -57,7 +55,12 @@ pub struct SignatureDisplay<'a> {
 
 impl fmt::Display for SignatureDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = |l: Loc| self.trace.loc_name(l).map(str::to_owned).unwrap_or_else(|| l.to_string());
+        let name = |l: Loc| {
+            self.trace
+                .loc_name(l)
+                .map(str::to_owned)
+                .unwrap_or_else(|| l.to_string())
+        };
         write!(f, "⟨{}, {}⟩", name(self.sig.a), name(self.sig.b))
     }
 }
@@ -88,7 +91,10 @@ mod tests {
         let tr = b.finish();
         let sig = RaceSignature::of_cop(&tr, Cop::new(w, r));
         assert_eq!(sig, RaceSignature::new(l1, l2));
-        assert_eq!(format!("{}", sig.display(&tr)), "⟨Main.java:3, Main.java:10⟩");
+        assert_eq!(
+            format!("{}", sig.display(&tr)),
+            "⟨Main.java:3, Main.java:10⟩"
+        );
         // EventIds still usable to look the events back up.
         assert_eq!(tr.event(EventId(w.0)).loc, l1);
     }

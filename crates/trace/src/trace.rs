@@ -4,14 +4,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use crate::event::{Event, EventId, EventKind, LockId, Loc, ThreadId, Value, VarId};
+use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
 
 /// A matched `wait()` occurrence (paper §4): the `release`/`acquire` pair the
 /// wait desugars to, plus the `Notify` event that woke it in the observed
 /// execution (if any; a wait may be pending at trace end).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitLink {
     /// The release event emitted when the thread started waiting.
     pub release: EventId,
@@ -22,7 +20,7 @@ pub struct WaitLink {
 }
 
 /// Serializable core data of a trace (no derived indexes).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceData {
     /// The observed events, in execution order.
     pub events: Vec<Event>,
@@ -41,7 +39,7 @@ pub struct TraceData {
 
 /// Counts of a trace's events by class; the trace-metric columns of the
 /// paper's Table 1.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Number of distinct threads.
     pub threads: usize,
@@ -84,8 +82,7 @@ impl fmt::Display for TraceStats {
 /// let trace = b.finish();
 /// assert_eq!(trace.stats().reads_writes, 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "TraceData", into = "TraceData")]
+#[derive(Debug, Clone)]
 pub struct Trace {
     data: TraceData,
     // ---- derived ----
@@ -261,7 +258,11 @@ impl Trace {
     /// The initial value of a variable (defaults to `0`).
     #[inline]
     pub fn initial_value(&self, v: VarId) -> Value {
-        self.data.initial_values.get(&v).copied().unwrap_or_default()
+        self.data
+            .initial_values
+            .get(&v)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Whether the variable was declared volatile.
@@ -278,12 +279,16 @@ impl Trace {
 
     /// The wait link satisfied by the given `Notify` event, if any.
     pub fn wait_link_of_notify(&self, notify: EventId) -> Option<&WaitLink> {
-        self.notify_to_link.get(&notify).map(|&i| &self.data.wait_links[i])
+        self.notify_to_link
+            .get(&notify)
+            .map(|&i| &self.data.wait_links[i])
     }
 
     /// The wait link whose re-acquire is the given event, if any.
     pub fn wait_link_of_acquire(&self, acquire: EventId) -> Option<&WaitLink> {
-        self.wait_acquire_to_link.get(&acquire).map(|&i| &self.data.wait_links[i])
+        self.wait_acquire_to_link
+            .get(&acquire)
+            .map(|&i| &self.data.wait_links[i])
     }
 
     /// Human-readable name for a program location, if registered.
@@ -304,7 +309,11 @@ impl Trace {
 
     /// Trace metrics in the shape of the paper's Table 1 columns 3–7.
     pub fn stats(&self) -> TraceStats {
-        let mut s = TraceStats { threads: self.threads.len(), events: self.len(), ..Default::default() };
+        let mut s = TraceStats {
+            threads: self.threads.len(),
+            events: self.len(),
+            ..Default::default()
+        };
         for e in &self.data.events {
             if e.kind.is_access() {
                 s.reads_writes += 1;
@@ -320,7 +329,10 @@ impl Trace {
     /// Restriction of the trace to one thread (`τ↾t`), as owned events.
     /// Mostly useful in tests; prefer [`Trace::thread_events`].
     pub fn projection(&self, t: ThreadId) -> Vec<Event> {
-        self.thread_events(t).iter().map(|&id| *self.event(id)).collect()
+        self.thread_events(t)
+            .iter()
+            .map(|&id| *self.event(id))
+            .collect()
     }
 
     /// Returns `LockId`s of locks appearing in the trace.
@@ -341,14 +353,29 @@ mod tests {
     fn sample() -> Trace {
         let events = vec![
             ev(0, EventKind::Fork { child: ThreadId(1) }),
-            ev(0, EventKind::Write { var: VarId(0), value: Value(1) }),
+            ev(
+                0,
+                EventKind::Write {
+                    var: VarId(0),
+                    value: Value(1),
+                },
+            ),
             ev(1, EventKind::Begin),
-            ev(1, EventKind::Read { var: VarId(0), value: Value(1) }),
+            ev(
+                1,
+                EventKind::Read {
+                    var: VarId(0),
+                    value: Value(1),
+                },
+            ),
             ev(1, EventKind::Branch),
             ev(1, EventKind::End),
             ev(0, EventKind::Join { child: ThreadId(1) }),
         ];
-        Trace::from_data(TraceData { events, ..Default::default() })
+        Trace::from_data(TraceData {
+            events,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -370,7 +397,10 @@ mod tests {
     #[test]
     fn forked_but_silent_thread_is_known() {
         let events = vec![ev(0, EventKind::Fork { child: ThreadId(7) })];
-        let t = Trace::from_data(TraceData { events, ..Default::default() });
+        let t = Trace::from_data(TraceData {
+            events,
+            ..Default::default()
+        });
         assert_eq!(t.threads(), &[ThreadId(0), ThreadId(7)]);
         assert!(t.thread_events(ThreadId(7)).is_empty());
     }
@@ -398,10 +428,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let t = sample();
-        let s = serde_json::to_string(&t).unwrap();
-        let t2: Trace = serde_json::from_str(&s).unwrap();
+        let s = crate::json::to_json(&t);
+        let t2 = crate::json::from_json(&s).unwrap();
         assert_eq!(t2.len(), t.len());
         assert_eq!(t2.stats(), t.stats());
     }
@@ -414,15 +444,24 @@ mod tests {
             ev(1, EventKind::Notify { lock: LockId(0) }),
             ev(0, EventKind::Acquire { lock: LockId(0) }), // wait-reacquire
         ];
-        let mut data = TraceData { events, ..Default::default() };
+        let mut data = TraceData {
+            events,
+            ..Default::default()
+        };
         data.wait_links.push(WaitLink {
             release: EventId(1),
             acquire: EventId(3),
             notify: Some(EventId(2)),
         });
         let t = Trace::from_data(data);
-        assert_eq!(t.wait_link_of_notify(EventId(2)).unwrap().acquire, EventId(3));
-        assert_eq!(t.wait_link_of_acquire(EventId(3)).unwrap().notify, Some(EventId(2)));
+        assert_eq!(
+            t.wait_link_of_notify(EventId(2)).unwrap().acquire,
+            EventId(3)
+        );
+        assert_eq!(
+            t.wait_link_of_acquire(EventId(3)).unwrap().notify,
+            Some(EventId(2))
+        );
         assert!(t.wait_link_of_notify(EventId(0)).is_none());
     }
 }

@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A vector clock: one logical counter per thread (dense thread index).
 ///
 /// Entry `i` counts how many events of thread `i` are known to precede (or
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(b.get(1), 1);
 /// assert!(a.le(&b));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     entries: Vec<u32>,
 }
@@ -32,7 +30,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// A clock of `n` threads, all zero.
     pub fn new(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Number of threads the clock tracks.

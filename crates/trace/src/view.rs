@@ -46,7 +46,10 @@ impl Carry {
         let values = (0..trace.n_vars() as u32)
             .map(|v| trace.initial_value(VarId(v)))
             .collect();
-        Carry { values, held: Vec::new() }
+        Carry {
+            values,
+            held: Vec::new(),
+        }
     }
 
     fn advance(&mut self, trace: &Trace, range: Range<usize>) {
@@ -56,7 +59,10 @@ impl Carry {
                 EventKind::Write { var, value } => self.values[var.index()] = value,
                 EventKind::Acquire { lock } => self.held.push((e.thread, lock)),
                 EventKind::Release { lock } => {
-                    if let Some(p) = self.held.iter().position(|&(t, l)| t == e.thread && l == lock)
+                    if let Some(p) = self
+                        .held
+                        .iter()
+                        .position(|&(t, l)| t == e.thread && l == lock)
                     {
                         self.held.swap_remove(p);
                     }
@@ -184,10 +190,12 @@ impl<'a> View<'a> {
                 cur_lockset[ti].sort_unstable();
                 cur_lockset[ti].dedup();
             }
-            let ls_id = *lockset_lookup.entry(cur_lockset[ti].clone()).or_insert_with(|| {
-                lockset_pool.push(cur_lockset[ti].clone());
-                (lockset_pool.len() - 1) as u32
-            });
+            let ls_id = *lockset_lookup
+                .entry(cur_lockset[ti].clone())
+                .or_insert_with(|| {
+                    lockset_pool.push(cur_lockset[ti].clone());
+                    (lockset_pool.len() - 1) as u32
+                });
             lockset_ids[o] = ls_id;
             if let EventKind::Release { lock } = e.kind {
                 cur_lockset[ti].retain(|&l| l != lock);
@@ -207,8 +215,9 @@ impl<'a> View<'a> {
                     open_by_lock[lock.index()] = Some((e.thread, Some(id)));
                 }
                 EventKind::Release { lock } => {
-                    let (t, acquire) =
-                        open_by_lock[lock.index()].take().unwrap_or((e.thread, None));
+                    let (t, acquire) = open_by_lock[lock.index()]
+                        .take()
+                        .unwrap_or((e.thread, None));
                     cs_by_lock[lock.index()].push(CsSpan {
                         thread: t,
                         lock,
@@ -221,7 +230,12 @@ impl<'a> View<'a> {
         }
         for (li, open) in open_by_lock.into_iter().enumerate() {
             if let Some((t, acquire)) = open {
-                cs_by_lock[li].push(CsSpan { thread: t, lock: LockId(li as u32), acquire, release: None });
+                cs_by_lock[li].push(CsSpan {
+                    thread: t,
+                    lock: LockId(li as u32),
+                    acquire,
+                    release: None,
+                });
             }
         }
 
@@ -330,18 +344,27 @@ impl<'a> View<'a> {
         if a == b {
             return false;
         }
-        let ta = self.trace.thread_index(self.event(a).thread).expect("thread indexed");
+        let ta = self
+            .trace
+            .thread_index(self.event(a).thread)
+            .expect("thread indexed");
         self.clock(b).get(ta) as usize > self.vpos(a)
     }
 
     /// Read events on `var` inside the view, in trace order.
     pub fn reads_of(&self, var: VarId) -> &[EventId] {
-        self.reads_by_var.get(var.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.reads_by_var
+            .get(var.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Write events on `var` inside the view, in trace order.
     pub fn writes_of(&self, var: VarId) -> &[EventId] {
-        self.writes_by_var.get(var.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.writes_by_var
+            .get(var.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Read events of thread `t` inside the view, in program order.
@@ -395,7 +418,10 @@ impl<'a> View<'a> {
     /// Critical-section spans for `lock`, in trace order of their releases
     /// (boundary-open spans last).
     pub fn critical_sections(&self, lock: LockId) -> &[CsSpan] {
-        self.cs_by_lock.get(lock.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.cs_by_lock
+            .get(lock.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All critical-section spans in the view.
@@ -464,7 +490,7 @@ mod tests {
         b.acquire(t1, l); // e1
         let w = b.write(t1, x, 1); // e2
         b.release(t1, l); // e3
-        // t2: begin e4 (auto), acquire e5, read e6, release e7
+                          // t2: begin e4 (auto), acquire e5, read e6, release e7
         b.acquire(t2, l); // e4=begin, e5=acquire
         let r = b.read(t2, x, 1); // e6
         b.release(t2, l); // e7
@@ -501,7 +527,9 @@ mod tests {
         assert_eq!(v.lockset(EventId(0)), &[] as &[LockId]); // fork outside CS
         let cs = v.critical_sections(LockId(0));
         assert_eq!(cs.len(), 2);
-        assert!(cs.iter().all(|s| s.acquire.is_some() && s.release.is_some()));
+        assert!(cs
+            .iter()
+            .all(|s| s.acquire.is_some() && s.release.is_some()));
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! cargo run --example control_flow
 //! ```
 
-use rvpredict::{
-    CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector,
-};
+use rvpredict::{CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector};
 use rvsim::workloads::figures;
 
 fn main() {

@@ -25,8 +25,7 @@ fn main() {
         "{:<16} {:>6} {:>7} {:>6} {:>6} {:>5}  {:>4} {:>4} {:>4} {:>4}",
         "program", "#Thrd", "#Event", "#RW", "#Sync", "#Br", "RV", "Said", "CP", "HB"
     );
-    let (mut t_rv, mut t_said, mut t_cp, mut t_hb) =
-        (0u128, 0u128, 0u128, 0u128);
+    let (mut t_rv, mut t_said, mut t_cp, mut t_hb) = (0u128, 0u128, 0u128, 0u128);
     for w in workloads::small_suite() {
         let s = w.trace.stats();
         let time = |f: &dyn Fn() -> usize, acc: &mut u128| {
@@ -41,10 +40,22 @@ fn main() {
         let n_hb = time(&|| hb.detect_races(&w.trace).n_races(), &mut t_hb);
         println!(
             "{:<16} {:>6} {:>7} {:>6} {:>6} {:>5}  {:>4} {:>4} {:>4} {:>4}",
-            w.name, s.threads, s.events, s.reads_writes, s.syncs, s.branches,
-            n_rv, n_said, n_cp, n_hb
+            w.name,
+            s.threads,
+            s.events,
+            s.reads_writes,
+            s.syncs,
+            s.branches,
+            n_rv,
+            n_said,
+            n_cp,
+            n_hb
         );
-        assert!(n_rv >= n_said && n_rv >= n_cp && n_rv >= n_hb, "{}: maximality", w.name);
+        assert!(
+            n_rv >= n_said && n_rv >= n_cp && n_rv >= n_hb,
+            "{}: maximality",
+            w.name
+        );
     }
     println!(
         "\ntotal detection time: RV {:.1}ms, Said {:.1}ms, CP {:.1}ms, HB {:.1}ms",

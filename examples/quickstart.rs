@@ -47,7 +47,14 @@ fn main() {
     for race in &report.races {
         println!("  {}", race.display(&trace));
         assert_eq!(check_schedule(&view, &race.schedule), Ok(()));
-        println!("  witness validated: {} scheduled events", race.schedule.len());
+        println!(
+            "  witness validated: {} scheduled events",
+            race.schedule.len()
+        );
     }
-    assert_eq!(report.n_races(), 1, "the x accesses race; the y accesses do not");
+    assert_eq!(
+        report.n_races(),
+        1,
+        "the x accesses race; the y accesses do not"
+    );
 }

@@ -8,13 +8,14 @@
 //!   --detector rv|said|cp|hb   technique to run (default rv)
 //!   --window N                 window size in events (default 10000)
 //!   --budget SECS              per-COP solver budget (default 60, as in the paper)
+//!   --jobs N                   solve windows on N worker threads (default: all cores)
 //!   --witnesses                print full witness schedules
 //!   --demo                     ignore TRACE and run the paper's Figure 1 instead
 //! ```
 //!
-//! The trace format is the `serde` JSON serialization of
-//! [`rvpredict::Trace`]; any instrumentation front-end that can emit the §2
-//! event alphabet can produce it.
+//! The trace format is the JSON serialization of [`rvpredict::Trace`]
+//! (see [`rvpredict::to_json`]); any instrumentation front-end that can
+//! emit the §2 event alphabet can produce it.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -27,6 +28,7 @@ struct Options {
     detector: String,
     window: usize,
     budget: Duration,
+    jobs: Option<usize>,
     witnesses: bool,
     demo: bool,
     path: Option<String>,
@@ -37,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         detector: "rv".into(),
         window: 10_000,
         budget: Duration::from_secs(60),
+        jobs: None,
         witnesses: false,
         demo: false,
         path: None,
@@ -66,6 +69,18 @@ fn parse_args() -> Result<Options, String> {
                 opts.budget = Duration::from_secs(secs);
                 i += 2;
             }
+            "--jobs" => {
+                let jobs: usize = args
+                    .get(i + 1)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = Some(jobs);
+                i += 2;
+            }
             "--witnesses" => {
                 opts.witnesses = true;
                 i += 1;
@@ -88,7 +103,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
-         [--witnesses] (--demo | TRACE.json)"
+         [--jobs N] [--witnesses] (--demo | TRACE.json)"
     );
 }
 
@@ -118,7 +133,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match serde_json::from_str(&data) {
+        match rvpredict::from_json(&data) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: {path} is not a serialized trace: {e}");
@@ -140,11 +155,14 @@ fn main() -> ExitCode {
 
     match opts.detector.as_str() {
         "rv" => {
-            let cfg = DetectorConfig {
+            let mut cfg = DetectorConfig {
                 window_size: opts.window,
                 solver_timeout: opts.budget,
                 ..Default::default()
             };
+            if let Some(jobs) = opts.jobs {
+                cfg.parallelism = jobs;
+            }
             let report = RaceDetector::with_config(cfg).detect(&trace);
             println!("{report}");
             for race in &report.races {
@@ -162,8 +180,14 @@ fn main() -> ExitCode {
                     d.config.solver_timeout = opts.budget;
                     Box::new(d)
                 }
-                "cp" => Box::new(CpDetector { window_size: opts.window, ..Default::default() }),
-                _ => Box::new(HbDetector { window_size: opts.window, ..Default::default() }),
+                "cp" => Box::new(CpDetector {
+                    window_size: opts.window,
+                    ..Default::default()
+                }),
+                _ => Box::new(HbDetector {
+                    window_size: opts.window,
+                    ..Default::default()
+                }),
             };
             let r = tool.detect_races(&trace);
             println!(

@@ -50,6 +50,7 @@ pub use rvinstrument::{
 pub use rvsim::{execute, workloads, ExecConfig, Outcome, Program, Scheduler};
 pub use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
 pub use rvtrace::{
-    check_consistency, check_schedule, schedule_read_values, Cop, Event, EventId, EventKind,
-    LockId, Loc, RaceSignature, Schedule, ThreadId, Trace, TraceBuilder, VarId, View, ViewExt,
+    check_consistency, check_schedule, from_json, schedule_read_values, to_json, Cop, Event,
+    EventId, EventKind, JsonError, Loc, LockId, RaceSignature, Schedule, ThreadId, Trace,
+    TraceBuilder, VarId, View, ViewExt,
 };

@@ -11,7 +11,7 @@ fn bin() -> &'static str {
 #[test]
 fn cli_detects_race_in_serialized_trace() {
     let w = rvsim::workloads::figures::figure1();
-    let json = serde_json::to_string(&w.trace).expect("serializable");
+    let json = rvpredict::to_json(&w.trace);
     let dir = std::env::temp_dir().join("rvpredict-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("figure1.json");
@@ -22,7 +22,11 @@ fn cli_detects_race_in_serialized_trace() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 race(s)"), "{stdout}");
     assert!(stdout.contains("witness:"), "{stdout}");
@@ -31,7 +35,7 @@ fn cli_detects_race_in_serialized_trace() {
 #[test]
 fn cli_baselines_find_nothing_on_figure1() {
     let w = rvsim::workloads::figures::figure1();
-    let json = serde_json::to_string(&w.trace).unwrap();
+    let json = rvpredict::to_json(&w.trace);
     let dir = std::env::temp_dir().join("rvpredict-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("figure1b.json");
@@ -50,8 +54,54 @@ fn cli_baselines_find_nothing_on_figure1() {
 }
 
 #[test]
+fn cli_jobs_flag_is_accepted_and_output_matches_serial() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = rvpredict::to_json(&w.trace);
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1c.json");
+    std::fs::write(&path, json).unwrap();
+
+    let run = |jobs: &str| {
+        let out = Command::new(bin())
+            .args(["--jobs", jobs])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert!(serial.contains("1 race(s)"), "{serial}");
+    // Races and counters are deterministic across thread counts; only the
+    // timing lines may differ.
+    let races = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("race "))
+            .map(|l| l.to_string())
+            .collect()
+    };
+    assert_eq!(races(&serial), races(&parallel));
+
+    let out = Command::new(bin())
+        .args(["--jobs", "0"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--jobs 0 is rejected");
+}
+
+#[test]
 fn cli_demo_mode() {
-    let out = Command::new(bin()).arg("--demo").output().expect("binary runs");
+    let out = Command::new(bin())
+        .arg("--demo")
+        .output()
+        .expect("binary runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("1 race(s)"));
 }
@@ -62,7 +112,10 @@ fn cli_rejects_garbage() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("garbage.json");
     std::fs::write(&path, "not json").unwrap();
-    let out = Command::new(bin()).arg(&path).output().expect("binary runs");
+    let out = Command::new(bin())
+        .arg(&path)
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
 }
 

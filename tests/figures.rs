@@ -3,8 +3,8 @@
 //! language → interpreter → trace → all four detectors.
 
 use rvpredict::{
-    check_consistency, check_schedule, CpDetector, HbDetector, MaximalDetector,
-    RaceDetectorTool, RaceDetector, SaidDetector, ViewExt,
+    check_consistency, check_schedule, CpDetector, HbDetector, MaximalDetector, RaceDetector,
+    RaceDetectorTool, SaidDetector, ViewExt,
 };
 use rvsim::workloads::figures;
 
@@ -19,9 +19,21 @@ fn figure1_only_maximal_detects() {
     let cp = CpDetector::default().detect_races(&w.trace);
     let hb = HbDetector::default().detect_races(&w.trace);
     assert_eq!(rv.n_races(), 1, "RV detects (3,10)");
-    assert_eq!(said.n_races(), 0, "Said misses (3,10): line 10 could only read x=1");
-    assert_eq!(cp.n_races(), 0, "CP misses (3,10): the regions conflict on y");
-    assert_eq!(hb.n_races(), 0, "HB misses (3,10): the lock edge orders them");
+    assert_eq!(
+        said.n_races(),
+        0,
+        "Said misses (3,10): line 10 could only read x=1"
+    );
+    assert_eq!(
+        cp.n_races(),
+        0,
+        "CP misses (3,10): the regions conflict on y"
+    );
+    assert_eq!(
+        hb.n_races(),
+        0,
+        "HB misses (3,10): the lock edge orders them"
+    );
 }
 
 /// The Figure 1 race is on `x` specifically, with a validated witness that
@@ -53,8 +65,16 @@ fn figure2_branch_event_differentiates() {
     let looped = figures::figure2_loop();
 
     let rv = MaximalDetector::default();
-    assert_eq!(rv.detect_races(&read.trace).n_races(), 1, "case ①: (1,4) races");
-    assert_eq!(rv.detect_races(&looped.trace).n_races(), 0, "case ②: control-dependent");
+    assert_eq!(
+        rv.detect_races(&read.trace).n_races(),
+        1,
+        "case ①: (1,4) races"
+    );
+    assert_eq!(
+        rv.detect_races(&looped.trace).n_races(),
+        0,
+        "case ②: control-dependent"
+    );
 
     // No other sound technique separates case ① from the HB-ordered view.
     for tool in [
@@ -100,11 +120,17 @@ fn figure5_constraint_shape() {
     // (3,10) = the write of x and the read of x.
     let write_x = view
         .ids()
-        .find(|&e| view.event(e).kind.is_write() && w.trace.var_name(view.event(e).kind.var().unwrap()) == Some("x"))
+        .find(|&e| {
+            view.event(e).kind.is_write()
+                && w.trace.var_name(view.event(e).kind.var().unwrap()) == Some("x")
+        })
         .unwrap();
     let read_x = view
         .ids()
-        .find(|&e| view.event(e).kind.is_read() && w.trace.var_name(view.event(e).kind.var().unwrap()) == Some("x"))
+        .find(|&e| {
+            view.event(e).kind.is_read()
+                && w.trace.var_name(view.event(e).kind.var().unwrap()) == Some("x")
+        })
         .unwrap();
     let enc = encode(&view, Cop::new(write_x, read_x), EncoderOptions::default());
     let d = enc.describe();

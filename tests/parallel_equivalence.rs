@@ -1,0 +1,155 @@
+//! Determinism of the parallel detection driver: for every simulator
+//! workload, a run with one worker and a run with four workers must produce
+//! identical race signature sets, identical per-signature race counts, and
+//! identical verdict counters — everything except wall-clock timing.
+//!
+//! Also pins the cross-window deduplication contract: a signature that
+//! races in many windows is reported exactly once, whatever the thread
+//! count (the merge loop suppresses later windows' duplicates, including
+//! speculative solves that finished before the confirming window merged).
+
+use std::collections::BTreeMap;
+
+use rvpredict::{DetectionReport, DetectorConfig, RaceDetector, RaceSignature, ThreadId, Trace};
+use rvtrace::TraceBuilder;
+
+fn detect(trace: &Trace, parallelism: usize, window_size: usize) -> DetectionReport {
+    let cfg = DetectorConfig {
+        parallelism,
+        window_size,
+        ..Default::default()
+    };
+    RaceDetector::with_config(cfg).detect(trace)
+}
+
+/// Race count per signature — the dedup-sensitive view of a report.
+fn per_signature_counts(report: &DetectionReport) -> BTreeMap<RaceSignature, usize> {
+    let mut counts = BTreeMap::new();
+    for race in &report.races {
+        *counts.entry(race.signature).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The timing-free slice of the stats, comparable across thread counts.
+fn counters(report: &DetectionReport) -> [usize; 8] {
+    let s = &report.stats;
+    [
+        s.windows,
+        s.pairs_considered,
+        s.qc_signatures,
+        s.cops_solved,
+        s.sat,
+        s.unsat,
+        s.unknown,
+        s.witness_failures,
+    ]
+}
+
+fn assert_equivalent(name: &str, serial: &DetectionReport, parallel: &DetectionReport) {
+    assert_eq!(
+        serial.signatures(),
+        parallel.signatures(),
+        "{name}: signature sets differ between 1 and 4 workers"
+    );
+    assert_eq!(
+        per_signature_counts(serial),
+        per_signature_counts(parallel),
+        "{name}: per-signature race counts differ"
+    );
+    assert_eq!(
+        counters(serial),
+        counters(parallel),
+        "{name}: verdict counters differ"
+    );
+    // Full determinism: the same COPs, windows and witness schedules.
+    assert_eq!(serial.races.len(), parallel.races.len(), "{name}");
+    for (a, b) in serial.races.iter().zip(&parallel.races) {
+        assert_eq!(a.cop, b.cop, "{name}: COP differs");
+        assert_eq!(a.window, b.window, "{name}: window differs");
+        assert_eq!(
+            a.schedule.0, b.schedule.0,
+            "{name}: witness schedule differs"
+        );
+    }
+}
+
+/// Every sim workload, default (whole-trace) window.
+#[test]
+fn workloads_agree_across_thread_counts() {
+    for w in rvsim::workloads::small_suite() {
+        let serial = detect(&w.trace, 1, 10_000);
+        let parallel = detect(&w.trace, 4, 10_000);
+        assert_equivalent(&w.name, &serial, &parallel);
+    }
+}
+
+/// Every sim workload again with small windows, so multiple window
+/// outcomes actually merge concurrently and cross-window dedup is live.
+#[test]
+fn windowed_workloads_agree_across_thread_counts() {
+    for w in rvsim::workloads::small_suite() {
+        let wsize = (w.trace.len() / 4).max(8);
+        let serial = detect(&w.trace, 1, wsize);
+        let parallel = detect(&w.trace, 4, wsize);
+        assert!(
+            serial.stats.windows >= 2,
+            "{}: want multiple windows",
+            w.name
+        );
+        assert_equivalent(&w.name, &serial, &parallel);
+    }
+}
+
+/// A trace whose one racy signature recurs in every window: ~10 windows of
+/// 50 events, two unsynchronized threads hammering the same two source
+/// locations. The race must be reported exactly once — the window-ordered
+/// merge suppresses every later window's duplicate, no matter how many
+/// workers solved speculatively.
+#[test]
+fn cross_window_duplicate_signature_reported_exactly_once() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    let lw = b.loc("hot-write");
+    let lr = b.loc("hot-read");
+    // ~500 events: alternate a t1 write and a t2 read of the same value so
+    // the observed trace is consistent, always at the same two locations.
+    for i in 0..248 {
+        b.write_at(t1, x, i, lw);
+        b.read_at(t2, x, i, lr);
+    }
+    let trace = b.finish();
+    assert!(trace.len() >= 490);
+
+    for parallelism in [1, 4] {
+        let report = detect(&trace, parallelism, 50);
+        assert!(
+            report.stats.windows >= 9,
+            "got {} windows",
+            report.stats.windows
+        );
+        assert_eq!(
+            report.n_races(),
+            1,
+            "parallelism={parallelism}: duplicate signature must collapse to one report"
+        );
+        let sig = report.races[0].signature;
+        assert_eq!(sig, RaceSignature::new(lw, lr));
+        // The surviving report comes from the first window that confirmed
+        // the race.
+        assert_eq!(report.races[0].window.start, 0);
+    }
+
+    // Per-window duplicates are real races when dedup is off — the merge
+    // must not drop anything then.
+    let cfg = DetectorConfig {
+        parallelism: 4,
+        window_size: 50,
+        dedup_signatures: false,
+        ..Default::default()
+    };
+    let undeduped = RaceDetector::with_config(cfg).detect(&trace);
+    assert!(undeduped.n_races() > 1);
+}

@@ -63,7 +63,10 @@ fn maximal_strictly_beats_baselines_somewhere() {
             strict += 1;
         }
     }
-    assert!(strict >= 2, "RV should strictly beat CP on several benchmarks, got {strict}");
+    assert!(
+        strict >= 2,
+        "RV should strictly beat CP on several benchmarks, got {strict}"
+    );
 }
 
 #[test]
@@ -86,8 +89,8 @@ fn detectors_agree_on_race_free_series() {
 /// unsound hybrid filter of paper §4).
 #[test]
 fn quick_check_superset() {
-    use rvpredict::{RaceDetector, ViewExt};
     use rvcore::enumerate_cops;
+    use rvpredict::{RaceDetector, ViewExt};
     for w in workloads::small_suite() {
         let report = RaceDetector::new().detect(&w.trace);
         let mut qc_total = 0;

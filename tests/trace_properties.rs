@@ -1,9 +1,9 @@
-//! Property-based tests of the trace substrate: windowing agrees with the
-//! full view, serde round-trips, and the interpreter only ever produces
-//! consistent traces.
+//! Property tests of the trace substrate over seeded random programs: the
+//! interpreter only ever produces consistent traces, JSON round-trips, and
+//! windowing agrees with the full view.
 
-use proptest::prelude::*;
-use rvpredict::{check_consistency, EventId, Trace, ViewExt};
+use rvpredict::{check_consistency, from_json, to_json, EventId, Trace, ViewExt};
+use rvsim::rng::SmallRng;
 use rvsim::stmts::*;
 use rvsim::{execute, ExecConfig, Expr, GlobalId, Local, LockRef, ProcId, Program, Stmt};
 
@@ -15,17 +15,20 @@ enum A {
     If(u32),
 }
 
-fn arb_trace() -> impl Strategy<Value = (Vec<Vec<A>>, u64)> {
-    let op = prop_oneof![
-        ((0u32..3), (0i64..3)).prop_map(|(v, x)| A::W(v, x)),
-        (0u32..3).prop_map(A::R),
-        (0u32..2).prop_map(A::L),
-        (0u32..3).prop_map(A::If),
-    ];
-    (
-        proptest::collection::vec(proptest::collection::vec(op, 1..6), 1..4),
-        0u64..500,
-    )
+fn gen_case(rng: &mut SmallRng) -> (Vec<Vec<A>>, u64) {
+    let workers = (0..rng.gen_range(1..4usize))
+        .map(|_| {
+            (0..rng.gen_range(1..6usize))
+                .map(|_| match rng.gen_range(0..4u32) {
+                    0 => A::W(rng.gen_range(0..3u32), rng.gen_range(0..3i64)),
+                    1 => A::R(rng.gen_range(0..3u32)),
+                    2 => A::L(rng.gen_range(0..2u32)),
+                    _ => A::If(rng.gen_range(0..3u32)),
+                })
+                .collect()
+        })
+        .collect();
+    (workers, rng.gen_range(0..500u64))
 }
 
 fn run(workers: &[Vec<A>], seed: u64) -> Option<Trace> {
@@ -43,7 +46,11 @@ fn run(workers: &[Vec<A>], seed: u64) -> Option<Trace> {
                 ]),
                 A::If(v) => out.extend([
                     load(r, GlobalId(v)),
-                    if_(Expr::eq(r.into(), 0.into()), vec![store(GlobalId(v), 2.into())], vec![]),
+                    if_(
+                        Expr::eq(r.into(), 0.into()),
+                        vec![store(GlobalId(v), 2.into())],
+                        vec![],
+                    ),
                 ]),
             }
         }
@@ -62,57 +69,83 @@ fn run(workers: &[Vec<A>], seed: u64) -> Option<Trace> {
     Some(exec.trace)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Interpreter output is always sequentially consistent, whatever the
-    /// schedule.
-    #[test]
-    fn interpreter_traces_consistent((workers, seed) in arb_trace()) {
-        let Some(trace) = run(&workers, seed) else { return Ok(()) };
-        prop_assert!(check_consistency(&trace).is_empty());
+/// Drives `cases` generated traces through `check`. `PROPTEST_CASES`
+/// overrides the count (the knob kept its name when the suite moved off
+/// proptest).
+fn for_traces(master_seed: u64, cases: usize, mut check: impl FnMut(&mut SmallRng, &Trace)) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let mut rng = SmallRng::seed_from_u64(master_seed);
+    let mut checked = 0;
+    for _attempt in 0..cases * 20 {
+        if checked == cases {
+            break;
+        }
+        let (workers, seed) = gen_case(&mut rng);
+        let Some(trace) = run(&workers, seed) else {
+            continue;
+        };
+        checked += 1;
+        check(&mut rng, &trace);
     }
+    assert_eq!(checked, cases, "not enough generated traces");
+}
 
-    /// Serde round-trips preserve events, stats and metadata.
-    #[test]
-    fn serde_roundtrip((workers, seed) in arb_trace()) {
-        let Some(trace) = run(&workers, seed) else { return Ok(()) };
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back.events(), trace.events());
-        prop_assert_eq!(back.stats(), trace.stats());
-        prop_assert_eq!(back.wait_links(), trace.wait_links());
-    }
+/// Interpreter output is always sequentially consistent, whatever the
+/// schedule.
+#[test]
+fn interpreter_traces_consistent() {
+    for_traces(0xC0515, 64, |_, trace| {
+        assert!(check_consistency(trace).is_empty());
+    });
+}
 
-    /// Windowed views agree with the full view on everything that does not
-    /// cross a boundary: per-event locksets, initial values at window
-    /// starts, and MHB restricted to in-window pairs being a subset of the
-    /// full relation.
-    #[test]
-    fn windows_agree_with_full_view((workers, seed) in arb_trace(), wsize in 2usize..7) {
-        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+/// JSON round-trips preserve events, stats and metadata.
+#[test]
+fn json_roundtrip() {
+    for_traces(0x15ea1, 64, |_, trace| {
+        let json = to_json(trace);
+        let back: Trace = from_json(&json).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.stats(), trace.stats());
+        assert_eq!(back.wait_links(), trace.wait_links());
+    });
+}
+
+/// Windowed views agree with the full view on everything that does not
+/// cross a boundary: per-event locksets, initial values at window starts,
+/// and MHB restricted to in-window pairs being a subset of the full
+/// relation.
+#[test]
+fn windows_agree_with_full_view() {
+    for_traces(0x714d0, 64, |rng, trace| {
+        let wsize = rng.gen_range(2..7usize);
         let full = trace.full_view();
         for window in trace.windows(wsize) {
             for id in window.ids() {
-                prop_assert_eq!(window.lockset(id), full.lockset(id), "lockset of {}", id);
+                assert_eq!(window.lockset(id), full.lockset(id), "lockset of {}", id);
             }
             // In-window MHB is a sub-relation of full-trace MHB.
             let ids: Vec<EventId> = window.ids().collect();
             for &a in &ids {
                 for &b in &ids {
                     if window.mhb(a, b) {
-                        prop_assert!(full.mhb(a, b), "window MHB must under-approximate");
+                        assert!(full.mhb(a, b), "window MHB must under-approximate");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Window-local initial values equal the last write before the window
-    /// (replay semantics).
-    #[test]
-    fn window_initial_values_replay((workers, seed) in arb_trace(), wsize in 2usize..7) {
-        let Some(trace) = run(&workers, seed) else { return Ok(()) };
+/// Window-local initial values equal the last write before the window
+/// (replay semantics).
+#[test]
+fn window_initial_values_replay() {
+    for_traces(0x1717, 64, |rng, trace| {
+        let wsize = rng.gen_range(2..7usize);
         let mut current: std::collections::HashMap<u32, i64> = Default::default();
         let mut pos = 0usize;
         for window in trace.windows(wsize) {
@@ -121,7 +154,7 @@ proptest! {
                     .get(&v)
                     .copied()
                     .unwrap_or_else(|| trace.initial_value(rvpredict::VarId(v)).0);
-                prop_assert_eq!(window.initial_value(rvpredict::VarId(v)).0, expected);
+                assert_eq!(window.initial_value(rvpredict::VarId(v)).0, expected);
             }
             for i in window.range() {
                 if let rvpredict::EventKind::Write { var, value } = trace.events()[i].kind {
@@ -130,6 +163,6 @@ proptest! {
                 pos += 1;
             }
         }
-        prop_assert_eq!(pos, trace.len());
-    }
+        assert_eq!(pos, trace.len());
+    });
 }
