@@ -18,6 +18,10 @@ cargo test --workspace -q
 say "parallel equivalence (serial vs threaded driver)"
 cargo test -q --test parallel_equivalence
 
+say "robustness + fault injection (hardened: debug assertions + overflow checks)"
+RUSTFLAGS="-C debug-assertions -C overflow-checks" \
+    cargo test -q --test robustness --test parallel_equivalence
+
 say "ignored tests"
 cargo test --workspace -q -- --ignored
 

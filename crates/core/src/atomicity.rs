@@ -187,7 +187,7 @@ impl AtomicityDetector {
             }
             match solver.solve_assuming(&budget, &[selectors[i]]) {
                 SmtResult::Unsat => report.unsat += 1,
-                SmtResult::Unknown => report.unknown += 1,
+                SmtResult::Unknown(_) => report.unknown += 1,
                 SmtResult::Sat => {
                     report.sat += 1;
                     let val = |e: EventId| {

@@ -1,5 +1,8 @@
-//! Detector configuration.
+//! Detector configuration, including the deterministic fault-injection
+//! plan used by the robustness test suite.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which read-write consistency discipline the encoder enforces
@@ -15,6 +18,66 @@ pub enum ConsistencyMode {
     /// as in the original trace (whole-trace read-write consistency); branch
     /// events are ignored. Sound but non-maximal.
     WholeTrace,
+}
+
+/// A fault to inject at one (window, COP) coordinate. Test-only: lets the
+/// robustness suite prove that detection degrades gracefully — and
+/// deterministically, at every thread count — without relying on timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the window worker while it processes this COP. The
+    /// driver isolates the panic; the whole window becomes a
+    /// [`FailedWindow`](crate::report::FailedWindow) record.
+    Panic,
+    /// Pretend the per-COP wall-clock budget was exhausted: the COP's
+    /// verdict becomes `Undecided(Timeout)` without solving.
+    Timeout,
+    /// Pretend constraint encoding failed: the COP's verdict becomes
+    /// `Undecided(EncodeError)` without solving.
+    EncodeError,
+}
+
+/// A deterministic fault-injection plan: faults keyed by
+/// `(window index, COP index in the window's solve order)`.
+///
+/// Intended for tests only — build one, put it in
+/// [`DetectorConfig::fault_plan`], and detection will hit the planned
+/// faults at exactly those coordinates on every run and at every
+/// `parallelism` setting. When a plan is present the detector disables the
+/// cross-window published-signature skip (a timing-dependent optimization)
+/// so that fault coordinates land on the same COPs regardless of worker
+/// scheduling; everything else behaves as in production.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<(usize, usize), Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plans `fault` at `(window, cop)`; builder-style.
+    pub fn inject(mut self, window: usize, cop: usize, fault: Fault) -> Self {
+        self.faults.insert((window, cop), fault);
+        self
+    }
+
+    /// The fault planned at `(window, cop)`, if any.
+    pub fn fault_at(&self, window: usize, cop: usize) -> Option<Fault> {
+        self.faults.get(&(window, cop)).copied()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
 }
 
 /// Configuration of the maximal race detector.
@@ -63,6 +126,15 @@ pub struct DetectorConfig {
     /// window outcomes are merged in window order and deduplicated at merge
     /// time (see `RaceDetector::detect`).
     pub parallelism: usize,
+    /// One-shot retry policy for budget exhaustion: a COP whose solve came
+    /// back `Undecided(Timeout)` is re-encoded and re-solved once against
+    /// the half-size sub-window containing both its events (smaller window
+    /// ⇒ smaller formula). COPs spanning the midpoint keep their
+    /// `Undecided` verdict. Off by default.
+    pub retry_split: bool,
+    /// Deterministic fault-injection plan (tests only; `None` in
+    /// production). See [`FaultPlan`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for DetectorConfig {
@@ -80,6 +152,8 @@ impl Default for DetectorConfig {
             batch_windows: true,
             max_cops_per_signature: 10,
             parallelism: default_parallelism(),
+            retry_split: false,
+            fault_plan: None,
         }
     }
 }
@@ -114,6 +188,21 @@ mod tests {
         assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
         assert!(c.parallelism >= 1, "at least one worker");
+        assert!(!c.retry_split, "retry policy is opt-in");
+        assert!(c.fault_plan.is_none(), "no faults in production configs");
+    }
+
+    #[test]
+    fn fault_plan_coordinates() {
+        let plan = FaultPlan::new()
+            .inject(0, 2, Fault::Panic)
+            .inject(3, 0, Fault::Timeout);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.fault_at(0, 2), Some(Fault::Panic));
+        assert_eq!(plan.fault_at(3, 0), Some(Fault::Timeout));
+        assert_eq!(plan.fault_at(1, 1), None);
+        assert!(FaultPlan::new().is_empty());
     }
 
     #[test]

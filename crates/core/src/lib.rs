@@ -53,10 +53,12 @@ mod witness;
 pub use atomicity::{
     infer_rmw_pairs, AtomicPair, AtomicityDetector, AtomicityReport, AtomicityViolation,
 };
-pub use config::{ConsistencyMode, DetectorConfig};
+pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
 pub use detector::RaceDetector;
 pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
 pub use oracle::oracle_races;
-pub use report::{DetectionReport, DetectionStats, RaceReport, RaceReportDisplay};
+pub use report::{
+    DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, UndecidedReason,
+};
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

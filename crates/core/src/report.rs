@@ -1,5 +1,13 @@
 //! Race reports and detection summaries.
+//!
+//! Detection is allowed to *degrade* but never to lie: a per-COP budget
+//! exhaustion, an injected or genuine worker panic, or an encoding failure
+//! becomes an explicit [`UndecidedReason`] tally (or a [`FailedWindow`]
+//! record) in the report instead of being silently folded into "no race".
+//! Reported races are always witness-validated, so degradation only ever
+//! costs completeness, never soundness.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -49,11 +57,66 @@ impl fmt::Display for RaceReportDisplay<'_> {
     }
 }
 
+/// Why a COP's race question could not be decided. Three-valued verdict
+/// accounting: a COP is `Race`, `NoRace`, or `Undecided(reason)` — the
+/// detector reports the reason rather than conflating "budget ran out"
+/// with "proven race-free" (cf. CP's soundness-under-limited-analysis
+/// argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UndecidedReason {
+    /// The per-COP wall-clock solver budget was exhausted.
+    Timeout,
+    /// The per-COP conflict budget was exhausted.
+    ConflictBudget,
+    /// The window's worker panicked before this COP got a verdict
+    /// (only used for fault-injected per-COP panics that were isolated;
+    /// a panic that kills a whole window is a [`FailedWindow`] instead).
+    WorkerPanic,
+    /// Constraint encoding failed for this COP.
+    EncodeError,
+}
+
+impl fmt::Display for UndecidedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UndecidedReason::Timeout => write!(f, "timeout"),
+            UndecidedReason::ConflictBudget => write!(f, "conflict-budget"),
+            UndecidedReason::WorkerPanic => write!(f, "worker-panic"),
+            UndecidedReason::EncodeError => write!(f, "encode-error"),
+        }
+    }
+}
+
+/// A window whose worker died (panicked) before producing any per-COP
+/// records. The run continues; the failure is reported so the user knows
+/// which part of the trace got no verdicts at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedWindow {
+    /// The window's index in solve order.
+    pub window_index: usize,
+    /// The trace range the window covered.
+    pub range: std::ops::Range<usize>,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub reason: String,
+}
+
+impl fmt::Display for FailedWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "window {} (events {}..{}) failed: {}",
+            self.window_index, self.range.start, self.range.end, self.reason
+        )
+    }
+}
+
 /// Outcome counters of a detection run.
 #[derive(Debug, Clone, Default)]
 pub struct DetectionStats {
-    /// Windows analyzed.
+    /// Windows analyzed (including failed ones).
     pub windows: usize,
+    /// Windows whose worker panicked (no per-COP records survive).
+    pub failed_windows: usize,
     /// Concrete COPs examined (pre quick check).
     pub pairs_considered: usize,
     /// Distinct signatures passing the quick check (Table 1's "QC").
@@ -64,8 +127,15 @@ pub struct DetectionStats {
     pub sat: usize,
     /// Solver verdicts.
     pub unsat: usize,
-    /// Budget exhaustions (treated as no-race).
-    pub unknown: usize,
+    /// COPs with no verdict, total across all reasons.
+    pub undecided: usize,
+    /// Per-reason breakdown of [`DetectionStats::undecided`].
+    pub undecided_by_reason: BTreeMap<UndecidedReason, usize>,
+    /// Undecided-timeout COPs re-solved in a half-size window by the
+    /// one-shot retry policy ([`DetectorConfig::retry_split`]).
+    ///
+    /// [`DetectorConfig::retry_split`]: crate::DetectorConfig::retry_split
+    pub retried_cops: usize,
     /// Witness validations that failed (soundness gate trips; expected 0).
     pub witness_failures: usize,
     /// Summed time spent encoding and solving, across all workers. With
@@ -85,16 +155,27 @@ impl DetectionStats {
     /// an end-to-end figure).
     pub fn merge(&mut self, other: &DetectionStats) {
         self.windows += other.windows;
+        self.failed_windows += other.failed_windows;
         self.pairs_considered += other.pairs_considered;
         self.qc_signatures += other.qc_signatures;
         self.cops_solved += other.cops_solved;
         self.sat += other.sat;
         self.unsat += other.unsat;
-        self.unknown += other.unknown;
+        self.undecided += other.undecided;
+        for (&reason, &n) in &other.undecided_by_reason {
+            *self.undecided_by_reason.entry(reason).or_insert(0) += n;
+        }
+        self.retried_cops += other.retried_cops;
         self.witness_failures += other.witness_failures;
         self.solver_time += other.solver_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.window_times.extend_from_slice(&other.window_times);
+    }
+
+    /// Records one undecided COP verdict.
+    pub fn record_undecided(&mut self, reason: UndecidedReason) {
+        self.undecided += 1;
+        *self.undecided_by_reason.entry(reason).or_insert(0) += 1;
     }
 }
 
@@ -109,6 +190,8 @@ impl std::ops::AddAssign<&DetectionStats> for DetectionStats {
 pub struct DetectionReport {
     /// Validated races, one per signature (when deduplication is on).
     pub races: Vec<RaceReport>,
+    /// Windows whose worker panicked; their COPs have no verdicts.
+    pub failed_windows: Vec<FailedWindow>,
     /// Counters.
     pub stats: DetectionStats,
 }
@@ -117,6 +200,13 @@ impl DetectionReport {
     /// Number of distinct race signatures reported.
     pub fn n_races(&self) -> usize {
         self.races.len()
+    }
+
+    /// Whether detection degraded: some verdicts are missing (undecided
+    /// COPs or failed windows). Reported races are still sound; only
+    /// completeness is affected.
+    pub fn is_degraded(&self) -> bool {
+        self.stats.undecided > 0 || !self.failed_windows.is_empty()
     }
 
     /// The distinct signatures reported.
@@ -128,21 +218,82 @@ impl DetectionReport {
     }
 }
 
+impl DetectionReport {
+    /// A deterministic, timing-free rendering of everything the run
+    /// decided — races (signatures, COPs, witness schedules), verdict
+    /// counters, the undecided breakdown, and failed windows. Two runs
+    /// that merged the same outcomes render byte-identically, whatever
+    /// the thread count; the parallel-equivalence suite compares this.
+    pub fn deterministic_summary(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "races={} windows={} failed={} pairs={} qc={} solved={} sat={} unsat={} undecided={} retried={} witness_failures={}",
+            self.n_races(),
+            s.windows,
+            s.failed_windows,
+            s.pairs_considered,
+            s.qc_signatures,
+            s.cops_solved,
+            s.sat,
+            s.unsat,
+            s.undecided,
+            s.retried_cops,
+            s.witness_failures,
+        );
+        for (reason, n) in &s.undecided_by_reason {
+            let _ = writeln!(out, "undecided {reason}: {n}");
+        }
+        for fw in &self.failed_windows {
+            let _ = writeln!(out, "{fw}");
+        }
+        for r in &self.races {
+            let _ = writeln!(
+                out,
+                "race sig={:?} cop=({},{}) window={}..{} witness={}",
+                r.signature,
+                r.cop.first.0,
+                r.cop.second.0,
+                r.window.start,
+                r.window.end,
+                r.schedule,
+            );
+        }
+        out
+    }
+}
+
 impl fmt::Display for DetectionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} race(s); {} window(s), QC={}, solved={} (sat={}, unsat={}, unknown={}), solver {:?}, wall {:?}",
+            "{} race(s); {} window(s), QC={}, solved={} (sat={}, unsat={}, undecided={}), solver {:?}, wall {:?}",
             self.n_races(),
             self.stats.windows,
             self.stats.qc_signatures,
             self.stats.cops_solved,
             self.stats.sat,
             self.stats.unsat,
-            self.stats.unknown,
+            self.stats.undecided,
             self.stats.solver_time,
             self.stats.wall_time,
-        )
+        )?;
+        if self.stats.undecided > 0 {
+            write!(f, "  undecided:")?;
+            for (reason, n) in &self.stats.undecided_by_reason {
+                write!(f, " {reason}={n}")?;
+            }
+            if self.stats.retried_cops > 0 {
+                write!(f, " (retried {} in split windows)", self.stats.retried_cops)?;
+            }
+            writeln!(f)?;
+        }
+        for fw in &self.failed_windows {
+            writeln!(f, "  {fw}")?;
+        }
+        Ok(())
     }
 }
 
@@ -162,10 +313,42 @@ mod tests {
         };
         let rep = DetectionReport {
             races: vec![mk(0, 1), mk(2, 3)],
+            failed_windows: Vec::new(),
             stats: Default::default(),
         };
         assert_eq!(rep.n_races(), 2);
         assert_eq!(rep.signatures().len(), 1);
+    }
+
+    #[test]
+    fn undecided_accounting_and_degradation() {
+        let mut rep = DetectionReport::default();
+        assert!(!rep.is_degraded());
+        rep.stats.record_undecided(UndecidedReason::Timeout);
+        rep.stats.record_undecided(UndecidedReason::Timeout);
+        rep.stats.record_undecided(UndecidedReason::EncodeError);
+        assert_eq!(rep.stats.undecided, 3);
+        assert_eq!(rep.stats.undecided_by_reason[&UndecidedReason::Timeout], 2);
+        assert!(rep.is_degraded());
+        let s = format!("{rep}");
+        assert!(s.contains("undecided=3"), "{s}");
+        assert!(s.contains("timeout=2"), "{s}");
+        assert!(s.contains("encode-error=1"), "{s}");
+
+        let mut rep = DetectionReport::default();
+        rep.failed_windows.push(FailedWindow {
+            window_index: 4,
+            range: 40_000..50_000,
+            reason: "boom".into(),
+        });
+        rep.stats.failed_windows = 1;
+        assert!(rep.is_degraded());
+        let s = format!("{rep}");
+        assert!(
+            s.contains("window 4 (events 40000..50000) failed: boom"),
+            "{s}"
+        );
+        assert!(rep.deterministic_summary().contains("failed=1"));
     }
 
     #[test]
@@ -202,6 +385,11 @@ mod tests {
         assert_eq!(a.windows, 3);
         assert_eq!(a.cops_solved, 7);
         assert_eq!((a.sat, a.unsat), (1, 6));
+        let mut c = DetectionStats::default();
+        c.record_undecided(UndecidedReason::ConflictBudget);
+        a += &c;
+        assert_eq!(a.undecided, 1);
+        assert_eq!(a.undecided_by_reason[&UndecidedReason::ConflictBudget], 1);
         assert_eq!(a.solver_time, Duration::from_millis(15));
         assert_eq!(
             a.wall_time,

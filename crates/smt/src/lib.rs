@@ -51,5 +51,5 @@ mod solver;
 pub use formula::{Atom, FormulaBuilder, IntVar, Term, TermId};
 pub use idl::{Idl, IdlStats};
 pub use lit::{BVar, LBool, Lit};
-pub use sat::{Budget, SatOutcome, SatStats};
+pub use sat::{Budget, SatOutcome, SatStats, StopReason};
 pub use solver::{SmtResult, SmtStats, Solver};

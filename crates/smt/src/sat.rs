@@ -44,6 +44,17 @@ impl TheoryClient for NoTheory {
     fn retract_unassigned(&mut self, _still_assigned: &dyn Fn(BVar) -> bool) {}
 }
 
+/// Which budget limit stopped an inconclusive solve. Callers use this to
+/// report *why* a query came back undecided instead of silently folding a
+/// timeout into "no answer".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StopReason {
+    /// The conflict budget ([`Budget::max_conflicts`]) was exhausted.
+    Conflicts,
+    /// The wall-clock budget ([`Budget::timeout`]) was exhausted.
+    Timeout,
+}
+
 /// Outcome of a (budgeted) solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SatOutcome {
@@ -51,8 +62,8 @@ pub enum SatOutcome {
     Sat,
     /// The formula is unsatisfiable.
     Unsat,
-    /// The budget (conflicts/time) ran out first.
-    Unknown,
+    /// The budget ran out first; the reason says which limit tripped.
+    Unknown(StopReason),
 }
 
 /// Search statistics.
@@ -697,12 +708,12 @@ impl Sat {
                     self.cla_inc *= 1.001;
                     if let Some(max) = budget.max_conflicts {
                         if self.stats.conflicts - base_conflicts >= max {
-                            return SatOutcome::Unknown;
+                            return SatOutcome::Unknown(StopReason::Conflicts);
                         }
                     }
                     if let Some(t) = budget.timeout {
                         if self.stats.conflicts.is_multiple_of(64) && start.elapsed() >= t {
-                            return SatOutcome::Unknown;
+                            return SatOutcome::Unknown(StopReason::Timeout);
                         }
                     }
                 }
@@ -720,7 +731,7 @@ impl Sat {
                     }
                     if let Some(t) = budget.timeout {
                         if self.stats.decisions.is_multiple_of(2048) && start.elapsed() >= t {
-                            return SatOutcome::Unknown;
+                            return SatOutcome::Unknown(StopReason::Timeout);
                         }
                     }
                     // Force pending assumptions before free decisions.
@@ -914,7 +925,10 @@ mod tests {
             max_conflicts: Some(1),
             timeout: None,
         };
-        assert_eq!(s.solve(&mut NoTheory, &budget), SatOutcome::Unknown);
+        assert_eq!(
+            s.solve(&mut NoTheory, &budget),
+            SatOutcome::Unknown(StopReason::Conflicts)
+        );
     }
 
     #[test]

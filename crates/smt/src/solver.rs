@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use crate::formula::{Atom, FormulaBuilder, IntVar, Term, TermId};
 use crate::idl::{Idl, IdlStats};
 use crate::lit::{BVar, LBool, Lit};
-use crate::sat::{Budget, Sat, SatOutcome, SatStats, TheoryClient};
+use crate::sat::{Budget, Sat, SatOutcome, SatStats, StopReason, TheoryClient};
 
 /// Outcome of an SMT solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,9 +16,11 @@ pub enum SmtResult {
     Sat,
     /// Unsatisfiable.
     Unsat,
-    /// Budget exhausted (treated as "no race found" by the detector, like
-    /// the paper's per-COP solver timeout).
-    Unknown,
+    /// Budget exhausted before a verdict (the paper's per-COP solver
+    /// timeout). The [`StopReason`] says which limit tripped, so callers
+    /// can account for the undecided query honestly instead of treating it
+    /// as "no race found".
+    Unknown(StopReason),
 }
 
 /// Aggregated statistics of a solve.
@@ -325,7 +327,7 @@ impl Solver {
         match self.sat.solve_assuming(&mut self.theory, budget, &lits) {
             SatOutcome::Sat => SmtResult::Sat,
             SatOutcome::Unsat => SmtResult::Unsat,
-            SatOutcome::Unknown => SmtResult::Unknown,
+            SatOutcome::Unknown(reason) => SmtResult::Unknown(reason),
         }
     }
 

@@ -341,6 +341,13 @@ impl TraceBuilder {
     pub fn finish(self) -> Trace {
         Trace::from_data(self.data)
     }
+
+    /// Lenient ingestion of untrusted raw data: drops events that violate
+    /// the consistency axioms (with per-category diagnostics) instead of
+    /// rejecting the trace. See [`salvage_trace`](crate::salvage::salvage_trace).
+    pub fn salvage(data: TraceData) -> (Trace, crate::salvage::SalvageReport) {
+        crate::salvage::salvage_trace(data)
+    }
 }
 
 #[cfg(test)]

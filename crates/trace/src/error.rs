@@ -79,6 +79,24 @@ pub enum TraceError {
     },
 }
 
+impl TraceError {
+    /// A stable kebab-case name for the error's category, used as the key
+    /// of per-category drop diagnostics in lenient (salvage) ingestion.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceError::EventBeforeBegin { .. } => "event-before-begin",
+            TraceError::EventAfterEnd { .. } => "event-after-end",
+            TraceError::BeginWithoutFork { .. } => "begin-without-fork",
+            TraceError::DoubleFork { .. } => "double-fork",
+            TraceError::JoinBeforeEnd { .. } => "join-before-end",
+            TraceError::ReleaseWithoutAcquire { .. } => "release-without-acquire",
+            TraceError::AcquireHeldLock { .. } => "acquire-held-lock",
+            TraceError::InconsistentRead { .. } => "inconsistent-read",
+            TraceError::UnknownThread { .. } => "unknown-thread",
+        }
+    }
+}
+
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

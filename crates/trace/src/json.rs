@@ -31,7 +31,8 @@ use std::fmt;
 use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
 use crate::trace::{Trace, TraceData, WaitLink};
 
-/// A JSON parse or shape error, with a byte offset for syntax errors.
+/// A JSON parse or shape error, with a byte offset for syntax errors and a
+/// short excerpt of the input around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     /// What went wrong.
@@ -39,11 +40,38 @@ pub struct JsonError {
     /// Byte offset in the input where a syntax error was detected (0 for
     /// shape errors discovered after parsing).
     pub offset: usize,
+    /// Up to ~30 characters of input surrounding `offset` (empty for shape
+    /// errors, which concern the document's structure rather than a byte).
+    pub snippet: String,
+}
+
+impl JsonError {
+    /// Attaches an input excerpt around the error's byte offset, so the
+    /// message pinpoints the problem without the caller re-reading the file.
+    fn with_snippet(mut self, input: &str) -> JsonError {
+        if self.snippet.is_empty() && !input.is_empty() {
+            let at = self.offset.min(input.len());
+            let mut start = at.saturating_sub(15);
+            while !input.is_char_boundary(start) {
+                start -= 1;
+            }
+            let mut end = (at + 15).min(input.len());
+            while !input.is_char_boundary(end) {
+                end += 1;
+            }
+            self.snippet = input[start..end].to_string();
+        }
+        self
+    }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (at byte {})", self.message, self.offset)
+        write!(f, "{} (at byte {}", self.message, self.offset)?;
+        if !self.snippet.is_empty() {
+            write!(f, ", near `{}`", self.snippet.escape_debug())?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -53,6 +81,7 @@ fn shape(message: impl Into<String>) -> JsonError {
     JsonError {
         message: message.into(),
         offset: 0,
+        snippet: String::new(),
     }
 }
 
@@ -123,6 +152,7 @@ impl<'a> Parser<'a> {
         JsonError {
             message: message.into(),
             offset: self.pos,
+            snippet: String::new(),
         }
     }
 
@@ -186,7 +216,8 @@ impl<'a> Parser<'a> {
         if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("floating-point numbers are not part of the trace format"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf8");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         text.parse::<i64>()
             .map(Json::Int)
             .map_err(|e| self.err(format!("bad number: {e}")))
@@ -329,12 +360,15 @@ fn parse(input: &str) -> Result<Json, JsonError> {
         bytes: input.as_bytes(),
         pos: 0,
     };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing characters after JSON value"));
-    }
-    Ok(v)
+    let parsed = (|| {
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    })();
+    parsed.map_err(|e| e.with_snippet(input))
 }
 
 // ---------------------------------------------------------------- writer
@@ -502,9 +536,39 @@ fn read_key_u32(key: &str) -> Result<u32, JsonError> {
 ///
 /// # Errors
 ///
-/// Returns a [`JsonError`] on malformed JSON or on a structurally valid
-/// document that does not describe a trace.
+/// Returns a [`JsonError`] on malformed JSON, on a structurally valid
+/// document that does not describe a trace, or on a wait link referencing
+/// a nonexistent event.
 pub fn from_json(input: &str) -> Result<Trace, JsonError> {
+    let data = from_json_data(input)?;
+    // Wait links index into `events`; an out-of-range id from an untrusted
+    // document would otherwise become a panic deep inside detection.
+    let n_events = data.events.len();
+    let check = |what: &str, id: EventId| {
+        if id.index() < n_events {
+            Ok(())
+        } else {
+            Err(shape(format!(
+                "wait link {what} {} out of range (trace has {n_events} events)",
+                id.0
+            )))
+        }
+    };
+    for wl in &data.wait_links {
+        check("release", wl.release)?;
+        check("acquire", wl.acquire)?;
+        if let Some(n) = wl.notify {
+            check("notify", n)?;
+        }
+    }
+    Ok(Trace::from_data(data))
+}
+
+/// Deserializes raw [`TraceData`] without cross-field validation, for
+/// lenient ingestion: pair with
+/// [`salvage_trace`](crate::salvage::salvage_trace), which drops (and
+/// counts) inconsistent events and dangling wait links instead of failing.
+pub fn from_json_data(input: &str) -> Result<TraceData, JsonError> {
     let root = parse(input)?;
     let mut data = TraceData::default();
     for ev in root.field("events")?.as_array()? {
@@ -539,7 +603,7 @@ pub fn from_json(input: &str) -> Result<Trace, JsonError> {
         data.var_names
             .insert(VarId(read_key_u32(k)?), v.as_str()?.to_string());
     }
-    Ok(Trace::from_data(data))
+    Ok(data)
 }
 
 #[cfg(test)]
@@ -609,6 +673,33 @@ mod tests {
         assert!(from_json("[1,2,3] trailing").is_err());
         let err = from_json("{\"events\": 1.5}").unwrap_err();
         assert!(err.to_string().contains("floating-point"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_offset_and_snippet() {
+        let input = "{\"events\":[{\"thread\":0,\"kind\":\"Oops";
+        let err = from_json(input).unwrap_err();
+        assert!(err.offset > 0);
+        assert!(!err.snippet.is_empty());
+        let s = err.to_string();
+        assert!(s.contains("at byte"), "{s}");
+        assert!(s.contains("near `"), "{s}");
+    }
+
+    #[test]
+    fn out_of_range_wait_links_rejected() {
+        let input = r#"{"events":[{"thread":0,"kind":"Branch","loc":0}],
+            "initial_values":{},"volatiles":[],
+            "wait_links":[{"release":0,"acquire":99,"notify":null}],
+            "loc_names":{},"var_names":{}}"#;
+        let err = from_json(input).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // The lenient path parses the same document; salvage then drops
+        // the dangling link instead of failing.
+        let data = from_json_data(input).unwrap();
+        let (trace, report) = crate::salvage::salvage_trace(data);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(report.dangling_wait_links, 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod consistency;
 mod error;
 mod event;
 pub mod json;
+pub mod salvage;
 mod signature;
 mod trace;
 mod vector_clock;
@@ -60,7 +61,8 @@ pub use consistency::{
 };
 pub use error::TraceError;
 pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
-pub use json::{from_json, to_json, JsonError};
+pub use json::{from_json, from_json_data, to_json, JsonError};
+pub use salvage::{salvage_trace, SalvageReport};
 pub use signature::{RaceSignature, SignatureDisplay};
 pub use trace::{Trace, TraceData, TraceStats, WaitLink};
 pub use vector_clock::VectorClock;

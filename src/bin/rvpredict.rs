@@ -10,18 +10,39 @@
 //!   --budget SECS              per-COP solver budget (default 60, as in the paper)
 //!   --jobs N                   solve windows on N worker threads (default: all cores)
 //!   --witnesses                print full witness schedules
+//!   --lenient                  salvage a damaged trace: drop events violating the
+//!                              consistency axioms (with per-category diagnostics)
+//!                              instead of rejecting the file
+//!   --retry-split              re-solve per-COP timeouts once in half-size windows
+//!   --inject-fault W:C:KIND    (testing) inject a fault at window W, COP C;
+//!                              KIND is panic, timeout or encode-error; repeatable
 //!   --demo                     ignore TRACE and run the paper's Figure 1 instead
 //! ```
+//!
+//! # Exit codes
+//!
+//! * `0` — detection completed, no races found, nothing left undecided;
+//! * `1` — at least one race was found (and witness-validated);
+//! * `2` — usage error, unreadable/unparsable trace file, or (in strict
+//!   mode) a trace that violates the sequential-consistency axioms;
+//! * `3` — detection completed and found no races, but some verdicts are
+//!   missing (undecided COPs or failed windows): "no races" is *not*
+//!   proven for the whole trace.
+//!
+//! Races dominate degradation: a run that both finds races and fails some
+//! windows exits `1` (the found races are sound regardless).
 //!
 //! The trace format is the JSON serialization of [`rvpredict::Trace`]
 //! (see [`rvpredict::to_json`]); any instrumentation front-end that can
 //! emit the §2 event alphabet can produce it.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rvpredict::{
-    CpDetector, DetectorConfig, HbDetector, RaceDetector, RaceDetectorTool, SaidDetector, Trace,
+    CpDetector, DetectorConfig, Fault, FaultPlan, HbDetector, RaceDetector, RaceDetectorTool,
+    SaidDetector, Trace,
 };
 
 struct Options {
@@ -30,8 +51,35 @@ struct Options {
     budget: Duration,
     jobs: Option<usize>,
     witnesses: bool,
+    lenient: bool,
+    retry_split: bool,
+    faults: Vec<(usize, usize, Fault)>,
     demo: bool,
     path: Option<String>,
+}
+
+/// Parses `W:C:KIND` into a fault coordinate.
+fn parse_fault(spec: &str) -> Result<(usize, usize, Fault), String> {
+    let mut parts = spec.splitn(3, ':');
+    let window = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| format!("--inject-fault {spec}: bad window index"))?;
+    let cop = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| format!("--inject-fault {spec}: bad COP index"))?;
+    let fault = match parts.next() {
+        Some("panic") => Fault::Panic,
+        Some("timeout") => Fault::Timeout,
+        Some("encode-error") => Fault::EncodeError,
+        _ => {
+            return Err(format!(
+                "--inject-fault {spec}: kind must be panic, timeout or encode-error"
+            ))
+        }
+    };
+    Ok((window, cop, fault))
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,6 +89,9 @@ fn parse_args() -> Result<Options, String> {
         budget: Duration::from_secs(60),
         jobs: None,
         witnesses: false,
+        lenient: false,
+        retry_split: false,
+        faults: Vec::new(),
         demo: false,
         path: None,
     };
@@ -85,6 +136,19 @@ fn parse_args() -> Result<Options, String> {
                 opts.witnesses = true;
                 i += 1;
             }
+            "--lenient" => {
+                opts.lenient = true;
+                i += 1;
+            }
+            "--retry-split" => {
+                opts.retry_split = true;
+                i += 1;
+            }
+            "--inject-fault" => {
+                let spec = args.get(i + 1).ok_or("--inject-fault needs W:C:KIND")?;
+                opts.faults.push(parse_fault(spec)?);
+                i += 2;
+            }
             "--demo" => {
                 opts.demo = true;
                 i += 1;
@@ -103,8 +167,67 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
-         [--jobs N] [--witnesses] (--demo | TRACE.json)"
+         [--jobs N] [--witnesses] [--lenient] [--retry-split] \
+         [--inject-fault W:C:KIND]... (--demo | TRACE.json)"
     );
+}
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_RACES: u8 = 1;
+const EXIT_DEGRADED: u8 = 3;
+
+/// Loads the trace per the options. `Err` carries the exit code (always
+/// [`EXIT_USAGE`]: bad file, bad JSON, or strict-mode inconsistency).
+fn load_trace(opts: &Options) -> Result<Trace, ExitCode> {
+    if opts.demo {
+        return Ok(rvsim::workloads::figures::figure1().trace);
+    }
+    let Some(path) = &opts.path else {
+        usage();
+        return Err(ExitCode::from(EXIT_USAGE));
+    };
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    };
+    if opts.lenient {
+        let raw = match rvpredict::from_json_data(&data) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("error: {path} is not a serialized trace: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        };
+        let (trace, report) = rvpredict::salvage_trace(raw);
+        if !report.is_clean() {
+            eprintln!("{report}");
+        }
+        Ok(trace)
+    } else {
+        let trace = match rvpredict::from_json(&data) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path} is not a serialized trace: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        };
+        let violations = rvpredict::check_consistency(&trace);
+        if !violations.is_empty() {
+            eprintln!("error: trace is not sequentially consistent:");
+            for v in violations.iter().take(5) {
+                eprintln!("  {v}");
+            }
+            if violations.len() > 5 {
+                eprintln!("  ... and {} more", violations.len() - 5);
+            }
+            eprintln!("  (rerun with --lenient to salvage the consistent part)");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+        Ok(trace)
+    }
 }
 
 fn main() -> ExitCode {
@@ -115,53 +238,33 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
             }
             usage();
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
-    let trace: Trace = if opts.demo {
-        rvsim::workloads::figures::figure1().trace
-    } else {
-        let Some(path) = &opts.path else {
-            usage();
-            return ExitCode::from(2);
-        };
-        let data = match std::fs::read_to_string(path) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match rvpredict::from_json(&data) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {path} is not a serialized trace: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let trace = match load_trace(&opts) {
+        Ok(t) => t,
+        Err(code) => return code,
     };
-
-    let stats = trace.stats();
-    println!("trace: {stats}");
-    let violations = rvpredict::check_consistency(&trace);
-    if !violations.is_empty() {
-        eprintln!("warning: trace is not sequentially consistent:");
-        for v in violations.iter().take(5) {
-            eprintln!("  {v}");
-        }
-        eprintln!("  (detection verdicts are meaningless on inconsistent traces)");
-    }
+    println!("trace: {}", trace.stats());
 
     match opts.detector.as_str() {
         "rv" => {
             let mut cfg = DetectorConfig {
                 window_size: opts.window,
                 solver_timeout: opts.budget,
+                retry_split: opts.retry_split,
                 ..Default::default()
             };
             if let Some(jobs) = opts.jobs {
                 cfg.parallelism = jobs;
+            }
+            if !opts.faults.is_empty() {
+                let mut plan = FaultPlan::new();
+                for &(w, c, fault) in &opts.faults {
+                    plan = plan.inject(w, c, fault);
+                }
+                cfg.fault_plan = Some(Arc::new(plan));
             }
             let report = RaceDetector::with_config(cfg).detect(&trace);
             println!("{report}");
@@ -170,6 +273,18 @@ fn main() -> ExitCode {
                 if opts.witnesses {
                     println!("    witness: {}", race.schedule);
                 }
+            }
+            if report.n_races() > 0 {
+                ExitCode::from(EXIT_RACES)
+            } else if report.is_degraded() {
+                eprintln!(
+                    "note: no races found, but {} COP(s) are undecided and {} window(s) \
+                     failed — race freedom is not established for those",
+                    report.stats.undecided, report.stats.failed_windows
+                );
+                ExitCode::from(EXIT_DEGRADED)
+            } else {
+                ExitCode::SUCCESS
             }
         }
         name @ ("said" | "cp" | "hb") => {
@@ -200,11 +315,15 @@ fn main() -> ExitCode {
             for sig in &r.signatures {
                 println!("  {}", sig.display(&trace));
             }
+            if r.n_races() > 0 {
+                ExitCode::from(EXIT_RACES)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         other => {
             eprintln!("error: unknown detector {other}");
-            return ExitCode::from(2);
+            ExitCode::from(EXIT_USAGE)
         }
     }
-    ExitCode::SUCCESS
 }

@@ -42,7 +42,7 @@ pub use rvbaselines::{
 };
 pub use rvcore::{
     encode, extract_witness, ConsistencyMode, DetectionReport, DetectorConfig, EncoderOptions,
-    RaceDetector, RaceReport, Witness,
+    FailedWindow, Fault, FaultPlan, RaceDetector, RaceReport, UndecidedReason, Witness,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,
@@ -50,7 +50,8 @@ pub use rvinstrument::{
 pub use rvsim::{execute, workloads, ExecConfig, Outcome, Program, Scheduler};
 pub use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
 pub use rvtrace::{
-    check_consistency, check_schedule, from_json, schedule_read_values, to_json, Cop, Event,
-    EventId, EventKind, JsonError, Loc, LockId, RaceSignature, Schedule, ThreadId, Trace,
-    TraceBuilder, VarId, View, ViewExt,
+    check_consistency, check_schedule, from_json, from_json_data, salvage_trace,
+    schedule_read_values, to_json, Cop, Event, EventId, EventKind, JsonError, Loc, LockId,
+    RaceSignature, SalvageReport, Schedule, ThreadId, Trace, TraceBuilder, TraceError, VarId, View,
+    ViewExt,
 };

@@ -22,8 +22,10 @@ fn cli_detects_race_in_serialized_trace() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(
-        out.status.success(),
+    // Races found ⇒ exit code 1.
+    assert_eq!(
+        out.status.code(),
+        Some(1),
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -47,7 +49,8 @@ fn cli_baselines_find_nothing_on_figure1() {
             .arg(&path)
             .output()
             .expect("binary runs");
-        assert!(out.status.success());
+        // No races, nothing degraded ⇒ exit code 0.
+        assert!(out.status.success(), "{det}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("0 race(s)"), "{det}: {stdout}");
     }
@@ -68,8 +71,9 @@ fn cli_jobs_flag_is_accepted_and_output_matches_serial() {
             .arg(&path)
             .output()
             .expect("binary runs");
-        assert!(
-            out.status.success(),
+        assert_eq!(
+            out.status.code(),
+            Some(1),
             "stderr: {}",
             String::from_utf8_lossy(&out.stderr)
         );
@@ -93,7 +97,7 @@ fn cli_jobs_flag_is_accepted_and_output_matches_serial() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(!out.status.success(), "--jobs 0 is rejected");
+    assert_eq!(out.status.code(), Some(2), "--jobs 0 is a usage error");
 }
 
 #[test]
@@ -102,7 +106,7 @@ fn cli_demo_mode() {
         .arg("--demo")
         .output()
         .expect("binary runs");
-    assert!(out.status.success());
+    assert_eq!(out.status.code(), Some(1), "figure 1 has a race");
     assert!(String::from_utf8_lossy(&out.stdout).contains("1 race(s)"));
 }
 
@@ -116,12 +120,12 @@ fn cli_rejects_garbage() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "parse errors are exit 2");
 }
 
 #[test]
 fn cli_usage_on_missing_args() {
     let out = Command::new(bin()).output().expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }

@@ -41,7 +41,7 @@ fn counters(report: &DetectionReport) -> [usize; 8] {
         s.cops_solved,
         s.sat,
         s.unsat,
-        s.unknown,
+        s.undecided,
         s.witness_failures,
     ]
 }
@@ -152,4 +152,64 @@ fn cross_window_duplicate_signature_reported_exactly_once() {
     };
     let undeduped = RaceDetector::with_config(cfg).detect(&trace);
     assert!(undeduped.n_races() > 1);
+}
+
+/// Determinism must survive *faults*: with a plan injecting a worker
+/// panic, a forced timeout, and an encode error at fixed (window, COP)
+/// coordinates, the merged report — races, failed windows, undecided
+/// breakdown, every counter — renders byte-identically at 1, 2, 4 and 8
+/// workers.
+#[test]
+fn fault_injected_workload_agrees_across_thread_counts() {
+    use rvpredict::{Fault, FaultPlan};
+    use std::sync::Arc;
+
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    let lw = b.loc("w");
+    let lr = b.loc("r");
+    let lw2 = b.loc("w2");
+    let lr2 = b.loc("r2");
+    // Two recurring racy signatures across ~10 windows of 48 events.
+    for i in 0..120 {
+        b.write_at(t1, x, i, lw);
+        b.read_at(t2, x, i, lr);
+        b.write_at(t2, y, i, lw2);
+        b.read_at(t1, y, i, lr2);
+    }
+    let trace = b.finish();
+
+    let plan = Arc::new(
+        FaultPlan::new()
+            .inject(0, 1, Fault::Timeout)
+            .inject(2, 0, Fault::Panic)
+            .inject(4, 0, Fault::EncodeError)
+            .inject(7, 1, Fault::Panic),
+    );
+    let summaries: Vec<String> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|parallelism| {
+            let cfg = DetectorConfig {
+                parallelism,
+                window_size: 48,
+                fault_plan: Some(plan.clone()),
+                ..Default::default()
+            };
+            let report = RaceDetector::with_config(cfg).detect(&trace);
+            assert_eq!(report.stats.failed_windows, 2, "jobs={parallelism}");
+            assert!(report.is_degraded(), "jobs={parallelism}");
+            report.deterministic_summary()
+        })
+        .collect();
+    for (i, s) in summaries.iter().enumerate().skip(1) {
+        assert_eq!(
+            &summaries[0],
+            s,
+            "fault-injected report differs between 1 worker and {} workers",
+            [1, 2, 4, 8][i]
+        );
+    }
 }
