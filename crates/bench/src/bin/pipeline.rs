@@ -1,0 +1,107 @@
+//! The `BENCH_pr3.json` generator: end-to-end pipeline benchmark over the
+//! sim workloads.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin pipeline -- [--out BENCH_pr3.json]
+//!     [--smoke] [--window N] [--budget SECS] [--jobs N]
+//! ```
+//!
+//! By default runs the full small suite; `--smoke` restricts the run to
+//! the paper's Figure 1 (sub-second, for CI smoke checks). The emitted
+//! document conforms to [`rvbench::pipeline`]'s schema and is validated
+//! before it is written, so a harness regression fails here rather than in
+//! a downstream consumer.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvbench::pipeline::{
+    full_workloads, run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions,
+};
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut smoke = false;
+    let mut opts = PipelineOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--window" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.window_size = v,
+                    _ => {
+                        eprintln!("error: --window needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--budget" => {
+                match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => opts.solver_timeout = Duration::from_secs(v),
+                    None => {
+                        eprintln!("error: --budget needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.jobs = v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: pipeline [--out PATH] [--smoke] [--window N] [--budget SECS] [--jobs N]"
+                );
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let workloads = if smoke {
+        smoke_workloads()
+    } else {
+        full_workloads()
+    };
+    eprintln!(
+        "pipeline: {} workload(s), window={}, jobs={}",
+        workloads.len(),
+        opts.window_size,
+        opts.jobs
+    );
+    let json = run_pipeline(&workloads, &opts);
+    if let Err(e) = validate_bench_json(&json) {
+        eprintln!("error: generated document violates its own schema: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("pipeline: wrote {out}");
+    ExitCode::SUCCESS
+}

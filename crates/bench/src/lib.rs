@@ -4,6 +4,8 @@
 //!
 //! * `cargo run -p rvbench --release --bin table1` — the full table
 //!   (trace metrics, QC, races per detector, times);
+//! * `cargo run -p rvbench --release --bin pipeline` — the end-to-end
+//!   pipeline benchmark (see [`pipeline`]), emitting `BENCH_pr3.json`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
 //!   solver, the four detectors, the windowing sweep, the design-choice
 //!   ablations and the parallel-driver scaling curve.
@@ -11,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod pipeline;
 
 use std::collections::BTreeSet;
 use std::time::Duration;

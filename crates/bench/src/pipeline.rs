@@ -1,0 +1,311 @@
+//! End-to-end pipeline benchmark: the `BENCH_pr3.json` harness mode.
+//!
+//! Runs the maximal detector over sim workloads — trace in, merged report
+//! out — and serializes one machine-readable result document in a stable,
+//! versioned schema, seeding the repo's perf trajectory (`BENCH_*.json`).
+//! The schema is integer-only (timings in microseconds) so the in-tree
+//! parser ([`rvtrace::parse_json`]) can read it back, and
+//! [`validate_bench_json`] enforces it so the harness cannot silently
+//! drift.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin pipeline -- --out BENCH_pr3.json
+//! ```
+//!
+//! # Document schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "pr3",
+//!   "jobs": 1,
+//!   "window_size": 10000,
+//!   "workloads": [
+//!     {"name": "example", "events": 17, "races": 1, "windows": 1,
+//!      "cops_solved": 1, "sat": 1, "unsat": 0, "undecided": 0,
+//!      "solver_decisions": 2, "solver_conflicts": 1,
+//!      "solver_propagations": 25,
+//!      "wall_time_us": 642, "solver_time_us": 371}
+//!   ],
+//!   "totals": {"workloads": 1, "events": 17, "races": 1,
+//!              "cops_solved": 1, "wall_time_us": 642}
+//! }
+//! ```
+//!
+//! Per workload, `cops_solved == sat + unsat + undecided` must hold; the
+//! `totals` object must sum the per-workload values. Counters and solver
+//! effort are deterministic for a given build (see the determinism
+//! contract in `rvcore::metrics`); the `*_time_us` fields are wall-clock
+//! and vary run to run.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use rvcore::{DetectorConfig, RaceDetector};
+use rvsim::workloads::{self, Workload};
+use rvtrace::parse_json;
+
+/// Version of the `BENCH_pr3.json` document. Bumped on any incompatible
+/// change (key renames, section shape).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The suite tag stamped into every document this harness emits.
+pub const BENCH_SUITE: &str = "pr3";
+
+/// Detection knobs for a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Window size in events.
+    pub window_size: usize,
+    /// Per-COP solver budget.
+    pub solver_timeout: Duration,
+    /// Worker threads for the parallel driver.
+    pub jobs: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            window_size: 10_000,
+            solver_timeout: Duration::from_secs(5),
+            jobs: 1,
+        }
+    }
+}
+
+/// The smallest workload set — just the paper's Figure 1 — for smoke runs
+/// and the schema test.
+pub fn smoke_workloads() -> Vec<Workload> {
+    vec![workloads::figures::figure1()]
+}
+
+/// The full pipeline set: every small-suite sim workload.
+pub fn full_workloads() -> Vec<Workload> {
+    workloads::small_suite()
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Runs detection end-to-end over each workload and returns the versioned
+/// result document described in the module docs.
+pub fn run_pipeline(workloads: &[Workload], opts: &PipelineOptions) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"suite\": \"{BENCH_SUITE}\",");
+    let _ = writeln!(out, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(out, "  \"window_size\": {},", opts.window_size);
+    out.push_str("  \"workloads\": [");
+    let (mut t_events, mut t_races, mut t_solved, mut t_wall) = (0u64, 0u64, 0u64, 0u64);
+    for (i, w) in workloads.iter().enumerate() {
+        let cfg = DetectorConfig {
+            window_size: opts.window_size,
+            solver_timeout: opts.solver_timeout,
+            parallelism: opts.jobs,
+            ..Default::default()
+        };
+        let report = RaceDetector::with_config(cfg).detect(&w.trace);
+        let s = &report.stats;
+        t_events += w.trace.len() as u64;
+        t_races += report.n_races() as u64;
+        t_solved += s.cops_solved as u64;
+        t_wall += us(s.wall_time);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        write_str(&mut out, &w.name);
+        let _ = write!(
+            out,
+            ", \"events\": {}, \"races\": {}, \"windows\": {},\n     \
+             \"cops_solved\": {}, \"sat\": {}, \"unsat\": {}, \"undecided\": {},\n     \
+             \"solver_decisions\": {}, \"solver_conflicts\": {}, \"solver_propagations\": {},\n     \
+             \"wall_time_us\": {}, \"solver_time_us\": {}}}",
+            w.trace.len(),
+            report.n_races(),
+            s.windows,
+            s.cops_solved,
+            s.sat,
+            s.unsat,
+            s.undecided,
+            s.solver_totals.decisions,
+            s.solver_totals.conflicts,
+            s.solver_totals.propagations,
+            us(s.wall_time),
+            us(s.solver_time),
+        );
+    }
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"workloads\": {}, \"events\": {t_events}, \"races\": {t_races}, \
+         \"cops_solved\": {t_solved}, \"wall_time_us\": {t_wall}}}",
+        workloads.len(),
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Integer fields every per-workload entry must carry, all non-negative.
+const WORKLOAD_INT_KEYS: [&str; 11] = [
+    "events",
+    "races",
+    "windows",
+    "cops_solved",
+    "sat",
+    "unsat",
+    "undecided",
+    "solver_decisions",
+    "solver_conflicts",
+    "solver_propagations",
+    "wall_time_us",
+];
+
+/// Validates a `BENCH_pr3.json` document against the schema: version and
+/// suite tags, required keys, non-negative integers, the
+/// `cops_solved == sat + unsat + undecided` invariant, and totals that sum
+/// the per-workload values. Returns a description of the first violation.
+pub fn validate_bench_json(json: &str) -> Result<(), String> {
+    let doc = parse_json(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .and_then(|v| v.as_int())
+        .map_err(|e| e.to_string())?;
+    if version != BENCH_SCHEMA_VERSION as i64 {
+        return Err(format!(
+            "schema_version is {version}, expected {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let suite = doc
+        .field("suite")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if suite != BENCH_SUITE {
+        return Err(format!("suite is `{suite}`, expected `{BENCH_SUITE}`"));
+    }
+    for key in ["jobs", "window_size"] {
+        let v = doc
+            .field(key)
+            .and_then(|v| v.as_int())
+            .map_err(|e| format!("{key}: {e}"))?;
+        if v <= 0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let entries = doc
+        .field("workloads")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .map_err(|e| format!("workloads: {e}"))?;
+    if entries.is_empty() {
+        return Err("workloads array is empty".into());
+    }
+    let (mut t_events, mut t_races, mut t_solved) = (0i64, 0i64, 0i64);
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("workloads[{i}].name: {e}"))?;
+        let int = |key: &str| -> Result<i64, String> {
+            let v = entry
+                .field(key)
+                .and_then(|v| v.as_int())
+                .map_err(|e| format!("workload `{name}`: {key}: {e}"))?;
+            if v < 0 {
+                return Err(format!("workload `{name}`: {key} is negative ({v})"));
+            }
+            Ok(v)
+        };
+        for key in WORKLOAD_INT_KEYS {
+            int(key)?;
+        }
+        int("solver_time_us")?;
+        let (solved, sat, unsat, undecided) = (
+            int("cops_solved")?,
+            int("sat")?,
+            int("unsat")?,
+            int("undecided")?,
+        );
+        if solved != sat + unsat + undecided {
+            return Err(format!(
+                "workload `{name}`: cops_solved={solved} but sat+unsat+undecided={}",
+                sat + unsat + undecided
+            ));
+        }
+        t_events += int("events")?;
+        t_races += int("races")?;
+        t_solved += solved;
+    }
+    let totals = doc.field("totals").map_err(|e| e.to_string())?;
+    let total = |key: &str| -> Result<i64, String> {
+        let v = totals
+            .field(key)
+            .and_then(|v| v.as_int())
+            .map_err(|e| format!("totals.{key}: {e}"))?;
+        if v < 0 {
+            return Err(format!("totals.{key} is negative ({v})"));
+        }
+        Ok(v)
+    };
+    if total("workloads")? != entries.len() as i64 {
+        return Err("totals.workloads does not match the workloads array length".into());
+    }
+    for (key, sum) in [
+        ("events", t_events),
+        ("races", t_races),
+        ("cops_solved", t_solved),
+    ] {
+        let v = total(key)?;
+        if v != sum {
+            return Err(format!(
+                "totals.{key} is {v} but the per-workload sum is {sum}"
+            ));
+        }
+    }
+    total("wall_time_us")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pipeline_emits_valid_document() {
+        let json = run_pipeline(&smoke_workloads(), &PipelineOptions::default());
+        validate_bench_json(&json).unwrap();
+        assert!(json.contains("\"suite\": \"pr3\""), "{json}");
+        assert!(json.contains("\"name\": \"example"), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let json = run_pipeline(&smoke_workloads(), &PipelineOptions::default());
+        let wrong_version = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_bench_json(&wrong_version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let missing_key = json.replace("\"races\": ", "\"r4ces\": ");
+        assert!(validate_bench_json(&missing_key).is_err());
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{}").is_err());
+    }
+}

@@ -60,7 +60,7 @@ use rvtrace::{Cop, RaceSignature, Schedule, Trace, View, ViewExt};
 use crate::config::{DetectorConfig, Fault};
 use crate::cop::enumerate_cops;
 use crate::encoder::{encode, encode_window, EncoderOptions};
-use crate::report::{DetectionReport, FailedWindow, RaceReport, UndecidedReason};
+use crate::report::{DetectionReport, FailedWindow, RaceReport, SolverTotals, UndecidedReason};
 use crate::witness::{extract_witness, extract_witness_with};
 
 /// How one COP fared inside a worker. `Skipped` records mark COPs the
@@ -81,11 +81,22 @@ enum CopVerdict {
 }
 
 /// One solved (or skipped) COP, in the window's solve order.
+///
+/// `profile` and `retried` ride along with the verdict so the merge loop
+/// can tally solver effort for *surviving* records only — a speculative
+/// solve whose record the dedup replay discards contributes nothing, which
+/// is what keeps the count-type metrics byte-identical across thread
+/// counts.
 #[derive(Debug)]
 struct CopRecord {
     cop: Cop,
     signature: RaceSignature,
     verdict: CopVerdict,
+    /// SAT-core effort spent on this COP (all its solver invocations;
+    /// zero for skipped and fault-forced records).
+    profile: SolverTotals,
+    /// Whether the split-window retry policy re-solved this COP.
+    retried: bool,
 }
 
 /// Everything a worker learned about one window; merged in window order.
@@ -96,8 +107,6 @@ struct SolvedWindow {
     pairs_considered: usize,
     qc_signatures: usize,
     records: Vec<CopRecord>,
-    /// Undecided-timeout COPs re-solved in a half-size window.
-    retried_cops: usize,
     /// Encode + solve time inside this window.
     solver_time: Duration,
     /// Total worker time on this window (enumerate + encode + solve).
@@ -337,7 +346,6 @@ impl RaceDetector {
             pairs_considered: enumeration.pairs_considered,
             qc_signatures: enumeration.qc_signatures,
             records: Vec::with_capacity(enumeration.cops.len()),
-            retried_cops: 0,
             solver_time: Duration::ZERO,
             window_time: Duration::ZERO,
         };
@@ -393,7 +401,7 @@ impl RaceDetector {
             } else {
                 continue; // spans the midpoint: stays Undecided
             };
-            out.retried_cops += 1;
+            record.retried = true;
             let solve_start = Instant::now();
             let encoded = encode(half, record.cop, opts);
             let mut solver = Solver::new(&encoded.fb);
@@ -415,6 +423,11 @@ impl RaceDetector {
                 }
             };
             out.solver_time += solve_start.elapsed();
+            // The retry is a second solver invocation on the same COP: its
+            // effort accumulates into the record's profile (the original
+            // timed-out solve is already in there), so the COP is counted
+            // once in `cops_solved` but both solves are in the totals.
+            record.profile.record_solve(&solver.stats().sat);
         }
     }
 
@@ -459,6 +472,8 @@ impl RaceDetector {
                     cop,
                     signature,
                     verdict,
+                    profile: SolverTotals::default(),
+                    retried: false,
                 });
                 continue;
             }
@@ -469,6 +484,8 @@ impl RaceDetector {
                     cop,
                     signature,
                     verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
                 });
                 continue;
             }
@@ -497,10 +514,16 @@ impl RaceDetector {
                 }
             };
             out.solver_time += solve_start.elapsed();
+            // Fresh solver per COP: its lifetime stats *are* this solve's
+            // delta.
+            let mut profile = SolverTotals::default();
+            profile.record_solve(&solver.stats().sat);
             out.records.push(CopRecord {
                 cop,
                 signature,
                 verdict,
+                profile,
+                retried: false,
             });
         }
     }
@@ -533,6 +556,8 @@ impl RaceDetector {
                     cop,
                     signature,
                     verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
                 });
             }
             return;
@@ -557,6 +582,8 @@ impl RaceDetector {
                     cop,
                     signature,
                     verdict,
+                    profile: SolverTotals::default(),
+                    retried: false,
                 });
                 continue;
             }
@@ -565,10 +592,15 @@ impl RaceDetector {
                     cop,
                     signature,
                     verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
                 });
                 continue;
             }
             let solve_start = Instant::now();
+            // Shared incremental solver: counters are cumulative over the
+            // window, so this COP's effort is the before/after delta.
+            let before = solver.stats().sat;
             let verdict = match solver.solve_assuming(budget, &[encoded.selectors[i]]) {
                 SmtResult::Unsat => CopVerdict::Unsat,
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
@@ -595,10 +627,14 @@ impl RaceDetector {
                 }
             };
             out.solver_time += solve_start.elapsed();
+            let mut profile = SolverTotals::default();
+            profile.record_solve(&solver.stats().sat.delta_since(&before));
             out.records.push(CopRecord {
                 cop,
                 signature,
                 verdict,
+                profile,
+                retried: false,
             });
         }
     }
@@ -629,12 +665,29 @@ impl RaceDetector {
         };
         stats.pairs_considered += outcome.pairs_considered;
         stats.qc_signatures += outcome.qc_signatures;
-        stats.retried_cops += outcome.retried_cops;
         stats.solver_time += outcome.solver_time;
         stats.window_times.push(outcome.window_time);
         for record in outcome.records {
             if cfg.dedup_signatures && confirmed.contains(&record.signature) {
                 continue;
+            }
+            // Solver effort and retry accounting are tallied here, for
+            // surviving records only: a speculative solve whose record the
+            // dedup check above discards never reaches the stats, so the
+            // count-type metrics are identical at every thread count.
+            stats.solver_totals.add(&record.profile);
+            if record.profile.solves > 0 {
+                stats.conflicts_per_cop.observe(record.profile.conflicts);
+                stats.decisions_per_cop.observe(record.profile.decisions);
+                stats
+                    .propagations_per_cop
+                    .observe(record.profile.propagations);
+            }
+            if record.retried {
+                stats.retried_cops += 1;
+                if !matches!(record.verdict, CopVerdict::Undecided(_)) {
+                    stats.retry_rescued += 1;
+                }
             }
             match record.verdict {
                 CopVerdict::Skipped => {

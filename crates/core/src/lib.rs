@@ -46,6 +46,7 @@ mod config;
 mod cop;
 mod detector;
 mod encoder;
+pub mod metrics;
 pub mod oracle;
 mod report;
 mod witness;
@@ -57,8 +58,10 @@ pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
 pub use detector::RaceDetector;
 pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
+pub use metrics::{Histogram, Metrics, PhaseTimer, METRICS_SCHEMA_VERSION};
 pub use oracle::oracle_races;
 pub use report::{
-    DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, UndecidedReason,
+    DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, SolverTotals,
+    UndecidedReason,
 };
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

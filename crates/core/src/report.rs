@@ -11,7 +11,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
+use rvsmt::SatStats;
 use rvtrace::{Cop, RaceSignature, Schedule, Trace};
+
+use crate::metrics::{Histogram, Metrics};
 
 /// One detected race, with its certifying witness.
 #[derive(Debug, Clone)]
@@ -110,6 +113,54 @@ impl fmt::Display for FailedWindow {
     }
 }
 
+/// Summed SAT-core effort over a set of solver invocations: the per-query
+/// [`SatStats`] deltas the detector captured, folded together. These are
+/// *count-type* values — the parallel driver tallies them per surviving COP
+/// record at merge time, so they are identical at every thread count (see
+/// the determinism contract in [`crate::metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTotals {
+    /// Solver invocations profiled (one per solved COP, two when a COP
+    /// was retried in a split window).
+    pub solves: u64,
+    /// CDCL branching decisions.
+    pub decisions: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+    /// Boolean conflicts (learnt-clause derivations).
+    pub conflicts: u64,
+    /// Conflicts raised by the IDL theory (negative cycles).
+    pub theory_conflicts: u64,
+    /// Search restarts.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learnt_clauses: u64,
+}
+
+impl SolverTotals {
+    /// Folds one solver invocation's [`SatStats`] delta into the totals.
+    pub fn record_solve(&mut self, delta: &SatStats) {
+        self.solves = self.solves.saturating_add(1);
+        self.decisions = self.decisions.saturating_add(delta.decisions);
+        self.propagations = self.propagations.saturating_add(delta.propagations);
+        self.conflicts = self.conflicts.saturating_add(delta.conflicts);
+        self.theory_conflicts = self.theory_conflicts.saturating_add(delta.theory_conflicts);
+        self.restarts = self.restarts.saturating_add(delta.restarts);
+        self.learnt_clauses = self.learnt_clauses.saturating_add(delta.learnt_clauses);
+    }
+
+    /// Element-wise saturating accumulation — associative and commutative.
+    pub fn add(&mut self, other: &SolverTotals) {
+        self.solves = self.solves.saturating_add(other.solves);
+        self.decisions = self.decisions.saturating_add(other.decisions);
+        self.propagations = self.propagations.saturating_add(other.propagations);
+        self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.theory_conflicts = self.theory_conflicts.saturating_add(other.theory_conflicts);
+        self.restarts = self.restarts.saturating_add(other.restarts);
+        self.learnt_clauses = self.learnt_clauses.saturating_add(other.learnt_clauses);
+    }
+}
+
 /// Outcome counters of a detection run.
 #[derive(Debug, Clone, Default)]
 pub struct DetectionStats {
@@ -136,8 +187,23 @@ pub struct DetectionStats {
     ///
     /// [`DetectorConfig::retry_split`]: crate::DetectorConfig::retry_split
     pub retried_cops: usize,
+    /// Retried COPs whose second solve produced a definitive verdict
+    /// (SAT or UNSAT) instead of timing out again — the retry policy's
+    /// success count. Always `retry_rescued <= retried_cops`.
+    pub retry_rescued: usize,
     /// Witness validations that failed (soundness gate trips; expected 0).
     pub witness_failures: usize,
+    /// Summed SAT-core effort (decisions, propagations, conflicts, …)
+    /// across every surviving COP solve. Count-type: identical at every
+    /// thread count.
+    pub solver_totals: SolverTotals,
+    /// Per-COP conflict distribution (one observation per solved COP, over
+    /// all of that COP's solver invocations). Count-type.
+    pub conflicts_per_cop: Histogram,
+    /// Per-COP decision distribution. Count-type.
+    pub decisions_per_cop: Histogram,
+    /// Per-COP propagation distribution. Count-type.
+    pub propagations_per_cop: Histogram,
     /// Summed time spent encoding and solving, across all workers. With
     /// `parallelism > 1` this exceeds [`DetectionStats::wall_time`].
     pub solver_time: Duration,
@@ -166,7 +232,12 @@ impl DetectionStats {
             *self.undecided_by_reason.entry(reason).or_insert(0) += n;
         }
         self.retried_cops += other.retried_cops;
+        self.retry_rescued += other.retry_rescued;
         self.witness_failures += other.witness_failures;
+        self.solver_totals.add(&other.solver_totals);
+        self.conflicts_per_cop.merge(&other.conflicts_per_cop);
+        self.decisions_per_cop.merge(&other.decisions_per_cop);
+        self.propagations_per_cop.merge(&other.propagations_per_cop);
         self.solver_time += other.solver_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.window_times.extend_from_slice(&other.window_times);
@@ -216,6 +287,51 @@ impl DetectionReport {
         sigs.dedup();
         sigs
     }
+
+    /// Folds the whole report into a [`Metrics`] registry.
+    ///
+    /// Counters (`detector.*`, `solver.*`) and histograms
+    /// (`solver.*_per_cop`) are count-type and byte-identical across
+    /// thread counts; timings (`detector.wall_time`, `detector.solver_time`
+    /// — the wall vs. summed-solver split — and `detector.window.NNNNNN`
+    /// per window) are wall-clock measurements and are not. Strip the
+    /// latter with [`Metrics::without_timings`] before comparing runs.
+    pub fn to_metrics(&self) -> Metrics {
+        let s = &self.stats;
+        let mut m = Metrics::new();
+        m.inc("detector.races", self.n_races() as u64);
+        m.inc("detector.windows", s.windows as u64);
+        m.inc("detector.failed_windows", s.failed_windows as u64);
+        m.inc("detector.pairs_considered", s.pairs_considered as u64);
+        m.inc("detector.qc_signatures", s.qc_signatures as u64);
+        m.inc("detector.cops_solved", s.cops_solved as u64);
+        m.inc("detector.sat", s.sat as u64);
+        m.inc("detector.unsat", s.unsat as u64);
+        m.inc("detector.undecided", s.undecided as u64);
+        for (reason, &n) in &s.undecided_by_reason {
+            m.inc(&format!("detector.undecided.{reason}"), n as u64);
+        }
+        m.inc("detector.retried_cops", s.retried_cops as u64);
+        m.inc("detector.retry_rescued", s.retry_rescued as u64);
+        m.inc("detector.witness_failures", s.witness_failures as u64);
+        let t = &s.solver_totals;
+        m.inc("solver.solves", t.solves);
+        m.inc("solver.decisions", t.decisions);
+        m.inc("solver.propagations", t.propagations);
+        m.inc("solver.conflicts", t.conflicts);
+        m.inc("solver.theory_conflicts", t.theory_conflicts);
+        m.inc("solver.restarts", t.restarts);
+        m.inc("solver.learnt_clauses", t.learnt_clauses);
+        m.record_histogram("solver.conflicts_per_cop", &s.conflicts_per_cop);
+        m.record_histogram("solver.decisions_per_cop", &s.decisions_per_cop);
+        m.record_histogram("solver.propagations_per_cop", &s.propagations_per_cop);
+        m.record_time("detector.wall_time", s.wall_time);
+        m.record_time("detector.solver_time", s.solver_time);
+        for (i, &t) in s.window_times.iter().enumerate() {
+            m.record_time(&format!("detector.window.{i:06}"), t);
+        }
+        m
+    }
 }
 
 impl DetectionReport {
@@ -230,7 +346,7 @@ impl DetectionReport {
         let s = &self.stats;
         let _ = writeln!(
             out,
-            "races={} windows={} failed={} pairs={} qc={} solved={} sat={} unsat={} undecided={} retried={} witness_failures={}",
+            "races={} windows={} failed={} pairs={} qc={} solved={} sat={} unsat={} undecided={} retried={} rescued={} witness_failures={}",
             self.n_races(),
             s.windows,
             s.failed_windows,
@@ -241,8 +357,34 @@ impl DetectionReport {
             s.unsat,
             s.undecided,
             s.retried_cops,
+            s.retry_rescued,
             s.witness_failures,
         );
+        let t = &s.solver_totals;
+        let _ = writeln!(
+            out,
+            "solver: solves={} decisions={} propagations={} conflicts={} theory_conflicts={} restarts={} learnt={}",
+            t.solves,
+            t.decisions,
+            t.propagations,
+            t.conflicts,
+            t.theory_conflicts,
+            t.restarts,
+            t.learnt_clauses,
+        );
+        for (name, h) in [
+            ("conflicts_per_cop", &s.conflicts_per_cop),
+            ("decisions_per_cop", &s.decisions_per_cop),
+            ("propagations_per_cop", &s.propagations_per_cop),
+        ] {
+            let _ = writeln!(
+                out,
+                "{name}: count={} sum={} max={}",
+                h.count(),
+                h.sum(),
+                h.max()
+            );
+        }
         for (reason, n) in &s.undecided_by_reason {
             let _ = writeln!(out, "undecided {reason}: {n}");
         }
@@ -280,15 +422,39 @@ impl fmt::Display for DetectionReport {
             self.stats.solver_time,
             self.stats.wall_time,
         )?;
+        let times = &self.stats.window_times;
+        if !times.is_empty() {
+            // Per-window wall time: the merge keeps every window's worker
+            // time, so the report can point at the slowest window instead
+            // of burying it in an aggregate.
+            let min = times.iter().min().copied().unwrap_or_default();
+            let max = times.iter().max().copied().unwrap_or_default();
+            let total: Duration = times.iter().sum();
+            let mean = total / times.len() as u32;
+            let slowest = times
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, t)| **t)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            writeln!(
+                f,
+                "  window times: min {min:?}, mean {mean:?}, max {max:?} (slowest: window {slowest})",
+            )?;
+        }
         if self.stats.undecided > 0 {
             write!(f, "  undecided:")?;
             for (reason, n) in &self.stats.undecided_by_reason {
                 write!(f, " {reason}={n}")?;
             }
-            if self.stats.retried_cops > 0 {
-                write!(f, " (retried {} in split windows)", self.stats.retried_cops)?;
-            }
             writeln!(f)?;
+        }
+        if self.stats.retried_cops > 0 {
+            writeln!(
+                f,
+                "  retried {} in split windows, {} rescued",
+                self.stats.retried_cops, self.stats.retry_rescued
+            )?;
         }
         for fw in &self.failed_windows {
             writeln!(f, "  {fw}")?;

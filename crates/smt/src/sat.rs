@@ -84,6 +84,27 @@ pub struct SatStats {
     pub learnt_clauses: u64,
 }
 
+impl SatStats {
+    /// Component-wise difference since an `earlier` snapshot of the same
+    /// solver. Every counter is cumulative and monotone over the solver's
+    /// lifetime, so profiling a single query on a shared incremental
+    /// solver is snapshot-before / `delta_since`-after. Differences
+    /// saturate at zero, so a stale or foreign snapshot can under-report
+    /// but never wrap.
+    pub fn delta_since(&self, earlier: &SatStats) -> SatStats {
+        SatStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            theory_conflicts: self
+                .theory_conflicts
+                .saturating_sub(earlier.theory_conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,

@@ -229,6 +229,25 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// A stable lowercase name for the kind (ignoring payloads) — the
+    /// metric key suffix used by event-kind histograms (`trace.kind.read`,
+    /// `trace.kind.acquire`, …).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Read { .. } => "read",
+            EventKind::Write { .. } => "write",
+            EventKind::Acquire { .. } => "acquire",
+            EventKind::Release { .. } => "release",
+            EventKind::Fork { .. } => "fork",
+            EventKind::Join { .. } => "join",
+            EventKind::Branch => "branch",
+            EventKind::Notify { .. } => "notify",
+        }
+    }
+
     /// The shared variable accessed, if this is a read or write.
     #[inline]
     pub fn var(&self) -> Option<VarId> {

@@ -87,56 +87,85 @@ fn shape(message: impl Into<String>) -> JsonError {
 
 // ---------------------------------------------------------------- values
 
-/// A parsed JSON value (integers only: the trace format has no floats).
+/// A parsed JSON value (integers only: none of the in-tree formats —
+/// traces, metrics, bench results — use floats, and rejecting them keeps
+/// every number exactly representable).
+///
+/// Public so downstream tooling (the bench harness, the metrics tests) can
+/// parse and inspect the documents this workspace emits without an external
+/// JSON dependency; obtain one with [`parse_json`].
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// An integer (the format admits no floats).
     Int(i64),
+    /// A string.
     Str(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as a key-value list in document order (keys may repeat;
+    /// [`JsonValue::field`] finds the first).
+    Object(Vec<(String, JsonValue)>),
 }
 
-impl Json {
-    fn as_int(&self) -> Result<i64, JsonError> {
+impl JsonValue {
+    /// The integer value, or a shape error.
+    pub fn as_int(&self) -> Result<i64, JsonError> {
         match self {
-            Json::Int(v) => Ok(*v),
+            JsonValue::Int(v) => Ok(*v),
             other => Err(shape(format!("expected integer, found {other:?}"))),
         }
     }
 
-    fn as_u32(&self) -> Result<u32, JsonError> {
+    /// The integer value narrowed to `u32`, or a shape error.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
         u32::try_from(self.as_int()?).map_err(|_| shape("integer out of u32 range"))
     }
 
-    fn as_str(&self) -> Result<&str, JsonError> {
+    /// The string value, or a shape error.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
-            Json::Str(s) => Ok(s),
+            JsonValue::Str(s) => Ok(s),
             other => Err(shape(format!("expected string, found {other:?}"))),
         }
     }
 
-    fn as_array(&self) -> Result<&[Json], JsonError> {
+    /// The array elements, or a shape error.
+    pub fn as_array(&self) -> Result<&[JsonValue], JsonError> {
         match self {
-            Json::Array(v) => Ok(v),
+            JsonValue::Array(v) => Ok(v),
             other => Err(shape(format!("expected array, found {other:?}"))),
         }
     }
 
-    fn as_object(&self) -> Result<&[(String, Json)], JsonError> {
+    /// The object's key-value pairs in document order, or a shape error.
+    pub fn as_object(&self) -> Result<&[(String, JsonValue)], JsonError> {
         match self {
-            Json::Object(v) => Ok(v),
+            JsonValue::Object(v) => Ok(v),
             other => Err(shape(format!("expected object, found {other:?}"))),
         }
     }
 
-    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, JsonError> {
+    /// The named object field, or a shape error when `self` is not an
+    /// object or has no such field.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a JsonValue, JsonError> {
         self.as_object()?
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
             .ok_or_else(|| shape(format!("missing field `{name}`")))
+    }
+
+    /// The named object field, or `None` when absent (or when `self` is
+    /// not an object).
+    pub fn get<'a>(&'a self, name: &str) -> Option<&'a JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
     }
 }
 
@@ -183,7 +212,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
@@ -192,20 +221,20 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
         match self.peek()? {
             b'{' => self.object(),
             b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
             b'-' | b'0'..=b'9' => self.number(),
             other => Err(self.err(format!("unexpected byte `{}`", other as char))),
         }
     }
 
-    fn number(&mut self) -> Result<Json, JsonError> {
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
@@ -219,7 +248,7 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
         text.parse::<i64>()
-            .map(Json::Int)
+            .map(JsonValue::Int)
             .map_err(|e| self.err(format!("bad number: {e}")))
     }
 
@@ -301,12 +330,12 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
         let mut out = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
-            return Ok(Json::Array(out));
+            return Ok(JsonValue::Array(out));
         }
         loop {
             out.push(self.value()?);
@@ -314,19 +343,19 @@ impl<'a> Parser<'a> {
                 b',' => self.pos += 1,
                 b']' => {
                     self.pos += 1;
-                    return Ok(Json::Array(out));
+                    return Ok(JsonValue::Array(out));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
         let mut out = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
-            return Ok(Json::Object(out));
+            return Ok(JsonValue::Object(out));
         }
         loop {
             self.skip_ws();
@@ -337,7 +366,7 @@ impl<'a> Parser<'a> {
                 b',' => self.pos += 1,
                 b'}' => {
                     self.pos += 1;
-                    return Ok(Json::Object(out));
+                    return Ok(JsonValue::Object(out));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
             }
@@ -355,7 +384,7 @@ fn utf8_len(first: u8) -> Option<usize> {
     }
 }
 
-fn parse(input: &str) -> Result<Json, JsonError> {
+fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
@@ -369,6 +398,26 @@ fn parse(input: &str) -> Result<Json, JsonError> {
         Ok(v)
     })();
     parsed.map_err(|e| e.with_snippet(input))
+}
+
+/// Parses an arbitrary (integer-only) JSON document into a [`JsonValue`].
+///
+/// This is the same parser the trace reader uses, exposed so in-tree
+/// consumers (the bench harness's schema validator, the metrics tests) can
+/// read the workspace's JSON artifacts without an external dependency.
+/// Floating-point numbers are rejected by design.
+///
+/// # Examples
+///
+/// ```
+/// use rvtrace::parse_json;
+///
+/// let v = parse_json(r#"{"schema_version": 1, "ok": true}"#).unwrap();
+/// assert_eq!(v.field("schema_version").unwrap().as_int().unwrap(), 1);
+/// assert!(parse_json("{\"pi\": 3.14}").is_err(), "floats are rejected");
+/// ```
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    parse(input)
 }
 
 // ---------------------------------------------------------------- writer
@@ -486,15 +535,15 @@ pub fn to_json(trace: &Trace) -> String {
 
 // ---------------------------------------------------------------- reader
 
-fn read_kind(v: &Json) -> Result<EventKind, JsonError> {
+fn read_kind(v: &JsonValue) -> Result<EventKind, JsonError> {
     match v {
-        Json::Str(tag) => match tag.as_str() {
+        JsonValue::Str(tag) => match tag.as_str() {
             "Begin" => Ok(EventKind::Begin),
             "End" => Ok(EventKind::End),
             "Branch" => Ok(EventKind::Branch),
             other => Err(shape(format!("unknown event kind `{other}`"))),
         },
-        Json::Object(fields) if fields.len() == 1 => {
+        JsonValue::Object(fields) if fields.len() == 1 => {
             let (tag, body) = &fields[0];
             match tag.as_str() {
                 "Read" => Ok(EventKind::Read {
@@ -530,6 +579,45 @@ fn read_kind(v: &Json) -> Result<EventKind, JsonError> {
 fn read_key_u32(key: &str) -> Result<u32, JsonError> {
     key.parse::<u32>()
         .map_err(|_| shape(format!("map key `{key}` is not an id")))
+}
+
+/// What trace ingestion cost: input size, events decoded, and the time
+/// spent parsing — the trace layer's contribution to the `--metrics`
+/// report (`trace.ingest.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Input size in bytes.
+    pub bytes: usize,
+    /// Events decoded.
+    pub events: usize,
+    /// Wall-clock parse + decode time.
+    pub parse_time: std::time::Duration,
+}
+
+/// [`from_json`] plus an [`IngestStats`] measurement of the parse.
+pub fn from_json_with_stats(input: &str) -> Result<(Trace, IngestStats), JsonError> {
+    let start = std::time::Instant::now();
+    let trace = from_json(input)?;
+    let stats = IngestStats {
+        bytes: input.len(),
+        events: trace.len(),
+        parse_time: start.elapsed(),
+    };
+    Ok((trace, stats))
+}
+
+/// [`from_json_data`] plus an [`IngestStats`] measurement of the parse
+/// (for the lenient path; `events` counts decoded events before salvage
+/// drops any).
+pub fn from_json_data_with_stats(input: &str) -> Result<(TraceData, IngestStats), JsonError> {
+    let start = std::time::Instant::now();
+    let data = from_json_data(input)?;
+    let stats = IngestStats {
+        bytes: input.len(),
+        events: data.events.len(),
+        parse_time: start.elapsed(),
+    };
+    Ok((data, stats))
 }
 
 /// Deserializes a trace from its JSON wire format.
@@ -590,7 +678,7 @@ pub fn from_json_data(input: &str) -> Result<TraceData, JsonError> {
             release: EventId(wl.field("release")?.as_u32()?),
             acquire: EventId(wl.field("acquire")?.as_u32()?),
             notify: match wl.field("notify")? {
-                Json::Null => None,
+                JsonValue::Null => None,
                 v => Some(EventId(v.as_u32()?)),
             },
         });

@@ -61,7 +61,10 @@ pub use consistency::{
 };
 pub use error::TraceError;
 pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
-pub use json::{from_json, from_json_data, to_json, JsonError};
+pub use json::{
+    from_json, from_json_data, from_json_data_with_stats, from_json_with_stats, parse_json,
+    to_json, IngestStats, JsonError, JsonValue,
+};
 pub use salvage::{salvage_trace, SalvageReport};
 pub use signature::{RaceSignature, SignatureDisplay};
 pub use trace::{Trace, TraceData, TraceStats, WaitLink};

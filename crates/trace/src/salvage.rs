@@ -34,6 +34,9 @@ pub struct SalvageReport {
     /// Wait links discarded because an endpoint was dropped or out of
     /// range ("dangling-wait-link" in diagnostics).
     pub dangling_wait_links: usize,
+    /// Wall-clock time spent salvaging (not rendered by `Display`; it
+    /// feeds the `--metrics` timing section).
+    pub elapsed: std::time::Duration,
 }
 
 impl SalvageReport {
@@ -102,6 +105,7 @@ struct Ts {
 /// assert_eq!(report.dropped["inconsistent-read"], 1);
 /// ```
 pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
+    let salvage_start = std::time::Instant::now();
     let TraceData {
         events,
         initial_values,
@@ -215,6 +219,7 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
         loc_names,
         var_names,
     });
+    report.elapsed = salvage_start.elapsed();
     (trace, report)
 }
 

@@ -326,6 +326,16 @@ impl Trace {
         s
     }
 
+    /// Event count per [`EventKind::name`], in name order — the event-kind
+    /// histogram the `--metrics` report emits as `trace.kind.*` counters.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.data.events {
+            *counts.entry(e.kind.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Restriction of the trace to one thread (`τ↾t`), as owned events.
     /// Mostly useful in tests; prefer [`Trace::thread_events`].
     pub fn projection(&self, t: ThreadId) -> Vec<Event> {

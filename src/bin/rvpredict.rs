@@ -16,8 +16,16 @@
 //!   --retry-split              re-solve per-COP timeouts once in half-size windows
 //!   --inject-fault W:C:KIND    (testing) inject a fault at window W, COP C;
 //!                              KIND is panic, timeout or encode-error; repeatable
+//!   --metrics OUT.json         write the run's metrics registry (versioned JSON:
+//!                              counters, histograms, timings) to OUT.json
+//!   --trace-log                log phase progress to stderr, with timestamps
 //!   --demo                     ignore TRACE and run the paper's Figure 1 instead
 //! ```
+//!
+//! The `--metrics` document separates count-type metrics (counters,
+//! histograms — byte-identical at every `--jobs` level) from wall-clock
+//! timings (`timings_us` — machine- and run-dependent); see DESIGN.md's
+//! "Observability" section for the schema and the determinism contract.
 //!
 //! # Exit codes
 //!
@@ -38,11 +46,11 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rvpredict::{
-    CpDetector, DetectorConfig, Fault, FaultPlan, HbDetector, RaceDetector, RaceDetectorTool,
-    SaidDetector, Trace,
+    CpDetector, DetectorConfig, Fault, FaultPlan, HbDetector, Metrics, RaceDetector,
+    RaceDetectorTool, SaidDetector, Trace,
 };
 
 struct Options {
@@ -54,8 +62,33 @@ struct Options {
     lenient: bool,
     retry_split: bool,
     faults: Vec<(usize, usize, Fault)>,
+    metrics: Option<String>,
+    trace_log: bool,
     demo: bool,
     path: Option<String>,
+}
+
+/// The `--trace-log` phase logger: human-readable progress lines on stderr,
+/// stamped with time elapsed since startup. Inert unless enabled, so the
+/// default output is unchanged.
+struct PhaseLog {
+    enabled: bool,
+    start: Instant,
+}
+
+impl PhaseLog {
+    fn new(enabled: bool) -> Self {
+        PhaseLog {
+            enabled,
+            start: Instant::now(),
+        }
+    }
+
+    fn log(&self, msg: &str) {
+        if self.enabled {
+            eprintln!("[rvpredict +{:.1?}] {msg}", self.start.elapsed());
+        }
+    }
 }
 
 /// Parses `W:C:KIND` into a fault coordinate.
@@ -92,6 +125,8 @@ fn parse_args() -> Result<Options, String> {
         lenient: false,
         retry_split: false,
         faults: Vec::new(),
+        metrics: None,
+        trace_log: false,
         demo: false,
         path: None,
     };
@@ -149,6 +184,18 @@ fn parse_args() -> Result<Options, String> {
                 opts.faults.push(parse_fault(spec)?);
                 i += 2;
             }
+            "--metrics" => {
+                opts.metrics = Some(
+                    args.get(i + 1)
+                        .ok_or("--metrics needs an output path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--trace-log" => {
+                opts.trace_log = true;
+                i += 1;
+            }
             "--demo" => {
                 opts.demo = true;
                 i += 1;
@@ -168,7 +215,8 @@ fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
          [--jobs N] [--witnesses] [--lenient] [--retry-split] \
-         [--inject-fault W:C:KIND]... (--demo | TRACE.json)"
+         [--inject-fault W:C:KIND]... [--metrics OUT.json] [--trace-log] \
+         (--demo | TRACE.json)"
     );
 }
 
@@ -176,11 +224,15 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_RACES: u8 = 1;
 const EXIT_DEGRADED: u8 = 3;
 
-/// Loads the trace per the options. `Err` carries the exit code (always
-/// [`EXIT_USAGE`]: bad file, bad JSON, or strict-mode inconsistency).
-fn load_trace(opts: &Options) -> Result<Trace, ExitCode> {
+/// Loads the trace per the options, recording ingestion metrics
+/// (`trace.*`, `salvage.*`) as it goes. `Err` carries the exit code
+/// (always [`EXIT_USAGE`]: bad file, bad JSON, or strict-mode
+/// inconsistency).
+fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<Trace, ExitCode> {
     if opts.demo {
-        return Ok(rvsim::workloads::figures::figure1().trace);
+        let trace = rvsim::workloads::figures::figure1().trace;
+        record_trace_metrics(&trace, metrics);
+        return Ok(trace);
     }
     let Some(path) = &opts.path else {
         usage();
@@ -194,26 +246,48 @@ fn load_trace(opts: &Options) -> Result<Trace, ExitCode> {
         }
     };
     if opts.lenient {
-        let raw = match rvpredict::from_json_data(&data) {
-            Ok(raw) => raw,
+        let (raw, ingest) = match rvpredict::from_json_data_with_stats(&data) {
+            Ok(ok) => ok,
             Err(e) => {
                 eprintln!("error: {path} is not a serialized trace: {e}");
                 return Err(ExitCode::from(EXIT_USAGE));
             }
         };
+        record_ingest_metrics(&ingest, metrics);
+        log.log(&format!(
+            "parsed {} events from {} bytes in {:?}",
+            ingest.events, ingest.bytes, ingest.parse_time
+        ));
         let (trace, report) = rvpredict::salvage_trace(raw);
+        metrics.inc("salvage.total", report.total as u64);
+        metrics.inc("salvage.kept", report.kept as u64);
+        metrics.inc(
+            "salvage.dangling_wait_links",
+            report.dangling_wait_links as u64,
+        );
+        for (category, &n) in &report.dropped {
+            metrics.inc(&format!("salvage.dropped.{category}"), n as u64);
+        }
+        metrics.record_time("trace.salvage_time", report.elapsed);
+        log.log(&format!("{report} in {:?}", report.elapsed));
         if !report.is_clean() {
             eprintln!("{report}");
         }
+        record_trace_metrics(&trace, metrics);
         Ok(trace)
     } else {
-        let trace = match rvpredict::from_json(&data) {
-            Ok(t) => t,
+        let (trace, ingest) = match rvpredict::from_json_with_stats(&data) {
+            Ok(ok) => ok,
             Err(e) => {
                 eprintln!("error: {path} is not a serialized trace: {e}");
                 return Err(ExitCode::from(EXIT_USAGE));
             }
         };
+        record_ingest_metrics(&ingest, metrics);
+        log.log(&format!(
+            "parsed {} events from {} bytes in {:?}",
+            ingest.events, ingest.bytes, ingest.parse_time
+        ));
         let violations = rvpredict::check_consistency(&trace);
         if !violations.is_empty() {
             eprintln!("error: trace is not sequentially consistent:");
@@ -226,8 +300,34 @@ fn load_trace(opts: &Options) -> Result<Trace, ExitCode> {
             eprintln!("  (rerun with --lenient to salvage the consistent part)");
             return Err(ExitCode::from(EXIT_USAGE));
         }
+        record_trace_metrics(&trace, metrics);
         Ok(trace)
     }
+}
+
+/// Folds one [`rvpredict::IngestStats`] into the registry.
+fn record_ingest_metrics(ingest: &rvpredict::IngestStats, metrics: &mut Metrics) {
+    metrics.inc("trace.ingest.bytes", ingest.bytes as u64);
+    metrics.record_time("trace.ingest.parse_time", ingest.parse_time);
+}
+
+/// Event totals and the per-kind breakdown of the (possibly salvaged)
+/// trace detection will run on.
+fn record_trace_metrics(trace: &Trace, metrics: &mut Metrics) {
+    metrics.inc("trace.events", trace.len() as u64);
+    for (kind, n) in trace.kind_counts() {
+        metrics.inc(&format!("trace.kind.{kind}"), n as u64);
+    }
+}
+
+/// Writes the metrics document, mapping an IO failure to [`EXIT_USAGE`].
+fn write_metrics(path: &str, metrics: &Metrics, log: &PhaseLog) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, metrics.to_json()) {
+        eprintln!("error: cannot write metrics to {path}: {e}");
+        return Err(ExitCode::from(EXIT_USAGE));
+    }
+    log.log(&format!("metrics written to {path}"));
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -242,7 +342,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let trace = match load_trace(&opts) {
+    let log = PhaseLog::new(opts.trace_log);
+    let mut metrics = Metrics::new();
+    let trace = match load_trace(&opts, &mut metrics, &log) {
         Ok(t) => t,
         Err(code) => return code,
     };
@@ -266,12 +368,33 @@ fn main() -> ExitCode {
                 }
                 cfg.fault_plan = Some(Arc::new(plan));
             }
+            log.log(&format!(
+                "detection starting: detector=rv window={} jobs={} events={}",
+                cfg.window_size,
+                cfg.parallelism,
+                trace.len()
+            ));
             let report = RaceDetector::with_config(cfg).detect(&trace);
+            log.log(&format!(
+                "detection finished: {} race(s), {} window(s) ({} failed), \
+                 solver {:?} summed, wall {:?}",
+                report.n_races(),
+                report.stats.windows,
+                report.stats.failed_windows,
+                report.stats.solver_time,
+                report.stats.wall_time
+            ));
             println!("{report}");
             for race in &report.races {
                 println!("  {}", race.display(&trace));
                 if opts.witnesses {
                     println!("    witness: {}", race.schedule);
+                }
+            }
+            metrics.merge(&report.to_metrics());
+            if let Some(path) = &opts.metrics {
+                if let Err(code) = write_metrics(path, &metrics, &log) {
+                    return code;
                 }
             }
             if report.n_races() > 0 {
@@ -304,7 +427,18 @@ fn main() -> ExitCode {
                     ..Default::default()
                 }),
             };
+            log.log(&format!(
+                "detection starting: detector={} window={} events={}",
+                name,
+                opts.window,
+                trace.len()
+            ));
             let r = tool.detect_races(&trace);
+            log.log(&format!(
+                "detection finished: {} race(s) in {:?}",
+                r.n_races(),
+                r.time
+            ));
             println!(
                 "{}: {} race(s), {} pairs checked, {:?}",
                 tool.name(),
@@ -314,6 +448,14 @@ fn main() -> ExitCode {
             );
             for sig in &r.signatures {
                 println!("  {}", sig.display(&trace));
+            }
+            metrics.inc("detector.races", r.n_races() as u64);
+            metrics.inc("detector.pairs_considered", r.pairs_checked as u64);
+            metrics.record_time("detector.wall_time", r.time);
+            if let Some(path) = &opts.metrics {
+                if let Err(code) = write_metrics(path, &metrics, &log) {
+                    return code;
+                }
             }
             if r.n_races() > 0 {
                 ExitCode::from(EXIT_RACES)

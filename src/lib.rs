@@ -41,8 +41,9 @@ pub use rvbaselines::{
     CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector, ToolReport,
 };
 pub use rvcore::{
-    encode, extract_witness, ConsistencyMode, DetectionReport, DetectorConfig, EncoderOptions,
-    FailedWindow, Fault, FaultPlan, RaceDetector, RaceReport, UndecidedReason, Witness,
+    encode, extract_witness, ConsistencyMode, DetectionReport, DetectionStats, DetectorConfig,
+    EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram, Metrics, PhaseTimer, RaceDetector,
+    RaceReport, SolverTotals, UndecidedReason, Witness, METRICS_SCHEMA_VERSION,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,
@@ -50,8 +51,8 @@ pub use rvinstrument::{
 pub use rvsim::{execute, workloads, ExecConfig, Outcome, Program, Scheduler};
 pub use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
 pub use rvtrace::{
-    check_consistency, check_schedule, from_json, from_json_data, salvage_trace,
-    schedule_read_values, to_json, Cop, Event, EventId, EventKind, JsonError, Loc, LockId,
-    RaceSignature, SalvageReport, Schedule, ThreadId, Trace, TraceBuilder, TraceError, VarId, View,
-    ViewExt,
+    check_consistency, check_schedule, from_json, from_json_data, from_json_data_with_stats,
+    from_json_with_stats, parse_json, salvage_trace, schedule_read_values, to_json, Cop, Event,
+    EventId, EventKind, IngestStats, JsonError, JsonValue, Loc, LockId, RaceSignature,
+    SalvageReport, Schedule, ThreadId, Trace, TraceBuilder, TraceError, VarId, View, ViewExt,
 };

@@ -1,0 +1,129 @@
+//! Schema tests for the `BENCH_pr3.json` harness (satellite of the
+//! observability PR): the pipeline run over the smallest sim workload must
+//! emit a document that validates, parses with the in-tree JSON reader,
+//! and carries the invariants the schema documents.
+//!
+//! When `BENCH_PR3_PATH` is set (CI's bench-smoke step exports it after
+//! running the `pipeline` binary), the file it names is validated too, so
+//! a committed or freshly generated document cannot drift from the schema.
+
+use rvbench::pipeline::{
+    run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
+};
+use rvtrace::parse_json;
+
+fn smoke_document() -> String {
+    run_pipeline(&smoke_workloads(), &PipelineOptions::default())
+}
+
+/// The smoke pipeline (Figure 1 only) emits a valid version-1 document.
+#[test]
+fn smoke_run_validates_against_schema() {
+    let json = smoke_document();
+    validate_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check the emitted document with the in-tree parser: tags, the
+/// verdict partition, and totals consistency — independent of the
+/// validator's own logic.
+#[test]
+fn smoke_run_parses_and_keeps_invariants() {
+    let json = smoke_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(doc.field("suite").and_then(|v| v.as_str()).unwrap(), "pr3");
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 1, "smoke mode runs exactly Figure 1");
+    let w = &entries[0];
+    let int = |key: &str| w.field(key).and_then(|v| v.as_int()).unwrap();
+    assert!(w
+        .field("name")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .starts_with("example"));
+    // Figure 1 is the paper's motivating example: one predictable race.
+    assert_eq!(int("races"), 1);
+    assert!(int("events") > 0);
+    assert_eq!(
+        int("cops_solved"),
+        int("sat") + int("unsat") + int("undecided")
+    );
+    assert!(int("solver_decisions") >= 0);
+    let totals = doc.field("totals").unwrap();
+    let total = |key: &str| totals.field(key).and_then(|v| v.as_int()).unwrap();
+    assert_eq!(total("workloads"), 1);
+    assert_eq!(total("events"), int("events"));
+    assert_eq!(total("races"), int("races"));
+    assert_eq!(total("cops_solved"), int("cops_solved"));
+}
+
+/// Count-type fields of the document are deterministic for a given build:
+/// two runs differ only in the `*_time_us` wall-clock fields.
+#[test]
+fn smoke_run_counters_are_deterministic() {
+    let strip_times = |json: &str| -> String {
+        json.lines()
+            .map(|l| {
+                let mut l = l.to_string();
+                for key in ["wall_time_us", "solver_time_us"] {
+                    if let Some(start) = l.find(&format!("\"{key}\": ")) {
+                        let rest = &l[start..];
+                        let end = rest
+                            .find(|c: char| c == ',' || c == '}')
+                            .unwrap_or(rest.len());
+                        l = format!("{}\"{key}\": X{}", &l[..start], &l[start + end..]);
+                    }
+                }
+                l
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = strip_times(&smoke_document());
+    let b = strip_times(&smoke_document());
+    assert_eq!(a, b, "count-type fields must not vary run to run");
+}
+
+/// The validator is load-bearing: corrupted documents must be rejected
+/// with a pointed message.
+#[test]
+fn validator_rejects_corruption() {
+    let json = smoke_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr3\"", "\"suite\": \"pr4\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 2",
+            "schema_version",
+        ),
+        ("\"sat\": 1", "\"sat\": 2", "cops_solved"),
+        ("\"workloads\": 1", "\"workloads\": 7", "totals.workloads"),
+    ] {
+        let tampered = json.replace(needle, replacement);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR3_PATH` at a generated
+/// `BENCH_pr3.json`, it must satisfy the same schema. Skipped when the
+/// variable is unset so plain `cargo test` needs no artifacts.
+#[test]
+fn generated_bench_file_validates_when_present() {
+    let Ok(path) = std::env::var("BENCH_PR3_PATH") else {
+        return;
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_PR3_PATH={path} is unreadable: {e}"));
+    validate_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+}

@@ -129,3 +129,142 @@ fn cli_usage_on_missing_args() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// Runs `--metrics` and returns (full document, timing-free prefix): the
+/// emitted JSON up to but excluding the `timings_us` section, i.e. exactly
+/// the counters and histograms — the sections the determinism contract
+/// covers.
+fn metrics_run(path: &std::path::Path, extra: &[&str], out_name: &str) -> (String, String) {
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join(out_name);
+    let out = Command::new(bin())
+        .args(extra)
+        .args(["--metrics", metrics_path.to_str().unwrap()])
+        .arg(path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let cut = doc
+        .find("  \"timings_us\": {")
+        .unwrap_or_else(|| panic!("no timings_us section in {doc}"));
+    (doc.clone(), doc[..cut].to_string())
+}
+
+/// `--metrics` emits a parseable versioned document whose count-type
+/// sections are byte-identical at 1, 2, 4 and 8 workers.
+#[test]
+fn cli_metrics_json_is_identical_across_jobs() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = rvpredict::to_json(&w.trace);
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1-metrics.json");
+    std::fs::write(&path, json).unwrap();
+
+    let mut baseline: Option<String> = None;
+    for jobs in ["1", "2", "4", "8"] {
+        let (doc, counters) = metrics_run(
+            &path,
+            &["--jobs", jobs],
+            &format!("metrics-jobs{jobs}.json"),
+        );
+        // The full document is valid JSON for the in-tree parser and
+        // carries the schema tag plus real content.
+        let parsed = rvpredict::parse_json(&doc).expect("metrics JSON parses");
+        assert_eq!(
+            parsed
+                .field("schema_version")
+                .and_then(|v| v.as_int())
+                .unwrap(),
+            rvpredict::METRICS_SCHEMA_VERSION as i64,
+        );
+        assert!(doc.contains("\"detector.races\": 1"), "{doc}");
+        assert!(doc.contains("\"solver.conflicts_per_cop\":"), "{doc}");
+        assert!(doc.contains("\"detector.wall_time\":"), "{doc}");
+        assert!(doc.contains("\"trace.events\":"), "{doc}");
+        match &baseline {
+            None => baseline = Some(counters),
+            Some(b) => assert_eq!(
+                b, &counters,
+                "count-type metrics differ between --jobs 1 and --jobs {jobs}"
+            ),
+        }
+    }
+}
+
+/// The `--metrics` determinism contract holds in degraded runs too: with
+/// an injected fault the counters sections still agree across thread
+/// counts, and the failure is visible in the document.
+#[test]
+fn cli_metrics_json_is_identical_across_jobs_under_fault() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = rvpredict::to_json(&w.trace);
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1-metrics-fault.json");
+    std::fs::write(&path, json).unwrap();
+
+    let mut baseline: Option<String> = None;
+    for jobs in ["1", "2", "4", "8"] {
+        let metrics_path = dir.join(format!("metrics-fault-jobs{jobs}.json"));
+        let out = Command::new(bin())
+            .args(["--jobs", jobs, "--inject-fault", "0:0:timeout"])
+            .args(["--metrics", metrics_path.to_str().unwrap()])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        // The only COP times out ⇒ no races but a degraded report (exit 3).
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(doc.contains("\"detector.undecided\": 1"), "{doc}");
+        assert!(doc.contains("\"detector.undecided.timeout\": 1"), "{doc}");
+        let cut = doc.find("  \"timings_us\": {").unwrap();
+        let counters = doc[..cut].to_string();
+        match &baseline {
+            None => baseline = Some(counters),
+            Some(b) => assert_eq!(
+                b, &counters,
+                "faulted metrics differ between --jobs 1 and --jobs {jobs}"
+            ),
+        }
+    }
+}
+
+/// `--trace-log` narrates phases on stderr without disturbing the report
+/// on stdout or the exit code.
+#[test]
+fn cli_trace_log_writes_phases_to_stderr() {
+    let out = Command::new(bin())
+        .args(["--demo", "--trace-log"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[rvpredict +"), "{stderr}");
+    assert!(stderr.contains("detection"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 race(s)"));
+}
+
+/// `--metrics` pointing at an unwritable path is an IO/usage error (exit
+/// 2), not a silent success.
+#[test]
+fn cli_metrics_unwritable_path_is_an_error() {
+    let out = Command::new(bin())
+        .args(["--demo", "--metrics", "/nonexistent-dir/out.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics"));
+}

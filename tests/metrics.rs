@@ -1,0 +1,277 @@
+//! Property tests of the metrics subsystem: merge algebra over random
+//! registries, solver-counter monotonicity, and conservation of the
+//! per-COP retry accounting under injected timeouts.
+//!
+//! Case counts honor `PROPTEST_CASES` (the knob kept its name when the
+//! suite moved off proptest); generation is seeded, so failures reproduce.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rvpredict::{
+    Budget, DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics, RaceDetector, ThreadId,
+};
+use rvpredict::{FormulaBuilder, Solver};
+use rvsim::rng::SmallRng;
+use rvtrace::TraceBuilder;
+
+fn cases(default: usize) -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A random registry: a handful of counters drawn from a small name pool
+/// (so merges actually collide on keys) plus histograms over values spread
+/// across the full bucket range.
+fn gen_metrics(rng: &mut SmallRng) -> Metrics {
+    const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let mut m = Metrics::new();
+    for _ in 0..rng.gen_range(0..6usize) {
+        let name = NAMES[rng.gen_range(0..NAMES.len())];
+        m.inc(name, rng.gen_range(0..1_000u64));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        let name = NAMES[rng.gen_range(0..NAMES.len())];
+        for _ in 0..rng.gen_range(0..8usize) {
+            // Random magnitude first, so observations land in random
+            // buckets rather than clustering near 2^64.
+            let shift = rng.gen_range(0..64u32);
+            m.observe(name, rng.next_u64() >> shift);
+        }
+    }
+    m
+}
+
+fn merged(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// `Metrics::merge` is commutative and associative on the count-type
+/// sections (counters and histograms) — the algebraic property the
+/// parallel driver's deterministic merge relies on.
+#[test]
+fn metrics_merge_is_commutative_and_associative() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_4E7A);
+    for case in 0..cases(64) {
+        let a = gen_metrics(&mut rng);
+        let b = gen_metrics(&mut rng);
+        let c = gen_metrics(&mut rng);
+
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        assert_eq!(
+            ab.without_timings().to_json(),
+            ba.without_timings().to_json(),
+            "case {case}: merge is not commutative"
+        );
+
+        let ab_c = merged(&ab, &c);
+        let bc = merged(&b, &c);
+        let a_bc = merged(&a, &bc);
+        assert_eq!(
+            ab_c.without_timings().to_json(),
+            a_bc.without_timings().to_json(),
+            "case {case}: merge is not associative"
+        );
+    }
+}
+
+/// Merging preserves totals exactly: counter sums and histogram
+/// count/sum/max are what you would get observing everything into one
+/// registry.
+#[test]
+fn metrics_merge_conserves_totals() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_55E7);
+    for case in 0..cases(64) {
+        let a = gen_metrics(&mut rng);
+        let b = gen_metrics(&mut rng);
+        let m = merged(&a, &b);
+        for (name, value) in m.counters() {
+            assert_eq!(
+                value,
+                a.counter(name) + b.counter(name),
+                "case {case}: counter `{name}` not conserved"
+            );
+        }
+        for name in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            let (ca, sa) = a.histogram(name).map_or((0, 0), |h| (h.count(), h.sum()));
+            let (cb, sb) = b.histogram(name).map_or((0, 0), |h| (h.count(), h.sum()));
+            let (cm, sm) = m.histogram(name).map_or((0, 0), |h| (h.count(), h.sum()));
+            assert_eq!(cm, ca + cb, "case {case}: histogram `{name}` count");
+            assert_eq!(sm, sa + sb, "case {case}: histogram `{name}` sum");
+        }
+    }
+}
+
+fn assert_monotone(earlier: &rvsmt::SatStats, later: &rvsmt::SatStats, what: &str) {
+    assert!(later.decisions >= earlier.decisions, "{what}: decisions");
+    assert!(
+        later.propagations >= earlier.propagations,
+        "{what}: propagations"
+    );
+    assert!(later.conflicts >= earlier.conflicts, "{what}: conflicts");
+    assert!(later.restarts >= earlier.restarts, "{what}: restarts");
+    assert!(
+        later.learnt_clauses >= earlier.learnt_clauses,
+        "{what}: learnt clauses"
+    );
+}
+
+/// Solver effort counters are lifetime totals: across successive
+/// `solve_assuming` calls on one incremental solver (the exact usage the
+/// batch-mode per-COP profile capture relies on) they never decrease, so
+/// `delta_since` is always well defined and non-negative.
+#[test]
+fn solver_counters_are_monotone_across_solves() {
+    let mut rng = SmallRng::seed_from_u64(0x501_7E5);
+    for case in 0..cases(32) {
+        // A random order-constraint formula gated by selector bools, the
+        // same shape the window encoder produces for batched COPs.
+        let mut fb = FormulaBuilder::new();
+        let ints: Vec<_> = (0..rng.gen_range(3..8usize))
+            .map(|_| fb.int_var())
+            .collect();
+        let selectors: Vec<_> = (0..rng.gen_range(2..6usize))
+            .map(|_| {
+                let s = fb.bool_var();
+                for _ in 0..rng.gen_range(1..4usize) {
+                    // Distinct int vars, so the atom cannot simplify away
+                    // and the selector is guaranteed to reach the CNF.
+                    let xi = rng.gen_range(0..ints.len());
+                    let yi = (xi + 1 + rng.gen_range(0..ints.len() - 1)) % ints.len();
+                    let c = fb.lt(ints[xi], ints[yi]);
+                    let gated = fb.implies(s, c);
+                    fb.assert_term(gated);
+                }
+                s
+            })
+            .collect();
+        let mut solver = Solver::new(&fb);
+        let mut prev = solver.stats().sat;
+        for round in 0..rng.gen_range(1..5usize) {
+            let assumption = selectors[rng.gen_range(0..selectors.len())];
+            solver.solve_assuming(&Budget::UNLIMITED, &[assumption]);
+            let now = solver.stats().sat;
+            assert_monotone(&prev, &now, &format!("case {case} round {round}"));
+            let delta = now.delta_since(&prev);
+            assert_eq!(delta.decisions, now.decisions - prev.decisions);
+            assert_eq!(delta.conflicts, now.conflicts - prev.conflicts);
+            prev = now;
+        }
+    }
+}
+
+fn detect(trace: &rvtrace::Trace, cfg: DetectorConfig) -> DetectionReport {
+    RaceDetector::with_config(cfg).detect(trace)
+}
+
+/// Per-COP retry accounting conserves the verdict partition: under a fault
+/// plan forcing timeouts, runs with and without `retry_split` solve the
+/// same COPs, `sat + unsat + undecided == cops_solved` holds in both, every
+/// rescue is a formerly-undecided COP, and nothing is double-counted —
+/// at one worker and at four.
+#[test]
+fn retry_split_conserves_per_cop_accounting() {
+    // The racy pair sits at the front so the half-window retry contains
+    // both events; same-thread filler pads the window.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    b.write(t1, x, 1);
+    b.read(t2, x, 1);
+    for i in 0..8 {
+        b.write(t1, y, i);
+    }
+    let trace = b.finish();
+
+    let plan = Some(Arc::new(FaultPlan::new().inject(0, 0, Fault::Timeout)));
+    for parallelism in [1usize, 4] {
+        let without = detect(
+            &trace,
+            DetectorConfig {
+                fault_plan: plan.clone(),
+                parallelism,
+                ..Default::default()
+            },
+        );
+        let with = detect(
+            &trace,
+            DetectorConfig {
+                fault_plan: plan.clone(),
+                retry_split: true,
+                parallelism,
+                ..Default::default()
+            },
+        );
+        for (tag, r) in [("without retry", &without), ("with retry", &with)] {
+            let s = &r.stats;
+            assert_eq!(
+                s.sat + s.unsat + s.undecided,
+                s.cops_solved,
+                "jobs={parallelism} {tag}: verdict partition broken"
+            );
+            assert!(
+                s.retry_rescued <= s.retried_cops,
+                "jobs={parallelism} {tag}: more rescues than retries"
+            );
+        }
+        // Same work either way: the retry re-solves, it does not add COPs.
+        assert_eq!(
+            without.stats.cops_solved, with.stats.cops_solved,
+            "jobs={parallelism}: retry changed the COP count"
+        );
+        // Every rescue is one COP moving out of Undecided, exactly once.
+        assert_eq!(
+            with.stats.retry_rescued,
+            without.stats.undecided - with.stats.undecided,
+            "jobs={parallelism}: rescues not conserved"
+        );
+        assert_eq!(without.stats.retried_cops, 0, "jobs={parallelism}");
+        assert_eq!(with.stats.retried_cops, 1, "jobs={parallelism}");
+        assert_eq!(with.stats.retry_rescued, 1, "jobs={parallelism}");
+        // The rescued verdict shows up in the metrics document too.
+        let doc = with.to_metrics().without_timings().to_json();
+        assert!(doc.contains("\"detector.retry_rescued\": 1"), "{doc}");
+        assert!(doc.contains("\"detector.retried_cops\": 1"), "{doc}");
+    }
+}
+
+/// The solver budget knob still bounds retries deterministically: with a
+/// conflict budget of 0 every real solve times out, and the report's
+/// verdict partition still holds (nothing lost, nothing double-counted).
+#[test]
+fn zero_conflict_budget_keeps_partition_intact() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    for i in 0..6 {
+        b.write(t1, x, i);
+        b.read(t2, x, i);
+    }
+    let trace = b.finish();
+    for retry in [false, true] {
+        let report = detect(
+            &trace,
+            DetectorConfig {
+                max_conflicts: Some(0),
+                retry_split: retry,
+                solver_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        let s = &report.stats;
+        assert_eq!(
+            s.sat + s.unsat + s.undecided,
+            s.cops_solved,
+            "retry={retry}"
+        );
+        assert!(s.retry_rescued <= s.retried_cops, "retry={retry}");
+    }
+}

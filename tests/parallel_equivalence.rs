@@ -154,6 +154,49 @@ fn cross_window_duplicate_signature_reported_exactly_once() {
     assert!(undeduped.n_races() > 1);
 }
 
+/// The timing-stripped metrics document — every counter and every
+/// histogram the report folds into [`rvpredict::Metrics`] — must render
+/// byte-identically at 1, 2, 4 and 8 workers. This is the `--metrics`
+/// determinism contract from DESIGN.md's Observability section, tested at
+/// the library layer (the CLI-level test lives in `tests/cli.rs`).
+#[test]
+fn metrics_json_is_byte_identical_across_thread_counts() {
+    for w in rvsim::workloads::small_suite() {
+        let wsize = (w.trace.len() / 4).max(8);
+        let docs: Vec<String> = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|parallelism| {
+                detect(&w.trace, parallelism, wsize)
+                    .to_metrics()
+                    .without_timings()
+                    .to_json()
+            })
+            .collect();
+        for (i, doc) in docs.iter().enumerate().skip(1) {
+            assert_eq!(
+                &docs[0],
+                doc,
+                "{}: metrics JSON differs between 1 worker and {} workers",
+                w.name,
+                [1, 2, 4, 8][i]
+            );
+        }
+        // The document carries real content, not an empty shell. The
+        // per-COP histograms only exist once at least one COP was solved.
+        assert!(docs[0].contains("\"detector.cops_solved\""), "{}", docs[0]);
+        assert!(docs[0].contains("\"solver.decisions\""), "{}", docs[0]);
+        if !docs[0].contains("\"detector.cops_solved\": 0,") {
+            assert!(
+                docs[0].contains("\"solver.conflicts_per_cop\""),
+                "{}",
+                docs[0]
+            );
+        }
+        // Timings were stripped: the section renders empty.
+        assert!(docs[0].contains("\"timings_us\": {}"), "{}", docs[0]);
+    }
+}
+
 /// Determinism must survive *faults*: with a plan injecting a worker
 /// panic, a forced timeout, and an encode error at fixed (window, COP)
 /// coordinates, the merged report — races, failed windows, undecided
@@ -189,7 +232,7 @@ fn fault_injected_workload_agrees_across_thread_counts() {
             .inject(4, 0, Fault::EncodeError)
             .inject(7, 1, Fault::Panic),
     );
-    let summaries: Vec<String> = [1usize, 2, 4, 8]
+    let summaries: Vec<(String, String)> = [1usize, 2, 4, 8]
         .into_iter()
         .map(|parallelism| {
             let cfg = DetectorConfig {
@@ -201,15 +244,24 @@ fn fault_injected_workload_agrees_across_thread_counts() {
             let report = RaceDetector::with_config(cfg).detect(&trace);
             assert_eq!(report.stats.failed_windows, 2, "jobs={parallelism}");
             assert!(report.is_degraded(), "jobs={parallelism}");
-            report.deterministic_summary()
+            let metrics = report.to_metrics().without_timings().to_json();
+            (report.deterministic_summary(), metrics)
         })
         .collect();
     for (i, s) in summaries.iter().enumerate().skip(1) {
         assert_eq!(
-            &summaries[0],
-            s,
+            &summaries[0].0,
+            &s.0,
             "fault-injected report differs between 1 worker and {} workers",
             [1, 2, 4, 8][i]
         );
+        assert_eq!(
+            &summaries[0].1,
+            &s.1,
+            "fault-injected metrics JSON differs between 1 worker and {} workers",
+            [1, 2, 4, 8][i]
+        );
     }
+    // The degraded run's metrics still record the failure breakdown.
+    assert!(summaries[0].1.contains("\"detector.failed_windows\": 2"));
 }
