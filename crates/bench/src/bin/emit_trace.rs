@@ -1,0 +1,118 @@
+//! Serializes a named workload trace to JSON or NDJSON, for feeding
+//! `rvpredict` (in particular its `--stream` mode and CI's stream-smoke
+//! step) without hand-writing trace files.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin emit_trace -- \
+//!     --workload figure1 [--format json|ndjson] [--out PATH]
+//! ```
+//!
+//! `--out -` (the default) writes to stdout, so the output can be piped
+//! straight into `rvpredict --stream -`.
+
+use std::process::ExitCode;
+
+use rvbench::stream::racy_stream_workload;
+use rvsim::workloads::{self, Workload};
+
+fn named_workload(name: &str) -> Option<Workload> {
+    Some(match name {
+        "figure1" => workloads::figures::figure1(),
+        "figure2_read" => workloads::figures::figure2_read(),
+        "array_index" => workloads::figures::array_index(),
+        "stream_small" => racy_stream_workload("stream_small", 4_000),
+        "stream_medium" => racy_stream_workload("stream_medium", 20_000),
+        "stream_large" => racy_stream_workload("stream_large", 100_000),
+        _ => return None,
+    })
+}
+
+const WORKLOAD_NAMES: [&str; 6] = [
+    "figure1",
+    "figure2_read",
+    "array_index",
+    "stream_small",
+    "stream_medium",
+    "stream_large",
+];
+
+fn main() -> ExitCode {
+    let mut workload: Option<String> = None;
+    let mut format = "json".to_string();
+    let mut out = "-".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--workload" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --workload needs a name");
+                    return ExitCode::from(2);
+                };
+                workload = Some(v.clone());
+                i += 2;
+            }
+            "--format" => {
+                match value(i).map(String::as_str) {
+                    Some(v @ ("json" | "ndjson")) => format = v.to_string(),
+                    _ => {
+                        eprintln!("error: --format must be json or ndjson");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path (or - for stdout)");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: emit_trace --workload NAME [--format json|ndjson] [--out PATH]");
+                eprintln!("workloads: {}", WORKLOAD_NAMES.join(", "));
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(name) = workload else {
+        eprintln!(
+            "error: --workload is required; one of: {}",
+            WORKLOAD_NAMES.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let Some(w) = named_workload(&name) else {
+        eprintln!(
+            "error: unknown workload `{name}`; one of: {}",
+            WORKLOAD_NAMES.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let serialized = match format.as_str() {
+        "ndjson" => rvtrace::to_ndjson(&w.trace),
+        _ => rvtrace::to_json(&w.trace),
+    };
+    if out == "-" {
+        print!("{serialized}");
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::write(&out, &serialized) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!(
+        "emit_trace: wrote {} ({} events, {})",
+        out,
+        w.trace.len(),
+        format
+    );
+    ExitCode::SUCCESS
+}

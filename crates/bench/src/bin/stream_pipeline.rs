@@ -1,0 +1,110 @@
+//! The `BENCH_pr4.json` generator: whole-file vs streaming-ingestion
+//! comparison over synthetic racy-head workloads.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin stream_pipeline -- [--out BENCH_pr4.json]
+//!     [--smoke] [--window N] [--budget SECS] [--jobs N]
+//! ```
+//!
+//! By default runs the full three-size set (largest ~100K events);
+//! `--smoke` restricts the run to the smallest workload (sub-second, for
+//! CI smoke checks) and relaxes the validator's strictly-ahead invariant,
+//! which is noise-level at that size. The emitted document conforms to
+//! [`rvbench::stream`]'s schema and is validated before it is written.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvbench::stream::{
+    full_stream_workloads, run_stream_pipeline, smoke_stream_workloads, validate_stream_bench_json,
+    StreamBenchOptions,
+};
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr4.json".to_string();
+    let mut smoke = false;
+    let mut opts = StreamBenchOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--window" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.window_size = v,
+                    _ => {
+                        eprintln!("error: --window needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--budget" => {
+                match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => opts.solver_timeout = Duration::from_secs(v),
+                    None => {
+                        eprintln!("error: --budget needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.jobs = v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: stream_pipeline [--out PATH] [--smoke] [--window N] \
+                     [--budget SECS] [--jobs N]"
+                );
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (workloads, mode) = if smoke {
+        (smoke_stream_workloads(), "smoke")
+    } else {
+        (full_stream_workloads(), "full")
+    };
+    eprintln!(
+        "stream_pipeline: {} workload(s), window={}, jobs={}, mode={}",
+        workloads.len(),
+        opts.window_size,
+        opts.jobs,
+        mode
+    );
+    let json = run_stream_pipeline(&workloads, &opts, mode);
+    if let Err(e) = validate_stream_bench_json(&json) {
+        eprintln!("error: generated document violates its own schema: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("stream_pipeline: wrote {out}");
+    ExitCode::SUCCESS
+}

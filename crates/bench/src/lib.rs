@@ -6,6 +6,11 @@
 //!   (trace metrics, QC, races per detector, times);
 //! * `cargo run -p rvbench --release --bin pipeline` — the end-to-end
 //!   pipeline benchmark (see [`pipeline`]), emitting `BENCH_pr3.json`;
+//! * `cargo run -p rvbench --release --bin stream_pipeline` — the
+//!   whole-file vs streaming-ingestion comparison (see [`stream`]),
+//!   emitting `BENCH_pr4.json`;
+//! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
+//!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
 //!   solver, the four detectors, the windowing sweep, the design-choice
 //!   ablations and the parallel-driver scaling curve.
@@ -14,6 +19,7 @@
 
 pub mod micro;
 pub mod pipeline;
+pub mod stream;
 
 use std::collections::BTreeSet;
 use std::time::Duration;

@@ -50,12 +50,16 @@
 //! [`DetectionStats`]: crate::report::DetectionStats
 
 use std::collections::{BTreeMap, HashSet};
+use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use rvsmt::{Budget, SmtResult, Solver, StopReason};
-use rvtrace::{Cop, RaceSignature, Schedule, Trace, View, ViewExt};
+use rvtrace::{
+    validate_wait_links, Cop, IngestStats, JsonError, RaceSignature, Schedule, StreamParser, Trace,
+    View, ViewExt, WindowBoundary,
+};
 
 use crate::config::{DetectorConfig, Fault};
 use crate::cop::enumerate_cops;
@@ -154,6 +158,51 @@ fn undecided_of_stop(reason: StopReason) -> UndecidedReason {
 /// Signatures confirmed by the merge loop, readable by in-flight workers.
 type Published = RwLock<HashSet<RaceSignature>>;
 
+/// One window of streamed detection work: the window's range, the boundary
+/// state (lock/value carry) at its start, and an [`Arc`] snapshot of a
+/// trace *prefix* that covers it. A window's view — and therefore its SMT
+/// encoding and verdicts — is a pure function of the window's own events
+/// plus the boundary, so solving against any prefix that reaches the
+/// window's end is byte-identical to solving against the full trace.
+struct StreamJob {
+    index: usize,
+    range: std::ops::Range<usize>,
+    boundary: WindowBoundary,
+    trace: Arc<Trace>,
+}
+
+/// The result of [`RaceDetector::detect_stream`]: the fully ingested
+/// trace, the detection report, and the ingestion counters.
+#[derive(Debug)]
+pub struct StreamDetection {
+    /// The complete trace, as reconstructed from the stream.
+    pub trace: Trace,
+    /// The detection report — byte-identical (summary and count-type
+    /// metrics) to `detect` on the same trace, at every worker count.
+    pub report: DetectionReport,
+    /// Bytes, events and parse time of the ingestion.
+    pub ingest: IngestStats,
+}
+
+/// Bytes read from the input per pump round.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// Converts an I/O failure into the ingestion error type.
+fn io_error(bytes_fed: usize, e: std::io::Error) -> JsonError {
+    JsonError {
+        message: format!("read error: {e}"),
+        offset: bytes_fed,
+        snippet: String::new(),
+    }
+}
+
+/// Records the time of the first merged race, once.
+fn note_first_race(report: &mut DetectionReport, start: Instant) {
+    if report.stats.time_to_first_race.is_none() && !report.races.is_empty() {
+        report.stats.time_to_first_race = Some(start.elapsed());
+    }
+}
+
 /// The maximal sound predictive race detector.
 ///
 /// # Examples
@@ -209,21 +258,26 @@ impl RaceDetector {
         let mut report = DetectionReport::default();
         let mut confirmed: HashSet<RaceSignature> = HashSet::new();
         let workers = self.config.parallelism.max(1);
+        // Eager windowing: every view is materialized up front, so the
+        // whole run's window state is resident at once (cf. the bounded
+        // `detect_pipelined`/`detect_stream` drivers).
+        let views: Vec<View<'_>> = trace.windows(self.config.window_size);
+        report.stats.peak_window_residency = views.len();
         if workers == 1 {
             // Inline solve-then-merge per window. The published set is
             // always fully caught up here, so the early-skip rules fire
             // exactly as in the historical serial driver.
             let published: Published = RwLock::new(HashSet::new());
-            for (index, view) in trace.windows(self.config.window_size).iter().enumerate() {
+            for (index, view) in views.iter().enumerate() {
                 let outcome = self.solve_window_isolated(index, view, Some(&published));
                 self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
+                note_first_race(&mut report, start);
             }
         } else {
             // The window carry (lock/value state at each window boundary)
             // forces view *construction* to stay sequential; only solving
             // fans out.
-            let views: Vec<View<'_>> = trace.windows(self.config.window_size);
-            self.detect_parallel(&views, workers, &mut report, &mut confirmed);
+            self.detect_parallel(&views, workers, &mut report, &mut confirmed, start);
         }
         report.stats.wall_time = start.elapsed();
         report
@@ -241,6 +295,262 @@ impl RaceDetector {
         report
     }
 
+    /// Like [`RaceDetector::detect`], but windows are built lazily from a
+    /// [`WindowStream`] and handed to the workers through a bounded queue,
+    /// so at most `parallelism + queue` window views are resident at once
+    /// instead of all of them. Output is byte-identical to `detect` —
+    /// summary and count-type metrics — at every worker count; only the
+    /// `peak_window_residency` gauge and the wall-clock timings differ.
+    pub fn detect_pipelined(&self, trace: &Trace) -> DetectionReport {
+        let start = Instant::now();
+        let mut report = DetectionReport::default();
+        let mut confirmed: HashSet<RaceSignature> = HashSet::new();
+        let workers = self.config.parallelism.max(1);
+        let size = self.config.window_size;
+        let published: Published = RwLock::new(HashSet::new());
+        if workers == 1 {
+            // One view alive at a time: build, solve, merge, drop.
+            let mut peak = 0usize;
+            for (index, view) in trace.window_stream(size).enumerate() {
+                peak = 1;
+                let outcome = self.solve_window_isolated(index, &view, Some(&published));
+                drop(view);
+                self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
+                note_first_race(&mut report, start);
+            }
+            report.stats.peak_window_residency = peak;
+        } else {
+            let residency = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            // The bounded queue is the backpressure: when every worker is
+            // busy and the queue is full, the producer blocks instead of
+            // materializing further views.
+            let (job_tx, job_rx) = mpsc::sync_channel::<(usize, View<'_>)>(workers + 2);
+            let job_rx = Mutex::new(job_rx);
+            let (out_tx, out_rx) = mpsc::channel::<WindowOutcome>();
+            std::thread::scope(|scope| {
+                let published = &published;
+                let residency = &residency;
+                let peak = &peak;
+                let job_rx = &job_rx;
+                for _ in 0..workers {
+                    let out_tx = out_tx.clone();
+                    scope.spawn(move || loop {
+                        let job = job_rx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .recv();
+                        let Ok((index, view)) = job else { break };
+                        let outcome = self.solve_window_isolated(index, &view, Some(published));
+                        drop(view);
+                        residency.fetch_sub(1, Ordering::Relaxed);
+                        if out_tx.send(outcome).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(out_tx);
+                // The producer gets its own thread so this one can merge
+                // outcomes (and publish confirmed signatures) while views
+                // are still being constructed.
+                scope.spawn(move || {
+                    for (index, view) in trace.window_stream(size).enumerate() {
+                        let live = residency.fetch_add(1, Ordering::Relaxed) + 1;
+                        peak.fetch_max(live, Ordering::Relaxed);
+                        if job_tx.send((index, view)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                let mut pending: BTreeMap<usize, WindowOutcome> = BTreeMap::new();
+                let mut cursor = 0usize;
+                for outcome in out_rx {
+                    pending.insert(outcome.window_index(), outcome);
+                    while let Some(outcome) = pending.remove(&cursor) {
+                        self.merge_outcome(outcome, &mut report, &mut confirmed, Some(published));
+                        note_first_race(&mut report, start);
+                        cursor += 1;
+                    }
+                }
+                debug_assert!(pending.is_empty(), "every window outcome merged");
+            });
+            report.stats.peak_window_residency = peak.load(Ordering::Relaxed);
+        }
+        report.stats.wall_time = start.elapsed();
+        report
+    }
+
+    /// Streaming detection: ingests the trace from `reader` (format
+    /// auto-detected, see [`StreamParser`]) and solves windows while the
+    /// tail of the input is still being read. A window is dispatched as
+    /// soon as its events *and* the trace metadata have arrived — with the
+    /// NDJSON layout (metadata header first) solving overlaps ingestion
+    /// from the first complete window; with the whole-document layout
+    /// (metadata after the events) dispatch starts when the metadata
+    /// completes near the end of the document.
+    ///
+    /// Workers solve against [`Arc`] snapshots of the trace *prefix*
+    /// ingested so far; a window's verdicts are a pure function of its
+    /// events and its boundary state, so the merged report is
+    /// byte-identical to [`RaceDetector::detect`] on the whole file, at
+    /// every worker count. Window-state residency is bounded by the worker
+    /// pool plus the dispatch queue (the `stream.peak_window_residency`
+    /// gauge), and the first race can be reported while ingestion is still
+    /// running (`detector.time_to_first_race`).
+    ///
+    /// The input is validated exactly like the whole-file strict path:
+    /// syntax and shape errors surface with the same message and byte
+    /// offset, and wait-link validation runs once ingestion completes
+    /// (speculatively solved windows are discarded on failure).
+    pub fn detect_stream<R: Read>(&self, mut reader: R) -> Result<StreamDetection, JsonError> {
+        let start = Instant::now();
+        let workers = self.config.parallelism.max(1);
+        let size = self.config.window_size.max(1);
+        let published: Published = RwLock::new(HashSet::new());
+        let residency = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let (job_tx, job_rx) = mpsc::sync_channel::<StreamJob>(workers + 2);
+        let job_rx = Mutex::new(job_rx);
+        let (out_tx, out_rx) = mpsc::channel::<WindowOutcome>();
+        std::thread::scope(|scope| {
+            let published = &published;
+            let residency = &residency;
+            let peak = &peak;
+            let job_rx = &job_rx;
+            for _ in 0..workers {
+                let out_tx = out_tx.clone();
+                scope.spawn(move || loop {
+                    let job = job_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv();
+                    let Ok(job) = job else { break };
+                    let view = job.boundary.view(&job.trace, job.range.clone());
+                    let outcome = self.solve_window_isolated(job.index, &view, Some(published));
+                    drop(view);
+                    drop(job);
+                    residency.fetch_sub(1, Ordering::Relaxed);
+                    if out_tx.send(outcome).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(out_tx);
+            let merger = scope.spawn(move || {
+                let mut report = DetectionReport::default();
+                let mut confirmed: HashSet<RaceSignature> = HashSet::new();
+                let mut pending: BTreeMap<usize, WindowOutcome> = BTreeMap::new();
+                let mut cursor = 0usize;
+                for outcome in out_rx {
+                    pending.insert(outcome.window_index(), outcome);
+                    while let Some(outcome) = pending.remove(&cursor) {
+                        self.merge_outcome(outcome, &mut report, &mut confirmed, Some(published));
+                        note_first_race(&mut report, start);
+                        cursor += 1;
+                    }
+                }
+                debug_assert!(pending.is_empty(), "every window outcome merged");
+                report
+            });
+            // Ingest + dispatch on this thread. The immediately-invoked
+            // closure lets `?` short-circuit on a parse error while the
+            // cleanup below still runs: dropping `job_tx` closes the job
+            // queue, the workers drain and exit, the merger finishes.
+            let dispatch = |job: StreamJob| {
+                let live = residency.fetch_add(1, Ordering::Relaxed) + 1;
+                peak.fetch_max(live, Ordering::Relaxed);
+                // Send fails only if every worker died; the report will
+                // show the windows that never merged as missing — but
+                // worker panics are caught per window, so in practice the
+                // queue outlives ingestion.
+                let _ = job_tx.send(job);
+            };
+            let io_result = (|| -> Result<(Arc<Trace>, IngestStats, Duration), JsonError> {
+                let mut parser = StreamParser::new();
+                let mut chunk = vec![0u8; STREAM_CHUNK];
+                let mut boundary: Option<WindowBoundary> = None;
+                let mut next_start = 0usize;
+                let mut next_index = 0usize;
+                let mut first_dispatch: Option<Duration> = None;
+                loop {
+                    let n = reader
+                        .read(&mut chunk)
+                        .map_err(|e| io_error(parser.bytes_fed(), e))?;
+                    if n == 0 {
+                        break;
+                    }
+                    parser.feed(&chunk[..n])?;
+                    // Dispatch every newly completed window. Gated on the
+                    // metadata: boundary state needs the initial values,
+                    // and a snapshot without the full metadata would not
+                    // be prefix-equivalent to the final trace.
+                    if !parser.metadata_complete() || parser.events().len() < next_start + size {
+                        continue;
+                    }
+                    let snapshot = Arc::new(Trace::from_data(parser.data().clone()));
+                    let boundary = boundary.get_or_insert_with(|| {
+                        WindowBoundary::from_initial_values(&snapshot.data().initial_values)
+                    });
+                    while next_start + size <= snapshot.len() {
+                        let range = next_start..next_start + size;
+                        first_dispatch.get_or_insert_with(|| start.elapsed());
+                        dispatch(StreamJob {
+                            index: next_index,
+                            range: range.clone(),
+                            boundary: boundary.clone(),
+                            trace: snapshot.clone(),
+                        });
+                        boundary.advance(snapshot.events(), range);
+                        next_start += size;
+                        next_index += 1;
+                    }
+                }
+                parser.finish()?;
+                // Strict-path parity: the whole-file reader validates
+                // wait links after parsing; so does the stream. On
+                // failure every speculative verdict is discarded.
+                validate_wait_links(parser.data())?;
+                let ingest = parser.stats();
+                let ingest_done = start.elapsed();
+                let trace = Arc::new(Trace::from_data(parser.into_data()));
+                let boundary = boundary.get_or_insert_with(|| {
+                    WindowBoundary::from_initial_values(&trace.data().initial_values)
+                });
+                while next_start < trace.len() {
+                    let end = (next_start + size).min(trace.len());
+                    let range = next_start..end;
+                    dispatch(StreamJob {
+                        index: next_index,
+                        range: range.clone(),
+                        boundary: boundary.clone(),
+                        trace: trace.clone(),
+                    });
+                    boundary.advance(trace.events(), range);
+                    next_start = end;
+                    next_index += 1;
+                }
+                let overlap = first_dispatch
+                    .map(|t| ingest_done.saturating_sub(t))
+                    .unwrap_or(Duration::ZERO);
+                Ok((trace, ingest, overlap))
+            })();
+            drop(job_tx);
+            let mut report = merger.join().expect("merge thread panicked");
+            let (trace, ingest, overlap) = io_result?;
+            report.stats.peak_window_residency = peak.load(Ordering::Relaxed);
+            report.stats.ingest_overlap = Some(overlap);
+            report.stats.wall_time = start.elapsed();
+            // Every worker has exited (the merger saw the channel close),
+            // so the final Arc is the last one standing.
+            let trace = Arc::try_unwrap(trace).unwrap_or_else(|a| (*a).clone());
+            Ok(StreamDetection {
+                trace,
+                report,
+                ingest,
+            })
+        })
+    }
+
     /// Fans `views` out to a bounded scoped pool; merges in window order as
     /// outcomes stream back.
     fn detect_parallel(
@@ -249,6 +559,7 @@ impl RaceDetector {
         workers: usize,
         report: &mut DetectionReport,
         confirmed: &mut HashSet<RaceSignature>,
+        start: Instant,
     ) {
         let published: Published = RwLock::new(HashSet::new());
         let next_window = AtomicUsize::new(0);
@@ -276,6 +587,7 @@ impl RaceDetector {
                 pending.insert(outcome.window_index(), outcome);
                 while let Some(outcome) = pending.remove(&cursor) {
                     self.merge_outcome(outcome, report, confirmed, Some(published));
+                    note_first_race(report, start);
                     cursor += 1;
                 }
             }
@@ -1061,5 +1373,130 @@ mod tests {
         for s in &summaries[1..] {
             assert_eq!(&summaries[0], s);
         }
+    }
+
+    /// A multi-window trace with a racy pair in (at least) the first and
+    /// last windows under `window_size`.
+    fn multi_window_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        for i in 0..16 {
+            b.write(t1, x, i);
+            b.read(t2, x, i);
+            b.write(t2, y, i);
+            b.read(t1, y, i);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn pipelined_matches_eager_at_every_worker_count() {
+        let trace = multi_window_trace();
+        let eager = RaceDetector::with_config(DetectorConfig {
+            window_size: 8,
+            parallelism: 1,
+            ..Default::default()
+        })
+        .detect(&trace);
+        assert!(eager.n_races() >= 1, "sanity: the workload races");
+        assert_eq!(eager.stats.peak_window_residency, eager.stats.windows);
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = DetectorConfig {
+                window_size: 8,
+                parallelism: workers,
+                ..Default::default()
+            };
+            let piped = RaceDetector::with_config(cfg).detect_pipelined(&trace);
+            assert_eq!(
+                piped.deterministic_summary(),
+                eager.deterministic_summary(),
+                "workers={workers}"
+            );
+            assert!(
+                piped.stats.peak_window_residency <= workers + (workers + 2) + 1,
+                "workers={workers} peak={}",
+                piped.stats.peak_window_residency
+            );
+            assert!(piped.stats.time_to_first_race.is_some());
+        }
+    }
+
+    #[test]
+    fn stream_detection_matches_whole_file_for_both_formats() {
+        let trace = multi_window_trace();
+        let cfg = || DetectorConfig {
+            window_size: 8,
+            parallelism: 2,
+            ..Default::default()
+        };
+        let eager = RaceDetector::with_config(cfg()).detect(&trace);
+        for input in [rvtrace::to_json(&trace), rvtrace::to_ndjson(&trace)] {
+            let streamed = RaceDetector::with_config(cfg())
+                .detect_stream(input.as_bytes())
+                .unwrap();
+            assert_eq!(
+                streamed.report.deterministic_summary(),
+                eager.deterministic_summary()
+            );
+            assert_eq!(streamed.trace.events(), trace.events());
+            assert_eq!(streamed.ingest.bytes, input.len());
+            assert_eq!(streamed.ingest.events, trace.len());
+            assert!(streamed.report.stats.ingest_overlap.is_some());
+        }
+    }
+
+    #[test]
+    fn stream_detection_handles_empty_and_partial_windows() {
+        // Shorter than one window, and an exact multiple of the window
+        // size: the streamed window count must match the eager one.
+        let trace = multi_window_trace(); // 65 events with the fork
+        for window_size in [usize::MAX, 65, 13] {
+            let cfg = || DetectorConfig {
+                window_size,
+                parallelism: 2,
+                ..Default::default()
+            };
+            let eager = RaceDetector::with_config(cfg()).detect(&trace);
+            let streamed = RaceDetector::with_config(cfg())
+                .detect_stream(rvtrace::to_ndjson(&trace).as_bytes())
+                .unwrap();
+            assert_eq!(
+                streamed.report.deterministic_summary(),
+                eager.deterministic_summary(),
+                "window_size={window_size}"
+            );
+        }
+        // Zero events, valid document.
+        let empty = "{\"events\":[],\"initial_values\":{},\"volatiles\":[],\
+                     \"wait_links\":[],\"loc_names\":{},\"var_names\":{}}";
+        let streamed = RaceDetector::new().detect_stream(empty.as_bytes()).unwrap();
+        assert_eq!(streamed.report.stats.windows, 0);
+        assert_eq!(streamed.report.n_races(), 0);
+        assert!(streamed.trace.is_empty());
+    }
+
+    #[test]
+    fn stream_detection_propagates_parse_and_validation_errors() {
+        let trace = multi_window_trace();
+        let json = rvtrace::to_json(&trace);
+        let cut = &json[..json.len() / 2];
+        let whole = rvtrace::from_json(cut).unwrap_err();
+        let streamed = RaceDetector::new()
+            .detect_stream(cut.as_bytes())
+            .unwrap_err();
+        assert_eq!(streamed.message, whole.message);
+        assert_eq!(streamed.offset, whole.offset);
+
+        let bad_links = "{\"events\":[{\"thread\":0,\"kind\":\"Branch\",\"loc\":0}],\
+             \"initial_values\":{},\"volatiles\":[],\
+             \"wait_links\":[{\"release\":0,\"acquire\":99,\"notify\":null}],\
+             \"loc_names\":{},\"var_names\":{}}";
+        let err = RaceDetector::new()
+            .detect_stream(bad_links.as_bytes())
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

@@ -56,7 +56,7 @@ pub use atomicity::{
 };
 pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
-pub use detector::RaceDetector;
+pub use detector::{RaceDetector, StreamDetection};
 pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
 pub use metrics::{Histogram, Metrics, PhaseTimer, METRICS_SCHEMA_VERSION};
 pub use oracle::oracle_races;

@@ -4,14 +4,16 @@
 //! The evaluation of the paper (§5, Table 1) is a measurement exercise —
 //! races found, windows solved, per-COP solver effort — so the detector
 //! keeps a machine-readable [`Metrics`] registry instead of throwing its
-//! internal tallies away. Three metric families:
+//! internal tallies away. Four metric families:
 //!
 //! * **counters** — monotone `u64` sums (verdict counts, solver decisions,
 //!   salvage drops);
 //! * **histograms** — fixed log₂-bucket distributions ([`Histogram`]):
 //!   bucket 0 holds the value `0`, bucket `i ≥ 1` holds values in
 //!   `[2^(i-1), 2^i)`, and the last bucket tops out at `u64::MAX`;
-//! * **timings** — summed [`Duration`]s (wall clock, per-phase, per-window).
+//! * **timings** — summed [`Duration`]s (wall clock, per-phase, per-window);
+//! * **gauges** — high-water marks merged by maximum (peak window
+//!   residency, queue depths).
 //!
 //! # Determinism contract
 //!
@@ -19,9 +21,11 @@
 //! that merge the same window outcomes produce byte-identical values for
 //! them, whatever `DetectorConfig::parallelism` is — the parallel driver
 //! tallies solver effort per surviving COP record at merge time, in window
-//! order (see `RaceDetector`). Timings are wall-clock measurements and are
-//! explicitly **not** comparable across thread counts; they live in their
-//! own JSON section (`timings_us`) so consumers can mask them.
+//! order (see `RaceDetector`). Timings are wall-clock measurements and
+//! gauges are run-shape measurements (peak residency depends on worker
+//! count and scheduling); neither is comparable across thread counts, so
+//! each lives in its own JSON section (`timings_us`, `gauges`) and both
+//! are stripped by [`Metrics::without_timings`].
 //!
 //! [`Metrics::merge`] is associative and commutative for counters and
 //! histograms (element-wise saturating sums), so sharded runs can fold
@@ -33,7 +37,7 @@ use std::time::{Duration, Instant};
 
 /// Version of the JSON document emitted by [`Metrics::to_json`]. Bumped on
 /// any incompatible change to the schema (section names, histogram shape).
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// A fixed-shape log₂ histogram over `u64` values.
 ///
@@ -172,7 +176,7 @@ impl Histogram {
 /// m.inc("detector.races", 2);
 /// m.observe("solver.conflicts_per_cop", 17);
 /// let json = m.to_json();
-/// assert!(json.contains("\"schema_version\": 1"));
+/// assert!(json.contains("\"schema_version\": 2"));
 /// assert!(json.contains("\"detector.races\": 2"));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -180,6 +184,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     timings: BTreeMap<String, Duration>,
+    gauges: BTreeMap<String, u64>,
 }
 
 impl Metrics {
@@ -230,6 +235,19 @@ impl Metrics {
         self.timings.get(name).copied().unwrap_or(Duration::ZERO)
     }
 
+    /// Raises the gauge `name` to at least `value` (creating it). Gauges
+    /// are high-water marks: recording never lowers one, and merging two
+    /// registries keeps the larger value.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// The gauge's value (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
@@ -249,16 +267,22 @@ impl Metrics {
         for (name, &d) in &other.timings {
             self.record_time(name, d);
         }
+        for (name, &v) in &other.gauges {
+            self.gauge_max(name, v);
+        }
     }
 
-    /// A copy with the timing section dropped — exactly the deterministic
-    /// (count-type) slice of the registry, comparable byte-for-byte across
-    /// thread counts after [`Metrics::to_json`].
+    /// A copy with the timing and gauge sections dropped — exactly the
+    /// deterministic (count-type) slice of the registry, comparable
+    /// byte-for-byte across thread counts after [`Metrics::to_json`].
+    /// (Gauges go with the timings: a peak-residency high-water mark
+    /// depends on worker count and scheduling just like wall clock does.)
     pub fn without_timings(&self) -> Metrics {
         Metrics {
             counters: self.counters.clone(),
             histograms: self.histograms.clone(),
             timings: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 
@@ -270,13 +294,14 @@ impl Metrics {
     ///
     /// ```json
     /// {
-    ///   "schema_version": 1,
+    ///   "schema_version": 2,
     ///   "counters": { "detector.races": 1 },
     ///   "histograms": {
     ///     "solver.conflicts_per_cop":
     ///       {"count": 2, "sum": 5, "max": 4, "buckets": {"1": 1, "3": 1}}
     ///   },
-    ///   "timings_us": { "detector.wall_time": 1234 }
+    ///   "timings_us": { "detector.wall_time": 1234 },
+    ///   "gauges": { "stream.peak_window_residency": 6 }
     /// }
     /// ```
     ///
@@ -338,6 +363,20 @@ impl Metrics {
             let _ = write!(out, " {us}");
         }
         out.push_str(if self.timings.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_json_key(&mut out, name);
+            let _ = write!(out, " {v}");
+        }
+        out.push_str(if self.gauges.is_empty() {
             "}\n"
         } else {
             "\n  }\n"
@@ -499,16 +538,35 @@ mod tests {
     }
 
     #[test]
-    fn without_timings_drops_only_timings() {
+    fn gauges_keep_the_high_water_mark() {
+        let mut a = Metrics::new();
+        a.gauge_max("g", 5);
+        a.gauge_max("g", 3);
+        assert_eq!(a.gauge("g"), 5, "recording never lowers a gauge");
+        assert_eq!(a.gauge("absent"), 0);
+        let mut b = Metrics::new();
+        b.gauge_max("g", 9);
+        b.gauge_max("other", 1);
+        a.merge(&b);
+        assert_eq!(a.gauge("g"), 9, "merge takes the max");
+        assert_eq!(a.gauge("other"), 1);
+        assert!(a.to_json().contains("\"gauges\": {\n    \"g\": 9"));
+    }
+
+    #[test]
+    fn without_timings_drops_timings_and_gauges() {
         let mut m = Metrics::new();
         m.inc("c", 1);
         m.observe("h", 2);
         m.record_time("t", Duration::from_secs(1));
+        m.gauge_max("g", 4);
         let d = m.without_timings();
         assert_eq!(d.counter("c"), 1);
         assert!(d.histogram("h").is_some());
         assert_eq!(d.timing("t"), Duration::ZERO);
+        assert_eq!(d.gauge("g"), 0);
         assert!(!d.to_json().contains("\"t\": "));
+        assert!(!d.to_json().contains("\"g\": "));
     }
 
     #[test]
@@ -519,7 +577,7 @@ mod tests {
         m.observe("h", 5);
         m.record_time("t", Duration::from_micros(7));
         let json = m.to_json();
-        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
         assert!(json.contains("\"a\": 1"), "{json}");
         assert!(
             json.find("\"a\": 1").unwrap() < json.find("\"b\": 2").unwrap(),
@@ -536,6 +594,7 @@ mod tests {
         assert!(json.contains("\"counters\": {}"), "{json}");
         assert!(json.contains("\"histograms\": {}"), "{json}");
         assert!(json.contains("\"timings_us\": {}"), "{json}");
+        assert!(json.contains("\"gauges\": {}"), "{json}");
     }
 
     #[test]

@@ -212,6 +212,21 @@ pub struct DetectionStats {
     /// Per-window worker time (enumerate + encode + solve), indexed by
     /// window.
     pub window_times: Vec<Duration>,
+    /// High-water mark of window [`View`](rvtrace::View)s alive at once.
+    /// The eager driver materializes every window up front, so this equals
+    /// [`DetectionStats::windows`]; the pipelined/streaming drivers bound
+    /// it by the worker count plus the dispatch queue. Gauge-type: depends
+    /// on worker count and scheduling, excluded from the deterministic
+    /// summary.
+    pub peak_window_residency: usize,
+    /// Wall-clock time from the start of detection (for the streaming
+    /// driver: from the first byte read) until the first race was merged
+    /// into the report. `None` when no race was found. Timing-type.
+    pub time_to_first_race: Option<Duration>,
+    /// Wall-clock span during which window solving overlapped trace
+    /// ingestion (streaming driver only; `None` for in-memory runs).
+    /// Timing-type.
+    pub ingest_overlap: Option<Duration>,
 }
 
 impl DetectionStats {
@@ -241,6 +256,17 @@ impl DetectionStats {
         self.solver_time += other.solver_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.window_times.extend_from_slice(&other.window_times);
+        self.peak_window_residency = self.peak_window_residency.max(other.peak_window_residency);
+        // Concurrent-runs convention, like wall_time: the merged "first
+        // race" is the earliest either run saw one.
+        self.time_to_first_race = match (self.time_to_first_race, other.time_to_first_race) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.ingest_overlap = match (self.ingest_overlap, other.ingest_overlap) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Records one undecided COP verdict.
@@ -293,9 +319,12 @@ impl DetectionReport {
     /// Counters (`detector.*`, `solver.*`) and histograms
     /// (`solver.*_per_cop`) are count-type and byte-identical across
     /// thread counts; timings (`detector.wall_time`, `detector.solver_time`
-    /// — the wall vs. summed-solver split — and `detector.window.NNNNNN`
-    /// per window) are wall-clock measurements and are not. Strip the
-    /// latter with [`Metrics::without_timings`] before comparing runs.
+    /// — the wall vs. summed-solver split — `detector.window.NNNNNN` per
+    /// window, `detector.time_to_first_race` and `stream.ingest_overlap`
+    /// when measured) are wall-clock measurements and are not, and the
+    /// `stream.peak_window_residency` gauge depends on the worker count.
+    /// Strip all of those with [`Metrics::without_timings`] before
+    /// comparing runs.
     pub fn to_metrics(&self) -> Metrics {
         let s = &self.stats;
         let mut m = Metrics::new();
@@ -329,6 +358,18 @@ impl DetectionReport {
         m.record_time("detector.solver_time", s.solver_time);
         for (i, &t) in s.window_times.iter().enumerate() {
             m.record_time(&format!("detector.window.{i:06}"), t);
+        }
+        if s.peak_window_residency > 0 {
+            m.gauge_max(
+                "stream.peak_window_residency",
+                s.peak_window_residency as u64,
+            );
+        }
+        if let Some(t) = s.time_to_first_race {
+            m.record_time("detector.time_to_first_race", t);
+        }
+        if let Some(t) = s.ingest_overlap {
+            m.record_time("stream.ingest_overlap", t);
         }
         m
     }

@@ -45,17 +45,22 @@ pub struct JsonError {
     pub snippet: String,
 }
 
+/// How many bytes of context an error snippet shows on either side of the
+/// failing offset. The streaming parser retains this much consumed input
+/// so its snippets match the whole-file parser's byte for byte.
+pub(crate) const SNIPPET_CONTEXT: usize = 15;
+
 impl JsonError {
     /// Attaches an input excerpt around the error's byte offset, so the
     /// message pinpoints the problem without the caller re-reading the file.
     fn with_snippet(mut self, input: &str) -> JsonError {
         if self.snippet.is_empty() && !input.is_empty() {
             let at = self.offset.min(input.len());
-            let mut start = at.saturating_sub(15);
+            let mut start = at.saturating_sub(SNIPPET_CONTEXT);
             while !input.is_char_boundary(start) {
                 start -= 1;
             }
-            let mut end = (at + 15).min(input.len());
+            let mut end = (at + SNIPPET_CONTEXT).min(input.len());
             while !input.is_char_boundary(end) {
                 end += 1;
             }
@@ -77,7 +82,7 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-fn shape(message: impl Into<String>) -> JsonError {
+pub(crate) fn shape(message: impl Into<String>) -> JsonError {
     JsonError {
         message: message.into(),
         offset: 0,
@@ -420,6 +425,18 @@ pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
     parse(input)
 }
 
+/// Parses one framed JSON value that begins at absolute byte offset
+/// `abs_base` of a larger input. Error snippets come from the span itself
+/// (the incremental parser no longer holds earlier bytes); offsets are
+/// rebased so they point into the whole input, matching what the
+/// whole-file parser would report.
+pub(crate) fn parse_span(span: &str, abs_base: usize) -> Result<JsonValue, JsonError> {
+    parse(span).map_err(|mut e| {
+        e.offset += abs_base;
+        e
+    })
+}
+
 // ---------------------------------------------------------------- writer
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -483,20 +500,19 @@ fn write_name_map<K: Copy>(out: &mut String, map: &BTreeMap<K, String>, key: imp
     out.push('}');
 }
 
-/// Serializes a trace to its JSON wire format.
-pub fn to_json(trace: &Trace) -> String {
-    let data = trace.data();
-    let mut out = String::with_capacity(data.events.len() * 48 + 256);
-    out.push_str("{\"events\":[");
-    for (i, e) in data.events.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("{{\"thread\":{},\"kind\":", e.thread.0));
-        write_kind(&mut out, &e.kind);
-        out.push_str(&format!(",\"loc\":{}}}", e.loc.0));
-    }
-    out.push_str("],\"initial_values\":{");
+/// Writes one event as its wire object: `{"thread":N,"kind":K,"loc":N}`.
+/// Shared by the whole-document writer and the NDJSON writer so both
+/// formats stay byte-compatible per event.
+fn write_event(out: &mut String, e: &Event) {
+    out.push_str(&format!("{{\"thread\":{},\"kind\":", e.thread.0));
+    write_kind(out, &e.kind);
+    out.push_str(&format!(",\"loc\":{}}}", e.loc.0));
+}
+
+/// Writes the five metadata fields (`initial_values` … `var_names`) as a
+/// comma-separated run of `"key":value` pairs, no surrounding braces.
+fn write_metadata_fields(out: &mut String, data: &TraceData) {
+    out.push_str("\"initial_values\":{");
     for (i, (var, value)) in data.initial_values.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -526,10 +542,47 @@ pub fn to_json(trace: &Trace) -> String {
         out.push('}');
     }
     out.push_str("],\"loc_names\":");
-    write_name_map(&mut out, &data.loc_names, |l: Loc| l.0);
+    write_name_map(out, &data.loc_names, |l: Loc| l.0);
     out.push_str(",\"var_names\":");
-    write_name_map(&mut out, &data.var_names, |v: VarId| v.0);
+    write_name_map(out, &data.var_names, |v: VarId| v.0);
+}
+
+/// Serializes a trace to its JSON wire format.
+pub fn to_json(trace: &Trace) -> String {
+    let data = trace.data();
+    let mut out = String::with_capacity(data.events.len() * 48 + 256);
+    out.push_str("{\"events\":[");
+    for (i, e) in data.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, e);
+    }
+    out.push_str("],");
+    write_metadata_fields(&mut out, data);
     out.push('}');
+    out
+}
+
+/// Serializes a trace to the NDJSON wire format: a header line carrying
+/// the metadata (initial values, volatiles, wait links, names), then one
+/// event object per line. The header's wait links may reference events on
+/// later lines; a streaming reader applies them after the full read.
+///
+/// Designed for streaming ingestion ([`crate::StreamParser`]): a reader
+/// knows all metadata after line one, so window construction can start
+/// while events are still arriving — unlike the whole-document format,
+/// whose metadata trails the event array.
+pub fn to_ndjson(trace: &Trace) -> String {
+    let data = trace.data();
+    let mut out = String::with_capacity(data.events.len() * 48 + 256);
+    out.push('{');
+    write_metadata_fields(&mut out, data);
+    out.push_str("}\n");
+    for e in &data.events {
+        write_event(&mut out, e);
+        out.push('\n');
+    }
     out
 }
 
@@ -581,6 +634,104 @@ fn read_key_u32(key: &str) -> Result<u32, JsonError> {
         .map_err(|_| shape(format!("map key `{key}` is not an id")))
 }
 
+/// Decodes one event object (`{"thread":N,"kind":K,"loc":N}`). Shared by
+/// the whole-document reader and the incremental [`crate::StreamParser`],
+/// so both accept exactly the same event shapes.
+pub(crate) fn read_event(v: &JsonValue) -> Result<Event, JsonError> {
+    Ok(Event {
+        thread: ThreadId(v.field("thread")?.as_u32()?),
+        kind: read_kind(v.field("kind")?)?,
+        loc: Loc(v.field("loc")?.as_u32()?),
+    })
+}
+
+/// The trace's metadata keys, in the order the whole-document reader
+/// requires them (and reports the first missing one).
+pub(crate) const METADATA_KEYS: [&str; 5] = [
+    "initial_values",
+    "volatiles",
+    "wait_links",
+    "loc_names",
+    "var_names",
+];
+
+/// Applies one named metadata field to `data`. Returns `Ok(false)` for an
+/// unrecognized key (the whole-document reader ignores unknown fields;
+/// the streaming reader does the same via this return). Shared by both
+/// readers so a field decodes identically whatever the ingestion path.
+pub(crate) fn apply_metadata_field(
+    data: &mut TraceData,
+    key: &str,
+    v: &JsonValue,
+) -> Result<bool, JsonError> {
+    match key {
+        "initial_values" => {
+            for (k, v) in v.as_object()? {
+                data.initial_values
+                    .insert(VarId(read_key_u32(k)?), Value(v.as_int()?));
+            }
+        }
+        "volatiles" => {
+            for v in v.as_array()? {
+                data.volatiles.push(VarId(v.as_u32()?));
+            }
+        }
+        "wait_links" => {
+            for wl in v.as_array()? {
+                data.wait_links.push(WaitLink {
+                    release: EventId(wl.field("release")?.as_u32()?),
+                    acquire: EventId(wl.field("acquire")?.as_u32()?),
+                    notify: match wl.field("notify")? {
+                        JsonValue::Null => None,
+                        v => Some(EventId(v.as_u32()?)),
+                    },
+                });
+            }
+        }
+        "loc_names" => {
+            for (k, v) in v.as_object()? {
+                data.loc_names
+                    .insert(Loc(read_key_u32(k)?), v.as_str()?.to_string());
+            }
+        }
+        "var_names" => {
+            for (k, v) in v.as_object()? {
+                data.var_names
+                    .insert(VarId(read_key_u32(k)?), v.as_str()?.to_string());
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Checks every wait link references an existing event. Split out of
+/// [`from_json`] so the streaming strict path ([`crate::read_trace`], the
+/// CLI's `--stream`) can run the same validation after an incremental
+/// parse; an out-of-range id from an untrusted document would otherwise
+/// become a panic deep inside detection.
+pub fn validate_wait_links(data: &TraceData) -> Result<(), JsonError> {
+    let n_events = data.events.len();
+    let check = |what: &str, id: EventId| {
+        if id.index() < n_events {
+            Ok(())
+        } else {
+            Err(shape(format!(
+                "wait link {what} {} out of range (trace has {n_events} events)",
+                id.0
+            )))
+        }
+    };
+    for wl in &data.wait_links {
+        check("release", wl.release)?;
+        check("acquire", wl.acquire)?;
+        if let Some(n) = wl.notify {
+            check("notify", n)?;
+        }
+    }
+    Ok(())
+}
+
 /// What trace ingestion cost: input size, events decoded, and the time
 /// spent parsing — the trace layer's contribution to the `--metrics`
 /// report (`trace.ingest.*`).
@@ -629,26 +780,7 @@ pub fn from_json_data_with_stats(input: &str) -> Result<(TraceData, IngestStats)
 /// a nonexistent event.
 pub fn from_json(input: &str) -> Result<Trace, JsonError> {
     let data = from_json_data(input)?;
-    // Wait links index into `events`; an out-of-range id from an untrusted
-    // document would otherwise become a panic deep inside detection.
-    let n_events = data.events.len();
-    let check = |what: &str, id: EventId| {
-        if id.index() < n_events {
-            Ok(())
-        } else {
-            Err(shape(format!(
-                "wait link {what} {} out of range (trace has {n_events} events)",
-                id.0
-            )))
-        }
-    };
-    for wl in &data.wait_links {
-        check("release", wl.release)?;
-        check("acquire", wl.acquire)?;
-        if let Some(n) = wl.notify {
-            check("notify", n)?;
-        }
-    }
+    validate_wait_links(&data)?;
     Ok(Trace::from_data(data))
 }
 
@@ -660,36 +792,10 @@ pub fn from_json_data(input: &str) -> Result<TraceData, JsonError> {
     let root = parse(input)?;
     let mut data = TraceData::default();
     for ev in root.field("events")?.as_array()? {
-        data.events.push(Event {
-            thread: ThreadId(ev.field("thread")?.as_u32()?),
-            kind: read_kind(ev.field("kind")?)?,
-            loc: Loc(ev.field("loc")?.as_u32()?),
-        });
+        data.events.push(read_event(ev)?);
     }
-    for (k, v) in root.field("initial_values")?.as_object()? {
-        data.initial_values
-            .insert(VarId(read_key_u32(k)?), Value(v.as_int()?));
-    }
-    for v in root.field("volatiles")?.as_array()? {
-        data.volatiles.push(VarId(v.as_u32()?));
-    }
-    for wl in root.field("wait_links")?.as_array()? {
-        data.wait_links.push(WaitLink {
-            release: EventId(wl.field("release")?.as_u32()?),
-            acquire: EventId(wl.field("acquire")?.as_u32()?),
-            notify: match wl.field("notify")? {
-                JsonValue::Null => None,
-                v => Some(EventId(v.as_u32()?)),
-            },
-        });
-    }
-    for (k, v) in root.field("loc_names")?.as_object()? {
-        data.loc_names
-            .insert(Loc(read_key_u32(k)?), v.as_str()?.to_string());
-    }
-    for (k, v) in root.field("var_names")?.as_object()? {
-        data.var_names
-            .insert(VarId(read_key_u32(k)?), v.as_str()?.to_string());
+    for key in METADATA_KEYS {
+        apply_metadata_field(&mut data, key, root.field(key)?)?;
     }
     Ok(data)
 }

@@ -51,6 +51,7 @@ mod event;
 pub mod json;
 pub mod salvage;
 mod signature;
+pub mod stream;
 mod trace;
 mod vector_clock;
 mod view;
@@ -63,10 +64,11 @@ pub use error::TraceError;
 pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
 pub use json::{
     from_json, from_json_data, from_json_data_with_stats, from_json_with_stats, parse_json,
-    to_json, IngestStats, JsonError, JsonValue,
+    to_json, to_ndjson, validate_wait_links, IngestStats, JsonError, JsonValue,
 };
 pub use salvage::{salvage_trace, SalvageReport};
 pub use signature::{RaceSignature, SignatureDisplay};
+pub use stream::{read_trace, read_trace_data, StreamFormat, StreamParser};
 pub use trace::{Trace, TraceData, TraceStats, WaitLink};
 pub use vector_clock::VectorClock;
-pub use view::{CsSpan, View, ViewExt};
+pub use view::{CsSpan, View, ViewExt, WindowBoundary, WindowStream};

@@ -20,7 +20,7 @@ pub struct WaitLink {
 }
 
 /// Serializable core data of a trace (no derived indexes).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceData {
     /// The observed events, in execution order.
     pub events: Vec<Event>,

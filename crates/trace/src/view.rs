@@ -11,7 +11,7 @@
 //! * per-event locksets,
 //! * read/write/branch indexes and critical-section spans.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 
 use crate::event::{Event, EventId, EventKind, LockId, ThreadId, Value, VarId};
@@ -34,29 +34,69 @@ pub struct CsSpan {
     pub release: Option<EventId>,
 }
 
-/// Running state carried across window boundaries.
+/// Running state carried across window boundaries: variable values and
+/// held locks at a window's start.
+///
+/// Public so streaming drivers can materialize window [`View`]s one at a
+/// time — advance the boundary over each window's events as they arrive
+/// (no trace-length state beyond this struct), and build the next window's
+/// view from it. [`WindowStream`] packages the common case; the streaming
+/// detector threads a boundary through trace *prefixes* as the parser
+/// produces them.
 #[derive(Debug, Clone)]
-struct Carry {
+pub struct WindowBoundary {
     values: Vec<Value>,
     held: Vec<(ThreadId, LockId)>,
 }
 
-impl Carry {
-    fn initial(trace: &Trace) -> Self {
+impl WindowBoundary {
+    /// Boundary state at the start of a trace (its initial values, no
+    /// locks held).
+    pub fn initial(trace: &Trace) -> Self {
         let values = (0..trace.n_vars() as u32)
             .map(|v| trace.initial_value(VarId(v)))
             .collect();
-        Carry {
+        WindowBoundary {
             values,
             held: Vec::new(),
         }
     }
 
-    fn advance(&mut self, trace: &Trace, range: Range<usize>) {
-        for i in range {
-            let e = &trace.events()[i];
+    /// Boundary state at the start of a trace known only by its metadata —
+    /// for streaming ingestion, where the full event count (and thus
+    /// `n_vars`) is unknown while windows are already being built. Values
+    /// beyond the map's largest key are grown on demand by
+    /// [`advance`](WindowBoundary::advance) with `Value::default()`,
+    /// matching [`Trace::initial_value`]'s fallback for unmapped
+    /// variables.
+    pub fn from_initial_values(initial_values: &BTreeMap<VarId, Value>) -> Self {
+        let n = initial_values
+            .keys()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut values = vec![Value::default(); n];
+        for (&var, &value) in initial_values {
+            values[var.index()] = value;
+        }
+        WindowBoundary {
+            values,
+            held: Vec::new(),
+        }
+    }
+
+    /// Advances the boundary over `events[range]` — the window that was
+    /// just closed. Takes a raw event slice (not a [`Trace`]) so streaming
+    /// callers can advance over a partially read trace.
+    pub fn advance(&mut self, events: &[Event], range: Range<usize>) {
+        for e in &events[range] {
             match e.kind {
-                EventKind::Write { var, value } => self.values[var.index()] = value,
+                EventKind::Write { var, value } => {
+                    if var.index() >= self.values.len() {
+                        self.values.resize(var.index() + 1, Value::default());
+                    }
+                    self.values[var.index()] = value;
+                }
                 EventKind::Acquire { lock } => self.held.push((e.thread, lock)),
                 EventKind::Release { lock } => {
                     if let Some(p) = self
@@ -70,6 +110,13 @@ impl Carry {
                 _ => {}
             }
         }
+    }
+
+    /// Builds the view of `trace[range]` with this boundary as the
+    /// window-start state. The boundary must have been advanced over
+    /// exactly `trace[..range.start]`.
+    pub fn view<'a>(&self, trace: &'a Trace, range: Range<usize>) -> View<'a> {
+        View::build(trace, range.start, range.end, self)
     }
 }
 
@@ -112,7 +159,7 @@ pub struct View<'a> {
 }
 
 impl<'a> View<'a> {
-    fn build(trace: &'a Trace, start: usize, end: usize, carry: &Carry) -> Self {
+    fn build(trace: &'a Trace, start: usize, end: usize, carry: &WindowBoundary) -> Self {
         let n_threads = trace.n_threads();
         let n_vars = trace.n_vars();
         let n_locks = trace.n_locks();
@@ -450,14 +497,72 @@ impl<'a> View<'a> {
             return None;
         }
         let mid = self.start + self.len() / 2;
-        let mut carry = Carry {
+        let mut carry = WindowBoundary {
             values: self.initial.clone(),
             held: self.held_at_start.clone(),
         };
         let first = View::build(self.trace, self.start, mid, &carry);
-        carry.advance(self.trace, self.start..mid);
+        carry.advance(self.trace.events(), self.start..mid);
         let second = View::build(self.trace, mid, self.end, &carry);
         Some((first, second))
+    }
+}
+
+/// Lazy iterator of fixed-size window [`View`]s over a trace.
+///
+/// Each call to [`next`](Iterator::next) materializes exactly one window
+/// and advances the carried [`WindowBoundary`], so at most one view's
+/// indexes exist per un-consumed item — the pipelined detector holds a
+/// bounded number of in-flight views instead of the eager whole-trace
+/// `Vec<View>` that [`ViewExt::windows`] builds. The views produced are
+/// identical to the corresponding `windows(size)` elements.
+#[derive(Debug)]
+pub struct WindowStream<'a> {
+    trace: &'a Trace,
+    size: usize,
+    start: usize,
+    boundary: WindowBoundary,
+}
+
+impl<'a> WindowStream<'a> {
+    /// A stream of `size`-event windows over `trace` (the last may be
+    /// shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(trace: &'a Trace, size: usize) -> Self {
+        assert!(size > 0, "window size must be nonzero");
+        WindowStream {
+            trace,
+            size,
+            start: 0,
+            boundary: WindowBoundary::initial(trace),
+        }
+    }
+
+    /// The trace range the next window will cover, or `None` when the
+    /// stream is exhausted.
+    pub fn next_range(&self) -> Option<Range<usize>> {
+        (self.start < self.trace.len())
+            .then(|| self.start..(self.start + self.size).min(self.trace.len()))
+    }
+
+    /// The boundary state at the start of the next window.
+    pub fn boundary(&self) -> &WindowBoundary {
+        &self.boundary
+    }
+}
+
+impl<'a> Iterator for WindowStream<'a> {
+    type Item = View<'a>;
+
+    fn next(&mut self) -> Option<View<'a>> {
+        let range = self.next_range()?;
+        let view = self.boundary.view(self.trace, range.clone());
+        self.boundary.advance(self.trace.events(), range.clone());
+        self.start = range.end;
+        Some(view)
     }
 }
 
@@ -473,25 +578,27 @@ pub trait ViewExt {
     ///
     /// Panics if `size == 0`.
     fn windows(&self, size: usize) -> Vec<View<'_>>;
+
+    /// A lazy [`WindowStream`] over the same windows `windows(size)`
+    /// returns, materializing one [`View`] at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    fn window_stream(&self, size: usize) -> WindowStream<'_>;
 }
 
 impl ViewExt for Trace {
     fn full_view(&self) -> View<'_> {
-        View::build(self, 0, self.len(), &Carry::initial(self))
+        View::build(self, 0, self.len(), &WindowBoundary::initial(self))
     }
 
     fn windows(&self, size: usize) -> Vec<View<'_>> {
-        assert!(size > 0, "window size must be nonzero");
-        let mut out = Vec::new();
-        let mut carry = Carry::initial(self);
-        let mut start = 0;
-        while start < self.len() {
-            let end = (start + size).min(self.len());
-            out.push(View::build(self, start, end, &carry));
-            carry.advance(self, start..end);
-            start = end;
-        }
-        out
+        self.window_stream(size).collect()
+    }
+
+    fn window_stream(&self, size: usize) -> WindowStream<'_> {
+        WindowStream::new(self, size)
     }
 }
 
@@ -651,6 +758,71 @@ mod tests {
         // Too-small views refuse to split.
         let tiny = &tr.windows(1)[0];
         assert!(tiny.split().is_none());
+    }
+
+    #[test]
+    fn window_stream_matches_eager_windows() {
+        let (tr, _) = sample();
+        for size in [1, 2, 3, 4, tr.len(), tr.len() + 7] {
+            let eager = tr.windows(size);
+            let streamed: Vec<View<'_>> = tr.window_stream(size).collect();
+            assert_eq!(eager.len(), streamed.len(), "size={size}");
+            for (e, s) in eager.iter().zip(&streamed) {
+                assert_eq!(e.range(), s.range(), "size={size}");
+                assert_eq!(e.held_at_start(), s.held_at_start(), "size={size}");
+                for v in 0..tr.n_vars() as u32 {
+                    assert_eq!(
+                        e.initial_value(VarId(v)),
+                        s.initial_value(VarId(v)),
+                        "size={size} var={v}"
+                    );
+                }
+                for id in e.ids() {
+                    assert_eq!(e.lockset(id), s.lockset(id), "size={size} {id}");
+                    assert_eq!(e.clock(id), s.clock(id), "size={size} {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_stream_reports_next_range() {
+        let (tr, _) = sample();
+        let mut ws = tr.window_stream(4);
+        assert_eq!(ws.next_range(), Some(0..4));
+        ws.next();
+        assert_eq!(ws.next_range(), Some(4..8));
+        while ws.next().is_some() {}
+        assert_eq!(ws.next_range(), None);
+    }
+
+    #[test]
+    fn boundary_from_initial_values_grows_on_demand() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.initial(x, 7);
+        let t = ThreadId::MAIN;
+        b.read(t, x, 7); // window 0
+        b.write(t, y, 9); // window 0
+        b.read(t, y, 9); // window 1
+        let tr = b.finish();
+
+        // A boundary seeded from metadata alone (streaming: trace length
+        // and n_vars unknown) must agree with the trace-seeded one.
+        let mut meta = WindowBoundary::from_initial_values(&tr.data().initial_values);
+        let mut full = WindowBoundary::initial(&tr);
+        assert_eq!(meta.view(&tr, 0..2).initial_value(x), Value(7));
+        assert_eq!(meta.view(&tr, 0..2).initial_value(y), Value(0));
+        meta.advance(tr.events(), 0..2);
+        full.advance(tr.events(), 0..2);
+        for v in [x, y] {
+            assert_eq!(
+                meta.view(&tr, 2..3).initial_value(v),
+                full.view(&tr, 2..3).initial_value(v),
+            );
+        }
+        assert_eq!(meta.view(&tr, 2..3).initial_value(y), Value(9));
     }
 
     #[test]

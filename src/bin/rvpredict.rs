@@ -9,6 +9,9 @@
 //!   --window N                 window size in events (default 10000)
 //!   --budget SECS              per-COP solver budget (default 60, as in the paper)
 //!   --jobs N                   solve windows on N worker threads (default: all cores)
+//!   --stream                   ingest the trace incrementally (JSON or NDJSON) and
+//!                              start solving windows while the tail is still being
+//!                              read; output is byte-identical to the whole-file run
 //!   --witnesses                print full witness schedules
 //!   --lenient                  salvage a damaged trace: drop events violating the
 //!                              consistency axioms (with per-category diagnostics)
@@ -17,15 +20,22 @@
 //!   --inject-fault W:C:KIND    (testing) inject a fault at window W, COP C;
 //!                              KIND is panic, timeout or encode-error; repeatable
 //!   --metrics OUT.json         write the run's metrics registry (versioned JSON:
-//!                              counters, histograms, timings) to OUT.json
+//!                              counters, histograms, timings, gauges) to OUT.json
 //!   --trace-log                log phase progress to stderr, with timestamps
 //!   --demo                     ignore TRACE and run the paper's Figure 1 instead
 //! ```
 //!
+//! `TRACE.json` may be `-` to read the trace from standard input (with or
+//! without `--stream`). With `--stream` the trace may also be NDJSON (one
+//! metadata header object, then one event object per line); the format is
+//! auto-detected.
+//!
 //! The `--metrics` document separates count-type metrics (counters,
-//! histograms — byte-identical at every `--jobs` level) from wall-clock
-//! timings (`timings_us` — machine- and run-dependent); see DESIGN.md's
-//! "Observability" section for the schema and the determinism contract.
+//! histograms — byte-identical at every `--jobs` level and identical
+//! between `--stream` and whole-file runs) from wall-clock timings and
+//! gauges (`timings_us`, `gauges` — machine- and run-dependent); see
+//! DESIGN.md's "Observability" section for the schema and the
+//! determinism contract.
 //!
 //! # Exit codes
 //!
@@ -49,8 +59,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rvpredict::{
-    CpDetector, DetectorConfig, Fault, FaultPlan, HbDetector, Metrics, RaceDetector,
-    RaceDetectorTool, SaidDetector, Trace,
+    CpDetector, DetectionReport, DetectorConfig, Fault, FaultPlan, HbDetector, Metrics,
+    RaceDetector, RaceDetectorTool, SaidDetector, Trace, TraceData,
 };
 
 struct Options {
@@ -58,6 +68,7 @@ struct Options {
     window: usize,
     budget: Duration,
     jobs: Option<usize>,
+    stream: bool,
     witnesses: bool,
     lenient: bool,
     retry_split: bool,
@@ -121,6 +132,7 @@ fn parse_args() -> Result<Options, String> {
         window: 10_000,
         budget: Duration::from_secs(60),
         jobs: None,
+        stream: false,
         witnesses: false,
         lenient: false,
         retry_split: false,
@@ -166,6 +178,10 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.jobs = Some(jobs);
                 i += 2;
+            }
+            "--stream" => {
+                opts.stream = true;
+                i += 1;
             }
             "--witnesses" => {
                 opts.witnesses = true;
@@ -214,9 +230,9 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
-         [--jobs N] [--witnesses] [--lenient] [--retry-split] \
+         [--jobs N] [--stream] [--witnesses] [--lenient] [--retry-split] \
          [--inject-fault W:C:KIND]... [--metrics OUT.json] [--trace-log] \
-         (--demo | TRACE.json)"
+         (--demo | TRACE.json | -)"
     );
 }
 
@@ -224,10 +240,69 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_RACES: u8 = 1;
 const EXIT_DEGRADED: u8 = 3;
 
+/// Opens the trace source for incremental reading; `-` is stdin.
+fn open_reader(path: &str) -> Result<Box<dyn std::io::Read>, ExitCode> {
+    if path == "-" {
+        return Ok(Box::new(std::io::stdin()));
+    }
+    match std::fs::File::open(path) {
+        Ok(f) => Ok(Box::new(std::io::BufReader::new(f))),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+    }
+}
+
+/// Strict-mode gate: reject a trace that violates the sequential-consistency
+/// axioms, with the same diagnostics whether the trace was slurped or
+/// streamed (in the streamed case any speculative solving is discarded).
+fn reject_inconsistent(trace: &Trace) -> Result<(), ExitCode> {
+    let violations = rvpredict::check_consistency(trace);
+    if violations.is_empty() {
+        return Ok(());
+    }
+    eprintln!("error: trace is not sequentially consistent:");
+    for v in violations.iter().take(5) {
+        eprintln!("  {v}");
+    }
+    if violations.len() > 5 {
+        eprintln!("  ... and {} more", violations.len() - 5);
+    }
+    eprintln!("  (rerun with --lenient to salvage the consistent part)");
+    Err(ExitCode::from(EXIT_USAGE))
+}
+
+/// Lenient-mode repair: salvage the consistent part of a raw trace,
+/// recording the `salvage.*` metrics family.
+fn salvage(raw: TraceData, metrics: &mut Metrics, log: &PhaseLog) -> Trace {
+    let (trace, report) = rvpredict::salvage_trace(raw);
+    metrics.inc("salvage.total", report.total as u64);
+    metrics.inc("salvage.kept", report.kept as u64);
+    metrics.inc(
+        "salvage.dangling_wait_links",
+        report.dangling_wait_links as u64,
+    );
+    for (category, &n) in &report.dropped {
+        metrics.inc(&format!("salvage.dropped.{category}"), n as u64);
+    }
+    metrics.record_time("trace.salvage_time", report.elapsed);
+    log.log(&format!("{report} in {:?}", report.elapsed));
+    if !report.is_clean() {
+        eprintln!("{report}");
+    }
+    record_trace_metrics(&trace, metrics);
+    trace
+}
+
 /// Loads the trace per the options, recording ingestion metrics
 /// (`trace.*`, `salvage.*`) as it goes. `Err` carries the exit code
 /// (always [`EXIT_USAGE`]: bad file, bad JSON, or strict-mode
 /// inconsistency).
+///
+/// The strict `rv --stream` combination never reaches this function —
+/// [`main`] routes it to [`RaceDetector::detect_stream`], which overlaps
+/// parsing with solving instead of loading the trace up front.
 fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<Trace, ExitCode> {
     if opts.demo {
         let trace = rvsim::workloads::figures::figure1().trace;
@@ -238,11 +313,51 @@ fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<T
         usage();
         return Err(ExitCode::from(EXIT_USAGE));
     };
-    let data = match std::fs::read_to_string(path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
+    if opts.stream {
+        // Incremental ingestion (JSON or NDJSON, auto-detected): the
+        // parser never holds more than one buffered chunk beyond the
+        // decoded events.
+        let reader = open_reader(path)?;
+        let (raw, ingest) = match rvpredict::read_trace_data(reader) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("error: {path} is not a serialized trace: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        };
+        record_ingest_metrics(&ingest, metrics);
+        log.log(&format!(
+            "parsed {} events from {} bytes in {:?}",
+            ingest.events, ingest.bytes, ingest.parse_time
+        ));
+        if opts.lenient {
+            return Ok(salvage(raw, metrics, log));
+        }
+        if let Err(e) = rvpredict::validate_wait_links(&raw) {
+            eprintln!("error: {path} is not a serialized trace: {e}");
             return Err(ExitCode::from(EXIT_USAGE));
+        }
+        let trace = Trace::from_data(raw);
+        reject_inconsistent(&trace)?;
+        record_trace_metrics(&trace, metrics);
+        return Ok(trace);
+    }
+    let data = if path == "-" {
+        let mut buf = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
         }
     };
     if opts.lenient {
@@ -258,23 +373,7 @@ fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<T
             "parsed {} events from {} bytes in {:?}",
             ingest.events, ingest.bytes, ingest.parse_time
         ));
-        let (trace, report) = rvpredict::salvage_trace(raw);
-        metrics.inc("salvage.total", report.total as u64);
-        metrics.inc("salvage.kept", report.kept as u64);
-        metrics.inc(
-            "salvage.dangling_wait_links",
-            report.dangling_wait_links as u64,
-        );
-        for (category, &n) in &report.dropped {
-            metrics.inc(&format!("salvage.dropped.{category}"), n as u64);
-        }
-        metrics.record_time("trace.salvage_time", report.elapsed);
-        log.log(&format!("{report} in {:?}", report.elapsed));
-        if !report.is_clean() {
-            eprintln!("{report}");
-        }
-        record_trace_metrics(&trace, metrics);
-        Ok(trace)
+        Ok(salvage(raw, metrics, log))
     } else {
         let (trace, ingest) = match rvpredict::from_json_with_stats(&data) {
             Ok(ok) => ok,
@@ -288,18 +387,7 @@ fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<T
             "parsed {} events from {} bytes in {:?}",
             ingest.events, ingest.bytes, ingest.parse_time
         ));
-        let violations = rvpredict::check_consistency(&trace);
-        if !violations.is_empty() {
-            eprintln!("error: trace is not sequentially consistent:");
-            for v in violations.iter().take(5) {
-                eprintln!("  {v}");
-            }
-            if violations.len() > 5 {
-                eprintln!("  ... and {} more", violations.len() - 5);
-            }
-            eprintln!("  (rerun with --lenient to salvage the consistent part)");
-            return Err(ExitCode::from(EXIT_USAGE));
-        }
+        reject_inconsistent(&trace)?;
         record_trace_metrics(&trace, metrics);
         Ok(trace)
     }
@@ -330,6 +418,110 @@ fn write_metrics(path: &str, metrics: &Metrics, log: &PhaseLog) -> Result<(), Ex
     Ok(())
 }
 
+/// Builds the maximal detector's configuration from the CLI options.
+fn build_rv_config(opts: &Options) -> DetectorConfig {
+    let mut cfg = DetectorConfig {
+        window_size: opts.window,
+        solver_timeout: opts.budget,
+        retry_split: opts.retry_split,
+        ..Default::default()
+    };
+    if let Some(jobs) = opts.jobs {
+        cfg.parallelism = jobs;
+    }
+    if !opts.faults.is_empty() {
+        let mut plan = FaultPlan::new();
+        for &(w, c, fault) in &opts.faults {
+            plan = plan.inject(w, c, fault);
+        }
+        cfg.fault_plan = Some(Arc::new(plan));
+    }
+    cfg
+}
+
+/// Prints the maximal detector's report, folds it into the metrics
+/// registry, and maps the outcome to an exit code. Shared by the
+/// whole-file, pipelined and streaming drivers so their stdout is
+/// byte-identical by construction.
+fn report_rv(
+    report: &DetectionReport,
+    trace: &Trace,
+    opts: &Options,
+    metrics: &mut Metrics,
+    log: &PhaseLog,
+) -> ExitCode {
+    log.log(&format!(
+        "detection finished: {} race(s), {} window(s) ({} failed), \
+         solver {:?} summed, wall {:?}",
+        report.n_races(),
+        report.stats.windows,
+        report.stats.failed_windows,
+        report.stats.solver_time,
+        report.stats.wall_time
+    ));
+    println!("{report}");
+    for race in &report.races {
+        println!("  {}", race.display(trace));
+        if opts.witnesses {
+            println!("    witness: {}", race.schedule);
+        }
+    }
+    metrics.merge(&report.to_metrics());
+    if let Some(path) = &opts.metrics {
+        if let Err(code) = write_metrics(path, metrics, log) {
+            return code;
+        }
+    }
+    if report.n_races() > 0 {
+        ExitCode::from(EXIT_RACES)
+    } else if report.is_degraded() {
+        eprintln!(
+            "note: no races found, but {} COP(s) are undecided and {} window(s) \
+             failed — race freedom is not established for those",
+            report.stats.undecided, report.stats.failed_windows
+        );
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The strict `rv --stream` driver: windows are dispatched to the worker
+/// pool while the trace tail is still being read, so solving overlaps
+/// ingestion and peak memory is bounded by the active windows. The
+/// sequential-consistency gate still applies — it just runs after the
+/// (speculative) solving instead of before it.
+fn run_stream_rv(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> ExitCode {
+    let path = opts.path.as_deref().unwrap_or("-");
+    let cfg = build_rv_config(opts);
+    log.log(&format!(
+        "streaming detection starting: detector=rv window={} jobs={}",
+        cfg.window_size, cfg.parallelism
+    ));
+    let reader = match open_reader(path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let detection = match RaceDetector::with_config(cfg).detect_stream(reader) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path} is not a serialized trace: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if let Err(code) = reject_inconsistent(&detection.trace) {
+        return code;
+    }
+    record_ingest_metrics(&detection.ingest, metrics);
+    log.log(&format!(
+        "parsed {} events from {} bytes in {:?} (solving overlapped)",
+        detection.ingest.events, detection.ingest.bytes, detection.ingest.parse_time
+    ));
+    record_trace_metrics(&detection.trace, metrics);
+    println!("trace: {}", detection.trace.stats());
+    report_rv(&detection.report, &detection.trace, opts, metrics, log)
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -344,6 +536,19 @@ fn main() -> ExitCode {
 
     let log = PhaseLog::new(opts.trace_log);
     let mut metrics = Metrics::new();
+
+    // Strict `rv --stream` never materializes the windows up front: it
+    // goes through the incremental parser + pipelined worker pool.
+    // (`--lenient --stream` must see the whole trace before salvage can
+    // run, so it streams the parse, salvages, then pipelines the solve.)
+    if opts.stream && opts.detector == "rv" && !opts.lenient && !opts.demo {
+        if opts.path.is_none() {
+            usage();
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return run_stream_rv(&opts, &mut metrics, &log);
+    }
+
     let trace = match load_trace(&opts, &mut metrics, &log) {
         Ok(t) => t,
         Err(code) => return code,
@@ -352,63 +557,20 @@ fn main() -> ExitCode {
 
     match opts.detector.as_str() {
         "rv" => {
-            let mut cfg = DetectorConfig {
-                window_size: opts.window,
-                solver_timeout: opts.budget,
-                retry_split: opts.retry_split,
-                ..Default::default()
-            };
-            if let Some(jobs) = opts.jobs {
-                cfg.parallelism = jobs;
-            }
-            if !opts.faults.is_empty() {
-                let mut plan = FaultPlan::new();
-                for &(w, c, fault) in &opts.faults {
-                    plan = plan.inject(w, c, fault);
-                }
-                cfg.fault_plan = Some(Arc::new(plan));
-            }
+            let cfg = build_rv_config(&opts);
             log.log(&format!(
                 "detection starting: detector=rv window={} jobs={} events={}",
                 cfg.window_size,
                 cfg.parallelism,
                 trace.len()
             ));
-            let report = RaceDetector::with_config(cfg).detect(&trace);
-            log.log(&format!(
-                "detection finished: {} race(s), {} window(s) ({} failed), \
-                 solver {:?} summed, wall {:?}",
-                report.n_races(),
-                report.stats.windows,
-                report.stats.failed_windows,
-                report.stats.solver_time,
-                report.stats.wall_time
-            ));
-            println!("{report}");
-            for race in &report.races {
-                println!("  {}", race.display(&trace));
-                if opts.witnesses {
-                    println!("    witness: {}", race.schedule);
-                }
-            }
-            metrics.merge(&report.to_metrics());
-            if let Some(path) = &opts.metrics {
-                if let Err(code) = write_metrics(path, &metrics, &log) {
-                    return code;
-                }
-            }
-            if report.n_races() > 0 {
-                ExitCode::from(EXIT_RACES)
-            } else if report.is_degraded() {
-                eprintln!(
-                    "note: no races found, but {} COP(s) are undecided and {} window(s) \
-                     failed — race freedom is not established for those",
-                    report.stats.undecided, report.stats.failed_windows
-                );
-                ExitCode::from(EXIT_DEGRADED)
+            let detector = RaceDetector::with_config(cfg);
+            let report = if opts.stream {
+                detector.detect_pipelined(&trace)
             } else {
-                ExitCode::SUCCESS
-            }
+                detector.detect(&trace)
+            };
+            report_rv(&report, &trace, &opts, &mut metrics, &log)
         }
         name @ ("said" | "cp" | "hb") => {
             let tool: Box<dyn RaceDetectorTool> = match name {

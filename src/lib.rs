@@ -43,7 +43,7 @@ pub use rvbaselines::{
 pub use rvcore::{
     encode, extract_witness, ConsistencyMode, DetectionReport, DetectionStats, DetectorConfig,
     EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram, Metrics, PhaseTimer, RaceDetector,
-    RaceReport, SolverTotals, UndecidedReason, Witness, METRICS_SCHEMA_VERSION,
+    RaceReport, SolverTotals, StreamDetection, UndecidedReason, Witness, METRICS_SCHEMA_VERSION,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,
@@ -52,7 +52,9 @@ pub use rvsim::{execute, workloads, ExecConfig, Outcome, Program, Scheduler};
 pub use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
 pub use rvtrace::{
     check_consistency, check_schedule, from_json, from_json_data, from_json_data_with_stats,
-    from_json_with_stats, parse_json, salvage_trace, schedule_read_values, to_json, Cop, Event,
-    EventId, EventKind, IngestStats, JsonError, JsonValue, Loc, LockId, RaceSignature,
-    SalvageReport, Schedule, ThreadId, Trace, TraceBuilder, TraceError, VarId, View, ViewExt,
+    from_json_with_stats, parse_json, read_trace, read_trace_data, salvage_trace,
+    schedule_read_values, to_json, to_ndjson, validate_wait_links, Cop, Event, EventId, EventKind,
+    IngestStats, JsonError, JsonValue, Loc, LockId, RaceSignature, SalvageReport, Schedule,
+    StreamFormat, StreamParser, ThreadId, Trace, TraceBuilder, TraceData, TraceError, VarId, View,
+    ViewExt, WindowBoundary, WindowStream,
 };

@@ -1,14 +1,20 @@
-//! Schema tests for the `BENCH_pr3.json` harness (satellite of the
-//! observability PR): the pipeline run over the smallest sim workload must
+//! Schema tests for the bench harnesses: `BENCH_pr3.json` (the
+//! observability PR's detection pipeline) and `BENCH_pr4.json` (the
+//! streaming PR's whole-file-vs-streamed comparison). Each smoke run must
 //! emit a document that validates, parses with the in-tree JSON reader,
 //! and carries the invariants the schema documents.
 //!
-//! When `BENCH_PR3_PATH` is set (CI's bench-smoke step exports it after
-//! running the `pipeline` binary), the file it names is validated too, so
+//! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` are set (CI's bench-smoke and
+//! stream-smoke steps export them after running the `pipeline` and
+//! `stream_pipeline` binaries), the files they name are validated too, so
 //! a committed or freshly generated document cannot drift from the schema.
 
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
+};
+use rvbench::stream::{
+    racy_stream_workload, run_stream_pipeline, validate_stream_bench_json, StreamBenchOptions,
+    STREAM_BENCH_SCHEMA_VERSION, STREAM_BENCH_SUITE,
 };
 use rvtrace::parse_json;
 
@@ -126,4 +132,107 @@ fn generated_bench_file_validates_when_present() {
     let json = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("BENCH_PR3_PATH={path} is unreadable: {e}"));
     validate_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+}
+
+// ---------------------------------------------------------- BENCH_pr4
+
+/// A deliberately tiny streaming workload: the schema tests need the
+/// document's shape, not the smoke workload's scale.
+fn stream_document() -> String {
+    let w = racy_stream_workload("schema_tiny", 60);
+    let opts = StreamBenchOptions {
+        window_size: 20,
+        ..Default::default()
+    };
+    run_stream_pipeline(&[w], &opts, "smoke")
+}
+
+/// The streaming comparison emits a valid version-1 `pr4` document.
+#[test]
+fn stream_run_validates_against_schema() {
+    let json = stream_document();
+    validate_stream_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, the races-equality
+/// invariant, and per-pipeline key completeness — independent of the
+/// validator's own logic.
+#[test]
+fn stream_run_parses_and_keeps_invariants() {
+    let json = stream_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        STREAM_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        STREAM_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 1);
+    let w = &entries[0];
+    assert!(w.field("events").and_then(|v| v.as_int()).unwrap() > 0);
+    assert!(w.field("windows").and_then(|v| v.as_int()).unwrap() > 1);
+    let races = |pipeline: &str| {
+        w.field(pipeline)
+            .and_then(|p| p.field("races"))
+            .and_then(|v| v.as_int())
+            .unwrap()
+    };
+    // The determinism contract, measured end to end: streaming must not
+    // change the verdict.
+    assert_eq!(races("whole_file"), races("streamed"));
+    assert_eq!(
+        races("whole_file"),
+        1,
+        "the workload plants exactly one race"
+    );
+}
+
+/// The streaming validator rejects tampered documents pointedly.
+#[test]
+fn stream_validator_rejects_corruption() {
+    let json = stream_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr4\"", "\"suite\": \"pr3\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+    ] {
+        let tampered = json.replace(needle, replacement);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_stream_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+    // A verdict mismatch between the pipelines is a determinism violation
+    // the validator must catch.
+    let tampered = json.replacen("\"races\": 1", "\"races\": 2", 1);
+    assert_ne!(tampered, json);
+    let err = validate_stream_bench_json(&tampered).expect_err("races mismatch must be rejected");
+    assert!(err.contains("must not change the verdict"), "got: {err}");
+}
+
+/// When CI (or a developer) points `BENCH_PR4_PATH` at a generated
+/// `BENCH_pr4.json`, it must satisfy the same schema — including, for
+/// `"full"` documents, the streamed pipeline strictly ahead on the
+/// largest workload. Skipped when the variable is unset.
+#[test]
+fn generated_stream_bench_file_validates_when_present() {
+    let Ok(path) = std::env::var("BENCH_PR4_PATH") else {
+        return;
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_PR4_PATH={path} is unreadable: {e}"));
+    validate_stream_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
 }

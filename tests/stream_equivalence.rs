@@ -1,0 +1,354 @@
+//! Differential equivalence suite for streaming ingestion (the PR-4
+//! determinism contract): streamed and whole-file detection must decide
+//! identically — same races, same verdict counters, same report text —
+//! at every `--jobs` level, for both wire formats, through the CLI and
+//! the library drivers, including salvaged and fault-injected runs.
+//!
+//! Wall-clock output (the `solver …, wall …` suffix and the
+//! `window times:` line) is run-dependent by nature; everything else on
+//! stdout is compared byte for byte, and the `--metrics` documents are
+//! compared byte for byte up to their `timings_us` section (exactly the
+//! counter + histogram sections the contract covers).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use rvpredict::{DetectorConfig, Fault, FaultPlan, RaceDetector, ThreadId, Trace, TraceBuilder};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rvpredict")
+}
+
+fn dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("rvpredict-stream-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A five-window trace (window size 300): one racy COP in window 0, then
+/// race-free two-thread filler so every window has work to merge.
+fn multi_window_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t2 = b.fork(ThreadId::MAIN);
+    b.write(ThreadId::MAIN, x, 1);
+    b.write(t2, x, 2);
+    let a = b.var("a");
+    let c = b.var("c");
+    for i in 0..700i64 {
+        b.write(ThreadId::MAIN, a, i);
+        b.write(t2, c, i);
+    }
+    b.finish()
+}
+
+/// Same trace with one torn read in window 2 (a value no write produced),
+/// so strict mode rejects it and `--lenient` must salvage.
+fn damaged_multi_window_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t2 = b.fork(ThreadId::MAIN);
+    b.write(ThreadId::MAIN, x, 1);
+    b.write(t2, x, 2);
+    let a = b.var("a");
+    let c = b.var("c");
+    for i in 0..350i64 {
+        b.write(ThreadId::MAIN, a, i);
+        b.write(t2, c, i);
+    }
+    b.read(ThreadId::MAIN, a, 999_999);
+    for i in 350..700i64 {
+        b.write(ThreadId::MAIN, a, i);
+        b.write(t2, c, i);
+    }
+    b.finish()
+}
+
+/// Drops the run-dependent parts of stdout: the `window times:` line and
+/// the `, solver …` wall-clock suffix of the summary line. Everything
+/// kept must be byte-identical across drivers and worker counts.
+fn stripped_stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("window times:"))
+        .map(|l| match l.find(", solver ") {
+            Some(i) => l[..i].to_string(),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs the binary with `--metrics`, returning (exit code, stripped
+/// stdout, count-type metrics prefix — the document up to `timings_us`).
+fn run_with_metrics(args: &[&str], trace_path: &str, out_name: &str) -> (i32, String, String) {
+    let metrics_path = dir().join(out_name);
+    let out = Command::new(bin())
+        .args(args)
+        .args(["--metrics", metrics_path.to_str().unwrap()])
+        .arg(trace_path)
+        .output()
+        .expect("binary runs");
+    let doc = std::fs::read_to_string(&metrics_path).unwrap_or_else(|e| {
+        panic!(
+            "metrics file missing ({e}); stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        )
+    });
+    let cut = doc
+        .find("  \"timings_us\": {")
+        .unwrap_or_else(|| panic!("no timings_us section in {doc}"));
+    (
+        out.status.code().expect("no signal"),
+        stripped_stdout(&out),
+        doc[..cut].to_string(),
+    )
+}
+
+const JOBS: [&str; 4] = ["1", "2", "4", "8"];
+
+/// The tentpole contract, end to end: whole-file and `--stream` runs over
+/// the same JSON file produce identical report text and identical
+/// count-type metrics at `--jobs` 1, 2, 4 and 8.
+#[test]
+fn streamed_cli_is_byte_identical_across_jobs() {
+    let trace = multi_window_trace();
+    let path = dir().join("equiv.json");
+    std::fs::write(&path, rvpredict::to_json(&trace)).unwrap();
+    let path = path.to_str().unwrap();
+
+    let (base_code, base_out, base_counts) =
+        run_with_metrics(&["--window", "300", "--jobs", "1"], path, "m-base.json");
+    assert_eq!(base_code, 1, "the head COP races");
+    for jobs in JOBS {
+        for stream in [false, true] {
+            let mut args = vec!["--window", "300", "--jobs", jobs];
+            if stream {
+                args.push("--stream");
+            }
+            let name = format!("m-{jobs}-{stream}.json");
+            let (code, out, counts) = run_with_metrics(&args, path, &name);
+            assert_eq!(code, base_code, "jobs={jobs} stream={stream}");
+            assert_eq!(
+                out, base_out,
+                "stdout drifted at jobs={jobs} stream={stream}"
+            );
+            assert_eq!(
+                counts, base_counts,
+                "count-type metrics drifted at jobs={jobs} stream={stream}"
+            );
+        }
+    }
+}
+
+/// NDJSON input through `--stream` decides identically; the only
+/// count-type metric allowed to differ from the JSON run is the wire-size
+/// counter `trace.ingest.bytes`.
+#[test]
+fn streamed_ndjson_matches_json_modulo_wire_size() {
+    let trace = multi_window_trace();
+    let json_path = dir().join("equiv-nd.json");
+    let nd_path = dir().join("equiv-nd.ndjson");
+    std::fs::write(&json_path, rvpredict::to_json(&trace)).unwrap();
+    std::fs::write(&nd_path, rvpredict::to_ndjson(&trace)).unwrap();
+
+    let (base_code, base_out, base_counts) = run_with_metrics(
+        &["--window", "300", "--jobs", "1"],
+        json_path.to_str().unwrap(),
+        "m-nd-base.json",
+    );
+    let strip_wire = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("trace.ingest.bytes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    for jobs in ["1", "4"] {
+        let (code, out, counts) = run_with_metrics(
+            &["--window", "300", "--jobs", jobs, "--stream"],
+            nd_path.to_str().unwrap(),
+            &format!("m-nd-{jobs}.json"),
+        );
+        assert_eq!(code, base_code);
+        // stdout carries no wire-format trace of its own.
+        assert_eq!(out, base_out, "ndjson stdout drifted at jobs={jobs}");
+        assert_eq!(strip_wire(&counts), strip_wire(&base_counts));
+    }
+}
+
+/// `-` reads the trace from stdin, both with and without `--stream`, and
+/// decides identically to the file run.
+#[test]
+fn stdin_matches_file_input() {
+    let trace = multi_window_trace();
+    let path = dir().join("equiv-stdin.json");
+    let json = rvpredict::to_json(&trace);
+    std::fs::write(&path, &json).unwrap();
+
+    let file_run = Command::new(bin())
+        .args(["--window", "300", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    for stream in [false, true] {
+        let mut args = vec!["--window", "300"];
+        if stream {
+            args.push("--stream");
+        }
+        args.push("-");
+        let mut child = Command::new(bin())
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(json.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), file_run.status.code(), "stream={stream}");
+        assert_eq!(
+            stripped_stdout(&out),
+            stripped_stdout(&file_run),
+            "stdin stdout drifted at stream={stream}"
+        );
+    }
+}
+
+/// `--lenient --stream` salvages the damaged trace exactly like the
+/// whole-file lenient run: same drops on stderr, same verdicts, same
+/// count-type metrics, at several worker counts.
+#[test]
+fn lenient_salvage_matches_across_modes() {
+    let trace = damaged_multi_window_trace();
+    let json_path = dir().join("damaged.json");
+    let nd_path = dir().join("damaged.ndjson");
+    std::fs::write(&json_path, rvpredict::to_json(&trace)).unwrap();
+    std::fs::write(&nd_path, rvpredict::to_ndjson(&trace)).unwrap();
+    let json_path = json_path.to_str().unwrap();
+
+    // Strict mode rejects the torn read in every ingestion mode.
+    for args in [vec![json_path], vec!["--stream", json_path]] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "strict must reject: {args:?}");
+        let e = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(e.contains("not sequentially consistent"), "{e}");
+    }
+
+    let (base_code, base_out, base_counts) = run_with_metrics(
+        &["--window", "300", "--jobs", "1", "--lenient"],
+        json_path,
+        "m-len-base.json",
+    );
+    assert_eq!(base_code, 1, "salvage keeps the racy head");
+    assert!(base_counts.contains("salvage.dropped.inconsistent-read"));
+    for jobs in JOBS {
+        let (code, out, counts) = run_with_metrics(
+            &["--window", "300", "--jobs", jobs, "--lenient", "--stream"],
+            json_path,
+            &format!("m-len-{jobs}.json"),
+        );
+        assert_eq!(code, base_code, "jobs={jobs}");
+        assert_eq!(out, base_out, "lenient stdout drifted at jobs={jobs}");
+        assert_eq!(
+            counts, base_counts,
+            "lenient metrics drifted at jobs={jobs}"
+        );
+    }
+    // NDJSON wire format: identical modulo the wire-size counter.
+    let strip_wire = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("trace.ingest.bytes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (code, out, counts) = run_with_metrics(
+        &["--window", "300", "--jobs", "4", "--lenient", "--stream"],
+        nd_path.to_str().unwrap(),
+        "m-len-nd.json",
+    );
+    assert_eq!(code, base_code);
+    assert_eq!(out, base_out);
+    assert_eq!(strip_wire(&counts), strip_wire(&base_counts));
+}
+
+/// Fault injection composes with `--stream`: the failed window, the
+/// degraded exit code, and the count-type metrics match the whole-file
+/// run at every worker count.
+#[test]
+fn fault_injected_runs_match_across_modes() {
+    let trace = multi_window_trace();
+    let path = dir().join("faulty.json");
+    std::fs::write(&path, rvpredict::to_json(&trace)).unwrap();
+    let path = path.to_str().unwrap();
+
+    let fault = ["--window", "300", "--inject-fault", "0:0:panic"];
+    let (base_code, base_out, base_counts) = run_with_metrics(
+        &[&fault[..], &["--jobs", "1"]].concat(),
+        path,
+        "m-fault-base.json",
+    );
+    assert_eq!(base_code, 3, "losing window 0 loses the race: degraded");
+    assert!(base_out.contains("failed: injected fault"), "{base_out}");
+    for jobs in JOBS {
+        for stream in [false, true] {
+            let mut args = [&fault[..], &["--jobs", jobs]].concat();
+            if stream {
+                args.push("--stream");
+            }
+            let (code, out, counts) =
+                run_with_metrics(&args, path, &format!("m-fault-{jobs}-{stream}.json"));
+            assert_eq!(code, base_code, "jobs={jobs} stream={stream}");
+            assert_eq!(
+                out, base_out,
+                "fault stdout drifted at jobs={jobs} stream={stream}"
+            );
+            assert_eq!(
+                counts, base_counts,
+                "fault metrics drifted at jobs={jobs} stream={stream}"
+            );
+        }
+    }
+}
+
+/// Library-level contract: the three drivers (eager, pipelined, streamed)
+/// render byte-identical `deterministic_summary` outputs at every
+/// parallelism level, with and without a fault plan.
+#[test]
+fn drivers_render_identical_deterministic_summaries() {
+    let trace = multi_window_trace();
+    let json = rvpredict::to_json(&trace);
+    for faulty in [false, true] {
+        let mut baseline: Option<String> = None;
+        for jobs in [1usize, 2, 4, 8] {
+            let mut cfg = DetectorConfig {
+                window_size: 300,
+                parallelism: jobs,
+                ..Default::default()
+            };
+            if faulty {
+                cfg.fault_plan = Some(std::sync::Arc::new(FaultPlan::new().inject(
+                    0,
+                    0,
+                    Fault::Timeout,
+                )));
+            }
+            let detector = RaceDetector::with_config(cfg);
+            let eager = detector.detect(&trace).deterministic_summary();
+            let pipelined = detector.detect_pipelined(&trace).deterministic_summary();
+            let streamed = detector
+                .detect_stream(json.as_bytes())
+                .expect("valid trace streams")
+                .report
+                .deterministic_summary();
+            assert_eq!(eager, pipelined, "faulty={faulty} jobs={jobs}");
+            assert_eq!(eager, streamed, "faulty={faulty} jobs={jobs}");
+            let base = baseline.get_or_insert_with(|| eager.clone());
+            assert_eq!(*base, eager, "faulty={faulty} jobs={jobs}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge cases of streaming ingestion, end to end through the CLI: traces
+//! whose shape stresses the window dispatcher (empty, shorter than one
+//! window, an exact multiple of the window size), NDJSON formatting slack
+//! (blank lines, missing trailing newline), and truncated input — which
+//! must surface the *same* `JsonError` text and byte offset the
+//! whole-file parser produces.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use rvpredict::{ThreadId, Trace, TraceBuilder};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rvpredict")
+}
+
+fn fixture(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rvpredict-stream-ingest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A trace of exactly `n` events: a racy head plus single-thread filler.
+fn trace_of_len(n: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t2 = b.fork(ThreadId::MAIN);
+    b.write(ThreadId::MAIN, x, 1);
+    b.write(t2, x, 2);
+    let a = b.var("a");
+    assert!(b.len() <= n, "head alone is {} events", b.len());
+    while b.len() < n {
+        b.write(ThreadId::MAIN, a, b.len() as i64);
+    }
+    let t = b.finish();
+    assert_eq!(t.len(), n);
+    t
+}
+
+#[test]
+fn empty_trace_streams_to_a_clean_zero_race_run() {
+    let t = TraceBuilder::new().finish();
+    let path = fixture("empty.json", &rvpredict::to_json(&t));
+    for mode in [&[][..], &["--stream"][..]] {
+        let out = run(&[mode, &[path.to_str().unwrap()]].concat());
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "mode={mode:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            stdout(&out).contains("0 race(s); 0 window(s)"),
+            "mode={mode:?}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn trace_shorter_than_one_window_is_a_single_partial_window() {
+    let t = trace_of_len(40);
+    let path = fixture("short.json", &rvpredict::to_json(&t));
+    // Default window is 10000: the whole trace is one partial window that
+    // is only dispatched at end of input.
+    for mode in [&[][..], &["--stream"][..]] {
+        let out = run(&[mode, &[path.to_str().unwrap()]].concat());
+        assert_eq!(out.status.code(), Some(1), "mode={mode:?}");
+        assert!(
+            stdout(&out).contains("1 race(s); 1 window(s)"),
+            "mode={mode:?}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn trace_length_an_exact_multiple_of_the_window_divides_cleanly() {
+    let t = trace_of_len(600);
+    let path = fixture("exact.json", &rvpredict::to_json(&t));
+    for mode in [&[][..], &["--stream"][..]] {
+        let out = run(&[mode, &["--window", "300", path.to_str().unwrap()]].concat());
+        assert_eq!(out.status.code(), Some(1), "mode={mode:?}");
+        assert!(
+            stdout(&out).contains("1 race(s); 2 window(s)"),
+            "mode={mode:?}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn ndjson_with_blank_lines_and_no_trailing_newline_parses() {
+    let t = trace_of_len(40);
+    let nd = rvpredict::to_ndjson(&t);
+    let mut messy = String::from("\n   \n");
+    for line in nd.lines() {
+        messy.push_str(line);
+        messy.push_str("\n\n");
+    }
+    messy.truncate(messy.trim_end().len()); // no trailing newline either
+    let path = fixture("messy.ndjson", &messy);
+    let out = run(&["--stream", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1 race(s)"), "{}", stdout(&out));
+}
+
+/// Mid-event truncation: the streaming parser must report the same error
+/// message — including the byte offset and context snippet — that the
+/// whole-file parser reports for the identical bytes.
+#[test]
+fn truncation_error_offsets_match_whole_file_mode() {
+    let t = trace_of_len(120);
+    let json = rvpredict::to_json(&t);
+    // Cut in the middle of an event object, away from any boundary.
+    for cut in [json.len() / 3, json.len() / 2, json.len() - 7] {
+        let prefix = &json[..cut];
+        let path = fixture(&format!("trunc-{cut}.json"), prefix);
+        let whole = run(&[path.to_str().unwrap()]);
+        let streamed = run(&["--stream", path.to_str().unwrap()]);
+        assert_eq!(whole.status.code(), Some(2), "cut={cut}");
+        assert_eq!(streamed.status.code(), Some(2), "cut={cut}");
+        let we = stderr(&whole);
+        let se = stderr(&streamed);
+        assert_eq!(we, se, "error text must match at cut={cut}");
+        assert!(we.contains("at byte"), "offset missing at cut={cut}: {we}");
+    }
+}
+
+/// NDJSON truncation mid-line: the error's byte offset points into the
+/// cut line, and parsing the same bytes wholesale fails identically.
+#[test]
+fn ndjson_truncation_reports_an_in_line_offset() {
+    let t = trace_of_len(40);
+    let nd = rvpredict::to_ndjson(&t);
+    // Cut a few bytes into a line somewhere past the midpoint.
+    let nl = nd[..nd.len() / 2].rfind('\n').expect("multi-line document");
+    let cut = nl + 11;
+    assert!(cut < nd.len());
+    let prefix = &nd[..cut];
+    assert!(!prefix.ends_with('\n'), "cut must land mid-line");
+    let path = fixture("trunc.ndjson", prefix);
+    let out = run(&["--stream", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let e = stderr(&out);
+    assert!(e.contains("at byte"), "{e}");
+    // The reported offset falls within the truncated line.
+    let offset: usize = e
+        .split("at byte ")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("no byte offset in: {e}"));
+    let line_start = prefix.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    assert!(
+        offset >= line_start && offset <= prefix.len(),
+        "offset {offset} outside the cut line starting at {line_start} (len {})",
+        prefix.len()
+    );
+}
+
+/// Library-level sweep of the same shapes across chunked feeding: every
+/// prefix boundary of a small document parses identically whether fed
+/// whole or byte by byte (the CLI cannot control chunking; this pins it).
+#[test]
+fn byte_by_byte_feeding_matches_whole_file_for_every_shape() {
+    for trace in [
+        TraceBuilder::new().finish(),
+        trace_of_len(8),
+        trace_of_len(40),
+    ] {
+        for serialized in [rvpredict::to_json(&trace), rvpredict::to_ndjson(&trace)] {
+            let mut parser = rvpredict::StreamParser::new();
+            for b in serialized.as_bytes() {
+                parser.feed(std::slice::from_ref(b)).unwrap();
+            }
+            parser.finish().unwrap();
+            let streamed = rvpredict::Trace::from_data(parser.into_data());
+            let whole = match rvpredict::from_json(&serialized) {
+                Ok(t) => t,
+                // NDJSON is stream-only; compare against the JSON parse.
+                Err(_) => rvpredict::from_json(&rvpredict::to_json(&trace)).unwrap(),
+            };
+            assert_eq!(streamed.len(), whole.len());
+            assert_eq!(streamed.events(), whole.events());
+        }
+    }
+}
