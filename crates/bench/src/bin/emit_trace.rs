@@ -12,6 +12,7 @@
 
 use std::process::ExitCode;
 
+use rvbench::slice::wide_window_workload;
 use rvbench::stream::racy_stream_workload;
 use rvsim::workloads::{self, Workload};
 
@@ -23,17 +24,23 @@ fn named_workload(name: &str) -> Option<Workload> {
         "stream_small" => racy_stream_workload("stream_small", 4_000),
         "stream_medium" => racy_stream_workload("stream_medium", 20_000),
         "stream_large" => racy_stream_workload("stream_large", 100_000),
+        "wide_small" => wide_window_workload("wide_small", 4, 4),
+        "wide_medium" => wide_window_workload("wide_medium", 6, 8),
+        "wide_large" => wide_window_workload("wide_large", 10, 14),
         _ => return None,
     })
 }
 
-const WORKLOAD_NAMES: [&str; 6] = [
+const WORKLOAD_NAMES: [&str; 9] = [
     "figure1",
     "figure2_read",
     "array_index",
     "stream_small",
     "stream_medium",
     "stream_large",
+    "wide_small",
+    "wide_medium",
+    "wide_large",
 ];
 
 fn main() -> ExitCode {

@@ -9,6 +9,9 @@
 //! * `cargo run -p rvbench --release --bin stream_pipeline` — the
 //!   whole-file vs streaming-ingestion comparison (see [`stream`]),
 //!   emitting `BENCH_pr4.json`;
+//! * `cargo run -p rvbench --release --bin slice_pipeline` — the
+//!   relevance-slicing on/off comparison (see [`slice`]), emitting
+//!   `BENCH_pr5.json`;
 //! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
 //!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
@@ -19,6 +22,7 @@
 
 pub mod micro;
 pub mod pipeline;
+pub mod slice;
 pub mod stream;
 
 use std::collections::BTreeSet;

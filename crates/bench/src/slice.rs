@@ -1,0 +1,429 @@
+//! Relevance-slicing benchmark: the `BENCH_pr5.json` harness mode.
+//!
+//! Compares the detector with cone-of-influence slicing on (the default)
+//! against `--no-slice` on *wide-window* workloads: a small racy head plus
+//! a message-passing pair, followed by many filler threads hammering
+//! thread-local variables under a ring of pairwise-shared locks. The whole
+//! trace fits in one window, so the unsliced encoder pays a quadratic
+//! Φ_lock over every filler critical section while the cone of the
+//! interesting COPs never touches them.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin slice_pipeline -- --out BENCH_pr5.json
+//! ```
+//!
+//! # Document schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "pr5",
+//!   "mode": "full",
+//!   "jobs": 4,
+//!   "workloads": [
+//!     {"name": "wide_large", "events": 893, "window_size": 893,
+//!      "sliced":   {"races": 2, "constraints": 310, "cone_events": 40,
+//!                   "window_events": 2679, "wall_time_us": 5210},
+//!      "unsliced": {"races": 2, "constraints": 9480, "cone_events": 2679,
+//!                   "window_events": 2679, "wall_time_us": 31240}}
+//!   ]
+//! }
+//! ```
+//!
+//! `races` is count-type and must be equal between the two runs for every
+//! workload (the soundness contract: slicing never changes the verdict).
+//! `cone_events`/`window_events`/`constraints` are deterministic encoder
+//! counters summed over COP records; the validator requires the sliced run
+//! to actually slice (`cone_events < window_events`) and the unsliced run
+//! not to (`cone_events == window_events`). `wall_time_us` is run-shape
+//! dependent; only `"full"` documents must show the ≥2x constraint
+//! reduction and ≥1.5x wall-clock speedup on the largest workload.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rvcore::{DetectorConfig, RaceDetector};
+use rvsim::workloads::Workload;
+use rvtrace::{parse_json, ThreadId, TraceBuilder};
+
+/// Version of the `BENCH_pr5.json` document. Bumped on any incompatible
+/// change (key renames, section shape).
+pub const SLICE_BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The suite tag stamped into every document this harness emits.
+pub const SLICE_BENCH_SUITE: &str = "pr5";
+
+/// Detection knobs for a slicing-bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceBenchOptions {
+    /// Per-COP solver budget.
+    pub solver_timeout: Duration,
+    /// Worker threads for both runs.
+    pub jobs: usize,
+}
+
+impl Default for SliceBenchOptions {
+    fn default() -> Self {
+        SliceBenchOptions {
+            solver_timeout: Duration::from_secs(10),
+            jobs: 4,
+        }
+    }
+}
+
+/// Builds a wide-window workload: a racy pair on `x`, a message-passing
+/// pair on `y` (guarded by a `flag` read + branch, so it is *not* a race),
+/// then `fillers` threads each doing `cluster` rounds of lock-protected
+/// writes to their own variable, with each lock shared between ring
+/// neighbours so every lock carries many cross-thread critical sections.
+pub fn wide_window_workload(name: &str, fillers: usize, cluster: usize) -> Workload {
+    assert!(fillers >= 2, "the lock ring needs at least two fillers");
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let flag = b.var("flag");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    let filler_threads: Vec<ThreadId> = (0..fillers).map(|_| b.fork(t1)).collect();
+    let locks: Vec<_> = (0..fillers).map(|i| b.new_lock(&format!("l{i}"))).collect();
+    let vars: Vec<_> = (0..fillers).map(|i| b.var(&format!("f{i}"))).collect();
+
+    // The interesting head: one real race...
+    b.write(t1, x, 1);
+    b.write(t2, x, 2);
+    // ...and a message-passing pair the branch makes order-dependent:
+    // the `y` read can only run after `flag` reads 1, which forces the
+    // `y` write first — (write y, read y) must come out UNSAT.
+    b.write(t1, y, 1);
+    b.write(t1, flag, 1);
+    b.read(t2, flag, 1);
+    b.branch(t2);
+    b.read(t2, y, 1);
+
+    // The wide tail: irrelevant to every COP above, expensive to encode.
+    for round in 0..cluster as i64 {
+        for (i, &t) in filler_threads.iter().enumerate() {
+            for l in [locks[i], locks[(i + 1) % fillers]] {
+                b.acquire(t, l);
+                b.write(t, vars[i], round);
+                b.release(t, l);
+            }
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The smallest wide-window workload, for smoke runs and the schema test.
+pub fn smoke_slice_workloads() -> Vec<Workload> {
+    vec![wide_window_workload("wide_small", 4, 4)]
+}
+
+/// The full set: the smoke size plus a tail wide enough that the
+/// unsliced Φ_lock dominates everything else.
+pub fn full_slice_workloads() -> Vec<Workload> {
+    vec![
+        wide_window_workload("wide_small", 4, 4),
+        wide_window_workload("wide_medium", 6, 8),
+        wide_window_workload("wide_large", 10, 14),
+    ]
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+struct SliceRun {
+    races: u64,
+    constraints: u64,
+    cone_events: u64,
+    window_events: u64,
+    wall: Duration,
+}
+
+fn run_once(workload: &Workload, opts: &SliceBenchOptions, slice: bool) -> SliceRun {
+    let cfg = DetectorConfig {
+        // One window spanning the whole trace: the regime slicing targets.
+        window_size: workload.trace.len().max(1),
+        solver_timeout: opts.solver_timeout,
+        parallelism: opts.jobs,
+        slice,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let report = RaceDetector::with_config(cfg).detect(&workload.trace);
+    SliceRun {
+        races: report.n_races() as u64,
+        constraints: report.stats.constraints_encoded,
+        cone_events: report.stats.cone_events,
+        window_events: report.stats.window_events_encoded,
+        wall: t0.elapsed(),
+    }
+}
+
+fn write_run(out: &mut String, key: &str, run: &SliceRun) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"races\": {}, \"constraints\": {}, \"cone_events\": {}, \
+         \"window_events\": {}, \"wall_time_us\": {}}}",
+        run.races,
+        run.constraints,
+        run.cone_events,
+        run.window_events,
+        us(run.wall),
+    );
+}
+
+/// Runs each workload with slicing on and off and returns the versioned
+/// comparison document described in the module docs. `mode` is stamped
+/// into the document and selects how much the validator enforces
+/// (`"full"` adds the reduction/speedup invariants).
+pub fn run_slice_pipeline(workloads: &[Workload], opts: &SliceBenchOptions, mode: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SLICE_BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"suite\": \"{SLICE_BENCH_SUITE}\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"jobs\": {},", opts.jobs);
+    out.push_str("  \"workloads\": [");
+    for (i, w) in workloads.iter().enumerate() {
+        let sliced = run_once(w, opts, true);
+        let unsliced = run_once(w, opts, false);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"events\": {}, \"window_size\": {},\n     ",
+            w.name,
+            w.trace.len(),
+            w.trace.len().max(1),
+        );
+        write_run(&mut out, "sliced", &sliced);
+        out.push_str(",\n     ");
+        write_run(&mut out, "unsliced", &unsliced);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Integer fields each run sub-object must carry, all non-negative.
+const RUN_INT_KEYS: [&str; 5] = [
+    "races",
+    "constraints",
+    "cone_events",
+    "window_events",
+    "wall_time_us",
+];
+
+/// Validates a `BENCH_pr5.json` document: version/suite/mode tags,
+/// required keys, non-negative integers, `races` equality between the two
+/// runs on every workload, the sliced run actually slicing
+/// (`cone_events < window_events`) while the unsliced one does not, and —
+/// for `"full"` documents — a ≥2x constraint reduction and ≥1.5x
+/// wall-clock speedup on the largest workload. Returns a description of
+/// the first violation.
+pub fn validate_slice_bench_json(json: &str) -> Result<(), String> {
+    let doc = parse_json(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .and_then(|v| v.as_int())
+        .map_err(|e| e.to_string())?;
+    if version != SLICE_BENCH_SCHEMA_VERSION as i64 {
+        return Err(format!(
+            "schema_version is {version}, expected {SLICE_BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let suite = doc
+        .field("suite")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if suite != SLICE_BENCH_SUITE {
+        return Err(format!(
+            "suite is `{suite}`, expected `{SLICE_BENCH_SUITE}`"
+        ));
+    }
+    let mode = doc
+        .field("mode")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode is `{mode}`, expected `smoke` or `full`"));
+    }
+    let jobs = doc
+        .field("jobs")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("jobs: {e}"))?;
+    if jobs <= 0 {
+        return Err(format!("jobs must be positive, got {jobs}"));
+    }
+    let entries = doc
+        .field("workloads")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .map_err(|e| format!("workloads: {e}"))?;
+    if entries.is_empty() {
+        return Err("workloads array is empty".into());
+    }
+    let mut largest: Option<(i64, String, [i64; 10])> = None;
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("workloads[{i}].name: {e}"))?;
+        let top = |key: &str| -> Result<i64, String> {
+            let v = entry
+                .field(key)
+                .and_then(|v| v.as_int())
+                .map_err(|e| format!("workload `{name}`: {key}: {e}"))?;
+            if v < 0 {
+                return Err(format!("workload `{name}`: {key} is negative ({v})"));
+            }
+            Ok(v)
+        };
+        let events = top("events")?;
+        top("window_size")?;
+        let mut runs = [0i64; 10];
+        for (r, run_key) in ["sliced", "unsliced"].into_iter().enumerate() {
+            let run = entry
+                .field(run_key)
+                .map_err(|e| format!("workload `{name}`: {run_key}: {e}"))?;
+            for (k, key) in RUN_INT_KEYS.into_iter().enumerate() {
+                let v = run
+                    .field(key)
+                    .and_then(|v| v.as_int())
+                    .map_err(|e| format!("workload `{name}`: {run_key}.{key}: {e}"))?;
+                if v < 0 {
+                    return Err(format!(
+                        "workload `{name}`: {run_key}.{key} is negative ({v})"
+                    ));
+                }
+                runs[r * 5 + k] = v;
+            }
+        }
+        let [s_races, _, s_cone, s_window, _, u_races, _, u_cone, u_window, _] = runs;
+        if s_races != u_races {
+            return Err(format!(
+                "workload `{name}`: sliced found {s_races} race(s) but unsliced \
+                 found {u_races} — slicing must not change the verdict"
+            ));
+        }
+        if s_window > 0 && s_cone >= s_window {
+            return Err(format!(
+                "workload `{name}`: sliced cone_events ({s_cone}) is not below \
+                 window_events ({s_window}) — nothing was sliced"
+            ));
+        }
+        if u_cone != u_window {
+            return Err(format!(
+                "workload `{name}`: unsliced cone_events ({u_cone}) differs from \
+                 window_events ({u_window}) — the unsliced run must not slice"
+            ));
+        }
+        if largest.as_ref().is_none_or(|(e, ..)| events > *e) {
+            largest = Some((events, name, runs));
+        }
+    }
+    if mode == "full" {
+        let (_, name, runs) = largest.expect("workloads array checked non-empty");
+        let [_, s_constraints, _, _, s_wall, _, u_constraints, _, _, u_wall] = runs;
+        if u_constraints < 2 * s_constraints {
+            return Err(format!(
+                "workload `{name}`: unsliced constraints ({u_constraints}) are not \
+                 ≥2x sliced ({s_constraints})"
+            ));
+        }
+        if 2 * u_wall < 3 * s_wall {
+            return Err(format!(
+                "workload `{name}`: unsliced wall_time_us ({u_wall}) is not ≥1.5x \
+                 sliced ({s_wall})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_slice_pipeline_emits_valid_document() {
+        let json = run_slice_pipeline(
+            &smoke_slice_workloads(),
+            &SliceBenchOptions::default(),
+            "smoke",
+        );
+        validate_slice_bench_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"suite\": \"pr5\""), "{json}");
+        assert!(json.contains("\"name\": \"wide_small\""), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let json = run_slice_pipeline(
+            &smoke_slice_workloads(),
+            &SliceBenchOptions::default(),
+            "smoke",
+        );
+        let wrong_version = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_slice_bench_json(&wrong_version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let wrong_suite = json.replace("\"suite\": \"pr5\"", "\"suite\": \"pr4\"");
+        assert!(validate_slice_bench_json(&wrong_suite)
+            .unwrap_err()
+            .contains("suite"));
+        assert!(validate_slice_bench_json("not json").is_err());
+        assert!(validate_slice_bench_json("{}").is_err());
+    }
+
+    #[test]
+    fn validator_enforces_verdict_equality_and_full_mode_ratios() {
+        // Hand-built document: races disagree between the runs.
+        let disagreeing = r#"{
+  "schema_version": 1, "suite": "pr5", "mode": "smoke",
+  "jobs": 1,
+  "workloads": [
+    {"name": "w", "events": 10, "window_size": 10,
+     "sliced": {"races": 1, "constraints": 5, "cone_events": 4, "window_events": 10, "wall_time_us": 3},
+     "unsliced": {"races": 2, "constraints": 20, "cone_events": 10, "window_events": 10, "wall_time_us": 9}}
+  ]
+}"#;
+        assert!(validate_slice_bench_json(disagreeing)
+            .unwrap_err()
+            .contains("verdict"));
+        // The sliced run must actually slice.
+        let unslicing = disagreeing
+            .replace("\"races\": 2", "\"races\": 1")
+            .replace("\"cone_events\": 4", "\"cone_events\": 10");
+        assert!(validate_slice_bench_json(&unslicing)
+            .unwrap_err()
+            .contains("nothing was sliced"));
+        // Full mode: the constraint-reduction ratio is enforced.
+        let weak_reduction = r#"{
+  "schema_version": 1, "suite": "pr5", "mode": "full",
+  "jobs": 1,
+  "workloads": [
+    {"name": "w", "events": 10, "window_size": 10,
+     "sliced": {"races": 1, "constraints": 15, "cone_events": 4, "window_events": 10, "wall_time_us": 3},
+     "unsliced": {"races": 1, "constraints": 20, "cone_events": 10, "window_events": 10, "wall_time_us": 9}}
+  ]
+}"#;
+        assert!(validate_slice_bench_json(weak_reduction)
+            .unwrap_err()
+            .contains("≥2x"));
+        // And the speedup ratio.
+        let weak_speedup = weak_reduction
+            .replace("\"constraints\": 15", "\"constraints\": 5")
+            .replace("\"wall_time_us\": 3", "\"wall_time_us\": 8");
+        assert!(validate_slice_bench_json(&weak_speedup)
+            .unwrap_err()
+            .contains("≥1.5x"));
+        // Same documents in smoke mode pass: ratios are not enforced.
+        let smoke = weak_reduction.replace("\"mode\": \"full\"", "\"mode\": \"smoke\"");
+        validate_slice_bench_json(&smoke).unwrap();
+    }
+}

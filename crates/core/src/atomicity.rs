@@ -160,9 +160,12 @@ impl AtomicityDetector {
         // Share one incremental encoding: base Φ plus one selector per
         // triple guarding O_{a1} < O_b < O_{a2} and, under control flow,
         // the π_cf obligations of all three events.
+        // `encode_between` never slices (the serialization obligations are
+        // not modeled by the COP cone analysis), so `slice` is left off.
         let opts = EncoderOptions {
             mode: self.config.mode,
             prune_write_sets: self.config.prune_write_sets,
+            slice: false,
         };
         let raw: Vec<(EventId, EventId, EventId)> = triples
             .iter()

@@ -105,6 +105,12 @@ pub struct DetectorConfig {
     pub prune_write_sets: bool,
     /// Consistency discipline.
     pub mode: ConsistencyMode,
+    /// Relevance slicing: encode each COP only over its cone of influence
+    /// (the MHB prefix closure of the accesses plus the `cf`-reachable
+    /// reads and cone-held lock regions), instead of the whole window.
+    /// Verdict-preserving; exposed as CLI `--no-slice` for A/B checks. No
+    /// effect under [`ConsistencyMode::WholeTrace`].
+    pub slice: bool,
     /// Validate every witness schedule against the trace-consistency checker
     /// before reporting a race (operationalizes Thm. 1/3; cheap).
     pub validate_witnesses: bool,
@@ -147,6 +153,7 @@ impl Default for DetectorConfig {
             dedup_signatures: true,
             prune_write_sets: true,
             mode: ConsistencyMode::ControlFlow,
+            slice: true,
             validate_witnesses: true,
             phase_hints: true,
             batch_windows: true,
@@ -186,6 +193,7 @@ mod tests {
         assert_eq!(c.window_size, 10_000);
         assert_eq!(c.solver_timeout, Duration::from_secs(60));
         assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
+        assert!(c.slice, "relevance slicing is on by default");
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
         assert!(c.parallelism >= 1, "at least one worker");
         assert!(!c.retry_split, "retry policy is opt-in");

@@ -63,9 +63,10 @@ use rvtrace::{
 
 use crate::config::{DetectorConfig, Fault};
 use crate::cop::enumerate_cops;
-use crate::encoder::{encode, encode_window, EncoderOptions};
+use crate::encoder::{encode, encode_window, encode_with_skeleton, EncoderOptions};
 use crate::report::{DetectionReport, FailedWindow, RaceReport, SolverTotals, UndecidedReason};
-use crate::witness::{extract_witness, extract_witness_with};
+use crate::slice::WindowSkeleton;
+use crate::witness::{extract_witness, Witness};
 
 /// How one COP fared inside a worker. `Skipped` records mark COPs the
 /// worker never solved because their signature was locally confirmed
@@ -101,6 +102,17 @@ struct CopRecord {
     profile: SolverTotals,
     /// Whether the split-window retry policy re-solved this COP.
     retried: bool,
+    /// Events the COP's encoding actually constrained (its cone of
+    /// influence; the whole window with slicing off). Zero for skipped
+    /// and fault-forced records, which encode nothing.
+    cone_events: usize,
+    /// Events in the window the COP was encoded against (zero when
+    /// nothing was encoded). Tallied at merge for surviving records
+    /// only, like `profile`.
+    window_events: usize,
+    /// Asserted constraints in the COP's formula (zero when nothing was
+    /// encoded).
+    constraints: usize,
 }
 
 /// Everything a worker learned about one window; merged in window order.
@@ -636,6 +648,7 @@ impl RaceDetector {
         let opts = EncoderOptions {
             mode: cfg.mode,
             prune_write_sets: cfg.prune_write_sets,
+            slice: cfg.slice,
         };
         // Snapshot of merge-confirmed signatures. Only ever used to *skip*
         // solves whose records the merge replay is guaranteed to discard.
@@ -725,9 +738,18 @@ impl RaceDetector {
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
                 SmtResult::Sat => {
                     if cfg.validate_witnesses {
-                        match extract_witness(half, record.cop, &encoded, &solver, cfg.mode) {
+                        let witness = if opts.slicing_active() {
+                            // `encode` sliced the half-window formula; the
+                            // reported witness must come from the
+                            // canonical unsliced solve.
+                            self.canonical_witness(half, record.cop, opts, budget)
+                        } else {
+                            extract_witness(half, record.cop, &encoded, &solver, cfg.mode)
+                                .map_err(|_| ())
+                        };
+                        match witness {
                             Ok(witness) => CopVerdict::Race(witness.schedule),
-                            Err(_) => CopVerdict::WitnessFailed,
+                            Err(()) => CopVerdict::WitnessFailed,
                         }
                     } else {
                         CopVerdict::Race(Schedule(vec![record.cop.first, record.cop.second]))
@@ -774,6 +796,9 @@ impl RaceDetector {
         out: &mut SolvedWindow,
     ) {
         let cfg = &self.config;
+        // One skeleton per window: its indexes are shared by every COP's
+        // cone computation.
+        let skel = opts.slicing_active().then(|| WindowSkeleton::new(view));
         let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
         for (cop_index, cop) in cops.into_iter().enumerate() {
             let signature = RaceSignature::of_cop(view.trace(), cop);
@@ -786,6 +811,9 @@ impl RaceDetector {
                     verdict,
                     profile: SolverTotals::default(),
                     retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
                 });
                 continue;
             }
@@ -798,11 +826,17 @@ impl RaceDetector {
                     verdict: CopVerdict::Skipped,
                     profile: SolverTotals::default(),
                     retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
                 });
                 continue;
             }
             let solve_start = Instant::now();
-            let encoded = encode(view, cop, opts);
+            let encoded = match &skel {
+                Some(s) => encode_with_skeleton(s, cop, opts),
+                None => encode(view, cop, opts),
+            };
             let mut solver = Solver::new(&encoded.fb);
             if cfg.phase_hints {
                 solver.hint_atom_phases(|a| encoded.phase_hint(a));
@@ -812,12 +846,19 @@ impl RaceDetector {
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
                 SmtResult::Sat => {
                     if cfg.validate_witnesses {
-                        match extract_witness(view, cop, &encoded, &solver, cfg.mode) {
+                        let witness = if skel.is_some() {
+                            // Sliced model: re-solve unsliced for the
+                            // canonical witness (see `canonical_witness`).
+                            self.canonical_witness(view, cop, opts, budget)
+                        } else {
+                            extract_witness(view, cop, &encoded, &solver, cfg.mode).map_err(|_| ())
+                        };
+                        match witness {
                             Ok(witness) => {
                                 local_confirmed.insert(signature);
                                 CopVerdict::Race(witness.schedule)
                             }
-                            Err(_) => CopVerdict::WitnessFailed,
+                            Err(()) => CopVerdict::WitnessFailed,
                         }
                     } else {
                         local_confirmed.insert(signature);
@@ -836,8 +877,43 @@ impl RaceDetector {
                 verdict,
                 profile,
                 retried: false,
+                cone_events: encoded.cone_events,
+                window_events: encoded.window_events,
+                constraints: encoded.n_constraints,
             });
         }
+    }
+
+    /// The canonical witness for a SAT verdict: a fresh *unsliced* glued
+    /// encoding of the COP, solved from scratch with phase hints, and the
+    /// witness extracted from that model. Used whenever the verdict came
+    /// from a sliced or selector-guarded model, so reported schedules are
+    /// byte-identical across `slice` on/off, `batch_windows` on/off, and
+    /// every `--jobs` value. (A sliced model leaves non-cone events
+    /// unplaced, and an incremental batch model depends on the window's
+    /// solve history; the fresh solve depends on neither. The verdict
+    /// itself is already SAT, so this solve can only fail at a budget
+    /// boundary, which is reported honestly as a witness failure.)
+    fn canonical_witness(
+        &self,
+        view: &View<'_>,
+        cop: Cop,
+        opts: EncoderOptions,
+        budget: &Budget,
+    ) -> Result<Witness, ()> {
+        let opts = EncoderOptions {
+            slice: false,
+            ..opts
+        };
+        let encoded = encode(view, cop, opts);
+        let mut solver = Solver::new(&encoded.fb);
+        if self.config.phase_hints {
+            solver.hint_atom_phases(|a| encoded.phase_hint(a));
+        }
+        if solver.solve(budget) != SmtResult::Sat {
+            return Err(());
+        }
+        extract_witness(view, cop, &encoded, &solver, self.config.mode).map_err(|_| ())
     }
 
     /// Batch mode: one shared encoding + incremental solver per window,
@@ -870,11 +946,16 @@ impl RaceDetector {
                     verdict: CopVerdict::Skipped,
                     profile: SolverTotals::default(),
                     retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
                 });
             }
             return;
         }
         let solve_start = Instant::now();
+        // With slicing, the shared base formula covers the union cone of
+        // the window's COPs.
         let encoded = encode_window(view, &cops, opts);
         let mut solver = Solver::new(&encoded.fb);
         if cfg.phase_hints {
@@ -896,6 +977,9 @@ impl RaceDetector {
                     verdict,
                     profile: SolverTotals::default(),
                     retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
                 });
                 continue;
             }
@@ -906,6 +990,9 @@ impl RaceDetector {
                     verdict: CopVerdict::Skipped,
                     profile: SolverTotals::default(),
                     retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
                 });
                 continue;
             }
@@ -918,19 +1005,17 @@ impl RaceDetector {
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
                 SmtResult::Sat => {
                     if cfg.validate_witnesses {
-                        match extract_witness_with(
-                            view,
-                            cop,
-                            |e| encoded.ovar(e),
-                            &encoded.required_branches[i],
-                            &solver,
-                            cfg.mode,
-                        ) {
+                        // The incremental model depends on the window's
+                        // solve history (and, sliced, leaves non-cone
+                        // events unplaced): always report the canonical
+                        // fresh-solve witness instead, so schedules are
+                        // identical to per-COP mode at every configuration.
+                        match self.canonical_witness(view, cop, opts, budget) {
                             Ok(witness) => {
                                 local_confirmed.insert(signature);
                                 CopVerdict::Race(witness.schedule)
                             }
-                            Err(_) => CopVerdict::WitnessFailed,
+                            Err(()) => CopVerdict::WitnessFailed,
                         }
                     } else {
                         local_confirmed.insert(signature);
@@ -947,6 +1032,9 @@ impl RaceDetector {
                 verdict,
                 profile,
                 retried: false,
+                cone_events: encoded.cone_events,
+                window_events: encoded.window_events,
+                constraints: encoded.n_constraints,
             });
         }
     }
@@ -1000,6 +1088,17 @@ impl RaceDetector {
                 if !matches!(record.verdict, CopVerdict::Undecided(_)) {
                     stats.retry_rescued += 1;
                 }
+            }
+            // Encoding-size accounting, surviving records only (same
+            // determinism contract as `profile` above). Skipped and
+            // fault-forced records encode nothing and carry zeros.
+            if record.window_events > 0 {
+                stats.cone_events += record.cone_events as u64;
+                stats.window_events_encoded += record.window_events as u64;
+                stats.sliced_out += (record.window_events - record.cone_events) as u64;
+                stats.constraints_encoded += record.constraints as u64;
+                stats.cone_events_per_cop.observe(record.cone_events as u64);
+                stats.constraints_per_cop.observe(record.constraints as u64);
             }
             match record.verdict {
                 CopVerdict::Skipped => {

@@ -22,6 +22,7 @@ use rvsmt::{FormulaBuilder, IntVar, TermId};
 use rvtrace::{Cop, EventId, EventKind, View};
 
 use crate::config::ConsistencyMode;
+use crate::slice::{Cone, WindowSkeleton};
 
 /// Encoder knobs (a subset of
 /// [`DetectorConfig`](crate::DetectorConfig), so the encoder can be driven
@@ -32,6 +33,12 @@ pub struct EncoderOptions {
     pub mode: ConsistencyMode,
     /// Apply MHB-based pruning of write sets (paper §3.2, last paragraph).
     pub prune_write_sets: bool,
+    /// Relevance slicing: encode only over the COP's cone of influence
+    /// (see [`crate::slice`]). Verdict-preserving; `--no-slice` turns it
+    /// off for A/B checks. No effect under
+    /// [`ConsistencyMode::WholeTrace`], whose read constraints span the
+    /// window by definition.
+    pub slice: bool,
 }
 
 impl Default for EncoderOptions {
@@ -39,7 +46,17 @@ impl Default for EncoderOptions {
         EncoderOptions {
             mode: ConsistencyMode::ControlFlow,
             prune_write_sets: true,
+            slice: true,
         }
+    }
+}
+
+impl EncoderOptions {
+    /// Whether slicing actually applies: the whole-trace baseline asserts
+    /// a read-match for every read of the window, so its cone is always
+    /// the full window and slicing would only add overhead.
+    pub fn slicing_active(&self) -> bool {
+        self.slice && self.mode == ConsistencyMode::ControlFlow
     }
 }
 
@@ -66,6 +83,13 @@ pub struct Encoded {
     /// Original trace position of each order variable's (first) event,
     /// indexed by `IntVar` — the phase-hint near-model.
     pub var_pos: Vec<i64>,
+    /// Events actually encoded (the cone; equals `window_events` when
+    /// slicing is off or inactive).
+    pub cone_events: usize,
+    /// Events in the window view the formula was cut from.
+    pub window_events: usize,
+    /// Total asserted constraints in the formula.
+    pub n_constraints: usize,
 }
 
 impl Encoded {
@@ -89,12 +113,18 @@ impl Encoded {
     }
 
     /// A compact description of the constraint system, in the spirit of the
-    /// paper's Figure 5.
+    /// paper's Figure 5. Reports the cone-vs-window slice ratio and the
+    /// post-slicing constraint-group counts so `--trace-log` output stays
+    /// meaningful under relevance slicing.
     pub fn describe(&self) -> String {
         format!(
-            "Φ_mhb: {} orderings; Φ_lock: {} region pairs; Φ_race: {} cf vars, {} read matches; {} branches asserted feasible",
+            "cone {}/{} events ({} sliced out); Φ_mhb: {} orderings; Φ_lock: {} region pairs; Φ_race: {} cf vars, {} read matches; {} branches asserted feasible; {} constraints",
+            self.cone_events,
+            self.window_events,
+            self.window_events - self.cone_events,
             self.n_mhb, self.n_lock, self.n_cf_vars, self.n_read_matches,
-            self.required_branches.len()
+            self.required_branches.len(),
+            self.n_constraints
         )
     }
 }
@@ -109,6 +139,9 @@ struct Encoder<'v, 't> {
     /// substitution); in batch mode every event has its own variable and
     /// adjacency is an equality guarded by a per-COP selector.
     glued: Option<Cop>,
+    /// When slicing, the cone of influence: events outside it get no real
+    /// order variable and no constraints.
+    cone: Option<&'v Cone>,
     opts: EncoderOptions,
     cf_cache: HashMap<EventId, TermId>,
     n_mhb: usize,
@@ -117,16 +150,42 @@ struct Encoder<'v, 't> {
 }
 
 impl<'v, 't> Encoder<'v, 't> {
-    fn new(view: &'v View<'t>, glued: Option<Cop>, opts: EncoderOptions) -> Self {
+    fn new(
+        view: &'v View<'t>,
+        glued: Option<Cop>,
+        cone: Option<&'v Cone>,
+        opts: EncoderOptions,
+    ) -> Self {
         let mut fb = FormulaBuilder::new();
         let view_start = view.range().start;
         let mut ovars = Vec::with_capacity(view.len());
         let mut var_pos: Vec<i64> = Vec::new();
+        // Sliced-out events all map to one dummy variable that no
+        // constraint may mention (`o()` debug-asserts cone membership), so
+        // `ovars` keeps its dense event→var indexing.
+        let dummy = match cone {
+            Some(c) if c.n_events() < view.len() => {
+                let v = fb.int_var();
+                debug_assert_eq!(v.index(), var_pos.len());
+                var_pos.push(0);
+                Some(v)
+            }
+            _ => None,
+        };
         for id in view.ids() {
             if glued.map(|c| c.second) == Some(id) {
                 // O_a := O_b substitution (paper §4): the pair shares a var.
                 let first = ovars[glued.expect("checked").first.index() - view_start];
                 ovars.push(first);
+            } else if let (Some(d), Some(c)) = (dummy, cone) {
+                if c.contains(view, id) {
+                    let v = fb.int_var();
+                    debug_assert_eq!(v.index(), var_pos.len());
+                    var_pos.push(id.index() as i64);
+                    ovars.push(v);
+                } else {
+                    ovars.push(d);
+                }
             } else {
                 let v = fb.int_var();
                 debug_assert_eq!(v.index(), var_pos.len());
@@ -141,6 +200,7 @@ impl<'v, 't> Encoder<'v, 't> {
             var_pos,
             view_start,
             glued,
+            cone,
             opts,
             cf_cache: HashMap::new(),
             n_mhb: 0,
@@ -151,6 +211,10 @@ impl<'v, 't> Encoder<'v, 't> {
 
     #[inline]
     fn o(&self, e: EventId) -> IntVar {
+        debug_assert!(
+            self.cone.map_or(true, |c| c.contains(self.view, e)),
+            "order variable requested for sliced-out event {e:?}"
+        );
         self.ovars[e.index() - self.view_start]
     }
 
@@ -181,8 +245,15 @@ impl<'v, 't> Encoder<'v, 't> {
     }
 
     /// `Φ_mhb`: program order, fork→begin, end→join, and the wait/notify
-    /// matching constraints of paper §4.
+    /// matching constraints of paper §4. With a cone, only the cone's
+    /// per-thread prefixes, edges, and marked links are constrained; the
+    /// dropped tail is satisfiable in trace order (see DESIGN.md,
+    /// "Relevance slicing").
     fn encode_mhb(&mut self) {
+        if let Some(cone) = self.cone {
+            self.encode_mhb_sliced(cone);
+            return;
+        }
         let view = self.view;
         let trace = view.trace();
         // Program order: adjacent pairs suffice (IDL `<` is transitive).
@@ -234,12 +305,40 @@ impl<'v, 't> Encoder<'v, 't> {
             })
             .copied()
             .collect();
-        for wl in &links {
+        self.encode_wait_links(&links);
+    }
+
+    /// The cone-restricted `Φ_mhb`: program order over each thread's cone
+    /// prefix, the cone's fork/join edges, and the cone's wait links.
+    fn encode_mhb_sliced(&mut self, cone: &Cone) {
+        let view = self.view;
+        let threads: Vec<rvtrace::ThreadId> = view.trace().threads().to_vec();
+        for (ti, &t) in threads.iter().enumerate() {
+            let evs = view.thread_events(t);
+            let cut = cone.need(ti).min(evs.len());
+            for w in evs[..cut].windows(2) {
+                self.assert_lt(w[0], w[1]);
+            }
+        }
+        let edges = cone.edges().to_vec();
+        for (src, dst) in edges {
+            self.assert_lt(src, dst);
+        }
+        let links = cone.links().to_vec();
+        self.encode_wait_links(&links);
+    }
+
+    /// Asserts the wait/notify matching constraints for `links` (each
+    /// notify inside its own release–acquire span, outside every other
+    /// same-lock span of the set).
+    fn encode_wait_links(&mut self, links: &[rvtrace::WaitLink]) {
+        let view = self.view;
+        for wl in links {
             let n = wl.notify.expect("filtered");
             self.assert_lt(wl.release, n);
             self.assert_lt(n, wl.acquire);
             let lock = view.event(n).kind.lock();
-            for other in &links {
+            for other in links {
                 if other.release == wl.release {
                     continue;
                 }
@@ -257,9 +356,18 @@ impl<'v, 't> Encoder<'v, 't> {
     }
 
     /// `Φ_lock`: for every pair of same-lock critical sections by different
-    /// threads, one releases before the other acquires.
+    /// threads, one releases before the other acquires. With a cone, only
+    /// cone-held locks are constrained — a lock no cone event holds has
+    /// all its spans outside the cone (locksets cover the acquire and
+    /// release endpoints), so the dropped disjunctions hold in trace order
+    /// for any tail extension of a sliced model.
     fn encode_lock(&mut self) {
         for lock_idx in 0..self.view.trace().n_locks() as u32 {
+            if let Some(cone) = self.cone {
+                if !cone.lock_held(rvtrace::LockId(lock_idx)) {
+                    continue;
+                }
+            }
             let spans = self.view.critical_sections(rvtrace::LockId(lock_idx));
             for i in 0..spans.len() {
                 for j in i + 1..spans.len() {
@@ -302,31 +410,7 @@ impl<'v, 't> Encoder<'v, 't> {
             _ => unreachable!("read_match on non-read"),
         };
         let prune = self.opts.prune_write_sets;
-        // W^r: all writes on the variable, minus those forced after r.
-        let wr: Vec<EventId> = view
-            .writes_of(var)
-            .iter()
-            .copied()
-            .filter(|&w| w != r && !(prune && view.mhb(r, w)))
-            .collect();
-        // W^r_v: candidate matched writes (same value).
-        let mut wrv: Vec<EventId> = wr
-            .iter()
-            .copied()
-            .filter(|&w| view.event(w).kind.value() == Some(value))
-            .collect();
-        if prune {
-            // Drop w1 when some other candidate w2 satisfies w1 ⪯ w2 ⪯ r.
-            let shadowed: Vec<bool> = wrv
-                .iter()
-                .map(|&w1| {
-                    wrv.iter()
-                        .any(|&w2| w2 != w1 && view.mhb(w1, w2) && view.mhb(w2, r))
-                })
-                .collect();
-            let mut keep = shadowed.iter().map(|s| !s);
-            wrv.retain(|_| keep.next().expect("aligned"));
-        }
+        let (wr, wrv) = write_sets(view, r, prune);
         let mut disjuncts: Vec<TermId> = Vec::with_capacity(wrv.len() + 1);
         for &w in &wrv {
             let mut conj: Vec<TermId> = Vec::new();
@@ -430,6 +514,44 @@ impl<'v, 't> Encoder<'v, 't> {
     }
 }
 
+/// The write sets of a read `r` (paper §3.2): `W^r`, every write on `r`'s
+/// variable not forced after it, and `W^r_v`, the same-value candidates it
+/// may match (shadow-pruned when `prune`). Shared between the encoder's
+/// `read_match` and the cone computation so the slice admits exactly the
+/// writes the formula will mention.
+pub(crate) fn write_sets(view: &View<'_>, r: EventId, prune: bool) -> (Vec<EventId>, Vec<EventId>) {
+    let (var, value) = match view.event(r).kind {
+        EventKind::Read { var, value } => (var, value),
+        _ => unreachable!("write_sets on non-read"),
+    };
+    // W^r: all writes on the variable, minus those forced after r.
+    let wr: Vec<EventId> = view
+        .writes_of(var)
+        .iter()
+        .copied()
+        .filter(|&w| w != r && !(prune && view.mhb(r, w)))
+        .collect();
+    // W^r_v: candidate matched writes (same value).
+    let mut wrv: Vec<EventId> = wr
+        .iter()
+        .copied()
+        .filter(|&w| view.event(w).kind.value() == Some(value))
+        .collect();
+    if prune {
+        // Drop w1 when some other candidate w2 satisfies w1 ⪯ w2 ⪯ r.
+        let shadowed: Vec<bool> = wrv
+            .iter()
+            .map(|&w1| {
+                wrv.iter()
+                    .any(|&w2| w2 != w1 && view.mhb(w1, w2) && view.mhb(w2, r))
+            })
+            .collect();
+        let mut keep = shadowed.iter().map(|s| !s);
+        wrv.retain(|_| keep.next().expect("aligned"));
+    }
+    (wr, wrv)
+}
+
 /// Encodes the maximal race-detection problem for `cop` over `view`.
 ///
 /// The returned formula is satisfiable iff `cop` is a race in the maximal
@@ -454,12 +576,37 @@ impl<'v, 't> Encoder<'v, 't> {
 /// assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat);
 /// ```
 pub fn encode(view: &View<'_>, cop: Cop, opts: EncoderOptions) -> Encoded {
+    if opts.slicing_active() {
+        let skel = WindowSkeleton::new(view);
+        return encode_with_skeleton(&skel, cop, opts);
+    }
+    encode_cop(view, cop, None, opts)
+}
+
+/// [`encode`] with a precomputed per-window [`WindowSkeleton`], so the
+/// skeleton's one-time indexes are shared across all of a window's COPs.
+/// Computes the COP's cone of influence and encodes only over it (when
+/// slicing is active for `opts`; otherwise identical to [`encode`]).
+pub fn encode_with_skeleton(
+    skel: &WindowSkeleton<'_, '_>,
+    cop: Cop,
+    opts: EncoderOptions,
+) -> Encoded {
+    if !opts.slicing_active() {
+        return encode_cop(skel.view(), cop, None, opts);
+    }
+    let cone = skel.cone(std::slice::from_ref(&cop), opts.prune_write_sets);
+    encode_cop(skel.view(), cop, Some(&cone), opts)
+}
+
+fn encode_cop(view: &View<'_>, cop: Cop, cone: Option<&Cone>, opts: EncoderOptions) -> Encoded {
     debug_assert!(view.contains(cop.first) && view.contains(cop.second));
-    let mut enc = Encoder::new(view, Some(cop), opts);
+    let mut enc = Encoder::new(view, Some(cop), cone, opts);
     enc.encode_mhb();
     enc.encode_lock();
     let required_branches = enc.encode_race(cop);
     let n_cf_vars = enc.cf_cache.len();
+    let n_constraints = enc.fb.asserted().len();
     Encoded {
         fb: enc.fb,
         ovars: enc.ovars,
@@ -470,6 +617,9 @@ pub fn encode(view: &View<'_>, cop: Cop, opts: EncoderOptions) -> Encoded {
         n_read_matches: enc.n_read_matches,
         n_cf_vars,
         var_pos: enc.var_pos,
+        cone_events: cone.map_or(view.len(), |c| c.n_events()),
+        window_events: view.len(),
+        n_constraints,
     }
 }
 
@@ -494,6 +644,13 @@ pub struct EncodedWindow {
     pub required_branches: Vec<Vec<EventId>>,
     /// Original trace position per order variable (phase hints).
     pub var_pos: Vec<i64>,
+    /// Events actually encoded (the union cone over all the window's
+    /// COPs; equals `window_events` when slicing is off or inactive).
+    pub cone_events: usize,
+    /// Events in the window view the formula was cut from.
+    pub window_events: usize,
+    /// Total asserted constraints in the formula.
+    pub n_constraints: usize,
 }
 
 impl EncodedWindow {
@@ -514,9 +671,38 @@ impl EncodedWindow {
 }
 
 /// Encodes one window's base constraints plus selector-guarded race
-/// constraints for every COP (the incremental batch interface).
+/// constraints for every COP (the incremental batch interface). When
+/// slicing is active, the base formula covers the *union* cone of all the
+/// window's COPs (one skeleton built internally; use
+/// [`encode_window_with_skeleton`] to share one across calls).
 pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> EncodedWindow {
-    let mut enc = Encoder::new(view, None, opts);
+    if opts.slicing_active() {
+        let skel = WindowSkeleton::new(view);
+        return encode_window_with_skeleton(&skel, cops, opts);
+    }
+    encode_window_cops(view, cops, None, opts)
+}
+
+/// [`encode_window`] with a precomputed [`WindowSkeleton`].
+pub fn encode_window_with_skeleton(
+    skel: &WindowSkeleton<'_, '_>,
+    cops: &[Cop],
+    opts: EncoderOptions,
+) -> EncodedWindow {
+    if !opts.slicing_active() {
+        return encode_window_cops(skel.view(), cops, None, opts);
+    }
+    let cone = skel.cone(cops, opts.prune_write_sets);
+    encode_window_cops(skel.view(), cops, Some(&cone), opts)
+}
+
+fn encode_window_cops(
+    view: &View<'_>,
+    cops: &[Cop],
+    cone: Option<&Cone>,
+    opts: EncoderOptions,
+) -> EncodedWindow {
+    let mut enc = Encoder::new(view, None, cone, opts);
     enc.encode_mhb();
     enc.encode_lock();
     if opts.mode == ConsistencyMode::WholeTrace {
@@ -557,6 +743,7 @@ pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> Enc
         selectors.push(sel);
         required_branches.push(branches);
     }
+    let n_constraints = enc.fb.asserted().len();
     EncodedWindow {
         fb: enc.fb,
         ovars: enc.ovars,
@@ -565,6 +752,9 @@ pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> Enc
         selectors,
         required_branches,
         var_pos: enc.var_pos,
+        cone_events: cone.map_or(view.len(), |c| c.n_events()),
+        window_events: view.len(),
+        n_constraints,
     }
 }
 
@@ -573,12 +763,16 @@ pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> Enc
 /// (the atomicity-violation interface; see
 /// [`atomicity`](crate::atomicity)). Under control flow each selector also
 /// asserts the `π_cf` obligations of all three events.
+///
+/// Always encodes the full window: the atomicity client reasons about
+/// arbitrary interleavings of the block's interior, and the per-COP cone
+/// analysis does not model its serialization obligations.
 pub fn encode_between(
     view: &View<'_>,
     triples: &[(EventId, EventId, EventId)],
     opts: EncoderOptions,
 ) -> EncodedWindow {
-    let mut enc = Encoder::new(view, None, opts);
+    let mut enc = Encoder::new(view, None, None, opts);
     enc.encode_mhb();
     enc.encode_lock();
     if opts.mode == ConsistencyMode::WholeTrace {
@@ -615,6 +809,7 @@ pub fn encode_between(
         selectors.push(sel);
         required_branches.push(branches);
     }
+    let n_constraints = enc.fb.asserted().len();
     EncodedWindow {
         fb: enc.fb,
         ovars: enc.ovars,
@@ -623,6 +818,9 @@ pub fn encode_between(
         selectors,
         required_branches,
         var_pos: enc.var_pos,
+        cone_events: view.len(),
+        window_events: view.len(),
+        n_constraints,
     }
 }
 
@@ -680,7 +878,7 @@ mod tests {
         let v = tr.full_view();
         let opts = EncoderOptions {
             mode: ConsistencyMode::WholeTrace,
-            prune_write_sets: true,
+            ..Default::default()
         };
         let enc = encode(&v, Cop::new(ids[0], ids[1]), opts);
         assert_eq!(solve(&enc), SmtResult::Unsat, "Said et al. misses (3,10)");
@@ -726,7 +924,7 @@ mod tests {
         // non-adjacent).
         let opts = EncoderOptions {
             mode: ConsistencyMode::WholeTrace,
-            prune_write_sets: true,
+            ..Default::default()
         };
         let enc = encode(&v, Cop::new(e1, e4), opts);
         assert_eq!(solve(&enc), SmtResult::Unsat, "Said misses (1,4) in case ①");
@@ -827,8 +1025,51 @@ mod tests {
         let enc = encode(&v, Cop::new(ids[0], ids[1]), EncoderOptions::default());
         let d = enc.describe();
         assert!(d.contains("Φ_mhb") && d.contains("Φ_lock") && d.contains("Φ_race"));
+        assert!(d.contains("cone") && d.contains("sliced out") && d.contains("constraints"));
         assert!(enc.n_mhb > 0);
         assert!(enc.n_lock >= 1);
+        assert!(enc.cone_events > 0 && enc.cone_events <= enc.window_events);
+        assert!(enc.n_constraints > 0);
+    }
+
+    /// Every Figure 1/2 verdict is identical with slicing off — the A/B
+    /// toggle the CLI's `--no-slice` exposes.
+    #[test]
+    fn slicing_preserves_figure_verdicts() {
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let sliced = EncoderOptions::default();
+        let full = EncoderOptions {
+            slice: false,
+            ..Default::default()
+        };
+        assert!(sliced.slicing_active() && !full.slicing_active());
+        for (a, b) in [
+            (ids[0], ids[1]),
+            (ids[2], ids[3]),
+            (ids[4], ids[5]),
+            (ids[0], ids[4]),
+        ] {
+            let cop = Cop::new(a, b);
+            let vs = solve(&encode(&v, cop, sliced));
+            let vf = solve(&encode(&v, cop, full));
+            assert_eq!(vs, vf, "slicing changed the verdict of ({a},{b})");
+        }
+    }
+
+    /// Whole-trace mode spans the window by definition, so slicing must be
+    /// inert there even when requested.
+    #[test]
+    fn slicing_inactive_under_whole_trace() {
+        let opts = EncoderOptions {
+            mode: ConsistencyMode::WholeTrace,
+            ..Default::default()
+        };
+        assert!(opts.slice && !opts.slicing_active());
+        let (tr, ids) = figure1();
+        let v = tr.full_view();
+        let enc = encode(&v, Cop::new(ids[0], ids[1]), opts);
+        assert_eq!(enc.cone_events, enc.window_events);
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod encoder;
 pub mod metrics;
 pub mod oracle;
 mod report;
+mod slice;
 mod witness;
 
 pub use atomicity::{
@@ -57,11 +58,15 @@ pub use atomicity::{
 pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
 pub use detector::{RaceDetector, StreamDetection};
-pub use encoder::{encode, encode_window, Encoded, EncodedWindow, EncoderOptions};
+pub use encoder::{
+    encode, encode_window, encode_window_with_skeleton, encode_with_skeleton, Encoded,
+    EncodedWindow, EncoderOptions,
+};
 pub use metrics::{Histogram, Metrics, PhaseTimer, METRICS_SCHEMA_VERSION};
 pub use oracle::oracle_races;
 pub use report::{
     DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, SolverTotals,
     UndecidedReason,
 };
+pub use slice::{Cone, WindowSkeleton};
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

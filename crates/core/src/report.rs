@@ -193,6 +193,26 @@ pub struct DetectionStats {
     pub retry_rescued: usize,
     /// Witness validations that failed (soundness gate trips; expected 0).
     pub witness_failures: usize,
+    /// Events actually encoded, summed over surviving COP encodings (the
+    /// cone of influence per COP; equals
+    /// [`DetectionStats::window_events_encoded`] with slicing off).
+    /// Count-type.
+    pub cone_events: u64,
+    /// Window events the surviving COP encodings were cut from, summed.
+    /// Count-type.
+    pub window_events_encoded: u64,
+    /// Events relevance slicing removed from surviving encodings, summed
+    /// (`window_events_encoded - cone_events`). Count-type.
+    pub sliced_out: u64,
+    /// Asserted constraints across surviving COP encodings, summed.
+    /// Count-type.
+    pub constraints_encoded: u64,
+    /// Per-COP cone-size distribution (events actually encoded).
+    /// Count-type.
+    pub cone_events_per_cop: Histogram,
+    /// Per-COP formula-size distribution (asserted constraints).
+    /// Count-type.
+    pub constraints_per_cop: Histogram,
     /// Summed SAT-core effort (decisions, propagations, conflicts, …)
     /// across every surviving COP solve. Count-type: identical at every
     /// thread count.
@@ -249,6 +269,12 @@ impl DetectionStats {
         self.retried_cops += other.retried_cops;
         self.retry_rescued += other.retry_rescued;
         self.witness_failures += other.witness_failures;
+        self.cone_events += other.cone_events;
+        self.window_events_encoded += other.window_events_encoded;
+        self.sliced_out += other.sliced_out;
+        self.constraints_encoded += other.constraints_encoded;
+        self.cone_events_per_cop.merge(&other.cone_events_per_cop);
+        self.constraints_per_cop.merge(&other.constraints_per_cop);
         self.solver_totals.add(&other.solver_totals);
         self.conflicts_per_cop.merge(&other.conflicts_per_cop);
         self.decisions_per_cop.merge(&other.decisions_per_cop);
@@ -343,6 +369,12 @@ impl DetectionReport {
         m.inc("detector.retried_cops", s.retried_cops as u64);
         m.inc("detector.retry_rescued", s.retry_rescued as u64);
         m.inc("detector.witness_failures", s.witness_failures as u64);
+        m.inc("encoder.cone_events", s.cone_events);
+        m.inc("encoder.window_events", s.window_events_encoded);
+        m.inc("encoder.sliced_out", s.sliced_out);
+        m.inc("encoder.constraints", s.constraints_encoded);
+        m.record_histogram("encoder.cone_events_per_cop", &s.cone_events_per_cop);
+        m.record_histogram("encoder.constraints_per_cop", &s.constraints_per_cop);
         let t = &s.solver_totals;
         m.inc("solver.solves", t.solves);
         m.inc("solver.decisions", t.decisions);

@@ -311,9 +311,13 @@ mod tests {
         mode: ConsistencyMode,
     ) -> Result<Witness, WitnessError> {
         let view = trace.full_view();
+        // Witness extraction roams the whole window (justifier search),
+        // so it always runs against an unsliced encoding — as in the
+        // detector's canonical-witness solve.
         let opts = EncoderOptions {
             mode,
             prune_write_sets: true,
+            slice: false,
         };
         let enc = encode(&view, cop, opts);
         let mut solver = Solver::new(&enc.fb);

@@ -17,6 +17,10 @@
 //!                              consistency axioms (with per-category diagnostics)
 //!                              instead of rejecting the file
 //!   --retry-split              re-solve per-COP timeouts once in half-size windows
+//!   --no-slice                 disable relevance slicing (encode each COP over the
+//!                              whole window instead of its cone of influence);
+//!                              verdicts and witnesses are identical either way —
+//!                              this exists for A/B checking and ablation
 //!   --inject-fault W:C:KIND    (testing) inject a fault at window W, COP C;
 //!                              KIND is panic, timeout or encode-error; repeatable
 //!   --metrics OUT.json         write the run's metrics registry (versioned JSON:
@@ -72,6 +76,7 @@ struct Options {
     witnesses: bool,
     lenient: bool,
     retry_split: bool,
+    no_slice: bool,
     faults: Vec<(usize, usize, Fault)>,
     metrics: Option<String>,
     trace_log: bool,
@@ -136,6 +141,7 @@ fn parse_args() -> Result<Options, String> {
         witnesses: false,
         lenient: false,
         retry_split: false,
+        no_slice: false,
         faults: Vec::new(),
         metrics: None,
         trace_log: false,
@@ -195,6 +201,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.retry_split = true;
                 i += 1;
             }
+            "--no-slice" => {
+                opts.no_slice = true;
+                i += 1;
+            }
             "--inject-fault" => {
                 let spec = args.get(i + 1).ok_or("--inject-fault needs W:C:KIND")?;
                 opts.faults.push(parse_fault(spec)?);
@@ -231,8 +241,8 @@ fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
          [--jobs N] [--stream] [--witnesses] [--lenient] [--retry-split] \
-         [--inject-fault W:C:KIND]... [--metrics OUT.json] [--trace-log] \
-         (--demo | TRACE.json | -)"
+         [--no-slice] [--inject-fault W:C:KIND]... [--metrics OUT.json] \
+         [--trace-log] (--demo | TRACE.json | -)"
     );
 }
 
@@ -424,6 +434,7 @@ fn build_rv_config(opts: &Options) -> DetectorConfig {
         window_size: opts.window,
         solver_timeout: opts.budget,
         retry_split: opts.retry_split,
+        slice: !opts.no_slice,
         ..Default::default()
     };
     if let Some(jobs) = opts.jobs {

@@ -41,9 +41,10 @@ pub use rvbaselines::{
     CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector, ToolReport,
 };
 pub use rvcore::{
-    encode, extract_witness, ConsistencyMode, DetectionReport, DetectionStats, DetectorConfig,
-    EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram, Metrics, PhaseTimer, RaceDetector,
-    RaceReport, SolverTotals, StreamDetection, UndecidedReason, Witness, METRICS_SCHEMA_VERSION,
+    encode, encode_with_skeleton, extract_witness, Cone, ConsistencyMode, DetectionReport,
+    DetectionStats, DetectorConfig, EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram,
+    Metrics, PhaseTimer, RaceDetector, RaceReport, SolverTotals, StreamDetection, UndecidedReason,
+    WindowSkeleton, Witness, METRICS_SCHEMA_VERSION,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,

@@ -1,16 +1,22 @@
 //! Schema tests for the bench harnesses: `BENCH_pr3.json` (the
-//! observability PR's detection pipeline) and `BENCH_pr4.json` (the
-//! streaming PR's whole-file-vs-streamed comparison). Each smoke run must
-//! emit a document that validates, parses with the in-tree JSON reader,
-//! and carries the invariants the schema documents.
+//! observability PR's detection pipeline), `BENCH_pr4.json` (the
+//! streaming PR's whole-file-vs-streamed comparison) and `BENCH_pr5.json`
+//! (the relevance-slicing on/off comparison). Each smoke run must emit a
+//! document that validates, parses with the in-tree JSON reader, and
+//! carries the invariants the schema documents.
 //!
-//! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` are set (CI's bench-smoke and
-//! stream-smoke steps export them after running the `pipeline` and
-//! `stream_pipeline` binaries), the files they name are validated too, so
-//! a committed or freshly generated document cannot drift from the schema.
+//! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` are set
+//! (CI's bench-smoke, stream-smoke and slice-smoke steps export them
+//! after running the `pipeline`, `stream_pipeline` and `slice_pipeline`
+//! binaries), the files they name are validated too, so a committed or
+//! freshly generated document cannot drift from the schema.
 
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
+};
+use rvbench::slice::{
+    run_slice_pipeline, validate_slice_bench_json, wide_window_workload, SliceBenchOptions,
+    SLICE_BENCH_SCHEMA_VERSION, SLICE_BENCH_SUITE,
 };
 use rvbench::stream::{
     racy_stream_workload, run_stream_pipeline, validate_stream_bench_json, StreamBenchOptions,
@@ -235,4 +241,109 @@ fn generated_stream_bench_file_validates_when_present() {
     let json = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("BENCH_PR4_PATH={path} is unreadable: {e}"));
     validate_stream_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+}
+
+// ---------------------------------------------------------- BENCH_pr5
+
+/// A deliberately tiny wide-window workload: shape over scale.
+fn slice_document() -> String {
+    let w = wide_window_workload("schema_tiny", 2, 3);
+    run_slice_pipeline(&[w], &SliceBenchOptions::default(), "smoke")
+}
+
+/// The slicing comparison emits a valid version-1 `pr5` document.
+#[test]
+fn slice_run_validates_against_schema() {
+    let json = slice_document();
+    validate_slice_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, the races-equality
+/// invariant, and the cone actually shrinking — independent of the
+/// validator's own logic.
+#[test]
+fn slice_run_parses_and_keeps_invariants() {
+    let json = slice_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        SLICE_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        SLICE_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 1);
+    let w = &entries[0];
+    assert!(w.field("events").and_then(|v| v.as_int()).unwrap() > 0);
+    let run = |key: &str, field: &str| {
+        w.field(key)
+            .and_then(|p| p.field(field))
+            .and_then(|v| v.as_int())
+            .unwrap()
+    };
+    // The soundness contract, measured end to end: slicing must not
+    // change the verdict.
+    assert_eq!(run("sliced", "races"), run("unsliced", "races"));
+    assert!(
+        run("sliced", "races") >= 1,
+        "the workload plants a real race"
+    );
+    // The cone must actually shrink, and only in the sliced run.
+    assert!(run("sliced", "cone_events") < run("sliced", "window_events"));
+    assert_eq!(
+        run("unsliced", "cone_events"),
+        run("unsliced", "window_events")
+    );
+    assert!(run("sliced", "constraints") < run("unsliced", "constraints"));
+}
+
+/// The slicing validator rejects tampered documents pointedly.
+#[test]
+fn slice_validator_rejects_corruption() {
+    let json = slice_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr5\"", "\"suite\": \"pr4\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+    ] {
+        let tampered = json.replace(needle, replacement);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_slice_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+    // A verdict mismatch between the runs is a soundness violation the
+    // validator must catch.
+    let tampered = json.replacen("\"races\": 2", "\"races\": 3", 1);
+    if tampered != json {
+        let err =
+            validate_slice_bench_json(&tampered).expect_err("races mismatch must be rejected");
+        assert!(err.contains("must not change the verdict"), "got: {err}");
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR5_PATH` at a generated
+/// `BENCH_pr5.json`, it must satisfy the same schema — including, for
+/// `"full"` documents, the ≥2x constraint reduction and ≥1.5x speedup on
+/// the largest workload. Skipped when the variable is unset.
+#[test]
+fn generated_slice_bench_file_validates_when_present() {
+    let Ok(path) = std::env::var("BENCH_PR5_PATH") else {
+        return;
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_PR5_PATH={path} is unreadable: {e}"));
+    validate_slice_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
 }

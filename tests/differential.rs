@@ -241,6 +241,105 @@ fn baseline_races_contained_in_rv_and_witnesses_validate() {
     assert_eq!(checked, cases, "not enough small completed executions");
 }
 
+/// Everything the report decided, minus solver-effort numbers (slicing
+/// legitimately changes formula sizes and hence conflicts/decisions).
+fn verdict_fingerprint(report: &rvpredict::DetectionReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for race in &report.races {
+        let _ = writeln!(
+            out,
+            "race sig={:?} cop=({},{}) window={}..{} schedule={}",
+            race.signature,
+            race.cop.first,
+            race.cop.second,
+            race.window.start,
+            race.window.end,
+            race.schedule
+        );
+    }
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "sat={} unsat={} undecided={} witness_failures={} sigs={:?}",
+        s.sat,
+        s.unsat,
+        s.undecided,
+        s.witness_failures,
+        report.signatures()
+    );
+    out
+}
+
+/// The `--no-slice` A/B check, randomized: relevance slicing must not
+/// change verdicts, witnesses, or dedup signatures — in batch and per-COP
+/// mode, at every worker count. The sliced runs must also demonstrably
+/// slice (cone events < window events overall).
+#[test]
+fn slicing_is_verdict_and_witness_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x51 << 8 | 0xCE);
+    // `PROPTEST_CASES` kept its name when the suite moved off proptest.
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let mut checked = 0;
+    let mut sliced_somewhere = false;
+    for _attempt in 0..cases * 40 {
+        if checked == cases {
+            break;
+        }
+        let workers = gen_ops_sized(&mut rng);
+        let program = build(&workers);
+        let seed = rng.gen_range(0..400u64);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        if exec.outcome != Outcome::Completed || exec.trace.len() < 6 || exec.trace.len() > 40 {
+            continue;
+        }
+        checked += 1;
+        let trace = &exec.trace;
+        // A small window size so multi-window dedup is exercised too.
+        for batch in [true, false] {
+            let mut baseline: Option<String> = None;
+            for slice in [true, false] {
+                for jobs in [1usize, 2, 4, 8] {
+                    let cfg = DetectorConfig {
+                        window_size: 16,
+                        batch_windows: batch,
+                        slice,
+                        parallelism: jobs,
+                        ..Default::default()
+                    };
+                    let report = RaceDetector::with_config(cfg).detect(trace);
+                    if slice && report.stats.sliced_out > 0 {
+                        sliced_somewhere = true;
+                    }
+                    assert!(
+                        report.stats.cone_events <= report.stats.window_events_encoded,
+                        "cone larger than window on trace {:?}",
+                        trace.events()
+                    );
+                    let fp = verdict_fingerprint(&report);
+                    match &baseline {
+                        None => baseline = Some(fp),
+                        Some(b) => assert_eq!(
+                            &fp,
+                            b,
+                            "slice={slice} jobs={jobs} batch={batch} diverged on trace {:?}",
+                            trace.events()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cases, "not enough small completed executions");
+    assert!(
+        sliced_somewhere,
+        "the workload never exercised an actual slice"
+    );
+}
+
 /// A deterministic regression of the differential harness on Figure 1.
 #[test]
 fn figure1_differential() {

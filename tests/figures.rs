@@ -132,7 +132,12 @@ fn figure5_constraint_shape() {
                 && w.trace.var_name(view.event(e).kind.var().unwrap()) == Some("x")
         })
         .unwrap();
-    let enc = encode(&view, Cop::new(write_x, read_x), EncoderOptions::default());
+    // Figure 5 describes the *full* window encoding; slicing off.
+    let full = EncoderOptions {
+        slice: false,
+        ..Default::default()
+    };
+    let enc = encode(&view, Cop::new(write_x, read_x), full);
     let d = enc.describe();
     assert!(d.contains("Φ_mhb"), "{d}");
     // MHB: program order + fork/begin + end/join.
@@ -142,4 +147,12 @@ fn figure5_constraint_shape() {
     // (3,10) has no branch before it in either thread: no cf constraints
     // (the paper: "its control-flow condition is empty").
     assert!(enc.required_branches.is_empty(), "{d}");
+    // The default (sliced) encoding keeps the same groups over the cone
+    // only: both accesses sit before the join tail, so it must be smaller.
+    let sliced = encode(&view, Cop::new(write_x, read_x), EncoderOptions::default());
+    let ds = sliced.describe();
+    assert!(sliced.cone_events < sliced.window_events, "{ds}");
+    assert!(sliced.n_mhb < enc.n_mhb, "{ds}");
+    assert_eq!(sliced.n_lock, 1, "the held lock survives slicing: {ds}");
+    assert!(sliced.required_branches.is_empty(), "{ds}");
 }
