@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 use rvbench::slice::wide_window_workload;
 use rvbench::stream::racy_stream_workload;
+use rvbench::tier::flag_handoff_workload;
 use rvsim::workloads::{self, Workload};
 
 fn named_workload(name: &str) -> Option<Workload> {
@@ -27,11 +28,13 @@ fn named_workload(name: &str) -> Option<Workload> {
         "wide_small" => wide_window_workload("wide_small", 4, 4),
         "wide_medium" => wide_window_workload("wide_medium", 6, 8),
         "wide_large" => wide_window_workload("wide_large", 10, 14),
+        "tier_small" => flag_handoff_workload("tier_small", 2, 4),
+        "tier_medium" => flag_handoff_workload("tier_medium", 8, 60),
         _ => return None,
     })
 }
 
-const WORKLOAD_NAMES: [&str; 9] = [
+const WORKLOAD_NAMES: [&str; 11] = [
     "figure1",
     "figure2_read",
     "array_index",
@@ -41,6 +44,8 @@ const WORKLOAD_NAMES: [&str; 9] = [
     "wide_small",
     "wide_medium",
     "wide_large",
+    "tier_small",
+    "tier_medium",
 ];
 
 fn main() -> ExitCode {

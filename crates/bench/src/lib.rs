@@ -12,6 +12,8 @@
 //! * `cargo run -p rvbench --release --bin slice_pipeline` — the
 //!   relevance-slicing on/off comparison (see [`slice`]), emitting
 //!   `BENCH_pr5.json`;
+//! * `cargo run -p rvbench --release --bin tier_pipeline` — the tiered
+//!   cascade on/off comparison (see [`tier`]), emitting `BENCH_pr6.json`;
 //! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
 //!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
@@ -24,6 +26,7 @@ pub mod micro;
 pub mod pipeline;
 pub mod slice;
 pub mod stream;
+pub mod tier;
 
 use std::collections::BTreeSet;
 use std::time::Duration;

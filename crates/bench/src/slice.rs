@@ -150,6 +150,9 @@ fn run_once(workload: &Workload, opts: &SliceBenchOptions, slice: bool) -> Slice
         solver_timeout: opts.solver_timeout,
         parallelism: opts.jobs,
         slice,
+        // The tiered cascade would screen COPs away from the encoder and
+        // confound the slicing A/B; this suite isolates the slicer.
+        tiers: false,
         ..Default::default()
     };
     let t0 = Instant::now();

@@ -111,6 +111,12 @@ pub struct DetectorConfig {
     /// Verdict-preserving; exposed as CLI `--no-slice` for A/B checks. No
     /// effect under [`ConsistencyMode::WholeTrace`].
     pub slice: bool,
+    /// Run the tiered pre-solver screens before encoding (ROADMAP item 1):
+    /// Tier A soundly confirms sync-preserving races, Tier B soundly
+    /// refutes entailment-ordered COPs, and only the residue reaches the
+    /// solver. Verdict-preserving; exposed as CLI `--no-tiers` for A/B
+    /// checks.
+    pub tiers: bool,
     /// Validate every witness schedule against the trace-consistency checker
     /// before reporting a race (operationalizes Thm. 1/3; cheap).
     pub validate_witnesses: bool,
@@ -154,6 +160,7 @@ impl Default for DetectorConfig {
             prune_write_sets: true,
             mode: ConsistencyMode::ControlFlow,
             slice: true,
+            tiers: true,
             validate_witnesses: true,
             phase_hints: true,
             batch_windows: true,
@@ -194,6 +201,7 @@ mod tests {
         assert_eq!(c.solver_timeout, Duration::from_secs(60));
         assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
         assert!(c.slice, "relevance slicing is on by default");
+        assert!(c.tiers, "the tiered cascade is on by default");
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
         assert!(c.parallelism >= 1, "at least one worker");
         assert!(!c.retry_split, "retry policy is opt-in");

@@ -66,6 +66,7 @@ use crate::cop::enumerate_cops;
 use crate::encoder::{encode, encode_window, encode_with_skeleton, EncoderOptions};
 use crate::report::{DetectionReport, FailedWindow, RaceReport, SolverTotals, UndecidedReason};
 use crate::slice::WindowSkeleton;
+use crate::tiers::{Tier, TierAnalysis, TierDecision};
 use crate::witness::{extract_witness, Witness};
 
 /// How one COP fared inside a worker. `Skipped` records mark COPs the
@@ -113,6 +114,12 @@ struct CopRecord {
     /// Asserted constraints in the COP's formula (zero when nothing was
     /// encoded).
     constraints: usize,
+    /// Which cascade stage decided this COP: `Tier::A`/`Tier::B` for the
+    /// pre-solver screens, `Tier::Solver` for the residue (and for
+    /// fault-forced verdicts, which bypass the screens so planned fault
+    /// coordinates always take effect). `None` for skipped records and
+    /// whenever the cascade is disabled.
+    decided_by: Option<Tier>,
 }
 
 /// Everything a worker learned about one window; merged in window order.
@@ -127,6 +134,11 @@ struct SolvedWindow {
     solver_time: Duration,
     /// Total worker time on this window (enumerate + encode + solve).
     window_time: Duration,
+    /// Time inside the Tier A confirmation screen.
+    tier_a_time: Duration,
+    /// Time inside the Tier B refutation screen (including the base
+    /// entailment graph construction).
+    tier_b_time: Duration,
 }
 
 /// What a worker hands to the merge loop: the window's records, or — when
@@ -164,6 +176,23 @@ fn undecided_of_stop(reason: StopReason) -> UndecidedReason {
     match reason {
         StopReason::Timeout => UndecidedReason::Timeout,
         StopReason::Conflicts => UndecidedReason::ConflictBudget,
+    }
+}
+
+/// The record of a Tier B refutation: `Φ` is entailment-unsatisfiable, so
+/// the verdict is exactly the solver's `Unsat` — with no encoding and no
+/// solver effort to account.
+fn tier_refuted_record(cop: Cop, signature: RaceSignature) -> CopRecord {
+    CopRecord {
+        cop,
+        signature,
+        verdict: CopVerdict::Unsat,
+        profile: SolverTotals::default(),
+        retried: false,
+        cone_events: 0,
+        window_events: 0,
+        constraints: 0,
+        decided_by: Some(Tier::B),
     }
 }
 
@@ -673,11 +702,37 @@ impl RaceDetector {
             records: Vec::with_capacity(enumeration.cops.len()),
             solver_time: Duration::ZERO,
             window_time: Duration::ZERO,
+            tier_a_time: Duration::ZERO,
+            tier_b_time: Duration::ZERO,
         };
+        // The tiered cascade shares one per-window analysis (base
+        // entailment graph + memoized read facts) across all COPs.
+        let mut tiers = (cfg.tiers && !enumeration.cops.is_empty())
+            .then(|| TierAnalysis::new(view, cfg.mode, cfg.prune_write_sets));
         if cfg.batch_windows {
-            self.solve_window_batched(view, enumeration.cops, opts, &budget, &known_racy, &mut out);
+            self.solve_window_batched(
+                view,
+                enumeration.cops,
+                opts,
+                &budget,
+                &known_racy,
+                tiers.as_mut(),
+                &mut out,
+            );
         } else {
-            self.solve_window_per_cop(view, enumeration.cops, opts, &budget, &known_racy, &mut out);
+            self.solve_window_per_cop(
+                view,
+                enumeration.cops,
+                opts,
+                &budget,
+                &known_racy,
+                tiers.as_mut(),
+                &mut out,
+            );
+        }
+        if let Some(t) = &tiers {
+            out.tier_a_time = t.tier_a_time();
+            out.tier_b_time = t.tier_b_time();
         }
         if cfg.retry_split {
             self.retry_timeouts(view, opts, &budget, &mut out);
@@ -793,9 +848,13 @@ impl RaceDetector {
         opts: EncoderOptions,
         budget: &Budget,
         known_racy: &HashSet<RaceSignature>,
+        mut tiers: Option<&mut TierAnalysis<'_>>,
         out: &mut SolvedWindow,
     ) {
         let cfg = &self.config;
+        // With the cascade off every record's stage is `None`, so the
+        // tier counters stay zero under `--no-tiers`.
+        let cascade_on = tiers.is_some();
         // One skeleton per window: its indexes are shared by every COP's
         // cone computation.
         let skel = opts.slicing_active().then(|| WindowSkeleton::new(view));
@@ -814,6 +873,7 @@ impl RaceDetector {
                     cone_events: 0,
                     window_events: 0,
                     constraints: 0,
+                    decided_by: cascade_on.then_some(Tier::Solver),
                 });
                 continue;
             }
@@ -829,8 +889,29 @@ impl RaceDetector {
                     cone_events: 0,
                     window_events: 0,
                     constraints: 0,
+                    decided_by: None,
                 });
                 continue;
+            }
+            // The tiered screens decide most COPs without an encoding;
+            // whatever they leave is the residue the solver sees.
+            if let Some(t) = tiers.as_deref_mut() {
+                match t.decide(&cop) {
+                    TierDecision::Confirmed => {
+                        let record =
+                            self.tier_confirmed_record(view, cop, signature, opts, budget, out);
+                        if matches!(record.verdict, CopVerdict::Race(_)) {
+                            local_confirmed.insert(signature);
+                        }
+                        out.records.push(record);
+                        continue;
+                    }
+                    TierDecision::Refuted => {
+                        out.records.push(tier_refuted_record(cop, signature));
+                        continue;
+                    }
+                    TierDecision::Residue => {}
+                }
             }
             let solve_start = Instant::now();
             let encoded = match &skel {
@@ -880,7 +961,47 @@ impl RaceDetector {
                 cone_events: encoded.cone_events,
                 window_events: encoded.window_events,
                 constraints: encoded.n_constraints,
+                decided_by: cascade_on.then_some(Tier::Solver),
             });
+        }
+    }
+
+    /// The record of a Tier A confirmation: the verdict is a race, and the
+    /// reported schedule is the canonical fresh-solve witness — the exact
+    /// schedule every solver path reports — so reports are byte-identical
+    /// to solver-only mode. The cascade never zeroes a planned witness: a
+    /// canonical solve that fails at a budget boundary is reported
+    /// honestly as a witness failure, just like the solver paths.
+    fn tier_confirmed_record(
+        &self,
+        view: &View<'_>,
+        cop: Cop,
+        signature: RaceSignature,
+        opts: EncoderOptions,
+        budget: &Budget,
+        out: &mut SolvedWindow,
+    ) -> CopRecord {
+        let verdict = if self.config.validate_witnesses {
+            let solve_start = Instant::now();
+            let witness = self.canonical_witness(view, cop, opts, budget);
+            out.solver_time += solve_start.elapsed();
+            match witness {
+                Ok(witness) => CopVerdict::Race(witness.schedule),
+                Err(()) => CopVerdict::WitnessFailed,
+            }
+        } else {
+            CopVerdict::Race(Schedule(vec![cop.first, cop.second]))
+        };
+        CopRecord {
+            cop,
+            signature,
+            verdict,
+            profile: SolverTotals::default(),
+            retried: false,
+            cone_events: 0,
+            window_events: 0,
+            constraints: 0,
+            decided_by: Some(Tier::A),
         }
     }
 
@@ -928,12 +1049,16 @@ impl RaceDetector {
         opts: EncoderOptions,
         budget: &Budget,
         known_racy: &HashSet<RaceSignature>,
+        mut tiers: Option<&mut TierAnalysis<'_>>,
         out: &mut SolvedWindow,
     ) {
         if cops.is_empty() {
             return;
         }
         let cfg = &self.config;
+        // With the cascade off every record's stage is `None`, so the
+        // tier counters stay zero under `--no-tiers`.
+        let cascade_on = tiers.is_some();
         let signatures: Vec<RaceSignature> = cops
             .iter()
             .map(|&c| RaceSignature::of_cop(view.trace(), c))
@@ -949,22 +1074,62 @@ impl RaceDetector {
                     cone_events: 0,
                     window_events: 0,
                     constraints: 0,
+                    decided_by: None,
                 });
             }
             return;
         }
-        let solve_start = Instant::now();
-        // With slicing, the shared base formula covers the union cone of
-        // the window's COPs.
-        let encoded = encode_window(view, &cops, opts);
-        let mut solver = Solver::new(&encoded.fb);
-        if cfg.phase_hints {
-            solver.hint_atom_phases(|a| encoded.phase_hint(a));
+        // Tier pass: decide every COP up front so the shared encoding can
+        // cover the residue alone (the screens are pure per-COP functions
+        // of the window, so deciding them before the solve loop changes
+        // nothing about solve order). A COP with a planned fault is never
+        // screened — the fault must fire at its coordinate either way.
+        let decisions: Vec<Option<TierDecision>> = match tiers.as_deref_mut() {
+            Some(t) => cops
+                .iter()
+                .enumerate()
+                .map(|(i, cop)| {
+                    let faulted = cfg
+                        .fault_plan
+                        .as_ref()
+                        .is_some_and(|p| p.fault_at(out.window_index, i).is_some());
+                    (!faulted).then(|| t.decide(cop))
+                })
+                .collect(),
+            None => vec![None; cops.len()],
+        };
+        // The residue (plus faulted coordinates, which keep their index
+        // semantics) shares one incremental encoding, exactly as the whole
+        // window used to.
+        let mut residue: Vec<Cop> = Vec::new();
+        let mut sel_index: Vec<Option<usize>> = Vec::with_capacity(cops.len());
+        for (i, &cop) in cops.iter().enumerate() {
+            match decisions[i] {
+                Some(TierDecision::Confirmed) | Some(TierDecision::Refuted) => {
+                    sel_index.push(None);
+                }
+                _ => {
+                    sel_index.push(Some(residue.len()));
+                    residue.push(cop);
+                }
+            }
         }
-        out.solver_time += solve_start.elapsed();
+        let mut enc_solver = None;
+        if !residue.is_empty() {
+            let solve_start = Instant::now();
+            // With slicing, the shared base formula covers the union cone
+            // of the residue COPs.
+            let encoded = encode_window(view, &residue, opts);
+            let mut solver = Solver::new(&encoded.fb);
+            if cfg.phase_hints {
+                solver.hint_atom_phases(|a| encoded.phase_hint(a));
+            }
+            out.solver_time += solve_start.elapsed();
+            enc_solver = Some((encoded, solver));
+        }
         let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
-        for (i, &cop) in encoded.cops.iter().enumerate() {
-            let signature = RaceSignature::of_cop(view.trace(), cop);
+        for (i, cop) in cops.into_iter().enumerate() {
+            let signature = signatures[i];
             // Faults fire before any skip so a planned coordinate always
             // takes effect, at every thread count. (Skipping a selector
             // solve perturbs later models only relative to a run *without*
@@ -980,6 +1145,7 @@ impl RaceDetector {
                     cone_events: 0,
                     window_events: 0,
                     constraints: 0,
+                    decided_by: cascade_on.then_some(Tier::Solver),
                 });
                 continue;
             }
@@ -993,14 +1159,35 @@ impl RaceDetector {
                     cone_events: 0,
                     window_events: 0,
                     constraints: 0,
+                    decided_by: None,
                 });
                 continue;
             }
+            match decisions[i] {
+                Some(TierDecision::Confirmed) => {
+                    let record =
+                        self.tier_confirmed_record(view, cop, signature, opts, budget, out);
+                    if matches!(record.verdict, CopVerdict::Race(_)) {
+                        local_confirmed.insert(signature);
+                    }
+                    out.records.push(record);
+                    continue;
+                }
+                Some(TierDecision::Refuted) => {
+                    out.records.push(tier_refuted_record(cop, signature));
+                    continue;
+                }
+                _ => {}
+            }
+            let (encoded, solver) = enc_solver
+                .as_mut()
+                .expect("residue COP without a shared encoding");
+            let sel = sel_index[i].expect("residue COP without a selector");
             let solve_start = Instant::now();
             // Shared incremental solver: counters are cumulative over the
             // window, so this COP's effort is the before/after delta.
             let before = solver.stats().sat;
-            let verdict = match solver.solve_assuming(budget, &[encoded.selectors[i]]) {
+            let verdict = match solver.solve_assuming(budget, &[encoded.selectors[sel]]) {
                 SmtResult::Unsat => CopVerdict::Unsat,
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
                 SmtResult::Sat => {
@@ -1035,6 +1222,7 @@ impl RaceDetector {
                 cone_events: encoded.cone_events,
                 window_events: encoded.window_events,
                 constraints: encoded.n_constraints,
+                decided_by: cascade_on.then_some(Tier::Solver),
             });
         }
     }
@@ -1066,10 +1254,21 @@ impl RaceDetector {
         stats.pairs_considered += outcome.pairs_considered;
         stats.qc_signatures += outcome.qc_signatures;
         stats.solver_time += outcome.solver_time;
+        stats.tier_a_time += outcome.tier_a_time;
+        stats.tier_b_time += outcome.tier_b_time;
         stats.window_times.push(outcome.window_time);
         for record in outcome.records {
             if cfg.dedup_signatures && confirmed.contains(&record.signature) {
                 continue;
+            }
+            // Cascade attribution, surviving records only (same contract
+            // as `profile`): with tiers on, every solved COP carries a
+            // stage, so confirmed + refuted + residue == cops_solved.
+            match record.decided_by {
+                Some(Tier::A) => stats.tier_confirmed += 1,
+                Some(Tier::B) => stats.tier_refuted += 1,
+                Some(Tier::Solver) => stats.tier_residue += 1,
+                None => {}
             }
             // Solver effort and retry accounting are tallied here, for
             // surviving records only: a speculative solve whose record the

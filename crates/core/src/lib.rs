@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod oracle;
 mod report;
 mod slice;
+mod tiers;
 mod witness;
 
 pub use atomicity::{
@@ -69,4 +70,5 @@ pub use report::{
     UndecidedReason,
 };
 pub use slice::{Cone, WindowSkeleton};
+pub use tiers::{Tier, TierAnalysis, TierDecision};
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

@@ -193,6 +193,17 @@ pub struct DetectionStats {
     pub retry_rescued: usize,
     /// Witness validations that failed (soundness gate trips; expected 0).
     pub witness_failures: usize,
+    /// COPs the Tier A (sync-preserving) screen confirmed as races without
+    /// a solver call. Count-type; zero when the cascade is off.
+    pub tier_confirmed: usize,
+    /// COPs the Tier B (entailment) screen refuted without a solver call.
+    /// Count-type; zero when the cascade is off.
+    pub tier_refuted: usize,
+    /// COPs neither screen decided (plus fault-forced verdicts): the
+    /// residue the solver saw. With the cascade on,
+    /// `tier_confirmed + tier_refuted + tier_residue == cops_solved`.
+    /// Count-type; zero when the cascade is off.
+    pub tier_residue: usize,
     /// Events actually encoded, summed over surviving COP encodings (the
     /// cone of influence per COP; equals
     /// [`DetectionStats::window_events_encoded`] with slicing off).
@@ -227,6 +238,11 @@ pub struct DetectionStats {
     /// Summed time spent encoding and solving, across all workers. With
     /// `parallelism > 1` this exceeds [`DetectionStats::wall_time`].
     pub solver_time: Duration,
+    /// Summed time inside the Tier A confirmation screen. Timing-type.
+    pub tier_a_time: Duration,
+    /// Summed time inside the Tier B refutation screen (including base
+    /// entailment graph construction). Timing-type.
+    pub tier_b_time: Duration,
     /// Wall-clock detection time, start to finish.
     pub wall_time: Duration,
     /// Per-window worker time (enumerate + encode + solve), indexed by
@@ -269,6 +285,9 @@ impl DetectionStats {
         self.retried_cops += other.retried_cops;
         self.retry_rescued += other.retry_rescued;
         self.witness_failures += other.witness_failures;
+        self.tier_confirmed += other.tier_confirmed;
+        self.tier_refuted += other.tier_refuted;
+        self.tier_residue += other.tier_residue;
         self.cone_events += other.cone_events;
         self.window_events_encoded += other.window_events_encoded;
         self.sliced_out += other.sliced_out;
@@ -280,6 +299,8 @@ impl DetectionStats {
         self.decisions_per_cop.merge(&other.decisions_per_cop);
         self.propagations_per_cop.merge(&other.propagations_per_cop);
         self.solver_time += other.solver_time;
+        self.tier_a_time += other.tier_a_time;
+        self.tier_b_time += other.tier_b_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.window_times.extend_from_slice(&other.window_times);
         self.peak_window_residency = self.peak_window_residency.max(other.peak_window_residency);
@@ -369,6 +390,9 @@ impl DetectionReport {
         m.inc("detector.retried_cops", s.retried_cops as u64);
         m.inc("detector.retry_rescued", s.retry_rescued as u64);
         m.inc("detector.witness_failures", s.witness_failures as u64);
+        m.inc("detector.tiers.confirmed", s.tier_confirmed as u64);
+        m.inc("detector.tiers.refuted", s.tier_refuted as u64);
+        m.inc("detector.tiers.residue", s.tier_residue as u64);
         m.inc("encoder.cone_events", s.cone_events);
         m.inc("encoder.window_events", s.window_events_encoded);
         m.inc("encoder.sliced_out", s.sliced_out);
@@ -388,6 +412,8 @@ impl DetectionReport {
         m.record_histogram("solver.propagations_per_cop", &s.propagations_per_cop);
         m.record_time("detector.wall_time", s.wall_time);
         m.record_time("detector.solver_time", s.solver_time);
+        m.record_time("detector.tier_a_time", s.tier_a_time);
+        m.record_time("detector.tier_b_time", s.tier_b_time);
         for (i, &t) in s.window_times.iter().enumerate() {
             m.record_time(&format!("detector.window.{i:06}"), t);
         }
@@ -444,6 +470,11 @@ impl DetectionReport {
             t.theory_conflicts,
             t.restarts,
             t.learnt_clauses,
+        );
+        let _ = writeln!(
+            out,
+            "tiers: confirmed={} refuted={} residue={}",
+            s.tier_confirmed, s.tier_refuted, s.tier_residue,
         );
         for (name, h) in [
             ("conflicts_per_cop", &s.conflicts_per_cop),

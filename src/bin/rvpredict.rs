@@ -21,6 +21,11 @@
 //!                              whole window instead of its cone of influence);
 //!                              verdicts and witnesses are identical either way —
 //!                              this exists for A/B checking and ablation
+//!   --no-tiers                 disable the tiered pre-solver cascade (send every
+//!                              COP straight to the SMT encoding instead of letting
+//!                              the linear-time screens confirm/refute it first);
+//!                              verdicts and witnesses are identical either way —
+//!                              this exists for A/B checking and ablation
 //!   --inject-fault W:C:KIND    (testing) inject a fault at window W, COP C;
 //!                              KIND is panic, timeout or encode-error; repeatable
 //!   --metrics OUT.json         write the run's metrics registry (versioned JSON:
@@ -77,6 +82,7 @@ struct Options {
     lenient: bool,
     retry_split: bool,
     no_slice: bool,
+    no_tiers: bool,
     faults: Vec<(usize, usize, Fault)>,
     metrics: Option<String>,
     trace_log: bool,
@@ -142,6 +148,7 @@ fn parse_args() -> Result<Options, String> {
         lenient: false,
         retry_split: false,
         no_slice: false,
+        no_tiers: false,
         faults: Vec::new(),
         metrics: None,
         trace_log: false,
@@ -205,6 +212,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.no_slice = true;
                 i += 1;
             }
+            "--no-tiers" => {
+                opts.no_tiers = true;
+                i += 1;
+            }
             "--inject-fault" => {
                 let spec = args.get(i + 1).ok_or("--inject-fault needs W:C:KIND")?;
                 opts.faults.push(parse_fault(spec)?);
@@ -241,7 +252,7 @@ fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
          [--jobs N] [--stream] [--witnesses] [--lenient] [--retry-split] \
-         [--no-slice] [--inject-fault W:C:KIND]... [--metrics OUT.json] \
+         [--no-slice] [--no-tiers] [--inject-fault W:C:KIND]... [--metrics OUT.json] \
          [--trace-log] (--demo | TRACE.json | -)"
     );
 }
@@ -435,6 +446,7 @@ fn build_rv_config(opts: &Options) -> DetectorConfig {
         solver_timeout: opts.budget,
         retry_split: opts.retry_split,
         slice: !opts.no_slice,
+        tiers: !opts.no_tiers,
         ..Default::default()
     };
     if let Some(jobs) = opts.jobs {

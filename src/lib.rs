@@ -43,8 +43,8 @@ pub use rvbaselines::{
 pub use rvcore::{
     encode, encode_with_skeleton, extract_witness, Cone, ConsistencyMode, DetectionReport,
     DetectionStats, DetectorConfig, EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram,
-    Metrics, PhaseTimer, RaceDetector, RaceReport, SolverTotals, StreamDetection, UndecidedReason,
-    WindowSkeleton, Witness, METRICS_SCHEMA_VERSION,
+    Metrics, PhaseTimer, RaceDetector, RaceReport, SolverTotals, StreamDetection, Tier,
+    TierAnalysis, TierDecision, UndecidedReason, WindowSkeleton, Witness, METRICS_SCHEMA_VERSION,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,

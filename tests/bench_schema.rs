@@ -1,15 +1,16 @@
 //! Schema tests for the bench harnesses: `BENCH_pr3.json` (the
 //! observability PR's detection pipeline), `BENCH_pr4.json` (the
-//! streaming PR's whole-file-vs-streamed comparison) and `BENCH_pr5.json`
-//! (the relevance-slicing on/off comparison). Each smoke run must emit a
-//! document that validates, parses with the in-tree JSON reader, and
-//! carries the invariants the schema documents.
+//! streaming PR's whole-file-vs-streamed comparison), `BENCH_pr5.json`
+//! (the relevance-slicing on/off comparison) and `BENCH_pr6.json` (the
+//! tiered-cascade on/off comparison). Each smoke run must emit a document
+//! that validates, parses with the in-tree JSON reader, and carries the
+//! invariants the schema documents.
 //!
-//! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` are set
-//! (CI's bench-smoke, stream-smoke and slice-smoke steps export them
-//! after running the `pipeline`, `stream_pipeline` and `slice_pipeline`
-//! binaries), the files they name are validated too, so a committed or
-//! freshly generated document cannot drift from the schema.
+//! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` /
+//! `BENCH_PR6_PATH` are set (CI's bench-smoke steps export them after
+//! running the `pipeline`, `stream_pipeline`, `slice_pipeline` and
+//! `tier_pipeline` binaries), the files they name are validated too, so a
+//! committed or freshly generated document cannot drift from the schema.
 
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
@@ -22,7 +23,23 @@ use rvbench::stream::{
     racy_stream_workload, run_stream_pipeline, validate_stream_bench_json, StreamBenchOptions,
     STREAM_BENCH_SCHEMA_VERSION, STREAM_BENCH_SUITE,
 };
+use rvbench::tier::{
+    run_tier_pipeline, smoke_tier_workloads, validate_tier_bench_json, TierBenchOptions,
+    TIER_BENCH_SCHEMA_VERSION, TIER_BENCH_SUITE,
+};
 use rvtrace::parse_json;
+
+/// Validates the bench document a CI env var points at against the
+/// suite's own validator. A no-op when the variable is unset, so plain
+/// `cargo test` needs no generated artifacts.
+fn validate_env_bench_file(var: &str, validate: fn(&str) -> Result<(), String>) {
+    let Ok(path) = std::env::var(var) else {
+        return;
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{var}={path} is unreadable: {e}"));
+    validate(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+}
 
 fn smoke_document() -> String {
     run_pipeline(&smoke_workloads(), &PipelineOptions::default())
@@ -132,12 +149,7 @@ fn validator_rejects_corruption() {
 /// variable is unset so plain `cargo test` needs no artifacts.
 #[test]
 fn generated_bench_file_validates_when_present() {
-    let Ok(path) = std::env::var("BENCH_PR3_PATH") else {
-        return;
-    };
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("BENCH_PR3_PATH={path} is unreadable: {e}"));
-    validate_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+    validate_env_bench_file("BENCH_PR3_PATH", validate_bench_json);
 }
 
 // ---------------------------------------------------------- BENCH_pr4
@@ -235,12 +247,7 @@ fn stream_validator_rejects_corruption() {
 /// largest workload. Skipped when the variable is unset.
 #[test]
 fn generated_stream_bench_file_validates_when_present() {
-    let Ok(path) = std::env::var("BENCH_PR4_PATH") else {
-        return;
-    };
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("BENCH_PR4_PATH={path} is unreadable: {e}"));
-    validate_stream_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+    validate_env_bench_file("BENCH_PR4_PATH", validate_stream_bench_json);
 }
 
 // ---------------------------------------------------------- BENCH_pr5
@@ -340,10 +347,114 @@ fn slice_validator_rejects_corruption() {
 /// the largest workload. Skipped when the variable is unset.
 #[test]
 fn generated_slice_bench_file_validates_when_present() {
-    let Ok(path) = std::env::var("BENCH_PR5_PATH") else {
-        return;
+    validate_env_bench_file("BENCH_PR5_PATH", validate_slice_bench_json);
+}
+
+// ---------------------------------------------------------- BENCH_pr6
+
+/// A deliberately tiny tier-cascade workload: shape over scale.
+fn tier_document() -> String {
+    run_tier_pipeline(
+        &smoke_tier_workloads(),
+        &TierBenchOptions::default(),
+        "smoke",
+    )
+}
+
+/// The cascade comparison emits a valid version-1 `pr6` document.
+#[test]
+fn tier_run_validates_against_schema() {
+    let json = tier_document();
+    validate_tier_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, the verdict-equality
+/// invariant, the tier partition, and the solver actually going quiet in
+/// the cascaded run — independent of the validator's own logic.
+#[test]
+fn tier_run_parses_and_keeps_invariants() {
+    let json = tier_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        TIER_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        TIER_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 1);
+    let w = &entries[0];
+    assert!(w.field("events").and_then(|v| v.as_int()).unwrap() > 0);
+    let run = |key: &str, field: &str| {
+        w.field(key)
+            .and_then(|p| p.field(field))
+            .and_then(|v| v.as_int())
+            .unwrap()
     };
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("BENCH_PR5_PATH={path} is unreadable: {e}"));
-    validate_slice_bench_json(&json).unwrap_or_else(|e| panic!("{path} violates the schema: {e}"));
+    // The soundness contract, measured end to end: the cascade must not
+    // change the verdict.
+    for what in ["races", "sat", "unsat", "cops_solved"] {
+        assert_eq!(run("tiers", what), run("no_tiers", what), "{what}");
+    }
+    assert_eq!(run("tiers", "races"), 1, "the workload plants one race");
+    // Every COP is attributed to exactly one stage, and on this workload
+    // the screens decide everything — zero solver calls.
+    assert_eq!(
+        run("tiers", "tier_confirmed")
+            + run("tiers", "tier_refuted")
+            + run("tiers", "tier_residue"),
+        run("tiers", "cops_solved")
+    );
+    assert_eq!(run("tiers", "solver_solves"), 0);
+    assert_eq!(
+        run("no_tiers", "solver_solves"),
+        run("no_tiers", "cops_solved")
+    );
+    for counter in ["tier_confirmed", "tier_refuted", "tier_residue"] {
+        assert_eq!(run("no_tiers", counter), 0, "{counter}");
+    }
+}
+
+/// The cascade validator rejects tampered documents pointedly.
+#[test]
+fn tier_validator_rejects_corruption() {
+    let json = tier_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr6\"", "\"suite\": \"pr5\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+        // A verdict mismatch between the runs is a soundness violation.
+        (
+            "\"races\": 1",
+            "\"races\": 2",
+            "must not change the verdict",
+        ),
+    ] {
+        let tampered = json.replacen(needle, replacement, 1);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_tier_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR6_PATH` at a generated
+/// `BENCH_pr6.json`, it must satisfy the same schema — including, for
+/// `"full"` documents, the ≥2x solver-call reduction and ≥1.3x speedup on
+/// the largest workload. Skipped when the variable is unset.
+#[test]
+fn generated_tier_bench_file_validates_when_present() {
+    validate_env_bench_file("BENCH_PR6_PATH", validate_tier_bench_json);
 }

@@ -340,6 +340,182 @@ fn slicing_is_verdict_and_witness_identical() {
     );
 }
 
+/// The `--no-tiers` A/B check, randomized: the pre-solver cascade must
+/// not change verdicts, witnesses, or dedup signatures — in batch and
+/// per-COP mode, at every worker count. The screens must also demonstrably
+/// decide something across the workload.
+#[test]
+fn tiers_are_verdict_and_witness_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x71E5);
+    // `PROPTEST_CASES` kept its name when the suite moved off proptest.
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let mut checked = 0;
+    let mut screened_somewhere = false;
+    for _attempt in 0..cases * 40 {
+        if checked == cases {
+            break;
+        }
+        let workers = gen_ops_sized(&mut rng);
+        let program = build(&workers);
+        let seed = rng.gen_range(0..400u64);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        if exec.outcome != Outcome::Completed || exec.trace.len() < 6 || exec.trace.len() > 40 {
+            continue;
+        }
+        checked += 1;
+        let trace = &exec.trace;
+        // A small window size so multi-window dedup is exercised too.
+        for batch in [true, false] {
+            let mut baseline: Option<String> = None;
+            for tiers in [true, false] {
+                for jobs in [1usize, 2, 4, 8] {
+                    let cfg = DetectorConfig {
+                        window_size: 16,
+                        batch_windows: batch,
+                        tiers,
+                        parallelism: jobs,
+                        ..Default::default()
+                    };
+                    let report = RaceDetector::with_config(cfg).detect(trace);
+                    if tiers {
+                        assert_eq!(
+                            report.stats.tier_confirmed
+                                + report.stats.tier_refuted
+                                + report.stats.tier_residue,
+                            report.stats.cops_solved,
+                            "tier counters must partition cops_solved on trace {:?}",
+                            trace.events()
+                        );
+                        if report.stats.tier_confirmed + report.stats.tier_refuted > 0 {
+                            screened_somewhere = true;
+                        }
+                    } else {
+                        assert_eq!(
+                            report.stats.tier_confirmed
+                                + report.stats.tier_refuted
+                                + report.stats.tier_residue,
+                            0,
+                            "tiers off must not attribute stages on trace {:?}",
+                            trace.events()
+                        );
+                    }
+                    let fp = verdict_fingerprint(&report);
+                    match &baseline {
+                        None => baseline = Some(fp),
+                        Some(b) => assert_eq!(
+                            &fp,
+                            b,
+                            "tiers={tiers} jobs={jobs} batch={batch} diverged on trace {:?}",
+                            trace.events()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cases, "not enough small completed executions");
+    assert!(
+        screened_somewhere,
+        "the workload never exercised an actual tier decision"
+    );
+}
+
+/// Oracle arbitration of the screens themselves, COP by COP: everything
+/// Tier A confirms must be a race the brute-force oracle proves, and
+/// nothing Tier B refutes may be one (tier-confirmed ⊆ oracle-confirmed,
+/// tier-refuted ∩ oracle-confirmed = ∅). Also checked against the
+/// encoder's own verdict in both consistency modes, which is the exact
+/// byte-identity contract the detector relies on.
+#[test]
+fn tier_decisions_agree_with_oracle_and_encoder() {
+    use rvpredict::{ConsistencyMode, TierAnalysis, TierDecision};
+
+    let mut rng = SmallRng::seed_from_u64(0x0DD5);
+    // `PROPTEST_CASES` kept its name when the suite moved off proptest.
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let mut checked = 0;
+    let (mut confirms, mut refutes) = (0usize, 0usize);
+    for _attempt in 0..cases * 20 {
+        if checked == cases {
+            break;
+        }
+        let workers = gen_ops(&mut rng);
+        let program = build(&workers);
+        let seed = rng.gen_range(0..400u64);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        if exec.outcome != Outcome::Completed || exec.trace.len() > 22 {
+            continue;
+        }
+        checked += 1;
+        let trace = &exec.trace;
+        let view = trace.full_view();
+        let real = oracle_races(&view, 22);
+        let en = rvcore::enumerate_cops(&view, false, usize::MAX);
+        for mode in [ConsistencyMode::ControlFlow, ConsistencyMode::WholeTrace] {
+            let mut tiers = TierAnalysis::new(&view, mode, true);
+            for &cop in &en.cops {
+                let decision = tiers.decide(&cop);
+                let opts = EncoderOptions {
+                    mode,
+                    ..Default::default()
+                };
+                let enc = encode(&view, cop, opts);
+                let mut s = Solver::new(&enc.fb);
+                s.hint_atom_phases(|a| enc.phase_hint(a));
+                let verdict = s.solve(&Budget::UNLIMITED);
+                match decision {
+                    TierDecision::Confirmed => {
+                        confirms += 1;
+                        assert_eq!(
+                            verdict,
+                            SmtResult::Sat,
+                            "tier A confirmed a non-race ({mode:?}) cop {cop:?} on \
+                             trace {:?}",
+                            trace.events()
+                        );
+                        if mode == ConsistencyMode::ControlFlow {
+                            assert!(
+                                real.contains(&cop),
+                                "tier A confirmed cop {cop:?} the oracle rejects on \
+                                 trace {:?}",
+                                trace.events()
+                            );
+                        }
+                    }
+                    TierDecision::Refuted => {
+                        refutes += 1;
+                        assert_eq!(
+                            verdict,
+                            SmtResult::Unsat,
+                            "tier B refuted a satisfiable cop ({mode:?}) {cop:?} on \
+                             trace {:?}",
+                            trace.events()
+                        );
+                        if mode == ConsistencyMode::ControlFlow {
+                            assert!(
+                                !real.contains(&cop),
+                                "tier B refuted cop {cop:?} the oracle proves on \
+                                 trace {:?}",
+                                trace.events()
+                            );
+                        }
+                    }
+                    TierDecision::Residue => {}
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cases, "not enough small completed executions");
+    assert!(confirms > 0, "the workload never exercised a confirmation");
+    assert!(refutes > 0, "the workload never exercised a refutation");
+}
+
 /// A deterministic regression of the differential harness on Figure 1.
 #[test]
 fn figure1_differential() {

@@ -242,6 +242,98 @@ fn retry_split_conserves_per_cop_accounting() {
     }
 }
 
+/// The cascade's attribution counters partition `cops_solved` — one trace
+/// exercising all three outcomes (a sync-free confirmation, a flag-handoff
+/// refutation, a lock-split residue COP) lands exactly one COP in each
+/// stage, at one worker and at four, with byte-identical count-type
+/// metrics; with the cascade off every tier counter is zero.
+#[test]
+fn tier_counters_partition_and_reach_metrics() {
+    let mut b = TraceBuilder::new();
+    let h = b.var("h");
+    let y = b.var("y");
+    let f = b.var("f");
+    let x2 = b.var("x2");
+    let y2 = b.var("y2");
+    let main = ThreadId::MAIN;
+    let t2 = b.fork(main);
+    let l = b.new_lock("l");
+    let m = b.new_lock("m");
+    // Confirmed: a sync-free racy pair Tier A replays.
+    b.write(main, h, 1);
+    b.write(t2, h, 2);
+    // Refuted: a flag handoff whose branch-forced read entails the order.
+    b.write(main, y, 1);
+    b.acquire(main, l);
+    b.write(main, f, 1);
+    b.release(main, l);
+    b.acquire(t2, l);
+    b.read(t2, f, 1);
+    b.release(t2, l);
+    b.branch(t2);
+    b.read(t2, y, 1);
+    // Residue: a lock-split exchange only the solver can decide.
+    b.acquire(main, m);
+    b.write(main, x2, 7);
+    b.write(main, y2, 1);
+    b.release(main, m);
+    b.acquire(t2, m);
+    b.read(t2, y2, 1);
+    b.release(t2, m);
+    b.read(t2, x2, 7);
+    let trace = b.finish();
+
+    let mut docs = Vec::new();
+    for parallelism in [1usize, 4] {
+        let on = detect(
+            &trace,
+            DetectorConfig {
+                parallelism,
+                ..Default::default()
+            },
+        );
+        let s = &on.stats;
+        assert_eq!(
+            s.tier_confirmed + s.tier_refuted + s.tier_residue,
+            s.cops_solved,
+            "jobs={parallelism}: tier partition broken"
+        );
+        assert_eq!(
+            (s.tier_confirmed, s.tier_refuted, s.tier_residue),
+            (1, 1, 1),
+            "jobs={parallelism}: each stage decides its COP"
+        );
+        let doc = on.to_metrics().without_timings().to_json();
+        assert!(doc.contains("\"detector.tiers.confirmed\": 1"), "{doc}");
+        assert!(doc.contains("\"detector.tiers.refuted\": 1"), "{doc}");
+        assert!(doc.contains("\"detector.tiers.residue\": 1"), "{doc}");
+        docs.push(doc);
+
+        let off = detect(
+            &trace,
+            DetectorConfig {
+                parallelism,
+                tiers: false,
+                ..Default::default()
+            },
+        );
+        let s = &off.stats;
+        assert_eq!(
+            (s.tier_confirmed, s.tier_refuted, s.tier_residue),
+            (0, 0, 0),
+            "jobs={parallelism}: cascade off must attribute nothing"
+        );
+        let doc = off.to_metrics().without_timings().to_json();
+        assert!(doc.contains("\"detector.tiers.confirmed\": 0"), "{doc}");
+        // The cascade must not change what is reported.
+        assert_eq!(on.signatures(), off.signatures(), "jobs={parallelism}");
+    }
+    assert_eq!(
+        docs[0], docs[1],
+        "tier metrics drifted across worker counts"
+    );
+}
+
 /// The solver budget knob still bounds retries deterministically: with a
 /// conflict budget of 0 every real solve times out, and the report's
 /// verdict partition still holds (nothing lost, nothing double-counted).

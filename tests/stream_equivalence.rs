@@ -315,6 +315,124 @@ fn fault_injected_runs_match_across_modes() {
     }
 }
 
+/// `--no-tiers` is report-invisible: stdout is byte-identical with the
+/// cascade on and off, across wire formats (file JSON, streamed NDJSON,
+/// stdin) and worker counts. Between the two settings only the cascade's
+/// own attribution (`detector.tiers.*`) and the effort it saves
+/// (`encoder.*`, `solver.*`) may differ in the count-type metrics; every
+/// verdict counter must match.
+#[test]
+fn no_tiers_runs_are_report_identical_across_formats() {
+    let trace = multi_window_trace();
+    let json_path = dir().join("equiv-tiers.json");
+    let nd_path = dir().join("equiv-tiers.ndjson");
+    let json = rvpredict::to_json(&trace);
+    std::fs::write(&json_path, &json).unwrap();
+    std::fs::write(&nd_path, rvpredict::to_ndjson(&trace)).unwrap();
+    let json_path = json_path.to_str().unwrap();
+
+    let strip_wire = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("trace.ingest.bytes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let strip_effort = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| {
+                !l.contains("\"detector.tiers.")
+                    && !l.contains("\"encoder.")
+                    && !l.contains("\"solver.")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut outs = Vec::new();
+    let mut verdict_counts = Vec::new();
+    for no_tiers in [false, true] {
+        let mut base_args = vec!["--window", "300", "--jobs", "1"];
+        if no_tiers {
+            base_args.push("--no-tiers");
+        }
+        let (base_code, base_out, base_counts) = run_with_metrics(
+            &base_args,
+            json_path,
+            &format!("m-tiers-base-{no_tiers}.json"),
+        );
+        assert_eq!(base_code, 1, "the head COP races either way");
+        // The attribution counters follow the flag: the screen confirms
+        // the head race when on, and stays entirely silent when off.
+        let confirmed = if no_tiers { 0 } else { 1 };
+        assert!(
+            base_counts.contains(&format!("\"detector.tiers.confirmed\": {confirmed}")),
+            "no_tiers={no_tiers}: {base_counts}"
+        );
+        // Streamed JSON at several worker counts: everything identical.
+        for jobs in ["2", "8"] {
+            let mut args = vec!["--window", "300", "--jobs", jobs, "--stream"];
+            if no_tiers {
+                args.push("--no-tiers");
+            }
+            let (code, out, counts) =
+                run_with_metrics(&args, json_path, &format!("m-tiers-{no_tiers}-{jobs}.json"));
+            assert_eq!(code, base_code, "no_tiers={no_tiers} jobs={jobs}");
+            assert_eq!(out, base_out, "no_tiers={no_tiers} jobs={jobs}: stdout");
+            assert_eq!(
+                counts, base_counts,
+                "no_tiers={no_tiers} jobs={jobs}: metrics"
+            );
+        }
+        // Streamed NDJSON: identical modulo the wire-size counter.
+        let mut nd_args = vec!["--window", "300", "--jobs", "4", "--stream"];
+        if no_tiers {
+            nd_args.push("--no-tiers");
+        }
+        let (code, out, counts) = run_with_metrics(
+            &nd_args,
+            nd_path.to_str().unwrap(),
+            &format!("m-tiers-nd-{no_tiers}.json"),
+        );
+        assert_eq!(code, base_code, "no_tiers={no_tiers} ndjson");
+        assert_eq!(out, base_out, "no_tiers={no_tiers} ndjson: stdout");
+        assert_eq!(strip_wire(&counts), strip_wire(&base_counts));
+        // Stdin ingestion: same report text.
+        let mut stdin_args = vec!["--window", "300"];
+        if no_tiers {
+            stdin_args.push("--no-tiers");
+        }
+        stdin_args.push("-");
+        let mut child = Command::new(bin())
+            .args(&stdin_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(json.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(base_code), "no_tiers={no_tiers}");
+        assert_eq!(
+            stripped_stdout(&out),
+            base_out,
+            "no_tiers={no_tiers} stdin: stdout"
+        );
+        outs.push(base_out);
+        verdict_counts.push(strip_effort(&base_counts));
+    }
+    // Across the flag: the report and every verdict counter are identical.
+    assert_eq!(outs[0], outs[1], "--no-tiers changed the report text");
+    assert_eq!(
+        verdict_counts[0], verdict_counts[1],
+        "--no-tiers changed a verdict counter"
+    );
+}
+
 /// Library-level contract: the three drivers (eager, pipelined, streamed)
 /// render byte-identical `deterministic_summary` outputs at every
 /// parallelism level, with and without a fault plan.

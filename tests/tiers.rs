@@ -1,0 +1,221 @@
+//! Tier-soundness tests for the pre-solver cascade: each screen must fire
+//! on a trace hand-built for it, the entailment algebra must order exactly
+//! what the formula entails, and every tier verdict must agree with the
+//! solver oracle.
+
+use rvpredict::{
+    ConsistencyMode, Cop, DetectorConfig, RaceDetector, TierAnalysis, TierDecision, TraceBuilder,
+    ViewExt,
+};
+
+fn config(tiers: bool) -> DetectorConfig {
+    DetectorConfig {
+        parallelism: 1,
+        tiers,
+        ..Default::default()
+    }
+}
+
+// ------------------------------------------------------------ Tier A
+
+/// A sync-free racy pair: Tier A must confirm it by replay, with the
+/// solver never invoked on the screen's behalf (`solver_totals` sums the
+/// per-COP deltas, and a tier confirmation has none).
+#[test]
+fn tier_a_confirms_race_with_zero_recorded_solves() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t2 = b.fork(rvpredict::ThreadId::MAIN);
+    b.write(rvpredict::ThreadId::MAIN, x, 1);
+    b.read(t2, x, 1);
+    let trace = b.finish();
+
+    let report = RaceDetector::with_config(config(true)).detect(&trace);
+    assert_eq!(report.n_races(), 1, "{report}");
+    assert_eq!(report.stats.tier_confirmed, 1, "{report}");
+    assert_eq!(report.stats.tier_residue, 0, "{report}");
+    assert_eq!(
+        report.stats.solver_totals.solves, 0,
+        "a tier-A confirmation must not record solver effort"
+    );
+    // The cascade must not change what is reported.
+    let baseline = RaceDetector::with_config(config(false)).detect(&trace);
+    assert_eq!(report.signatures(), baseline.signatures());
+    assert_eq!(report.races[0].schedule, baseline.races[0].schedule);
+}
+
+// ------------------------------------------------------------ Tier B
+
+/// One flag-handoff block (the BENCH_pr6 pattern): the payload COP
+/// survives the quick check but the branch-forced flag read entails
+/// `w y → w f → r f → r y` in every sound reordering. Tier B must refute
+/// it without a solver call, matching the solver's `Unsat`.
+#[test]
+fn tier_b_refutes_flag_handoff_pair() {
+    let mut b = TraceBuilder::new();
+    let y = b.var("y");
+    let f = b.var("f");
+    let main = rvpredict::ThreadId::MAIN;
+    let t2 = b.fork(main);
+    let l = b.new_lock("l");
+    b.write(main, y, 1);
+    b.acquire(main, l);
+    b.write(main, f, 1);
+    b.release(main, l);
+    b.acquire(t2, l);
+    b.read(t2, f, 1);
+    b.release(t2, l);
+    b.branch(t2);
+    b.read(t2, y, 1);
+    let trace = b.finish();
+
+    let report = RaceDetector::with_config(config(true)).detect(&trace);
+    assert_eq!(report.n_races(), 0, "{report}");
+    assert!(report.stats.tier_refuted >= 1, "{report}");
+    assert_eq!(report.stats.tier_residue, 0, "{report}");
+    assert_eq!(report.stats.solver_totals.solves, 0, "{report}");
+
+    let baseline = RaceDetector::with_config(config(false)).detect(&trace);
+    assert_eq!(report.stats.unsat, baseline.stats.unsat);
+    assert_eq!(report.stats.cops_solved, baseline.stats.cops_solved);
+}
+
+// ------------------------------------------------------------ Residue
+
+/// A COP neither screen can decide must reach the solver: the lock-split
+/// exchange needs a reordering that swaps two critical sections, which
+/// Tier A's prefix-plus-adjacent replay cannot produce and Tier B cannot
+/// refute. The solver still proves it a race, so the verdicts agree.
+#[test]
+fn residue_cop_reaches_the_solver() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let main = rvpredict::ThreadId::MAIN;
+    let l = b.new_lock("l");
+    let t2 = b.fork(main);
+    b.acquire(main, l);
+    b.write(main, x, 7);
+    b.write(main, y, 1);
+    b.release(main, l);
+    b.acquire(t2, l);
+    b.read(t2, y, 1);
+    b.release(t2, l);
+    b.read(t2, x, 7);
+    let trace = b.finish();
+
+    let with_tiers = RaceDetector::with_config(config(true)).detect(&trace);
+    assert!(with_tiers.stats.tier_residue >= 1, "{with_tiers}");
+    let baseline = RaceDetector::with_config(config(false)).detect(&trace);
+    assert_eq!(with_tiers.signatures(), baseline.signatures());
+    assert_eq!(with_tiers.stats.sat, baseline.stats.sat);
+    assert_eq!(with_tiers.stats.unsat, baseline.stats.unsat);
+}
+
+/// With the cascade on, every solved COP is attributed to exactly one
+/// stage; with it off, no COP is attributed to any.
+#[test]
+fn tier_counters_partition_cops_solved() {
+    let w = rvpredict::workloads::figures::figure1();
+    let on = RaceDetector::with_config(config(true)).detect(&w.trace);
+    assert_eq!(
+        on.stats.tier_confirmed + on.stats.tier_refuted + on.stats.tier_residue,
+        on.stats.cops_solved,
+        "{on}"
+    );
+    let off = RaceDetector::with_config(config(false)).detect(&w.trace);
+    assert_eq!(
+        off.stats.tier_confirmed + off.stats.tier_refuted + off.stats.tier_residue,
+        0,
+        "{off}"
+    );
+    assert_eq!(on.signatures(), off.signatures());
+}
+
+// ------------------------------------- entailment algebra (Tier B base)
+
+/// Program order, fork and join edges order exactly what MHB orders.
+#[test]
+fn entailment_orders_program_order_fork_and_join() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let main = rvpredict::ThreadId::MAIN;
+    let t2 = b.fork(main);
+    let w1 = b.write(main, x, 1);
+    let w2 = b.write(t2, x, 2);
+    b.end(t2);
+    b.join(main, t2);
+    let w3 = b.write(main, x, 3);
+    let trace = b.finish();
+    let views = trace.windows(trace.len());
+    let mut tiers = TierAnalysis::new(&views[0], ConsistencyMode::ControlFlow, true);
+
+    // Program order within a thread.
+    assert!(tiers.entailed_before(w1, w3));
+    assert!(!tiers.entailed_before(w3, w1));
+    // The fork edge orders the parent's pre-fork events before the child.
+    assert!(!tiers.entailed_before(w1, w2), "post-fork writes race");
+    // The join edge orders the whole child before the parent's tail.
+    assert!(tiers.entailed_before(w2, w3));
+    assert!(!tiers.entailed_before(w3, w2));
+    // Entailed-ordered pairs are refuted, concurrent ones are not refuted.
+    assert_eq!(tiers.decide(&Cop::new(w2, w3)), TierDecision::Refuted);
+    assert_ne!(tiers.decide(&Cop::new(w1, w2)), TierDecision::Refuted);
+}
+
+/// A wait/notify link orders the notifier's past before the waiter's
+/// future: `release < notify < re-acquire` are entailed edges.
+#[test]
+fn entailment_orders_across_wait_links() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let main = rvpredict::ThreadId::MAIN;
+    let l = b.new_lock("l");
+    let t2 = b.fork(main);
+    b.acquire(t2, l);
+    let token = b.wait_begin(t2, l);
+    let wx = b.write(main, x, 1);
+    b.acquire(main, l);
+    let n = b.notify(main, l);
+    b.release(main, l);
+    b.wait_end(token, Some(n));
+    let rx = b.read(t2, x, 1);
+    b.release(t2, l);
+    let trace = b.finish();
+    let views = trace.windows(trace.len());
+    let mut tiers = TierAnalysis::new(&views[0], ConsistencyMode::ControlFlow, true);
+
+    // The write flows to the post-wait read through the wait link.
+    assert!(tiers.entailed_before(wx, rx));
+    assert_eq!(tiers.decide(&Cop::new(wx, rx)), TierDecision::Refuted);
+}
+
+/// A lock disjunction whose one arm is contradicted by entailed order
+/// collapses to the other arm: with whole-trace consistency the flag read
+/// pins the second critical section after the first, so the sections'
+/// `release → acquire` edge becomes entailed.
+#[test]
+fn entailment_discharges_one_sided_lock_disjunctions() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let flag = b.var("flag");
+    let main = rvpredict::ThreadId::MAIN;
+    let l = b.new_lock("l");
+    let t2 = b.fork(main);
+    let a1 = b.acquire(main, l).unwrap();
+    b.write(main, x, 1);
+    b.write(main, flag, 1);
+    let r1 = b.release(main, l).unwrap();
+    let a2 = b.acquire(t2, l).unwrap();
+    b.read(t2, flag, 1);
+    b.read(t2, x, 1);
+    b.release(t2, l).unwrap();
+    let trace = b.finish();
+    let views = trace.windows(trace.len());
+    let mut tiers = TierAnalysis::new(&views[0], ConsistencyMode::WholeTrace, true);
+
+    // `rel2 < acq1` would cycle through the flag's unique justifier, so
+    // the disjunction's surviving arm `rel1 < acq2` is entailed.
+    assert!(tiers.entailed_before(r1, a2));
+    assert!(tiers.entailed_before(a1, a2));
+}
