@@ -12,6 +12,7 @@
 
 use std::process::ExitCode;
 
+use rvbench::serve::tenant_mix_workload;
 use rvbench::slice::wide_window_workload;
 use rvbench::stream::racy_stream_workload;
 use rvbench::tier::flag_handoff_workload;
@@ -30,11 +31,12 @@ fn named_workload(name: &str) -> Option<Workload> {
         "wide_large" => wide_window_workload("wide_large", 10, 14),
         "tier_small" => flag_handoff_workload("tier_small", 2, 4),
         "tier_medium" => flag_handoff_workload("tier_medium", 8, 60),
+        "tenant_mix" => tenant_mix_workload("tenant_mix", 60),
         _ => return None,
     })
 }
 
-const WORKLOAD_NAMES: [&str; 11] = [
+const WORKLOAD_NAMES: [&str; 12] = [
     "figure1",
     "figure2_read",
     "array_index",
@@ -46,6 +48,7 @@ const WORKLOAD_NAMES: [&str; 11] = [
     "wide_large",
     "tier_small",
     "tier_medium",
+    "tenant_mix",
 ];
 
 fn main() -> ExitCode {

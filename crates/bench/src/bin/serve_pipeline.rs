@@ -1,0 +1,97 @@
+//! The `BENCH_pr7.json` generator: concurrent tenants on a shared session
+//! manager vs their solo runs.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin serve_pipeline -- [--out BENCH_pr7.json]
+//!     [--smoke] [--budget SECS] [--jobs N]
+//! ```
+//!
+//! By default runs the full six-tenant set over a two-worker pool (so the
+//! pool is genuinely multiplexed); `--smoke` restricts the run to three
+//! small tenants for CI smoke checks. The emitted document conforms to
+//! [`rvbench::serve`]'s schema and is validated before it is written.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvbench::serve::{
+    full_serve_workloads, run_serve_pipeline, smoke_serve_workloads, validate_serve_bench_json,
+    ServeBenchOptions,
+};
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr7.json".to_string();
+    let mut smoke = false;
+    let mut opts = ServeBenchOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--budget" => {
+                match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => opts.solver_timeout = Duration::from_secs(v),
+                    None => {
+                        eprintln!("error: --budget needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.workers = v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: serve_pipeline [--out PATH] [--smoke] [--budget SECS] [--jobs N]"
+                );
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (workloads, mode) = if smoke {
+        (smoke_serve_workloads(), "smoke")
+    } else {
+        (full_serve_workloads(), "full")
+    };
+    eprintln!(
+        "serve_pipeline: {} tenant(s), workers={}, mode={}",
+        workloads.len(),
+        opts.workers,
+        mode
+    );
+    let json = run_serve_pipeline(&workloads, &opts, mode);
+    if let Err(e) = validate_serve_bench_json(&json) {
+        eprintln!("error: generated document violates its own schema: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("serve_pipeline: wrote {out}");
+    ExitCode::SUCCESS
+}

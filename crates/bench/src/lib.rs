@@ -14,6 +14,9 @@
 //!   `BENCH_pr5.json`;
 //! * `cargo run -p rvbench --release --bin tier_pipeline` — the tiered
 //!   cascade on/off comparison (see [`tier`]), emitting `BENCH_pr6.json`;
+//! * `cargo run -p rvbench --release --bin serve_pipeline` — concurrent
+//!   tenants on a shared session manager vs their solo runs (see
+//!   [`serve`]), emitting `BENCH_pr7.json`;
 //! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
 //!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
@@ -24,6 +27,7 @@
 
 pub mod micro;
 pub mod pipeline;
+pub mod serve;
 pub mod slice;
 pub mod stream;
 pub mod tier;

@@ -144,6 +144,13 @@ pub struct DetectorConfig {
     /// ⇒ smaller formula). COPs spanning the midpoint keep their
     /// `Undecided` verdict. Off by default.
     pub retry_split: bool,
+    /// Per-*window* wall-clock budget (CLI `--timeout-ms`; the daemon's
+    /// per-tenant budget). When the deadline passes mid-window, every COP
+    /// not yet decided is recorded as `Undecided(Timeout)` — the PR 2
+    /// degradation path — in both the per-COP and batched solve modes, and
+    /// the remaining per-COP solver budget is clamped to the window's
+    /// remaining time. `None` (the default) means unbounded.
+    pub window_timeout: Option<Duration>,
     /// Deterministic fault-injection plan (tests only; `None` in
     /// production). See [`FaultPlan`].
     pub fault_plan: Option<Arc<FaultPlan>>,
@@ -167,6 +174,7 @@ impl Default for DetectorConfig {
             max_cops_per_signature: 10,
             parallelism: default_parallelism(),
             retry_split: false,
+            window_timeout: None,
             fault_plan: None,
         }
     }
@@ -205,6 +213,7 @@ mod tests {
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
         assert!(c.parallelism >= 1, "at least one worker");
         assert!(!c.retry_split, "retry policy is opt-in");
+        assert!(c.window_timeout.is_none(), "window budget is opt-in");
         assert!(c.fault_plan.is_none(), "no faults in production configs");
     }
 

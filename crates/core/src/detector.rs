@@ -160,8 +160,36 @@ impl WindowOutcome {
     }
 }
 
+/// An opaque solved-window result: produced by
+/// [`RaceDetector::solve_window_result`], consumed (in window order) by
+/// [`RaceDetector::merge_window_result`]. These are the two halves of the
+/// solve-then-merge protocol every built-in driver runs; exposing them
+/// lets an external driver — the multi-tenant session layer — schedule
+/// the solves on its own worker pool while keeping the merged report
+/// byte-identical to the built-in drivers.
+#[derive(Debug)]
+pub struct WindowResult(WindowOutcome);
+
+impl WindowResult {
+    /// The window index this result belongs to (the merge-order key).
+    pub fn window_index(&self) -> usize {
+        self.0.window_index()
+    }
+
+    /// A synthetic failure result for a window whose solve never
+    /// completed (e.g. a worker that died outside the isolated solve).
+    /// Merges exactly like a window poisoned by an in-solve panic.
+    pub fn failed(window_index: usize, range: std::ops::Range<usize>, reason: String) -> Self {
+        WindowResult(WindowOutcome::Failed(FailedWindow {
+            window_index,
+            range,
+            reason,
+        }))
+    }
+}
+
 /// Renders a panic payload for a [`FailedWindow`] record.
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -196,8 +224,60 @@ fn tier_refuted_record(cop: Cop, signature: RaceSignature) -> CopRecord {
     }
 }
 
+/// True once the window's wall-clock deadline (if any) has passed.
+fn past_deadline(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// The per-COP solver budget under a window deadline: the configured
+/// budget clamped to the window's remaining wall-clock, so a COP started
+/// near the deadline cannot overshoot the window budget by a whole
+/// per-COP budget.
+fn clamp_budget(budget: &Budget, deadline: Option<Instant>) -> Budget {
+    let Some(d) = deadline else { return *budget };
+    let remaining = d.saturating_duration_since(Instant::now());
+    Budget {
+        timeout: Some(budget.timeout.map_or(remaining, |t| t.min(remaining))),
+        ..*budget
+    }
+}
+
+/// The record of a COP reached after the window deadline expired: the
+/// exact `Undecided(Timeout)` record a per-COP budget exhaustion leaves,
+/// with no encoding and no solver effort to account.
+fn deadline_expired_record(cop: Cop, signature: RaceSignature, cascade_on: bool) -> CopRecord {
+    CopRecord {
+        cop,
+        signature,
+        verdict: CopVerdict::Undecided(UndecidedReason::Timeout),
+        profile: SolverTotals::default(),
+        retried: false,
+        cone_events: 0,
+        window_events: 0,
+        constraints: 0,
+        decided_by: cascade_on.then_some(Tier::Solver),
+    }
+}
+
+/// Signatures confirmed by a merge loop, readable by in-flight workers.
+///
+/// Internal to the built-in drivers historically; public so external
+/// drivers (the multi-tenant session layer) can run the same
+/// solve-then-merge protocol with the same early-skip optimization. The
+/// set is only ever used to *skip* solves whose records the merge replay
+/// is guaranteed to discard, so sharing it never changes merged output.
+#[derive(Debug, Default)]
+pub struct PublishedSet(RwLock<HashSet<RaceSignature>>);
+
+impl PublishedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PublishedSet::default()
+    }
+}
+
 /// Signatures confirmed by the merge loop, readable by in-flight workers.
-type Published = RwLock<HashSet<RaceSignature>>;
+type Published = PublishedSet;
 
 /// One window of streamed detection work: the window's range, the boundary
 /// state (lock/value carry) at its start, and an [`Arc`] snapshot of a
@@ -308,7 +388,7 @@ impl RaceDetector {
             // Inline solve-then-merge per window. The published set is
             // always fully caught up here, so the early-skip rules fire
             // exactly as in the historical serial driver.
-            let published: Published = RwLock::new(HashSet::new());
+            let published: Published = PublishedSet::new();
             for (index, view) in views.iter().enumerate() {
                 let outcome = self.solve_window_isolated(index, view, Some(&published));
                 self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
@@ -348,7 +428,7 @@ impl RaceDetector {
         let mut confirmed: HashSet<RaceSignature> = HashSet::new();
         let workers = self.config.parallelism.max(1);
         let size = self.config.window_size;
-        let published: Published = RwLock::new(HashSet::new());
+        let published: Published = PublishedSet::new();
         if workers == 1 {
             // One view alive at a time: build, solve, merge, drop.
             let mut peak = 0usize;
@@ -447,7 +527,7 @@ impl RaceDetector {
         let start = Instant::now();
         let workers = self.config.parallelism.max(1);
         let size = self.config.window_size.max(1);
-        let published: Published = RwLock::new(HashSet::new());
+        let published: Published = PublishedSet::new();
         let residency = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         let (job_tx, job_rx) = mpsc::sync_channel::<StreamJob>(workers + 2);
@@ -602,7 +682,7 @@ impl RaceDetector {
         confirmed: &mut HashSet<RaceSignature>,
         start: Instant,
     ) {
-        let published: Published = RwLock::new(HashSet::new());
+        let published: Published = PublishedSet::new();
         let next_window = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<WindowOutcome>();
         std::thread::scope(|scope| {
@@ -658,6 +738,35 @@ impl RaceDetector {
         }
     }
 
+    /// Solves one window under panic isolation, as a building block for
+    /// external drivers (the session layer): the result must be handed to
+    /// [`RaceDetector::merge_window_result`] in window order. The solve is
+    /// a pure function of the window's view (plus the skip-only
+    /// `published` set), so any scheduling of these calls merges to the
+    /// same report.
+    pub fn solve_window_result(
+        &self,
+        window_index: usize,
+        view: &View<'_>,
+        published: Option<&PublishedSet>,
+    ) -> WindowResult {
+        WindowResult(self.solve_window_isolated(window_index, view, published))
+    }
+
+    /// Merges one window's result into `report`. Must be called in window
+    /// order with the same `confirmed` set (and `published`, if any)
+    /// across the whole run — this is the replay that makes merged output
+    /// independent of solve scheduling.
+    pub fn merge_window_result(
+        &self,
+        result: WindowResult,
+        report: &mut DetectionReport,
+        confirmed: &mut HashSet<RaceSignature>,
+        published: Option<&PublishedSet>,
+    ) {
+        self.merge_outcome(result.0, report, confirmed, published);
+    }
+
     /// Solves one window into an outcome record. Pure with respect to
     /// cross-window state: `published` is used only for early skips that
     /// provably cannot change merged output (see the module docs).
@@ -669,6 +778,13 @@ impl RaceDetector {
     ) -> SolvedWindow {
         let window_start = Instant::now();
         let cfg = &self.config;
+        // The per-window wall-clock budget (`--timeout-ms`, or a daemon
+        // tenant budget). COPs reached after the deadline are recorded as
+        // `Undecided(Timeout)` — same verdict path in per-COP and batched
+        // mode — and per-COP solver budgets are clamped to the remainder.
+        // (An unrepresentable deadline — overflowing `Instant` — means the
+        // budget can never fire, i.e. unbounded.)
+        let deadline = cfg.window_timeout.and_then(|t| window_start.checked_add(t));
         let enumeration = enumerate_cops(view, cfg.quick_check, cfg.max_cops_per_signature);
         let budget = Budget {
             max_conflicts: cfg.max_conflicts,
@@ -688,10 +804,11 @@ impl RaceDetector {
         // fault coordinates index the solve order, which does.)
         let known_racy: HashSet<RaceSignature> =
             match (cfg.dedup_signatures && cfg.fault_plan.is_none(), published) {
-                (true, Some(p)) => p
-                    .read()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .clone(),
+                (true, Some(p)) => {
+                    p.0.read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .clone()
+                }
                 _ => HashSet::new(),
             };
         let mut out = SolvedWindow {
@@ -715,6 +832,7 @@ impl RaceDetector {
                 enumeration.cops,
                 opts,
                 &budget,
+                deadline,
                 &known_racy,
                 tiers.as_mut(),
                 &mut out,
@@ -725,6 +843,7 @@ impl RaceDetector {
                 enumeration.cops,
                 opts,
                 &budget,
+                deadline,
                 &known_racy,
                 tiers.as_mut(),
                 &mut out,
@@ -735,7 +854,7 @@ impl RaceDetector {
             out.tier_b_time = t.tier_b_time();
         }
         if cfg.retry_split {
-            self.retry_timeouts(view, opts, &budget, &mut out);
+            self.retry_timeouts(view, opts, &budget, deadline, &mut out);
         }
         out.window_time = window_start.elapsed();
         out
@@ -754,6 +873,7 @@ impl RaceDetector {
         view: &View<'_>,
         opts: EncoderOptions,
         budget: &Budget,
+        deadline: Option<Instant>,
         out: &mut SolvedWindow,
     ) {
         let needs_retry = out
@@ -781,8 +901,14 @@ impl RaceDetector {
             } else {
                 continue; // spans the midpoint: stays Undecided
             };
+            // No retries past the window deadline: the budget that killed
+            // the first solve has run out for good.
+            if past_deadline(deadline) {
+                continue;
+            }
             record.retried = true;
             let solve_start = Instant::now();
+            let budget = &clamp_budget(budget, deadline);
             let encoded = encode(half, record.cop, opts);
             let mut solver = Solver::new(&encoded.fb);
             if cfg.phase_hints {
@@ -847,6 +973,7 @@ impl RaceDetector {
         cops: Vec<Cop>,
         opts: EncoderOptions,
         budget: &Budget,
+        deadline: Option<Instant>,
         known_racy: &HashSet<RaceSignature>,
         mut tiers: Option<&mut TierAnalysis<'_>>,
         out: &mut SolvedWindow,
@@ -877,6 +1004,13 @@ impl RaceDetector {
                 });
                 continue;
             }
+            // Window budget exhausted: every remaining COP degrades to the
+            // per-COP-timeout verdict — no screens, no encoding, no solve.
+            if past_deadline(deadline) {
+                out.records
+                    .push(deadline_expired_record(cop, signature, cascade_on));
+                continue;
+            }
             if cfg.dedup_signatures
                 && (local_confirmed.contains(&signature) || known_racy.contains(&signature))
             {
@@ -898,6 +1032,7 @@ impl RaceDetector {
             if let Some(t) = tiers.as_deref_mut() {
                 match t.decide(&cop) {
                     TierDecision::Confirmed => {
+                        let budget = &clamp_budget(budget, deadline);
                         let record =
                             self.tier_confirmed_record(view, cop, signature, opts, budget, out);
                         if matches!(record.verdict, CopVerdict::Race(_)) {
@@ -914,6 +1049,7 @@ impl RaceDetector {
                 }
             }
             let solve_start = Instant::now();
+            let budget = &clamp_budget(budget, deadline);
             let encoded = match &skel {
                 Some(s) => encode_with_skeleton(s, cop, opts),
                 None => encode(view, cop, opts),
@@ -1048,6 +1184,7 @@ impl RaceDetector {
         cops: Vec<Cop>,
         opts: EncoderOptions,
         budget: &Budget,
+        deadline: Option<Instant>,
         known_racy: &HashSet<RaceSignature>,
         mut tiers: Option<&mut TierAnalysis<'_>>,
         out: &mut SolvedWindow,
@@ -1115,7 +1252,9 @@ impl RaceDetector {
             }
         }
         let mut enc_solver = None;
-        if !residue.is_empty() {
+        // An already-expired deadline skips the shared encoding entirely:
+        // every residue COP below degrades without ever needing a solver.
+        if !residue.is_empty() && !past_deadline(deadline) {
             let solve_start = Instant::now();
             // With slicing, the shared base formula covers the union cone
             // of the residue COPs.
@@ -1149,6 +1288,15 @@ impl RaceDetector {
                 });
                 continue;
             }
+            // Window budget exhausted: every remaining COP — tier-decided
+            // or residue — degrades to the per-COP-timeout verdict. (The
+            // deadline is monotonic, so a residue COP that passes this
+            // check always finds the shared encoding built above.)
+            if past_deadline(deadline) {
+                out.records
+                    .push(deadline_expired_record(cop, signature, cascade_on));
+                continue;
+            }
             if cfg.dedup_signatures && local_confirmed.contains(&signature) {
                 out.records.push(CopRecord {
                     cop,
@@ -1165,6 +1313,7 @@ impl RaceDetector {
             }
             match decisions[i] {
                 Some(TierDecision::Confirmed) => {
+                    let budget = &clamp_budget(budget, deadline);
                     let record =
                         self.tier_confirmed_record(view, cop, signature, opts, budget, out);
                     if matches!(record.verdict, CopVerdict::Race(_)) {
@@ -1184,6 +1333,7 @@ impl RaceDetector {
                 .expect("residue COP without a shared encoding");
             let sel = sel_index[i].expect("residue COP without a selector");
             let solve_start = Instant::now();
+            let budget = &clamp_budget(budget, deadline);
             // Shared incremental solver: counters are cumulative over the
             // window, so this COP's effort is the before/after delta.
             let before = solver.stats().sat;
@@ -1329,7 +1479,7 @@ impl RaceDetector {
                     stats.sat += 1;
                     confirmed.insert(record.signature);
                     if let Some(p) = published {
-                        p.write()
+                        p.0.write()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .insert(record.signature);
                     }

@@ -49,6 +49,7 @@ mod encoder;
 pub mod metrics;
 pub mod oracle;
 mod report;
+pub mod session;
 mod slice;
 mod tiers;
 mod witness;
@@ -58,7 +59,7 @@ pub use atomicity::{
 };
 pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
-pub use detector::{RaceDetector, StreamDetection};
+pub use detector::{PublishedSet, RaceDetector, StreamDetection, WindowResult};
 pub use encoder::{
     encode, encode_window, encode_window_with_skeleton, encode_with_skeleton, Encoded,
     EncodedWindow, EncoderOptions,
@@ -69,6 +70,7 @@ pub use report::{
     DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, SolverTotals,
     UndecidedReason,
 };
+pub use session::{Session, SessionConfig, SessionError, SessionManager, SessionOutcome};
 pub use slice::{Cone, WindowSkeleton};
 pub use tiers::{Tier, TierAnalysis, TierDecision};
 pub use witness::{extract_witness, extract_witness_with, Witness, WitnessError};

@@ -1,0 +1,133 @@
+//! Length-prefixed framing for trace streams over byte transports.
+//!
+//! The detection daemon (`rvserved`) multiplexes many trace streams over
+//! unix sockets; each stream is a sequence of *frames* so the server can
+//! tell message boundaries apart without sniffing the payload. The wire
+//! format is deliberately minimal:
+//!
+//! * a frame is a 4-byte big-endian payload length followed by that many
+//!   payload bytes;
+//! * a zero-length frame is valid and is what the client uses as an
+//!   end-of-stream marker;
+//! * payloads larger than [`MAX_FRAME`] are rejected on both ends, so a
+//!   corrupt or malicious length prefix cannot make the reader allocate
+//!   unboundedly.
+//!
+//! Framing is transport-level only: payload bytes are opaque here (the
+//! daemon layers its JSON handshake and raw trace chunks on top).
+//!
+//! # Examples
+//!
+//! ```
+//! use rvtrace::frame::{read_frame, write_frame};
+//!
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, b"hello").unwrap();
+//! write_frame(&mut wire, b"").unwrap(); // end-of-stream marker
+//!
+//! let mut r = wire.as_slice();
+//! assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+//! assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+//! assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload, 64 MiB. Large traces are sent
+/// as many chunk-sized frames, so this bounds a reader's worst-case
+/// allocation without bounding stream length.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// Fails with [`io::ErrorKind::InvalidInput`] if `payload` exceeds
+/// [`MAX_FRAME`], and otherwise propagates transport errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary). EOF in the middle of a frame — a peer that died mid-send —
+/// fails with [`io::ErrorKind::UnexpectedEof`], and a length prefix beyond
+/// [`MAX_FRAME`] fails with [`io::ErrorKind::InvalidData`] without
+/// allocating.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean EOF is only clean before the first header byte.
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_payloads_and_boundaries() {
+        let payloads: Vec<Vec<u8>> = vec![
+            b"first".to_vec(),
+            Vec::new(),
+            vec![0u8; 70_000], // larger than one read syscall's worth
+            b"{\"json\":1}".to_vec(),
+        ];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for p in &payloads {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(p));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        let wire = u32::MAX.to_be_bytes();
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut Vec::new(), &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

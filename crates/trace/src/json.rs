@@ -130,6 +130,14 @@ impl JsonValue {
         u32::try_from(self.as_int()?).map_err(|_| shape("integer out of u32 range"))
     }
 
+    /// The boolean value, or a shape error.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(v) => Ok(*v),
+            other => Err(shape(format!("expected boolean, found {other:?}"))),
+        }
+    }
+
     /// The string value, or a shape error.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
@@ -438,6 +446,16 @@ pub(crate) fn parse_span(span: &str, abs_base: usize) -> Result<JsonValue, JsonE
 }
 
 // ---------------------------------------------------------------- writer
+
+/// Renders `s` as a JSON string literal (quotes included, content
+/// escaped). Exposed so in-tree consumers that hand-build JSON documents
+/// — the bench harness, the daemon protocol — escape strings exactly the
+/// way the trace writer does.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::new();
+    write_escaped(&mut out, s);
+    out
+}
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');

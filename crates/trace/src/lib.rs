@@ -48,6 +48,7 @@ mod builder;
 pub mod consistency;
 mod error;
 mod event;
+pub mod frame;
 pub mod json;
 pub mod salvage;
 mod signature;
@@ -62,9 +63,10 @@ pub use consistency::{
 };
 pub use error::TraceError;
 pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use json::{
-    from_json, from_json_data, from_json_data_with_stats, from_json_with_stats, parse_json,
-    to_json, to_ndjson, validate_wait_links, IngestStats, JsonError, JsonValue,
+    escape_json, from_json, from_json_data, from_json_data_with_stats, from_json_with_stats,
+    parse_json, to_json, to_ndjson, validate_wait_links, IngestStats, JsonError, JsonValue,
 };
 pub use salvage::{salvage_trace, SalvageReport};
 pub use signature::{RaceSignature, SignatureDisplay};

@@ -265,6 +265,13 @@ impl StreamParser {
     /// Feeds the next chunk of input. Events complete in this chunk are
     /// decoded immediately. A returned error is fatal to the parse.
     pub fn feed(&mut self, chunk: &[u8]) -> Result<(), JsonError> {
+        // A zero-length read is a true no-op: no new bytes means the state
+        // machine cannot progress, and pumping anyway would re-drain the
+        // snippet margin for nothing. (Callers looping over `Read::read`
+        // may legitimately see transient zero-length chunks.)
+        if chunk.is_empty() {
+            return Ok(());
+        }
         let t = Instant::now();
         self.total += chunk.len();
         self.buf.extend_from_slice(chunk);
@@ -342,11 +349,20 @@ impl StreamParser {
         // later errors can show context from before the failure point,
         // exactly as the whole-file parser's window does.
         let keep = self.pos.min(SNIPPET_CONTEXT);
-        let cut = self.pos - keep;
+        let mut cut = self.pos - keep;
+        // Never cut mid-code-point: if the margin started with a UTF-8
+        // continuation byte, `err_at`'s boundary clamp would stop dead at
+        // the buffer start and lossy-decode a replacement character the
+        // whole-file parser's snippet does not have.
+        while cut > 0 && self.buf[cut] & 0xC0 == 0x80 {
+            cut -= 1;
+        }
         if cut > 0 {
             self.buf.drain(..cut);
             self.base += cut;
-            self.pos = keep;
+            // Backing up over continuation bytes can retain a few more
+            // than `keep` bytes — the cursor offset must match.
+            self.pos -= cut;
         }
         r
     }

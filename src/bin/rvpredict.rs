@@ -8,7 +8,15 @@
 //!   --detector rv|said|cp|hb   technique to run (default rv)
 //!   --window N                 window size in events (default 10000)
 //!   --budget SECS              per-COP solver budget (default 60, as in the paper)
+//!   --timeout-ms MS            per-*window* wall-clock budget: when a window has
+//!                              spent MS milliseconds, its remaining COPs are
+//!                              recorded as undecided (timeout) instead of solved —
+//!                              detection degrades (exit 3) rather than stalls
 //!   --jobs N                   solve windows on N worker threads (default: all cores)
+//!   --connect SOCK             run the detection in an rvserved daemon at unix
+//!                              socket SOCK instead of in-process: the trace is
+//!                              streamed over the socket and the daemon's reply is
+//!                              byte-identical to the local run (rv detector only)
 //!   --stream                   ingest the trace incrementally (JSON or NDJSON) and
 //!                              start solving windows while the tail is still being
 //!                              read; output is byte-identical to the whole-file run
@@ -63,20 +71,24 @@
 //! (see [`rvpredict::to_json`]); any instrumentation front-end that can
 //! emit the §2 event alphabet can produce it.
 
+use std::io::{Read as _, Write as _};
+use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rvpredict::driver::{self, SessionRequest, EXIT_RACES, EXIT_USAGE};
 use rvpredict::{
-    CpDetector, DetectionReport, DetectorConfig, Fault, FaultPlan, HbDetector, Metrics,
-    RaceDetector, RaceDetectorTool, SaidDetector, Trace, TraceData,
+    read_frame, write_frame, CpDetector, DetectionReport, Fault, HbDetector, Metrics, RaceDetector,
+    RaceDetectorTool, SaidDetector, Trace, TraceData,
 };
 
 struct Options {
     detector: String,
     window: usize,
     budget: Duration,
+    timeout_ms: Option<u64>,
     jobs: Option<usize>,
+    connect: Option<String>,
     stream: bool,
     witnesses: bool,
     lenient: bool,
@@ -88,6 +100,26 @@ struct Options {
     trace_log: bool,
     demo: bool,
     path: Option<String>,
+}
+
+impl Options {
+    /// The detector settings as the daemon protocol's request header —
+    /// also the single source of the local `rv` configuration, so a
+    /// `--connect` run and an in-process run are configured identically.
+    fn session_request(&self) -> SessionRequest {
+        SessionRequest {
+            window: self.window,
+            budget_secs: self.budget.as_secs(),
+            timeout_ms: self.timeout_ms,
+            witnesses: self.witnesses,
+            lenient: self.lenient,
+            retry_split: self.retry_split,
+            no_slice: self.no_slice,
+            no_tiers: self.no_tiers,
+            faults: self.faults.clone(),
+            want_metrics: self.metrics.is_some(),
+        }
+    }
 }
 
 /// The `--trace-log` phase logger: human-readable progress lines on stderr,
@@ -113,36 +145,14 @@ impl PhaseLog {
     }
 }
 
-/// Parses `W:C:KIND` into a fault coordinate.
-fn parse_fault(spec: &str) -> Result<(usize, usize, Fault), String> {
-    let mut parts = spec.splitn(3, ':');
-    let window = parts
-        .next()
-        .and_then(|s| s.parse::<usize>().ok())
-        .ok_or_else(|| format!("--inject-fault {spec}: bad window index"))?;
-    let cop = parts
-        .next()
-        .and_then(|s| s.parse::<usize>().ok())
-        .ok_or_else(|| format!("--inject-fault {spec}: bad COP index"))?;
-    let fault = match parts.next() {
-        Some("panic") => Fault::Panic,
-        Some("timeout") => Fault::Timeout,
-        Some("encode-error") => Fault::EncodeError,
-        _ => {
-            return Err(format!(
-                "--inject-fault {spec}: kind must be panic, timeout or encode-error"
-            ))
-        }
-    };
-    Ok((window, cop, fault))
-}
-
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         detector: "rv".into(),
         window: 10_000,
         budget: Duration::from_secs(60),
+        timeout_ms: None,
         jobs: None,
+        connect: None,
         stream: false,
         witnesses: false,
         lenient: false,
@@ -178,6 +188,23 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--budget: {e}"))?;
                 opts.budget = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or("--timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+                opts.timeout_ms = Some(ms);
+                i += 2;
+            }
+            "--connect" => {
+                opts.connect = Some(
+                    args.get(i + 1)
+                        .ok_or("--connect needs a socket path")?
+                        .clone(),
+                );
                 i += 2;
             }
             "--jobs" => {
@@ -218,7 +245,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--inject-fault" => {
                 let spec = args.get(i + 1).ok_or("--inject-fault needs W:C:KIND")?;
-                opts.faults.push(parse_fault(spec)?);
+                opts.faults.push(driver::parse_fault_spec(spec)?);
                 i += 2;
             }
             "--metrics" => {
@@ -251,15 +278,12 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
-         [--jobs N] [--stream] [--witnesses] [--lenient] [--retry-split] \
-         [--no-slice] [--no-tiers] [--inject-fault W:C:KIND]... [--metrics OUT.json] \
+         [--timeout-ms MS] [--jobs N] [--connect SOCK] [--stream] [--witnesses] \
+         [--lenient] [--retry-split] [--no-slice] [--no-tiers] \
+         [--inject-fault W:C:KIND]... [--metrics OUT.json] \
          [--trace-log] (--demo | TRACE.json | -)"
     );
 }
-
-const EXIT_USAGE: u8 = 2;
-const EXIT_RACES: u8 = 1;
-const EXIT_DEGRADED: u8 = 3;
 
 /// Opens the trace source for incremental reading; `-` is stdin.
 fn open_reader(path: &str) -> Result<Box<dyn std::io::Read>, ExitCode> {
@@ -279,35 +303,20 @@ fn open_reader(path: &str) -> Result<Box<dyn std::io::Read>, ExitCode> {
 /// axioms, with the same diagnostics whether the trace was slurped or
 /// streamed (in the streamed case any speculative solving is discarded).
 fn reject_inconsistent(trace: &Trace) -> Result<(), ExitCode> {
-    let violations = rvpredict::check_consistency(trace);
-    if violations.is_empty() {
-        return Ok(());
+    match driver::consistency_error(trace) {
+        None => Ok(()),
+        Some(diag) => {
+            eprint!("{diag}");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
     }
-    eprintln!("error: trace is not sequentially consistent:");
-    for v in violations.iter().take(5) {
-        eprintln!("  {v}");
-    }
-    if violations.len() > 5 {
-        eprintln!("  ... and {} more", violations.len() - 5);
-    }
-    eprintln!("  (rerun with --lenient to salvage the consistent part)");
-    Err(ExitCode::from(EXIT_USAGE))
 }
 
 /// Lenient-mode repair: salvage the consistent part of a raw trace,
 /// recording the `salvage.*` metrics family.
 fn salvage(raw: TraceData, metrics: &mut Metrics, log: &PhaseLog) -> Trace {
     let (trace, report) = rvpredict::salvage_trace(raw);
-    metrics.inc("salvage.total", report.total as u64);
-    metrics.inc("salvage.kept", report.kept as u64);
-    metrics.inc(
-        "salvage.dangling_wait_links",
-        report.dangling_wait_links as u64,
-    );
-    for (category, &n) in &report.dropped {
-        metrics.inc(&format!("salvage.dropped.{category}"), n as u64);
-    }
-    metrics.record_time("trace.salvage_time", report.elapsed);
+    driver::record_salvage_metrics(&report, metrics);
     log.log(&format!("{report} in {:?}", report.elapsed));
     if !report.is_clean() {
         eprintln!("{report}");
@@ -416,17 +425,13 @@ fn load_trace(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> Result<T
 
 /// Folds one [`rvpredict::IngestStats`] into the registry.
 fn record_ingest_metrics(ingest: &rvpredict::IngestStats, metrics: &mut Metrics) {
-    metrics.inc("trace.ingest.bytes", ingest.bytes as u64);
-    metrics.record_time("trace.ingest.parse_time", ingest.parse_time);
+    driver::record_ingest_metrics(ingest, metrics);
 }
 
 /// Event totals and the per-kind breakdown of the (possibly salvaged)
 /// trace detection will run on.
 fn record_trace_metrics(trace: &Trace, metrics: &mut Metrics) {
-    metrics.inc("trace.events", trace.len() as u64);
-    for (kind, n) in trace.kind_counts() {
-        metrics.inc(&format!("trace.kind.{kind}"), n as u64);
-    }
+    driver::record_trace_metrics(trace, metrics);
 }
 
 /// Writes the metrics document, mapping an IO failure to [`EXIT_USAGE`].
@@ -439,25 +444,13 @@ fn write_metrics(path: &str, metrics: &Metrics, log: &PhaseLog) -> Result<(), Ex
     Ok(())
 }
 
-/// Builds the maximal detector's configuration from the CLI options.
-fn build_rv_config(opts: &Options) -> DetectorConfig {
-    let mut cfg = DetectorConfig {
-        window_size: opts.window,
-        solver_timeout: opts.budget,
-        retry_split: opts.retry_split,
-        slice: !opts.no_slice,
-        tiers: !opts.no_tiers,
-        ..Default::default()
-    };
+/// Builds the maximal detector's configuration from the CLI options —
+/// via the daemon request type, so local and `--connect` runs share one
+/// flag-to-config mapping (`--jobs` is the only local-only knob).
+fn build_rv_config(opts: &Options) -> rvpredict::DetectorConfig {
+    let mut cfg = opts.session_request().detector_config();
     if let Some(jobs) = opts.jobs {
         cfg.parallelism = jobs;
-    }
-    if !opts.faults.is_empty() {
-        let mut plan = FaultPlan::new();
-        for &(w, c, fault) in &opts.faults {
-            plan = plan.inject(w, c, fault);
-        }
-        cfg.fault_plan = Some(Arc::new(plan));
     }
     cfg
 }
@@ -482,31 +475,20 @@ fn report_rv(
         report.stats.solver_time,
         report.stats.wall_time
     ));
-    println!("{report}");
-    for race in &report.races {
-        println!("  {}", race.display(trace));
-        if opts.witnesses {
-            println!("    witness: {}", race.schedule);
-        }
-    }
+    print!(
+        "{}",
+        driver::render_rv_report(report, trace, opts.witnesses)
+    );
     metrics.merge(&report.to_metrics());
     if let Some(path) = &opts.metrics {
         if let Err(code) = write_metrics(path, metrics, log) {
             return code;
         }
     }
-    if report.n_races() > 0 {
-        ExitCode::from(EXIT_RACES)
-    } else if report.is_degraded() {
-        eprintln!(
-            "note: no races found, but {} COP(s) are undecided and {} window(s) \
-             failed — race freedom is not established for those",
-            report.stats.undecided, report.stats.failed_windows
-        );
-        ExitCode::from(EXIT_DEGRADED)
-    } else {
-        ExitCode::SUCCESS
+    if let Some(note) = driver::degraded_note(report) {
+        eprint!("{note}");
     }
+    ExitCode::from(driver::rv_exit_code(report))
 }
 
 /// The strict `rv --stream` driver: windows are dispatched to the worker
@@ -541,8 +523,103 @@ fn run_stream_rv(opts: &Options, metrics: &mut Metrics, log: &PhaseLog) -> ExitC
         detection.ingest.events, detection.ingest.bytes, detection.ingest.parse_time
     ));
     record_trace_metrics(&detection.trace, metrics);
-    println!("trace: {}", detection.trace.stats());
+    print!("{}", driver::trace_line(&detection.trace));
     report_rv(&detection.report, &detection.trace, opts, metrics, log)
+}
+
+/// The `--connect` client: stream the trace bytes to an `rvserved`
+/// daemon session and relay its response. The daemon renders stdout and
+/// stderr through the same [`driver`] functions as the in-process paths,
+/// so the relayed output is byte-identical to a local run; only trace
+/// *parse* errors come back structured (the daemon has no idea what the
+/// local file is called) and are composed here against `path`.
+fn run_client(opts: &Options, log: &PhaseLog) -> ExitCode {
+    let sock = opts.connect.as_deref().unwrap();
+    if opts.detector != "rv" {
+        eprintln!("error: --connect supports only the rv detector");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if opts.demo {
+        eprintln!("error: --connect cannot be combined with --demo");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(path) = opts.path.as_deref() else {
+        usage();
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let mut reader = match open_reader(path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let mut stream = match UnixStream::connect(sock) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {sock}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    log.log(&format!("connected to daemon at {sock}"));
+    let header = opts.session_request().to_json();
+    if let Err(e) = write_frame(&mut stream, header.as_bytes()) {
+        eprintln!("error: cannot send session request to {sock}: {e}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    // Ship the trace in bounded chunks. A send error mid-stream usually
+    // means the daemon already rejected the trace and closed its read
+    // side — fall through and relay whatever response it produced.
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sent = 0u64;
+    let send_failed = loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break false,
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        sent += n as u64;
+        if write_frame(&mut stream, &buf[..n]).is_err() {
+            break true;
+        }
+    };
+    if !send_failed {
+        // Zero-length frame: end of trace.
+        let _ = write_frame(&mut stream, &[]);
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    log.log(&format!("sent {sent} trace bytes, awaiting response"));
+    let frame = match read_frame(&mut stream) {
+        Ok(Some(f)) => f,
+        Ok(None) | Err(_) => {
+            eprintln!("error: daemon at {sock} closed the connection without a response");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let resp = match std::str::from_utf8(&frame)
+        .map_err(|e| e.to_string())
+        .and_then(rvpredict::driver::SessionResponse::from_json)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: daemon at {sock} sent a malformed response: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    print!("{}", resp.stdout);
+    eprint!("{}", resp.stderr);
+    if let Some(err) = &resp.error {
+        eprintln!("error: {path} is not a serialized trace: {err}");
+    }
+    if let (Some(out), Some(doc)) = (&opts.metrics, &resp.metrics) {
+        if let Err(e) = std::fs::write(out, doc) {
+            eprintln!("error: cannot write metrics to {out}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        log.log(&format!("metrics written to {out}"));
+    }
+    ExitCode::from(resp.exit)
 }
 
 fn main() -> ExitCode {
@@ -560,6 +637,12 @@ fn main() -> ExitCode {
     let log = PhaseLog::new(opts.trace_log);
     let mut metrics = Metrics::new();
 
+    // `--connect`: the detection runs in an rvserved daemon; this process
+    // only streams the trace over and relays the byte-identical reply.
+    if opts.connect.is_some() {
+        return run_client(&opts, &log);
+    }
+
     // Strict `rv --stream` never materializes the windows up front: it
     // goes through the incremental parser + pipelined worker pool.
     // (`--lenient --stream` must see the whole trace before salvage can
@@ -576,7 +659,7 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(code) => return code,
     };
-    println!("trace: {}", trace.stats());
+    print!("{}", driver::trace_line(&trace));
 
     match opts.detector.as_str() {
         "rv" => {

@@ -1,0 +1,454 @@
+//! Shared driver plumbing for the `rvpredict` CLI and the `rvserved`
+//! daemon: report rendering, exit-code mapping, metrics recording, and
+//! the daemon's framed session protocol.
+//!
+//! The daemon's determinism contract — each session's output is
+//! byte-identical to the standalone CLI on the same trace — is enforced
+//! *by construction*: both binaries render stdout/stderr through the
+//! functions in this module, so there is exactly one implementation of
+//! the report text, the degradation note, the consistency diagnostics and
+//! the exit-code mapping.
+//!
+//! # Wire protocol
+//!
+//! A client connection to `rvserved` is a frame sequence (see
+//! [`rvtrace::frame`]): one [`SessionRequest`] JSON frame, any number of
+//! raw trace-byte frames (JSON or NDJSON, auto-detected), a zero-length
+//! end-of-trace frame — then one [`SessionResponse`] JSON frame back from
+//! the server, after which the connection closes.
+
+use std::time::Duration;
+
+use rvcore::session::SessionConfig;
+use rvcore::{DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics};
+use rvtrace::{escape_json, parse_json, IngestStats, SalvageReport, Trace};
+
+/// Exit code: detection completed, no races, nothing undecided.
+pub const EXIT_OK: u8 = 0;
+/// Exit code: at least one race found (and witness-validated).
+pub const EXIT_RACES: u8 = 1;
+/// Exit code: usage error, unreadable/unparsable trace, or (strict mode)
+/// a trace violating the sequential-consistency axioms.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code: no races, but some verdicts are missing (undecided COPs or
+/// failed windows) — race freedom is not established.
+pub const EXIT_DEGRADED: u8 = 3;
+
+/// Parses a `W:C:KIND` fault-injection spec (KIND: `panic`, `timeout`,
+/// `encode-error`) into a fault coordinate.
+pub fn parse_fault_spec(spec: &str) -> Result<(usize, usize, Fault), String> {
+    let mut parts = spec.splitn(3, ':');
+    let window = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| format!("--inject-fault {spec}: bad window index"))?;
+    let cop = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| format!("--inject-fault {spec}: bad COP index"))?;
+    let fault = match parts.next() {
+        Some("panic") => Fault::Panic,
+        Some("timeout") => Fault::Timeout,
+        Some("encode-error") => Fault::EncodeError,
+        _ => {
+            return Err(format!(
+                "--inject-fault {spec}: kind must be panic, timeout or encode-error"
+            ))
+        }
+    };
+    Ok((window, cop, fault))
+}
+
+/// Renders a fault kind back to its spec name (the inverse of
+/// [`parse_fault_spec`]'s KIND field).
+fn fault_kind(fault: Fault) -> &'static str {
+    match fault {
+        Fault::Panic => "panic",
+        Fault::Timeout => "timeout",
+        Fault::EncodeError => "encode-error",
+    }
+}
+
+/// The `trace:` banner line both binaries print before the report.
+pub fn trace_line(trace: &Trace) -> String {
+    format!("trace: {}\n", trace.stats())
+}
+
+/// The maximal detector's stdout: the report summary and one line per
+/// race (plus the witness schedule under `--witnesses`). Shared by the
+/// whole-file, pipelined, streaming and daemon drivers, so their stdout
+/// is byte-identical by construction.
+pub fn render_rv_report(report: &DetectionReport, trace: &Trace, witnesses: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{report}\n"));
+    for race in &report.races {
+        out.push_str(&format!("  {}\n", race.display(trace)));
+        if witnesses {
+            out.push_str(&format!("    witness: {}\n", race.schedule));
+        }
+    }
+    out
+}
+
+/// The degradation note printed to stderr when a raceless run is missing
+/// verdicts (the [`EXIT_DEGRADED`] case), `None` otherwise.
+pub fn degraded_note(report: &DetectionReport) -> Option<String> {
+    (report.n_races() == 0 && report.is_degraded()).then(|| {
+        format!(
+            "note: no races found, but {} COP(s) are undecided and {} window(s) \
+             failed — race freedom is not established for those\n",
+            report.stats.undecided, report.stats.failed_windows
+        )
+    })
+}
+
+/// Maps a completed detection to its exit code (races dominate
+/// degradation: found races are sound regardless of failed windows).
+pub fn rv_exit_code(report: &DetectionReport) -> u8 {
+    if report.n_races() > 0 {
+        EXIT_RACES
+    } else if report.is_degraded() {
+        EXIT_DEGRADED
+    } else {
+        EXIT_OK
+    }
+}
+
+/// The strict-mode consistency gate: the stderr diagnostics for a trace
+/// that violates the sequential-consistency axioms, or `None` when the
+/// trace is clean. Both binaries exit [`EXIT_USAGE`] on `Some`.
+pub fn consistency_error(trace: &Trace) -> Option<String> {
+    let violations = rvtrace::check_consistency(trace);
+    if violations.is_empty() {
+        return None;
+    }
+    let mut out = String::from("error: trace is not sequentially consistent:\n");
+    for v in violations.iter().take(5) {
+        out.push_str(&format!("  {v}\n"));
+    }
+    if violations.len() > 5 {
+        out.push_str(&format!("  ... and {} more\n", violations.len() - 5));
+    }
+    out.push_str("  (rerun with --lenient to salvage the consistent part)\n");
+    Some(out)
+}
+
+/// Folds one [`IngestStats`] into the registry (`trace.ingest.*`).
+pub fn record_ingest_metrics(ingest: &IngestStats, metrics: &mut Metrics) {
+    metrics.inc("trace.ingest.bytes", ingest.bytes as u64);
+    metrics.record_time("trace.ingest.parse_time", ingest.parse_time);
+}
+
+/// Event totals and the per-kind breakdown of the (possibly salvaged)
+/// trace detection ran on (`trace.*`).
+pub fn record_trace_metrics(trace: &Trace, metrics: &mut Metrics) {
+    metrics.inc("trace.events", trace.len() as u64);
+    for (kind, n) in trace.kind_counts() {
+        metrics.inc(&format!("trace.kind.{kind}"), n as u64);
+    }
+}
+
+/// Folds a lenient-mode salvage report into the registry (`salvage.*`).
+pub fn record_salvage_metrics(report: &SalvageReport, metrics: &mut Metrics) {
+    metrics.inc("salvage.total", report.total as u64);
+    metrics.inc("salvage.kept", report.kept as u64);
+    metrics.inc(
+        "salvage.dangling_wait_links",
+        report.dangling_wait_links as u64,
+    );
+    for (category, &n) in &report.dropped {
+        metrics.inc(&format!("salvage.dropped.{category}"), n as u64);
+    }
+    metrics.record_time("trace.salvage_time", report.elapsed);
+}
+
+/// One session's detector settings on the wire: everything the standalone
+/// CLI's flags can express for the `rv` detector, so a daemon session
+/// reproduces a CLI run exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// Window size in events (`--window`).
+    pub window: usize,
+    /// Per-COP solver budget in seconds (`--budget`).
+    pub budget_secs: u64,
+    /// Per-window wall-clock budget in milliseconds (`--timeout-ms`).
+    pub timeout_ms: Option<u64>,
+    /// Print full witness schedules (`--witnesses`).
+    pub witnesses: bool,
+    /// Salvage a damaged trace instead of rejecting it (`--lenient`).
+    pub lenient: bool,
+    /// Re-solve per-COP timeouts in half-size windows (`--retry-split`).
+    pub retry_split: bool,
+    /// Disable relevance slicing (`--no-slice`).
+    pub no_slice: bool,
+    /// Disable the tiered cascade (`--no-tiers`).
+    pub no_tiers: bool,
+    /// Planned fault coordinates (`--inject-fault W:C:KIND`, repeatable).
+    pub faults: Vec<(usize, usize, Fault)>,
+    /// Return the metrics document in the response (`--metrics`).
+    pub want_metrics: bool,
+}
+
+impl Default for SessionRequest {
+    fn default() -> Self {
+        SessionRequest {
+            window: 10_000,
+            budget_secs: 60,
+            timeout_ms: None,
+            witnesses: false,
+            lenient: false,
+            retry_split: false,
+            no_slice: false,
+            no_tiers: false,
+            faults: Vec::new(),
+            want_metrics: false,
+        }
+    }
+}
+
+impl SessionRequest {
+    /// The detector configuration this request describes — the exact
+    /// mapping the CLI applies to its own flags.
+    pub fn detector_config(&self) -> DetectorConfig {
+        let mut cfg = DetectorConfig {
+            window_size: self.window,
+            solver_timeout: Duration::from_secs(self.budget_secs),
+            retry_split: self.retry_split,
+            slice: !self.no_slice,
+            tiers: !self.no_tiers,
+            window_timeout: self.timeout_ms.map(Duration::from_millis),
+            ..Default::default()
+        };
+        if !self.faults.is_empty() {
+            let mut plan = FaultPlan::new();
+            for &(w, c, fault) in &self.faults {
+                plan = plan.inject(w, c, fault);
+            }
+            cfg.fault_plan = Some(std::sync::Arc::new(plan));
+        }
+        cfg
+    }
+
+    /// The session configuration for this request, with the server-side
+    /// residency cap applied.
+    pub fn session_config(&self, max_resident_windows: usize) -> SessionConfig {
+        SessionConfig {
+            detector: self.detector_config(),
+            lenient: self.lenient,
+            max_resident_windows,
+        }
+    }
+
+    /// Serializes the request as the protocol's JSON header frame.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"window\": {}", self.window));
+        out.push_str(&format!(", \"budget_secs\": {}", self.budget_secs));
+        if let Some(ms) = self.timeout_ms {
+            out.push_str(&format!(", \"timeout_ms\": {ms}"));
+        }
+        out.push_str(&format!(", \"witnesses\": {}", self.witnesses));
+        out.push_str(&format!(", \"lenient\": {}", self.lenient));
+        out.push_str(&format!(", \"retry_split\": {}", self.retry_split));
+        out.push_str(&format!(", \"no_slice\": {}", self.no_slice));
+        out.push_str(&format!(", \"no_tiers\": {}", self.no_tiers));
+        out.push_str(", \"faults\": [");
+        for (i, &(w, c, fault)) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{w}, {c}, {}]", escape_json(fault_kind(fault))));
+        }
+        out.push_str("]");
+        out.push_str(&format!(", \"want_metrics\": {}", self.want_metrics));
+        out.push('}');
+        out
+    }
+
+    /// Parses a request header frame. Unknown fields are rejected — a
+    /// client speaking a newer protocol must not be half-understood.
+    pub fn from_json(input: &str) -> Result<SessionRequest, String> {
+        let v = parse_json(input).map_err(|e| format!("bad session request: {e}"))?;
+        let obj = v
+            .as_object()
+            .map_err(|e| format!("bad session request: {e}"))?;
+        let mut req = SessionRequest::default();
+        for (key, value) in obj {
+            let r: Result<(), rvtrace::JsonError> = (|| {
+                match key.as_str() {
+                    "window" => req.window = value.as_int()? as usize,
+                    "budget_secs" => req.budget_secs = value.as_int()? as u64,
+                    "timeout_ms" => req.timeout_ms = Some(value.as_int()? as u64),
+                    "witnesses" => req.witnesses = value.as_bool()?,
+                    "lenient" => req.lenient = value.as_bool()?,
+                    "retry_split" => req.retry_split = value.as_bool()?,
+                    "no_slice" => req.no_slice = value.as_bool()?,
+                    "no_tiers" => req.no_tiers = value.as_bool()?,
+                    "want_metrics" => req.want_metrics = value.as_bool()?,
+                    "faults" => {
+                        for f in value.as_array()? {
+                            let f = f.as_array()?;
+                            if f.len() != 3 {
+                                return Err(rvtrace::JsonError {
+                                    message: "fault needs [window, cop, kind]".into(),
+                                    offset: 0,
+                                    snippet: String::new(),
+                                });
+                            }
+                            let spec =
+                                format!("{}:{}:{}", f[0].as_int()?, f[1].as_int()?, f[2].as_str()?);
+                            let fault =
+                                parse_fault_spec(&spec).map_err(|m| rvtrace::JsonError {
+                                    message: m,
+                                    offset: 0,
+                                    snippet: String::new(),
+                                })?;
+                            req.faults.push(fault);
+                        }
+                    }
+                    other => {
+                        return Err(rvtrace::JsonError {
+                            message: format!("unknown session request field `{other}`"),
+                            offset: 0,
+                            snippet: String::new(),
+                        })
+                    }
+                }
+                Ok(())
+            })();
+            r.map_err(|e| format!("bad session request: {e}"))?;
+        }
+        Ok(req)
+    }
+}
+
+/// The server's one response frame: the exact stdout/stderr/exit the
+/// standalone CLI would have produced, plus the metrics document when the
+/// request asked for it. `error`, when set, is a parse/teardown failure
+/// the *client* renders against its local file name (so even error
+/// output matches the CLI byte-for-byte).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionResponse {
+    /// Process exit code for the client.
+    pub exit: u8,
+    /// Bytes for the client's stdout, verbatim.
+    pub stdout: String,
+    /// Bytes for the client's stderr, verbatim.
+    pub stderr: String,
+    /// The metrics JSON document, when requested.
+    pub metrics: Option<String>,
+    /// A trace ingestion error (the [`rvtrace::JsonError`] display text)
+    /// or a session teardown reason.
+    pub error: Option<String>,
+}
+
+impl SessionResponse {
+    /// Serializes the response as the protocol's JSON frame.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"exit\": {}", self.exit));
+        out.push_str(&format!(", \"stdout\": {}", escape_json(&self.stdout)));
+        out.push_str(&format!(", \"stderr\": {}", escape_json(&self.stderr)));
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!(", \"metrics\": {}", escape_json(m)));
+        }
+        if let Some(e) = &self.error {
+            out.push_str(&format!(", \"error\": {}", escape_json(e)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a response frame.
+    pub fn from_json(input: &str) -> Result<SessionResponse, String> {
+        let v = parse_json(input).map_err(|e| format!("bad session response: {e}"))?;
+        let obj = v
+            .as_object()
+            .map_err(|e| format!("bad session response: {e}"))?;
+        let mut resp = SessionResponse::default();
+        for (key, value) in obj {
+            let r: Result<(), rvtrace::JsonError> = (|| {
+                match key.as_str() {
+                    "exit" => resp.exit = value.as_int()? as u8,
+                    "stdout" => resp.stdout = value.as_str()?.to_string(),
+                    "stderr" => resp.stderr = value.as_str()?.to_string(),
+                    "metrics" => resp.metrics = Some(value.as_str()?.to_string()),
+                    "error" => resp.error = Some(value.as_str()?.to_string()),
+                    other => {
+                        return Err(rvtrace::JsonError {
+                            message: format!("unknown session response field `{other}`"),
+                            offset: 0,
+                            snippet: String::new(),
+                        })
+                    }
+                }
+                Ok(())
+            })();
+            r.map_err(|e| format!("bad session response: {e}"))?;
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_request_roundtrips_through_json() {
+        let req = SessionRequest {
+            window: 300,
+            budget_secs: 5,
+            timeout_ms: Some(1_500),
+            witnesses: true,
+            lenient: false,
+            retry_split: true,
+            no_slice: true,
+            no_tiers: false,
+            faults: vec![(0, 1, Fault::Panic), (2, 0, Fault::Timeout)],
+            want_metrics: true,
+        };
+        let parsed = SessionRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(
+            SessionRequest::from_json(&SessionRequest::default().to_json()).unwrap(),
+            SessionRequest::default()
+        );
+    }
+
+    #[test]
+    fn session_request_config_matches_flag_semantics() {
+        let req = SessionRequest {
+            window: 77,
+            budget_secs: 3,
+            timeout_ms: Some(250),
+            no_slice: true,
+            no_tiers: true,
+            ..SessionRequest::default()
+        };
+        let cfg = req.detector_config();
+        assert_eq!(cfg.window_size, 77);
+        assert_eq!(cfg.solver_timeout, Duration::from_secs(3));
+        assert_eq!(cfg.window_timeout, Some(Duration::from_millis(250)));
+        assert!(!cfg.slice && !cfg.tiers);
+        assert!(cfg.fault_plan.is_none());
+    }
+
+    #[test]
+    fn session_response_roundtrips_with_tricky_strings() {
+        let resp = SessionResponse {
+            exit: 3,
+            stdout: "line one\nline \"two\"\n\ttabbed\n".into(),
+            stderr: "unicode: αβγ — ok\n".into(),
+            metrics: Some("{\n  \"counters\": {}\n}".into()),
+            error: None,
+        };
+        assert_eq!(SessionResponse::from_json(&resp.to_json()).unwrap(), resp);
+    }
+
+    #[test]
+    fn unknown_request_fields_rejected() {
+        assert!(SessionRequest::from_json("{\"windw\": 3}").is_err());
+        assert!(SessionResponse::from_json("{\"exitcode\": 3}").is_err());
+    }
+}

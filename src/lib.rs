@@ -37,14 +37,22 @@
 
 #![warn(missing_docs)]
 
+pub mod driver;
+
 pub use rvbaselines::{
     CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector, ToolReport,
 };
 pub use rvcore::{
     encode, encode_with_skeleton, extract_witness, Cone, ConsistencyMode, DetectionReport,
     DetectionStats, DetectorConfig, EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram,
-    Metrics, PhaseTimer, RaceDetector, RaceReport, SolverTotals, StreamDetection, Tier,
-    TierAnalysis, TierDecision, UndecidedReason, WindowSkeleton, Witness, METRICS_SCHEMA_VERSION,
+    Metrics, PhaseTimer, PublishedSet, RaceDetector, RaceReport, SolverTotals, StreamDetection,
+    Tier, TierAnalysis, TierDecision, UndecidedReason, WindowResult, WindowSkeleton, Witness,
+    METRICS_SCHEMA_VERSION,
+};
+// `rvinstrument::Session` (below) already owns the bare `Session` name, so
+// the daemon-side detection session is re-exported as `DetectionSession`.
+pub use rvcore::{
+    Session as DetectionSession, SessionConfig, SessionError, SessionManager, SessionOutcome,
 };
 pub use rvinstrument::{
     guard as traced_guard, spawn as traced_spawn, Session, TracedMutex, TracedVar,
@@ -52,10 +60,11 @@ pub use rvinstrument::{
 pub use rvsim::{execute, workloads, ExecConfig, Outcome, Program, Scheduler};
 pub use rvsmt::{Budget, FormulaBuilder, SmtResult, Solver};
 pub use rvtrace::{
-    check_consistency, check_schedule, from_json, from_json_data, from_json_data_with_stats,
-    from_json_with_stats, parse_json, read_trace, read_trace_data, salvage_trace,
-    schedule_read_values, to_json, to_ndjson, validate_wait_links, Cop, Event, EventId, EventKind,
-    IngestStats, JsonError, JsonValue, Loc, LockId, RaceSignature, SalvageReport, Schedule,
-    StreamFormat, StreamParser, ThreadId, Trace, TraceBuilder, TraceData, TraceError, VarId, View,
-    ViewExt, WindowBoundary, WindowStream,
+    check_consistency, check_schedule, escape_json, from_json, from_json_data,
+    from_json_data_with_stats, from_json_with_stats, parse_json, read_frame, read_trace,
+    read_trace_data, salvage_trace, schedule_read_values, to_json, to_ndjson, validate_wait_links,
+    write_frame, Cop, Event, EventId, EventKind, IngestStats, JsonError, JsonValue, Loc, LockId,
+    RaceSignature, SalvageReport, Schedule, StreamFormat, StreamParser, ThreadId, Trace,
+    TraceBuilder, TraceData, TraceError, VarId, View, ViewExt, WindowBoundary, WindowStream,
+    MAX_FRAME,
 };

@@ -1,19 +1,25 @@
 //! Schema tests for the bench harnesses: `BENCH_pr3.json` (the
 //! observability PR's detection pipeline), `BENCH_pr4.json` (the
 //! streaming PR's whole-file-vs-streamed comparison), `BENCH_pr5.json`
-//! (the relevance-slicing on/off comparison) and `BENCH_pr6.json` (the
-//! tiered-cascade on/off comparison). Each smoke run must emit a document
-//! that validates, parses with the in-tree JSON reader, and carries the
-//! invariants the schema documents.
+//! (the relevance-slicing on/off comparison), `BENCH_pr6.json` (the
+//! tiered-cascade on/off comparison) and `BENCH_pr7.json` (the
+//! multi-tenant session manager vs solo runs). Each smoke run must emit a
+//! document that validates, parses with the in-tree JSON reader, and
+//! carries the invariants the schema documents.
 //!
 //! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` /
-//! `BENCH_PR6_PATH` are set (CI's bench-smoke steps export them after
-//! running the `pipeline`, `stream_pipeline`, `slice_pipeline` and
-//! `tier_pipeline` binaries), the files they name are validated too, so a
-//! committed or freshly generated document cannot drift from the schema.
+//! `BENCH_PR6_PATH` / `BENCH_PR7_PATH` are set (CI's bench-smoke steps
+//! export them after running the `pipeline`, `stream_pipeline`,
+//! `slice_pipeline`, `tier_pipeline` and `serve_pipeline` binaries), the
+//! files they name are validated too, so a committed or freshly generated
+//! document cannot drift from the schema.
 
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
+};
+use rvbench::serve::{
+    run_serve_pipeline, tenant_mix_workload, validate_serve_bench_json, ServeBenchOptions,
+    SERVE_BENCH_SCHEMA_VERSION, SERVE_BENCH_SUITE,
 };
 use rvbench::slice::{
     run_slice_pipeline, validate_slice_bench_json, wide_window_workload, SliceBenchOptions,
@@ -457,4 +463,113 @@ fn tier_validator_rejects_corruption() {
 #[test]
 fn generated_tier_bench_file_validates_when_present() {
     validate_env_bench_file("BENCH_PR6_PATH", validate_tier_bench_json);
+}
+
+// ---------------------------------------------------------- BENCH_pr7
+
+/// A deliberately tiny tenant pair: shape over scale. Two sessions over
+/// one worker so even the schema run genuinely multiplexes.
+fn serve_document() -> String {
+    let tenants = vec![
+        tenant_mix_workload("schema_a", 10),
+        tenant_mix_workload("schema_b", 14),
+    ];
+    let opts = ServeBenchOptions {
+        workers: 1,
+        ..Default::default()
+    };
+    run_serve_pipeline(&tenants, &opts, "smoke")
+}
+
+/// The multi-tenant comparison emits a valid version-1 `pr7` document.
+#[test]
+fn serve_run_validates_against_schema() {
+    let json = serve_document();
+    validate_serve_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, every session matching its
+/// solo run, the planted race found by every tenant, zero shed windows,
+/// zero cross-session diffs, and the killed tenant torn down —
+/// independent of the validator's own logic.
+#[test]
+fn serve_run_parses_and_keeps_invariants() {
+    let json = serve_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        SERVE_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        SERVE_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    let entries = doc.field("sessions").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 2);
+    for s in entries {
+        assert!(s.field("events").and_then(|v| v.as_int()).unwrap() > 0);
+        // Every tenant-mix trace plants exactly one real race at the head.
+        assert_eq!(s.field("races").and_then(|v| v.as_int()).unwrap(), 1);
+        assert_eq!(s.field("shed_windows").and_then(|v| v.as_int()).unwrap(), 0);
+        // The determinism contract, measured end to end: a shared pool
+        // must not change any tenant's report.
+        assert!(s.field("solo_match").and_then(|v| v.as_bool()).unwrap());
+    }
+    assert_eq!(
+        doc.field("cross_session_diffs")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        0
+    );
+    let killed = doc.field("killed_session").unwrap();
+    assert!(killed.field("torn_down").and_then(|v| v.as_bool()).unwrap());
+    assert!(killed.field("fed_bytes").and_then(|v| v.as_int()).unwrap() > 0);
+}
+
+/// The serve validator rejects tampered documents pointedly.
+#[test]
+fn serve_validator_rejects_corruption() {
+    let json = serve_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr7\"", "\"suite\": \"pr6\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+        // A drifted tenant is a determinism violation.
+        (
+            "\"solo_match\": true",
+            "\"solo_match\": false",
+            "drifted from the standalone run",
+        ),
+        // An un-torn-down kill is an isolation violation.
+        (
+            "\"torn_down\": true",
+            "\"torn_down\": false",
+            "must be torn down",
+        ),
+    ] {
+        let tampered = json.replacen(needle, replacement, 1);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_serve_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR7_PATH` at a generated
+/// `BENCH_pr7.json`, it must satisfy the same schema — including, for
+/// `"full"` documents, more sessions than workers. Skipped when the
+/// variable is unset.
+#[test]
+fn generated_serve_bench_file_validates_when_present() {
+    validate_env_bench_file("BENCH_PR7_PATH", validate_serve_bench_json);
 }

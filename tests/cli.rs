@@ -268,3 +268,49 @@ fn cli_metrics_unwritable_path_is_an_error() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("metrics"));
 }
+
+/// `--timeout-ms`: a zero per-window wall-clock budget deterministically
+/// degrades every COP to undecided (timeout) — exit 3 with the
+/// degradation note — through both the per-COP and batched solve paths
+/// (`--no-slice` shares one encoding per window), and through `--stream`.
+/// A generous budget changes nothing.
+#[test]
+fn cli_timeout_ms_degrades_uniformly() {
+    let w = rvsim::workloads::figures::figure1();
+    let json = rvpredict::to_json(&w.trace);
+    let dir = std::env::temp_dir().join("rvpredict-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1-timeout.json");
+    std::fs::write(&path, json).unwrap();
+
+    for extra in [&[][..], &["--no-slice"][..], &["--stream"][..]] {
+        let out = Command::new(bin())
+            .args(["--timeout-ms", "0"])
+            .args(extra)
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(3), "budget 0 degrades: {extra:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 race(s)"), "{extra:?}: {stdout}");
+        assert!(stdout.contains("undecided=1"), "{extra:?}: {stdout}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("race freedom is not established"),
+            "{extra:?}"
+        );
+    }
+    // A budget that cannot fire leaves the verdict untouched.
+    let out = Command::new(bin())
+        .args(["--timeout-ms", "600000"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "generous budget still races");
+    // Overflowing deadlines mean unbounded, not instantly expired.
+    let out = Command::new(bin())
+        .args(["--timeout-ms", "18446744073709551615"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "saturating budget is unbounded");
+}

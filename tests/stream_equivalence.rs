@@ -13,8 +13,12 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
+use std::sync::{Arc, Barrier};
 
-use rvpredict::{DetectorConfig, Fault, FaultPlan, RaceDetector, ThreadId, Trace, TraceBuilder};
+use rvpredict::{
+    DetectorConfig, Fault, FaultPlan, RaceDetector, SessionConfig, SessionManager, ThreadId, Trace,
+    TraceBuilder,
+};
 
 fn bin() -> &'static str {
     env!("CARGO_BIN_EXE_rvpredict")
@@ -431,6 +435,175 @@ fn no_tiers_runs_are_report_identical_across_formats() {
         verdict_counts[0], verdict_counts[1],
         "--no-tiers changed a verdict counter"
     );
+}
+
+/// One tenant's settings for the multi-session suite: a per-session flag
+/// mix (the CLI's `--no-tiers` / `--no-slice` / `--lenient` /
+/// `--inject-fault` knobs) plus the trace it streams.
+struct Tenant {
+    tag: &'static str,
+    bytes: String,
+    config: SessionConfig,
+    solo: String,
+}
+
+/// Builds the co-tenant mix: plain, `--no-tiers`, `--no-slice`, a
+/// fault-injected stream and a `--lenient` session on a damaged trace —
+/// each with its solo (standalone-driver) `deterministic_summary`.
+fn tenant_mix() -> Vec<Tenant> {
+    let clean = multi_window_trace();
+    let damaged = damaged_multi_window_trace();
+    let base = DetectorConfig {
+        window_size: 300,
+        parallelism: 1,
+        ..Default::default()
+    };
+    let mut tenants = Vec::new();
+    let mut push = |tag, trace: &Trace, lenient: bool, detector: DetectorConfig| {
+        let solo_trace = if lenient {
+            rvpredict::salvage_trace(trace.data().clone()).0
+        } else {
+            trace.clone()
+        };
+        let solo = RaceDetector::with_config(detector.clone())
+            .detect(&solo_trace)
+            .deterministic_summary();
+        tenants.push(Tenant {
+            tag,
+            bytes: rvpredict::to_ndjson(trace),
+            config: SessionConfig {
+                detector,
+                lenient,
+                ..SessionConfig::default()
+            },
+            solo,
+        });
+    };
+    push("plain", &clean, false, base.clone());
+    push(
+        "no-tiers",
+        &clean,
+        false,
+        DetectorConfig {
+            tiers: false,
+            ..base.clone()
+        },
+    );
+    push(
+        "no-slice",
+        &clean,
+        false,
+        DetectorConfig {
+            slice: false,
+            ..base.clone()
+        },
+    );
+    push(
+        "faulted",
+        &clean,
+        false,
+        DetectorConfig {
+            fault_plan: Some(Arc::new(FaultPlan::new().inject(0, 0, Fault::Panic))),
+            ..base.clone()
+        },
+    );
+    push("lenient", &damaged, true, base);
+    tenants
+}
+
+/// The daemon-session contract at the library layer: N concurrent
+/// sessions with different per-tenant flag mixes (including a
+/// fault-injected co-tenant) over one shared pool each report exactly
+/// what the standalone driver reports for their trace, at every pool
+/// size.
+#[test]
+fn concurrent_sessions_match_solo_at_every_pool_size() {
+    let tenants = Arc::new(tenant_mix());
+    for workers in [1usize, 2, 4, 8] {
+        let manager = Arc::new(SessionManager::new(workers));
+        let barrier = Arc::new(Barrier::new(tenants.len()));
+        let handles: Vec<_> = (0..tenants.len())
+            .map(|i| {
+                let tenants = tenants.clone();
+                let manager = manager.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let t = &tenants[i];
+                    let mut session = manager.open_session(t.config.clone());
+                    barrier.wait();
+                    // Interleave ingestion so sessions genuinely co-tenant
+                    // the pool instead of running back to back.
+                    for chunk in t.bytes.as_bytes().chunks(127) {
+                        session.feed(chunk).unwrap();
+                    }
+                    (i, session.finish().unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (i, outcome) = h.join().unwrap();
+            let t = &tenants[i];
+            assert_eq!(
+                outcome.report.deterministic_summary(),
+                t.solo,
+                "tenant {} drifted from its solo run at workers={workers}",
+                t.tag
+            );
+            assert_eq!(outcome.shed_windows, 0, "healthy pool never sheds");
+        }
+    }
+}
+
+/// Tearing one session down mid-stream leaves every co-tenant's report
+/// untouched: the survivors still match their solo runs byte for byte.
+#[test]
+fn killed_session_leaves_neighbors_byte_identical() {
+    let tenants = Arc::new(tenant_mix());
+    let manager = Arc::new(SessionManager::new(2));
+    let barrier = Arc::new(Barrier::new(tenants.len() + 1));
+    let victim_bytes = tenants[0].bytes.clone();
+    let victim_cfg = tenants[0].config.clone();
+    let victim = {
+        let manager = manager.clone();
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            let mut session = manager.open_session(victim_cfg);
+            barrier.wait();
+            session
+                .feed(&victim_bytes.as_bytes()[..victim_bytes.len() / 2])
+                .unwrap();
+            session.abort("client killed mid-stream")
+        })
+    };
+    let handles: Vec<_> = (0..tenants.len())
+        .map(|i| {
+            let tenants = tenants.clone();
+            let manager = manager.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let t = &tenants[i];
+                let mut session = manager.open_session(t.config.clone());
+                barrier.wait();
+                for chunk in t.bytes.as_bytes().chunks(127) {
+                    session.feed(chunk).unwrap();
+                }
+                (i, session.finish().unwrap())
+            })
+        })
+        .collect();
+    let err = victim.join().unwrap();
+    assert_eq!(err.reason, "client killed mid-stream");
+    assert!(err.to_string().contains("torn down"));
+    for h in handles {
+        let (i, outcome) = h.join().unwrap();
+        let t = &tenants[i];
+        assert_eq!(
+            outcome.report.deterministic_summary(),
+            t.solo,
+            "tenant {} was disturbed by the killed neighbor",
+            t.tag
+        );
+    }
 }
 
 /// Library-level contract: the three drivers (eager, pipelined, streamed)

@@ -180,6 +180,140 @@ fn ndjson_truncation_reports_an_in_line_offset() {
     );
 }
 
+/// A trace whose metadata is dense with multi-byte UTF-8 (variable and
+/// lock names), so the streaming parser's error-snippet margin regularly
+/// lands inside a code point.
+fn unicode_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let t2 = b.fork(ThreadId::MAIN);
+    let mut vars = Vec::new();
+    for i in 0..40 {
+        vars.push(b.var(&format!("αβγ—δ🧵ε{i}")));
+    }
+    for (i, &v) in vars.iter().enumerate() {
+        b.write(ThreadId::MAIN, v, i as i64);
+        b.write(t2, v, -(i as i64));
+    }
+    b.finish()
+}
+
+/// Multi-byte UTF-8 across chunk boundaries: a document heavy with
+/// non-ASCII names parses identically whether fed whole or in chunks of
+/// any size (including 1), and a truncation error carries the *same*
+/// message, byte offset and context snippet as the whole-file parser —
+/// even when the retained snippet margin would land mid-code-point.
+#[test]
+fn multibyte_chunk_boundaries_match_whole_file_errors() {
+    let trace = unicode_trace();
+    for serialized in [rvpredict::to_json(&trace), rvpredict::to_ndjson(&trace)] {
+        let bytes = serialized.as_bytes();
+        // The clean parse first: chunked ingestion reconstructs the trace.
+        for chunk in [1usize, 2, 3, 7, 64] {
+            let mut parser = rvpredict::StreamParser::new();
+            for c in bytes.chunks(chunk) {
+                parser.feed(c).unwrap();
+            }
+            parser.finish().unwrap();
+            assert_eq!(
+                rvpredict::Trace::from_data(parser.into_data()).len(),
+                trace.len(),
+                "chunk={chunk}"
+            );
+        }
+        // Truncations at awkward places: inside the unicode-dense
+        // metadata, inside a multi-byte code point, and near the tail.
+        let mid_cp = bytes
+            .iter()
+            .position(|&b| b & 0xC0 == 0x80)
+            .expect("multi-byte content present");
+        for cut in [bytes.len() / 4, mid_cp, bytes.len() - 5] {
+            let bad = &bytes[..cut];
+            let whole_err = rvpredict::read_trace(bad).unwrap_err();
+            for chunk in [1usize, 2, 3, 7, 64] {
+                let mut parser = rvpredict::StreamParser::new();
+                let err = (|| {
+                    for c in bad.chunks(chunk) {
+                        parser.feed(c)?;
+                    }
+                    parser.finish()
+                })()
+                .expect_err("truncated document fails");
+                assert_eq!(err, whole_err, "error drifted at cut={cut} chunk={chunk}");
+            }
+        }
+    }
+}
+
+/// The snippet-margin regression, pinned against the *independent*
+/// whole-file parser: after the streaming parser drains consumed bytes,
+/// it keeps a snippet-sized margin — which must never be cut mid-code-
+/// point, or an error just past a unicode-dense frame lossy-decodes a
+/// replacement character the whole-file snippet does not have. Sweeping
+/// truncation points right after the unicode metadata catches exactly
+/// that: message, offset *and snippet* must match [`rvpredict::from_json`]
+/// byte for byte.
+#[test]
+fn snippet_margin_never_splits_code_points() {
+    let json = rvpredict::to_json(&unicode_trace());
+    // Truncate throughout the unicode-dense `var_names` tail, so errors
+    // land within the retained margin of a multi-byte frame.
+    let anchor = json.find("var_names").expect("metadata tail present");
+    let mut compared = 0usize;
+    for cut in anchor..json.len() {
+        if !json.is_char_boundary(cut) {
+            continue;
+        }
+        let bad = &json[..cut];
+        let whole_err = rvpredict::from_json(bad).expect_err("truncated document fails");
+        for chunk in [1usize, 3, 16] {
+            let mut parser = rvpredict::StreamParser::new();
+            let err = (|| {
+                for c in bad.as_bytes().chunks(chunk) {
+                    parser.feed(c)?;
+                }
+                parser.finish()
+            })()
+            .expect_err("truncated document fails");
+            assert_eq!(err, whole_err, "cut={cut} chunk={chunk}");
+        }
+        compared += 1;
+    }
+    assert!(compared >= 30, "the sweep must cover real cuts: {compared}");
+}
+
+/// Zero-length chunks are no-ops at any point in the stream: interleaving
+/// them between every byte changes neither the parse nor an error.
+#[test]
+fn empty_chunks_are_no_ops() {
+    let trace = trace_of_len(40);
+    let nd = rvpredict::to_ndjson(&trace);
+    let mut parser = rvpredict::StreamParser::new();
+    parser.feed(&[]).unwrap();
+    for b in nd.as_bytes() {
+        parser.feed(std::slice::from_ref(b)).unwrap();
+        parser.feed(&[]).unwrap();
+    }
+    parser.finish().unwrap();
+    assert_eq!(
+        rvpredict::Trace::from_data(parser.into_data()).len(),
+        trace.len()
+    );
+    // And on the error path: the diagnostics are unchanged.
+    let bad = &nd.as_bytes()[..nd.len() - 5];
+    let whole_err = rvpredict::read_trace(bad).unwrap_err();
+    let mut parser = rvpredict::StreamParser::new();
+    let err = (|| {
+        for b in bad {
+            parser.feed(&[])?;
+            parser.feed(std::slice::from_ref(b))?;
+        }
+        parser.feed(&[])?;
+        parser.finish()
+    })()
+    .expect_err("truncated document fails");
+    assert_eq!(err, whole_err);
+}
+
 /// Library-level sweep of the same shapes across chunked feeding: every
 /// prefix boundary of a small document parses identically whether fed
 /// whole or byte by byte (the CLI cannot control chunking; this pins it).
