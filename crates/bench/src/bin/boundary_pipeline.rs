@@ -1,0 +1,110 @@
+//! The `BENCH_pr8.json` generator: fixed vs cone window mode over
+//! boundary-handoff workloads.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin boundary_pipeline -- [--out BENCH_pr8.json]
+//!     [--smoke] [--budget SECS] [--jobs N] [--spill-budget BYTES]
+//! ```
+//!
+//! By default runs the full set including the paper-scale handoff (a
+//! racing pair astride every 10K boundary); `--smoke` restricts the run
+//! to the small workloads (sub-second, for CI smoke checks). The emitted
+//! document conforms to [`rvbench::boundary`]'s schema and is validated
+//! before it is written.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvbench::boundary::{
+    full_boundary_workloads, run_boundary_pipeline, smoke_boundary_workloads,
+    validate_boundary_bench_json, BoundaryBenchOptions,
+};
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr8.json".to_string();
+    let mut smoke = false;
+    let mut opts = BoundaryBenchOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--budget" => {
+                match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => opts.solver_timeout = Duration::from_secs(v),
+                    None => {
+                        eprintln!("error: --budget needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.jobs = v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--spill-budget" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.spill_budget = v,
+                    None => {
+                        eprintln!("error: --spill-budget needs a byte count");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: boundary_pipeline [--out PATH] [--smoke] [--budget SECS] \
+                     [--jobs N] [--spill-budget BYTES]"
+                );
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (workloads, mode) = if smoke {
+        (smoke_boundary_workloads(), "smoke")
+    } else {
+        (full_boundary_workloads(), "full")
+    };
+    eprintln!(
+        "boundary_pipeline: {} workload(s), jobs={}, spill_budget={}, mode={}",
+        workloads.len(),
+        opts.jobs,
+        opts.spill_budget,
+        mode
+    );
+    let json = run_boundary_pipeline(&workloads, &opts, mode);
+    if let Err(e) = validate_boundary_bench_json(&json) {
+        eprintln!("error: generated document violates its own schema: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("boundary_pipeline: wrote {out}");
+    ExitCode::SUCCESS
+}

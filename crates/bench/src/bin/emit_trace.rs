@@ -12,6 +12,7 @@
 
 use std::process::ExitCode;
 
+use rvbench::boundary::{boundary_control_workload, boundary_handoff_workload};
 use rvbench::serve::tenant_mix_workload;
 use rvbench::slice::wide_window_workload;
 use rvbench::stream::racy_stream_workload;
@@ -32,11 +33,13 @@ fn named_workload(name: &str) -> Option<Workload> {
         "tier_small" => flag_handoff_workload("tier_small", 2, 4),
         "tier_medium" => flag_handoff_workload("tier_medium", 8, 60),
         "tenant_mix" => tenant_mix_workload("tenant_mix", 60),
+        "boundary_handoff" => boundary_handoff_workload("boundary_handoff", 1_000, 4),
+        "boundary_control" => boundary_control_workload("boundary_control", 1_000, 4),
         _ => return None,
     })
 }
 
-const WORKLOAD_NAMES: [&str; 12] = [
+const WORKLOAD_NAMES: [&str; 14] = [
     "figure1",
     "figure2_read",
     "array_index",
@@ -49,6 +52,8 @@ const WORKLOAD_NAMES: [&str; 12] = [
     "tier_small",
     "tier_medium",
     "tenant_mix",
+    "boundary_handoff",
+    "boundary_control",
 ];
 
 fn main() -> ExitCode {

@@ -1,0 +1,629 @@
+//! Cross-window prediction benchmark: the `BENCH_pr8.json` harness mode.
+//!
+//! Compares `--window-mode fixed` against `--window-mode cone` (the
+//! default) on *boundary-handoff* workloads: every racing pair is placed
+//! astride a window boundary — the write is the last event of window `k`,
+//! the conflicting read the first event of window `k+1` — with only
+//! thread-private filler in between. Fixed windows never co-resident the
+//! pair and report zero races; cone mode recovers every one through the
+//! straddle pass, with spill residency bounded by the budget. A
+//! non-straddling control workload certifies the other half of the
+//! contract: where no pair straddles, the two modes produce identical
+//! counts.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin boundary_pipeline -- --out BENCH_pr8.json
+//! ```
+//!
+//! # Document schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "pr8",
+//!   "mode": "full",
+//!   "jobs": 4,
+//!   "spill_budget": 4194304,
+//!   "oracle_confirmed_misses": 1,
+//!   "workloads": [
+//!     {"name": "boundary_handoff_large", "events": 100014,
+//!      "window_size": 10000, "straddling": true,
+//!      "fixed": {"races": 0, "straddle_cops": 0, "straddle_races": 0,
+//!                "boundary_over_budget": 0, "spill_peak_events": 0,
+//!                "undecided": 0, "wall_time_us": 901234},
+//!      "cone":  {"races": 9, "straddle_cops": 9, "straddle_races": 9,
+//!                "boundary_over_budget": 0, "spill_peak_events": 3,
+//!                "undecided": 0, "wall_time_us": 912345}}
+//!   ]
+//! }
+//! ```
+//!
+//! `oracle_confirmed_misses` counts, on the micro workload (small enough
+//! for the brute-force maximal-causal-model oracle), the races cone mode
+//! reports that fixed mode misses *and* the oracle independently proves —
+//! the committed document must show at least one. On every workload the
+//! fixed run's straddle counters must be zero (fixed windows never look
+//! back) and the cone run's `spill_peak_events` must fit the byte budget.
+//! Straddling workloads must show `cone.races > fixed.races` with
+//! `straddle_races ≥ 1`; non-straddling ones must show every count-type
+//! field equal between the two runs.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rvcore::{oracle_races, DetectorConfig, RaceDetector, WindowMode, SPILL_EVENT_BYTES};
+use rvsim::workloads::Workload;
+use rvtrace::{parse_json, RaceSignature, ThreadId, TraceBuilder, ViewExt};
+
+/// Version of the `BENCH_pr8.json` document. Bumped on any incompatible
+/// change (key renames, section shape).
+pub const BOUNDARY_BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The suite tag stamped into every document this harness emits.
+pub const BOUNDARY_BENCH_SUITE: &str = "pr8";
+
+/// Detection knobs for a boundary-bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryBenchOptions {
+    /// Per-COP solver budget.
+    pub solver_timeout: Duration,
+    /// Worker threads for both runs.
+    pub jobs: usize,
+    /// Spill byte budget for the cone runs (`--spill-budget`).
+    pub spill_budget: usize,
+}
+
+impl Default for BoundaryBenchOptions {
+    fn default() -> Self {
+        BoundaryBenchOptions {
+            solver_timeout: Duration::from_secs(10),
+            jobs: 4,
+            spill_budget: DetectorConfig::default().spill_budget,
+        }
+    }
+}
+
+/// One benchmark entry: the workload plus the window size it is detected
+/// with and whether its racing pairs straddle boundaries by construction.
+#[derive(Debug)]
+pub struct BoundaryWorkload {
+    /// The named trace.
+    pub workload: Workload,
+    /// Window size both runs use (chosen so the handoff pairs land
+    /// exactly astride the boundaries).
+    pub window_size: usize,
+    /// Whether the workload's racing pairs straddle boundaries — selects
+    /// which half of the contract the validator enforces on it.
+    pub straddling: bool,
+}
+
+/// Builds a boundary-handoff workload: `crossings` racing pairs, each
+/// placed exactly astride a `window_size`-event boundary. Per crossing
+/// `k`, thread-private filler by the main thread pads the trace so that
+/// the writer's store to a fresh variable `x_k` is the *last* event of
+/// window `k` and the reader's conflicting load is the *first* event of
+/// window `k+1`. No synchronization orders the pair, so each crossing is
+/// one real race — invisible to fixed windows, one straddle-pass race in
+/// cone mode, with a spill span of a single event.
+pub fn boundary_handoff_workload(name: &str, window_size: usize, crossings: usize) -> Workload {
+    assert!(window_size >= 8 && crossings >= 1);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let writer = b.fork(main);
+    let reader = b.fork(main);
+    // Absorb both implicit `begin` events inside window 0, on private
+    // variables, so the handoff accesses below are the threads' only
+    // boundary-relevant events.
+    let warm_w = b.var("warm_w");
+    let warm_r = b.var("warm_r");
+    b.write(writer, warm_w, 0);
+    b.write(reader, warm_r, 0);
+    let filler = b.var("filler");
+    for k in 0..crossings {
+        let x = b.var(&format!("x{k}"));
+        let boundary = (k + 1) * window_size;
+        while b.len() < boundary - 1 {
+            b.write(main, filler, b.len() as i64);
+        }
+        b.write(writer, x, 1); // last event of window k
+        b.read(reader, x, 1); // first event of window k+1
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The non-straddling control: one racy pair entirely inside window 0,
+/// then thread-private filler out to `windows` full windows. No
+/// conflicting pair ever crosses a boundary, so fixed and cone mode must
+/// produce identical counts on it.
+pub fn boundary_control_workload(name: &str, window_size: usize, windows: usize) -> Workload {
+    assert!(window_size >= 8 && windows >= 2);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let t2 = b.fork(main);
+    let x = b.var("x");
+    b.write(main, x, 1);
+    b.write(t2, x, 2);
+    let a = b.var("a");
+    let c = b.var("c");
+    while b.len() < windows * window_size {
+        b.write(main, a, 0);
+        b.write(t2, c, 0);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The micro handoff: small enough (≤ 18 events) for the brute-force
+/// oracle, with its single racing pair astride the window-4 boundary —
+/// the `oracle_confirmed_misses` arbiter.
+pub fn boundary_micro_workload(name: &str) -> Workload {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let pad = b.var("pad");
+    let t1 = ThreadId::MAIN;
+    let t2 = b.fork(t1);
+    b.write(t1, x, 1);
+    for i in 0..8i64 {
+        b.write(t1, pad, i);
+    }
+    b.read(t2, x, 1);
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The smoke set: the oracle micro workload, a small handoff and the
+/// non-straddling control — seconds, for CI.
+pub fn smoke_boundary_workloads() -> Vec<BoundaryWorkload> {
+    vec![
+        BoundaryWorkload {
+            workload: boundary_micro_workload("boundary_micro"),
+            window_size: 4,
+            straddling: true,
+        },
+        BoundaryWorkload {
+            workload: boundary_handoff_workload("boundary_handoff_small", 1_000, 4),
+            window_size: 1_000,
+            straddling: true,
+        },
+        BoundaryWorkload {
+            workload: boundary_control_workload("boundary_control", 1_000, 4),
+            window_size: 1_000,
+            straddling: false,
+        },
+    ]
+}
+
+/// The full set: the smoke workloads plus a paper-scale handoff with the
+/// racing pair astride every 10K boundary.
+pub fn full_boundary_workloads() -> Vec<BoundaryWorkload> {
+    let mut all = smoke_boundary_workloads();
+    all.push(BoundaryWorkload {
+        workload: boundary_handoff_workload("boundary_handoff_large", 10_000, 10),
+        window_size: 10_000,
+        straddling: true,
+    });
+    all
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+struct BoundaryRun {
+    races: u64,
+    straddle_cops: u64,
+    straddle_races: u64,
+    boundary_over_budget: u64,
+    spill_peak_events: u64,
+    undecided: u64,
+    wall: Duration,
+    signatures: BTreeSet<RaceSignature>,
+}
+
+fn run_once(
+    entry: &BoundaryWorkload,
+    opts: &BoundaryBenchOptions,
+    mode: WindowMode,
+) -> BoundaryRun {
+    let cfg = DetectorConfig {
+        window_size: entry.window_size,
+        solver_timeout: opts.solver_timeout,
+        parallelism: opts.jobs,
+        window_mode: mode,
+        spill_budget: opts.spill_budget,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let report = RaceDetector::with_config(cfg).detect(&entry.workload.trace);
+    BoundaryRun {
+        races: report.n_races() as u64,
+        straddle_cops: report.stats.straddle_cops as u64,
+        straddle_races: report.stats.straddle_races as u64,
+        boundary_over_budget: report.stats.boundary_over_budget as u64,
+        spill_peak_events: report.stats.spill_peak_events as u64,
+        undecided: report.stats.undecided as u64,
+        wall: t0.elapsed(),
+        signatures: report.signatures().into_iter().collect(),
+    }
+}
+
+fn write_run(out: &mut String, key: &str, run: &BoundaryRun) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"races\": {}, \"straddle_cops\": {}, \"straddle_races\": {},\n      \
+         \"boundary_over_budget\": {}, \"spill_peak_events\": {}, \"undecided\": {},\n      \
+         \"wall_time_us\": {}}}",
+        run.races,
+        run.straddle_cops,
+        run.straddle_races,
+        run.boundary_over_budget,
+        run.spill_peak_events,
+        run.undecided,
+        us(run.wall),
+    );
+}
+
+/// Runs each workload in both window modes and returns the versioned
+/// comparison document described in the module docs. The micro workload
+/// (≤ 18 events) is additionally arbitered by the brute-force oracle to
+/// produce the `oracle_confirmed_misses` count.
+pub fn run_boundary_pipeline(
+    entries: &[BoundaryWorkload],
+    opts: &BoundaryBenchOptions,
+    mode: &str,
+) -> String {
+    let mut body = String::new();
+    let mut oracle_confirmed_misses = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        let fixed = run_once(entry, opts, WindowMode::Fixed);
+        let cone = run_once(entry, opts, WindowMode::Cone);
+        if entry.workload.trace.len() <= 18 {
+            let trace = &entry.workload.trace;
+            let real: BTreeSet<RaceSignature> = oracle_races(&trace.full_view(), 18)
+                .into_iter()
+                .map(|cop| RaceSignature::of_cop(trace, cop))
+                .collect();
+            oracle_confirmed_misses += cone
+                .signatures
+                .iter()
+                .filter(|sig| real.contains(sig) && !fixed.signatures.contains(sig))
+                .count() as u64;
+        }
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "\n    {{\"name\": \"{}\", \"events\": {}, \"window_size\": {}, \
+             \"straddling\": {},\n     ",
+            entry.workload.name,
+            entry.workload.trace.len(),
+            entry.window_size,
+            entry.straddling,
+        );
+        write_run(&mut body, "fixed", &fixed);
+        body.push_str(",\n     ");
+        write_run(&mut body, "cone", &cone);
+        body.push('}');
+    }
+    let mut out = String::with_capacity(body.len() + 256);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"schema_version\": {BOUNDARY_BENCH_SCHEMA_VERSION},"
+    );
+    let _ = writeln!(out, "  \"suite\": \"{BOUNDARY_BENCH_SUITE}\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(out, "  \"spill_budget\": {},", opts.spill_budget);
+    let _ = writeln!(
+        out,
+        "  \"oracle_confirmed_misses\": {oracle_confirmed_misses},"
+    );
+    out.push_str("  \"workloads\": [");
+    out.push_str(&body);
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Integer fields each run sub-object must carry, all non-negative.
+const RUN_INT_KEYS: [&str; 7] = [
+    "races",
+    "straddle_cops",
+    "straddle_races",
+    "boundary_over_budget",
+    "spill_peak_events",
+    "undecided",
+    "wall_time_us",
+];
+
+/// Validates a `BENCH_pr8.json` document: version/suite/mode tags, the
+/// required keys as non-negative integers, zero straddle counters in
+/// every `fixed` run, cone-run spill residency within the byte budget,
+/// `cone.races > fixed.races` with `straddle_races ≥ 1` on every
+/// straddling workload, full count equality between the runs on every
+/// non-straddling workload, at least one workload of each kind, and at
+/// least one oracle-confirmed fixed-mode miss. Returns a description of
+/// the first violation.
+pub fn validate_boundary_bench_json(json: &str) -> Result<(), String> {
+    let doc = parse_json(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .and_then(|v| v.as_int())
+        .map_err(|e| e.to_string())?;
+    if version != BOUNDARY_BENCH_SCHEMA_VERSION as i64 {
+        return Err(format!(
+            "schema_version is {version}, expected {BOUNDARY_BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let suite = doc
+        .field("suite")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if suite != BOUNDARY_BENCH_SUITE {
+        return Err(format!(
+            "suite is `{suite}`, expected `{BOUNDARY_BENCH_SUITE}`"
+        ));
+    }
+    let mode = doc
+        .field("mode")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode is `{mode}`, expected `smoke` or `full`"));
+    }
+    let jobs = doc
+        .field("jobs")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("jobs: {e}"))?;
+    if jobs <= 0 {
+        return Err(format!("jobs must be positive, got {jobs}"));
+    }
+    let spill_budget = doc
+        .field("spill_budget")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("spill_budget: {e}"))?;
+    if spill_budget < 0 {
+        return Err(format!("spill_budget is negative ({spill_budget})"));
+    }
+    let confirmed = doc
+        .field("oracle_confirmed_misses")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("oracle_confirmed_misses: {e}"))?;
+    if confirmed < 1 {
+        return Err(format!(
+            "oracle_confirmed_misses is {confirmed}: no cone-mode race that fixed \
+             mode misses was oracle-confirmed"
+        ));
+    }
+    let entries = doc
+        .field("workloads")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .map_err(|e| format!("workloads: {e}"))?;
+    if entries.is_empty() {
+        return Err("workloads array is empty".into());
+    }
+    let spill_cap = spill_budget / SPILL_EVENT_BYTES as i64;
+    let (mut straddling_seen, mut control_seen) = (false, false);
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("workloads[{i}].name: {e}"))?;
+        for key in ["events", "window_size"] {
+            let v = entry
+                .field(key)
+                .and_then(|v| v.as_int())
+                .map_err(|e| format!("workload `{name}`: {key}: {e}"))?;
+            if v < 0 {
+                return Err(format!("workload `{name}`: {key} is negative ({v})"));
+            }
+        }
+        let straddling = entry
+            .field("straddling")
+            .and_then(|v| v.as_bool())
+            .map_err(|e| format!("workload `{name}`: straddling: {e}"))?;
+        let mut runs = [0i64; 14];
+        for (r, run_key) in ["fixed", "cone"].into_iter().enumerate() {
+            let run = entry
+                .field(run_key)
+                .map_err(|e| format!("workload `{name}`: {run_key}: {e}"))?;
+            for (k, key) in RUN_INT_KEYS.into_iter().enumerate() {
+                let v = run
+                    .field(key)
+                    .and_then(|v| v.as_int())
+                    .map_err(|e| format!("workload `{name}`: {run_key}.{key}: {e}"))?;
+                if v < 0 {
+                    return Err(format!(
+                        "workload `{name}`: {run_key}.{key} is negative ({v})"
+                    ));
+                }
+                runs[r * 7 + k] = v;
+            }
+        }
+        let [f_races, f_scops, f_sraces, f_over, f_spill, f_undec, _, c_races, c_scops, c_sraces, c_over, c_spill, c_undec, _] =
+            runs;
+        if f_scops != 0 || f_sraces != 0 || f_over != 0 || f_spill != 0 {
+            return Err(format!(
+                "workload `{name}`: the fixed run carries straddle activity \
+                 ({f_scops}/{f_sraces}/{f_over}/{f_spill}) — fixed windows never look back"
+            ));
+        }
+        if c_spill > spill_cap {
+            return Err(format!(
+                "workload `{name}`: cone spill_peak_events ({c_spill}) exceeds the \
+                 budget cap ({spill_cap} events = {spill_budget} bytes)"
+            ));
+        }
+        if straddling {
+            straddling_seen = true;
+            if c_sraces < 1 {
+                return Err(format!(
+                    "workload `{name}`: straddling, but the cone run attributed no \
+                     race to the straddle pass"
+                ));
+            }
+            if c_races <= f_races {
+                return Err(format!(
+                    "workload `{name}`: straddling, but cone races ({c_races}) do not \
+                     exceed fixed races ({f_races})"
+                ));
+            }
+        } else {
+            control_seen = true;
+            for (what, f, c) in [
+                ("races", f_races, c_races),
+                ("straddle_cops", f_scops, c_scops),
+                ("straddle_races", f_sraces, c_sraces),
+                ("boundary_over_budget", f_over, c_over),
+                ("spill_peak_events", f_spill, c_spill),
+                ("undecided", f_undec, c_undec),
+            ] {
+                if f != c {
+                    return Err(format!(
+                        "workload `{name}`: non-straddling, but fixed {what} is {f} \
+                         while cone {what} is {c} — the modes must coincide"
+                    ));
+                }
+            }
+        }
+    }
+    if !straddling_seen {
+        return Err("no straddling workload in the document".into());
+    }
+    if !control_seen {
+        return Err("no non-straddling control workload in the document".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_pairs_land_exactly_astride_boundaries() {
+        let w = boundary_handoff_workload("h", 1_000, 3);
+        // Each crossing k: write at (k+1)·W − 1, read at (k+1)·W.
+        for k in 0..3usize {
+            let boundary = (k + 1) * 1_000;
+            let write = w.trace.events()[boundary - 1];
+            let read = w.trace.events()[boundary];
+            assert!(write.kind.is_write(), "crossing {k}");
+            assert!(
+                !read.kind.is_write() && read.kind.var().is_some(),
+                "crossing {k}"
+            );
+            assert_eq!(write.kind.var(), read.kind.var(), "crossing {k}");
+        }
+    }
+
+    #[test]
+    fn smoke_boundary_pipeline_emits_valid_document() {
+        let json = run_boundary_pipeline(
+            &smoke_boundary_workloads(),
+            &BoundaryBenchOptions::default(),
+            "smoke",
+        );
+        validate_boundary_bench_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"suite\": \"pr8\""), "{json}");
+        assert!(json.contains("\"name\": \"boundary_micro\""), "{json}");
+        assert!(json.contains("\"name\": \"boundary_control\""), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let json = run_boundary_pipeline(
+            &smoke_boundary_workloads(),
+            &BoundaryBenchOptions::default(),
+            "smoke",
+        );
+        let wrong_version = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_boundary_bench_json(&wrong_version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let wrong_suite = json.replace("\"suite\": \"pr8\"", "\"suite\": \"pr7\"");
+        assert!(validate_boundary_bench_json(&wrong_suite)
+            .unwrap_err()
+            .contains("suite"));
+        let no_confirmation = json.replace(
+            "\"oracle_confirmed_misses\": 1",
+            "\"oracle_confirmed_misses\": 0",
+        );
+        assert!(validate_boundary_bench_json(&no_confirmation)
+            .unwrap_err()
+            .contains("oracle_confirmed_misses"));
+        assert!(validate_boundary_bench_json("not json").is_err());
+        assert!(validate_boundary_bench_json("{}").is_err());
+    }
+
+    #[test]
+    fn validator_enforces_the_mode_contract() {
+        let valid = r#"{
+  "schema_version": 1, "suite": "pr8", "mode": "smoke",
+  "jobs": 1,
+  "spill_budget": 640,
+  "oracle_confirmed_misses": 1,
+  "workloads": [
+    {"name": "h", "events": 4000, "window_size": 1000, "straddling": true,
+     "fixed": {"races": 0, "straddle_cops": 0, "straddle_races": 0,
+      "boundary_over_budget": 0, "spill_peak_events": 0, "undecided": 0,
+      "wall_time_us": 5},
+     "cone": {"races": 3, "straddle_cops": 3, "straddle_races": 3,
+      "boundary_over_budget": 0, "spill_peak_events": 1, "undecided": 0,
+      "wall_time_us": 7}},
+    {"name": "c", "events": 4000, "window_size": 1000, "straddling": false,
+     "fixed": {"races": 1, "straddle_cops": 0, "straddle_races": 0,
+      "boundary_over_budget": 0, "spill_peak_events": 0, "undecided": 0,
+      "wall_time_us": 5},
+     "cone": {"races": 1, "straddle_cops": 0, "straddle_races": 0,
+      "boundary_over_budget": 0, "spill_peak_events": 0, "undecided": 0,
+      "wall_time_us": 6}}
+  ]
+}"#;
+        validate_boundary_bench_json(valid).unwrap();
+        // A fixed run with straddle activity is rejected.
+        let leaky = valid.replacen("\"straddle_cops\": 0", "\"straddle_cops\": 1", 1);
+        assert!(validate_boundary_bench_json(&leaky)
+            .unwrap_err()
+            .contains("never look back"));
+        // Spill residency above the byte budget is rejected.
+        let hungry = valid.replacen("\"spill_peak_events\": 1", "\"spill_peak_events\": 11", 1);
+        assert!(validate_boundary_bench_json(&hungry)
+            .unwrap_err()
+            .contains("budget cap"));
+        // A straddling workload where cone finds nothing extra is rejected.
+        let blind = valid
+            .replacen(
+                "\"races\": 3, \"straddle_cops\": 3",
+                "\"races\": 0, \"straddle_cops\": 3",
+                1,
+            )
+            .replacen("\"straddle_races\": 3", "\"straddle_races\": 0", 1);
+        assert!(validate_boundary_bench_json(&blind).is_err());
+        // A non-straddling workload where the modes disagree is rejected.
+        let drifting = valid.replacen(
+            "{\"races\": 1, \"straddle_cops\": 0, \"straddle_races\": 0,\n      \
+             \"boundary_over_budget\": 0, \"spill_peak_events\": 0, \"undecided\": 0,\n      \
+             \"wall_time_us\": 6}",
+            "{\"races\": 2, \"straddle_cops\": 0, \"straddle_races\": 0,\n      \
+             \"boundary_over_budget\": 0, \"spill_peak_events\": 0, \"undecided\": 0,\n      \
+             \"wall_time_us\": 6}",
+            1,
+        );
+        assert!(validate_boundary_bench_json(&drifting)
+            .unwrap_err()
+            .contains("must coincide"));
+        // Both workload kinds must be present.
+        let no_control = valid.replacen("\"straddling\": false", "\"straddling\": true", 1);
+        assert!(validate_boundary_bench_json(&no_control).is_err());
+    }
+}

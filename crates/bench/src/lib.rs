@@ -17,6 +17,9 @@
 //! * `cargo run -p rvbench --release --bin serve_pipeline` — concurrent
 //!   tenants on a shared session manager vs their solo runs (see
 //!   [`serve`]), emitting `BENCH_pr7.json`;
+//! * `cargo run -p rvbench --release --bin boundary_pipeline` — fixed vs
+//!   cone window mode on boundary-handoff workloads (see [`boundary`]),
+//!   emitting `BENCH_pr8.json`;
 //! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
 //!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
@@ -25,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod boundary;
 pub mod micro;
 pub mod pipeline;
 pub mod serve;

@@ -20,6 +20,31 @@ pub enum ConsistencyMode {
     WholeTrace,
 }
 
+/// How the detector bounds each window's view (CLI `--window-mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowMode {
+    /// Fixed `window_size`-event windows: a COP whose partner fell in an
+    /// earlier window is silently invisible (the pre-PR 8 behavior,
+    /// kept for A/B checks).
+    Fixed,
+    /// Dependence-bounded windows: boundary-straddling COPs are
+    /// enumerated from per-thread last-access summaries and solved on a
+    /// lazily grown extended view reaching back along their cone of
+    /// influence, capped by [`DetectorConfig::spill_budget`]. On traces
+    /// with no straddling conflicting pair this is byte-identical to
+    /// [`WindowMode::Fixed`].
+    #[default]
+    Cone,
+}
+
+/// Approximate retained bytes per spill event: the budget → event-count
+/// conversion used by [`DetectorConfig::spill_events`]. Chosen as the
+/// order of one [`Event`](rvtrace::Event) plus its share of the boundary
+/// checkpoints; a semantic constant, deliberately identical across
+/// drivers so plans (and therefore reports) never depend on allocator
+/// details.
+pub const SPILL_EVENT_BYTES: usize = 64;
+
 /// A fault to inject at one (window, COP) coordinate. Test-only: lets the
 /// robustness suite prove that detection degrades gracefully — and
 /// deterministically, at every thread count — without relying on timing.
@@ -44,9 +69,14 @@ pub enum Fault {
 /// [`DetectorConfig::fault_plan`], and detection will hit the planned
 /// faults at exactly those coordinates on every run and at every
 /// `parallelism` setting. When a plan is present the detector disables the
-/// cross-window published-signature skip (a timing-dependent optimization)
-/// so that fault coordinates land on the same COPs regardless of worker
-/// scheduling; everything else behaves as in production.
+/// cross-window published-signature skip: the *reports* are deterministic
+/// with the skip on (merge-order dedup and the straddle pass's shared
+/// confirmed set see to that, in both window modes), but *which* COP
+/// index gets skipped before solving depends on how far ahead other
+/// workers have published, and fault coordinates key on those solve-order
+/// indices. With the skip off, coordinates land on the same COPs
+/// regardless of worker scheduling; everything else behaves as in
+/// production.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: BTreeMap<(usize, usize), Fault>,
@@ -154,6 +184,18 @@ pub struct DetectorConfig {
     /// Deterministic fault-injection plan (tests only; `None` in
     /// production). See [`FaultPlan`].
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Window bounding discipline: fixed event-count windows, or
+    /// dependence-bounded windows that extend across boundaries along
+    /// each straddling COP's cone of influence (CLI
+    /// `--window-mode fixed|cone`; `cone` is the default).
+    pub window_mode: WindowMode,
+    /// Byte budget for cross-boundary lookback in [`WindowMode::Cone`]
+    /// (CLI `--spill-budget`). Converted to an event-count cap via
+    /// [`SPILL_EVENT_BYTES`]; a straddling COP whose partner lies beyond
+    /// the cap degrades to `Undecided(boundary-budget)` instead of being
+    /// solved on a truncated view. The default (4 MiB) covers ~65K
+    /// events — several default windows of lookback.
+    pub spill_budget: usize,
 }
 
 impl Default for DetectorConfig {
@@ -176,6 +218,8 @@ impl Default for DetectorConfig {
             retry_split: false,
             window_timeout: None,
             fault_plan: None,
+            window_mode: WindowMode::Cone,
+            spill_budget: 4 << 20,
         }
     }
 }
@@ -194,6 +238,17 @@ impl DetectorConfig {
         DetectorConfig {
             mode: ConsistencyMode::WholeTrace,
             ..Default::default()
+        }
+    }
+
+    /// The cross-boundary lookback cap in *events*:
+    /// [`spill_budget`](DetectorConfig::spill_budget) bytes divided by
+    /// [`SPILL_EVENT_BYTES`]. Zero in [`WindowMode::Fixed`] — fixed
+    /// windows never look back.
+    pub fn spill_events(&self) -> usize {
+        match self.window_mode {
+            WindowMode::Fixed => 0,
+            WindowMode::Cone => self.spill_budget / SPILL_EVENT_BYTES,
         }
     }
 }
@@ -215,6 +270,18 @@ mod tests {
         assert!(!c.retry_split, "retry policy is opt-in");
         assert!(c.window_timeout.is_none(), "window budget is opt-in");
         assert!(c.fault_plan.is_none(), "no faults in production configs");
+        assert_eq!(c.window_mode, WindowMode::Cone, "cross-window on");
+        assert_eq!(c.spill_budget, 4 << 20);
+        assert_eq!(c.spill_events(), 65_536);
+    }
+
+    #[test]
+    fn fixed_mode_never_looks_back() {
+        let c = DetectorConfig {
+            window_mode: WindowMode::Fixed,
+            ..Default::default()
+        };
+        assert_eq!(c.spill_events(), 0);
     }
 
     #[test]

@@ -57,11 +57,11 @@ use std::time::{Duration, Instant};
 
 use rvsmt::{Budget, SmtResult, Solver, StopReason};
 use rvtrace::{
-    validate_wait_links, Cop, IngestStats, JsonError, RaceSignature, Schedule, StreamParser, Trace,
-    View, ViewExt, WindowBoundary,
+    validate_wait_links, BoundaryTracker, Cop, IngestStats, JsonError, RaceSignature, Schedule,
+    StraddlePlan, StreamParser, Trace, View, ViewExt, WindowBoundary,
 };
 
-use crate::config::{DetectorConfig, Fault};
+use crate::config::{DetectorConfig, Fault, WindowMode};
 use crate::cop::enumerate_cops;
 use crate::encoder::{encode, encode_window, encode_with_skeleton, EncoderOptions};
 use crate::report::{DetectionReport, FailedWindow, RaceReport, SolverTotals, UndecidedReason};
@@ -120,6 +120,10 @@ struct CopRecord {
     /// coordinates always take effect). `None` for skipped records and
     /// whenever the cascade is disabled.
     decided_by: Option<Tier>,
+    /// For boundary-straddling COPs (`--window-mode cone`): the extended
+    /// view range the verdict was solved on, reported as the race's
+    /// window. `None` for every in-window record.
+    ext_range: Option<std::ops::Range<usize>>,
 }
 
 /// Everything a worker learned about one window; merged in window order.
@@ -139,6 +143,10 @@ struct SolvedWindow {
     /// Time inside the Tier B refutation screen (including the base
     /// entailment graph construction).
     tier_b_time: Duration,
+    /// Events this window's straddle pass reached back beyond the window
+    /// start (zero without a straddle plan). Deterministic: a pure
+    /// function of the trace prefix and the spill budget.
+    spill_events: usize,
 }
 
 /// What a worker hands to the merge loop: the window's records, or — when
@@ -221,6 +229,7 @@ fn tier_refuted_record(cop: Cop, signature: RaceSignature) -> CopRecord {
         window_events: 0,
         constraints: 0,
         decided_by: Some(Tier::B),
+        ext_range: None,
     }
 }
 
@@ -256,6 +265,7 @@ fn deadline_expired_record(cop: Cop, signature: RaceSignature, cascade_on: bool)
         window_events: 0,
         constraints: 0,
         decided_by: cascade_on.then_some(Tier::Solver),
+        ext_range: None,
     }
 }
 
@@ -290,6 +300,10 @@ struct StreamJob {
     range: std::ops::Range<usize>,
     boundary: WindowBoundary,
     trace: Arc<Trace>,
+    /// The window's straddle plan (cone mode only). Like the boundary, a
+    /// pure function of the event prefix, so streamed plans are identical
+    /// to the whole-file drivers'.
+    plan: Option<StraddlePlan>,
 }
 
 /// The result of [`RaceDetector::detect_stream`]: the fully ingested
@@ -367,6 +381,36 @@ impl RaceDetector {
         &self.config
     }
 
+    /// True when cross-boundary prediction (`--window-mode cone`) is on.
+    fn cone_mode(&self) -> bool {
+        self.config.window_mode == WindowMode::Cone
+    }
+
+    /// The straddle plan for every window of `trace`, computed by one
+    /// sequential [`BoundaryTracker`] sweep. Plans are pure functions of
+    /// the trace prefix and the spill budget, so every driver — eager,
+    /// pipelined, streamed, session — derives identical plans at every
+    /// worker count. All-`None` in fixed mode (and for every window whose
+    /// COPs all sit inside their own window, which keeps the non-straddling
+    /// fast path byte-identical to fixed mode).
+    fn window_plans(&self, trace: &Trace) -> Vec<Option<StraddlePlan>> {
+        let size = self.config.window_size.max(1);
+        if !self.cone_mode() {
+            return (0..trace.len().div_ceil(size)).map(|_| None).collect();
+        }
+        let mut tracker =
+            BoundaryTracker::new(WindowBoundary::initial(trace), self.config.spill_events());
+        let mut plans = Vec::with_capacity(trace.len().div_ceil(size));
+        let mut start = 0usize;
+        while start < trace.len() {
+            let end = (start + size).min(trace.len());
+            plans.push(tracker.plan(trace.events(), start..end, |v| trace.is_volatile(v)));
+            tracker.advance(trace.events(), start..end);
+            start = end;
+        }
+        plans
+    }
+
     /// Runs detection over the whole trace, window by window.
     ///
     /// With `config.parallelism == 1` windows are solved inline; otherwise
@@ -383,6 +427,7 @@ impl RaceDetector {
         // whole run's window state is resident at once (cf. the bounded
         // `detect_pipelined`/`detect_stream` drivers).
         let views: Vec<View<'_>> = trace.windows(self.config.window_size);
+        let plans = self.window_plans(trace);
         report.stats.peak_window_residency = views.len();
         if workers == 1 {
             // Inline solve-then-merge per window. The published set is
@@ -390,7 +435,8 @@ impl RaceDetector {
             // exactly as in the historical serial driver.
             let published: Published = PublishedSet::new();
             for (index, view) in views.iter().enumerate() {
-                let outcome = self.solve_window_isolated(index, view, Some(&published));
+                let plan = plans.get(index).and_then(Option::as_ref);
+                let outcome = self.solve_window_isolated(index, view, plan, Some(&published));
                 self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
                 note_first_race(&mut report, start);
             }
@@ -398,7 +444,7 @@ impl RaceDetector {
             // The window carry (lock/value state at each window boundary)
             // forces view *construction* to stay sequential; only solving
             // fans out.
-            self.detect_parallel(&views, workers, &mut report, &mut confirmed, start);
+            self.detect_parallel(&views, &plans, workers, &mut report, &mut confirmed, start);
         }
         report.stats.wall_time = start.elapsed();
         report
@@ -410,7 +456,7 @@ impl RaceDetector {
         let start = Instant::now();
         let mut report = DetectionReport::default();
         let mut confirmed = HashSet::new();
-        let outcome = self.solve_window_isolated(0, view, None);
+        let outcome = self.solve_window_isolated(0, view, None, None);
         self.merge_outcome(outcome, &mut report, &mut confirmed, None);
         report.stats.wall_time = start.elapsed();
         report
@@ -429,12 +475,17 @@ impl RaceDetector {
         let workers = self.config.parallelism.max(1);
         let size = self.config.window_size;
         let published: Published = PublishedSet::new();
+        // Plans are tiny relative to views (only straddling windows carry
+        // one), so computing them eagerly keeps residency claims about
+        // *views* intact.
+        let plans = self.window_plans(trace);
         if workers == 1 {
             // One view alive at a time: build, solve, merge, drop.
             let mut peak = 0usize;
             for (index, view) in trace.window_stream(size).enumerate() {
                 peak = 1;
-                let outcome = self.solve_window_isolated(index, &view, Some(&published));
+                let plan = plans.get(index).and_then(Option::as_ref);
+                let outcome = self.solve_window_isolated(index, &view, plan, Some(&published));
                 drop(view);
                 self.merge_outcome(outcome, &mut report, &mut confirmed, Some(&published));
                 note_first_race(&mut report, start);
@@ -454,6 +505,7 @@ impl RaceDetector {
                 let residency = &residency;
                 let peak = &peak;
                 let job_rx = &job_rx;
+                let plans = &plans;
                 for _ in 0..workers {
                     let out_tx = out_tx.clone();
                     scope.spawn(move || loop {
@@ -462,7 +514,9 @@ impl RaceDetector {
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .recv();
                         let Ok((index, view)) = job else { break };
-                        let outcome = self.solve_window_isolated(index, &view, Some(published));
+                        let plan = plans.get(index).and_then(Option::as_ref);
+                        let outcome =
+                            self.solve_window_isolated(index, &view, plan, Some(published));
                         drop(view);
                         residency.fetch_sub(1, Ordering::Relaxed);
                         if out_tx.send(outcome).is_err() {
@@ -547,7 +601,12 @@ impl RaceDetector {
                         .recv();
                     let Ok(job) = job else { break };
                     let view = job.boundary.view(&job.trace, job.range.clone());
-                    let outcome = self.solve_window_isolated(job.index, &view, Some(published));
+                    let outcome = self.solve_window_isolated(
+                        job.index,
+                        &view,
+                        job.plan.as_ref(),
+                        Some(published),
+                    );
                     drop(view);
                     drop(job);
                     residency.fetch_sub(1, Ordering::Relaxed);
@@ -590,6 +649,9 @@ impl RaceDetector {
                 let mut parser = StreamParser::new();
                 let mut chunk = vec![0u8; STREAM_CHUNK];
                 let mut boundary: Option<WindowBoundary> = None;
+                // Cone mode: the dispatcher also runs the straddle
+                // tracker, in lockstep with the boundary.
+                let mut tracker: Option<BoundaryTracker> = None;
                 let mut next_start = 0usize;
                 let mut next_index = 0usize;
                 let mut first_dispatch: Option<Duration> = None;
@@ -612,15 +674,30 @@ impl RaceDetector {
                     let boundary = boundary.get_or_insert_with(|| {
                         WindowBoundary::from_initial_values(&snapshot.data().initial_values)
                     });
+                    if self.cone_mode() && tracker.is_none() {
+                        tracker = Some(BoundaryTracker::new(
+                            WindowBoundary::from_initial_values(&snapshot.data().initial_values),
+                            self.config.spill_events(),
+                        ));
+                    }
                     while next_start + size <= snapshot.len() {
                         let range = next_start..next_start + size;
                         first_dispatch.get_or_insert_with(|| start.elapsed());
+                        let plan = tracker.as_ref().and_then(|t| {
+                            t.plan(snapshot.events(), range.clone(), |v| {
+                                snapshot.is_volatile(v)
+                            })
+                        });
                         dispatch(StreamJob {
                             index: next_index,
                             range: range.clone(),
                             boundary: boundary.clone(),
                             trace: snapshot.clone(),
+                            plan,
                         });
+                        if let Some(t) = tracker.as_mut() {
+                            t.advance(snapshot.events(), range.clone());
+                        }
                         boundary.advance(snapshot.events(), range);
                         next_start += size;
                         next_index += 1;
@@ -637,15 +714,28 @@ impl RaceDetector {
                 let boundary = boundary.get_or_insert_with(|| {
                     WindowBoundary::from_initial_values(&trace.data().initial_values)
                 });
+                if self.cone_mode() && tracker.is_none() {
+                    tracker = Some(BoundaryTracker::new(
+                        WindowBoundary::from_initial_values(&trace.data().initial_values),
+                        self.config.spill_events(),
+                    ));
+                }
                 while next_start < trace.len() {
                     let end = (next_start + size).min(trace.len());
                     let range = next_start..end;
+                    let plan = tracker.as_ref().and_then(|t| {
+                        t.plan(trace.events(), range.clone(), |v| trace.is_volatile(v))
+                    });
                     dispatch(StreamJob {
                         index: next_index,
                         range: range.clone(),
                         boundary: boundary.clone(),
                         trace: trace.clone(),
+                        plan,
                     });
+                    if let Some(t) = tracker.as_mut() {
+                        t.advance(trace.events(), range.clone());
+                    }
                     boundary.advance(trace.events(), range);
                     next_start = end;
                     next_index += 1;
@@ -677,6 +767,7 @@ impl RaceDetector {
     fn detect_parallel(
         &self,
         views: &[View<'_>],
+        plans: &[Option<StraddlePlan>],
         workers: usize,
         report: &mut DetectionReport,
         confirmed: &mut HashSet<RaceSignature>,
@@ -693,7 +784,8 @@ impl RaceDetector {
                 scope.spawn(move || loop {
                     let index = next_window.fetch_add(1, Ordering::Relaxed);
                     let Some(view) = views.get(index) else { break };
-                    let outcome = self.solve_window_isolated(index, view, Some(published));
+                    let plan = plans.get(index).and_then(Option::as_ref);
+                    let outcome = self.solve_window_isolated(index, view, plan, Some(published));
                     if tx.send(outcome).is_err() {
                         break;
                     }
@@ -724,10 +816,11 @@ impl RaceDetector {
         &self,
         window_index: usize,
         view: &View<'_>,
+        plan: Option<&StraddlePlan>,
         published: Option<&Published>,
     ) -> WindowOutcome {
         let solve =
-            std::panic::AssertUnwindSafe(|| self.solve_window(window_index, view, published));
+            std::panic::AssertUnwindSafe(|| self.solve_window(window_index, view, plan, published));
         match std::panic::catch_unwind(solve) {
             Ok(solved) => WindowOutcome::Solved(solved),
             Err(payload) => WindowOutcome::Failed(FailedWindow {
@@ -742,15 +835,16 @@ impl RaceDetector {
     /// external drivers (the session layer): the result must be handed to
     /// [`RaceDetector::merge_window_result`] in window order. The solve is
     /// a pure function of the window's view (plus the skip-only
-    /// `published` set), so any scheduling of these calls merges to the
-    /// same report.
+    /// `published` set and the window's deterministic straddle `plan`, if
+    /// any), so any scheduling of these calls merges to the same report.
     pub fn solve_window_result(
         &self,
         window_index: usize,
         view: &View<'_>,
+        plan: Option<&StraddlePlan>,
         published: Option<&PublishedSet>,
     ) -> WindowResult {
-        WindowResult(self.solve_window_isolated(window_index, view, published))
+        WindowResult(self.solve_window_isolated(window_index, view, plan, published))
     }
 
     /// Merges one window's result into `report`. Must be called in window
@@ -774,6 +868,7 @@ impl RaceDetector {
         &self,
         window_index: usize,
         view: &View<'_>,
+        plan: Option<&StraddlePlan>,
         published: Option<&Published>,
     ) -> SolvedWindow {
         let window_start = Instant::now();
@@ -821,7 +916,15 @@ impl RaceDetector {
             window_time: Duration::ZERO,
             tier_a_time: Duration::ZERO,
             tier_b_time: Duration::ZERO,
+            spill_events: 0,
         };
+        // Signatures confirmed inside this window, shared by the normal
+        // pass and the straddle pass below, so a straddling COP whose
+        // signature an in-window COP already confirmed dedups exactly like
+        // any same-window duplicate — deterministically, at every thread
+        // count (the set is window-local; the merge replay re-checks
+        // everything cross-window).
+        let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
         // The tiered cascade shares one per-window analysis (base
         // entailment graph + memoized read facts) across all COPs.
         let mut tiers = (cfg.tiers && !enumeration.cops.is_empty())
@@ -835,6 +938,7 @@ impl RaceDetector {
                 deadline,
                 &known_racy,
                 tiers.as_mut(),
+                &mut local_confirmed,
                 &mut out,
             );
         } else {
@@ -846,6 +950,7 @@ impl RaceDetector {
                 deadline,
                 &known_racy,
                 tiers.as_mut(),
+                &mut local_confirmed,
                 &mut out,
             );
         }
@@ -855,6 +960,17 @@ impl RaceDetector {
         }
         if cfg.retry_split {
             self.retry_timeouts(view, opts, &budget, deadline, &mut out);
+        }
+        if let Some(plan) = plan {
+            self.solve_straddles(
+                view,
+                plan,
+                &budget,
+                deadline,
+                &known_racy,
+                &mut local_confirmed,
+                &mut out,
+            );
         }
         out.window_time = window_start.elapsed();
         out
@@ -976,6 +1092,7 @@ impl RaceDetector {
         deadline: Option<Instant>,
         known_racy: &HashSet<RaceSignature>,
         mut tiers: Option<&mut TierAnalysis<'_>>,
+        local_confirmed: &mut HashSet<RaceSignature>,
         out: &mut SolvedWindow,
     ) {
         let cfg = &self.config;
@@ -985,7 +1102,6 @@ impl RaceDetector {
         // One skeleton per window: its indexes are shared by every COP's
         // cone computation.
         let skel = opts.slicing_active().then(|| WindowSkeleton::new(view));
-        let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
         for (cop_index, cop) in cops.into_iter().enumerate() {
             let signature = RaceSignature::of_cop(view.trace(), cop);
             // Faults fire before any skip so a planned coordinate always
@@ -1001,6 +1117,7 @@ impl RaceDetector {
                     window_events: 0,
                     constraints: 0,
                     decided_by: cascade_on.then_some(Tier::Solver),
+                    ext_range: None,
                 });
                 continue;
             }
@@ -1024,6 +1141,7 @@ impl RaceDetector {
                     window_events: 0,
                     constraints: 0,
                     decided_by: None,
+                    ext_range: None,
                 });
                 continue;
             }
@@ -1098,6 +1216,7 @@ impl RaceDetector {
                 window_events: encoded.window_events,
                 constraints: encoded.n_constraints,
                 decided_by: cascade_on.then_some(Tier::Solver),
+                ext_range: None,
             });
         }
     }
@@ -1138,6 +1257,7 @@ impl RaceDetector {
             window_events: 0,
             constraints: 0,
             decided_by: Some(Tier::A),
+            ext_range: None,
         }
     }
 
@@ -1187,6 +1307,7 @@ impl RaceDetector {
         deadline: Option<Instant>,
         known_racy: &HashSet<RaceSignature>,
         mut tiers: Option<&mut TierAnalysis<'_>>,
+        local_confirmed: &mut HashSet<RaceSignature>,
         out: &mut SolvedWindow,
     ) {
         if cops.is_empty() {
@@ -1212,6 +1333,7 @@ impl RaceDetector {
                     window_events: 0,
                     constraints: 0,
                     decided_by: None,
+                    ext_range: None,
                 });
             }
             return;
@@ -1266,7 +1388,6 @@ impl RaceDetector {
             out.solver_time += solve_start.elapsed();
             enc_solver = Some((encoded, solver));
         }
-        let mut local_confirmed: HashSet<RaceSignature> = HashSet::new();
         for (i, cop) in cops.into_iter().enumerate() {
             let signature = signatures[i];
             // Faults fire before any skip so a planned coordinate always
@@ -1285,6 +1406,7 @@ impl RaceDetector {
                     window_events: 0,
                     constraints: 0,
                     decided_by: cascade_on.then_some(Tier::Solver),
+                    ext_range: None,
                 });
                 continue;
             }
@@ -1308,6 +1430,7 @@ impl RaceDetector {
                     window_events: 0,
                     constraints: 0,
                     decided_by: None,
+                    ext_range: None,
                 });
                 continue;
             }
@@ -1373,7 +1496,195 @@ impl RaceDetector {
                 window_events: encoded.window_events,
                 constraints: encoded.n_constraints,
                 decided_by: cascade_on.then_some(Tier::Solver),
+                ext_range: None,
             });
+        }
+    }
+
+    /// The straddle pass (`--window-mode cone`): solves this window's
+    /// boundary-straddling COPs — pairs whose partner event fell before
+    /// the window start, invisible to every per-window enumeration — on an
+    /// *extended view* rebuilt from the tracker's checkpointed boundary.
+    /// The extended view over `ext_start..end` is byte-identical to the
+    /// view a fixed window spanning that range would have had (same
+    /// boundary-advance recurrence from the same trace prefix), so no new
+    /// view semantics are introduced: every verdict below is an ordinary
+    /// windowed verdict over a longer, boundary-correct window, and the
+    /// soundness argument (Thm. 1) carries over unchanged.
+    ///
+    /// The view grows lazily along the COPs' cone of influence: when the
+    /// union cone reads a variable whose last in-budget write precedes
+    /// the current extension start, the view is rebuilt from that write
+    /// (at most three rounds), so cross-boundary control-flow dependences
+    /// are carried without re-residenting whole windows. The growth runs
+    /// whether or not the *encoding* slices — the extension range (and
+    /// with it the reported window and witness) must be identical across
+    /// `--no-slice`, or the slice flag would change report bytes. COPs
+    /// whose partner fell outside the spill budget are reported honestly
+    /// as `Undecided(BoundaryBudget)` — never a silent "no race", never a
+    /// solve on a truncated view.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_straddles(
+        &self,
+        view: &View<'_>,
+        plan: &StraddlePlan,
+        budget: &Budget,
+        deadline: Option<Instant>,
+        known_racy: &HashSet<RaceSignature>,
+        local_confirmed: &mut HashSet<RaceSignature>,
+        out: &mut SolvedWindow,
+    ) {
+        let cfg = &self.config;
+        let trace = view.trace();
+        let cascade_on = cfg.tiers;
+        for &cop in &plan.over_budget {
+            out.records.push(CopRecord {
+                cop,
+                signature: RaceSignature::of_cop(trace, cop),
+                verdict: CopVerdict::Undecided(UndecidedReason::BoundaryBudget),
+                profile: SolverTotals::default(),
+                retried: false,
+                cone_events: 0,
+                window_events: 0,
+                constraints: 0,
+                decided_by: cascade_on.then_some(Tier::Solver),
+                ext_range: Some(plan.window.clone()),
+            });
+        }
+        if plan.cops.is_empty() {
+            return;
+        }
+        let opts = EncoderOptions {
+            mode: cfg.mode,
+            prune_write_sets: cfg.prune_write_sets,
+            slice: cfg.slice,
+        };
+        // Lazy cone growth: pull the view start back to the last in-budget
+        // write of any variable the union cone reads, until the dependence
+        // frontier stabilizes or the budget floor is hit.
+        let mut ext_start = plan.ext_start;
+        let mut ext = plan.extended_view(trace, ext_start);
+        for _ in 0..3 {
+            let target = {
+                let skel = WindowSkeleton::new(&ext);
+                let cone = skel.cone(&plan.cops, cfg.prune_write_sets);
+                plan.grow_target(cone.read_vars(&ext), ext_start)
+            };
+            match target {
+                Some(s) if s < ext_start => {
+                    ext_start = s;
+                    ext = plan.extended_view(trace, ext_start);
+                }
+                _ => break,
+            }
+        }
+        out.spill_events = plan.spill_span(ext_start);
+        let mut tiers = cfg
+            .tiers
+            .then(|| TierAnalysis::new(&ext, cfg.mode, cfg.prune_write_sets));
+        let skel = opts.slicing_active().then(|| WindowSkeleton::new(&ext));
+        for &cop in &plan.cops {
+            let signature = RaceSignature::of_cop(trace, cop);
+            // The fault plan is deliberately not consulted here: its
+            // coordinates index the normal pass's solve order, which must
+            // not shift between fixed and cone mode.
+            if past_deadline(deadline) {
+                let mut record = deadline_expired_record(cop, signature, cascade_on);
+                record.ext_range = Some(ext.range());
+                out.records.push(record);
+                continue;
+            }
+            if cfg.dedup_signatures
+                && (local_confirmed.contains(&signature) || known_racy.contains(&signature))
+            {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
+                    decided_by: None,
+                    ext_range: Some(ext.range()),
+                });
+                continue;
+            }
+            if let Some(t) = tiers.as_mut() {
+                match t.decide(&cop) {
+                    TierDecision::Confirmed => {
+                        let budget = &clamp_budget(budget, deadline);
+                        let mut record =
+                            self.tier_confirmed_record(&ext, cop, signature, opts, budget, out);
+                        record.ext_range = Some(ext.range());
+                        if matches!(record.verdict, CopVerdict::Race(_)) {
+                            local_confirmed.insert(signature);
+                        }
+                        out.records.push(record);
+                        continue;
+                    }
+                    TierDecision::Refuted => {
+                        let mut record = tier_refuted_record(cop, signature);
+                        record.ext_range = Some(ext.range());
+                        out.records.push(record);
+                        continue;
+                    }
+                    TierDecision::Residue => {}
+                }
+            }
+            let solve_start = Instant::now();
+            let budget = &clamp_budget(budget, deadline);
+            let encoded = match &skel {
+                Some(s) => encode_with_skeleton(s, cop, opts),
+                None => encode(&ext, cop, opts),
+            };
+            let mut solver = Solver::new(&encoded.fb);
+            if cfg.phase_hints {
+                solver.hint_atom_phases(|a| encoded.phase_hint(a));
+            }
+            let verdict = match solver.solve(budget) {
+                SmtResult::Unsat => CopVerdict::Unsat,
+                SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
+                SmtResult::Sat => {
+                    if cfg.validate_witnesses {
+                        let witness = if skel.is_some() {
+                            self.canonical_witness(&ext, cop, opts, budget)
+                        } else {
+                            extract_witness(&ext, cop, &encoded, &solver, cfg.mode).map_err(|_| ())
+                        };
+                        match witness {
+                            Ok(witness) => {
+                                local_confirmed.insert(signature);
+                                CopVerdict::Race(witness.schedule)
+                            }
+                            Err(()) => CopVerdict::WitnessFailed,
+                        }
+                    } else {
+                        local_confirmed.insert(signature);
+                        CopVerdict::Race(Schedule(vec![cop.first, cop.second]))
+                    }
+                }
+            };
+            out.solver_time += solve_start.elapsed();
+            let mut profile = SolverTotals::default();
+            profile.record_solve(&solver.stats().sat);
+            out.records.push(CopRecord {
+                cop,
+                signature,
+                verdict,
+                profile,
+                retried: false,
+                cone_events: encoded.cone_events,
+                window_events: encoded.window_events,
+                constraints: encoded.n_constraints,
+                decided_by: cascade_on.then_some(Tier::Solver),
+                ext_range: Some(ext.range()),
+            });
+        }
+        if let Some(t) = &tiers {
+            out.tier_a_time += t.tier_a_time();
+            out.tier_b_time += t.tier_b_time();
         }
     }
 
@@ -1407,9 +1718,25 @@ impl RaceDetector {
         stats.tier_a_time += outcome.tier_a_time;
         stats.tier_b_time += outcome.tier_b_time;
         stats.window_times.push(outcome.window_time);
+        stats.spill_peak_events = stats.spill_peak_events.max(outcome.spill_events);
         for record in outcome.records {
             if cfg.dedup_signatures && confirmed.contains(&record.signature) {
                 continue;
+            }
+            // Boundary accounting, surviving records only (same contract
+            // as the solver-effort tallies below).
+            if record.ext_range.is_some() {
+                if matches!(
+                    record.verdict,
+                    CopVerdict::Undecided(UndecidedReason::BoundaryBudget)
+                ) {
+                    stats.boundary_over_budget += 1;
+                } else {
+                    stats.straddle_cops += 1;
+                    if matches!(record.verdict, CopVerdict::Race(_)) {
+                        stats.straddle_races += 1;
+                    }
+                }
             }
             // Cascade attribution, surviving records only (same contract
             // as `profile`): with tiers on, every solved COP carries a
@@ -1486,7 +1813,12 @@ impl RaceDetector {
                     report.races.push(RaceReport {
                         cop: record.cop,
                         signature: record.signature,
-                        window: outcome.range.clone(),
+                        // A straddling race is attributed to the extended
+                        // view it was actually solved on.
+                        window: record
+                            .ext_range
+                            .clone()
+                            .unwrap_or_else(|| outcome.range.clone()),
                         schedule,
                     });
                 }
@@ -1605,9 +1937,11 @@ mod tests {
         let r = b.read(t2, x, 11);
         let _ = (w, r);
         let trace = b.finish();
-        // Tiny windows: the write and read land in different windows.
+        // Tiny windows: the write and read land in different windows, and
+        // fixed mode cannot see across the boundary.
         let cfg = DetectorConfig {
             window_size: 3,
+            window_mode: WindowMode::Fixed,
             ..Default::default()
         };
         let small = RaceDetector::with_config(cfg).detect(&trace);
@@ -1946,5 +2280,188 @@ mod tests {
             .detect_stream(bad_links.as_bytes())
             .unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    /// A racy pair astride the window-size-3 boundary: the write's last
+    /// occurrence and the read land in different windows, with nothing
+    /// in the read's window to conflict with.
+    fn straddling_pair_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let lw = b.loc("w");
+        let lr = b.loc("r");
+        b.write_at(t1, x, 1, lw);
+        for i in 0..10 {
+            b.write_at(t1, x, i + 2, lw); // same-thread filler, one signature
+        }
+        b.read_at(t2, x, 11, lr);
+        b.finish()
+    }
+
+    #[test]
+    fn cone_mode_finds_the_straddling_race_fixed_misses() {
+        let trace = straddling_pair_trace();
+        let cfg = |mode| DetectorConfig {
+            window_size: 3,
+            window_mode: mode,
+            ..Default::default()
+        };
+        let fixed = RaceDetector::with_config(cfg(WindowMode::Fixed)).detect(&trace);
+        assert_eq!(fixed.n_races(), 0, "fixed windows cannot see the pair");
+        let cone = RaceDetector::with_config(cfg(WindowMode::Cone)).detect(&trace);
+        assert_eq!(cone.n_races(), 1, "{cone}");
+        assert!(cone.stats.straddle_cops >= 1);
+        assert_eq!(cone.stats.straddle_races, 1);
+        assert!(cone.stats.spill_peak_events > 0);
+        // The race is attributed to the extended view, which starts
+        // before the final window.
+        let race = &cone.races[0];
+        assert!(race.window.start < race.window.end);
+        assert!(race.window.start < trace.len() - (trace.len() % 3).max(1));
+        // The whole-trace verdict agrees: this is a real race, and with
+        // one shared location pair, one signature.
+        let whole = RaceDetector::new().detect(&trace);
+        assert_eq!(whole.n_races(), 1);
+        assert_eq!(whole.races[0].signature, cone.races[0].signature);
+    }
+
+    /// Every conflicting pair sits inside its own window: var groups of
+    /// four events aligned to the window size, with a padded first window.
+    fn non_straddling_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let pad = b.var("pad");
+        let warm = b.var("warm");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        // t2's implicit Begin fires here, inside window 0; `warm` is
+        // private to t2, `pad` to t1, so neither can straddle.
+        b.write(t2, warm, 0);
+        b.write(t1, pad, 0); // fork + begin + warm + pad fill window 0
+        for w in 0..4i64 {
+            let v = b.var(&format!("v{w}"));
+            b.write(t1, v, w);
+            b.read(t2, v, w);
+            b.write(t1, v, w + 1);
+            b.read(t2, v, w + 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn cone_mode_is_byte_identical_to_fixed_on_non_straddling_traces() {
+        let trace = non_straddling_trace();
+        for workers in [1usize, 4] {
+            let cfg = |mode| DetectorConfig {
+                window_size: 4,
+                parallelism: workers,
+                window_mode: mode,
+                ..Default::default()
+            };
+            let fixed = RaceDetector::with_config(cfg(WindowMode::Fixed)).detect(&trace);
+            let cone = RaceDetector::with_config(cfg(WindowMode::Cone)).detect(&trace);
+            assert!(fixed.n_races() >= 1, "sanity: the workload races");
+            assert_eq!(
+                cone.deterministic_summary(),
+                fixed.deterministic_summary(),
+                "workers={workers}"
+            );
+            assert_eq!(cone.stats.straddle_cops, 0);
+            assert_eq!(cone.stats.spill_peak_events, 0);
+        }
+    }
+
+    #[test]
+    fn spill_budget_zero_degrades_straddles_to_boundary_budget() {
+        let trace = straddling_pair_trace();
+        let cfg = DetectorConfig {
+            window_size: 3,
+            window_mode: WindowMode::Cone,
+            spill_budget: 0,
+            ..Default::default()
+        };
+        let report = RaceDetector::with_config(cfg).detect(&trace);
+        assert_eq!(report.n_races(), 0, "no solving past the budget floor");
+        assert!(report.stats.boundary_over_budget >= 1, "{report}");
+        assert_eq!(report.stats.straddle_cops, 0);
+        assert!(report.stats.undecided >= 1, "degradation is not silent");
+        assert!(report.is_degraded());
+        assert!(
+            report.deterministic_summary().contains("boundary:"),
+            "{}",
+            report.deterministic_summary()
+        );
+    }
+
+    #[test]
+    fn straddle_dedup_is_deterministic_across_worker_counts_and_drivers() {
+        // The same signature races in-window (window 0) *and* astride a
+        // later boundary: the straddling duplicate must dedup identically
+        // whether windows were solved serially, pipelined, or streamed.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let lw = b.loc("w");
+        let lr = b.loc("r");
+        b.write_at(t1, x, 1, lw);
+        b.read_at(t2, x, 1, lr); // in-window race, window 0
+        for i in 0..6 {
+            b.write(t1, y, i); // filler to cross a boundary
+        }
+        b.write_at(t1, x, 2, lw); // same signature again...
+        for i in 0..3 {
+            b.write(t1, y, i + 6);
+        }
+        b.read_at(t2, x, 2, lr); // ...read astride the next boundary
+        let trace = b.finish();
+        let summaries: Vec<String> = [1usize, 2, 4, 8]
+            .into_iter()
+            .flat_map(|workers| {
+                let cfg = || DetectorConfig {
+                    window_size: 4,
+                    parallelism: workers,
+                    ..Default::default()
+                };
+                let eager = RaceDetector::with_config(cfg()).detect(&trace);
+                let piped = RaceDetector::with_config(cfg()).detect_pipelined(&trace);
+                let streamed = RaceDetector::with_config(cfg())
+                    .detect_stream(rvtrace::to_ndjson(&trace).as_bytes())
+                    .unwrap();
+                [
+                    eager.deterministic_summary(),
+                    piped.deterministic_summary(),
+                    streamed.report.deterministic_summary(),
+                ]
+            })
+            .collect();
+        for s in &summaries[1..] {
+            assert_eq!(&summaries[0], s);
+        }
+        assert!(summaries[0].contains("races=1"), "{}", summaries[0]);
+    }
+
+    #[test]
+    fn straddle_pass_respects_tier_and_slice_toggles() {
+        let trace = straddling_pair_trace();
+        let mut baseline: Option<usize> = None;
+        for (tiers, slice) in [(true, true), (true, false), (false, true), (false, false)] {
+            let cfg = DetectorConfig {
+                window_size: 3,
+                tiers,
+                slice,
+                ..Default::default()
+            };
+            let report = RaceDetector::with_config(cfg).detect(&trace);
+            let races = report.n_races();
+            assert_eq!(
+                *baseline.get_or_insert(races),
+                races,
+                "tiers={tiers} slice={slice}"
+            );
+            assert_eq!(races, 1, "tiers={tiers} slice={slice}");
+        }
     }
 }

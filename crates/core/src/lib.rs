@@ -57,7 +57,9 @@ mod witness;
 pub use atomicity::{
     infer_rmw_pairs, AtomicPair, AtomicityDetector, AtomicityReport, AtomicityViolation,
 };
-pub use config::{ConsistencyMode, DetectorConfig, Fault, FaultPlan};
+pub use config::{
+    ConsistencyMode, DetectorConfig, Fault, FaultPlan, WindowMode, SPILL_EVENT_BYTES,
+};
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
 pub use detector::{PublishedSet, RaceDetector, StreamDetection, WindowResult};
 pub use encoder::{

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 /// Version of the JSON document emitted by [`Metrics::to_json`]. Bumped on
 /// any incompatible change to the schema (section names, histogram shape).
-pub const METRICS_SCHEMA_VERSION: u64 = 3;
+pub const METRICS_SCHEMA_VERSION: u64 = 4;
 
 /// A fixed-shape log₂ histogram over `u64` values.
 ///
@@ -176,7 +176,7 @@ impl Histogram {
 /// m.inc("detector.races", 2);
 /// m.observe("solver.conflicts_per_cop", 17);
 /// let json = m.to_json();
-/// assert!(json.contains("\"schema_version\": 3"));
+/// assert!(json.contains("\"schema_version\": 4"));
 /// assert!(json.contains("\"detector.races\": 2"));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -294,7 +294,7 @@ impl Metrics {
     ///
     /// ```json
     /// {
-    ///   "schema_version": 3,
+    ///   "schema_version": 4,
     ///   "counters": { "detector.races": 1 },
     ///   "histograms": {
     ///     "solver.conflicts_per_cop":
@@ -577,7 +577,7 @@ mod tests {
         m.observe("h", 5);
         m.record_time("t", Duration::from_micros(7));
         let json = m.to_json();
-        assert!(json.contains("\"schema_version\": 3"), "{json}");
+        assert!(json.contains("\"schema_version\": 4"), "{json}");
         assert!(json.contains("\"a\": 1"), "{json}");
         assert!(
             json.find("\"a\": 1").unwrap() < json.find("\"b\": 2").unwrap(),

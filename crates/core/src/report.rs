@@ -77,6 +77,11 @@ pub enum UndecidedReason {
     WorkerPanic,
     /// Constraint encoding failed for this COP.
     EncodeError,
+    /// A boundary-straddling COP whose pre-window partner lies beyond
+    /// the `--spill-budget` lookback cap: the extended view cannot be
+    /// reconstructed, and solving a truncated view would be unsound to
+    /// report as a verdict.
+    BoundaryBudget,
 }
 
 impl fmt::Display for UndecidedReason {
@@ -86,6 +91,7 @@ impl fmt::Display for UndecidedReason {
             UndecidedReason::ConflictBudget => write!(f, "conflict-budget"),
             UndecidedReason::WorkerPanic => write!(f, "worker-panic"),
             UndecidedReason::EncodeError => write!(f, "encode-error"),
+            UndecidedReason::BoundaryBudget => write!(f, "boundary-budget"),
         }
     }
 }
@@ -263,6 +269,22 @@ pub struct DetectionStats {
     /// ingestion (streaming driver only; `None` for in-memory runs).
     /// Timing-type.
     pub ingest_overlap: Option<Duration>,
+    /// Boundary-straddling COPs solved on extended views (`--window-mode
+    /// cone`; the dependence-bounded cross-window pass). Count-type;
+    /// zero in fixed mode and on non-straddling traces.
+    pub straddle_cops: usize,
+    /// Straddling COPs whose extended-view solve confirmed a race — the
+    /// races fixed windowing is structurally blind to. Count-type.
+    pub straddle_races: usize,
+    /// Straddling COPs degraded to `Undecided(boundary-budget)` because
+    /// their partner lay beyond the `--spill-budget` lookback cap.
+    /// Count-type.
+    pub boundary_over_budget: usize,
+    /// High-water mark of events a single extended view reached back
+    /// beyond its window start (spill residency actually used).
+    /// Count-type (a deterministic per-window maximum, not a scheduling
+    /// gauge): identical at every thread count.
+    pub spill_peak_events: usize,
 }
 
 impl DetectionStats {
@@ -314,6 +336,10 @@ impl DetectionStats {
             (Some(a), Some(b)) => Some(a + b),
             (a, b) => a.or(b),
         };
+        self.straddle_cops += other.straddle_cops;
+        self.straddle_races += other.straddle_races;
+        self.boundary_over_budget += other.boundary_over_budget;
+        self.spill_peak_events = self.spill_peak_events.max(other.spill_peak_events);
     }
 
     /// Records one undecided COP verdict.
@@ -429,6 +455,27 @@ impl DetectionReport {
         if let Some(t) = s.ingest_overlap {
             m.record_time("stream.ingest_overlap", t);
         }
+        // Boundary counters appear only when the cross-window pass did
+        // anything, so fixed-mode and non-straddling cone-mode runs emit
+        // byte-identical metric documents.
+        if s.straddle_cops > 0 {
+            m.inc("detector.boundary.straddle_cops", s.straddle_cops as u64);
+        }
+        if s.straddle_races > 0 {
+            m.inc("detector.boundary.straddle_races", s.straddle_races as u64);
+        }
+        if s.boundary_over_budget > 0 {
+            m.inc(
+                "detector.boundary.over_budget",
+                s.boundary_over_budget as u64,
+            );
+        }
+        if s.spill_peak_events > 0 {
+            m.inc(
+                "detector.boundary.spill_peak_events",
+                s.spill_peak_events as u64,
+            );
+        }
         m
     }
 }
@@ -476,6 +523,16 @@ impl DetectionReport {
             "tiers: confirmed={} refuted={} residue={}",
             s.tier_confirmed, s.tier_refuted, s.tier_residue,
         );
+        // Printed only when the cross-window pass did anything: cone-mode
+        // summaries on non-straddling traces stay byte-identical to
+        // fixed-mode ones.
+        if s.straddle_cops + s.boundary_over_budget + s.spill_peak_events > 0 {
+            let _ = writeln!(
+                out,
+                "boundary: straddle_cops={} straddle_races={} over_budget={} spill_peak={}",
+                s.straddle_cops, s.straddle_races, s.boundary_over_budget, s.spill_peak_events,
+            );
+        }
         for (name, h) in [
             ("conflicts_per_cop", &s.conflicts_per_cop),
             ("decisions_per_cop", &s.decisions_per_cop),
@@ -558,6 +615,16 @@ impl fmt::Display for DetectionReport {
                 f,
                 "  retried {} in split windows, {} rescued",
                 self.stats.retried_cops, self.stats.retry_rescued
+            )?;
+        }
+        if self.stats.straddle_cops + self.stats.boundary_over_budget > 0 {
+            writeln!(
+                f,
+                "  boundary: {} straddling COP(s), {} race(s), {} over budget, spill peak {} event(s)",
+                self.stats.straddle_cops,
+                self.stats.straddle_races,
+                self.stats.boundary_over_budget,
+                self.stats.spill_peak_events,
             )?;
         }
         for fw in &self.failed_windows {

@@ -65,11 +65,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rvtrace::{
-    salvage_trace, validate_wait_links, IngestStats, JsonError, RaceSignature, SalvageReport,
-    StreamParser, Trace, WindowBoundary,
+    salvage_trace, validate_wait_links, BoundaryTracker, IngestStats, JsonError, RaceSignature,
+    SalvageReport, StraddlePlan, StreamParser, Trace, WindowBoundary,
 };
 
-use crate::config::DetectorConfig;
+use crate::config::{DetectorConfig, WindowMode};
 use crate::detector::{panic_reason, PublishedSet, RaceDetector, WindowResult};
 use crate::metrics::Metrics;
 use crate::report::DetectionReport;
@@ -150,6 +150,10 @@ struct SessionJob {
     index: usize,
     range: Range<usize>,
     boundary: WindowBoundary,
+    /// The window's straddle plan (cone mode only) — computed by the
+    /// session's sequential tracker, so it is identical to the standalone
+    /// drivers' plans regardless of pool size or co-tenant mix.
+    plan: Option<StraddlePlan>,
     trace: Arc<Trace>,
     detector: Arc<RaceDetector>,
     shed_detector: Arc<RaceDetector>,
@@ -289,6 +293,7 @@ impl SessionManager {
             config,
             parser: StreamParser::new(),
             boundary: None,
+            tracker: None,
             next_start: 0,
             next_index: 0,
             submitted: 0,
@@ -355,6 +360,7 @@ fn worker_loop(shared: &PoolShared) {
             index,
             range,
             boundary,
+            plan,
             trace,
             detector,
             shed_detector,
@@ -367,7 +373,7 @@ fn worker_loop(shared: &PoolShared) {
         let solve = std::panic::AssertUnwindSafe(|| {
             let det = if shed { &shed_detector } else { &detector };
             let view = boundary.view(&trace, range);
-            det.solve_window_result(index, &view, Some(&published))
+            det.solve_window_result(index, &view, plan.as_ref(), Some(&published))
         });
         let result = std::panic::catch_unwind(solve).unwrap_or_else(|payload| {
             WindowResult::failed(index, fallback_range, panic_reason(payload.as_ref()))
@@ -389,6 +395,9 @@ pub struct Session {
     config: SessionConfig,
     parser: StreamParser,
     boundary: Option<WindowBoundary>,
+    /// The straddle tracker (cone mode only), advanced in lockstep with
+    /// `boundary` as windows are dispatched.
+    tracker: Option<BoundaryTracker>,
     next_start: usize,
     next_index: usize,
     submitted: usize,
@@ -452,20 +461,46 @@ impl Session {
         let mut boundary = self.boundary.take().unwrap_or_else(|| {
             WindowBoundary::from_initial_values(&snapshot.data().initial_values)
         });
+        if self.cone_mode() && self.tracker.is_none() {
+            self.tracker = Some(BoundaryTracker::new(
+                WindowBoundary::from_initial_values(&snapshot.data().initial_values),
+                self.detector.config().spill_events(),
+            ));
+        }
         while self.next_start + size <= snapshot.len() {
             let range = self.next_start..self.next_start + size;
             let job_boundary = boundary.clone();
+            let plan = self.tracker.as_ref().and_then(|t| {
+                t.plan(snapshot.events(), range.clone(), |v| {
+                    snapshot.is_volatile(v)
+                })
+            });
+            if let Some(t) = self.tracker.as_mut() {
+                t.advance(snapshot.events(), range.clone());
+            }
             boundary.advance(snapshot.events(), range.clone());
             self.next_start += size;
-            self.submit(range, job_boundary, snapshot.clone());
+            self.submit(range, job_boundary, plan, snapshot.clone());
         }
         self.boundary = Some(boundary);
+    }
+
+    /// True when cross-boundary prediction (`--window-mode cone`) is on
+    /// for this session's detector.
+    fn cone_mode(&self) -> bool {
+        self.detector.config().window_mode == WindowMode::Cone
     }
 
     /// Submits one window to the pool, applying backpressure first: while
     /// this session is at its residency cap, block merging its own results
     /// (stalling only this stream's ingest).
-    fn submit(&mut self, range: Range<usize>, boundary: WindowBoundary, trace: Arc<Trace>) {
+    fn submit(
+        &mut self,
+        range: Range<usize>,
+        boundary: WindowBoundary,
+        plan: Option<StraddlePlan>,
+        trace: Arc<Trace>,
+    ) {
         while self.in_flight() >= self.config.max_resident_windows.max(1) {
             let result = self
                 .out_rx
@@ -481,6 +516,7 @@ impl Session {
                 index: self.next_index,
                 range,
                 boundary,
+                plan,
                 trace,
                 detector: self.detector.clone(),
                 shed_detector: self.shed_detector.clone(),
@@ -551,13 +587,26 @@ impl Session {
             .boundary
             .take()
             .unwrap_or_else(|| WindowBoundary::from_initial_values(&trace.data().initial_values));
+        if self.cone_mode() && self.tracker.is_none() {
+            self.tracker = Some(BoundaryTracker::new(
+                WindowBoundary::from_initial_values(&trace.data().initial_values),
+                self.detector.config().spill_events(),
+            ));
+        }
         while self.next_start < trace.len() {
             let end = (self.next_start + size).min(trace.len());
             let range = self.next_start..end;
             let job_boundary = boundary.clone();
+            let plan = self
+                .tracker
+                .as_ref()
+                .and_then(|t| t.plan(trace.events(), range.clone(), |v| trace.is_volatile(v)));
+            if let Some(t) = self.tracker.as_mut() {
+                t.advance(trace.events(), range.clone());
+            }
             boundary.advance(trace.events(), range.clone());
             self.next_start = end;
-            self.submit(range, job_boundary, trace.clone());
+            self.submit(range, job_boundary, plan, trace.clone());
         }
         self.drain();
         let mut report = std::mem::take(&mut self.report);
@@ -565,6 +614,15 @@ impl Session {
         report.stats.wall_time = self.start.elapsed();
         self.metrics.inc("session.windows", self.submitted as u64);
         self.metrics.inc("session.shed_windows", self.shed_windows);
+        // Spill residency: the deepest any window's straddle pass reached
+        // back, in events. Counted against the session, not the pool —
+        // extended views are rebuilt per solve, never kept resident.
+        if report.stats.spill_peak_events > 0 {
+            self.metrics.gauge_max(
+                "session.spill_peak_events",
+                report.stats.spill_peak_events as u64,
+            );
+        }
         self.metrics
             .gauge_max("session.peak_resident_windows", self.peak_resident as u64);
         let metrics = std::mem::take(&mut self.metrics);
@@ -714,6 +772,7 @@ mod tests {
                 index,
                 range: 0..1,
                 boundary: boundary.clone(),
+                plan: None,
                 trace: trace.clone(),
                 detector: det.clone(),
                 shed_detector: det.clone(),

@@ -33,9 +33,9 @@
 //!
 //! [`VectorClock`]: rvtrace::VectorClock
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
-use rvtrace::{Cop, EventId, EventKind, LockId, View, WaitLink};
+use rvtrace::{Cop, EventId, EventKind, LockId, VarId, View, WaitLink};
 
 /// Per-window state shared by every cone computation: the parts of the
 /// encoding input that do not depend on the COP. Build one per window and
@@ -365,6 +365,25 @@ impl Cone {
     pub fn sliced_out(&self) -> usize {
         self.window_events - self.n_events
     }
+
+    /// Variables read by cone events — the dependence frontier that
+    /// cross-window growth follows: a pre-view write of one of these
+    /// variables justifies extending a dependence-bounded window further
+    /// back (see the detector's straddle pass), because the read's
+    /// feasible match set depends on it.
+    pub fn read_vars(&self, view: &View<'_>) -> BTreeSet<VarId> {
+        let mut vars = BTreeSet::new();
+        let threads = view.trace().threads();
+        for (ti, &t) in threads.iter().enumerate() {
+            let evs = view.thread_events(t);
+            for &e in &evs[..self.need(ti).min(evs.len())] {
+                if let EventKind::Read { var, .. } = view.event(e).kind {
+                    vars.insert(var);
+                }
+            }
+        }
+        vars
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +448,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cone_read_vars_track_dependence_frontier() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.read(t1, y, 0); // feeds the branch guarding the write
+        b.branch(t1);
+        let w = b.write(t1, x, 1);
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        let view = tr.full_view();
+        let skel = WindowSkeleton::new(&view);
+        let cone = skel.cone(&[Cop::new(w, r)], true);
+        let vars = cone.read_vars(&view);
+        assert!(vars.contains(&x) && vars.contains(&y), "{vars:?}");
     }
 
     #[test]

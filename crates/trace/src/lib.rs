@@ -73,4 +73,7 @@ pub use signature::{RaceSignature, SignatureDisplay};
 pub use stream::{read_trace, read_trace_data, StreamFormat, StreamParser};
 pub use trace::{Trace, TraceData, TraceStats, WaitLink};
 pub use vector_clock::VectorClock;
-pub use view::{CsSpan, View, ViewExt, WindowBoundary, WindowStream};
+pub use view::{
+    BoundarySpill, BoundaryTracker, CsSpan, StraddlePlan, View, ViewExt, WindowBoundary,
+    WindowStream,
+};

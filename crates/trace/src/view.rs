@@ -11,10 +11,10 @@
 //! * per-event locksets,
 //! * read/write/branch indexes and critical-section spans.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 
-use crate::event::{Event, EventId, EventKind, LockId, ThreadId, Value, VarId};
+use crate::event::{Cop, Event, EventId, EventKind, LockId, ThreadId, Value, VarId};
 use crate::trace::Trace;
 use crate::vector_clock::VectorClock;
 
@@ -566,6 +566,308 @@ impl<'a> Iterator for WindowStream<'a> {
     }
 }
 
+/// Last-access tables carried across window boundaries: for every
+/// `(variable, thread)` pair, the index of the thread's most recent read
+/// and write of the variable *before* the current boundary.
+///
+/// These are the per-thread summaries of dependence-bounded windowing
+/// (`--window-mode cone`): a conflicting-operation pair can only straddle
+/// a boundary through the *last* pre-boundary access of each side — any
+/// earlier access of the same `(variable, thread, kind)` has the same
+/// race signature and a strictly smaller feasible-schedule set under the
+/// carried window-start values, so the tables are lossless for candidate
+/// enumeration while staying `O(vars × threads)` regardless of trace
+/// length.
+#[derive(Debug, Clone, Default)]
+pub struct BoundarySpill {
+    last_write: BTreeMap<(VarId, ThreadId), usize>,
+    last_read: BTreeMap<(VarId, ThreadId), usize>,
+}
+
+impl BoundarySpill {
+    /// Records every access in `events[range]` into the tables.
+    fn record(&mut self, events: &[Event], range: Range<usize>) {
+        for i in range {
+            let e = &events[i];
+            match e.kind {
+                EventKind::Read { var, .. } => {
+                    self.last_read.insert((var, e.thread), i);
+                }
+                EventKind::Write { var, .. } => {
+                    self.last_write.insert((var, e.thread), i);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Last pre-boundary accesses of `var` by threads other than
+    /// `thread`: `(index, is_write)` per partner, writes and (when
+    /// `include_reads`) reads.
+    fn partners(
+        &self,
+        var: VarId,
+        thread: ThreadId,
+        include_reads: bool,
+        out: &mut Vec<(usize, bool)>,
+    ) {
+        let span = (var, ThreadId(0))..=(var, ThreadId(u32::MAX));
+        for (&(_, t), &i) in self.last_write.range(span.clone()) {
+            if t != thread {
+                out.push((i, true));
+            }
+        }
+        if include_reads {
+            for (&(_, t), &i) in self.last_read.range(span) {
+                if t != thread {
+                    out.push((i, false));
+                }
+            }
+        }
+    }
+
+    /// True when no access has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.last_write.is_empty() && self.last_read.is_empty()
+    }
+}
+
+/// The dependence-bounded extension plan for one window: the
+/// boundary-straddling candidate COPs found by [`BoundaryTracker::plan`]
+/// and everything needed to rebuild the extended view that covers them.
+///
+/// The plan is a pure function of `(events, window, spill budget)` — it
+/// carries its own base boundary checkpoint, so the extended view built
+/// from it is byte-identical to the [`View`] a fixed window spanning
+/// `ext_start..window.end` would have produced. That identity is the
+/// soundness argument for cross-window prediction: no new view semantics,
+/// just a longer (still boundary-correct) window for these COPs only.
+#[derive(Debug, Clone)]
+pub struct StraddlePlan {
+    /// Straddling candidate pairs whose pre-boundary partner lies within
+    /// the spill budget (earlier event first, per [`Cop::new`]).
+    pub cops: Vec<Cop>,
+    /// Straddling candidate pairs whose partner lies *beyond* the budget
+    /// floor: the detector must degrade these to
+    /// `Undecided(boundary-budget)` instead of solving a truncated view.
+    pub over_budget: Vec<Cop>,
+    /// Start of the extended view: the earliest in-budget partner.
+    pub ext_start: usize,
+    /// The spill-budget floor — `ext_start` never grows below this.
+    pub floor: usize,
+    /// The window this plan extends.
+    pub window: Range<usize>,
+    base: (usize, WindowBoundary),
+    writes_tail: BTreeMap<VarId, Vec<usize>>,
+}
+
+impl StraddlePlan {
+    /// Boundary state at trace position `at` (which must lie within
+    /// `base.0..=window.start`), reconstructed by advancing the retained
+    /// checkpoint — no whole-window re-residency.
+    pub fn boundary_at(&self, events: &[Event], at: usize) -> WindowBoundary {
+        assert!(
+            self.base.0 <= at && at <= self.window.start,
+            "boundary_at({at}) outside checkpointed span {}..={}",
+            self.base.0,
+            self.window.start
+        );
+        let mut b = self.base.1.clone();
+        b.advance(events, self.base.0..at);
+        b
+    }
+
+    /// The extended view for this plan's COPs, starting at `at`
+    /// (normally [`ext_start`](StraddlePlan::ext_start), lower after
+    /// cone growth).
+    pub fn extended_view<'a>(&self, trace: &'a Trace, at: usize) -> View<'a> {
+        self.boundary_at(trace.events(), at)
+            .view(trace, at..self.window.end)
+    }
+
+    /// Cone growth target: the latest pre-`below` write (within the
+    /// budget floor) of any variable in `vars` — the next dependence the
+    /// extended view should absorb — or `None` when the cone is closed.
+    pub fn grow_target(
+        &self,
+        vars: impl IntoIterator<Item = VarId>,
+        below: usize,
+    ) -> Option<usize> {
+        vars.into_iter()
+            .filter_map(|v| {
+                let writes = self.writes_tail.get(&v)?;
+                let n = writes.partition_point(|&w| w < below);
+                (n > 0).then(|| writes[n - 1])
+            })
+            .min()
+    }
+
+    /// Events the extended view re-materializes beyond the fixed window
+    /// (the spill residency this plan costs), for `ext_start = at`.
+    pub fn spill_span(&self, at: usize) -> usize {
+        self.window.start.saturating_sub(at)
+    }
+}
+
+/// Cross-boundary state for dependence-bounded windowing, threaded by a
+/// window dispatcher alongside its [`WindowBoundary`]: last-access
+/// [`BoundarySpill`] tables, boundary checkpoints at past window starts,
+/// and the per-variable write tail that cone growth queries.
+///
+/// Protocol per window `range` (in order): [`plan`](BoundaryTracker::plan)
+/// first, then [`advance`](BoundaryTracker::advance). Both are
+/// deterministic functions of the event prefix, so plans are identical
+/// across eager, pipelined, streamed, and session drivers at any
+/// parallelism.
+#[derive(Debug, Clone)]
+pub struct BoundaryTracker {
+    spill: BoundarySpill,
+    boundary: WindowBoundary,
+    checkpoints: Vec<(usize, WindowBoundary)>,
+    writes_tail: BTreeMap<VarId, Vec<usize>>,
+    spill_events: usize,
+    pos: usize,
+}
+
+impl BoundaryTracker {
+    /// A tracker starting from the trace-start boundary, retaining at
+    /// most `spill_events` events of lookback for extended views.
+    pub fn new(boundary: WindowBoundary, spill_events: usize) -> Self {
+        BoundaryTracker {
+            spill: BoundarySpill::default(),
+            boundary,
+            checkpoints: Vec::new(),
+            writes_tail: BTreeMap::new(),
+            spill_events,
+            pos: 0,
+        }
+    }
+
+    /// The boundary at the start of the next window (advanced over
+    /// exactly `events[..pos]`).
+    pub fn boundary(&self) -> &WindowBoundary {
+        &self.boundary
+    }
+
+    /// Events of lookback currently coverable by the retained
+    /// checkpoints (the spill residency ceiling for the next window).
+    pub fn spill_len(&self) -> usize {
+        self.pos - self.checkpoints.first().map_or(self.pos, |&(s, _)| s)
+    }
+
+    /// Straddling candidates for window `range`, or `None` when no
+    /// conflicting pair crosses its start — the fast path that keeps
+    /// cone mode byte-identical to fixed mode on non-straddling traces.
+    ///
+    /// Must be called before [`advance`](BoundaryTracker::advance)ing
+    /// over the same range.
+    pub fn plan(
+        &self,
+        events: &[Event],
+        range: Range<usize>,
+        is_volatile: impl Fn(VarId) -> bool,
+    ) -> Option<StraddlePlan> {
+        assert_eq!(range.start, self.pos, "plan() out of window order");
+        if self.spill.is_empty() {
+            return None;
+        }
+        let floor = range.start.saturating_sub(self.spill_events);
+        // One candidate per (variable, thread, kind): the window-first
+        // access — nearest the boundary, hence the widest feasible
+        // straddle — caps the plan without losing any signature.
+        let mut seen: BTreeSet<(VarId, ThreadId, bool)> = BTreeSet::new();
+        let mut partners: Vec<(usize, bool)> = Vec::new();
+        let mut cops: BTreeSet<Cop> = BTreeSet::new();
+        let mut over_budget: BTreeSet<Cop> = BTreeSet::new();
+        let mut ext_start = range.start;
+        for i in range.clone() {
+            let e = &events[i];
+            let (var, is_write) = match e.kind {
+                EventKind::Read { var, .. } => (var, false),
+                EventKind::Write { var, .. } => (var, true),
+                _ => continue,
+            };
+            if is_volatile(var) || !seen.insert((var, e.thread, is_write)) {
+                continue;
+            }
+            partners.clear();
+            // A read only conflicts with pre-boundary writes; a write
+            // with both kinds.
+            self.spill.partners(var, e.thread, is_write, &mut partners);
+            for &(p, _) in &partners {
+                let cop = Cop::new(EventId(p as u32), EventId(i as u32));
+                if p >= floor {
+                    ext_start = ext_start.min(p);
+                    cops.insert(cop);
+                } else {
+                    over_budget.insert(cop);
+                }
+            }
+        }
+        if cops.is_empty() && over_budget.is_empty() {
+            return None;
+        }
+        // Base checkpoint: the latest retained boundary at or before the
+        // budget floor serves every ext_start the plan (or cone growth)
+        // can choose.
+        let base = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s <= floor)
+            .expect("checkpoint at or before the budget floor retained")
+            .clone();
+        let writes_tail = self
+            .writes_tail
+            .iter()
+            .filter_map(|(&v, ws)| {
+                let n = ws.partition_point(|&w| w < floor);
+                (!is_volatile(v) && n < ws.len()).then(|| (v, ws[n..].to_vec()))
+            })
+            .collect();
+        Some(StraddlePlan {
+            cops: cops.into_iter().collect(),
+            over_budget: over_budget.into_iter().collect(),
+            ext_start,
+            floor,
+            window: range,
+            base,
+            writes_tail,
+        })
+    }
+
+    /// Closes window `range`: checkpoints its start boundary, records its
+    /// accesses into the spill tables, advances the carried boundary, and
+    /// prunes checkpoints and write tails that fall behind the budget
+    /// floor of every future window.
+    pub fn advance(&mut self, events: &[Event], range: Range<usize>) {
+        assert_eq!(range.start, self.pos, "advance() out of window order");
+        self.checkpoints.push((range.start, self.boundary.clone()));
+        self.spill.record(events, range.clone());
+        for i in range.clone() {
+            if let EventKind::Write { var, .. } = events[i].kind {
+                self.writes_tail.entry(var).or_default().push(i);
+            }
+        }
+        self.boundary.advance(events, range.clone());
+        self.pos = range.end;
+        let floor = self.pos.saturating_sub(self.spill_events);
+        // Keep the latest checkpoint at or before the floor (the base
+        // candidate) plus everything after it.
+        let keep_from = self
+            .checkpoints
+            .iter()
+            .rposition(|&(s, _)| s <= floor)
+            .unwrap_or(0);
+        self.checkpoints.drain(..keep_from);
+        self.writes_tail.retain(|_, ws| {
+            let n = ws.partition_point(|&w| w < floor);
+            ws.drain(..n);
+            !ws.is_empty()
+        });
+    }
+}
+
 /// Extension methods on [`Trace`] producing views.
 pub trait ViewExt {
     /// A view covering the whole trace.
@@ -823,6 +1125,149 @@ mod tests {
             );
         }
         assert_eq!(meta.view(&tr, 2..3).initial_value(y), Value(9));
+    }
+
+    /// write(t1, x) in window 0, read(t2, x) in window 1: one straddling
+    /// candidate pair.
+    fn straddling_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0 fork
+        b.write(t1, x, 1); // e1 (window 0: e0..e3)
+        b.write(t1, y, 7); // e2
+        b.read(t2, x, 1); // begin e3, read e4 (window 1)
+        b.finish()
+    }
+
+    #[test]
+    fn tracker_plans_straddling_pairs() {
+        let tr = straddling_trace();
+        let mut tk = BoundaryTracker::new(WindowBoundary::initial(&tr), 1024);
+        let vol = |v: VarId| tr.is_volatile(v);
+        // Window 0 never has a plan (nothing spilled yet).
+        assert!(tk.plan(tr.events(), 0..3, vol).is_none());
+        tk.advance(tr.events(), 0..3);
+        let plan = tk
+            .plan(tr.events(), 3..tr.len(), vol)
+            .expect("read of x straddles the boundary");
+        assert!(plan.over_budget.is_empty());
+        assert_eq!(plan.cops.len(), 1);
+        let cop = plan.cops[0];
+        // The pair is (write of x in window 0, read of x in window 1).
+        assert!(tr.event(cop.first).kind.is_write());
+        assert!(tr.event(cop.second).kind.is_read());
+        assert_eq!(
+            tr.event(cop.first).kind.var(),
+            tr.event(cop.second).kind.var()
+        );
+        assert_eq!(plan.ext_start, cop.first.index());
+        // The extended view is byte-equivalent to a window that started
+        // at ext_start: boundary state reconstructed from the checkpoint.
+        let ext = plan.extended_view(&tr, plan.ext_start);
+        assert_eq!(ext.range(), plan.ext_start..tr.len());
+        assert!(ext.contains(cop.first) && ext.contains(cop.second));
+        // y's write (e2) is inside the extended range, so the extended
+        // view's window-start value for y is still the trace-initial one
+        // — while the plain window 1 view sees the carried write.
+        let y = VarId(1);
+        assert_eq!(ext.initial_value(y), Value(0));
+        assert_eq!(
+            tk.boundary().view(&tr, 3..tr.len()).initial_value(y),
+            Value(7)
+        );
+    }
+
+    #[test]
+    fn tracker_budget_floor_degrades_to_over_budget() {
+        let tr = straddling_trace();
+        // Zero lookback: every straddling candidate is over budget.
+        let mut tk = BoundaryTracker::new(WindowBoundary::initial(&tr), 0);
+        let vol = |v: VarId| tr.is_volatile(v);
+        tk.advance(tr.events(), 0..3);
+        let plan = tk.plan(tr.events(), 3..tr.len(), vol).expect("candidates");
+        assert!(plan.cops.is_empty());
+        assert_eq!(plan.over_budget.len(), 1);
+        assert_eq!(plan.ext_start, 3, "no in-budget partner: no extension");
+    }
+
+    #[test]
+    fn tracker_ignores_same_thread_and_volatile() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let v = b.volatile_var("v");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.write(t1, x, 1); // window 0
+        b.write(t1, v, 1); // window 0
+        b.read(t1, x, 1); // window 1: same thread, no pair
+        b.read(t2, v, 1); // window 1: volatile, no pair
+        let tr = b.finish();
+        let mut tk = BoundaryTracker::new(WindowBoundary::initial(&tr), 1024);
+        let vol = |var: VarId| tr.is_volatile(var);
+        tk.advance(tr.events(), 0..4);
+        assert!(tk.plan(tr.events(), 4..tr.len(), vol).is_none());
+    }
+
+    #[test]
+    fn tracker_grow_target_follows_write_tail() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let wy = b.write(t1, y, 5); // e1
+        let wx = b.write(t1, x, 1); // e2
+        b.read(t2, x, 1); // window 1 (begin is e3, read e4)
+        let tr = b.finish();
+        let mut tk = BoundaryTracker::new(WindowBoundary::initial(&tr), 1024);
+        let vol = |v: VarId| tr.is_volatile(v);
+        tk.advance(tr.events(), 0..3);
+        let plan = tk.plan(tr.events(), 3..tr.len(), vol).expect("straddle");
+        assert_eq!(plan.ext_start, wx.index());
+        // Growing along a dependence on y reaches back to y's last write.
+        assert_eq!(plan.grow_target([y], plan.ext_start), Some(wy.index()));
+        // x's own write is at ext_start already: nothing earlier.
+        assert_eq!(plan.grow_target([x], plan.ext_start), None);
+        let _ = wx;
+    }
+
+    #[test]
+    fn tracker_checkpoints_prune_to_budget() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        for i in 0..20 {
+            b.write(t1, x, i);
+        }
+        b.read(t2, x, 19);
+        let tr = b.finish();
+        let mut tk = BoundaryTracker::new(WindowBoundary::initial(&tr), 6);
+        let vol = |v: VarId| tr.is_volatile(v);
+        let mut start = 0;
+        while start + 4 <= 20 {
+            let _ = tk.plan(tr.events(), start..start + 4, vol);
+            tk.advance(tr.events(), start..start + 4);
+            start += 4;
+        }
+        assert!(tk.spill_len() <= 6 + 4, "pruned near the budget");
+        let plan = tk
+            .plan(tr.events(), start..tr.len(), vol)
+            .expect("straddle");
+        // Only the last write is within the 6-event floor; all earlier
+        // last-writes were superseded so exactly one candidate exists.
+        assert_eq!(plan.cops.len(), 1);
+        assert!(plan.ext_start >= plan.floor);
+        // The reconstructed boundary matches a freshly advanced one.
+        let mut fresh = WindowBoundary::initial(&tr);
+        fresh.advance(tr.events(), 0..plan.ext_start);
+        let a = plan.boundary_at(tr.events(), plan.ext_start);
+        let va = a.view(&tr, plan.ext_start..tr.len());
+        let vb = fresh.view(&tr, plan.ext_start..tr.len());
+        assert_eq!(va.initial_value(x), vb.initial_value(x));
+        assert_eq!(va.held_at_start(), vb.held_at_start());
     }
 
     #[test]

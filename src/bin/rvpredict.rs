@@ -13,6 +13,18 @@
 //!                              recorded as undecided (timeout) instead of solved —
 //!                              detection degrades (exit 3) rather than stalls
 //!   --jobs N                   solve windows on N worker threads (default: all cores)
+//!   --window-mode fixed|cone   window bounding discipline (default cone):
+//!                              `cone` grows a boundary-straddling COP's view
+//!                              backwards along its cone of influence so races
+//!                              astride a window boundary are still predicted;
+//!                              `fixed` keeps hard window edges (the pre-cone
+//!                              behavior, for A/B checks). On traces with no
+//!                              straddling pair the two are byte-identical
+//!   --spill-budget BYTES       cap on retained cross-boundary lookback in cone
+//!                              mode (default 4194304 = 4 MiB); a straddling COP
+//!                              whose partner lies beyond the cap is reported
+//!                              undecided (boundary-budget) instead of solved
+//!                              on a truncated view
 //!   --connect SOCK             run the detection in an rvserved daemon at unix
 //!                              socket SOCK instead of in-process: the trace is
 //!                              streamed over the socket and the daemon's reply is
@@ -79,7 +91,7 @@ use std::time::{Duration, Instant};
 use rvpredict::driver::{self, SessionRequest, EXIT_RACES, EXIT_USAGE};
 use rvpredict::{
     read_frame, write_frame, CpDetector, DetectionReport, Fault, HbDetector, Metrics, RaceDetector,
-    RaceDetectorTool, SaidDetector, Trace, TraceData,
+    RaceDetectorTool, SaidDetector, Trace, TraceData, WindowMode,
 };
 
 struct Options {
@@ -88,6 +100,8 @@ struct Options {
     budget: Duration,
     timeout_ms: Option<u64>,
     jobs: Option<usize>,
+    window_mode: WindowMode,
+    spill_budget: Option<usize>,
     connect: Option<String>,
     stream: bool,
     witnesses: bool,
@@ -117,6 +131,10 @@ impl Options {
             no_slice: self.no_slice,
             no_tiers: self.no_tiers,
             faults: self.faults.clone(),
+            window_mode: self.window_mode,
+            spill_budget: self
+                .spill_budget
+                .unwrap_or(SessionRequest::default().spill_budget),
             want_metrics: self.metrics.is_some(),
         }
     }
@@ -152,6 +170,8 @@ fn parse_args() -> Result<Options, String> {
         budget: Duration::from_secs(60),
         timeout_ms: None,
         jobs: None,
+        window_mode: WindowMode::default(),
+        spill_budget: None,
         connect: None,
         stream: false,
         witnesses: false,
@@ -219,6 +239,20 @@ fn parse_args() -> Result<Options, String> {
                 opts.jobs = Some(jobs);
                 i += 2;
             }
+            "--window-mode" => {
+                let name = args.get(i + 1).ok_or("--window-mode needs a value")?;
+                opts.window_mode = driver::parse_window_mode(name)?;
+                i += 2;
+            }
+            "--spill-budget" => {
+                let bytes: usize = args
+                    .get(i + 1)
+                    .ok_or("--spill-budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--spill-budget: {e}"))?;
+                opts.spill_budget = Some(bytes);
+                i += 2;
+            }
             "--stream" => {
                 opts.stream = true;
                 i += 1;
@@ -278,7 +312,8 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
-         [--timeout-ms MS] [--jobs N] [--connect SOCK] [--stream] [--witnesses] \
+         [--timeout-ms MS] [--jobs N] [--window-mode fixed|cone] \
+         [--spill-budget BYTES] [--connect SOCK] [--stream] [--witnesses] \
          [--lenient] [--retry-split] [--no-slice] [--no-tiers] \
          [--inject-fault W:C:KIND]... [--metrics OUT.json] \
          [--trace-log] (--demo | TRACE.json | -)"

@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use rvcore::session::SessionConfig;
-use rvcore::{DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics};
+use rvcore::{DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics, WindowMode};
 use rvtrace::{escape_json, parse_json, IngestStats, SalvageReport, Trace};
 
 /// Exit code: detection completed, no races, nothing undecided.
@@ -66,6 +66,24 @@ fn fault_kind(fault: Fault) -> &'static str {
         Fault::Panic => "panic",
         Fault::Timeout => "timeout",
         Fault::EncodeError => "encode-error",
+    }
+}
+
+/// Parses a `--window-mode` value (`fixed` or `cone`).
+pub fn parse_window_mode(name: &str) -> Result<WindowMode, String> {
+    match name {
+        "fixed" => Ok(WindowMode::Fixed),
+        "cone" => Ok(WindowMode::Cone),
+        other => Err(format!("--window-mode must be fixed or cone, got {other}")),
+    }
+}
+
+/// Renders a window mode back to its flag value (the inverse of
+/// [`parse_window_mode`]).
+fn window_mode_name(mode: WindowMode) -> &'static str {
+    match mode {
+        WindowMode::Fixed => "fixed",
+        WindowMode::Cone => "cone",
     }
 }
 
@@ -185,6 +203,10 @@ pub struct SessionRequest {
     pub no_tiers: bool,
     /// Planned fault coordinates (`--inject-fault W:C:KIND`, repeatable).
     pub faults: Vec<(usize, usize, Fault)>,
+    /// Window bounding discipline (`--window-mode fixed|cone`).
+    pub window_mode: WindowMode,
+    /// Byte budget for cone-mode cross-boundary lookback (`--spill-budget`).
+    pub spill_budget: usize,
     /// Return the metrics document in the response (`--metrics`).
     pub want_metrics: bool,
 }
@@ -201,6 +223,8 @@ impl Default for SessionRequest {
             no_slice: false,
             no_tiers: false,
             faults: Vec::new(),
+            window_mode: WindowMode::default(),
+            spill_budget: DetectorConfig::default().spill_budget,
             want_metrics: false,
         }
     }
@@ -217,6 +241,8 @@ impl SessionRequest {
             slice: !self.no_slice,
             tiers: !self.no_tiers,
             window_timeout: self.timeout_ms.map(Duration::from_millis),
+            window_mode: self.window_mode,
+            spill_budget: self.spill_budget,
             ..Default::default()
         };
         if !self.faults.is_empty() {
@@ -260,6 +286,11 @@ impl SessionRequest {
             out.push_str(&format!("[{w}, {c}, {}]", escape_json(fault_kind(fault))));
         }
         out.push_str("]");
+        out.push_str(&format!(
+            ", \"window_mode\": {}",
+            escape_json(window_mode_name(self.window_mode))
+        ));
+        out.push_str(&format!(", \"spill_budget\": {}", self.spill_budget));
         out.push_str(&format!(", \"want_metrics\": {}", self.want_metrics));
         out.push('}');
         out
@@ -284,6 +315,15 @@ impl SessionRequest {
                     "retry_split" => req.retry_split = value.as_bool()?,
                     "no_slice" => req.no_slice = value.as_bool()?,
                     "no_tiers" => req.no_tiers = value.as_bool()?,
+                    "window_mode" => {
+                        req.window_mode =
+                            parse_window_mode(value.as_str()?).map_err(|m| rvtrace::JsonError {
+                                message: m,
+                                offset: 0,
+                                snippet: String::new(),
+                            })?
+                    }
+                    "spill_budget" => req.spill_budget = value.as_int()? as usize,
                     "want_metrics" => req.want_metrics = value.as_bool()?,
                     "faults" => {
                         for f in value.as_array()? {
@@ -406,6 +446,8 @@ mod tests {
             no_slice: true,
             no_tiers: false,
             faults: vec![(0, 1, Fault::Panic), (2, 0, Fault::Timeout)],
+            window_mode: WindowMode::Fixed,
+            spill_budget: 1 << 16,
             want_metrics: true,
         };
         let parsed = SessionRequest::from_json(&req.to_json()).unwrap();
@@ -432,6 +474,29 @@ mod tests {
         assert_eq!(cfg.window_timeout, Some(Duration::from_millis(250)));
         assert!(!cfg.slice && !cfg.tiers);
         assert!(cfg.fault_plan.is_none());
+        assert_eq!(cfg.window_mode, WindowMode::Cone, "cone is the default");
+        assert_eq!(cfg.spill_budget, DetectorConfig::default().spill_budget);
+
+        let fixed = SessionRequest {
+            window_mode: WindowMode::Fixed,
+            spill_budget: 512,
+            ..SessionRequest::default()
+        }
+        .detector_config();
+        assert_eq!(fixed.window_mode, WindowMode::Fixed);
+        assert_eq!(fixed.spill_budget, 512);
+        assert_eq!(fixed.spill_events(), 0, "fixed mode never looks back");
+    }
+
+    #[test]
+    fn window_mode_parses_and_rejects() {
+        assert_eq!(parse_window_mode("fixed").unwrap(), WindowMode::Fixed);
+        assert_eq!(parse_window_mode("cone").unwrap(), WindowMode::Cone);
+        assert!(parse_window_mode("adaptive").is_err());
+        assert!(
+            SessionRequest::from_json("{\"window_mode\": \"adaptive\"}").is_err(),
+            "bad mode on the wire is rejected, not defaulted"
+        );
     }
 
     #[test]

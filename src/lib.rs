@@ -46,8 +46,8 @@ pub use rvcore::{
     encode, encode_with_skeleton, extract_witness, Cone, ConsistencyMode, DetectionReport,
     DetectionStats, DetectorConfig, EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram,
     Metrics, PhaseTimer, PublishedSet, RaceDetector, RaceReport, SolverTotals, StreamDetection,
-    Tier, TierAnalysis, TierDecision, UndecidedReason, WindowResult, WindowSkeleton, Witness,
-    METRICS_SCHEMA_VERSION,
+    Tier, TierAnalysis, TierDecision, UndecidedReason, WindowMode, WindowResult, WindowSkeleton,
+    Witness, METRICS_SCHEMA_VERSION, SPILL_EVENT_BYTES,
 };
 // `rvinstrument::Session` (below) already owns the bare `Session` name, so
 // the daemon-side detection session is re-exported as `DetectionSession`.

@@ -2,18 +2,24 @@
 //! observability PR's detection pipeline), `BENCH_pr4.json` (the
 //! streaming PR's whole-file-vs-streamed comparison), `BENCH_pr5.json`
 //! (the relevance-slicing on/off comparison), `BENCH_pr6.json` (the
-//! tiered-cascade on/off comparison) and `BENCH_pr7.json` (the
-//! multi-tenant session manager vs solo runs). Each smoke run must emit a
-//! document that validates, parses with the in-tree JSON reader, and
-//! carries the invariants the schema documents.
+//! tiered-cascade on/off comparison), `BENCH_pr7.json` (the
+//! multi-tenant session manager vs solo runs) and `BENCH_pr8.json` (the
+//! fixed-vs-cone window-mode comparison on boundary-handoff workloads).
+//! Each smoke run must emit a document that validates, parses with the
+//! in-tree JSON reader, and carries the invariants the schema documents.
 //!
 //! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` /
-//! `BENCH_PR6_PATH` / `BENCH_PR7_PATH` are set (CI's bench-smoke steps
-//! export them after running the `pipeline`, `stream_pipeline`,
-//! `slice_pipeline`, `tier_pipeline` and `serve_pipeline` binaries), the
-//! files they name are validated too, so a committed or freshly generated
-//! document cannot drift from the schema.
+//! `BENCH_PR6_PATH` / `BENCH_PR7_PATH` / `BENCH_PR8_PATH` are set (CI's
+//! bench-smoke steps export them after running the `pipeline`,
+//! `stream_pipeline`, `slice_pipeline`, `tier_pipeline`, `serve_pipeline`
+//! and `boundary_pipeline` binaries), the files they name are validated
+//! too, so a committed or freshly generated document cannot drift from
+//! the schema.
 
+use rvbench::boundary::{
+    run_boundary_pipeline, smoke_boundary_workloads, validate_boundary_bench_json,
+    BoundaryBenchOptions, BOUNDARY_BENCH_SCHEMA_VERSION, BOUNDARY_BENCH_SUITE,
+};
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
 };
@@ -572,4 +578,133 @@ fn serve_validator_rejects_corruption() {
 #[test]
 fn generated_serve_bench_file_validates_when_present() {
     validate_env_bench_file("BENCH_PR7_PATH", validate_serve_bench_json);
+}
+
+// ---------------------------------------------------------- BENCH_pr8
+
+/// The smoke workload set itself: it already contains the oracle micro
+/// workload, a small handoff and the non-straddling control, and runs in
+/// about a second.
+fn boundary_document() -> String {
+    run_boundary_pipeline(
+        &smoke_boundary_workloads(),
+        &BoundaryBenchOptions::default(),
+        "smoke",
+    )
+}
+
+/// The window-mode comparison emits a valid version-1 `pr8` document.
+#[test]
+fn boundary_run_validates_against_schema() {
+    let json = boundary_document();
+    validate_boundary_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, the fixed-mode blindness
+/// and cone-mode recovery on every straddling workload, mode equality on
+/// the control, and at least one oracle-confirmed fixed-mode miss —
+/// independent of the validator's own logic.
+#[test]
+fn boundary_run_parses_and_keeps_invariants() {
+    let json = boundary_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        BOUNDARY_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        BOUNDARY_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    // The smoke micro workload is oracle-arbitered: at least one race cone
+    // mode reports and fixed mode misses is independently proved real.
+    assert!(
+        doc.field("oracle_confirmed_misses")
+            .and_then(|v| v.as_int())
+            .unwrap()
+            >= 1
+    );
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 3);
+    for w in entries {
+        let straddling = w.field("straddling").and_then(|v| v.as_bool()).unwrap();
+        let run = |key: &str, field: &str| {
+            w.field(key)
+                .and_then(|p| p.field(field))
+                .and_then(|v| v.as_int())
+                .unwrap()
+        };
+        // Fixed windows never look back: no straddle activity, ever.
+        for counter in [
+            "straddle_cops",
+            "straddle_races",
+            "boundary_over_budget",
+            "spill_peak_events",
+        ] {
+            assert_eq!(run("fixed", counter), 0, "{counter}");
+        }
+        if straddling {
+            // Every racing pair is astride a boundary by construction:
+            // fixed mode is blind, the straddle pass recovers them all.
+            assert_eq!(run("fixed", "races"), 0);
+            assert!(run("cone", "races") >= 1);
+            assert_eq!(run("cone", "races"), run("cone", "straddle_races"));
+            assert_eq!(run("cone", "boundary_over_budget"), 0);
+        } else {
+            // Off the boundaries the modes must coincide exactly.
+            for what in ["races", "straddle_races", "spill_peak_events", "undecided"] {
+                assert_eq!(run("fixed", what), run("cone", what), "{what}");
+            }
+            assert!(run("fixed", "races") >= 1, "the control plants a race");
+        }
+    }
+}
+
+/// The window-mode validator rejects tampered documents pointedly.
+#[test]
+fn boundary_validator_rejects_corruption() {
+    let json = boundary_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr8\"", "\"suite\": \"pr7\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+        // A fixed run with straddle activity breaks the mode contract.
+        (
+            "\"straddle_cops\": 0, \"straddle_races\": 0",
+            "\"straddle_cops\": 1, \"straddle_races\": 0",
+            "never look back",
+        ),
+        // Losing every oracle confirmation breaks the evidence chain.
+        (
+            "\"oracle_confirmed_misses\": 1",
+            "\"oracle_confirmed_misses\": 0",
+            "oracle_confirmed_misses",
+        ),
+    ] {
+        let tampered = json.replacen(needle, replacement, 1);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_boundary_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR8_PATH` at a generated
+/// `BENCH_pr8.json`, it must satisfy the same schema — fixed runs free of
+/// straddle activity, spill residency within budget, cone strictly ahead
+/// on straddling workloads, modes identical on the control, and at least
+/// one oracle-confirmed miss. Skipped when the variable is unset.
+#[test]
+fn generated_boundary_bench_file_validates_when_present() {
+    validate_env_bench_file("BENCH_PR8_PATH", validate_boundary_bench_json);
 }

@@ -47,6 +47,26 @@ fn multi_window_trace() -> Trace {
     b.finish()
 }
 
+/// Like [`multi_window_trace`], but the only racing pair sits *astride*
+/// the 300-event window boundaries: t1's write to `x` lands in window 0
+/// and t2's conflicting read lands in the last window, with only
+/// thread-private filler in between. Fixed windows cannot see the pair;
+/// cone mode must.
+fn straddling_multi_window_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let t2 = b.fork(ThreadId::MAIN);
+    b.write(ThreadId::MAIN, x, 1);
+    let a = b.var("a");
+    let c = b.var("c");
+    for i in 0..700i64 {
+        b.write(ThreadId::MAIN, a, i);
+        b.write(t2, c, i);
+    }
+    b.read(t2, x, 1);
+    b.finish()
+}
+
 /// Same trace with one torn read in window 2 (a value no write produced),
 /// so strict mode rejects it and `--lenient` must salvage.
 fn damaged_multi_window_trace() -> Trace {
@@ -434,6 +454,187 @@ fn no_tiers_runs_are_report_identical_across_formats() {
     assert_eq!(
         verdict_counts[0], verdict_counts[1],
         "--no-tiers changed a verdict counter"
+    );
+}
+
+/// The cone-mode matrix (PR 8): on a trace whose only racing pair sits
+/// astride window boundaries, `--window-mode cone` reports the race
+/// byte-identically across wire formats (file JSON, streamed JSON,
+/// streamed NDJSON, stdin) and `--jobs` 1/2/4/8 — while `--window-mode
+/// fixed` on the same trace stays blind (exit 0, no race), which is
+/// exactly the blindness the cone matrix certifies against.
+#[test]
+fn cone_mode_straddle_runs_are_byte_identical_across_drivers() {
+    let trace = straddling_multi_window_trace();
+    let json_path = dir().join("straddle.json");
+    let nd_path = dir().join("straddle.ndjson");
+    let json = rvpredict::to_json(&trace);
+    std::fs::write(&json_path, &json).unwrap();
+    std::fs::write(&nd_path, rvpredict::to_ndjson(&trace)).unwrap();
+    let json_path = json_path.to_str().unwrap();
+
+    // Fixed mode is blind to the straddling pair: clean exit, no race.
+    let fixed = Command::new(bin())
+        .args(["--window", "300", "--window-mode", "fixed", json_path])
+        .output()
+        .expect("binary runs");
+    assert_eq!(fixed.status.code(), Some(0), "fixed mode sees no race");
+    assert!(
+        String::from_utf8_lossy(&fixed.stdout).contains("0 race(s)"),
+        "{}",
+        String::from_utf8_lossy(&fixed.stdout)
+    );
+
+    let base_args = ["--window", "300", "--window-mode", "cone", "--jobs", "1"];
+    let (base_code, base_out, base_counts) =
+        run_with_metrics(&base_args, json_path, "m-straddle-base.json");
+    assert_eq!(base_code, 1, "cone mode reports the straddling race");
+    assert!(base_out.contains("1 race(s)"), "{base_out}");
+    assert!(
+        base_counts.contains("\"detector.boundary.straddle_races\": 1"),
+        "{base_counts}"
+    );
+    let strip_wire = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("trace.ingest.bytes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    for jobs in JOBS {
+        // Whole-file and streamed JSON: everything byte-identical.
+        for stream in [false, true] {
+            let mut args = vec!["--window", "300", "--window-mode", "cone", "--jobs", jobs];
+            if stream {
+                args.push("--stream");
+            }
+            let name = format!("m-straddle-{jobs}-{stream}.json");
+            let (code, out, counts) = run_with_metrics(&args, json_path, &name);
+            assert_eq!(code, base_code, "jobs={jobs} stream={stream}");
+            assert_eq!(
+                out, base_out,
+                "cone stdout drifted at jobs={jobs} stream={stream}"
+            );
+            assert_eq!(
+                counts, base_counts,
+                "cone metrics drifted at jobs={jobs} stream={stream}"
+            );
+        }
+        // Streamed NDJSON: identical modulo the wire-size counter.
+        let (code, out, counts) = run_with_metrics(
+            &[
+                "--window",
+                "300",
+                "--window-mode",
+                "cone",
+                "--jobs",
+                jobs,
+                "--stream",
+            ],
+            nd_path.to_str().unwrap(),
+            &format!("m-straddle-nd-{jobs}.json"),
+        );
+        assert_eq!(code, base_code, "ndjson jobs={jobs}");
+        assert_eq!(out, base_out, "ndjson cone stdout drifted at jobs={jobs}");
+        assert_eq!(strip_wire(&counts), strip_wire(&base_counts));
+        // Stdin, both ingestion modes: same report text.
+        for stream in [false, true] {
+            let mut args = vec!["--window", "300", "--window-mode", "cone", "--jobs", jobs];
+            if stream {
+                args.push("--stream");
+            }
+            args.push("-");
+            let mut child = Command::new(bin())
+                .args(&args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("binary spawns");
+            child
+                .stdin
+                .take()
+                .unwrap()
+                .write_all(json.as_bytes())
+                .unwrap();
+            let out = child.wait_with_output().unwrap();
+            assert_eq!(out.status.code(), Some(base_code), "stdin jobs={jobs}");
+            assert_eq!(
+                stripped_stdout(&out),
+                base_out,
+                "stdin cone stdout drifted at jobs={jobs} stream={stream}"
+            );
+        }
+    }
+}
+
+/// On a trace with no boundary-straddling conflicting pair, `--window-mode
+/// cone` (the default) and `--window-mode fixed` are byte-identical —
+/// stdout, exit code and count-type metrics — whole-file and streamed, at
+/// several worker counts. Passing no flag at all equals passing `cone`
+/// explicitly.
+#[test]
+fn fixed_and_cone_match_on_non_straddling_traces() {
+    let trace = multi_window_trace();
+    let path = dir().join("no-straddle.json");
+    std::fs::write(&path, rvpredict::to_json(&trace)).unwrap();
+    let path = path.to_str().unwrap();
+
+    let (base_code, base_out, base_counts) = run_with_metrics(
+        &["--window", "300", "--jobs", "1"],
+        path,
+        "m-mode-default.json",
+    );
+    assert_eq!(base_code, 1, "the in-window head COP still races");
+    for mode in ["fixed", "cone"] {
+        for jobs in ["1", "4"] {
+            for stream in [false, true] {
+                let mut args = vec!["--window", "300", "--window-mode", mode, "--jobs", jobs];
+                if stream {
+                    args.push("--stream");
+                }
+                let name = format!("m-mode-{mode}-{jobs}-{stream}.json");
+                let (code, out, counts) = run_with_metrics(&args, path, &name);
+                assert_eq!(code, base_code, "mode={mode} jobs={jobs} stream={stream}");
+                assert_eq!(
+                    out, base_out,
+                    "stdout drifted at mode={mode} jobs={jobs} stream={stream}"
+                );
+                assert_eq!(
+                    counts, base_counts,
+                    "metrics drifted at mode={mode} jobs={jobs} stream={stream}"
+                );
+            }
+        }
+    }
+}
+
+/// The CLI degradation contract for a starved `--spill-budget`: the
+/// straddling race is not reported, the COP surfaces as undecided, and
+/// the exit code says "race freedom not established" (3) instead of 0.
+#[test]
+fn spill_budget_zero_degrades_via_cli() {
+    let trace = straddling_multi_window_trace();
+    let path = dir().join("straddle-starved.json");
+    std::fs::write(&path, rvpredict::to_json(&trace)).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "--window",
+            "300",
+            "--window-mode",
+            "cone",
+            "--spill-budget",
+            "0",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "degraded, not falsely clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 race(s)"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("undecided") && stderr.contains("race freedom is not established"),
+        "{stderr}"
     );
 }
 
