@@ -13,6 +13,10 @@
 use std::process::ExitCode;
 
 use rvbench::boundary::{boundary_control_workload, boundary_handoff_workload};
+use rvbench::kind::{
+    atomicity_workload, channel_workload, deadlock_workload, gated_deadlock_workload,
+    rwlock_racy_workload, rwlock_workload,
+};
 use rvbench::serve::tenant_mix_workload;
 use rvbench::slice::wide_window_workload;
 use rvbench::stream::racy_stream_workload;
@@ -35,11 +39,17 @@ fn named_workload(name: &str) -> Option<Workload> {
         "tenant_mix" => tenant_mix_workload("tenant_mix", 60),
         "boundary_handoff" => boundary_handoff_workload("boundary_handoff", 1_000, 4),
         "boundary_control" => boundary_control_workload("boundary_control", 1_000, 4),
+        "deadlock_micro" => deadlock_workload("deadlock_micro", 1),
+        "deadlock_gated" => gated_deadlock_workload("deadlock_gated"),
+        "atomicity_micro" => atomicity_workload("atomicity_micro", 1),
+        "rwlock_guarded" => rwlock_workload("rwlock_guarded", 2),
+        "rwlock_shared_readers" => rwlock_racy_workload("rwlock_shared_readers"),
+        "channel_pipeline" => channel_workload("channel_pipeline", 2),
         _ => return None,
     })
 }
 
-const WORKLOAD_NAMES: [&str; 14] = [
+const WORKLOAD_NAMES: [&str; 20] = [
     "figure1",
     "figure2_read",
     "array_index",
@@ -54,6 +64,12 @@ const WORKLOAD_NAMES: [&str; 14] = [
     "tenant_mix",
     "boundary_handoff",
     "boundary_control",
+    "deadlock_micro",
+    "deadlock_gated",
+    "atomicity_micro",
+    "rwlock_guarded",
+    "rwlock_shared_readers",
+    "channel_pipeline",
 ];
 
 fn main() -> ExitCode {

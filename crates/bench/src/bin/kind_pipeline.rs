@@ -1,0 +1,96 @@
+//! The `BENCH_pr9.json` generator: the multi-class violation benchmark
+//! behind the `--kind` axis (race / deadlock / atomicity).
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin kind_pipeline -- [--out BENCH_pr9.json]
+//!     [--smoke] [--budget SECS] [--jobs N]
+//! ```
+//!
+//! By default runs the full set including the multi-cycle and
+//! multi-counter workloads; `--smoke` restricts the run to the micro
+//! workloads (sub-second, for CI smoke checks). The emitted document
+//! conforms to [`rvbench::kind`]'s schema and is validated before it is
+//! written.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rvbench::kind::{
+    full_kind_workloads, run_kind_pipeline, smoke_kind_workloads, validate_kind_bench_json,
+    KindBenchOptions,
+};
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr9.json".to_string();
+    let mut smoke = false;
+    let mut opts = KindBenchOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = value(i) else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--budget" => {
+                match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => opts.solver_timeout = Duration::from_secs(v),
+                    None => {
+                        eprintln!("error: --budget needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                match value(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => opts.jobs = v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: kind_pipeline [--out PATH] [--smoke] [--budget SECS] [--jobs N]");
+                if other != "--help" && other != "-h" {
+                    eprintln!("error: unknown option {other}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (workloads, mode) = if smoke {
+        (smoke_kind_workloads(), "smoke")
+    } else {
+        (full_kind_workloads(), "full")
+    };
+    eprintln!(
+        "kind_pipeline: {} workload(s), jobs={}, mode={}",
+        workloads.len(),
+        opts.jobs,
+        mode
+    );
+    let json = run_kind_pipeline(&workloads, &opts, mode);
+    if let Err(e) = validate_kind_bench_json(&json) {
+        eprintln!("error: generated document violates its own schema: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("kind_pipeline: wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,642 @@
+//! Multi-class violation benchmark: the `BENCH_pr9.json` harness mode.
+//!
+//! Runs the `--kind` axis end to end: predictive deadlock detection on
+//! lock-inversion workloads (with a gate-lock control that must be
+//! *refuted*, not missed), atomicity detection on lost-update workloads,
+//! and race detection over the extended event vocabulary (rwlock
+//! read/write modes, channel send/recv links). Micro workloads small
+//! enough for the brute-force maximal-causal-model oracle are arbitered
+//! against it, and the committed document must show every arbitered
+//! workload in agreement.
+//!
+//! ```sh
+//! cargo run -p rvbench --release --bin kind_pipeline -- --out BENCH_pr9.json
+//! ```
+//!
+//! # Document schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "pr9",
+//!   "mode": "full",
+//!   "jobs": 4,
+//!   "oracle_checked": 5,
+//!   "oracle_agreements": 5,
+//!   "workloads": [
+//!     {"name": "deadlock_micro", "kind": "deadlock", "events": 12,
+//!      "expect_violations": true,
+//!      "run": {"violations": 1, "candidates": 2, "sat": 1, "unsat": 1,
+//!              "unknown": 0, "wall_time_us": 1234}}
+//!   ]
+//! }
+//! ```
+//!
+//! Every workload's `unknown` must be zero (the micro traces are far under
+//! any budget), `violations > 0` must match the workload's
+//! `expect_violations` by construction, every control workload that
+//! expects none must still show `unsat ≥ 1` (the candidate was refuted by
+//! the solver, not missed by enumeration — except the race controls,
+//! which may be screened before the solver), and `oracle_agreements`
+//! must equal `oracle_checked` with at least two workloads arbitered.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rvcore::{
+    oracle_atomicity, oracle_deadlocks, oracle_races, AtomicityDetector, DeadlockDetector,
+    DetectorConfig, RaceDetector,
+};
+use rvsim::workloads::Workload;
+use rvtrace::{parse_json, RaceSignature, ThreadId, TraceBuilder, ViewExt};
+
+/// Version of the `BENCH_pr9.json` document. Bumped on any incompatible
+/// change (key renames, section shape).
+pub const KIND_BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The suite tag stamped into every document this harness emits.
+pub const KIND_BENCH_SUITE: &str = "pr9";
+
+/// Detection knobs for a kind-bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct KindBenchOptions {
+    /// Per-candidate solver budget.
+    pub solver_timeout: Duration,
+    /// Worker threads for the race runs (the deadlock/atomicity passes
+    /// are single-threaded by design).
+    pub jobs: usize,
+}
+
+impl Default for KindBenchOptions {
+    fn default() -> Self {
+        KindBenchOptions {
+            solver_timeout: Duration::from_secs(10),
+            jobs: 4,
+        }
+    }
+}
+
+/// One benchmark entry: the workload, the violation class it exercises,
+/// and what the analysis must conclude on it by construction.
+#[derive(Debug)]
+pub struct KindWorkload {
+    /// The named trace.
+    pub workload: Workload,
+    /// The class the entry exercises: `race`, `deadlock` or `atomicity`.
+    pub kind: &'static str,
+    /// Whether the analysis must report at least one violation.
+    pub expect_violations: bool,
+    /// Whether the trace is small enough for the brute-force oracle and
+    /// should be arbitered against it.
+    pub oracle_checkable: bool,
+}
+
+/// Builds a lock-inversion workload: `inversions` independent pairs of
+/// threads, each pair taking its own two locks in opposite orders — every
+/// inversion is one predictable deadlock cycle.
+pub fn deadlock_workload(name: &str, inversions: usize) -> Workload {
+    assert!(inversions >= 1);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    for k in 0..inversions {
+        let la = b.new_lock(&format!("la{k}"));
+        let lb = b.new_lock(&format!("lb{k}"));
+        let t1 = b.fork(main);
+        let t2 = b.fork(main);
+        b.acquire(t1, la);
+        b.acquire(t1, lb);
+        b.release(t1, lb);
+        b.release(t1, la);
+        b.acquire(t2, lb);
+        b.acquire(t2, la);
+        b.release(t2, la);
+        b.release(t2, lb);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The gate-lock control: the same inversion as [`deadlock_workload`],
+/// but both threads take a common gate lock around their nested pair —
+/// the cycle candidate exists syntactically but no feasible reordering
+/// reaches the circular wait. The analysis must *refute* it (`unsat ≥ 1`),
+/// not fail to enumerate it.
+pub fn gated_deadlock_workload(name: &str) -> Workload {
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let g = b.new_lock("g");
+    let la = b.new_lock("la");
+    let lb = b.new_lock("lb");
+    let t1 = b.fork(main);
+    let t2 = b.fork(main);
+    for (t, (first, second)) in [(t1, (la, lb)), (t2, (lb, la))] {
+        b.acquire(t, g);
+        b.acquire(t, first);
+        b.acquire(t, second);
+        b.release(t, second);
+        b.release(t, first);
+        b.release(t, g);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// Builds a lost-update workload: `counters` shared variables, each
+/// updated by an unprotected read-modify-write pair on two threads —
+/// every counter is at least one predictable atomicity violation.
+pub fn atomicity_workload(name: &str, counters: usize) -> Workload {
+    assert!(counters >= 1);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    for k in 0..counters {
+        let x = b.var(&format!("x{k}"));
+        let t1 = b.fork(main);
+        let t2 = b.fork(main);
+        b.read(t1, x, 0);
+        b.write(t1, x, 1);
+        b.read(t2, x, 1);
+        b.write(t2, x, 2);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// Builds an rwlock workload: one writer updating `x` under the write
+/// mode, `readers` reader threads loading it under the read mode. The
+/// write/read-mode exclusion serializes every access pair — race-free by
+/// construction.
+pub fn rwlock_workload(name: &str, readers: usize) -> Workload {
+    assert!(readers >= 1);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let l = b.new_lock("l");
+    let x = b.var("x");
+    let ts: Vec<_> = (0..readers).map(|_| b.fork(main)).collect();
+    b.acquire(main, l);
+    b.write(main, x, 1);
+    b.release(main, l);
+    for t in ts {
+        b.acquire_read(t, l);
+        b.read(t, x, 1);
+        b.release_read(t, l);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The racy rwlock variant: the writer *also* uses the read mode, so two
+/// read-mode critical sections overlap and the write/read pair races —
+/// read mode is shared, and the model must say so.
+pub fn rwlock_racy_workload(name: &str) -> Workload {
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let l = b.new_lock("l");
+    let x = b.var("x");
+    let t = b.fork(main);
+    b.acquire_read(main, l);
+    b.write(main, x, 1);
+    b.release_read(main, l);
+    b.acquire_read(t, l);
+    b.read(t, x, 1);
+    b.release_read(t, l);
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// Builds a channel workload: a producer writes `x_i` then sends on the
+/// channel; the consumer receives (linked) then reads `x_i`. Every
+/// cross-thread access pair is ordered by a message link — race-free by
+/// construction.
+pub fn channel_workload(name: &str, messages: usize) -> Workload {
+    assert!(messages >= 1);
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let c = b.new_chan("c");
+    let consumer = b.fork(main);
+    for i in 0..messages {
+        let x = b.var(&format!("x{i}"));
+        b.write(main, x, i as i64);
+        let s = b.send(main, c);
+        b.recv(consumer, c, Some(s));
+        b.read(consumer, x, i as i64);
+    }
+    Workload {
+        name: name.to_string(),
+        trace: b.finish(),
+    }
+}
+
+/// The smoke set: one micro workload per class plus the refutation and
+/// vocabulary controls — seconds, for CI.
+pub fn smoke_kind_workloads() -> Vec<KindWorkload> {
+    vec![
+        KindWorkload {
+            workload: deadlock_workload("deadlock_micro", 1),
+            kind: "deadlock",
+            expect_violations: true,
+            oracle_checkable: true,
+        },
+        KindWorkload {
+            workload: gated_deadlock_workload("deadlock_gated"),
+            kind: "deadlock",
+            expect_violations: false,
+            oracle_checkable: true,
+        },
+        KindWorkload {
+            workload: atomicity_workload("atomicity_micro", 1),
+            kind: "atomicity",
+            expect_violations: true,
+            oracle_checkable: true,
+        },
+        KindWorkload {
+            workload: rwlock_workload("rwlock_guarded", 2),
+            kind: "race",
+            expect_violations: false,
+            oracle_checkable: true,
+        },
+        KindWorkload {
+            workload: rwlock_racy_workload("rwlock_shared_readers"),
+            kind: "race",
+            expect_violations: true,
+            oracle_checkable: true,
+        },
+        KindWorkload {
+            workload: channel_workload("channel_pipeline", 2),
+            kind: "race",
+            expect_violations: false,
+            oracle_checkable: true,
+        },
+    ]
+}
+
+/// The full set: the smoke workloads plus multi-cycle and multi-counter
+/// versions of each class.
+pub fn full_kind_workloads() -> Vec<KindWorkload> {
+    let mut all = smoke_kind_workloads();
+    all.push(KindWorkload {
+        workload: deadlock_workload("deadlock_many", 6),
+        kind: "deadlock",
+        expect_violations: true,
+        oracle_checkable: false,
+    });
+    all.push(KindWorkload {
+        workload: atomicity_workload("atomicity_many", 8),
+        kind: "atomicity",
+        expect_violations: true,
+        oracle_checkable: false,
+    });
+    all.push(KindWorkload {
+        workload: channel_workload("channel_long", 40),
+        kind: "race",
+        expect_violations: false,
+        oracle_checkable: false,
+    });
+    all
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+struct KindRunCounts {
+    violations: u64,
+    candidates: u64,
+    sat: u64,
+    unsat: u64,
+    unknown: u64,
+    wall: Duration,
+}
+
+/// Runs one workload under its class's detector and, when the entry is
+/// oracle-checkable, returns whether the detector agreed with the
+/// brute-force oracle.
+fn run_once(entry: &KindWorkload, opts: &KindBenchOptions) -> (KindRunCounts, Option<bool>) {
+    let trace = &entry.workload.trace;
+    let cfg = DetectorConfig {
+        solver_timeout: opts.solver_timeout,
+        parallelism: opts.jobs,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    match entry.kind {
+        "deadlock" => {
+            let report = DeadlockDetector { config: cfg }.detect(trace);
+            let wall = t0.elapsed();
+            let agreed = entry.oracle_checkable.then(|| {
+                let got: BTreeSet<_> = report.cycles.iter().map(|c| c.locks.clone()).collect();
+                got == oracle_deadlocks(&trace.full_view(), 24)
+            });
+            (
+                KindRunCounts {
+                    violations: report.n_cycles() as u64,
+                    candidates: report.candidates as u64,
+                    sat: report.sat as u64,
+                    unsat: report.unsat as u64,
+                    unknown: report.unknown as u64,
+                    wall,
+                },
+                agreed,
+            )
+        }
+        "atomicity" => {
+            let report = AtomicityDetector { config: cfg }.detect(trace);
+            let wall = t0.elapsed();
+            let agreed = entry.oracle_checkable.then(|| {
+                let real = oracle_atomicity(&trace.full_view(), 24);
+                (!report.violations.is_empty()) == (!real.is_empty())
+            });
+            (
+                KindRunCounts {
+                    violations: report.violations.len() as u64,
+                    candidates: report.candidates as u64,
+                    sat: report.sat as u64,
+                    unsat: report.unsat as u64,
+                    unknown: report.unknown as u64,
+                    wall,
+                },
+                agreed,
+            )
+        }
+        "race" => {
+            let report = RaceDetector::with_config(cfg).detect(trace);
+            let wall = t0.elapsed();
+            let agreed = entry.oracle_checkable.then(|| {
+                let real: BTreeSet<RaceSignature> = oracle_races(&trace.full_view(), 24)
+                    .into_iter()
+                    .map(|cop| RaceSignature::of_cop(trace, cop))
+                    .collect();
+                let got: BTreeSet<RaceSignature> = report.signatures().into_iter().collect();
+                got == real
+            });
+            (
+                KindRunCounts {
+                    violations: report.n_races() as u64,
+                    candidates: report.stats.pairs_considered as u64,
+                    sat: report.stats.sat as u64,
+                    unsat: report.stats.unsat as u64,
+                    unknown: report.stats.undecided as u64,
+                    wall,
+                },
+                agreed,
+            )
+        }
+        other => unreachable!("unknown kind {other}"),
+    }
+}
+
+/// Runs each workload under its class's detector and returns the
+/// versioned document described in the module docs.
+pub fn run_kind_pipeline(entries: &[KindWorkload], opts: &KindBenchOptions, mode: &str) -> String {
+    let mut body = String::new();
+    let mut oracle_checked = 0u64;
+    let mut oracle_agreements = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        let (run, agreed) = run_once(entry, opts);
+        if let Some(agreed) = agreed {
+            oracle_checked += 1;
+            oracle_agreements += agreed as u64;
+        }
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"events\": {}, \
+             \"expect_violations\": {},\n     \"run\": {{\"violations\": {}, \
+             \"candidates\": {}, \"sat\": {}, \"unsat\": {}, \"unknown\": {}, \
+             \"wall_time_us\": {}}}}}",
+            entry.workload.name,
+            entry.kind,
+            entry.workload.trace.len(),
+            entry.expect_violations,
+            run.violations,
+            run.candidates,
+            run.sat,
+            run.unsat,
+            run.unknown,
+            us(run.wall),
+        );
+    }
+    let mut out = String::with_capacity(body.len() + 256);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {KIND_BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"suite\": \"{KIND_BENCH_SUITE}\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(out, "  \"oracle_checked\": {oracle_checked},");
+    let _ = writeln!(out, "  \"oracle_agreements\": {oracle_agreements},");
+    out.push_str("  \"workloads\": [");
+    out.push_str(&body);
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Integer fields each run sub-object must carry, all non-negative.
+const RUN_INT_KEYS: [&str; 6] = [
+    "violations",
+    "candidates",
+    "sat",
+    "unsat",
+    "unknown",
+    "wall_time_us",
+];
+
+/// Validates a `BENCH_pr9.json` document: version/suite/mode tags, the
+/// required run keys as non-negative integers, `unknown == 0` everywhere,
+/// `violations > 0` matching each workload's `expect_violations`,
+/// `unsat ≥ 1` on every deadlock/atomicity control that expects none
+/// (refuted, not missed), full oracle agreement with at least two
+/// workloads arbitered, and at least one workload per class. Returns a
+/// description of the first violation.
+pub fn validate_kind_bench_json(json: &str) -> Result<(), String> {
+    let doc = parse_json(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .and_then(|v| v.as_int())
+        .map_err(|e| e.to_string())?;
+    if version != KIND_BENCH_SCHEMA_VERSION as i64 {
+        return Err(format!(
+            "schema_version is {version}, expected {KIND_BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let suite = doc
+        .field("suite")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if suite != KIND_BENCH_SUITE {
+        return Err(format!("suite is `{suite}`, expected `{KIND_BENCH_SUITE}`"));
+    }
+    let mode = doc
+        .field("mode")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode is `{mode}`, expected `smoke` or `full`"));
+    }
+    let jobs = doc
+        .field("jobs")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("jobs: {e}"))?;
+    if jobs <= 0 {
+        return Err(format!("jobs must be positive, got {jobs}"));
+    }
+    let checked = doc
+        .field("oracle_checked")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("oracle_checked: {e}"))?;
+    let agreements = doc
+        .field("oracle_agreements")
+        .and_then(|v| v.as_int())
+        .map_err(|e| format!("oracle_agreements: {e}"))?;
+    if checked < 2 {
+        return Err(format!(
+            "only {checked} workload(s) were oracle-arbitered; at least 2 required"
+        ));
+    }
+    if agreements != checked {
+        return Err(format!(
+            "oracle_agreements is {agreements} of {checked}: the detector disagreed \
+             with the brute-force oracle"
+        ));
+    }
+    let entries = doc
+        .field("workloads")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .map_err(|e| format!("workloads: {e}"))?;
+    if entries.is_empty() {
+        return Err("workloads array is empty".into());
+    }
+    let mut kinds_seen = BTreeSet::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("workloads[{i}].name: {e}"))?;
+        let kind = entry
+            .field("kind")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("workload `{name}`: kind: {e}"))?;
+        if !["race", "deadlock", "atomicity"].contains(&kind.as_str()) {
+            return Err(format!("workload `{name}`: unknown kind `{kind}`"));
+        }
+        kinds_seen.insert(kind.clone());
+        let events = entry
+            .field("events")
+            .and_then(|v| v.as_int())
+            .map_err(|e| format!("workload `{name}`: events: {e}"))?;
+        if events < 0 {
+            return Err(format!("workload `{name}`: events is negative ({events})"));
+        }
+        let expect = entry
+            .field("expect_violations")
+            .and_then(|v| v.as_bool())
+            .map_err(|e| format!("workload `{name}`: expect_violations: {e}"))?;
+        let run = entry
+            .field("run")
+            .map_err(|e| format!("workload `{name}`: run: {e}"))?;
+        let mut vals = [0i64; 6];
+        for (k, key) in RUN_INT_KEYS.into_iter().enumerate() {
+            let v = run
+                .field(key)
+                .and_then(|v| v.as_int())
+                .map_err(|e| format!("workload `{name}`: run.{key}: {e}"))?;
+            if v < 0 {
+                return Err(format!("workload `{name}`: run.{key} is negative ({v})"));
+            }
+            vals[k] = v;
+        }
+        let [violations, _candidates, _sat, unsat, unknown, _wall] = vals;
+        if unknown != 0 {
+            return Err(format!(
+                "workload `{name}`: {unknown} unknown verdict(s) — the micro \
+                 workloads must decide every candidate"
+            ));
+        }
+        if (violations > 0) != expect {
+            return Err(format!(
+                "workload `{name}`: expected violations={expect}, got {violations}"
+            ));
+        }
+        if !expect && kind != "race" && unsat < 1 {
+            return Err(format!(
+                "workload `{name}`: the control expects no violations but shows no \
+                 refutation (unsat=0) — the candidate was missed, not refuted"
+            ));
+        }
+    }
+    for required in ["race", "deadlock", "atomicity"] {
+        if !kinds_seen.contains(required) {
+            return Err(format!("no `{required}` workload in the document"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let d = deadlock_workload("d", 2);
+        assert_eq!(d.trace.n_locks(), 4);
+        let g = gated_deadlock_workload("g");
+        assert_eq!(g.trace.n_locks(), 3);
+        let c = channel_workload("c", 3);
+        assert_eq!(c.trace.n_chans(), 1);
+        assert!(rvtrace::check_consistency(&d.trace).is_empty());
+        assert!(rvtrace::check_consistency(&g.trace).is_empty());
+        assert!(rvtrace::check_consistency(&c.trace).is_empty());
+        assert!(rvtrace::check_consistency(&rwlock_workload("r", 2).trace).is_empty());
+        assert!(rvtrace::check_consistency(&rwlock_racy_workload("rr").trace).is_empty());
+        assert!(rvtrace::check_consistency(&atomicity_workload("a", 2).trace).is_empty());
+    }
+
+    #[test]
+    fn smoke_kind_pipeline_emits_valid_document() {
+        let json = run_kind_pipeline(
+            &smoke_kind_workloads(),
+            &KindBenchOptions::default(),
+            "smoke",
+        );
+        validate_kind_bench_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"suite\": \"pr9\""), "{json}");
+        assert!(json.contains("\"name\": \"deadlock_micro\""), "{json}");
+        assert!(json.contains("\"name\": \"deadlock_gated\""), "{json}");
+        assert!(json.contains("\"name\": \"channel_pipeline\""), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let json = run_kind_pipeline(
+            &smoke_kind_workloads(),
+            &KindBenchOptions::default(),
+            "smoke",
+        );
+        let wrong_version = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_kind_bench_json(&wrong_version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let wrong_suite = json.replace("\"suite\": \"pr9\"", "\"suite\": \"pr8\"");
+        assert!(validate_kind_bench_json(&wrong_suite)
+            .unwrap_err()
+            .contains("suite"));
+        let disagreeing = json.replace("\"oracle_agreements\": 6", "\"oracle_agreements\": 3");
+        assert!(validate_kind_bench_json(&disagreeing)
+            .unwrap_err()
+            .contains("oracle"));
+        assert!(validate_kind_bench_json("not json").is_err());
+        assert!(validate_kind_bench_json("{}").is_err());
+    }
+}

@@ -20,6 +20,9 @@
 //! * `cargo run -p rvbench --release --bin boundary_pipeline` — fixed vs
 //!   cone window mode on boundary-handoff workloads (see [`boundary`]),
 //!   emitting `BENCH_pr8.json`;
+//! * `cargo run -p rvbench --release --bin kind_pipeline` — the
+//!   multi-class violation benchmark (race/deadlock/atomicity under the
+//!   `--kind` axis, see [`kind`]), emitting `BENCH_pr9.json`;
 //! * `cargo run -p rvbench --release --bin emit_trace` — serializes a
 //!   named workload trace (JSON or NDJSON) for feeding `rvpredict`;
 //! * `cargo bench -p rvbench` — micro-benchmarks (see [`micro`]) for the
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod boundary;
+pub mod kind;
 pub mod micro;
 pub mod pipeline;
 pub mod serve;

@@ -306,6 +306,16 @@ impl<'v, 't> Encoder<'v, 't> {
             .copied()
             .collect();
         self.encode_wait_links(&links);
+        // Channel matching: each linked recv observes its send.
+        let mlinks: Vec<rvtrace::MsgLink> = trace
+            .msg_links()
+            .iter()
+            .filter(|ml| in_view(ml.send) && in_view(ml.recv))
+            .copied()
+            .collect();
+        for ml in mlinks {
+            self.assert_lt(ml.send, ml.recv);
+        }
     }
 
     /// The cone-restricted `Φ_mhb`: program order over each thread's cone
@@ -326,6 +336,19 @@ impl<'v, 't> Encoder<'v, 't> {
         }
         let links = cone.links().to_vec();
         self.encode_wait_links(&links);
+        // Channel links whose endpoints both survived the cut. (Slicing is
+        // disabled for views with extended sync events, so this arm is a
+        // defensive no-op in the detector pipeline.)
+        let mlinks: Vec<rvtrace::MsgLink> = view.trace().msg_links().to_vec();
+        for ml in mlinks {
+            if view.contains(ml.send)
+                && view.contains(ml.recv)
+                && cone.contains(view, ml.send)
+                && cone.contains(view, ml.recv)
+            {
+                self.assert_lt(ml.send, ml.recv);
+            }
+        }
     }
 
     /// Asserts the wait/notify matching constraints for `links` (each
@@ -355,6 +378,62 @@ impl<'v, 't> Encoder<'v, 't> {
         }
     }
 
+    /// The *conditional* `Φ_lock` used by deadlock prediction: mutual
+    /// exclusion is only required of spans scheduled before the deadlock
+    /// point `D`. For each cross-thread same-lock span pair the
+    /// disjunction gains `D < a₁` and `D < a₂` escape hatches: a span
+    /// whose acquire falls after `D` is outside the witness prefix and
+    /// needs no serialization. Spans open *at* `D` (acquire before,
+    /// release after) still exclude each other — all four disjuncts are
+    /// false for two such spans, which is exactly the one-holder-per-lock
+    /// invariant of the deadlocked state.
+    fn encode_lock_conditional(&mut self, d: IntVar) {
+        for lock_idx in 0..self.view.trace().n_locks() as u32 {
+            let lock = rvtrace::LockId(lock_idx);
+            if let Some(cone) = self.cone {
+                if !cone.lock_held(lock) {
+                    continue;
+                }
+            }
+            let spans = self.view.critical_sections(lock);
+            let rspans = self.view.read_critical_sections(lock);
+            let mut pairs: Vec<(&rvtrace::CsSpan, &rvtrace::CsSpan)> = Vec::new();
+            for i in 0..spans.len() {
+                for j in i + 1..spans.len() {
+                    pairs.push((&spans[i], &spans[j]));
+                }
+            }
+            for s in spans {
+                for r in rspans {
+                    pairs.push((s, r));
+                }
+            }
+            for (s1, s2) in pairs {
+                if s1.thread == s2.thread {
+                    continue;
+                }
+                let mut disjuncts: Vec<TermId> = Vec::new();
+                if let (Some(r1), Some(a2)) = (s1.release, s2.acquire) {
+                    disjuncts.push(self.lt_term(r1, a2));
+                }
+                if let (Some(r2), Some(a1)) = (s2.release, s1.acquire) {
+                    disjuncts.push(self.lt_term(r2, a1));
+                }
+                if let Some(a1) = s1.acquire {
+                    let o = self.o(a1);
+                    disjuncts.push(self.fb.lt(d, o));
+                }
+                if let Some(a2) = s2.acquire {
+                    let o = self.o(a2);
+                    disjuncts.push(self.fb.lt(d, o));
+                }
+                let t = self.fb.or_n(disjuncts);
+                self.fb.assert_term(t);
+                self.n_lock += 1;
+            }
+        }
+    }
+
     /// `Φ_lock`: for every pair of same-lock critical sections by different
     /// threads, one releases before the other acquires. With a cone, only
     /// cone-held locks are constrained — a lock no cone event holds has
@@ -375,26 +454,43 @@ impl<'v, 't> Encoder<'v, 't> {
                     if s1.thread == s2.thread {
                         continue; // ordered by program order already
                     }
-                    // s1 before s2 requires s1.release and s2.acquire in view.
-                    let d1 = match (s1.release, s2.acquire) {
-                        (Some(r1), Some(a2)) => Some(self.lt_term(r1, a2)),
-                        _ => None,
-                    };
-                    let d2 = match (s2.release, s1.acquire) {
-                        (Some(r2), Some(a1)) => Some(self.lt_term(r2, a1)),
-                        _ => None,
-                    };
-                    let t = match (d1, d2) {
-                        (Some(x), Some(y)) => self.fb.or2(x, y),
-                        (Some(x), None) => x,
-                        (None, Some(y)) => y,
-                        (None, None) => self.fb.ff(), // inconsistent input
-                    };
-                    self.fb.assert_term(t);
-                    self.n_lock += 1;
+                    self.exclusion_pair(s1, s2);
+                }
+            }
+            // Read-mode spans exclude write-mode spans (but not each
+            // other): every (write span, read span) pair is serialized.
+            let rspans = self.view.read_critical_sections(rvtrace::LockId(lock_idx));
+            for s in spans {
+                for r in rspans {
+                    if s.thread == r.thread {
+                        continue;
+                    }
+                    self.exclusion_pair(s, r);
                 }
             }
         }
+    }
+
+    /// One mutual-exclusion disjunction: `s1` wholly before `s2` or vice
+    /// versa (each direction requires its release/acquire endpoints in
+    /// view).
+    fn exclusion_pair(&mut self, s1: &rvtrace::CsSpan, s2: &rvtrace::CsSpan) {
+        let d1 = match (s1.release, s2.acquire) {
+            (Some(r1), Some(a2)) => Some(self.lt_term(r1, a2)),
+            _ => None,
+        };
+        let d2 = match (s2.release, s1.acquire) {
+            (Some(r2), Some(a1)) => Some(self.lt_term(r2, a1)),
+            _ => None,
+        };
+        let t = match (d1, d2) {
+            (Some(x), Some(y)) => self.fb.or2(x, y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => self.fb.ff(), // inconsistent input
+        };
+        self.fb.assert_term(t);
+        self.n_lock += 1;
     }
 
     /// The read-match constraint for `r` (paper §3.2, the `cf(r)`
@@ -576,7 +672,7 @@ pub(crate) fn write_sets(view: &View<'_>, r: EventId, prune: bool) -> (Vec<Event
 /// assert_eq!(solver.solve(&Budget::UNLIMITED), SmtResult::Sat);
 /// ```
 pub fn encode(view: &View<'_>, cop: Cop, opts: EncoderOptions) -> Encoded {
-    if opts.slicing_active() {
+    if opts.slicing_active() && !view.has_extended_sync() {
         let skel = WindowSkeleton::new(view);
         return encode_with_skeleton(&skel, cop, opts);
     }
@@ -592,7 +688,9 @@ pub fn encode_with_skeleton(
     cop: Cop,
     opts: EncoderOptions,
 ) -> Encoded {
-    if !opts.slicing_active() {
+    if !opts.slicing_active() || skel.view().has_extended_sync() {
+        // Conservative admission: a window with rwlock/channel events is
+        // encoded whole — the cone analysis does not model their edges.
         return encode_cop(skel.view(), cop, None, opts);
     }
     let cone = skel.cone(std::slice::from_ref(&cop), opts.prune_write_sets);
@@ -603,7 +701,29 @@ fn encode_cop(view: &View<'_>, cop: Cop, cone: Option<&Cone>, opts: EncoderOptio
     debug_assert!(view.contains(cop.first) && view.contains(cop.second));
     let mut enc = Encoder::new(view, Some(cop), cone, opts);
     enc.encode_mhb();
-    enc.encode_lock();
+    match opts.mode {
+        ConsistencyMode::ControlFlow => {
+            // The witness for a race is the prefix `{e : O_e ≤ O_cop}` —
+            // a lock region whose acquire lands past the pair needs no
+            // serialization, so Φ_lock takes the conditional form with
+            // the cut `D` pinned to the (glued) pair itself. The
+            // unconditional form would demand nested regions *behind*
+            // the pair complete, refuting e.g. the race just ahead of a
+            // two-lock inversion.
+            let d = enc.fb.int_var();
+            debug_assert_eq!(d.index(), enc.var_pos.len());
+            enc.var_pos.push(cop.first.index() as i64);
+            let o = enc.o(cop.first);
+            let le = enc.fb.diff_le(d, o, 0);
+            enc.fb.assert_term(le);
+            let ge = enc.fb.diff_le(o, d, 0);
+            enc.fb.assert_term(ge);
+            enc.encode_lock_conditional(d);
+        }
+        // Said et al. predict over whole-trace reorderings; full spans
+        // keep the baseline's published (non-maximal) discipline.
+        ConsistencyMode::WholeTrace => enc.encode_lock(),
+    }
     let required_branches = enc.encode_race(cop);
     let n_cf_vars = enc.cf_cache.len();
     let n_constraints = enc.fb.asserted().len();
@@ -676,7 +796,7 @@ impl EncodedWindow {
 /// window's COPs (one skeleton built internally; use
 /// [`encode_window_with_skeleton`] to share one across calls).
 pub fn encode_window(view: &View<'_>, cops: &[Cop], opts: EncoderOptions) -> EncodedWindow {
-    if opts.slicing_active() {
+    if opts.slicing_active() && !view.has_extended_sync() {
         let skel = WindowSkeleton::new(view);
         return encode_window_with_skeleton(&skel, cops, opts);
     }
@@ -689,7 +809,7 @@ pub fn encode_window_with_skeleton(
     cops: &[Cop],
     opts: EncoderOptions,
 ) -> EncodedWindow {
-    if !opts.slicing_active() {
+    if !opts.slicing_active() || skel.view().has_extended_sync() {
         return encode_window_cops(skel.view(), cops, None, opts);
     }
     let cone = skel.cone(cops, opts.prune_write_sets);
@@ -704,7 +824,28 @@ fn encode_window_cops(
 ) -> EncodedWindow {
     let mut enc = Encoder::new(view, None, cone, opts);
     enc.encode_mhb();
-    enc.encode_lock();
+    // Shared prefix cut `D`: queries assume exactly one selector, and each
+    // selector pins `D` onto its own COP, so one variable serves every
+    // COP's conditional Φ_lock (see `encode_cop` for why the maximal mode
+    // must not demand post-pair lock regions complete).
+    let dvar = match opts.mode {
+        ConsistencyMode::ControlFlow => {
+            let d = enc.fb.int_var();
+            debug_assert_eq!(d.index(), enc.var_pos.len());
+            enc.var_pos.push(
+                cops.iter()
+                    .map(|c| c.second.index() as i64)
+                    .max()
+                    .unwrap_or(0),
+            );
+            enc.encode_lock_conditional(d);
+            Some(d)
+        }
+        ConsistencyMode::WholeTrace => {
+            enc.encode_lock();
+            None
+        }
+    };
     if opts.mode == ConsistencyMode::WholeTrace {
         // Whole-trace read consistency is COP-independent: assert it once.
         let reads: Vec<EventId> = view
@@ -726,6 +867,11 @@ fn encode_window_cops(
         let up = enc.fb.diff_le(ob, oa, 1);
         let lo = enc.fb.diff_le(oa, ob, -1);
         let mut obligations = vec![up, lo];
+        if let Some(d) = dvar {
+            // This COP's cut: D == O_b (the later of the glued pair).
+            obligations.push(enc.fb.diff_le(d, ob, 0));
+            obligations.push(enc.fb.diff_le(ob, d, 0));
+        }
         let mut branches = Vec::new();
         if opts.mode == ConsistencyMode::ControlFlow {
             for e in [cop.first, cop.second] {
@@ -774,7 +920,28 @@ pub fn encode_between(
 ) -> EncodedWindow {
     let mut enc = Encoder::new(view, None, None, opts);
     enc.encode_mhb();
-    enc.encode_lock();
+    // As for races: the violation witness is the prefix ending at the
+    // serialized triple, so the maximal mode takes conditional Φ_lock
+    // with the shared cut pinned per-selector onto `a2`.
+    let dvar = match opts.mode {
+        ConsistencyMode::ControlFlow => {
+            let d = enc.fb.int_var();
+            debug_assert_eq!(d.index(), enc.var_pos.len());
+            enc.var_pos.push(
+                triples
+                    .iter()
+                    .map(|t| t.2.index() as i64)
+                    .max()
+                    .unwrap_or(0),
+            );
+            enc.encode_lock_conditional(d);
+            Some(d)
+        }
+        ConsistencyMode::WholeTrace => {
+            enc.encode_lock();
+            None
+        }
+    };
     if opts.mode == ConsistencyMode::WholeTrace {
         let reads: Vec<EventId> = view
             .ids()
@@ -792,6 +959,11 @@ pub fn encode_between(
         let lt1 = enc.lt_term(a1, b);
         let lt2 = enc.lt_term(b, a2);
         let mut obligations = vec![lt1, lt2];
+        if let Some(d) = dvar {
+            let o2 = enc.o(a2);
+            obligations.push(enc.fb.diff_le(d, o2, 0));
+            obligations.push(enc.fb.diff_le(o2, d, 0));
+        }
         let mut branches = Vec::new();
         if opts.mode == ConsistencyMode::ControlFlow {
             for e in [a1, b, a2] {
@@ -820,6 +992,130 @@ pub fn encode_between(
         var_pos: enc.var_pos,
         cone_events: view.len(),
         window_events: view.len(),
+        n_constraints,
+    }
+}
+
+/// The compiled constraint system for one candidate deadlock cycle: `Φ_mhb`
+/// plus the *conditional* `Φ_lock`, a fresh order variable `D` (the deadlock
+/// point), per-branch feasibility obligations `D < O_b ∨ cf(b)`, and the
+/// cycle constraints pinning each blocked acquire just after `D`. See
+/// [`deadlock`](crate::deadlock) and DESIGN.md ("Violation classes").
+#[derive(Debug)]
+pub struct EncodedDeadlock {
+    /// The formula.
+    pub fb: FormulaBuilder,
+    /// Order variable per view offset.
+    pub ovars: Vec<IntVar>,
+    /// Start of the view range.
+    pub view_start: usize,
+    /// The deadlock-point variable `D`.
+    pub dvar: IntVar,
+    /// Original trace position per order variable (phase hints).
+    pub var_pos: Vec<i64>,
+    /// Total asserted constraints in the formula.
+    pub n_constraints: usize,
+}
+
+impl EncodedDeadlock {
+    /// The order variable of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is outside the encoded view.
+    pub fn ovar(&self, e: EventId) -> IntVar {
+        self.ovars[e.index() - self.view_start]
+    }
+
+    /// Phase hint from the original trace order (see [`Encoded::phase_hint`]).
+    pub fn phase_hint(&self, atom: &rvsmt::Atom) -> bool {
+        let p = |v: rvsmt::IntVar| self.var_pos.get(v.index()).copied().unwrap_or(0);
+        p(atom.x) - p(atom.y) <= atom.k
+    }
+}
+
+/// Encodes the predictive-deadlock problem for one candidate cycle: the
+/// formula is satisfiable iff some feasible reordering of the window
+/// reaches a state where each `cycle[i]` is its thread's next event and the
+/// requested lock is held by the next cycle thread (circular wait). The
+/// satisfying model's `{e : O_e < D}` prefix, sorted by model value, is the
+/// witness — a consistent, data-abstract, deadlocked partial schedule.
+///
+/// `cycle` holds the blocked acquire events, one per cycle thread, each
+/// preceded in program order by the acquire of the lock it contributes to
+/// the cycle. Never slices: the cone analysis does not model the prefix
+/// obligations.
+pub fn encode_deadlock(
+    view: &View<'_>,
+    cycle: &[EventId],
+    opts: EncoderOptions,
+) -> EncodedDeadlock {
+    let mut enc = Encoder::new(view, None, None, opts);
+    enc.encode_mhb();
+    // D: the deadlock point every witness event precedes.
+    let d = enc.fb.int_var();
+    debug_assert_eq!(d.index(), enc.var_pos.len());
+    // Near-model hint: just before the earliest blocked acquire.
+    enc.var_pos
+        .push(cycle.iter().map(|a| a.index() as i64).min().unwrap_or(0));
+    enc.encode_lock_conditional(d);
+    // Prefix feasibility: every branch scheduled before D is concretely
+    // feasible (control flow), or every read before D keeps its observed
+    // value (the whole-trace baseline discipline).
+    match opts.mode {
+        ConsistencyMode::ControlFlow => {
+            let branches: Vec<EventId> = view
+                .ids()
+                .filter(|&id| view.event(id).kind.is_branch())
+                .collect();
+            for b in branches {
+                let ob = enc.o(b);
+                let after_d = enc.fb.lt(d, ob);
+                let cfb = enc.cf(b);
+                let t = enc.fb.or2(after_d, cfb);
+                enc.fb.assert_term(t);
+            }
+        }
+        ConsistencyMode::WholeTrace => {
+            let reads: Vec<EventId> = view
+                .ids()
+                .filter(|&id| view.event(id).kind.is_read())
+                .collect();
+            for r in reads {
+                let or_ = enc.o(r);
+                let after_d = enc.fb.lt(d, or_);
+                let m = enc.read_match(r, false);
+                let t = enc.fb.or2(after_d, m);
+                enc.fb.assert_term(t);
+            }
+        }
+    }
+    // The cycle: each blocked acquire sits just past D — its program-order
+    // prefix (which includes the hold of its contributed lock, but not the
+    // release) is in the witness, the acquire itself is not.
+    for &a in cycle {
+        let t = view.event(a).thread;
+        let evs = view.thread_events(t);
+        let pos = evs
+            .iter()
+            .position(|&x| x == a)
+            .expect("cycle event in view");
+        if pos > 0 {
+            let op = enc.o(evs[pos - 1]);
+            let t = enc.fb.lt(op, d);
+            enc.fb.assert_term(t);
+        }
+        let oa = enc.o(a);
+        let t = enc.fb.lt(d, oa);
+        enc.fb.assert_term(t);
+    }
+    let n_constraints = enc.fb.asserted().len();
+    EncodedDeadlock {
+        fb: enc.fb,
+        ovars: enc.ovars,
+        view_start: enc.view_start,
+        dvar: d,
+        var_pos: enc.var_pos,
         n_constraints,
     }
 }

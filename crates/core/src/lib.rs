@@ -44,6 +44,7 @@
 pub mod atomicity;
 mod config;
 mod cop;
+pub mod deadlock;
 mod detector;
 mod encoder;
 pub mod metrics;
@@ -61,13 +62,14 @@ pub use config::{
     ConsistencyMode, DetectorConfig, Fault, FaultPlan, WindowMode, SPILL_EVENT_BYTES,
 };
 pub use cop::{enumerate_cops, quick_check, CopEnumeration, QuickCheckVerdict};
+pub use deadlock::{DeadlockCycle, DeadlockDetector, DeadlockReport};
 pub use detector::{PublishedSet, RaceDetector, StreamDetection, WindowResult};
 pub use encoder::{
-    encode, encode_window, encode_window_with_skeleton, encode_with_skeleton, Encoded,
-    EncodedWindow, EncoderOptions,
+    encode, encode_deadlock, encode_window, encode_window_with_skeleton, encode_with_skeleton,
+    Encoded, EncodedDeadlock, EncodedWindow, EncoderOptions,
 };
 pub use metrics::{Histogram, Metrics, PhaseTimer, METRICS_SCHEMA_VERSION};
-pub use oracle::oracle_races;
+pub use oracle::{oracle_atomicity, oracle_deadlocks, oracle_races};
 pub use report::{
     DetectionReport, DetectionStats, FailedWindow, RaceReport, RaceReportDisplay, SolverTotals,
     UndecidedReason,

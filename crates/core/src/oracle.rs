@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use rvtrace::{Cop, EventId, EventKind, ThreadId, Value, VarId, View};
+use rvtrace::{Cop, EventId, EventKind, LockId, ThreadId, Value, VarId, View};
 
 /// A runtime value in the feasibility closure: concrete or symbolic
 /// (symbolic values are distinct from every concrete value and from each
@@ -46,6 +46,8 @@ struct State {
     store: Vec<Val>,
     /// Lock holders (dense by lock index; thread index + 1, 0 = free).
     holder: Vec<u32>,
+    /// Read-mode holders (dense by lock index; bitmask of thread indexes).
+    readers: Vec<u64>,
     /// Threads whose `end` has been appended.
     ended: Vec<bool>,
     /// Threads whose `fork` has been appended (or that need none).
@@ -60,78 +62,10 @@ struct State {
 /// Panics if the view contains wait/notify events (the oracle does not
 /// model them) or more than `max_events` events.
 pub fn oracle_races(view: &View<'_>, max_events: usize) -> BTreeSet<Cop> {
-    assert!(
-        view.len() <= max_events,
-        "oracle is exponential; refusing {} events (cap {max_events})",
-        view.len()
-    );
     let trace = view.trace();
-    let n_threads = trace.n_threads();
-    for id in view.ids() {
-        assert!(
-            !matches!(view.event(id).kind, EventKind::Notify { .. }),
-            "oracle does not model wait/notify"
-        );
-        assert!(
-            trace.wait_link_of_acquire(id).is_none(),
-            "oracle does not model wait/notify"
-        );
-    }
-
-    // Which threads still need a fork event before their begin.
-    let mut fork_needed: HashMap<ThreadId, EventId> = HashMap::new();
-    for id in view.ids() {
-        if let EventKind::Fork { child } = view.event(id).kind {
-            fork_needed.insert(child, id);
-        }
-    }
-    let mut end_of: HashMap<ThreadId, usize> = HashMap::new();
-    for (ti, &t) in trace.threads().iter().enumerate() {
-        for &e in view.thread_events(t) {
-            if matches!(view.event(e).kind, EventKind::End) {
-                end_of.insert(t, ti);
-            }
-        }
-    }
-
-    let initial_store: Vec<Val> = (0..trace.n_vars() as u32)
-        .map(|v| Val::Concrete(view.initial_value(VarId(v))))
-        .collect();
-    let start = State {
-        pos: vec![0; n_threads],
-        reads_match: vec![true; n_threads],
-        store: initial_store,
-        holder: vec![0; trace.n_locks()],
-        ended: vec![false; n_threads],
-        forked: trace
-            .threads()
-            .iter()
-            .map(|t| !fork_needed.contains_key(t))
-            .collect(),
-    };
-    // Locks held at window start: treat as held by their holder.
-    let mut start = start;
-    for &(t, l) in view.held_at_start() {
-        if let Some(ti) = trace.thread_index(t) {
-            start.holder[l.index()] = ti as u32 + 1;
-        }
-    }
-
     let mut races: BTreeSet<Cop> = BTreeSet::new();
-    let mut visited: HashSet<State> = HashSet::new();
-    let mut stack = vec![start];
-    while let Some(state) = stack.pop() {
-        if !visited.insert(state.clone()) {
-            continue;
-        }
+    explore(view, max_events, |_state, nexts| {
         // Record races: two threads whose *next* events conflict.
-        let nexts: Vec<Option<EventId>> = (0..n_threads)
-            .map(|ti| {
-                view.thread_events(trace.threads()[ti])
-                    .get(state.pos[ti] as usize)
-                    .copied()
-            })
-            .collect();
         for (i, &na) in nexts.iter().enumerate() {
             for &nb in &nexts[i + 1..] {
                 if let (Some(a), Some(b)) = (na, nb) {
@@ -144,15 +78,276 @@ pub fn oracle_races(view: &View<'_>, max_events: usize) -> BTreeSet<Cop> {
                 }
             }
         }
+    });
+    races
+}
+
+/// Computes the exact set of predictable deadlock cycles of a (small)
+/// window under the maximal causal model, as canonical signatures: the
+/// sorted list of locks in the cycle.
+///
+/// A state deadlocks when a set of threads forms a circular wait: each
+/// thread's next event is a write-mode acquire of a lock write-held by the
+/// next thread in the cycle. Read-mode holds are not part of cycles (the
+/// detector makes the same write-mode restriction).
+///
+/// # Panics
+///
+/// As [`oracle_races`]: wait/notify events and oversized windows are
+/// rejected.
+pub fn oracle_deadlocks(view: &View<'_>, max_events: usize) -> BTreeSet<Vec<LockId>> {
+    let mut cycles: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    explore(view, max_events, |state, nexts| {
+        // Wait-for graph: ti -> (holder of the lock ti's next acquire
+        // needs, that lock). Functional: at most one outgoing edge each.
+        let n = nexts.len();
+        let mut wait_for: Vec<Option<(usize, LockId)>> = vec![None; n];
+        for (ti, &ne) in nexts.iter().enumerate() {
+            let Some(e) = ne else { continue };
+            if let EventKind::Acquire { lock } = view.event(e).kind {
+                let h = state.holder[lock.index()];
+                if h != 0 && h as usize - 1 != ti {
+                    wait_for[ti] = Some((h as usize - 1, lock));
+                }
+            }
+        }
+        // Every cycle in a functional graph is reachable by pointer
+        // chasing from any of its nodes.
+        for start in 0..n {
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = start;
+            while let Some((to, _)) = wait_for[cur] {
+                if let Some(p) = path.iter().position(|&x| x == cur) {
+                    let mut locks: Vec<LockId> = path[p..]
+                        .iter()
+                        .map(|&x| wait_for[x].expect("on path").1)
+                        .collect();
+                    locks.sort();
+                    cycles.insert(locks);
+                    break;
+                }
+                path.push(cur);
+                cur = to;
+            }
+        }
+    });
+    cycles
+}
+
+/// Computes the exact set of predictable single-variable atomicity
+/// violations of a (small) window under the maximal causal model, as
+/// triples `(first, interleaved, second)`.
+///
+/// Candidates are exactly the detector's: inferred unprotected RMW pairs
+/// ([`infer_rmw_pairs`](crate::atomicity::infer_rmw_pairs)) crossed with
+/// every remote access of the same (non-volatile) variable. A triple
+/// violates iff some consistent trace in the closure appends `first`, then
+/// `interleaved`, then `second` — decided by a phase-augmented exhaustive
+/// search.
+///
+/// # Panics
+///
+/// As [`oracle_races`]: wait/notify events and oversized windows are
+/// rejected.
+pub fn oracle_atomicity(
+    view: &View<'_>,
+    max_events: usize,
+) -> BTreeSet<(EventId, EventId, EventId)> {
+    let ctx = Ctx::new(view, max_events);
+    let trace = view.trace();
+    let mut triples: Vec<(EventId, EventId, EventId)> = Vec::new();
+    for pair in crate::atomicity::infer_rmw_pairs(view) {
+        let var = view
+            .event(pair.first)
+            .kind
+            .var()
+            .expect("pair accesses a var");
+        if trace.is_volatile(var) {
+            continue;
+        }
+        let thread = view.event(pair.first).thread;
+        for &b in view.writes_of(var).iter().chain(view.reads_of(var)) {
+            if view.event(b).thread != thread {
+                triples.push((pair.first, b, pair.second));
+            }
+        }
+    }
+    triples
+        .into_iter()
+        .filter(|&(a1, b, a2)| witnesses_between(&ctx, a1, b, a2))
+        .collect()
+}
+
+/// True when some consistent trace of the closure appends `a1`, then `b`,
+/// then `a2` (strict interleaving). DFS over (state, phase) where phase 0
+/// = before `a1`, 1 = after `a1` before `b`, 2 = after `b`; paths that
+/// order the anchors any other way are pruned (they can never witness).
+fn witnesses_between(ctx: &Ctx<'_, '_>, a1: EventId, b: EventId, a2: EventId) -> bool {
+    let mut visited: HashSet<(State, u8)> = HashSet::new();
+    let mut stack: Vec<(State, u8)> = vec![(ctx.start.clone(), 0)];
+    while let Some((state, phase)) = stack.pop() {
+        if !visited.insert((state.clone(), phase)) {
+            continue;
+        }
+        for (ti, &ne) in ctx.nexts(&state).iter().enumerate() {
+            let Some(e) = ne else { continue };
+            let next_phase = if e == a1 {
+                1
+            } else if e == b {
+                if phase != 1 {
+                    continue; // b before a1: can never interleave
+                }
+                2
+            } else if e == a2 {
+                if phase != 2 {
+                    continue; // a2 before b: can never interleave
+                }
+                return true;
+            } else {
+                phase
+            };
+            if let Some(next) = ctx.step(&state, ti, e) {
+                stack.push((next, next_phase));
+            }
+        }
+    }
+    false
+}
+
+/// Precomputed search context of one window: fork/end maps and the start
+/// state, shared by every exploration over the window.
+struct Ctx<'v, 't> {
+    view: &'v View<'t>,
+    fork_needed: HashMap<ThreadId, EventId>,
+    end_of: HashMap<ThreadId, usize>,
+    start: State,
+    n_threads: usize,
+}
+
+impl<'v, 't> Ctx<'v, 't> {
+    fn new(view: &'v View<'t>, max_events: usize) -> Self {
+        assert!(
+            view.len() <= max_events,
+            "oracle is exponential; refusing {} events (cap {max_events})",
+            view.len()
+        );
+        let trace = view.trace();
+        let n_threads = trace.n_threads();
+        for id in view.ids() {
+            assert!(
+                !matches!(view.event(id).kind, EventKind::Notify { .. }),
+                "oracle does not model wait/notify"
+            );
+            assert!(
+                trace.wait_link_of_acquire(id).is_none(),
+                "oracle does not model wait/notify"
+            );
+        }
+
+        // Which threads still need a fork event before their begin.
+        let mut fork_needed: HashMap<ThreadId, EventId> = HashMap::new();
+        for id in view.ids() {
+            if let EventKind::Fork { child } = view.event(id).kind {
+                fork_needed.insert(child, id);
+            }
+        }
+        let mut end_of: HashMap<ThreadId, usize> = HashMap::new();
+        for (ti, &t) in trace.threads().iter().enumerate() {
+            for &e in view.thread_events(t) {
+                if matches!(view.event(e).kind, EventKind::End) {
+                    end_of.insert(t, ti);
+                }
+            }
+        }
+
+        let initial_store: Vec<Val> = (0..trace.n_vars() as u32)
+            .map(|v| Val::Concrete(view.initial_value(VarId(v))))
+            .collect();
+        let start = start_state(view, n_threads, initial_store, &fork_needed);
+        Ctx {
+            view,
+            fork_needed,
+            end_of,
+            start,
+            n_threads,
+        }
+    }
+
+    /// Each thread's next unappended event in `state`.
+    fn nexts(&self, state: &State) -> Vec<Option<EventId>> {
+        let trace = self.view.trace();
+        (0..self.n_threads)
+            .map(|ti| {
+                self.view
+                    .thread_events(trace.threads()[ti])
+                    .get(state.pos[ti] as usize)
+                    .copied()
+            })
+            .collect()
+    }
+
+    /// Appends thread `ti`'s next event `e`, if the axioms allow it.
+    fn step(&self, state: &State, ti: usize, e: EventId) -> Option<State> {
+        append(self.view, state, ti, e, &self.fork_needed, &self.end_of)
+    }
+}
+
+/// Exhaustively enumerates the reachable states of the window's
+/// feasibility closure, invoking `visit` once per state with each
+/// thread's next unappended event.
+fn explore<F: FnMut(&State, &[Option<EventId>])>(view: &View<'_>, max_events: usize, mut visit: F) {
+    let ctx = Ctx::new(view, max_events);
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![ctx.start.clone()];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        let nexts = ctx.nexts(&state);
+        visit(&state, &nexts);
         // Expand: try appending each thread's next event.
         for (ti, &ne) in nexts.iter().enumerate() {
             let Some(e) = ne else { continue };
-            if let Some(next) = append(view, &state, ti, e, &fork_needed, &end_of) {
+            if let Some(next) = ctx.step(&state, ti, e) {
                 stack.push(next);
             }
         }
     }
-    races
+}
+
+fn start_state(
+    view: &View<'_>,
+    n_threads: usize,
+    initial_store: Vec<Val>,
+    fork_needed: &HashMap<ThreadId, EventId>,
+) -> State {
+    let trace = view.trace();
+    assert!(n_threads <= 64, "oracle models at most 64 threads");
+    let mut start = State {
+        pos: vec![0; n_threads],
+        reads_match: vec![true; n_threads],
+        store: initial_store,
+        holder: vec![0; trace.n_locks()],
+        readers: vec![0; trace.n_locks()],
+        ended: vec![false; n_threads],
+        forked: trace
+            .threads()
+            .iter()
+            .map(|t| !fork_needed.contains_key(t))
+            .collect(),
+    };
+    // Locks held at window start: treat as held by their holder.
+    for &(t, l) in view.held_at_start() {
+        if let Some(ti) = trace.thread_index(t) {
+            start.holder[l.index()] = ti as u32 + 1;
+        }
+    }
+    for &(t, l) in view.held_read_at_start() {
+        if let Some(ti) = trace.thread_index(t) {
+            start.readers[l.index()] |= 1 << ti;
+        }
+    }
+    start
 }
 
 fn append(
@@ -188,7 +383,7 @@ fn append(
             };
         }
         EventKind::Acquire { lock } => {
-            if state.holder[lock.index()] != 0 {
+            if state.holder[lock.index()] != 0 || state.readers[lock.index()] != 0 {
                 return None;
             }
             next.holder[lock.index()] = ti as u32 + 1;
@@ -198,6 +393,27 @@ fn append(
                 return None;
             }
             next.holder[lock.index()] = 0;
+        }
+        EventKind::AcquireRead { lock } => {
+            if state.holder[lock.index()] != 0 {
+                return None;
+            }
+            next.readers[lock.index()] |= 1 << ti;
+        }
+        EventKind::ReleaseRead { lock } => {
+            if state.readers[lock.index()] & (1 << ti) == 0 {
+                return None;
+            }
+            next.readers[lock.index()] &= !(1 << ti);
+        }
+        EventKind::Send { .. } => {}
+        EventKind::Recv { .. } => {
+            // A linked recv requires its in-view send appended first.
+            if let Some(ml) = trace.msg_link_of_recv(e) {
+                if view.contains(ml.send) && !is_appended(view, state, ml.send) {
+                    return None;
+                }
+            }
         }
         EventKind::Begin => {
             if !state.forked[ti] {
@@ -233,6 +449,19 @@ fn append(
         EventKind::Notify { .. } => unreachable!("checked above"),
     }
     Some(next)
+}
+
+/// True when `id` has already been appended in `state` (its thread's
+/// position is past it in the projection).
+fn is_appended(view: &View<'_>, state: &State, id: EventId) -> bool {
+    let t = view.event(id).thread;
+    let Some(ti) = view.trace().thread_index(t) else {
+        return false;
+    };
+    view.thread_events(t)
+        .iter()
+        .position(|&x| x == id)
+        .is_some_and(|idx| (state.pos[ti] as usize) > idx)
 }
 
 #[cfg(test)]
@@ -310,6 +539,142 @@ mod tests {
         let tr = b.finish();
         let races = oracle_races(&tr.full_view(), 20);
         assert!(!races.contains(&Cop::new(w, r)), "join orders the accesses");
+    }
+
+    #[test]
+    fn rwlock_read_mode_is_shared_write_mode_exclusive() {
+        // Two read-mode critical sections can overlap: a write inside one
+        // races with a read inside the other.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire_read(t1, l);
+        let w = b.write(t1, x, 1);
+        b.release_read(t1, l);
+        b.acquire_read(t2, l);
+        let r = b.read(t2, x, 1);
+        b.release_read(t2, l);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(races.contains(&Cop::new(w, r)));
+        // Writer in write mode vs reader in read mode: mutually exclusive,
+        // no race.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.new_lock("l");
+        let t2 = b.fork(t1);
+        b.acquire(t1, l);
+        let w = b.write(t1, x, 1);
+        b.release(t1, l);
+        b.acquire_read(t2, l);
+        let r = b.read(t2, x, 1);
+        b.release_read(t2, l);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(!races.contains(&Cop::new(w, r)));
+    }
+
+    #[test]
+    fn channel_link_orders_accesses() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let c = b.new_chan("c");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let w = b.write(t1, x, 1);
+        let s = b.send(t1, c);
+        b.recv(t2, c, Some(s));
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(!races.contains(&Cop::new(w, r)), "send->recv orders them");
+        // Without the link the same shape races.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let c = b.new_chan("c");
+        let t2 = b.fork(t1);
+        let w = b.write(t1, x, 1);
+        b.send(t1, c);
+        b.recv(t2, c, None);
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        let races = oracle_races(&tr.full_view(), 20);
+        assert!(races.contains(&Cop::new(w, r)));
+    }
+
+    #[test]
+    fn deadlock_cycle_found_and_gate_lock_respected() {
+        use rvtrace::LockId;
+        // Classic inversion: t1 takes l1 then l2; t2 takes l2 then l1.
+        let mut b = TraceBuilder::new();
+        let l1 = b.new_lock("l1");
+        let l2 = b.new_lock("l2");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire(t1, l1);
+        b.acquire(t1, l2);
+        b.release(t1, l2);
+        b.release(t1, l1);
+        b.acquire(t2, l2);
+        b.acquire(t2, l1);
+        b.release(t2, l1);
+        b.release(t2, l2);
+        let tr = b.finish();
+        let cycles = oracle_deadlocks(&tr.full_view(), 20);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles.contains(&vec![LockId(0), LockId(1)]));
+        // Same shape under a common gate lock: no predictable deadlock.
+        let mut b = TraceBuilder::new();
+        let g = b.new_lock("g");
+        let l1 = b.new_lock("l1");
+        let l2 = b.new_lock("l2");
+        let t2 = b.fork(t1);
+        b.acquire(t1, g);
+        b.acquire(t1, l1);
+        b.acquire(t1, l2);
+        b.release(t1, l2);
+        b.release(t1, l1);
+        b.release(t1, g);
+        b.acquire(t2, g);
+        b.acquire(t2, l2);
+        b.acquire(t2, l1);
+        b.release(t2, l1);
+        b.release(t2, l2);
+        b.release(t2, g);
+        let tr = b.finish();
+        assert!(oracle_deadlocks(&tr.full_view(), 24).is_empty());
+    }
+
+    #[test]
+    fn atomicity_oracle_lost_update_and_join_separation() {
+        // Lost update: the remote RMW interleaves between the pair.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let r1 = b.read(t1, x, 0);
+        let w1 = b.write(t1, x, 1);
+        let r2 = b.read(t2, x, 1);
+        let w2 = b.write(t2, x, 2);
+        b.join(t1, t2);
+        let tr = b.finish();
+        let viol = oracle_atomicity(&tr.full_view(), 20);
+        assert!(
+            viol.contains(&(r1, r2, w1)) || viol.contains(&(r1, w2, w1)),
+            "{viol:?}"
+        );
+        // Join separation: the remote access cannot reach the inside.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let t2 = b.fork(t1);
+        b.read(t2, x, 0);
+        b.write(t2, x, 1);
+        b.join(t1, t2);
+        b.write(t1, x, 5);
+        let tr = b.finish();
+        assert!(oracle_atomicity(&tr.full_view(), 20).is_empty());
     }
 
     #[test]

@@ -356,7 +356,7 @@ impl std::ops::AddAssign<&DetectionStats> for DetectionStats {
 }
 
 /// The result of running a detector over a trace.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DetectionReport {
     /// Validated races, one per signature (when deduplication is on).
     pub races: Vec<RaceReport>,

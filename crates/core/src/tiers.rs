@@ -90,6 +90,19 @@ struct ReadFacts {
 /// assertion `O_r1 < O_a2 ∨ O_r2 < O_a1`.
 type CsPair = (EventId, EventId, EventId, EventId);
 
+/// A *conditional* lock-span pair, mirroring `encode_lock_conditional`:
+/// `d1 ∨ d2 ∨ D < O_h1 ∨ D < O_h2` where `d1 = (r1 < a2)`,
+/// `d2 = (r2 < a1)` and `D` is the per-COP cut. Used in the maximal
+/// (ControlFlow) mode, where a span acquired past the racing pair needs no
+/// serialization — so no span pair may become an unconditional base edge.
+#[derive(Debug, Clone, Copy)]
+struct CondPair {
+    d1: Option<(EventId, EventId)>,
+    d2: Option<(EventId, EventId)>,
+    h1: Option<EventId>,
+    h2: Option<EventId>,
+}
+
 /// Upper bound on both-disjunct lock pairs kept as E2 candidates: bounds
 /// the quadratic span enumeration on hot locks. Dropping candidates only
 /// loses refutation power, never soundness.
@@ -115,8 +128,12 @@ pub struct TierAnalysis<'a> {
     refute_all: bool,
     /// Complete in-view wait links (the exact set the encoder constrains).
     links: Vec<WaitLink>,
-    /// Both-disjunct lock pairs left undischarged by the base fixpoint.
+    /// Both-disjunct lock pairs left undischarged by the base fixpoint
+    /// (whole-trace mode only).
     cs_pairs: Vec<CsPair>,
+    /// Conditional lock pairs, discharged per COP against the cut
+    /// (ControlFlow mode only).
+    cond_pairs: Vec<CondPair>,
     facts: HashMap<EventId, ReadFacts>,
     tier_a_time: Duration,
     tier_b_time: Duration,
@@ -145,6 +162,7 @@ impl<'a> TierAnalysis<'a> {
             refute_all: false,
             links: Vec::new(),
             cs_pairs: Vec::new(),
+            cond_pairs: Vec::new(),
             facts: HashMap::new(),
             tier_a_time: Duration::ZERO,
             tier_b_time: Duration::ZERO,
@@ -226,9 +244,13 @@ impl<'a> TierAnalysis<'a> {
             self.add_edge(wl.release, n);
             self.add_edge(n, wl.acquire);
         }
-        // Lock spans: one-sided disjunctions are unconditional edges, the
-        // degenerate (both endpoints missing) case is `ff`, and two-sided
-        // disjunctions become E2 candidates (deterministic order, capped).
+        // Lock spans. Whole-trace mode matches the unconditional `Φ_lock`:
+        // one-sided disjunctions are unconditional edges, the degenerate
+        // (both endpoints missing) case is `ff`, and two-sided disjunctions
+        // become E2 candidates (deterministic order, capped). The maximal
+        // mode matches the *conditional* `Φ_lock` instead: every pair keeps
+        // its acquire escape hatches and is discharged per COP, because a
+        // span acquired past the racing pair constrains nothing.
         let mut pairs_dropped = 0usize;
         for lock_idx in 0..trace.n_locks() as u32 {
             let spans = view.critical_sections(rvtrace::LockId(lock_idx)).to_vec();
@@ -236,6 +258,22 @@ impl<'a> TierAnalysis<'a> {
                 for j in i + 1..spans.len() {
                     let (s1, s2) = (&spans[i], &spans[j]);
                     if s1.thread == s2.thread {
+                        continue;
+                    }
+                    if self.mode == ConsistencyMode::ControlFlow {
+                        let p = CondPair {
+                            d1: s1.release.zip(s2.acquire),
+                            d2: s2.release.zip(s1.acquire),
+                            h1: s1.acquire,
+                            h2: s2.acquire,
+                        };
+                        if p.d1.is_none() && p.d2.is_none() && p.h1.is_none() && p.h2.is_none() {
+                            self.refute_all = true; // empty disjunction: ff
+                        } else if self.cond_pairs.len() < MAX_CS_PAIRS {
+                            self.cond_pairs.push(p);
+                        } else {
+                            pairs_dropped += 1;
+                        }
                         continue;
                     }
                     match (s1.release, s2.acquire, s2.release, s1.acquire) {
@@ -518,10 +556,11 @@ impl<'a> TierAnalysis<'a> {
         }
         // Per-COP E2 rounds: with the extra edges in place, more lock
         // disjunctions may discharge; propagate a bounded number of times.
-        if self.cs_pairs.is_empty() {
+        if self.cs_pairs.is_empty() && self.cond_pairs.is_empty() {
             return false;
         }
         let mut discharged: Vec<bool> = vec![false; self.cs_pairs.len()];
+        let mut cond_discharged: Vec<bool> = vec![false; self.cond_pairs.len()];
         for _ in 0..MAX_E2_ROUNDS {
             let mut changed = false;
             for pi in 0..self.cs_pairs.len() {
@@ -548,6 +587,71 @@ impl<'a> TierAnalysis<'a> {
                         changed = true;
                     }
                     (false, false) => {}
+                }
+            }
+            // Conditional pairs (maximal mode): a hatch `D < O_a` is dead
+            // once the acquire is entailed at-or-before the cut, i.e. it
+            // reaches either access of the glued pair. With every disjunct
+            // dead the window refutes the COP; with exactly one alive its
+            // content becomes entailed extra edges.
+            if !self.cond_pairs.is_empty() {
+                self.epoch += 1;
+                let cut = self.epoch;
+                let (ci, cj) = (self.idx(cop.first), self.idx(cop.second));
+                Self::flood(&mut self.mark_rev, &self.rev, &extra_rev, ci, cut);
+                Self::flood(&mut self.mark_rev, &self.rev, &extra_rev, cj, cut);
+                for pi in 0..self.cond_pairs.len() {
+                    if cond_discharged[pi] {
+                        continue;
+                    }
+                    let p = self.cond_pairs[pi];
+                    let hatch_alive = |marks: &[u32], me: &Self, h: Option<EventId>| {
+                        h.map_or(false, |a| marks[me.idx(a) as usize] != cut)
+                    };
+                    let h1 = hatch_alive(&self.mark_rev, self, p.h1);
+                    let h2 = hatch_alive(&self.mark_rev, self, p.h2);
+                    let d1 = match p.d1 {
+                        Some((r1, a2)) => !self.percop_reaches(a2, r1, &extra_fwd),
+                        None => false,
+                    };
+                    let d2 = match p.d2 {
+                        Some((r2, a1)) => !self.percop_reaches(a1, r2, &extra_fwd),
+                        None => false,
+                    };
+                    let push = |x: EventId,
+                                y: EventId,
+                                me: &Self,
+                                ef: &mut HashMap<u32, Vec<u32>>,
+                                er: &mut HashMap<u32, Vec<u32>>| {
+                        let (xi, yi) = (me.idx(x), me.idx(y));
+                        ef.entry(xi).or_default().push(yi);
+                        er.entry(yi).or_default().push(xi);
+                    };
+                    match (d1, d2, h1, h2) {
+                        (false, false, false, false) => return true,
+                        (true, false, false, false) => {
+                            let (r1, a2) = p.d1.expect("alive");
+                            push(r1, a2, self, &mut extra_fwd, &mut extra_rev);
+                            cond_discharged[pi] = true;
+                            changed = true;
+                        }
+                        (false, true, false, false) => {
+                            let (r2, a1) = p.d2.expect("alive");
+                            push(r2, a1, self, &mut extra_fwd, &mut extra_rev);
+                            cond_discharged[pi] = true;
+                            changed = true;
+                        }
+                        (false, false, true, false) | (false, false, false, true) => {
+                            // Forced hatch: the span must open past the
+                            // cut, so both accesses precede its acquire.
+                            let a = if h1 { p.h1 } else { p.h2 }.expect("alive");
+                            push(cop.first, a, self, &mut extra_fwd, &mut extra_rev);
+                            push(cop.second, a, self, &mut extra_fwd, &mut extra_rev);
+                            cond_discharged[pi] = true;
+                            changed = true;
+                        }
+                        _ => {} // two or more alive: no entailment yet
+                    }
                 }
             }
             if !changed {

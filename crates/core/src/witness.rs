@@ -247,9 +247,14 @@ pub(crate) fn build_witness_core(
                 }
             }
             EventKind::Acquire { lock } => {
-                // Rule 3: complete model-earlier same-lock regions.
+                // Rule 3: complete model-earlier same-lock regions. A
+                // write acquire excludes both write- and read-mode spans.
                 let ke = key(e);
-                for span in view.critical_sections(lock) {
+                for span in view
+                    .critical_sections(lock)
+                    .iter()
+                    .chain(view.read_critical_sections(lock))
+                {
                     if span.acquire == Some(e) {
                         continue;
                     }
@@ -258,6 +263,26 @@ pub(crate) fn build_witness_core(
                             queue.push(r2);
                         }
                     }
+                }
+            }
+            EventKind::AcquireRead { lock } => {
+                // Rule 3 for shared acquisitions: only write-mode spans
+                // exclude a read span, so only those need completing.
+                let ke = key(e);
+                for span in view.critical_sections(lock) {
+                    if let Some(r2) = span.release {
+                        if key(r2) < ke {
+                            queue.push(r2);
+                        }
+                    }
+                }
+            }
+            EventKind::Recv { .. } => {
+                // A received message needs its send: the encoder orders
+                // linked send < recv, and the structural check demands the
+                // send be scheduled first.
+                if let Some(ml) = view.trace().msg_link_of_recv(e) {
+                    queue.push(ml.send);
                 }
             }
             _ => {}

@@ -12,8 +12,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
-use crate::trace::{Trace, TraceData, WaitLink};
+use crate::event::{ChanId, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+use crate::trace::{MsgLink, Trace, TraceData, WaitLink};
 
 #[derive(Debug, Default, Clone)]
 struct ThreadState {
@@ -22,6 +22,8 @@ struct ThreadState {
     ended: bool,
     /// Reentrancy depth per lock.
     lock_depth: BTreeMap<LockId, u32>,
+    /// Read-mode (shared) reentrancy depth per lock.
+    read_depth: BTreeMap<LockId, u32>,
 }
 
 /// A token identifying an in-progress `wait()` started with
@@ -69,6 +71,7 @@ pub struct TraceBuilder {
     next_thread: u32,
     next_var: u32,
     next_lock: u32,
+    next_chan: u32,
     next_loc: u32,
     /// Pending waits: (thread, lock, release event) by token.
     pending_waits: Vec<(ThreadId, LockId, EventId)>,
@@ -116,6 +119,14 @@ impl TraceBuilder {
         self.next_lock += 1;
         let _ = name; // lock names are only used for Display via LockId
         l
+    }
+
+    /// Registers a fresh channel with a debug name.
+    pub fn new_chan(&mut self, name: &str) -> ChanId {
+        let c = ChanId(self.next_chan);
+        self.next_chan += 1;
+        let _ = name; // channel names are only used for Display via ChanId
+        c
     }
 
     /// Sets the initial value of a variable (default `0`).
@@ -219,6 +230,10 @@ impl TraceBuilder {
     /// Emits `acquire(t, lock)`, filtering reentrant acquisitions. Returns
     /// `None` when the acquisition was reentrant (no event emitted).
     pub fn acquire(&mut self, t: ThreadId, lock: LockId) -> Option<EventId> {
+        assert!(
+            self.state(t).read_depth.get(&lock).copied().unwrap_or(0) == 0,
+            "thread {t} write-acquiring {lock} it holds in read mode"
+        );
         let depth = self.state(t).lock_depth.entry(lock).or_insert(0);
         *depth += 1;
         if *depth > 1 {
@@ -246,6 +261,78 @@ impl TraceBuilder {
         }
         let loc = self.fresh_loc();
         Some(self.push(t, EventKind::Release { lock }, loc))
+    }
+
+    /// Emits `acquire-read(t, lock)` — a read-mode (shared) acquisition —
+    /// filtering reentrant read acquisitions by the same thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already holds the lock in write mode (lock
+    /// upgrades/downgrades are not part of the model).
+    pub fn acquire_read(&mut self, t: ThreadId, lock: LockId) -> Option<EventId> {
+        assert!(
+            self.state(t).lock_depth.get(&lock).copied().unwrap_or(0) == 0,
+            "thread {t} read-acquiring {lock} it holds in write mode"
+        );
+        let depth = self.state(t).read_depth.entry(lock).or_insert(0);
+        *depth += 1;
+        if *depth > 1 {
+            return None;
+        }
+        let loc = self.fresh_loc();
+        Some(self.push(t, EventKind::AcquireRead { lock }, loc))
+    }
+
+    /// Emits `release-read(t, lock)`, filtering reentrant read releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not hold the lock in read mode.
+    pub fn release_read(&mut self, t: ThreadId, lock: LockId) -> Option<EventId> {
+        let depth =
+            self.state(t).read_depth.get_mut(&lock).unwrap_or_else(|| {
+                panic!("thread {t} read-releasing {lock} it never read-acquired")
+            });
+        assert!(
+            *depth > 0,
+            "thread {t} read-releasing {lock} it does not hold"
+        );
+        *depth -= 1;
+        if *depth > 0 {
+            return None;
+        }
+        let loc = self.fresh_loc();
+        Some(self.push(t, EventKind::ReleaseRead { lock }, loc))
+    }
+
+    /// Emits `send(t, chan)` and returns its event id; link it to a recv
+    /// via [`TraceBuilder::recv`].
+    pub fn send(&mut self, t: ThreadId, chan: ChanId) -> EventId {
+        let loc = self.fresh_loc();
+        self.push(t, EventKind::Send { chan }, loc)
+    }
+
+    /// Emits `recv(t, chan)`, recording a [`MsgLink`] to the send whose
+    /// message this recv consumed in the observed execution (if known).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `send` names an event that has not been emitted yet (a
+    /// message cannot be received before it was sent).
+    pub fn recv(&mut self, t: ThreadId, chan: ChanId, send: Option<EventId>) -> EventId {
+        if let Some(s) = send {
+            assert!(
+                s.index() < self.data.events.len(),
+                "recv linked to unsent message {s}"
+            );
+        }
+        let loc = self.fresh_loc();
+        let id = self.push(t, EventKind::Recv { chan }, loc);
+        if let Some(s) = send {
+            self.data.msg_links.push(MsgLink { send: s, recv: id });
+        }
+        id
     }
 
     /// Emits `fork(parent, child)` for a fresh child thread id and returns
@@ -428,6 +515,47 @@ mod tests {
             tr.event(wl.acquire).kind,
             EventKind::Acquire { .. }
         ));
+    }
+
+    #[test]
+    fn rwlock_reentrancy_filtered() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("rw");
+        let t = ThreadId::MAIN;
+        assert!(b.acquire_read(t, l).is_some());
+        assert!(b.acquire_read(t, l).is_none()); // reentrant read
+        assert!(b.release_read(t, l).is_none());
+        assert!(b.release_read(t, l).is_some());
+        let tr = b.finish();
+        assert_eq!(tr.len(), 2);
+        assert!(matches!(tr.events()[0].kind, EventKind::AcquireRead { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "write-acquiring")]
+    fn write_acquire_under_read_hold_panics() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("rw");
+        b.acquire_read(ThreadId::MAIN, l);
+        b.acquire(ThreadId::MAIN, l);
+    }
+
+    #[test]
+    fn channel_links_recorded() {
+        let mut b = TraceBuilder::new();
+        let c = b.new_chan("ch");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        let s = b.send(t1, c);
+        let r = b.recv(t2, c, Some(s));
+        let tr = b.finish();
+        assert_eq!(tr.msg_links().len(), 1);
+        assert_eq!(tr.msg_links()[0], MsgLink { send: s, recv: r });
+        // Unlinked recv (e.g. message from outside the trace) records no link.
+        let mut b = TraceBuilder::new();
+        let c = b.new_chan("ch");
+        b.recv(ThreadId::MAIN, c, None);
+        assert!(b.finish().msg_links().is_empty());
     }
 
     #[test]

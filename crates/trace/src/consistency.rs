@@ -43,6 +43,7 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
     let mut errors = Vec::new();
     let mut values: HashMap<VarId, Value> = HashMap::new();
     let mut lock_holder: HashMap<LockId, ThreadId> = HashMap::new();
+    let mut read_holders: HashMap<LockId, Vec<ThreadId>> = HashMap::new();
     #[derive(Default, Clone)]
     struct Ts {
         forked: u32,
@@ -109,7 +110,10 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
             EventKind::Write { var, value } => {
                 values.insert(var, value);
             }
-            EventKind::Acquire { lock } if !lock_holder.contains_key(&lock) => {
+            EventKind::Acquire { lock }
+                if !lock_holder.contains_key(&lock)
+                    && read_holders.get(&lock).map_or(true, Vec::is_empty) =>
+            {
                 lock_holder.insert(lock, e.thread);
             }
             EventKind::Acquire { lock } => {
@@ -122,6 +126,32 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
             EventKind::Release { lock } => {
                 if lock_holder.get(&lock) == Some(&e.thread) {
                     lock_holder.remove(&lock);
+                } else {
+                    errors.push(TraceError::ReleaseWithoutAcquire {
+                        thread: e.thread,
+                        lock,
+                        event: id,
+                    });
+                }
+            }
+            EventKind::AcquireRead { lock } => {
+                // A read hold coexists with other read holds but not with
+                // a write hold, and is non-reentrant per thread.
+                let readers = read_holders.entry(lock).or_default();
+                if lock_holder.contains_key(&lock) || readers.contains(&e.thread) {
+                    errors.push(TraceError::AcquireHeldLock {
+                        thread: e.thread,
+                        lock,
+                        event: id,
+                    });
+                } else {
+                    readers.push(e.thread);
+                }
+            }
+            EventKind::ReleaseRead { lock } => {
+                let readers = read_holders.entry(lock).or_default();
+                if let Some(p) = readers.iter().position(|&t| t == e.thread) {
+                    readers.swap_remove(p);
                 } else {
                     errors.push(TraceError::ReleaseWithoutAcquire {
                         thread: e.thread,
@@ -149,7 +179,12 @@ pub fn check_consistency(trace: &Trace) -> Vec<TraceError> {
                     });
                 }
             }
-            EventKind::Begin | EventKind::End | EventKind::Branch | EventKind::Notify { .. } => {}
+            EventKind::Begin
+            | EventKind::End
+            | EventKind::Branch
+            | EventKind::Notify { .. }
+            | EventKind::Send { .. }
+            | EventKind::Recv { .. } => {}
         }
     }
     errors
@@ -208,6 +243,8 @@ pub enum ScheduleError {
     /// A matched notify scheduled outside its wait's release/acquire span,
     /// or a wait re-acquire scheduled without its notify.
     WaitNotifyMismatch(EventId),
+    /// A linked `recv` scheduled before its in-view `send`.
+    RecvBeforeSend(EventId),
 }
 
 impl fmt::Display for ScheduleError {
@@ -226,6 +263,7 @@ impl fmt::Display for ScheduleError {
             ScheduleError::JoinBeforeEnd(e) => write!(f, "{e}: join before the child's end"),
             ScheduleError::MutexViolation(e) => write!(f, "{e}: lock mutual exclusion violated"),
             ScheduleError::WaitNotifyMismatch(e) => write!(f, "{e}: wait/notify matching violated"),
+            ScheduleError::RecvBeforeSend(e) => write!(f, "{e}: recv before its linked send"),
         }
     }
 }
@@ -242,6 +280,10 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
     let mut lock_holder: HashMap<LockId, ThreadId> = HashMap::new();
     for &(t, l) in view.held_at_start() {
         lock_holder.insert(l, t);
+    }
+    let mut read_holders: HashMap<LockId, Vec<ThreadId>> = HashMap::new();
+    for &(t, l) in view.held_read_at_start() {
+        read_holders.entry(l).or_default().push(t);
     }
 
     for (step, &id) in schedule.0.iter().enumerate() {
@@ -284,7 +326,9 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
                 }
             }
             EventKind::Acquire { lock } => {
-                if lock_holder.contains_key(&lock) {
+                if lock_holder.contains_key(&lock)
+                    || !read_holders.get(&lock).map_or(true, Vec::is_empty)
+                {
                     return Err(ScheduleError::MutexViolation(id));
                 }
                 lock_holder.insert(lock, e.thread);
@@ -303,6 +347,30 @@ pub fn check_schedule(view: &View<'_>, schedule: &Schedule) -> Result<(), Schedu
                     return Err(ScheduleError::MutexViolation(id));
                 }
                 lock_holder.remove(&lock);
+            }
+            EventKind::AcquireRead { lock } => {
+                if lock_holder.contains_key(&lock) {
+                    return Err(ScheduleError::MutexViolation(id));
+                }
+                read_holders.entry(lock).or_default().push(e.thread);
+            }
+            EventKind::ReleaseRead { lock } => {
+                let readers = read_holders.entry(lock).or_default();
+                match readers.iter().position(|&t| t == e.thread) {
+                    Some(p) => {
+                        readers.swap_remove(p);
+                    }
+                    None => return Err(ScheduleError::MutexViolation(id)),
+                }
+            }
+            EventKind::Recv { .. } => {
+                // A linked recv requires its send scheduled first (if the
+                // send is in the view; a cross-window send counts as done).
+                if let Some(ml) = trace.msg_link_of_recv(id) {
+                    if view.contains(ml.send) && !scheduled.contains_key(&ml.send) {
+                        return Err(ScheduleError::RecvBeforeSend(id));
+                    }
+                }
             }
             EventKind::Notify { .. } => {
                 // A matched notify must fall inside its wait's release span:
@@ -469,6 +537,91 @@ mod tests {
             check_consistency(&t)[0],
             TraceError::EventBeforeBegin { .. }
         ));
+    }
+
+    #[test]
+    fn rwlock_consistency_rules() {
+        // Concurrent readers are consistent.
+        let t = raw(vec![
+            ev(0, EventKind::AcquireRead { lock: LockId(0) }),
+            ev(1, EventKind::AcquireRead { lock: LockId(0) }),
+            ev(0, EventKind::ReleaseRead { lock: LockId(0) }),
+            ev(1, EventKind::ReleaseRead { lock: LockId(0) }),
+        ]);
+        assert!(check_consistency(&t).is_empty());
+        // Write acquire under an open read hold is rejected.
+        let t = raw(vec![
+            ev(0, EventKind::AcquireRead { lock: LockId(0) }),
+            ev(1, EventKind::Acquire { lock: LockId(0) }),
+        ]);
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::AcquireHeldLock { .. }
+        ));
+        // Read acquire under a write hold is rejected.
+        let t = raw(vec![
+            ev(0, EventKind::Acquire { lock: LockId(0) }),
+            ev(1, EventKind::AcquireRead { lock: LockId(0) }),
+        ]);
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::AcquireHeldLock { .. }
+        ));
+        // Read release without a hold is rejected.
+        let t = raw(vec![ev(0, EventKind::ReleaseRead { lock: LockId(0) })]);
+        assert!(matches!(
+            check_consistency(&t)[0],
+            TraceError::ReleaseWithoutAcquire { .. }
+        ));
+    }
+
+    #[test]
+    fn schedule_rwlock_rules() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("l");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        b.acquire_read(t1, l); // e1
+        b.release_read(t1, l); // e2
+        b.acquire(t2, l); // e3 begin, e4 acquire
+        b.release(t2, l); // e5
+        let tr = b.finish();
+        let v = tr.full_view();
+        // Write acquire while the read span is still open is rejected.
+        let bad = Schedule(vec![EventId(0), EventId(1), EventId(3), EventId(4)]);
+        assert_eq!(
+            check_schedule(&v, &bad),
+            Err(ScheduleError::MutexViolation(EventId(4)))
+        );
+        // Reordering with the read span closed first is accepted.
+        let ok = Schedule(vec![
+            EventId(0),
+            EventId(3),
+            EventId(4),
+            EventId(5),
+            EventId(1),
+            EventId(2),
+        ]);
+        assert_eq!(check_schedule(&v, &ok), Ok(()));
+    }
+
+    #[test]
+    fn schedule_recv_requires_send() {
+        let mut b = TraceBuilder::new();
+        let c = b.new_chan("c");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        let s = b.send(t1, c); // e1
+        b.recv(t2, c, Some(s)); // e2 begin, e3 recv
+        let tr = b.finish();
+        let v = tr.full_view();
+        let bad = Schedule(vec![EventId(0), EventId(2), EventId(3)]);
+        assert_eq!(
+            check_schedule(&v, &bad),
+            Err(ScheduleError::RecvBeforeSend(EventId(3)))
+        );
+        let ok = Schedule(vec![EventId(0), EventId(1), EventId(2), EventId(3)]);
+        assert_eq!(check_schedule(&v, &ok), Ok(()));
     }
 
     fn fork_lock_trace() -> Trace {

@@ -100,6 +100,31 @@ impl fmt::Display for LockId {
     }
 }
 
+/// Identifier of a channel (an mpsc-style message queue).
+///
+/// Channels enter the model as a happens-before vocabulary: a `Recv` that
+/// observed a message is ordered after the `Send` that produced it via a
+/// [`MsgLink`](crate::MsgLink), analogous to a wait/notify link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(
+    /// The raw id.
+    pub u32,
+);
+
+impl ChanId {
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
 /// A data value carried by a read or write event.
 ///
 /// Values are opaque to the detector except for equality: the maximal causal
@@ -207,6 +232,31 @@ pub enum EventKind {
         /// The lock released.
         lock: LockId,
     },
+    /// Acquire lock `lock` in read (shared) mode: RwLock read guards.
+    /// Concurrent read-mode holders are allowed; a read-mode hold excludes
+    /// only write-mode acquisition.
+    AcquireRead {
+        /// The lock acquired in read mode.
+        lock: LockId,
+    },
+    /// Release a read-mode hold of `lock`.
+    ReleaseRead {
+        /// The lock released from read mode.
+        lock: LockId,
+    },
+    /// Send one message on channel `chan`. Modeled as a release-like
+    /// synchronization: the matched `Recv` must-happen-after it (via a
+    /// [`MsgLink`](crate::MsgLink)).
+    Send {
+        /// The channel sent on.
+        chan: ChanId,
+    },
+    /// Receive one message from channel `chan`. The matched `Send` (if
+    /// linked) must-happen-before it.
+    Recv {
+        /// The channel received from.
+        chan: ChanId,
+    },
     /// Fork a new thread `child`.
     Fork {
         /// The thread created.
@@ -241,6 +291,10 @@ impl EventKind {
             EventKind::Write { .. } => "write",
             EventKind::Acquire { .. } => "acquire",
             EventKind::Release { .. } => "release",
+            EventKind::AcquireRead { .. } => "acquire-read",
+            EventKind::ReleaseRead { .. } => "release-read",
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
             EventKind::Fork { .. } => "fork",
             EventKind::Join { .. } => "join",
             EventKind::Branch => "branch",
@@ -266,13 +320,25 @@ impl EventKind {
         }
     }
 
-    /// The lock involved, if this is an acquire, release or notify.
+    /// The lock involved, if this is an acquire/release (either mode) or
+    /// notify.
     #[inline]
     pub fn lock(&self) -> Option<LockId> {
         match *self {
             EventKind::Acquire { lock }
             | EventKind::Release { lock }
+            | EventKind::AcquireRead { lock }
+            | EventKind::ReleaseRead { lock }
             | EventKind::Notify { lock } => Some(lock),
+            _ => None,
+        }
+    }
+
+    /// The channel involved, if this is a send or recv.
+    #[inline]
+    pub fn chan(&self) -> Option<ChanId> {
+        match *self {
+            EventKind::Send { chan } | EventKind::Recv { chan } => Some(chan),
             _ => None,
         }
     }
@@ -374,6 +440,14 @@ impl fmt::Display for Event {
             }
             EventKind::Acquire { lock } => write!(f, "acquire({}, {})", self.thread, lock),
             EventKind::Release { lock } => write!(f, "release({}, {})", self.thread, lock),
+            EventKind::AcquireRead { lock } => {
+                write!(f, "acquire-read({}, {})", self.thread, lock)
+            }
+            EventKind::ReleaseRead { lock } => {
+                write!(f, "release-read({}, {})", self.thread, lock)
+            }
+            EventKind::Send { chan } => write!(f, "send({}, {})", self.thread, chan),
+            EventKind::Recv { chan } => write!(f, "recv({}, {})", self.thread, chan),
             EventKind::Fork { child } => write!(f, "fork({}, {})", self.thread, child),
             EventKind::Join { child } => write!(f, "join({}, {})", self.thread, child),
             EventKind::Branch => write!(f, "branch({})", self.thread),
@@ -444,6 +518,35 @@ mod tests {
         assert!(a.kind.is_sync());
         let b = Event::new(ThreadId(0), EventKind::Branch, Loc(1));
         assert!(b.kind.is_branch() && !b.kind.is_sync());
+    }
+
+    #[test]
+    fn extended_kind_accessors() {
+        let ar = Event::new(
+            ThreadId(0),
+            EventKind::AcquireRead { lock: LockId(2) },
+            Loc(0),
+        );
+        assert_eq!(ar.kind.lock(), Some(LockId(2)));
+        assert_eq!(ar.kind.name(), "acquire-read");
+        assert!(ar.kind.is_sync());
+        let rr = Event::new(
+            ThreadId(0),
+            EventKind::ReleaseRead { lock: LockId(2) },
+            Loc(0),
+        );
+        assert_eq!(rr.kind.lock(), Some(LockId(2)));
+        assert!(rr.kind.is_sync());
+        let s = Event::new(ThreadId(1), EventKind::Send { chan: ChanId(3) }, Loc(0));
+        assert_eq!(s.kind.chan(), Some(ChanId(3)));
+        assert_eq!(s.kind.lock(), None);
+        assert!(s.kind.is_sync());
+        let r = Event::new(ThreadId(2), EventKind::Recv { chan: ChanId(3) }, Loc(0));
+        assert_eq!(r.kind.chan(), Some(ChanId(3)));
+        assert_eq!(r.kind.name(), "recv");
+        assert_eq!(format!("{ar}"), "acquire-read(t0, l2)");
+        assert_eq!(format!("{s}"), "send(t1, c3)");
+        assert_eq!(format!("{r}"), "recv(t2, c3)");
     }
 
     #[test]

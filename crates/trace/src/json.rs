@@ -28,8 +28,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::event::{Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
-use crate::trace::{Trace, TraceData, WaitLink};
+use crate::event::{ChanId, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+use crate::trace::{MsgLink, Trace, TraceData, WaitLink};
 
 /// A JSON parse or shape error, with a byte offset for syntax errors and a
 /// short excerpt of the input around it.
@@ -494,6 +494,14 @@ fn write_kind(out: &mut String, kind: &EventKind) {
         EventKind::Release { lock } => {
             out.push_str(&format!("{{\"Release\":{{\"lock\":{}}}}}", lock.0))
         }
+        EventKind::AcquireRead { lock } => {
+            out.push_str(&format!("{{\"AcquireRead\":{{\"lock\":{}}}}}", lock.0))
+        }
+        EventKind::ReleaseRead { lock } => {
+            out.push_str(&format!("{{\"ReleaseRead\":{{\"lock\":{}}}}}", lock.0))
+        }
+        EventKind::Send { chan } => out.push_str(&format!("{{\"Send\":{{\"chan\":{}}}}}", chan.0)),
+        EventKind::Recv { chan } => out.push_str(&format!("{{\"Recv\":{{\"chan\":{}}}}}", chan.0)),
         EventKind::Notify { lock } => {
             out.push_str(&format!("{{\"Notify\":{{\"lock\":{}}}}}", lock.0))
         }
@@ -527,8 +535,11 @@ fn write_event(out: &mut String, e: &Event) {
     out.push_str(&format!(",\"loc\":{}}}", e.loc.0));
 }
 
-/// Writes the five metadata fields (`initial_values` … `var_names`) as a
+/// Writes the metadata fields (`initial_values` … `var_names`) as a
 /// comma-separated run of `"key":value` pairs, no surrounding braces.
+/// `msg_links` is emitted only when non-empty — it is an *optional* field
+/// (absent from [`METADATA_KEYS`]) so documents from earlier builds, which
+/// never carry it, keep loading and old readers never see it.
 fn write_metadata_fields(out: &mut String, data: &TraceData) {
     out.push_str("\"initial_values\":{");
     for (i, (var, value)) in data.initial_values.iter().enumerate() {
@@ -559,7 +570,21 @@ fn write_metadata_fields(out: &mut String, data: &TraceData) {
         }
         out.push('}');
     }
-    out.push_str("],\"loc_names\":");
+    out.push(']');
+    if !data.msg_links.is_empty() {
+        out.push_str(",\"msg_links\":[");
+        for (i, ml) in data.msg_links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"send\":{},\"recv\":{}}}",
+                ml.send.0, ml.recv.0
+            ));
+        }
+        out.push(']');
+    }
+    out.push_str(",\"loc_names\":");
     write_name_map(out, &data.loc_names, |l: Loc| l.0);
     out.push_str(",\"var_names\":");
     write_name_map(out, &data.var_names, |v: VarId| v.0);
@@ -630,6 +655,18 @@ fn read_kind(v: &JsonValue) -> Result<EventKind, JsonError> {
                 }),
                 "Release" => Ok(EventKind::Release {
                     lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "AcquireRead" => Ok(EventKind::AcquireRead {
+                    lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "ReleaseRead" => Ok(EventKind::ReleaseRead {
+                    lock: LockId(body.field("lock")?.as_u32()?),
+                }),
+                "Send" => Ok(EventKind::Send {
+                    chan: ChanId(body.field("chan")?.as_u32()?),
+                }),
+                "Recv" => Ok(EventKind::Recv {
+                    chan: ChanId(body.field("chan")?.as_u32()?),
                 }),
                 "Notify" => Ok(EventKind::Notify {
                     lock: LockId(body.field("lock")?.as_u32()?),
@@ -706,6 +743,14 @@ pub(crate) fn apply_metadata_field(
                 });
             }
         }
+        "msg_links" => {
+            for ml in v.as_array()? {
+                data.msg_links.push(MsgLink {
+                    send: EventId(ml.field("send")?.as_u32()?),
+                    recv: EventId(ml.field("recv")?.as_u32()?),
+                });
+            }
+        }
         "loc_names" => {
             for (k, v) in v.as_object()? {
                 data.loc_names
@@ -745,6 +790,26 @@ pub fn validate_wait_links(data: &TraceData) -> Result<(), JsonError> {
         check("acquire", wl.acquire)?;
         if let Some(n) = wl.notify {
             check("notify", n)?;
+        }
+    }
+    for ml in &data.msg_links {
+        let check = |what: &str, id: EventId| {
+            if id.index() < n_events {
+                Ok(())
+            } else {
+                Err(shape(format!(
+                    "msg link {what} {} out of range (trace has {n_events} events)",
+                    id.0
+                )))
+            }
+        };
+        check("send", ml.send)?;
+        check("recv", ml.recv)?;
+        if ml.send >= ml.recv {
+            return Err(shape(format!(
+                "msg link send {} does not precede recv {}",
+                ml.send.0, ml.recv.0
+            )));
         }
     }
     Ok(())
@@ -814,6 +879,10 @@ pub fn from_json_data(input: &str) -> Result<TraceData, JsonError> {
     }
     for key in METADATA_KEYS {
         apply_metadata_field(&mut data, key, root.field(key)?)?;
+    }
+    // Optional fields: absent in documents from earlier builds.
+    if let Some(v) = root.get("msg_links") {
+        apply_metadata_field(&mut data, "msg_links", v)?;
     }
     Ok(data)
 }
@@ -912,6 +981,57 @@ mod tests {
         let (trace, report) = crate::salvage::salvage_trace(data);
         assert_eq!(trace.len(), 1);
         assert_eq!(report.dangling_wait_links, 1);
+    }
+
+    #[test]
+    fn extended_kinds_and_msg_links_roundtrip() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("rw");
+        let c = b.new_chan("ch");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1);
+        b.acquire_read(t1, l);
+        let s = b.send(t1, c);
+        b.release_read(t1, l);
+        let r = b.recv(t2, c, Some(s));
+        let t = b.finish();
+        let json = to_json(&t);
+        assert!(json.contains("\"AcquireRead\""), "{json}");
+        assert!(json.contains("\"msg_links\""), "{json}");
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.msg_links(), t.msg_links());
+        assert_eq!(back.msg_link_of_recv(r).unwrap().send, s);
+    }
+
+    #[test]
+    fn documents_without_msg_links_still_load() {
+        // A document in the pre-msg_links shape (exactly the old five
+        // metadata keys) must parse, and its writer output must not grow
+        // a msg_links field.
+        let s = r#"{"events":[{"thread":0,"kind":"Branch","loc":0}],
+            "initial_values":{},"volatiles":[],"wait_links":[],
+            "loc_names":{},"var_names":{}}"#;
+        let t = from_json(s).unwrap();
+        assert!(t.msg_links().is_empty());
+        assert!(!to_json(&t).contains("msg_links"));
+    }
+
+    #[test]
+    fn bad_msg_links_rejected() {
+        let base = |links: &str| {
+            format!(
+                r#"{{"events":[{{"thread":0,"kind":{{"Send":{{"chan":0}}}},"loc":0}},
+                    {{"thread":0,"kind":{{"Recv":{{"chan":0}}}},"loc":1}}],
+                "initial_values":{{}},"volatiles":[],"wait_links":[],
+                "msg_links":{links},"loc_names":{{}},"var_names":{{}}}}"#
+            )
+        };
+        let err = from_json(&base(r#"[{"send":0,"recv":99}]"#)).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = from_json(&base(r#"[{"send":1,"recv":0}]"#)).unwrap_err();
+        assert!(err.to_string().contains("does not precede"), "{err}");
+        assert!(from_json(&base(r#"[{"send":0,"recv":1}]"#)).is_ok());
     }
 
     #[test]

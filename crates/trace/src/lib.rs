@@ -62,7 +62,7 @@ pub use consistency::{
     check_consistency, check_schedule, schedule_read_values, Schedule, ScheduleError,
 };
 pub use error::TraceError;
-pub use event::{Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
+pub use event::{ChanId, Cop, Event, EventId, EventKind, Loc, LockId, ThreadId, Value, VarId};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use json::{
     escape_json, from_json, from_json_data, from_json_data_with_stats, from_json_with_stats,
@@ -71,7 +71,7 @@ pub use json::{
 pub use salvage::{salvage_trace, SalvageReport};
 pub use signature::{RaceSignature, SignatureDisplay};
 pub use stream::{read_trace, read_trace_data, StreamFormat, StreamParser};
-pub use trace::{Trace, TraceData, TraceStats, WaitLink};
+pub use trace::{MsgLink, Trace, TraceData, TraceStats, WaitLink};
 pub use vector_clock::VectorClock;
 pub use view::{
     BoundarySpill, BoundaryTracker, CsSpan, StraddlePlan, View, ViewExt, WindowBoundary,

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::event::{EventId, EventKind, LockId, ThreadId, Value, VarId};
-use crate::trace::{Trace, TraceData, WaitLink};
+use crate::trace::{MsgLink, Trace, TraceData, WaitLink};
 
 /// What lenient ingestion dropped, and why.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -34,6 +34,9 @@ pub struct SalvageReport {
     /// Wait links discarded because an endpoint was dropped or out of
     /// range ("dangling-wait-link" in diagnostics).
     pub dangling_wait_links: usize,
+    /// Message links discarded because an endpoint was dropped, out of
+    /// range, or reversed ("dangling-msg-link" in diagnostics).
+    pub dangling_msg_links: usize,
     /// Wall-clock time spent salvaging (not rendered by `Display`; it
     /// feeds the `--metrics` timing section).
     pub elapsed: std::time::Duration,
@@ -47,7 +50,7 @@ impl SalvageReport {
 
     /// True when nothing was dropped — the input was already consistent.
     pub fn is_clean(&self) -> bool {
-        self.dropped.is_empty() && self.dangling_wait_links == 0
+        self.dropped.is_empty() && self.dangling_wait_links == 0 && self.dangling_msg_links == 0
     }
 }
 
@@ -62,6 +65,9 @@ impl fmt::Display for SalvageReport {
         }
         if self.dangling_wait_links > 0 {
             write!(f, "; dangling-wait-link={}", self.dangling_wait_links)?;
+        }
+        if self.dangling_msg_links > 0 {
+            write!(f, "; dangling-msg-link={}", self.dangling_msg_links)?;
         }
         Ok(())
     }
@@ -111,6 +117,7 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
         initial_values,
         volatiles,
         wait_links,
+        msg_links,
         loc_names,
         var_names,
     } = data;
@@ -124,6 +131,7 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
     let mut remap: HashMap<EventId, EventId> = HashMap::new();
     let mut values: HashMap<VarId, Value> = HashMap::new();
     let mut lock_holder: HashMap<LockId, ThreadId> = HashMap::new();
+    let mut read_holders: HashMap<LockId, Vec<ThreadId>> = HashMap::new();
     let mut ts: HashMap<ThreadId, Ts> = HashMap::new();
 
     for (i, e) in events.into_iter().enumerate() {
@@ -146,11 +154,20 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
                         });
                         (value != expected).then_some("inconsistent-read")
                     }
-                    EventKind::Acquire { lock } => lock_holder
-                        .contains_key(&lock)
-                        .then_some("acquire-held-lock"),
+                    EventKind::Acquire { lock } => (lock_holder.contains_key(&lock)
+                        || !read_holders.get(&lock).map_or(true, Vec::is_empty))
+                    .then_some("acquire-held-lock"),
                     EventKind::Release { lock } => (lock_holder.get(&lock) != Some(&e.thread))
                         .then_some("release-without-acquire"),
+                    EventKind::AcquireRead { lock } => (lock_holder.contains_key(&lock)
+                        || read_holders
+                            .get(&lock)
+                            .is_some_and(|r| r.contains(&e.thread)))
+                    .then_some("acquire-held-lock"),
+                    EventKind::ReleaseRead { lock } => (!read_holders
+                        .get(&lock)
+                        .is_some_and(|r| r.contains(&e.thread)))
+                    .then_some("release-without-acquire"),
                     EventKind::Fork { child } => ts
                         .get(&child)
                         .is_some_and(|c| c.forked)
@@ -158,7 +175,11 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
                     EventKind::Join { child } => {
                         (!ts.get(&child).is_some_and(|c| c.ended)).then_some("join-before-end")
                     }
-                    EventKind::Write { .. } | EventKind::Branch | EventKind::Notify { .. } => None,
+                    EventKind::Write { .. }
+                    | EventKind::Branch
+                    | EventKind::Notify { .. }
+                    | EventKind::Send { .. }
+                    | EventKind::Recv { .. } => None,
                 }
             }
         };
@@ -180,6 +201,15 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
             }
             EventKind::Release { lock } => {
                 lock_holder.remove(&lock);
+            }
+            EventKind::AcquireRead { lock } => {
+                read_holders.entry(lock).or_default().push(e.thread);
+            }
+            EventKind::ReleaseRead { lock } => {
+                let readers = read_holders.entry(lock).or_default();
+                if let Some(p) = readers.iter().position(|&t| t == e.thread) {
+                    readers.swap_remove(p);
+                }
             }
             EventKind::Fork { child } => {
                 ts.entry(child).or_default().forked = true;
@@ -211,11 +241,25 @@ pub fn salvage_trace(data: TraceData) -> (Trace, SalvageReport) {
         )
         .collect();
 
+    // Remap message links; a link with a dropped or out-of-range endpoint
+    // — or one whose send does not precede its recv — is discarded.
+    let msg_links: Vec<MsgLink> = msg_links
+        .into_iter()
+        .filter_map(|ml| match (remap.get(&ml.send), remap.get(&ml.recv)) {
+            (Some(&send), Some(&recv)) if send < recv => Some(MsgLink { send, recv }),
+            _ => {
+                report.dangling_msg_links += 1;
+                None
+            }
+        })
+        .collect();
+
     let trace = Trace::from_data(TraceData {
         events: kept,
         initial_values,
         volatiles,
         wait_links,
+        msg_links,
         loc_names,
         var_names,
     });
@@ -377,6 +421,63 @@ mod tests {
         assert_eq!(report.dangling_wait_links, 1);
         assert!(!report.is_clean());
         assert!(format!("{report}").contains("dangling-wait-link=1"));
+    }
+
+    #[test]
+    fn rwlock_violations_dropped() {
+        let data = TraceData {
+            events: vec![
+                ev(0, EventKind::AcquireRead { lock: LockId(0) }),
+                ev(1, EventKind::Acquire { lock: LockId(0) }), // read-held
+                ev(1, EventKind::AcquireRead { lock: LockId(1) }),
+                ev(2, EventKind::AcquireRead { lock: LockId(1) }), // ok: shared
+                ev(0, EventKind::ReleaseRead { lock: LockId(1) }), // not a holder
+                ev(1, EventKind::ReleaseRead { lock: LockId(1) }),
+            ],
+            ..Default::default()
+        };
+        let (trace, report) = salvage_trace(data);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(report.dropped["acquire-held-lock"], 1);
+        assert_eq!(report.dropped["release-without-acquire"], 1);
+        assert!(check_consistency(&trace).is_empty());
+    }
+
+    #[test]
+    fn dangling_msg_links_discarded() {
+        let data = TraceData {
+            events: vec![
+                ev(0, EventKind::Release { lock: LockId(0) }), // dropped
+                ev(
+                    0,
+                    EventKind::Send {
+                        chan: crate::ChanId(0),
+                    },
+                ),
+                ev(
+                    1,
+                    EventKind::Recv {
+                        chan: crate::ChanId(0),
+                    },
+                ),
+            ],
+            msg_links: vec![
+                MsgLink {
+                    send: EventId(0), // endpoint dropped
+                    recv: EventId(2),
+                },
+                MsgLink {
+                    send: EventId(1),
+                    recv: EventId(2),
+                },
+            ],
+            ..Default::default()
+        };
+        let (trace, report) = salvage_trace(data);
+        assert_eq!(report.dangling_msg_links, 1);
+        assert_eq!(trace.msg_links().len(), 1);
+        assert_eq!(trace.msg_links()[0].send, EventId(0)); // renumbered
+        assert!(format!("{report}").contains("dangling-msg-link=1"));
     }
 
     #[test]

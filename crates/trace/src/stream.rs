@@ -733,6 +733,14 @@ impl StreamParser {
     /// Applies a completed top-level field (first occurrence wins, like
     /// [`JsonValue::field`]; unknown keys are syntax-checked and ignored).
     fn apply_doc_field(&mut self, key: &str, v: &JsonValue) -> Result<(), JsonError> {
+        if key == "msg_links" {
+            // Optional key (absent in older documents): applied when present,
+            // never counted toward metadata completeness.
+            if self.data.msg_links.is_empty() {
+                apply_metadata_field(&mut self.data, key, v)?;
+            }
+            return Ok(());
+        }
         let Some(idx) = METADATA_KEYS.iter().position(|k| *k == key) else {
             return Ok(());
         };

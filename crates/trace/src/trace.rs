@@ -19,6 +19,17 @@ pub struct WaitLink {
     pub notify: Option<EventId>,
 }
 
+/// A matched channel message: the `Send` that produced it and the `Recv`
+/// that consumed it. Induces a must-happen-before edge send → recv,
+/// analogous to a [`WaitLink`]'s notify → re-acquire edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgLink {
+    /// The send event that produced the message.
+    pub send: EventId,
+    /// The recv event that consumed it.
+    pub recv: EventId,
+}
+
 /// Serializable core data of a trace (no derived indexes).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceData {
@@ -31,6 +42,9 @@ pub struct TraceData {
     pub volatiles: Vec<VarId>,
     /// Matched wait/notify occurrences.
     pub wait_links: Vec<WaitLink>,
+    /// Matched channel send/recv occurrences. Serialized as an *optional*
+    /// metadata field so documents written by earlier builds still load.
+    pub msg_links: Vec<MsgLink>,
     /// Optional human-readable names for program locations.
     pub loc_names: BTreeMap<Loc, String>,
     /// Optional human-readable names for variables.
@@ -93,11 +107,14 @@ pub struct Trace {
     pos_in_thread: Vec<u32>,
     n_vars: usize,
     n_locks: usize,
+    n_chans: usize,
     volatile_set: Vec<bool>,
     /// For each event id of a `Notify`, the wait link index it satisfied.
     notify_to_link: BTreeMap<EventId, usize>,
     /// For each wait re-acquire event, the wait link index.
     wait_acquire_to_link: BTreeMap<EventId, usize>,
+    /// For each linked `Recv` event, the msg link index.
+    recv_to_link: BTreeMap<EventId, usize>,
 }
 
 impl From<TraceData> for Trace {
@@ -123,6 +140,7 @@ impl Trace {
         let mut pos_in_thread = Vec::with_capacity(data.events.len());
         let mut n_vars = 0usize;
         let mut n_locks = 0usize;
+        let mut n_chans = 0usize;
         for (i, e) in data.events.iter().enumerate() {
             let ti = *thread_index.entry(e.thread).or_insert_with(|| {
                 threads.push(e.thread);
@@ -136,6 +154,9 @@ impl Trace {
             }
             if let Some(l) = e.kind.lock() {
                 n_locks = n_locks.max(l.index() + 1);
+            }
+            if let Some(c) = e.kind.chan() {
+                n_chans = n_chans.max(c.index() + 1);
             }
             // Forked/joined threads count even if they produced no events.
             match e.kind {
@@ -167,6 +188,10 @@ impl Trace {
             }
             wait_acquire_to_link.insert(wl.acquire, i);
         }
+        let mut recv_to_link = BTreeMap::new();
+        for (i, ml) in data.msg_links.iter().enumerate() {
+            recv_to_link.insert(ml.recv, i);
+        }
         Trace {
             data,
             thread_lookup: thread_index,
@@ -175,9 +200,11 @@ impl Trace {
             pos_in_thread,
             n_vars,
             n_locks,
+            n_chans,
             volatile_set,
             notify_to_link,
             wait_acquire_to_link,
+            recv_to_link,
         }
     }
 
@@ -255,6 +282,12 @@ impl Trace {
         self.n_locks
     }
 
+    /// Number of distinct channels (dense id space).
+    #[inline]
+    pub fn n_chans(&self) -> usize {
+        self.n_chans
+    }
+
     /// The initial value of a variable (defaults to `0`).
     #[inline]
     pub fn initial_value(&self, v: VarId) -> Value {
@@ -289,6 +322,19 @@ impl Trace {
         self.wait_acquire_to_link
             .get(&acquire)
             .map(|&i| &self.data.wait_links[i])
+    }
+
+    /// The matched channel messages.
+    #[inline]
+    pub fn msg_links(&self) -> &[MsgLink] {
+        &self.data.msg_links
+    }
+
+    /// The msg link whose recv is the given event, if any.
+    pub fn msg_link_of_recv(&self, recv: EventId) -> Option<&MsgLink> {
+        self.recv_to_link
+            .get(&recv)
+            .map(|&i| &self.data.msg_links[i])
     }
 
     /// Human-readable name for a program location, if registered.
@@ -473,5 +519,27 @@ mod tests {
             Some(EventId(2))
         );
         assert!(t.wait_link_of_notify(EventId(0)).is_none());
+    }
+
+    #[test]
+    fn msg_links_indexed() {
+        use crate::event::ChanId;
+        let events = vec![
+            ev(0, EventKind::Send { chan: ChanId(1) }),
+            ev(1, EventKind::Recv { chan: ChanId(1) }),
+        ];
+        let mut data = TraceData {
+            events,
+            ..Default::default()
+        };
+        data.msg_links.push(MsgLink {
+            send: EventId(0),
+            recv: EventId(1),
+        });
+        let t = Trace::from_data(data);
+        assert_eq!(t.n_chans(), 2);
+        assert_eq!(t.msg_links().len(), 1);
+        assert_eq!(t.msg_link_of_recv(EventId(1)).unwrap().send, EventId(0));
+        assert!(t.msg_link_of_recv(EventId(0)).is_none());
     }
 }

@@ -47,6 +47,11 @@ pub struct CsSpan {
 pub struct WindowBoundary {
     values: Vec<Value>,
     held: Vec<(ThreadId, LockId)>,
+    /// Read-mode (shared) holds open at the boundary. Kept separate from
+    /// `held` so every existing write-mode consumer (mutual exclusion,
+    /// critical-section spans, locksets) is untouched by the RwLock
+    /// vocabulary.
+    held_read: Vec<(ThreadId, LockId)>,
 }
 
 impl WindowBoundary {
@@ -59,6 +64,7 @@ impl WindowBoundary {
         WindowBoundary {
             values,
             held: Vec::new(),
+            held_read: Vec::new(),
         }
     }
 
@@ -82,6 +88,7 @@ impl WindowBoundary {
         WindowBoundary {
             values,
             held: Vec::new(),
+            held_read: Vec::new(),
         }
     }
 
@@ -105,6 +112,16 @@ impl WindowBoundary {
                         .position(|&(t, l)| t == e.thread && l == lock)
                     {
                         self.held.swap_remove(p);
+                    }
+                }
+                EventKind::AcquireRead { lock } => self.held_read.push((e.thread, lock)),
+                EventKind::ReleaseRead { lock } => {
+                    if let Some(p) = self
+                        .held_read
+                        .iter()
+                        .position(|&(t, l)| t == e.thread && l == lock)
+                    {
+                        self.held_read.swap_remove(p);
                     }
                 }
                 _ => {}
@@ -146,6 +163,7 @@ pub struct View<'a> {
     end: usize,
     initial: Vec<Value>,
     held_at_start: Vec<(ThreadId, LockId)>,
+    held_read_at_start: Vec<(ThreadId, LockId)>,
     thread_events: Vec<Vec<EventId>>,
     vpos: Vec<u32>,
     reads_by_var: Vec<Vec<EventId>>,
@@ -153,9 +171,16 @@ pub struct View<'a> {
     reads_by_thread: Vec<Vec<EventId>>,
     branches_by_thread: Vec<Vec<EventId>>,
     cs_by_lock: Vec<Vec<CsSpan>>,
+    /// Read-mode spans, indexed separately so [`View::critical_sections`]
+    /// stays write-only (mutual exclusion applies between a write span and
+    /// anything, never between two read spans).
+    read_cs_by_lock: Vec<Vec<CsSpan>>,
     lockset_ids: Vec<u32>,
     lockset_pool: Vec<Vec<LockId>>,
     clocks: Vec<VectorClock>,
+    /// Whether the window contains extended-vocabulary synchronization
+    /// (RwLock read mode, channel send/recv).
+    has_extended: bool,
 }
 
 impl<'a> View<'a> {
@@ -176,6 +201,14 @@ impl<'a> View<'a> {
         for &(t, l) in &carry.held {
             open_by_lock[l.index()] = Some((t, None));
         }
+        let mut read_cs_by_lock: Vec<Vec<CsSpan>> = vec![Vec::new(); n_locks];
+        // Several read-mode holds can be open on one lock at once.
+        let mut open_read_by_lock: Vec<Vec<(ThreadId, Option<EventId>)>> =
+            vec![Vec::new(); n_locks];
+        for &(t, l) in &carry.held_read {
+            open_read_by_lock[l.index()].push((t, None));
+        }
+        let mut has_extended = false;
         let mut lockset_ids = vec![0u32; len];
         let mut lockset_pool: Vec<Vec<LockId>> = vec![Vec::new()];
         let mut lockset_lookup: HashMap<Vec<LockId>, u32> = HashMap::new();
@@ -211,6 +244,16 @@ impl<'a> View<'a> {
                         if let Some(ec) = &end_clock[ci] {
                             let ec = ec.clone();
                             cur_clock[ti].join(&ec);
+                        }
+                    }
+                }
+                EventKind::Recv { .. } => {
+                    // A linked recv must-happen-after its send (the encoder
+                    // asserts the same edge, so treating it as MHB is sound).
+                    if let Some(ml) = trace.msg_link_of_recv(id) {
+                        if ml.send.index() >= start && ml.send.index() < i {
+                            let sc = clocks[ml.send.index() - start].clone();
+                            cur_clock[ti].join(&sc);
                         }
                     }
                 }
@@ -272,12 +315,43 @@ impl<'a> View<'a> {
                         release: Some(id),
                     });
                 }
+                EventKind::AcquireRead { lock } => {
+                    has_extended = true;
+                    open_read_by_lock[lock.index()].push((e.thread, Some(id)));
+                }
+                EventKind::ReleaseRead { lock } => {
+                    has_extended = true;
+                    let open = &mut open_read_by_lock[lock.index()];
+                    let (t, acquire) = match open.iter().position(|&(t, _)| t == e.thread) {
+                        Some(p) => open.remove(p),
+                        None => (e.thread, None),
+                    };
+                    read_cs_by_lock[lock.index()].push(CsSpan {
+                        thread: t,
+                        lock,
+                        acquire,
+                        release: Some(id),
+                    });
+                }
+                EventKind::Send { .. } | EventKind::Recv { .. } => {
+                    has_extended = true;
+                }
                 _ => {}
             }
         }
         for (li, open) in open_by_lock.into_iter().enumerate() {
             if let Some((t, acquire)) = open {
                 cs_by_lock[li].push(CsSpan {
+                    thread: t,
+                    lock: LockId(li as u32),
+                    acquire,
+                    release: None,
+                });
+            }
+        }
+        for (li, open) in open_read_by_lock.into_iter().enumerate() {
+            for (t, acquire) in open {
+                read_cs_by_lock[li].push(CsSpan {
                     thread: t,
                     lock: LockId(li as u32),
                     acquire,
@@ -292,6 +366,7 @@ impl<'a> View<'a> {
             end,
             initial: carry.values.clone(),
             held_at_start: carry.held.clone(),
+            held_read_at_start: carry.held_read.clone(),
             thread_events,
             vpos,
             reads_by_var,
@@ -299,9 +374,11 @@ impl<'a> View<'a> {
             reads_by_thread,
             branches_by_thread,
             cs_by_lock,
+            read_cs_by_lock,
             lockset_ids,
             lockset_pool,
             clocks,
+            has_extended,
         }
     }
 
@@ -361,6 +438,21 @@ impl<'a> View<'a> {
     #[inline]
     pub fn held_at_start(&self) -> &[(ThreadId, LockId)] {
         &self.held_at_start
+    }
+
+    /// Read-mode (shared) holds open when the window starts.
+    #[inline]
+    pub fn held_read_at_start(&self) -> &[(ThreadId, LockId)] {
+        &self.held_read_at_start
+    }
+
+    /// Whether the window contains extended-vocabulary synchronization
+    /// (RwLock read mode, channel send/recv). Consumers whose analyses
+    /// predate the extended vocabulary (relevance slicing) use this to
+    /// conservatively opt out on such windows.
+    #[inline]
+    pub fn has_extended_sync(&self) -> bool {
+        self.has_extended
     }
 
     /// Events of one thread inside the view, in program order.
@@ -476,6 +568,17 @@ impl<'a> View<'a> {
         self.cs_by_lock.iter().flatten()
     }
 
+    /// Read-mode critical-section spans for `lock`, in trace order of
+    /// their releases (boundary-open spans last). Disjoint from
+    /// [`View::critical_sections`]: a read span excludes only write spans
+    /// of the same lock, never other read spans.
+    pub fn read_critical_sections(&self, lock: LockId) -> &[CsSpan] {
+        self.read_cs_by_lock
+            .get(lock.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// The set of locks held by `e`'s thread at the moment of `e`
     /// (sorted; includes a lock being acquired/released by `e` itself).
     pub fn lockset(&self, e: EventId) -> &[LockId] {
@@ -500,6 +603,7 @@ impl<'a> View<'a> {
         let mut carry = WindowBoundary {
             values: self.initial.clone(),
             held: self.held_at_start.clone(),
+            held_read: self.held_read_at_start.clone(),
         };
         let first = View::build(self.trace, self.start, mid, &carry);
         carry.advance(self.trace.events(), self.start..mid);
@@ -1268,6 +1372,70 @@ mod tests {
         let vb = fresh.view(&tr, plan.ext_start..tr.len());
         assert_eq!(va.initial_value(x), vb.initial_value(x));
         assert_eq!(va.held_at_start(), vb.held_at_start());
+    }
+
+    #[test]
+    fn read_spans_and_boundary_read_holds() {
+        let mut b = TraceBuilder::new();
+        let l = b.new_lock("rw");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        b.acquire_read(t1, l); // e1 (window 0: e0..e1)
+        b.acquire_read(t2, l); // e2 begin, e3 acquire-read (window 1)
+        b.release_read(t1, l); // e4
+        b.release_read(t2, l); // e5
+        let tr = b.finish();
+        let full = tr.full_view();
+        assert!(full.has_extended_sync());
+        assert!(full.critical_sections(l).is_empty(), "write-only index");
+        let rs = full.read_critical_sections(l);
+        assert_eq!(rs.len(), 2);
+        assert!(rs
+            .iter()
+            .all(|s| s.acquire.is_some() && s.release.is_some()));
+        // Read holds carry across a window boundary, separately from
+        // write-mode holds.
+        let ws = tr.windows(2);
+        let w1 = &ws[1];
+        assert_eq!(w1.held_at_start(), &[] as &[(ThreadId, LockId)]);
+        assert_eq!(w1.held_read_at_start(), &[(t1, l)]);
+        let rs1 = w1.read_critical_sections(l);
+        assert_eq!(rs1.len(), 2);
+        // t1's span is boundary-open: no acquire inside window 1.
+        assert!(rs1.iter().any(|s| s.thread == t1 && s.acquire.is_none()));
+        // Read-mode holds stay out of locksets (soundness: a read hold
+        // never excludes another read hold, so lockset-based pruning
+        // cannot treat it as mutual exclusion).
+        assert_eq!(full.lockset(EventId(4)), &[] as &[LockId]);
+    }
+
+    #[test]
+    fn recv_joins_send_clock() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let c = b.new_chan("ch");
+        let t1 = ThreadId::MAIN;
+        let t2 = b.fork(t1); // e0
+        let w = b.write(t1, x, 1); // e1
+        let s = b.send(t1, c); // e2
+        b.recv(t2, c, Some(s)); // e3 begin, e4 recv
+        let r = b.read(t2, x, 1); // e5
+        let tr = b.finish();
+        let v = tr.full_view();
+        // The write is MHB-before the read through the message edge.
+        assert!(v.mhb(w, r));
+        assert!(v.mhb(s, r));
+        // An unlinked recv adds no edge.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let c = b.new_chan("ch");
+        let t2 = b.fork(ThreadId::MAIN);
+        let w = b.write(ThreadId::MAIN, x, 1);
+        b.send(ThreadId::MAIN, c);
+        b.recv(t2, c, None);
+        let r = b.read(t2, x, 1);
+        let tr = b.finish();
+        assert!(!tr.full_view().mhb(w, r));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //!
 //! OPTIONS:
 //!   --detector rv|said|cp|hb   technique to run (default rv)
+//!   --kind race|deadlock|atomicity|all
+//!                              violation class to predict (default race; rv
+//!                              detector only): `deadlock` finds predictable
+//!                              circular lock waits, `atomicity` unserializable
+//!                              interleavings of intended-atomic blocks, `all`
+//!                              runs every class over one ingested trace
 //!   --window N                 window size in events (default 10000)
 //!   --budget SECS              per-COP solver budget (default 60, as in the paper)
 //!   --timeout-ms MS            per-*window* wall-clock budget: when a window has
@@ -96,6 +102,7 @@ use rvpredict::{
 
 struct Options {
     detector: String,
+    kind: driver::Kind,
     window: usize,
     budget: Duration,
     timeout_ms: Option<u64>,
@@ -136,6 +143,7 @@ impl Options {
                 .spill_budget
                 .unwrap_or(SessionRequest::default().spill_budget),
             want_metrics: self.metrics.is_some(),
+            kind: self.kind,
         }
     }
 }
@@ -166,6 +174,7 @@ impl PhaseLog {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         detector: "rv".into(),
+        kind: driver::Kind::Race,
         window: 10_000,
         budget: Duration::from_secs(60),
         timeout_ms: None,
@@ -191,6 +200,11 @@ fn parse_args() -> Result<Options, String> {
         match args[i].as_str() {
             "--detector" => {
                 opts.detector = args.get(i + 1).ok_or("--detector needs a value")?.clone();
+                i += 2;
+            }
+            "--kind" => {
+                let name = args.get(i + 1).ok_or("--kind needs a value")?;
+                opts.kind = driver::parse_kind(name)?;
                 i += 2;
             }
             "--window" => {
@@ -311,7 +325,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: rvpredict [--detector rv|said|cp|hb] [--window N] [--budget SECS] \
+        "usage: rvpredict [--detector rv|said|cp|hb] [--kind race|deadlock|atomicity|all] \
+         [--window N] [--budget SECS] \
          [--timeout-ms MS] [--jobs N] [--window-mode fixed|cone] \
          [--spill-budget BYTES] [--connect SOCK] [--stream] [--witnesses] \
          [--lenient] [--retry-split] [--no-slice] [--no-tiers] \
@@ -672,6 +687,17 @@ fn main() -> ExitCode {
     let log = PhaseLog::new(opts.trace_log);
     let mut metrics = Metrics::new();
 
+    // The deadlock/atomicity analyses are defined over the rv machinery
+    // only; the baselines have no notion of them.
+    if opts.kind != driver::Kind::Race && opts.detector != "rv" {
+        eprintln!(
+            "error: --kind {} requires the rv detector",
+            driver::kind_name(opts.kind)
+        );
+        usage();
+        return ExitCode::from(EXIT_USAGE);
+    }
+
     // `--connect`: the detection runs in an rvserved daemon; this process
     // only streams the trace over and relays the byte-identical reply.
     if opts.connect.is_some() {
@@ -682,7 +708,12 @@ fn main() -> ExitCode {
     // goes through the incremental parser + pipelined worker pool.
     // (`--lenient --stream` must see the whole trace before salvage can
     // run, so it streams the parse, salvages, then pipelines the solve.)
-    if opts.stream && opts.detector == "rv" && !opts.lenient && !opts.demo {
+    if opts.stream
+        && opts.detector == "rv"
+        && opts.kind == driver::Kind::Race
+        && !opts.lenient
+        && !opts.demo
+    {
         if opts.path.is_none() {
             usage();
             return ExitCode::from(EXIT_USAGE);
@@ -700,18 +731,36 @@ fn main() -> ExitCode {
         "rv" => {
             let cfg = build_rv_config(&opts);
             log.log(&format!(
-                "detection starting: detector=rv window={} jobs={} events={}",
+                "detection starting: detector=rv kind={} window={} jobs={} events={}",
+                driver::kind_name(opts.kind),
                 cfg.window_size,
                 cfg.parallelism,
                 trace.len()
             ));
-            let detector = RaceDetector::with_config(cfg);
-            let report = if opts.stream {
-                detector.detect_pipelined(&trace)
-            } else {
-                detector.detect(&trace)
-            };
-            report_rv(&report, &trace, &opts, &mut metrics, &log)
+            if opts.kind == driver::Kind::Race {
+                let detector = RaceDetector::with_config(cfg);
+                let report = if opts.stream {
+                    detector.detect_pipelined(&trace)
+                } else {
+                    detector.detect(&trace)
+                };
+                return report_rv(&report, &trace, &opts, &mut metrics, &log);
+            }
+            let run = driver::run_kinds(opts.kind, &trace, &cfg, opts.stream);
+            print!(
+                "{}",
+                driver::render_kind_report(&run, &trace, opts.witnesses)
+            );
+            driver::record_kind_metrics(&run, &mut metrics);
+            if let Some(path) = &opts.metrics {
+                if let Err(code) = write_metrics(path, &metrics, &log) {
+                    return code;
+                }
+            }
+            if let Some(note) = driver::kind_run_notes(&run) {
+                eprint!("{note}");
+            }
+            ExitCode::from(driver::kind_run_exit(&run))
         }
         name @ ("said" | "cp" | "hb") => {
             let tool: Box<dyn RaceDetectorTool> = match name {

@@ -20,12 +20,16 @@
 use std::time::Duration;
 
 use rvcore::session::SessionConfig;
-use rvcore::{DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics, WindowMode};
+use rvcore::{
+    AtomicityReport, DeadlockReport, DetectionReport, DetectorConfig, Fault, FaultPlan, Metrics,
+    WindowMode,
+};
 use rvtrace::{escape_json, parse_json, IngestStats, SalvageReport, Trace};
 
-/// Exit code: detection completed, no races, nothing undecided.
+/// Exit code: detection completed, no violations, nothing undecided.
 pub const EXIT_OK: u8 = 0;
-/// Exit code: at least one race found (and witness-validated).
+/// Exit code: at least one violation found (and witness-validated) —
+/// a race, a deadlock cycle or an atomicity violation, per `--kind`.
 pub const EXIT_RACES: u8 = 1;
 /// Exit code: usage error, unreadable/unparsable trace, or (strict mode)
 /// a trace violating the sequential-consistency axioms.
@@ -87,6 +91,46 @@ fn window_mode_name(mode: WindowMode) -> &'static str {
     }
 }
 
+/// The violation class a run analyzes (`--kind`). All classes share the
+/// ingestion, windowing and constraint machinery; only the property
+/// encoded over `Φ_mhb ∧ Φ_lock ∧ Φ_cf` differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kind {
+    /// Data races (the default — the paper's `Φ_race`).
+    #[default]
+    Race,
+    /// Resource deadlocks: predictable circular lock waits.
+    Deadlock,
+    /// Single-variable atomicity violations (unserializable
+    /// interleavings of intended-atomic blocks).
+    Atomicity,
+    /// Every class above, reported in that order.
+    All,
+}
+
+/// Parses a `--kind` value (`race`, `deadlock`, `atomicity` or `all`).
+pub fn parse_kind(name: &str) -> Result<Kind, String> {
+    match name {
+        "race" => Ok(Kind::Race),
+        "deadlock" => Ok(Kind::Deadlock),
+        "atomicity" => Ok(Kind::Atomicity),
+        "all" => Ok(Kind::All),
+        other => Err(format!(
+            "--kind must be race, deadlock, atomicity or all, got {other}"
+        )),
+    }
+}
+
+/// Renders a kind back to its flag value (the inverse of [`parse_kind`]).
+pub fn kind_name(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Race => "race",
+        Kind::Deadlock => "deadlock",
+        Kind::Atomicity => "atomicity",
+        Kind::All => "all",
+    }
+}
+
 /// The `trace:` banner line both binaries print before the report.
 pub fn trace_line(trace: &Trace) -> String {
     format!("trace: {}\n", trace.stats())
@@ -106,6 +150,231 @@ pub fn render_rv_report(report: &DetectionReport, trace: &Trace, witnesses: bool
         }
     }
     out
+}
+
+/// The deadlock analysis stdout: a summary line plus one line per
+/// validated cycle (and its witness prefix under `--witnesses`). The
+/// rendering contains no timing, so it is byte-identical across runs,
+/// `--jobs` values and the CLI/daemon split by construction.
+pub fn render_deadlock_report(report: &DeadlockReport, trace: &Trace, witnesses: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "deadlock: {} cycle(s); candidates={}, sat={}, unsat={}, unknown={}\n",
+        report.n_cycles(),
+        report.candidates,
+        report.sat,
+        report.unsat,
+        report.unknown
+    ));
+    for c in &report.cycles {
+        let locks = c
+            .locks
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let acquires = c
+            .acquires
+            .iter()
+            .map(|&a| trace.event(a).to_string())
+            .collect::<Vec<_>>()
+            .join(" / ");
+        out.push_str(&format!("  cycle {{{locks}}} blocked at {acquires}\n"));
+        if witnesses {
+            out.push_str(&format!("    witness: {}\n", c.schedule));
+        }
+    }
+    out
+}
+
+/// The atomicity analysis stdout: a summary line plus one line per
+/// validated violation. Deterministic, like
+/// [`render_deadlock_report`].
+pub fn render_atomicity_report(report: &AtomicityReport, trace: &Trace, witnesses: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "atomicity: {} violation(s); candidates={}, sat={}, unsat={}, unknown={}\n",
+        report.violations.len(),
+        report.candidates,
+        report.sat,
+        report.unsat,
+        report.unknown
+    ));
+    for v in &report.violations {
+        out.push_str(&format!(
+            "  violation {}: {} between {} and {}\n",
+            v.signature.display(trace),
+            trace.event(v.interleaved),
+            trace.event(v.pair.first),
+            trace.event(v.pair.second),
+        ));
+        if witnesses {
+            out.push_str(&format!("    witness: {}\n", v.schedule));
+        }
+    }
+    out
+}
+
+/// Maps a deadlock/atomicity analysis outcome to its exit code, with the
+/// same dominance as [`rv_exit_code`]: found violations are sound
+/// regardless of unknown verdicts; unknown verdicts without a violation
+/// mean freedom is not established.
+pub fn kind_exit_code(violations: usize, unknown: usize) -> u8 {
+    if violations > 0 {
+        EXIT_RACES
+    } else if unknown > 0 {
+        EXIT_DEGRADED
+    } else {
+        EXIT_OK
+    }
+}
+
+/// The degradation note for a violation-free deadlock/atomicity run with
+/// unknown solver verdicts, `None` otherwise.
+pub fn kind_degraded_note(kind: Kind, violations: usize, unknown: usize) -> Option<String> {
+    (violations == 0 && unknown > 0).then(|| {
+        format!(
+            "note: no {} violations found, but {unknown} candidate(s) are undecided — \
+             freedom is not established for those\n",
+            kind_name(kind)
+        )
+    })
+}
+
+/// Folds a deadlock report into the registry (`deadlock.*`).
+pub fn record_deadlock_metrics(report: &DeadlockReport, metrics: &mut Metrics) {
+    metrics.inc("deadlock.cycles", report.n_cycles() as u64);
+    metrics.inc("deadlock.candidates", report.candidates as u64);
+    metrics.inc("deadlock.sat", report.sat as u64);
+    metrics.inc("deadlock.unsat", report.unsat as u64);
+    metrics.inc("deadlock.unknown", report.unknown as u64);
+}
+
+/// Folds an atomicity report into the registry (`atomicity.*`).
+pub fn record_atomicity_metrics(report: &AtomicityReport, metrics: &mut Metrics) {
+    metrics.inc("atomicity.violations", report.violations.len() as u64);
+    metrics.inc("atomicity.candidates", report.candidates as u64);
+    metrics.inc("atomicity.sat", report.sat as u64);
+    metrics.inc("atomicity.unsat", report.unsat as u64);
+    metrics.inc("atomicity.unknown", report.unknown as u64);
+}
+
+/// The reports of one multi-class analysis run: one entry per class the
+/// requested [`Kind`] selected.
+#[derive(Debug, Default)]
+pub struct KindRun {
+    /// The race report, when the kind includes races.
+    pub race: Option<DetectionReport>,
+    /// The deadlock report, when the kind includes deadlocks.
+    pub deadlock: Option<DeadlockReport>,
+    /// The atomicity report, when the kind includes atomicity.
+    pub atomicity: Option<AtomicityReport>,
+}
+
+/// Runs the violation classes selected by `kind` over one trace with one
+/// shared configuration. Race detection honors the config's parallelism
+/// (and `pipelined` for the `--stream` path); the deadlock and atomicity
+/// analyses are windowed single-threaded passes, so their reports are
+/// deterministic at any `--jobs` by construction.
+pub fn run_kinds(kind: Kind, trace: &Trace, cfg: &DetectorConfig, pipelined: bool) -> KindRun {
+    let mut run = KindRun::default();
+    if matches!(kind, Kind::Race | Kind::All) {
+        let detector = rvcore::RaceDetector::with_config(cfg.clone());
+        run.race = Some(if pipelined {
+            detector.detect_pipelined(trace)
+        } else {
+            detector.detect(trace)
+        });
+    }
+    if matches!(kind, Kind::Deadlock | Kind::All) {
+        run.deadlock = Some(
+            rvcore::DeadlockDetector {
+                config: cfg.clone(),
+            }
+            .detect(trace),
+        );
+    }
+    if matches!(kind, Kind::Atomicity | Kind::All) {
+        run.atomicity = Some(
+            rvcore::AtomicityDetector {
+                config: cfg.clone(),
+            }
+            .detect(trace),
+        );
+    }
+    run
+}
+
+/// Renders a [`KindRun`]'s stdout: the selected class reports in fixed
+/// order (races, deadlocks, atomicity). The single composition point for
+/// the CLI and the daemon, so their output is byte-identical by
+/// construction.
+pub fn render_kind_report(run: &KindRun, trace: &Trace, witnesses: bool) -> String {
+    let mut out = String::new();
+    if let Some(r) = &run.race {
+        out.push_str(&render_rv_report(r, trace, witnesses));
+    }
+    if let Some(r) = &run.deadlock {
+        out.push_str(&render_deadlock_report(r, trace, witnesses));
+    }
+    if let Some(r) = &run.atomicity {
+        out.push_str(&render_atomicity_report(r, trace, witnesses));
+    }
+    out
+}
+
+/// The concatenated degradation notes of a [`KindRun`] (stderr), `None`
+/// when every selected class is either clean-and-complete or has found
+/// violations.
+pub fn kind_run_notes(run: &KindRun) -> Option<String> {
+    let mut out = String::new();
+    if let Some(note) = run.race.as_ref().and_then(degraded_note) {
+        out.push_str(&note);
+    }
+    if let Some(r) = &run.deadlock {
+        if let Some(note) = kind_degraded_note(Kind::Deadlock, r.n_cycles(), r.unknown) {
+            out.push_str(&note);
+        }
+    }
+    if let Some(r) = &run.atomicity {
+        if let Some(note) = kind_degraded_note(Kind::Atomicity, r.violations.len(), r.unknown) {
+            out.push_str(&note);
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Maps a [`KindRun`] to its exit code: violations in *any* selected
+/// class dominate (they are sound regardless of degradation elsewhere),
+/// then any missing verdict degrades, else clean.
+pub fn kind_run_exit(run: &KindRun) -> u8 {
+    let violations = run.race.as_ref().map_or(0, |r| r.n_races())
+        + run.deadlock.as_ref().map_or(0, |r| r.n_cycles())
+        + run.atomicity.as_ref().map_or(0, |r| r.violations.len());
+    if violations > 0 {
+        return EXIT_RACES;
+    }
+    let degraded = run.race.as_ref().is_some_and(|r| r.is_degraded())
+        || run.deadlock.as_ref().is_some_and(|r| r.unknown > 0)
+        || run.atomicity.as_ref().is_some_and(|r| r.unknown > 0);
+    if degraded {
+        EXIT_DEGRADED
+    } else {
+        EXIT_OK
+    }
+}
+
+/// Folds a [`KindRun`]'s reports into the metrics registry.
+pub fn record_kind_metrics(run: &KindRun, metrics: &mut Metrics) {
+    if let Some(r) = &run.race {
+        metrics.merge(&r.to_metrics());
+    }
+    if let Some(r) = &run.deadlock {
+        record_deadlock_metrics(r, metrics);
+    }
+    if let Some(r) = &run.atomicity {
+        record_atomicity_metrics(r, metrics);
+    }
 }
 
 /// The degradation note printed to stderr when a raceless run is missing
@@ -209,6 +478,8 @@ pub struct SessionRequest {
     pub spill_budget: usize,
     /// Return the metrics document in the response (`--metrics`).
     pub want_metrics: bool,
+    /// Violation class to analyze (`--kind race|deadlock|atomicity|all`).
+    pub kind: Kind,
 }
 
 impl Default for SessionRequest {
@@ -226,6 +497,7 @@ impl Default for SessionRequest {
             window_mode: WindowMode::default(),
             spill_budget: DetectorConfig::default().spill_budget,
             want_metrics: false,
+            kind: Kind::Race,
         }
     }
 }
@@ -292,6 +564,10 @@ impl SessionRequest {
         ));
         out.push_str(&format!(", \"spill_budget\": {}", self.spill_budget));
         out.push_str(&format!(", \"want_metrics\": {}", self.want_metrics));
+        out.push_str(&format!(
+            ", \"kind\": {}",
+            escape_json(kind_name(self.kind))
+        ));
         out.push('}');
         out
     }
@@ -325,6 +601,13 @@ impl SessionRequest {
                     }
                     "spill_budget" => req.spill_budget = value.as_int()? as usize,
                     "want_metrics" => req.want_metrics = value.as_bool()?,
+                    "kind" => {
+                        req.kind = parse_kind(value.as_str()?).map_err(|m| rvtrace::JsonError {
+                            message: m,
+                            offset: 0,
+                            snippet: String::new(),
+                        })?
+                    }
                     "faults" => {
                         for f in value.as_array()? {
                             let f = f.as_array()?;
@@ -449,6 +732,7 @@ mod tests {
             window_mode: WindowMode::Fixed,
             spill_budget: 1 << 16,
             want_metrics: true,
+            kind: Kind::Deadlock,
         };
         let parsed = SessionRequest::from_json(&req.to_json()).unwrap();
         assert_eq!(parsed, req);
@@ -486,6 +770,38 @@ mod tests {
         assert_eq!(fixed.window_mode, WindowMode::Fixed);
         assert_eq!(fixed.spill_budget, 512);
         assert_eq!(fixed.spill_events(), 0, "fixed mode never looks back");
+    }
+
+    #[test]
+    fn kind_parses_and_rejects() {
+        assert_eq!(parse_kind("race").unwrap(), Kind::Race);
+        assert_eq!(parse_kind("deadlock").unwrap(), Kind::Deadlock);
+        assert_eq!(parse_kind("atomicity").unwrap(), Kind::Atomicity);
+        assert_eq!(parse_kind("all").unwrap(), Kind::All);
+        assert!(parse_kind("livelock").is_err());
+        for k in [Kind::Race, Kind::Deadlock, Kind::Atomicity, Kind::All] {
+            assert_eq!(parse_kind(kind_name(k)).unwrap(), k);
+        }
+        assert!(
+            SessionRequest::from_json("{\"kind\": \"livelock\"}").is_err(),
+            "bad kind on the wire is rejected, not defaulted"
+        );
+        // Absent kind defaults to race (older clients).
+        assert_eq!(
+            SessionRequest::from_json("{\"window\": 5}").unwrap().kind,
+            Kind::Race
+        );
+    }
+
+    #[test]
+    fn kind_exit_codes_and_notes() {
+        assert_eq!(kind_exit_code(1, 5), EXIT_RACES);
+        assert_eq!(kind_exit_code(0, 2), EXIT_DEGRADED);
+        assert_eq!(kind_exit_code(0, 0), EXIT_OK);
+        assert!(kind_degraded_note(Kind::Deadlock, 1, 5).is_none());
+        assert!(kind_degraded_note(Kind::Deadlock, 0, 0).is_none());
+        let note = kind_degraded_note(Kind::Atomicity, 0, 2).unwrap();
+        assert!(note.contains("atomicity") && note.contains("2 candidate(s)"));
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use rvbaselines::{
     CpDetector, HbDetector, MaximalDetector, RaceDetectorTool, SaidDetector, ToolReport,
 };
 pub use rvcore::{
-    encode, encode_with_skeleton, extract_witness, Cone, ConsistencyMode, DetectionReport,
+    encode, encode_with_skeleton, extract_witness, oracle_atomicity, oracle_deadlocks,
+    oracle_races, AtomicPair, AtomicityDetector, AtomicityReport, AtomicityViolation, Cone,
+    ConsistencyMode, DeadlockCycle, DeadlockDetector, DeadlockReport, DetectionReport,
     DetectionStats, DetectorConfig, EncoderOptions, FailedWindow, Fault, FaultPlan, Histogram,
     Metrics, PhaseTimer, PublishedSet, RaceDetector, RaceReport, SolverTotals, StreamDetection,
     Tier, TierAnalysis, TierDecision, UndecidedReason, WindowMode, WindowResult, WindowSkeleton,
@@ -64,7 +66,7 @@ pub use rvtrace::{
     from_json_data_with_stats, from_json_with_stats, parse_json, read_frame, read_trace,
     read_trace_data, salvage_trace, schedule_read_values, to_json, to_ndjson, validate_wait_links,
     write_frame, Cop, Event, EventId, EventKind, IngestStats, JsonError, JsonValue, Loc, LockId,
-    RaceSignature, SalvageReport, Schedule, StreamFormat, StreamParser, ThreadId, Trace,
-    TraceBuilder, TraceData, TraceError, VarId, View, ViewExt, WindowBoundary, WindowStream,
+    RaceSignature, SalvageReport, Schedule, ScheduleError, StreamFormat, StreamParser, ThreadId,
+    Trace, TraceBuilder, TraceData, TraceError, VarId, View, ViewExt, WindowBoundary, WindowStream,
     MAX_FRAME,
 };

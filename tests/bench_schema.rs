@@ -3,22 +3,29 @@
 //! streaming PR's whole-file-vs-streamed comparison), `BENCH_pr5.json`
 //! (the relevance-slicing on/off comparison), `BENCH_pr6.json` (the
 //! tiered-cascade on/off comparison), `BENCH_pr7.json` (the
-//! multi-tenant session manager vs solo runs) and `BENCH_pr8.json` (the
-//! fixed-vs-cone window-mode comparison on boundary-handoff workloads).
-//! Each smoke run must emit a document that validates, parses with the
-//! in-tree JSON reader, and carries the invariants the schema documents.
+//! multi-tenant session manager vs solo runs), `BENCH_pr8.json` (the
+//! fixed-vs-cone window-mode comparison on boundary-handoff workloads)
+//! and `BENCH_pr9.json` (the multi-class violation benchmark behind the
+//! `--kind` axis). Each smoke run must emit a document that validates,
+//! parses with the in-tree JSON reader, and carries the invariants the
+//! schema documents.
 //!
 //! When `BENCH_PR3_PATH` / `BENCH_PR4_PATH` / `BENCH_PR5_PATH` /
-//! `BENCH_PR6_PATH` / `BENCH_PR7_PATH` / `BENCH_PR8_PATH` are set (CI's
-//! bench-smoke steps export them after running the `pipeline`,
-//! `stream_pipeline`, `slice_pipeline`, `tier_pipeline`, `serve_pipeline`
-//! and `boundary_pipeline` binaries), the files they name are validated
-//! too, so a committed or freshly generated document cannot drift from
-//! the schema.
+//! `BENCH_PR6_PATH` / `BENCH_PR7_PATH` / `BENCH_PR8_PATH` /
+//! `BENCH_PR9_PATH` are set (CI's bench-smoke steps export them after
+//! running the `pipeline`, `stream_pipeline`, `slice_pipeline`,
+//! `tier_pipeline`, `serve_pipeline`, `boundary_pipeline` and
+//! `kind_pipeline` binaries), the files they name are validated too, so
+//! a committed or freshly generated document cannot drift from the
+//! schema.
 
 use rvbench::boundary::{
     run_boundary_pipeline, smoke_boundary_workloads, validate_boundary_bench_json,
     BoundaryBenchOptions, BOUNDARY_BENCH_SCHEMA_VERSION, BOUNDARY_BENCH_SUITE,
+};
+use rvbench::kind::{
+    run_kind_pipeline, smoke_kind_workloads, validate_kind_bench_json, KindBenchOptions,
+    KIND_BENCH_SCHEMA_VERSION, KIND_BENCH_SUITE,
 };
 use rvbench::pipeline::{
     run_pipeline, smoke_workloads, validate_bench_json, PipelineOptions, BENCH_SCHEMA_VERSION,
@@ -707,4 +714,133 @@ fn boundary_validator_rejects_corruption() {
 #[test]
 fn generated_boundary_bench_file_validates_when_present() {
     validate_env_bench_file("BENCH_PR8_PATH", validate_boundary_bench_json);
+}
+
+// ---------------------------------------------------------- BENCH_pr9
+
+/// The smoke workload set itself: one micro workload per violation class
+/// plus the gate-lock refutation control and the rwlock/channel
+/// vocabulary controls — every one oracle-arbitered, sub-second.
+fn kind_document() -> String {
+    run_kind_pipeline(
+        &smoke_kind_workloads(),
+        &KindBenchOptions::default(),
+        "smoke",
+    )
+}
+
+/// The multi-class benchmark emits a valid version-1 `pr9` document.
+#[test]
+fn kind_run_validates_against_schema() {
+    let json = kind_document();
+    validate_kind_bench_json(&json).unwrap_or_else(|e| panic!("schema violation: {e}\n{json}"));
+}
+
+/// Cross-check with the in-tree parser: tags, full oracle agreement, all
+/// three violation classes present, every verdict decided, the gate-lock
+/// control refuted rather than missed — independent of the validator's
+/// own logic.
+#[test]
+fn kind_run_parses_and_keeps_invariants() {
+    let json = kind_document();
+    let doc = parse_json(&json).expect("document must parse with rvtrace::parse_json");
+    assert_eq!(
+        doc.field("schema_version")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        KIND_BENCH_SCHEMA_VERSION as i64
+    );
+    assert_eq!(
+        doc.field("suite").and_then(|v| v.as_str()).unwrap(),
+        KIND_BENCH_SUITE
+    );
+    assert_eq!(doc.field("mode").and_then(|v| v.as_str()).unwrap(), "smoke");
+    // Every smoke workload is small enough for the brute-force oracle,
+    // and the detectors must agree with it on each one.
+    let checked = doc
+        .field("oracle_checked")
+        .and_then(|v| v.as_int())
+        .unwrap();
+    assert_eq!(checked, 6, "all six smoke workloads are oracle-arbitered");
+    assert_eq!(
+        doc.field("oracle_agreements")
+            .and_then(|v| v.as_int())
+            .unwrap(),
+        checked
+    );
+    let entries = doc.field("workloads").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 6);
+    for w in entries {
+        let name = w.field("name").and_then(|v| v.as_str()).unwrap();
+        let expect = w
+            .field("expect_violations")
+            .and_then(|v| v.as_bool())
+            .unwrap();
+        let run = |field: &str| {
+            w.field("run")
+                .and_then(|r| r.field(field))
+                .and_then(|v| v.as_int())
+                .unwrap()
+        };
+        assert_eq!(run("unknown"), 0, "{name}: every candidate decided");
+        assert_eq!(run("violations") > 0, expect, "{name}");
+        if name == "deadlock_gated" {
+            // The inverted pair exists syntactically; the gate lock makes
+            // it infeasible. Enumeration must surface the candidate and
+            // the solver must refute it.
+            assert!(run("candidates") >= 1);
+            assert!(run("unsat") >= 1);
+            assert_eq!(run("sat"), 0);
+        }
+        if name == "deadlock_micro" {
+            assert_eq!(run("violations"), 1, "one inversion, one cycle");
+        }
+    }
+}
+
+/// The kind validator rejects tampered documents pointedly.
+#[test]
+fn kind_validator_rejects_corruption() {
+    let json = kind_document();
+    for (needle, replacement, expect) in [
+        ("\"suite\": \"pr9\"", "\"suite\": \"pr8\"", "suite"),
+        (
+            "\"schema_version\": 1",
+            "\"schema_version\": 9",
+            "schema_version",
+        ),
+        ("\"mode\": \"smoke\"", "\"mode\": \"casual\"", "mode"),
+        // A detector/oracle split is the one thing this suite exists to
+        // catch.
+        (
+            "\"oracle_agreements\": 6",
+            "\"oracle_agreements\": 5",
+            "oracle",
+        ),
+        // An undecided candidate on a micro workload breaks the contract.
+        (
+            "\"violations\": 1, \"candidates\": 1, \"sat\": 1, \"unsat\": 0, \"unknown\": 0",
+            "\"violations\": 1, \"candidates\": 1, \"sat\": 1, \"unsat\": 0, \"unknown\": 1",
+            "unknown",
+        ),
+    ] {
+        let tampered = json.replacen(needle, replacement, 1);
+        assert_ne!(tampered, json, "tamper needle `{needle}` did not hit");
+        let err = validate_kind_bench_json(&tampered)
+            .expect_err(&format!("tampering `{needle}` must be rejected"));
+        assert!(
+            err.contains(expect),
+            "error for `{needle}` should mention `{expect}`, got: {err}"
+        );
+    }
+}
+
+/// When CI (or a developer) points `BENCH_PR9_PATH` at a generated
+/// `BENCH_pr9.json`, it must satisfy the same schema — full oracle
+/// agreement, every candidate decided, controls refuted rather than
+/// missed, all three violation classes present. Skipped when the
+/// variable is unset.
+#[test]
+fn generated_kind_bench_file_validates_when_present() {
+    validate_env_bench_file("BENCH_PR9_PATH", validate_kind_bench_json);
 }

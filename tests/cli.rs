@@ -130,6 +130,29 @@ fn cli_usage_on_missing_args() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
 
+/// `--kind` admits exactly `race|deadlock|atomicity|all`; anything else is
+/// a usage error (exit 2) that names the flag, and a missing value is too.
+#[test]
+fn cli_rejects_unknown_kind() {
+    let out = Command::new(bin())
+        .args(["--kind", "livelock", "--demo"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown --kind is a usage error"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--kind"), "diagnostic names the flag: {err}");
+
+    let out = Command::new(bin())
+        .arg("--kind")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "--kind without a value");
+}
+
 /// Runs `--metrics` and returns (full document, timing-free prefix): the
 /// emitted JSON up to but excluding the `timings_us` section, i.e. exactly
 /// the counters and histograms — the sections the determinism contract

@@ -2,7 +2,10 @@
 //! interpreter only ever produces consistent traces, JSON round-trips, and
 //! windowing agrees with the full view.
 
-use rvpredict::{check_consistency, from_json, to_json, EventId, Trace, ViewExt};
+use rvpredict::{
+    check_consistency, check_schedule, from_json, to_json, EventId, Schedule, ThreadId, Trace,
+    TraceBuilder, ViewExt,
+};
 use rvsim::rng::SmallRng;
 use rvsim::stmts::*;
 use rvsim::{execute, ExecConfig, Expr, GlobalId, Local, LockRef, ProcId, Program, Stmt};
@@ -138,6 +141,138 @@ fn windows_agree_with_full_view() {
             }
         }
     });
+}
+
+/// Channel send/recv links are a first-class part of the trace substrate:
+/// every linked recv points at a prior same-channel send, the links
+/// survive a JSON round-trip, trace order re-validates as a schedule, and
+/// a schedule that runs a recv ahead of its linked send is rejected.
+#[test]
+fn channel_links_order_sends_before_recvs() {
+    let mut rng = SmallRng::seed_from_u64(0xC4A7);
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize);
+    for _ in 0..cases {
+        let n = rng.gen_range(1..5usize);
+        let mut b = TraceBuilder::new();
+        let chan = b.new_chan("c");
+        let vars: Vec<_> = (0..n).map(|i| b.var(&format!("x{i}"))).collect();
+        let producer = b.fork(ThreadId::MAIN);
+        let consumer = b.fork(ThreadId::MAIN);
+        let mut sends = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            b.write(producer, v, i as i64 + 1);
+            sends.push(b.send(producer, chan));
+        }
+        let mut first_recv = None;
+        for (i, &v) in vars.iter().enumerate() {
+            let r = b.recv(consumer, chan, Some(sends[i]));
+            first_recv.get_or_insert(r);
+            b.read(consumer, v, i as i64 + 1);
+        }
+        let trace = b.finish();
+        assert!(check_consistency(&trace).is_empty());
+
+        // Every linked recv names a prior send on the same channel.
+        assert_eq!(trace.msg_links().len(), n);
+        for ml in trace.msg_links() {
+            assert!(ml.send < ml.recv, "trace order runs sends first");
+        }
+
+        // Links survive JSON.
+        let back: Trace = from_json(&to_json(&trace)).unwrap();
+        assert_eq!(back.msg_links(), trace.msg_links());
+        assert_eq!(back.events(), trace.events());
+
+        // Trace order is a valid schedule; hoisting the consumer's first
+        // recv ahead of every send is exactly a recv-before-send error.
+        let view = trace.full_view();
+        let identity = Schedule(view.ids().collect());
+        assert_eq!(check_schedule(&view, &identity), Ok(()));
+        let first_recv = first_recv.expect("n >= 1");
+        let hoisted: Vec<EventId> = view
+            .ids()
+            .filter(|&id| {
+                let ev = &trace.events()[id.index()];
+                ev.thread != producer && id <= first_recv
+            })
+            .collect();
+        assert_eq!(
+            check_schedule(&view, &Schedule(hoisted)),
+            Err(rvpredict::ScheduleError::RecvBeforeSend(first_recv))
+        );
+    }
+}
+
+/// RwLock read-mode spans overlap freely among themselves — trace order
+/// with interleaved read sections is consistent and re-validates as a
+/// schedule — while a write acquire scheduled into an open read span is
+/// rejected. Read spans also survive a JSON round-trip.
+#[test]
+fn rwlock_read_spans_overlap_and_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x51AB);
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize);
+    for _ in 0..cases {
+        let readers = rng.gen_range(2..4usize);
+        let mut b = TraceBuilder::new();
+        let v = b.var("v");
+        let l = b.new_lock("l");
+        let ts: Vec<_> = (0..readers + 1).map(|_| b.fork(ThreadId::MAIN)).collect();
+        let writer = ts[0];
+        b.acquire(writer, l);
+        b.write(writer, v, 7);
+        b.release(writer, l);
+        // All read sections open before any closes: maximal overlap.
+        let mut racquires = Vec::new();
+        for &t in &ts[1..] {
+            racquires.push(b.acquire_read(t, l).expect("fresh read acquire"));
+        }
+        for &t in &ts[1..] {
+            b.read(t, v, 7);
+        }
+        for &t in &ts[1..] {
+            b.release_read(t, l);
+        }
+        let trace = b.finish();
+        assert!(check_consistency(&trace).is_empty());
+
+        let view = trace.full_view();
+        assert_eq!(view.read_critical_sections(l).len(), readers);
+        assert_eq!(view.critical_sections(l).len(), 1);
+        let identity = Schedule(view.ids().collect());
+        assert_eq!(check_schedule(&view, &identity), Ok(()));
+
+        // Move the writer's section between a read acquire and its
+        // release: the write acquire hits a read-held lock.
+        let held: Vec<EventId> = view
+            .ids()
+            .filter(|&id| {
+                let ev = &trace.events()[id.index()];
+                ev.thread != writer && id <= racquires[0]
+            })
+            .chain(
+                view.ids()
+                    .filter(|&id| trace.events()[id.index()].thread == writer),
+            )
+            .collect();
+        assert!(
+            check_schedule(&view, &Schedule(held)).is_err(),
+            "write acquire inside an open read span must not validate"
+        );
+
+        let back: Trace = from_json(&to_json(&trace)).unwrap();
+        assert_eq!(back.events(), trace.events());
+        let bview = back.full_view();
+        assert_eq!(
+            bview.read_critical_sections(l).len(),
+            view.read_critical_sections(l).len()
+        );
+    }
 }
 
 /// Window-local initial values equal the last write before the window
