@@ -23,6 +23,10 @@ pub struct Measurement {
     pub name: String,
     /// Iterations in the final timed sample.
     pub iters: u64,
+    /// Untimed warmup iterations run before the first sample (recorded in
+    /// the bench JSON so a report shows the medians excluded cold-start
+    /// jitter).
+    pub warmup_iters: u64,
     /// Wall time of the final sample.
     pub total: Duration,
     /// `total / iters`.
@@ -65,7 +69,20 @@ impl Runner {
         if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p)) {
             return;
         }
-        black_box(f()); // untimed warmup
+        // Warmup pass: untimed iterations until a tenth of the sample
+        // target has elapsed (at least one), so cold-start jitter —
+        // allocator growth, cache warming, lazy statics — lands here
+        // instead of in the first calibration sample.
+        let warmup_target = self.target / 10;
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_target || warmup_iters >= 1 << 20 {
+                break;
+            }
+        }
         let mut iters: u64 = 1;
         let (total, iters) = loop {
             let start = Instant::now();
@@ -87,6 +104,7 @@ impl Runner {
         self.results.push(Measurement {
             name: name.to_string(),
             iters,
+            warmup_iters,
             total,
             per_iter,
         });
@@ -132,6 +150,7 @@ mod tests {
         let results = r.finish();
         assert_eq!(results.len(), 1);
         assert!(results[0].iters >= 1);
+        assert!(results[0].warmup_iters >= 1, "warmup ran before sampling");
         assert!(results[0].total >= Duration::from_millis(5) || results[0].iters == 1 << 24);
     }
 

@@ -158,6 +158,24 @@ pub struct DetectorConfig {
     /// clauses (instead of re-encoding and re-solving per COP). Same
     /// verdicts, much less work; off only for ablation.
     pub batch_windows: bool,
+    /// Keep one incremental solver session resident per window and retain
+    /// learnt clauses across COP queries. In batch mode this is the shared
+    /// selector-assumption solver; in per-COP mode it switches the driver
+    /// to an incremental session that encodes the window's union cone once
+    /// and discharges each residue COP as an assumption set instead of
+    /// encoding from scratch. Retained clauses are sound to keep because
+    /// assumptions are never asserted: every learnt clause is implied by
+    /// the shared skeleton alone (see DESIGN.md, "Hot path"). Same
+    /// verdicts; exposed as CLI `--no-incremental` for ablation.
+    pub incremental: bool,
+    /// Race the incremental SMT encoding against the tier screens per COP
+    /// on a cloned solver, first verdict wins (CLI `--portfolio`).
+    /// Implies per-COP incremental sessions (`batch_windows` off,
+    /// `incremental` on). Cancelled solver results are always discarded
+    /// and screen verdicts are adopted with zero solver effort, so
+    /// reports, count-type metrics and witnesses are byte-identical with
+    /// portfolio on or off at any `parallelism`. Off by default.
+    pub portfolio: bool,
     /// Upper bound on concrete COPs examined per signature before giving up
     /// on that signature for the window (bounds the quadratic pair
     /// enumeration on hot variables).
@@ -213,6 +231,8 @@ impl Default for DetectorConfig {
             validate_witnesses: true,
             phase_hints: true,
             batch_windows: true,
+            incremental: true,
+            portfolio: false,
             max_cops_per_signature: 10,
             parallelism: default_parallelism(),
             retry_split: false,
@@ -265,6 +285,11 @@ mod tests {
         assert!(c.quick_check && c.dedup_signatures && c.prune_write_sets);
         assert!(c.slice, "relevance slicing is on by default");
         assert!(c.tiers, "the tiered cascade is on by default");
+        assert!(
+            c.incremental,
+            "incremental solver sessions are on by default"
+        );
+        assert!(!c.portfolio, "portfolio racing is opt-in");
         assert_eq!(c.mode, ConsistencyMode::ControlFlow);
         assert!(c.parallelism >= 1, "at least one worker");
         assert!(!c.retry_split, "retry policy is opt-in");

@@ -51,7 +51,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::io::Read;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -212,6 +212,11 @@ fn undecided_of_stop(reason: StopReason) -> UndecidedReason {
     match reason {
         StopReason::Timeout => UndecidedReason::Timeout,
         StopReason::Conflicts => UndecidedReason::ConflictBudget,
+        // Cancelled results carry no verdict and are discarded by the
+        // portfolio driver before they can reach a record; this arm is
+        // defensive (a cancellation is budget-shaped, so account it as
+        // one if it ever leaks).
+        StopReason::Cancelled => UndecidedReason::Timeout,
     }
 }
 
@@ -929,8 +934,23 @@ impl RaceDetector {
         // entailment graph + memoized read facts) across all COPs.
         let mut tiers = (cfg.tiers && !enumeration.cops.is_empty())
             .then(|| TierAnalysis::new(view, cfg.mode, cfg.prune_write_sets));
-        if cfg.batch_windows {
+        // Portfolio racing implies per-COP incremental sessions: it wins
+        // the dispatch over `batch_windows` so `portfolio: true` works
+        // regardless of how the other knobs were left.
+        if cfg.batch_windows && !cfg.portfolio {
             self.solve_window_batched(
+                view,
+                enumeration.cops,
+                opts,
+                &budget,
+                deadline,
+                &known_racy,
+                tiers.as_mut(),
+                &mut local_confirmed,
+                &mut out,
+            );
+        } else if cfg.incremental || cfg.portfolio {
+            self.solve_window_incremental(
                 view,
                 enumeration.cops,
                 opts,
@@ -1459,8 +1479,25 @@ impl RaceDetector {
             let budget = &clamp_budget(budget, deadline);
             // Shared incremental solver: counters are cumulative over the
             // window, so this COP's effort is the before/after delta.
-            let before = solver.stats().sat;
-            let verdict = match solver.solve_assuming(budget, &[encoded.selectors[sel]]) {
+            // Under `--no-incremental` the shared encoding is kept but the
+            // solver is rebuilt per selector, ablating learnt-clause
+            // retention (the fresh solver's lifetime stats are the delta).
+            let mut profile = SolverTotals::default();
+            let result = if cfg.incremental {
+                let before = solver.stats().sat;
+                let r = solver.solve_assuming(budget, &[encoded.selectors[sel]]);
+                profile.record_solve(&solver.stats().sat.delta_since(&before));
+                r
+            } else {
+                let mut fresh = Solver::new(&encoded.fb);
+                if cfg.phase_hints {
+                    fresh.hint_atom_phases(|a| encoded.phase_hint(a));
+                }
+                let r = fresh.solve_assuming(budget, &[encoded.selectors[sel]]);
+                profile.record_solve(&fresh.stats().sat);
+                r
+            };
+            let verdict = match result {
                 SmtResult::Unsat => CopVerdict::Unsat,
                 SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
                 SmtResult::Sat => {
@@ -1484,8 +1521,255 @@ impl RaceDetector {
                 }
             };
             out.solver_time += solve_start.elapsed();
-            let mut profile = SolverTotals::default();
-            profile.record_solve(&solver.stats().sat.delta_since(&before));
+            out.records.push(CopRecord {
+                cop,
+                signature,
+                verdict,
+                profile,
+                retried: false,
+                cone_events: encoded.cone_events,
+                window_events: encoded.window_events,
+                constraints: encoded.n_constraints,
+                decided_by: cascade_on.then_some(Tier::Solver),
+                ext_range: None,
+            });
+        }
+    }
+
+    /// Per-COP incremental mode (`batch_windows` off, `incremental` on):
+    /// per-COP verdict semantics — inline tier screens, per-COP dedup of
+    /// window-local confirmations, faults and deadlines at COP granularity
+    /// — on one *resident solver session* per window. The union cone over
+    /// all the window's COPs is encoded once with one selector per COP,
+    /// and each residue COP is discharged as an assumption query on the
+    /// shared session: per-COP work is assumption-sized instead of
+    /// encode-from-scratch, and learnt clauses are retained across COPs.
+    /// Retention is sound because selectors are only ever *assumed* (first
+    /// forced decisions), never asserted: every clause the session learns
+    /// is implied by the asserted skeleton alone — possibly ¬sel-guarded —
+    /// and so stays valid after its COP retires (see DESIGN.md, "Hot
+    /// path").
+    ///
+    /// The cross-window `known_racy` skip follows batch mode (whole-window
+    /// only): a partial skip would drop a query from the shared session
+    /// and perturb later effort deltas across thread counts. The
+    /// `local_confirmed` skip is window-local and deterministic, so it
+    /// stays per-COP, as in per-COP mode.
+    ///
+    /// With `portfolio` on, each residue COP *races* the session query —
+    /// on a clone of the session solver, in a helper thread under a
+    /// cancellation token — against the tier screen on this thread. If the
+    /// screen decides, the clone is cancelled and discarded: the session
+    /// and the record are exactly portfolio-off's. If the screen leaves a
+    /// residue, the helper's verdict and effort delta are adopted and its
+    /// clone *becomes* the session — the clone ran the exact query the
+    /// session would have, from the same pre-query state, so records,
+    /// witnesses and count-type metrics are byte-identical with portfolio
+    /// on or off, at every thread count. Cancelled results never survive:
+    /// they are discarded with the clone.
+    fn solve_window_incremental(
+        &self,
+        view: &View<'_>,
+        cops: Vec<Cop>,
+        opts: EncoderOptions,
+        budget: &Budget,
+        deadline: Option<Instant>,
+        known_racy: &HashSet<RaceSignature>,
+        mut tiers: Option<&mut TierAnalysis<'_>>,
+        local_confirmed: &mut HashSet<RaceSignature>,
+        out: &mut SolvedWindow,
+    ) {
+        if cops.is_empty() {
+            return;
+        }
+        let cfg = &self.config;
+        // With the cascade off every record's stage is `None`, so the
+        // tier counters stay zero under `--no-tiers`.
+        let cascade_on = tiers.is_some();
+        let signatures: Vec<RaceSignature> = cops
+            .iter()
+            .map(|&c| RaceSignature::of_cop(view.trace(), c))
+            .collect();
+        if cfg.dedup_signatures && signatures.iter().all(|s| known_racy.contains(s)) {
+            for (cop, signature) in cops.into_iter().zip(signatures) {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
+                    decided_by: None,
+                    ext_range: None,
+                });
+            }
+            return;
+        }
+        // One shared encoding + resident solver for the whole window,
+        // built up front (before any screen) so the portfolio can race a
+        // session query against a screen for *any* COP. The base formula
+        // covers the union cone of all the window's COPs — a superset of
+        // every per-COP cone, so each selector query decides exactly its
+        // COP's formula (the cone-superset argument batch mode relies on).
+        let mut enc_session = None;
+        if !past_deadline(deadline) {
+            let solve_start = Instant::now();
+            let encoded = encode_window(view, &cops, opts);
+            let mut solver = Solver::new(&encoded.fb);
+            if cfg.phase_hints {
+                solver.hint_atom_phases(|a| encoded.phase_hint(a));
+            }
+            out.solver_time += solve_start.elapsed();
+            enc_session = Some((encoded, solver));
+        }
+        for (i, cop) in cops.into_iter().enumerate() {
+            let signature = signatures[i];
+            // Faults fire before any skip so a planned coordinate always
+            // takes effect, at every thread count.
+            if let Some(verdict) = self.apply_fault(out.window_index, i) {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict,
+                    profile: SolverTotals::default(),
+                    retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
+                    decided_by: cascade_on.then_some(Tier::Solver),
+                    ext_range: None,
+                });
+                continue;
+            }
+            // Window budget exhausted: every remaining COP degrades to the
+            // per-COP-timeout verdict. (The deadline is monotonic, so a
+            // COP that passes this check always finds the session built
+            // above.)
+            if past_deadline(deadline) {
+                out.records
+                    .push(deadline_expired_record(cop, signature, cascade_on));
+                continue;
+            }
+            if cfg.dedup_signatures && local_confirmed.contains(&signature) {
+                out.records.push(CopRecord {
+                    cop,
+                    signature,
+                    verdict: CopVerdict::Skipped,
+                    profile: SolverTotals::default(),
+                    retried: false,
+                    cone_events: 0,
+                    window_events: 0,
+                    constraints: 0,
+                    decided_by: None,
+                    ext_range: None,
+                });
+                continue;
+            }
+            let (encoded, solver) = enc_session
+                .as_mut()
+                .expect("undecided COP without a session encoding");
+            let budget = &clamp_budget(budget, deadline);
+            // The screen and the session query. Portfolio overlaps them
+            // and lets the first verdict win; otherwise the screen runs
+            // first and only the residue is queried.
+            let mut raced: Option<(SmtResult, SolverTotals)> = None;
+            let decision = match tiers.as_deref_mut() {
+                None => None,
+                Some(t) if cfg.portfolio => {
+                    let race_start = Instant::now();
+                    let token = Arc::new(AtomicBool::new(false));
+                    let mut racer = solver.clone();
+                    racer.set_cancel(Some(token.clone()));
+                    let sel = encoded.selectors[i];
+                    let before = racer.stats().sat;
+                    let (decision, joined) = std::thread::scope(|s| {
+                        let handle = s.spawn(move || {
+                            let r = racer.solve_assuming(budget, &[sel]);
+                            let mut profile = SolverTotals::default();
+                            profile.record_solve(&racer.stats().sat.delta_since(&before));
+                            (r, profile, racer)
+                        });
+                        let decision = t.decide(&cop);
+                        if !matches!(decision, TierDecision::Residue) {
+                            // Screen won: stop the racer at its next
+                            // checkpoint; its result is discarded below.
+                            token.store(true, Ordering::Relaxed);
+                        }
+                        (decision, handle.join())
+                    });
+                    if matches!(decision, TierDecision::Residue) {
+                        // Adopt the racer's verdict, effort delta and
+                        // solver state: it ran the exact query the session
+                        // would have, from the same pre-query state. (A
+                        // panicked racer falls through to an inline
+                        // re-query on the untouched session.)
+                        if let Ok((r, profile, mut adopted)) = joined {
+                            adopted.set_cancel(None);
+                            *solver = adopted;
+                            raced = Some((r, profile));
+                        }
+                    }
+                    out.solver_time += race_start.elapsed();
+                    Some(decision)
+                }
+                Some(t) => Some(t.decide(&cop)),
+            };
+            match decision {
+                Some(TierDecision::Confirmed) => {
+                    let record =
+                        self.tier_confirmed_record(view, cop, signature, opts, budget, out);
+                    if matches!(record.verdict, CopVerdict::Race(_)) {
+                        local_confirmed.insert(signature);
+                    }
+                    out.records.push(record);
+                    continue;
+                }
+                Some(TierDecision::Refuted) => {
+                    out.records.push(tier_refuted_record(cop, signature));
+                    continue;
+                }
+                _ => {}
+            }
+            let solve_start = Instant::now();
+            let (result, profile) = match raced {
+                Some(rp) => rp,
+                None => {
+                    // Shared session: counters are cumulative over the
+                    // window, so this COP's effort is the before/after
+                    // delta.
+                    let before = solver.stats().sat;
+                    let r = solver.solve_assuming(budget, &[encoded.selectors[i]]);
+                    let mut profile = SolverTotals::default();
+                    profile.record_solve(&solver.stats().sat.delta_since(&before));
+                    (r, profile)
+                }
+            };
+            let verdict = match result {
+                SmtResult::Unsat => CopVerdict::Unsat,
+                SmtResult::Unknown(reason) => CopVerdict::Undecided(undecided_of_stop(reason)),
+                SmtResult::Sat => {
+                    if cfg.validate_witnesses {
+                        // The session model depends on the window's solve
+                        // history (and, sliced, leaves non-cone events
+                        // unplaced): always report the canonical
+                        // fresh-solve witness instead, so schedules are
+                        // identical to every other mode.
+                        match self.canonical_witness(view, cop, opts, budget) {
+                            Ok(witness) => {
+                                local_confirmed.insert(signature);
+                                CopVerdict::Race(witness.schedule)
+                            }
+                            Err(()) => CopVerdict::WitnessFailed,
+                        }
+                    } else {
+                        local_confirmed.insert(signature);
+                        CopVerdict::Race(Schedule(vec![cop.first, cop.second]))
+                    }
+                }
+            };
+            out.solver_time += solve_start.elapsed();
             out.records.push(CopRecord {
                 cop,
                 signature,

@@ -284,7 +284,11 @@ impl SessionManager {
         };
         let (out_tx, out_rx) = mpsc::channel();
         let mut metrics = Metrics::new();
-        metrics.inc("session.opened", 1);
+        // Session bookkeeping lives in the *gauges* section: a daemon
+        // response merges this registry into the CLI-identical metrics
+        // document, and the count-type sections (counters, histograms)
+        // must stay byte-identical to a solo run's.
+        metrics.gauge_max("session.opened", 1);
         Session {
             id,
             shared: self.shared.clone(),
@@ -612,8 +616,10 @@ impl Session {
         let mut report = std::mem::take(&mut self.report);
         report.stats.peak_window_residency = self.peak_resident;
         report.stats.wall_time = self.start.elapsed();
-        self.metrics.inc("session.windows", self.submitted as u64);
-        self.metrics.inc("session.shed_windows", self.shed_windows);
+        self.metrics
+            .gauge_max("session.windows", self.submitted as u64);
+        self.metrics
+            .gauge_max("session.shed_windows", self.shed_windows);
         // Spill residency: the deepest any window's straddle pass reached
         // back, in events. Counted against the session, not the pool —
         // extended views are rebuilt per solve, never kept resident.

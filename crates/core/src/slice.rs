@@ -33,7 +33,7 @@
 //!
 //! [`VectorClock`]: rvtrace::VectorClock
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use rvtrace::{Cop, EventId, EventKind, LockId, VarId, View, WaitLink};
 
@@ -49,8 +49,9 @@ pub struct WindowSkeleton<'v, 'a> {
     /// view (the same filter the encoder applies).
     links: Vec<WaitLink>,
     /// Membership index: release/acquire/notify event → index into
-    /// [`WindowSkeleton::links`].
-    link_of: HashMap<EventId, usize>,
+    /// [`WindowSkeleton::links`]. Dense arena over the view's contiguous
+    /// event range (`u32::MAX` = no link), probed once per cone event.
+    link_of: Vec<u32>,
     /// Locks with a cross-thread span pair that would assert `⊥` in
     /// `Φ_lock` (both ordering directions lack their endpoint events —
     /// malformed overlapping holds). The assertion is load-bearing, so
@@ -62,29 +63,38 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
     /// Builds the skeleton for one window view.
     pub fn new(view: &'v View<'a>) -> Self {
         let trace = view.trace();
-        let mut fork_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
-        let mut end_of: HashMap<rvtrace::ThreadId, EventId> = HashMap::new();
+        // Thread-indexed arenas (the trace's dense thread index covers
+        // every forked child, even silent ones).
+        let mut fork_of: Vec<Option<EventId>> = vec![None; trace.n_threads()];
+        let mut end_of: Vec<Option<EventId>> = vec![None; trace.n_threads()];
         for id in view.ids() {
             match view.event(id).kind {
                 EventKind::Fork { child } => {
-                    fork_of.insert(child, id);
+                    if let Some(ti) = trace.thread_index(child) {
+                        fork_of[ti] = Some(id);
+                    }
                 }
                 EventKind::End => {
-                    end_of.insert(view.event(id).thread, id);
+                    if let Some(ti) = trace.thread_index(view.event(id).thread) {
+                        end_of[ti] = Some(id);
+                    }
                 }
                 _ => {}
             }
         }
+        let of = |arena: &[Option<EventId>], t: rvtrace::ThreadId| {
+            trace.thread_index(t).and_then(|ti| arena[ti])
+        };
         let mut edges = Vec::new();
         for id in view.ids() {
             match view.event(id).kind {
                 EventKind::Begin => {
-                    if let Some(&f) = fork_of.get(&view.event(id).thread) {
+                    if let Some(f) = of(&fork_of, view.event(id).thread) {
                         edges.push((f, id));
                     }
                 }
                 EventKind::Join { child } => {
-                    if let Some(&e) = end_of.get(&child) {
+                    if let Some(e) = of(&end_of, child) {
                         edges.push((e, id));
                     }
                 }
@@ -102,11 +112,14 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
             })
             .copied()
             .collect();
-        let mut link_of = HashMap::new();
+        let view_base = view.range().start;
+        let mut link_of = vec![u32::MAX; if links.is_empty() { 0 } else { view.len() }];
         for (i, wl) in links.iter().enumerate() {
-            link_of.insert(wl.release, i);
-            link_of.insert(wl.acquire, i);
-            link_of.insert(wl.notify.expect("filtered"), i);
+            // All three endpoints are in-view (just filtered), so they
+            // index the contiguous view range directly.
+            link_of[wl.release.index() - view_base] = i as u32;
+            link_of[wl.acquire.index() - view_base] = i as u32;
+            link_of[wl.notify.expect("filtered").index() - view_base] = i as u32;
         }
         let mut forced_locks = Vec::new();
         for lock_idx in 0..trace.n_locks() as u32 {
@@ -162,15 +175,22 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
         }
 
         // 1. The accesses and their `B_e` branches; the branches root the
-        //    cf-reachability walk.
-        let mut visited: HashSet<EventId> = HashSet::new();
+        //    cf-reachability walk. Visited set as a dense bitmap over the
+        //    view's contiguous event range — the walk touches most cone
+        //    events once, so O(1) unhashed membership is the hot path.
+        let view_base = view.range().start;
+        let mut visited = vec![false; view.len()];
         let mut stack: Vec<EventId> = Vec::new();
+        let first_visit = |e: EventId, visited: &mut Vec<bool>| {
+            let o = e.index() - view_base;
+            !std::mem::replace(&mut visited[o], true)
+        };
         for cop in cops {
             for e in [cop.first, cop.second] {
                 seed(view, &mut need, e);
                 for b in view.last_branches_before(e) {
                     seed(view, &mut need, b);
-                    if visited.insert(b) {
+                    if first_visit(b, &mut visited) {
                         stack.push(b);
                     }
                 }
@@ -185,7 +205,7 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
             match view.event(e).kind {
                 EventKind::Branch | EventKind::Write { .. } => {
                     for &r in view.thread_reads_before(e) {
-                        if visited.insert(r) {
+                        if first_visit(r, &mut visited) {
                             seed(view, &mut need, r);
                             stack.push(r);
                         }
@@ -197,7 +217,7 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
                         seed(view, &mut need, w);
                     }
                     for &w in &wrv {
-                        if visited.insert(w) {
+                        if first_visit(w, &mut visited) {
                             stack.push(w);
                         }
                     }
@@ -240,7 +260,13 @@ impl<'v, 'a> WindowSkeleton<'v, 'a> {
                     for &lock in view.lockset(e) {
                         admit_lock(lock, &mut need, &mut held);
                     }
-                    if let Some(&li) = self.link_of.get(&e) {
+                    let li = self
+                        .link_of
+                        .get(e.index() - view_base)
+                        .copied()
+                        .unwrap_or(u32::MAX);
+                    if li != u32::MAX {
+                        let li = li as usize;
                         if !marked[li] {
                             marked[li] = true;
                             let wl = self.links[li];

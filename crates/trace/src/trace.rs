@@ -110,11 +110,38 @@ pub struct Trace {
     n_chans: usize,
     volatile_set: Vec<bool>,
     /// For each event id of a `Notify`, the wait link index it satisfied.
-    notify_to_link: BTreeMap<EventId, usize>,
-    /// For each wait re-acquire event, the wait link index.
-    wait_acquire_to_link: BTreeMap<EventId, usize>,
-    /// For each linked `Recv` event, the msg link index.
-    recv_to_link: BTreeMap<EventId, usize>,
+    /// Dense arena indexed by event id ([`LINK_NONE`] = no link), like the
+    /// other derived indexes — link lookups are hot in the view/slice
+    /// paths and the dense form makes `from_data` allocation-cheap.
+    notify_to_link: Vec<u32>,
+    /// For each wait re-acquire event, the wait link index (dense, see
+    /// [`Trace::notify_to_link`]).
+    wait_acquire_to_link: Vec<u32>,
+    /// For each linked `Recv` event, the msg link index (dense, see
+    /// [`Trace::notify_to_link`]).
+    recv_to_link: Vec<u32>,
+}
+
+/// Sentinel for "no link" in the dense per-event link arenas.
+const LINK_NONE: u32 = u32::MAX;
+
+/// Records `index` for `id` in a dense per-event arena, growing it when a
+/// (possibly damaged) link points past the event range — the map-based
+/// index accepted such ids, so the arena must too.
+fn set_link(arena: &mut Vec<u32>, id: EventId, index: usize) {
+    if id.index() >= arena.len() {
+        arena.resize(id.index() + 1, LINK_NONE);
+    }
+    arena[id.index()] = index as u32;
+}
+
+/// Dense-arena lookup: the link index recorded for `id`, if any.
+#[inline]
+fn get_link(arena: &[u32], id: EventId) -> Option<usize> {
+    match arena.get(id.index()).copied() {
+        Some(i) if i != LINK_NONE => Some(i as usize),
+        _ => None,
+    }
 }
 
 impl From<TraceData> for Trace {
@@ -180,17 +207,22 @@ impl Trace {
             }
             volatile_set[v.index()] = true;
         }
-        let mut notify_to_link = BTreeMap::new();
-        let mut wait_acquire_to_link = BTreeMap::new();
+        let arena_len = if data.wait_links.is_empty() && data.msg_links.is_empty() {
+            0 // the common case: no sync links, no arena allocation
+        } else {
+            data.events.len()
+        };
+        let mut notify_to_link = vec![LINK_NONE; arena_len];
+        let mut wait_acquire_to_link = vec![LINK_NONE; arena_len];
+        let mut recv_to_link = vec![LINK_NONE; arena_len];
         for (i, wl) in data.wait_links.iter().enumerate() {
             if let Some(n) = wl.notify {
-                notify_to_link.insert(n, i);
+                set_link(&mut notify_to_link, n, i);
             }
-            wait_acquire_to_link.insert(wl.acquire, i);
+            set_link(&mut wait_acquire_to_link, wl.acquire, i);
         }
-        let mut recv_to_link = BTreeMap::new();
         for (i, ml) in data.msg_links.iter().enumerate() {
-            recv_to_link.insert(ml.recv, i);
+            set_link(&mut recv_to_link, ml.recv, i);
         }
         Trace {
             data,
@@ -312,16 +344,12 @@ impl Trace {
 
     /// The wait link satisfied by the given `Notify` event, if any.
     pub fn wait_link_of_notify(&self, notify: EventId) -> Option<&WaitLink> {
-        self.notify_to_link
-            .get(&notify)
-            .map(|&i| &self.data.wait_links[i])
+        get_link(&self.notify_to_link, notify).map(|i| &self.data.wait_links[i])
     }
 
     /// The wait link whose re-acquire is the given event, if any.
     pub fn wait_link_of_acquire(&self, acquire: EventId) -> Option<&WaitLink> {
-        self.wait_acquire_to_link
-            .get(&acquire)
-            .map(|&i| &self.data.wait_links[i])
+        get_link(&self.wait_acquire_to_link, acquire).map(|i| &self.data.wait_links[i])
     }
 
     /// The matched channel messages.
@@ -332,9 +360,7 @@ impl Trace {
 
     /// The msg link whose recv is the given event, if any.
     pub fn msg_link_of_recv(&self, recv: EventId) -> Option<&MsgLink> {
-        self.recv_to_link
-            .get(&recv)
-            .map(|&i| &self.data.msg_links[i])
+        get_link(&self.recv_to_link, recv).map(|i| &self.data.msg_links[i])
     }
 
     /// Human-readable name for a program location, if registered.

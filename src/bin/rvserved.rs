@@ -180,6 +180,11 @@ fn is_idle(e: &std::io::Error) -> bool {
 fn compose_response(req: &SessionRequest, outcome: &SessionOutcome) -> SessionResponse {
     let mut metrics = Metrics::new();
     driver::record_ingest_metrics(&outcome.ingest, &mut metrics);
+    // The session's own registry (`session.*` residency/shedding state)
+    // rides along in the gauges section, which is exempt from the
+    // count-type identity contract — counters and histograms below stay
+    // byte-identical to the solo CLI's document.
+    metrics.merge(&outcome.metrics);
     let mut stderr = String::new();
     if let Some(salvage) = &outcome.salvage {
         driver::record_salvage_metrics(salvage, &mut metrics);

@@ -314,3 +314,51 @@ fn daemon_exit_code_contract() {
     let (daemon2, _) = spawn_daemon("stale", &["--once", "1"]);
     drop(finish_daemon(daemon2));
 }
+
+/// The count-type slice of a metrics document: everything before the
+/// `timings_us` section (wall clocks and gauges are run-shape).
+fn count_type_prefix(doc: &str) -> &str {
+    let cut = doc
+        .find("  \"timings_us\": {")
+        .unwrap_or_else(|| panic!("no timings_us section in {doc}"));
+    &doc[..cut]
+}
+
+/// The per-tenant metrics export gate: a `--connect --metrics` client
+/// receives its session's registry in the response and writes it locally,
+/// with the count-type sections byte-identical to a standalone
+/// `--stream --metrics` run of the same trace; the relayed document also
+/// carries the daemon-side `session.*` gauges the solo run never records.
+#[test]
+fn connect_metrics_match_standalone_cli() {
+    let trace = trace_path("metrics.ndjson");
+    let (daemon, sock) = spawn_daemon("metrics", &["--once", "2"]);
+    let solo_path = dir().join(format!("solo-metrics-{}.json", std::process::id()));
+    let conn_path = dir().join(format!("conn-metrics-{}.json", std::process::id()));
+    let solo_path = solo_path.to_str().unwrap();
+    let conn_path = conn_path.to_str().unwrap();
+
+    let solo = run(&["--stream", "--metrics", solo_path, &trace]);
+    let conn = run(&["--connect", &sock, "--metrics", conn_path, &trace]);
+    assert_eq!(conn.status.code(), solo.status.code());
+    assert_eq!(stripped_stdout(&conn), stripped_stdout(&solo));
+
+    let solo_doc = std::fs::read_to_string(solo_path).unwrap();
+    let conn_doc = std::fs::read_to_string(conn_path).unwrap();
+    assert_eq!(
+        count_type_prefix(&conn_doc),
+        count_type_prefix(&solo_doc),
+        "relayed count-type metrics must match the solo CLI"
+    );
+    assert!(
+        conn_doc.contains("\"session.opened\": 1"),
+        "daemon session gauges ride along in the gauge section: {conn_doc}"
+    );
+    assert!(
+        !solo_doc.contains("\"session.opened\""),
+        "solo runs have no daemon session: {solo_doc}"
+    );
+
+    let (code, stderr) = finish_daemon(daemon);
+    assert_eq!(code, 0, "daemon exits clean: {stderr}");
+}

@@ -525,3 +525,202 @@ fn figure1_differential() {
     assert_eq!(got, want);
     assert_eq!(got.len(), 1);
 }
+
+/// The `--no-incremental` A/B check, randomized: one resident solver
+/// session per window (per-COP assumption queries, learnt clauses
+/// retained across COPs) must decide exactly what encode-from-scratch
+/// decides — same verdicts, witnesses, and dedup signatures — in batch
+/// and per-COP mode, sliced and unsliced, at every worker count.
+#[test]
+fn incremental_solver_is_verdict_and_witness_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x1CC);
+    // `PROPTEST_CASES` kept its name when the suite moved off proptest.
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let mut checked = 0;
+    for _attempt in 0..cases * 40 {
+        if checked == cases {
+            break;
+        }
+        let workers = gen_ops_sized(&mut rng);
+        let program = build(&workers);
+        let seed = rng.gen_range(0..400u64);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        if exec.outcome != Outcome::Completed || exec.trace.len() < 6 || exec.trace.len() > 40 {
+            continue;
+        }
+        checked += 1;
+        let trace = &exec.trace;
+        // A small window size so multi-window dedup is exercised too.
+        let mut baseline: Option<String> = None;
+        for incremental in [true, false] {
+            for batch in [true, false] {
+                for slice in [true, false] {
+                    for jobs in [1usize, 2, 4, 8] {
+                        let cfg = DetectorConfig {
+                            window_size: 16,
+                            incremental,
+                            batch_windows: batch,
+                            slice,
+                            parallelism: jobs,
+                            ..Default::default()
+                        };
+                        let report = RaceDetector::with_config(cfg).detect(trace);
+                        let fp = verdict_fingerprint(&report);
+                        match &baseline {
+                            None => baseline = Some(fp),
+                            Some(b) => assert_eq!(
+                                &fp,
+                                b,
+                                "incremental={incremental} batch={batch} slice={slice} \
+                                 jobs={jobs} diverged on trace {:?}",
+                                trace.events()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cases, "not enough small completed executions");
+}
+
+/// The learnt-clause poison test: a window whose session first *retires*
+/// two refuted COPs (their selector stays un-assumed forever after) and
+/// only then checks a satisfiable one. If any clause learnt under a
+/// retired COP's pinned race cut were retained unsoundly, the later COP
+/// would flip to `Unsat` under the incremental session — so the verdicts
+/// must equal the encode-from-scratch run's, both with the cascade on
+/// (the COPs below defeat both screens) and off (pure solver order).
+#[test]
+fn retained_clauses_are_inert_after_a_cop_retires() {
+    use rvtrace::{ThreadId, TraceBuilder};
+    let mut b = TraceBuilder::new();
+    let main = ThreadId::MAIN;
+    let p = b.fork(main);
+    let c = b.fork(main);
+    let l = b.new_lock("l");
+    // Two double-justifier handoff blocks: the payload COP survives the
+    // quick check, blinds Tier B (two same-value flag justifiers), fails
+    // Tier A's replay, and the solver refutes it — learning clauses
+    // while its selector is assumed.
+    for k in 0..2 {
+        let y = b.var(&format!("y{k}"));
+        let f = b.var(&format!("f{k}"));
+        b.write(p, y, 1);
+        b.acquire(p, l);
+        b.write(p, f, 1);
+        b.release(p, l);
+        b.acquire(p, l);
+        b.write(p, f, 1);
+        b.release(p, l);
+        b.acquire(c, l);
+        b.read(c, f, 1);
+        b.release(c, l);
+        b.branch(c);
+        b.read(c, y, 1);
+    }
+    // The late COP: a sync-free racy pair checked *after* both refuted
+    // COPs retired. Retained clauses must not be able to refute it.
+    let x = b.var("x");
+    b.write(p, x, 1);
+    b.write(c, x, 2);
+    let trace = b.finish();
+
+    let mut baseline: Option<String> = None;
+    for tiers in [true, false] {
+        for incremental in [true, false] {
+            for batch in [true, false] {
+                let cfg = DetectorConfig {
+                    tiers,
+                    incremental,
+                    batch_windows: batch,
+                    ..Default::default()
+                };
+                let report = RaceDetector::with_config(cfg).detect(&trace);
+                assert_eq!(report.n_races(), 1, "the late COP stays a race");
+                assert_eq!(report.stats.unsat, 2, "both handoff COPs stay refuted");
+                if tiers {
+                    // Tier A confirms the sync-free late COP directly; the
+                    // two handoff COPs still retire through the session. The
+                    // tiers-off leg is the full poison ordering: the same
+                    // session refutes both handoff COPs and *then* must still
+                    // find the late COP satisfiable.
+                    assert_eq!(report.stats.tier_residue, 2);
+                    assert_eq!(report.stats.tier_confirmed, 1);
+                } else {
+                    assert_eq!(report.stats.sat, 1, "the solver itself finds the race");
+                }
+                let fp = verdict_fingerprint(&report);
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(b) => assert_eq!(
+                        &fp, b,
+                        "tiers={tiers} incremental={incremental} batch={batch} diverged"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The `--portfolio` A/B check, randomized: racing the session query
+/// against the tier screens (on a cancellable clone of the session
+/// solver) must keep the *whole report* — verdicts, witnesses, solver
+/// effort, count-type counters — byte-identical to portfolio-off, at
+/// every worker count. Compared via `deterministic_summary`, the
+/// strictest rendering the repo has.
+#[test]
+fn portfolio_reports_are_byte_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x90F0);
+    // `PROPTEST_CASES` kept its name when the suite moved off proptest.
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let mut checked = 0;
+    for _attempt in 0..cases * 40 {
+        if checked == cases {
+            break;
+        }
+        let workers = gen_ops_sized(&mut rng);
+        let program = build(&workers);
+        let seed = rng.gen_range(0..400u64);
+        let exec = execute(&program, &ExecConfig::seeded(seed)).unwrap();
+        if exec.outcome != Outcome::Completed || exec.trace.len() < 6 || exec.trace.len() > 40 {
+            continue;
+        }
+        checked += 1;
+        let trace = &exec.trace;
+        // Portfolio races per-COP session queries, so pin the per-COP
+        // incremental mode on both sides of the comparison.
+        let mut baseline: Option<String> = None;
+        for portfolio in [false, true] {
+            for jobs in [1usize, 2, 4, 8] {
+                let cfg = DetectorConfig {
+                    window_size: 16,
+                    batch_windows: false,
+                    incremental: true,
+                    portfolio,
+                    parallelism: jobs,
+                    ..Default::default()
+                };
+                let summary = RaceDetector::with_config(cfg)
+                    .detect(trace)
+                    .deterministic_summary();
+                match &baseline {
+                    None => baseline = Some(summary),
+                    Some(b) => assert_eq!(
+                        &summary,
+                        b,
+                        "portfolio={portfolio} jobs={jobs} diverged on trace {:?}",
+                        trace.events()
+                    ),
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cases, "not enough small completed executions");
+}
